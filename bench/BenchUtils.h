@@ -1,0 +1,82 @@
+//===- bench/BenchUtils.h - Shared harness helpers -------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction harnesses: compiling a
+/// workload, running it on the scaled cache hierarchy, collecting PBO
+/// feedback, and formatting percentages the way the paper does.
+///
+/// All harness runs use CacheConfig::scaledItanium(): the hierarchy is
+/// scaled down with the problem sizes (see EXPERIMENTS.md) so that each
+/// data structure occupies the same cache level it would occupy in the
+/// paper's full-size runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_BENCH_BENCHUTILS_H
+#define SLO_BENCH_BENCHUTILS_H
+
+#include "frontend/Frontend.h"
+#include "pipeline/Pipeline.h"
+#include "runtime/Interpreter.h"
+#include "support/Error.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace slo {
+namespace bench {
+
+/// A compiled workload (context + linked module).
+struct Built {
+  std::unique_ptr<IRContext> Ctx;
+  std::unique_ptr<Module> M;
+};
+
+inline Built buildWorkload(const Workload &W) {
+  Built B;
+  B.Ctx = std::make_unique<IRContext>();
+  B.M = compileProgramOrDie(*B.Ctx, W.Name, W.Sources);
+  return B;
+}
+
+/// Runs with the given parameter set on the scaled hierarchy.
+inline RunResult runWith(const Module &M,
+                         const std::map<std::string, int64_t> &Params,
+                         FeedbackFile *Profile = nullptr) {
+  RunOptions O;
+  O.IntParams = Params;
+  O.Cache = CacheConfig::scaledItanium();
+  O.Profile = Profile;
+  RunResult R = runProgram(M, std::move(O));
+  if (R.Trapped)
+    reportFatalError("benchmark run trapped: " + R.TrapReason);
+  return R;
+}
+
+/// The paper's performance metric: percent improvement of optimized over
+/// base ("performance effects range from -1.5% up to 78.2%").
+inline double perfPercent(uint64_t BaseCycles, uint64_t OptCycles) {
+  return 100.0 * (static_cast<double>(BaseCycles) /
+                      static_cast<double>(OptCycles) -
+                  1.0);
+}
+
+/// Checks observable-output equality and aborts on mismatch: a harness
+/// must never report numbers from a miscompiled program.
+inline void requireSameOutput(const RunResult &A, const RunResult &B,
+                              const std::string &What) {
+  if (A.PrintedInts != B.PrintedInts || A.PrintedFloats != B.PrintedFloats)
+    reportFatalError("output mismatch after transformation in " + What);
+}
+
+} // namespace bench
+} // namespace slo
+
+#endif // SLO_BENCH_BENCHUTILS_H

@@ -1,0 +1,94 @@
+//===- bench/bench_ablation_cache.cpp - Cache geometry sensitivity --------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// The paper's gains come from hot-field density in cache lines, so they
+// depend on the hierarchy's geometry. This ablation runs the art peel
+// and the moldyn split under several hierarchies (the scaled default,
+// halved/doubled last level, and larger lines) to show where the
+// crossovers are -- the kind of sensitivity a layout-optimizing compiler
+// team tracks when retargeting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtils.h"
+
+#include <cstdio>
+
+using namespace slo;
+using namespace slo::bench;
+
+namespace {
+
+struct Variant {
+  const char *Name;
+  CacheConfig Config;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> Out;
+  Out.push_back({"scaled default (512K L3)", CacheConfig::scaledItanium()});
+  {
+    CacheConfig C = CacheConfig::scaledItanium();
+    C.L3.SizeBytes /= 2;
+    Out.push_back({"half L3 (256K)", C});
+  }
+  {
+    CacheConfig C = CacheConfig::scaledItanium();
+    C.L3.SizeBytes *= 4;
+    Out.push_back({"4x L3 (2M, everything fits)", C});
+  }
+  {
+    CacheConfig C = CacheConfig::scaledItanium();
+    C.L2.LineBytes = 256;
+    C.L3.LineBytes = 256;
+    Out.push_back({"256B outer lines", C});
+  }
+  {
+    CacheConfig C = CacheConfig::scaledItanium();
+    C.MemoryLatency = 60;
+    Out.push_back({"fast memory (60 cyc)", C});
+  }
+  return Out;
+}
+
+double measure(const Workload &W, const CacheConfig &Config) {
+  auto Run = [&](Module &M) {
+    RunOptions O;
+    O.IntParams = W.RefParams;
+    O.Cache = Config;
+    RunResult R = runProgram(M, std::move(O));
+    if (R.Trapped)
+      reportFatalError("ablation run trapped: " + R.TrapReason);
+    return R;
+  };
+  Built Base = buildWorkload(W);
+  RunResult BaseRun = Run(*Base.M);
+  Built Opt = buildWorkload(W);
+  PipelineOptions Opts;
+  PipelineResult P = runStructLayoutPipeline(*Opt.M, Opts);
+  (void)P;
+  RunResult OptRun = Run(*Opt.M);
+  requireSameOutput(BaseRun, OptRun, W.Name + " cache ablation");
+  return perfPercent(BaseRun.Cycles, OptRun.Cycles);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation: transformation benefit vs cache geometry\n\n");
+  std::printf("%-30s %12s %12s\n", "Hierarchy", "179.art", "moldyn");
+  std::printf("%s\n", std::string(56, '-').c_str());
+  const Workload *Art = findWorkload("179.art");
+  const Workload *Moldyn = findWorkload("moldyn");
+  for (const Variant &V : variants()) {
+    double A = measure(*Art, V.Config);
+    double M = measure(*Moldyn, V.Config);
+    std::printf("%-30s %+11.1f%% %+11.1f%%\n", V.Name, A, M);
+  }
+  std::printf("\nExpected shape: gains shrink when the last level is "
+              "large enough to hold the\nuntransformed data (nothing to "
+              "win) and when memory is fast (less to hide).\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+//===- bench/bench_case_studies.cpp - The §3.4 case studies ---------------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// Paper §3.4 ("Experiences"):
+//  1. A SPEC2006 C++ benchmark had a hot structure larger than an L2
+//     cache line whose four hot fields were scattered; grouping them
+//     (found identically by the PBO and ISPBO affinity graphs) gave
+//     +2.5%.
+//  2. A SPEC2006 C benchmark dominated by three loops over a two-field
+//     record gained almost 40% from peeling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtils.h"
+#include "transform/Transform.h"
+
+#include <cstdio>
+
+using namespace slo;
+using namespace slo::bench;
+
+namespace {
+
+/// Case 1: group the four scattered hot fields by forcing a reorder-only
+/// split plan (no cold part, hot fields first), exactly the source-level
+/// change the paper's engineers made from the advisor's output.
+void caseHotStruct() {
+  const Workload &W = caseStudyHotStruct();
+  Built Base = buildWorkload(W);
+  RunResult BaseRun = runWith(*Base.M, W.RefParams);
+
+  Built B = buildWorkload(W);
+  RecordType *Big = B.Ctx->getTypes().lookupRecord("big");
+  LegalityResult Legal = analyzeLegality(*B.M);
+
+  // Verify first that PBO and ISPBO affinity graphs identify the same
+  // four hot fields (the paper's observation).
+  FeedbackFile Train;
+  runWith(*B.M, W.TrainParams, &Train);
+  auto HotFieldsOf = [&](WeightScheme S) {
+    SchemeInputs In;
+    In.M = B.M.get();
+    In.TrainProfile = &Train;
+    FieldStatsResult Stats = computeSchemeFieldStats(S, In);
+    std::vector<double> Rel = Stats.get(Big)->relativeHotness();
+    std::vector<std::string> Hot;
+    for (unsigned F = 0; F < Big->getNumFields(); ++F)
+      if (Rel[F] > 50.0)
+        Hot.push_back(Big->getField(F).Name);
+    return Hot;
+  };
+  std::vector<std::string> PboHot = HotFieldsOf(WeightScheme::PBO);
+  std::vector<std::string> IspboHot = HotFieldsOf(WeightScheme::ISPBO);
+  std::printf("Case 1: >cache-line struct with scattered hot fields\n");
+  std::printf("  PBO affinity graph's hot fields  :");
+  for (const std::string &N : PboHot)
+    std::printf(" %s", N.c_str());
+  std::printf("\n  ISPBO affinity graph's hot fields:");
+  for (const std::string &N : IspboHot)
+    std::printf(" %s", N.c_str());
+  std::printf("\n  identical: %s (paper: 'the exact same 4 fields')\n",
+              PboHot == IspboHot ? "yes" : "NO");
+
+  // Group the hot fields at the front (reorder-only plan).
+  TypePlan Plan;
+  Plan.Rec = Big;
+  Plan.Kind = TransformKind::Split;
+  for (const std::string &N : PboHot)
+    Plan.HotFields.push_back(Big->findField(N)->Index);
+  // The remaining fields keep their declaration order behind the group.
+  for (unsigned F = 0; F < Big->getNumFields(); ++F) {
+    const std::string &Name = Big->getField(F).Name;
+    bool IsHot = false;
+    for (const std::string &H : PboHot)
+      IsHot |= H == Name;
+    if (!IsHot)
+      Plan.HotFields.push_back(F);
+  }
+  Plan.Reason = "grouping hot fields (case study)";
+  applyPlans(*B.M, {Plan}, Legal);
+
+  RunResult Opt = runWith(*B.M, W.RefParams);
+  requireSameOutput(BaseRun, Opt, "case study 1");
+  std::printf("  performance after grouping: %+.1f%%  (paper: +2.5%%)\n\n",
+              perfPercent(BaseRun.Cycles, Opt.Cycles));
+}
+
+/// Case 2: the two-field record peel.
+void caseTwoField() {
+  const Workload &W = caseStudyTwoField();
+  Built Base = buildWorkload(W);
+  RunResult BaseRun = runWith(*Base.M, W.RefParams);
+
+  Built B = buildWorkload(W);
+  PipelineOptions Opts;
+  PipelineResult P = runStructLayoutPipeline(*B.M, Opts);
+  RunResult Opt = runWith(*B.M, W.RefParams);
+  requireSameOutput(BaseRun, Opt, "case study 2");
+
+  std::printf("Case 2: three loops over a two-field record\n");
+  for (const std::string &Line : P.Summary.Log)
+    std::printf("  %s\n", Line.c_str());
+  std::printf("  performance after peeling: %+.1f%%  (paper: almost "
+              "+40%%, more with\n  further unroll/hint tuning)\n",
+              perfPercent(BaseRun.Cycles, Opt.Cycles));
+}
+
+} // namespace
+
+int main() {
+  std::printf("Paper §3.4 case studies\n\n");
+  caseHotStruct();
+  caseTwoField();
+  return 0;
+}

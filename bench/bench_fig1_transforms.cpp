@@ -1,0 +1,147 @@
+//===- bench/bench_fig1_transforms.cpp - Reproduces Figure 1 --------------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// Paper Figure 1: an array of record types with interleaved hot and cold
+// fields (a), the same array after structure splitting with link
+// pointers (b), and after structure peeling (c). This harness builds the
+// same program three times, applies the corresponding transformation,
+// prints the memory layouts, and measures a hot-field traversal under
+// the cache model so the figure's point (hot-field density) is visible
+// in numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtils.h"
+#include "ir/IRPrinter.h"
+#include "transform/StructPeel.h"
+#include "transform/Transform.h"
+
+#include <cstdio>
+
+using namespace slo;
+using namespace slo::bench;
+
+namespace {
+
+// One hot field, three cold fields, like the paper's illustration. The
+// peelable variant keeps the array behind a single global pointer with
+// no escapes; the splittable variant passes the pointer to a helper.
+const char *programSource(bool Peelable) {
+  return Peelable ? R"(
+    extern void print_i64(long v);
+    struct elem { long hot1; long cold1; long hot2; long cold2; };
+    struct elem *arr;
+    long param_n; long param_iters;
+    int main() {
+      arr = (struct elem*) malloc(param_n * sizeof(struct elem));
+      for (long i = 0; i < param_n; i++) {
+        arr[i].hot1 = i; arr[i].hot2 = i * 2;
+        arr[i].cold1 = i * 3; arr[i].cold2 = i * 4;
+      }
+      long s = 0;
+      for (long r = 0; r < 2; r++)
+        for (long k = 0; k < param_iters; k++)
+          for (long m = 0; m < 2; m++)
+            for (long i = 0; i < param_n; i++)
+              s += arr[i].hot1 + arr[i].hot2;
+      for (long i = 0; i < param_n; i++)
+        s += arr[i].cold1 + arr[i].cold2;
+      print_i64(s);
+      free(arr);
+      return 0;
+    }
+  )"
+                  : R"(
+    extern void print_i64(long v);
+    struct elem { long hot1; long cold1; long hot2; long cold2; };
+    struct elem *arr;
+    long param_n; long param_iters;
+    void pin(struct elem *p) { }
+    int main() {
+      arr = (struct elem*) malloc(param_n * sizeof(struct elem));
+      pin(arr);
+      for (long i = 0; i < param_n; i++) {
+        arr[i].hot1 = i; arr[i].hot2 = i * 2;
+        arr[i].cold1 = i * 3; arr[i].cold2 = i * 4;
+      }
+      long s = 0;
+      for (long r = 0; r < 2; r++)
+        for (long k = 0; k < param_iters; k++)
+          for (long m = 0; m < 2; m++)
+            for (long i = 0; i < param_n; i++)
+              s += arr[i].hot1 + arr[i].hot2;
+      for (long i = 0; i < param_n; i++)
+        s += arr[i].cold1 + arr[i].cold2;
+      print_i64(s);
+      free(arr);
+      return 0;
+    }
+  )";
+}
+
+const std::map<std::string, int64_t> Params = {{"param_n", 30000},
+                                               {"param_iters", 8}};
+
+} // namespace
+
+int main() {
+  std::printf("Figure 1: an array of record types (a), after splitting "
+              "(b), after peeling (c)\n\n");
+
+  // (a) Baseline.
+  IRContext CtxA;
+  auto MA = compileProgramOrDie(CtxA, "fig1a", {programSource(false)});
+  RunResult A = runWith(*MA, Params);
+  std::printf("(a) original array of structs:\n%s",
+              printRecordLayout(*CtxA.getTypes().lookupRecord("elem"))
+                  .c_str());
+  std::printf("    hot-loop cycles: %llu\n\n",
+              static_cast<unsigned long long>(A.Cycles));
+
+  // (b) Structure splitting (link pointers).
+  IRContext CtxB;
+  auto MB = compileProgramOrDie(CtxB, "fig1b", {programSource(false)});
+  PipelineOptions OptsB;
+  PipelineResult PB = runStructLayoutPipeline(*MB, OptsB);
+  std::printf("(b) after structure splitting:\n");
+  for (const AppliedTransform &T : PB.Summary.Applied) {
+    if (T.Split.HotRec)
+      std::printf("%s", printRecordLayout(*T.Split.HotRec).c_str());
+    if (T.Split.ColdRec)
+      std::printf("%s", printRecordLayout(*T.Split.ColdRec).c_str());
+  }
+  RunResult Rb = runWith(*MB, Params);
+  requireSameOutput(A, Rb, "fig1 splitting");
+  std::printf("    hot-loop cycles: %llu (%+.1f%%)\n\n",
+              static_cast<unsigned long long>(Rb.Cycles),
+              perfPercent(A.Cycles, Rb.Cycles));
+
+  // (c) Structure peeling (no link pointers). The peelable program
+  // variant omits the escaping call.
+  IRContext CtxRefC;
+  auto MRefC = compileProgramOrDie(CtxRefC, "fig1c", {programSource(true)});
+  RunResult BaseC = runWith(*MRefC, Params);
+  IRContext CtxC;
+  auto MC = compileProgramOrDie(CtxC, "fig1c", {programSource(true)});
+  PipelineOptions OptsC;
+  PipelineResult PC = runStructLayoutPipeline(*MC, OptsC);
+  std::printf("(c) after structure peeling:\n");
+  for (const AppliedTransform &T : PC.Summary.Applied)
+    for (RecordType *G : T.Peel.GroupRecs)
+      std::printf("%s", printRecordLayout(*G).c_str());
+  RunResult Rc = runWith(*MC, Params);
+  requireSameOutput(BaseC, Rc, "fig1 peeling");
+  std::printf("    hot-loop cycles: %llu (%+.1f%% vs its own baseline "
+              "%llu)\n\n",
+              static_cast<unsigned long long>(Rc.Cycles),
+              perfPercent(BaseC.Cycles, Rc.Cycles),
+              static_cast<unsigned long long>(BaseC.Cycles));
+
+  std::printf("The paper's point: (b) keeps the hot fields dense at the "
+              "cost of a link pointer\nand an extra allocation; (c) gets "
+              "the same density without link pointers when\nthe stricter "
+              "peeling conditions hold.\n");
+  return 0;
+}

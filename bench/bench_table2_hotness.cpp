@@ -1,0 +1,114 @@
+//===- bench/bench_table2_hotness.cpp - Reproduces Table 2 ----------------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// Paper Table 2: relative hotness of 181.mcf's node_t fields under nine
+// weighting mechanisms (PBO, PPBO, SPBO, ISPBO, ISPBO.NO, ISPBO.W,
+// DMISS, DLAT, DMISS.NO) and the linear correlation r of each scheme to
+// the PBO baseline, plus r' which disregards the hottest field
+// (`potential`). The footer also reproduces the paper's cross-scheme
+// correlation observations (ISPBO vs ISPBO.W ~0.94, DMISS vs DLAT ~0.96,
+// DMISS vs DMISS.NO ~0.996).
+//
+//===----------------------------------------------------------------------===//
+
+#include "advisor/Correlation.h"
+#include "analysis/WeightSchemes.h"
+#include "bench/BenchUtils.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace slo;
+using namespace slo::bench;
+
+int main() {
+  const Workload *W = findWorkload("181.mcf");
+  Built B = buildWorkload(*W);
+
+  // Feedback files: training input (PBO, DMISS, DLAT), reference input
+  // (PPBO), and an uninstrumented sampling run (DMISS.NO). In this
+  // reproduction "uninstrumented" means edge profiling off, cache
+  // sampling with a PMU-like period.
+  FeedbackFile Train, Ref, NoInstr;
+  runWith(*B.M, W->TrainParams, &Train);
+  runWith(*B.M, W->RefParams, &Ref);
+  {
+    RunOptions O;
+    O.IntParams = W->TrainParams;
+    O.Cache = CacheConfig::scaledItanium();
+    O.Profile = &NoInstr;
+    O.CacheSamplePeriod = 16; // Sampled, like the PMU.
+    RunResult R = runProgram(*B.M, std::move(O));
+    if (R.Trapped)
+      reportFatalError("uninstrumented run trapped: " + R.TrapReason);
+  }
+
+  const WeightScheme Schemes[] = {
+      WeightScheme::PBO,      WeightScheme::PPBO,
+      WeightScheme::SPBO,     WeightScheme::ISPBO,
+      WeightScheme::ISPBO_NO, WeightScheme::ISPBO_W,
+      WeightScheme::DMISS,    WeightScheme::DLAT,
+      WeightScheme::DMISS_NO,
+  };
+
+  RecordType *Node = B.Ctx->getTypes().lookupRecord("node");
+  std::vector<std::vector<double>> Rel; // Per scheme: relative hotness.
+  for (WeightScheme S : Schemes) {
+    SchemeInputs In;
+    In.M = B.M.get();
+    In.TrainProfile = &Train;
+    In.RefProfile = &Ref;
+    In.UninstrumentedProfile = &NoInstr;
+    FieldStatsResult Stats = computeSchemeFieldStats(S, In);
+    Rel.push_back(Stats.get(Node)->relativeHotness());
+  }
+
+  std::printf("Table 2: relative field hotness of 181.mcf node under the "
+              "weighting schemes\n\n");
+  std::printf("%-14s", "Field");
+  for (WeightScheme S : Schemes)
+    std::printf("%9s", weightSchemeName(S));
+  std::printf("\n%s\n", std::string(14 + 9 * 9, '-').c_str());
+  for (unsigned F = 0; F < Node->getNumFields(); ++F) {
+    std::printf("%-14s", Node->getField(F).Name.c_str());
+    for (size_t S = 0; S < Rel.size(); ++S)
+      std::printf("%9.1f", Rel[S][F]);
+    std::printf("\n");
+  }
+
+  // Correlations against the PBO baseline; r' drops the hottest field.
+  const std::vector<double> &Baseline = Rel[0];
+  unsigned Hottest = 0;
+  for (unsigned F = 1; F < Baseline.size(); ++F)
+    if (Baseline[F] > Baseline[Hottest])
+      Hottest = F;
+  std::printf("%s\n", std::string(14 + 9 * 9, '-').c_str());
+  std::printf("%-14s", "r");
+  for (size_t S = 0; S < Rel.size(); ++S)
+    std::printf("%9.3f", pearsonCorrelation(Baseline, Rel[S]));
+  std::printf("\n%-14s", "r'");
+  for (size_t S = 0; S < Rel.size(); ++S)
+    std::printf("%9.3f",
+                pearsonCorrelationExcluding(Baseline, Rel[S], Hottest));
+  std::printf("\n");
+  std::printf("(r' disregards the hottest field '%s', like the paper "
+              "disregards 'potential')\n",
+              Node->getField(Hottest).Name.c_str());
+  std::printf("paper: PPBO r=0.986, SPBO r=0.693, ISPBO r=0.891, "
+              "ISPBO.NO r=0.811, ISPBO.W r=0.782,\n"
+              "       DMISS r=0.687 (r'=0.211), DLAT r=0.686 (r'=0.207)\n");
+
+  // Cross-scheme observations from §2.3.
+  auto Corr = [&](size_t A, size_t C) {
+    return pearsonCorrelation(Rel[A], Rel[C]);
+  };
+  std::printf("\nCross-scheme correlations (paper values):\n");
+  std::printf("  ISPBO  vs ISPBO.W : %6.3f (0.94)\n", Corr(3, 5));
+  std::printf("  DMISS  vs DLAT    : %6.3f (0.96)\n", Corr(6, 7));
+  std::printf("  DMISS  vs DMISS.NO: %6.3f (0.996) -- instrumentation "
+              "barely disturbs sampling\n",
+              Corr(6, 8));
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===- examples/false_sharing_advice.cpp - Multi-threaded layout advice ---===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// The paper (§2.4, §3.3) points out that multi-threaded applications
+// want a different heuristic: write-heavy fields sharing a cache line
+// with read-mostly fields cause coherency traffic, so they should be
+// grouped by read/write behaviour rather than by hotness, and the HP-UX
+// kernel team used exactly the advisor's read/write counts for this.
+// This example shows the advisory MT notes on a shared-counter-style
+// structure.
+//
+//   $ ./false_sharing_advice
+//
+//===----------------------------------------------------------------------===//
+
+#include "advisor/AdvisorReport.h"
+#include "frontend/Frontend.h"
+#include "pipeline/Pipeline.h"
+#include "runtime/Interpreter.h"
+
+#include <cstdio>
+
+using namespace slo;
+
+static const char *Program = R"(
+  extern void print_i64(long v);
+  struct conn_state {
+    long proto_id;       // read-mostly: checked on every packet
+    long flags;          // read-mostly
+    long bytes_rx;       // written on every packet
+    long bytes_tx;       // written on every packet
+    long peer_key;       // read-mostly
+    long last_seq;       // written on every packet
+  };
+  struct conn_state *conns;
+  void pin(struct conn_state *p) { }
+  int main() {
+    long n = 4096;
+    conns = (struct conn_state*) malloc(n * sizeof(struct conn_state));
+    pin(conns);
+    for (long i = 0; i < n; i++) {
+      conns[i].proto_id = i % 3;
+      conns[i].flags = 1;
+      conns[i].bytes_rx = 0;
+      conns[i].bytes_tx = 0;
+      conns[i].peer_key = i * 17;
+      conns[i].last_seq = 0;
+    }
+    long routed = 0;
+    for (long r = 0; r < 64; r++) {
+      for (long i = 0; i < n; i++) {
+        // Per-packet path: reads the routing fields, writes the stats.
+        if (conns[i].proto_id != 2 && conns[i].flags != 0) {
+          routed += conns[i].peer_key & 15;
+          conns[i].bytes_rx = conns[i].bytes_rx + 64;
+          conns[i].bytes_tx = conns[i].bytes_tx + 32;
+          conns[i].last_seq = conns[i].last_seq + 1;
+        }
+      }
+    }
+    print_i64(routed);
+    free(conns);
+    return 0;
+  }
+)";
+
+int main() {
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  std::unique_ptr<Module> M =
+      compileMiniC(Ctx, "connstate", Program, Diags);
+  if (!M) {
+    std::fprintf(stderr, "compile error: %s\n", Diags[0].c_str());
+    return 1;
+  }
+
+  // Collect a profile so the report carries real read/write counts and
+  // d-cache events.
+  FeedbackFile Train;
+  RunOptions Opts;
+  Opts.Profile = &Train;
+  RunResult R = runProgram(*M, std::move(Opts));
+  if (R.Trapped) {
+    std::fprintf(stderr, "run trapped: %s\n", R.TrapReason.c_str());
+    return 1;
+  }
+
+  PipelineOptions POpts;
+  POpts.Scheme = WeightScheme::PBO;
+  POpts.AnalyzeOnly = true; // Advice only; no automatic transformation.
+  PipelineResult P = runStructLayoutPipeline(*M, POpts, &Train);
+
+  AdvisorInputs In;
+  In.M = M.get();
+  In.Legal = &P.Legality;
+  In.Stats = &P.Stats;
+  In.Cache = &Train;
+  In.Plans = &P.Plans;
+  In.MtNotes = true; // The §3.3 multi-threaded grouping advice.
+  std::printf("%s", renderAdvisorReport(In).c_str());
+
+  std::printf("\nIn a multi-threaded server, placing bytes_rx/bytes_tx/"
+              "last_seq on their own\ncache line (away from proto_id/"
+              "flags/peer_key) avoids invalidating the\nread-mostly line "
+              "on every packet.\n");
+  return 0;
+}

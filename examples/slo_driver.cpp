@@ -1,0 +1,185 @@
+//===- examples/slo_driver.cpp - Command-line front door ------------------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// A small driver exposing the whole toolchain on MiniC files, in the
+// spirit of the paper's -ipo flow plus its advisory option:
+//
+//   slo_driver [options] file1.minic [file2.minic ...]
+//     --advise          print the advisory report instead of transforming
+//     --pbo             profile first, then use PBO weights
+//     --scheme=NAME     ISPBO (default) | SPBO | ISPBO.NO | ISPBO.W | PBO
+//     --run             execute and report simulated cycles
+//     --dump-ir         print the (transformed) IR
+//     --param NAME=V    set an integer global before running
+//
+//===----------------------------------------------------------------------===//
+
+#include "advisor/AdvisorReport.h"
+#include "frontend/Frontend.h"
+#include "ir/IRPrinter.h"
+#include "pipeline/Pipeline.h"
+#include "runtime/Interpreter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace slo;
+
+namespace {
+
+struct DriverOptions {
+  bool Advise = false;
+  bool Pbo = false;
+  bool Run = false;
+  bool DumpIr = false;
+  WeightScheme Scheme = WeightScheme::ISPBO;
+  std::map<std::string, int64_t> Params;
+  std::vector<std::string> Files;
+};
+
+bool parseArgs(int argc, char **argv, DriverOptions &O) {
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--advise") {
+      O.Advise = true;
+    } else if (A == "--pbo") {
+      O.Pbo = true;
+      O.Scheme = WeightScheme::PBO;
+    } else if (A == "--run") {
+      O.Run = true;
+    } else if (A == "--dump-ir") {
+      O.DumpIr = true;
+    } else if (A.rfind("--scheme=", 0) == 0) {
+      std::string S = A.substr(9);
+      if (S == "ISPBO")
+        O.Scheme = WeightScheme::ISPBO;
+      else if (S == "SPBO")
+        O.Scheme = WeightScheme::SPBO;
+      else if (S == "ISPBO.NO")
+        O.Scheme = WeightScheme::ISPBO_NO;
+      else if (S == "ISPBO.W")
+        O.Scheme = WeightScheme::ISPBO_W;
+      else if (S == "PBO") {
+        O.Scheme = WeightScheme::PBO;
+        O.Pbo = true;
+      } else {
+        std::fprintf(stderr, "unknown scheme '%s'\n", S.c_str());
+        return false;
+      }
+    } else if (A == "--param" && I + 1 < argc) {
+      std::string P = argv[++I];
+      size_t Eq = P.find('=');
+      if (Eq == std::string::npos) {
+        std::fprintf(stderr, "--param expects NAME=VALUE\n");
+        return false;
+      }
+      O.Params[P.substr(0, Eq)] = std::stoll(P.substr(Eq + 1));
+    } else if (A.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+      return false;
+    } else {
+      O.Files.push_back(A);
+    }
+  }
+  if (O.Files.empty()) {
+    std::fprintf(stderr,
+                 "usage: slo_driver [--advise] [--pbo] [--run] [--dump-ir] "
+                 "[--scheme=NAME] [--param N=V] file.minic...\n");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  DriverOptions O;
+  if (!parseArgs(argc, argv, O))
+    return 2;
+
+  std::vector<std::string> Sources;
+  for (const std::string &File : O.Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", File.c_str());
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Sources.push_back(SS.str());
+  }
+
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  std::unique_ptr<Module> M =
+      compileProgram(Ctx, "program", Sources, Diags);
+  if (!M) {
+    for (const std::string &D : Diags)
+      std::fprintf(stderr, "error: %s\n", D.c_str());
+    return 1;
+  }
+
+  FeedbackFile Train;
+  if (O.Pbo) {
+    RunOptions PO;
+    PO.IntParams = O.Params;
+    PO.Profile = &Train;
+    RunResult R = runProgram(*M, std::move(PO));
+    if (R.Trapped) {
+      std::fprintf(stderr, "profiling run trapped: %s\n",
+                   R.TrapReason.c_str());
+      return 1;
+    }
+  }
+
+  PipelineOptions POpts;
+  POpts.Scheme = O.Scheme;
+  POpts.AnalyzeOnly = O.Advise;
+  PipelineResult R =
+      runStructLayoutPipeline(*M, POpts, O.Pbo ? &Train : nullptr);
+
+  if (O.Advise) {
+    AdvisorInputs In;
+    In.M = M.get();
+    In.Legal = &R.Legality;
+    In.Stats = &R.Stats;
+    In.Cache = O.Pbo ? &Train : nullptr;
+    In.Plans = &R.Plans;
+    std::printf("%s", renderAdvisorReport(In).c_str());
+  } else {
+    for (const std::string &Line : R.Summary.Log)
+      std::printf("%s\n", Line.c_str());
+    if (R.Summary.TypesTransformed == 0)
+      std::printf("no types transformed\n");
+  }
+
+  if (O.DumpIr)
+    std::printf("%s", printModule(*M).c_str());
+
+  if (O.Run) {
+    RunOptions RO;
+    RO.IntParams = O.Params;
+    RunResult Res = runProgram(*M, std::move(RO));
+    if (Res.Trapped) {
+      std::fprintf(stderr, "run trapped: %s\n", Res.TrapReason.c_str());
+      return 1;
+    }
+    std::printf("exit=%lld instructions=%llu cycles=%llu l1miss=%llu "
+                "l2miss=%llu l3miss=%llu\n",
+                static_cast<long long>(Res.ExitCode),
+                static_cast<unsigned long long>(Res.Instructions),
+                static_cast<unsigned long long>(Res.Cycles),
+                static_cast<unsigned long long>(Res.L1.Misses),
+                static_cast<unsigned long long>(Res.L2.Misses),
+                static_cast<unsigned long long>(Res.L3.Misses));
+    for (int64_t V : Res.PrintedInts)
+      std::printf("print_i64: %lld\n", static_cast<long long>(V));
+    for (double V : Res.PrintedFloats)
+      std::printf("print_f64: %g\n", V);
+  }
+  return 0;
+}

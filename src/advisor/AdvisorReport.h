@@ -1,0 +1,77 @@
+//===- advisor/AdvisorReport.h - The advisory tool -------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's advisory tool (§3): IPA prints annotated type layouts for
+/// all structure types, sorted by type hotness, in the format of the
+/// paper's Figure 2:
+///
+///   Type     : node
+///   Fields   : 15, 60 bytes
+///   Hotness  : 100.0% rel, 52.6% abs
+///   Transform: Splitting
+///   Status   : *OK* / GPTR HEAP FREE
+///   --------------------------------------------------------------
+///   Field[ 0] off:   0:0 |##--------| "number"
+///     hot  :   0.2%  weight: 5.367e+05
+///     read : 9.375e+05, write: 2.072e+03  |RRRRRRRR|
+///     miss : 2, 0.1%, lat: 9.5 [cyc]
+///     aff  : 100.0% --> number
+///   Field[ 1] off:   4:0 |----------| "ident" *unused*
+///
+/// The d-cache lines appear when a feedback file with cache events is
+/// supplied; affinities are printed unidirectionally in declaration
+/// order. A VCG/GDL graph emitter provides the paper's graphical output
+/// for the VCG tool [19].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_ADVISOR_ADVISORREPORT_H
+#define SLO_ADVISOR_ADVISORREPORT_H
+
+#include "analysis/Affinity.h"
+#include "analysis/Legality.h"
+#include "profile/FeedbackFile.h"
+#include "transform/Plan.h"
+
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// Everything the report renderer may consult. Only M, Legal, and Stats
+/// are required.
+struct AdvisorInputs {
+  const Module *M = nullptr;
+  const LegalityResult *Legal = nullptr;
+  const FieldStatsResult *Stats = nullptr;
+  /// Feedback with d-cache events (enables the miss/latency lines).
+  const FeedbackFile *Cache = nullptr;
+  /// Planned transformations (enables the "Transform:" line).
+  const std::vector<TypePlan> *Plans = nullptr;
+  /// Print at most this many types (0 = all).
+  unsigned MaxTypes = 0;
+  /// Skip types that were never referenced.
+  bool SkipColdTypes = true;
+  /// Append the multi-threading advice notes (§2.4/§3.3: group fields by
+  /// read/write behaviour to avoid coherency traffic). Advisory only.
+  bool MtNotes = false;
+};
+
+/// Renders the report for every type, hottest first.
+std::string renderAdvisorReport(const AdvisorInputs &In);
+
+/// Renders the report block for one type.
+std::string renderTypeReport(const AdvisorInputs &In, RecordType *Rec);
+
+/// Renders a VCG/GDL graph of one type's affinity graph, with edge
+/// thickness and color classes by relative weight.
+std::string renderVcgGraph(const TypeFieldStats &Stats);
+
+} // namespace slo
+
+#endif // SLO_ADVISOR_ADVISORREPORT_H

@@ -1,0 +1,46 @@
+//===- advisor/Correlation.cpp - Linear correlation -----------------------===//
+
+#include "advisor/Correlation.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace slo;
+
+double slo::pearsonCorrelation(const std::vector<double> &X,
+                               const std::vector<double> &Y) {
+  assert(X.size() == Y.size() && !X.empty() &&
+         "correlation needs equal, non-empty vectors");
+  double N = static_cast<double>(X.size());
+  double MeanX = 0, MeanY = 0;
+  for (size_t I = 0; I < X.size(); ++I) {
+    MeanX += X[I];
+    MeanY += Y[I];
+  }
+  MeanX /= N;
+  MeanY /= N;
+  double Cov = 0, VarX = 0, VarY = 0;
+  for (size_t I = 0; I < X.size(); ++I) {
+    double DX = X[I] - MeanX;
+    double DY = Y[I] - MeanY;
+    Cov += DX * DY;
+    VarX += DX * DX;
+    VarY += DY * DY;
+  }
+  if (VarX <= 0.0 || VarY <= 0.0)
+    return 0.0;
+  return Cov / (std::sqrt(VarX) * std::sqrt(VarY));
+}
+
+double slo::pearsonCorrelationExcluding(const std::vector<double> &X,
+                                        const std::vector<double> &Y,
+                                        size_t DropIndex) {
+  std::vector<double> XD, YD;
+  for (size_t I = 0; I < X.size(); ++I) {
+    if (I == DropIndex)
+      continue;
+    XD.push_back(X[I]);
+    YD.push_back(Y[I]);
+  }
+  return pearsonCorrelation(XD, YD);
+}

@@ -1,0 +1,38 @@
+//===- advisor/Correlation.h - Linear correlation --------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's correlation coefficient r (§2.3) used to compare the
+/// weighting schemes against the PBO baseline, and the r' variant that
+/// disregards one field (the paper drops `potential`, the globally
+/// hottest field, to show how much of DMISS's apparent correlation it
+/// carries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_ADVISOR_CORRELATION_H
+#define SLO_ADVISOR_CORRELATION_H
+
+#include <cstddef>
+#include <vector>
+
+namespace slo {
+
+/// Pearson's linear correlation coefficient between \p X and \p Y
+/// (equal, non-zero lengths). Returns 0 when either vector is constant.
+double pearsonCorrelation(const std::vector<double> &X,
+                          const std::vector<double> &Y);
+
+/// Pearson correlation with index \p DropIndex removed from both vectors
+/// (the paper's r').
+double pearsonCorrelationExcluding(const std::vector<double> &X,
+                                   const std::vector<double> &Y,
+                                   size_t DropIndex);
+
+} // namespace slo
+
+#endif // SLO_ADVISOR_CORRELATION_H

@@ -1,0 +1,41 @@
+//===- analysis/BlockFrequency.cpp - Local block frequencies --------------===//
+
+#include "analysis/BlockFrequency.h"
+
+#include <cmath>
+
+using namespace slo;
+
+BlockFrequencies::BlockFrequencies(const Function &F, const DominatorTree &DT,
+                                   const BranchProbabilities &BP)
+    : BP(BP) {
+  const BasicBlock *Entry = F.getEntry();
+  if (!Entry)
+    return;
+  for (const BasicBlock *BB : DT.reversePostOrder())
+    Freq[BB] = 0.0;
+  Freq[Entry] = 1.0;
+
+  // RPO sweeps until fixpoint. Each sweep propagates one more "lap" of
+  // every loop; with back edge probability p the error after k sweeps is
+  // O(p^k), so 2000 sweeps cover even the ISPBO.W cap of 0.98.
+  const unsigned MaxSweeps = 2000;
+  const double Tolerance = 1e-10;
+  for (unsigned Sweep = 0; Sweep < MaxSweeps; ++Sweep) {
+    double MaxDelta = 0.0;
+    for (const BasicBlock *BB : DT.reversePostOrder()) {
+      double In = BB == Entry ? 1.0 : 0.0;
+      for (const BasicBlock *P : DT.predecessors(BB))
+        In += Freq[P] * BP.getEdgeProb(P, BB);
+      MaxDelta = std::max(MaxDelta, std::fabs(In - Freq[BB]));
+      Freq[BB] = In;
+    }
+    if (MaxDelta < Tolerance)
+      break;
+  }
+}
+
+double BlockFrequencies::get(const BasicBlock *BB) const {
+  auto It = Freq.find(BB);
+  return It == Freq.end() ? 0.0 : It->second;
+}

@@ -1,0 +1,125 @@
+//===- analysis/BranchProbability.cpp - Static branch estimation ----------===//
+
+#include "analysis/BranchProbability.h"
+
+#include "support/Casting.h"
+
+using namespace slo;
+
+bool BranchProbabilities::loopHasFloatingPoint(const Loop &L) {
+  for (const BasicBlock *BB : L.blocks())
+    for (const auto &I : BB->instructions())
+      if (I->getType()->isFloat())
+        return true;
+  return false;
+}
+
+static bool blockReturns(const BasicBlock *BB) {
+  const Instruction *T = BB->getTerminator();
+  return T && T->getOpcode() == Instruction::OpRet;
+}
+
+BranchProbabilities::BranchProbabilities(const Function &F,
+                                         const LoopInfo &LI,
+                                         const BranchProbOptions &Opts) {
+  for (const auto &BB : F.blocks()) {
+    const Instruction *T = BB->getTerminator();
+    if (!T)
+      continue;
+    if (const auto *Br = dyn_cast<BrInst>(T)) {
+      Probs[{BB.get(), Br->getTarget()}] = 1.0;
+      continue;
+    }
+    const auto *CBr = dyn_cast<CondBrInst>(T);
+    if (!CBr)
+      continue;
+    const BasicBlock *TrueBB = CBr->getTrueTarget();
+    const BasicBlock *FalseBB = CBr->getFalseTarget();
+
+    double TrueProb = 0.5;
+    bool Decided = false;
+
+    // Loop heuristic: a conditional back/exit edge keeps iterating with
+    // the (possibly ISPBO.W-raised) back edge probability.
+    bool TrueBack = LI.isBackEdge(BB.get(), TrueBB);
+    bool FalseBack = LI.isBackEdge(BB.get(), FalseBB);
+    Loop *L = LI.getLoopFor(BB.get());
+    if (TrueBack != FalseBack) {
+      const Loop *Target = L;
+      // Find the loop this back edge belongs to.
+      const BasicBlock *Header = TrueBack ? TrueBB : FalseBB;
+      for (const Loop *Cand = L; Cand; Cand = Cand->getParent())
+        if (Cand->getHeader() == Header)
+          Target = Cand;
+      double P = (Target && loopHasFloatingPoint(*Target))
+                     ? Opts.FpLoopBackEdge
+                     : Opts.IntLoopBackEdge;
+      TrueProb = TrueBack ? P : 1.0 - P;
+      Decided = true;
+    } else if (L) {
+      // Loop exit heuristic: prefer the edge that stays in the loop.
+      bool TrueExits = !L->contains(TrueBB);
+      bool FalseExits = !L->contains(FalseBB);
+      if (TrueExits != FalseExits) {
+        double P = loopHasFloatingPoint(*L) ? Opts.FpLoopBackEdge
+                                            : Opts.IntLoopBackEdge;
+        TrueProb = TrueExits ? 1.0 - P : P;
+        Decided = true;
+      }
+    }
+
+    // Pointer heuristic: pointer (in)equality tests usually succeed on
+    // the not-equal side.
+    if (!Decided) {
+      if (const auto *Cmp = dyn_cast<CmpInst>(CBr->getCondition())) {
+        bool PtrCmp = Cmp->getLHS()->getType()->isPointer() ||
+                      Cmp->getRHS()->getType()->isPointer();
+        if (PtrCmp && Cmp->getOpcode() == Instruction::OpICmpEQ) {
+          TrueProb = 1.0 - Opts.PointerNotEqual;
+          Decided = true;
+        } else if (PtrCmp && Cmp->getOpcode() == Instruction::OpICmpNE) {
+          TrueProb = Opts.PointerNotEqual;
+          Decided = true;
+        }
+      }
+    }
+
+    // Opcode heuristic: comparisons against a negative outcome ("x < 0")
+    // are usually false.
+    if (!Decided) {
+      if (const auto *Cmp = dyn_cast<CmpInst>(CBr->getCondition())) {
+        const auto *RC = dyn_cast<ConstantInt>(Cmp->getRHS());
+        bool AgainstZero = RC && RC->getValue() == 0;
+        if (AgainstZero && (Cmp->getOpcode() == Instruction::OpICmpSLT ||
+                            Cmp->getOpcode() == Instruction::OpICmpSLE)) {
+          TrueProb = 1.0 - Opts.OpcodeNegativeFalse;
+          Decided = true;
+        }
+      }
+    }
+
+    // Return heuristic: avoid blocks that immediately return.
+    if (!Decided) {
+      bool TrueRets = blockReturns(TrueBB);
+      bool FalseRets = blockReturns(FalseBB);
+      if (TrueRets != FalseRets) {
+        TrueProb = TrueRets ? 1.0 - Opts.AvoidReturn : Opts.AvoidReturn;
+        Decided = true;
+      }
+    }
+
+    Probs[{BB.get(), TrueBB}] = TrueProb;
+    // Accumulate rather than overwrite, in case both targets coincide.
+    auto It = Probs.find({BB.get(), FalseBB});
+    if (TrueBB == FalseBB && It != Probs.end())
+      It->second = 1.0;
+    else
+      Probs[{BB.get(), FalseBB}] = 1.0 - TrueProb;
+  }
+}
+
+double BranchProbabilities::getEdgeProb(const BasicBlock *From,
+                                        const BasicBlock *To) const {
+  auto It = Probs.find({From, To});
+  return It == Probs.end() ? 0.0 : It->second;
+}

@@ -1,0 +1,125 @@
+//===- analysis/CallGraph.cpp - Call graph and SCCs -----------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "support/Casting.h"
+
+#include <set>
+
+#include <algorithm>
+
+using namespace slo;
+
+namespace {
+
+/// Iterative Tarjan SCC over the call graph.
+class TarjanScc {
+public:
+  TarjanScc(const std::vector<const Function *> &Nodes,
+            const std::map<const Function *, std::vector<const Function *>>
+                &Succs)
+      : Succs(Succs) {
+    for (const Function *F : Nodes)
+      if (!Index.count(F))
+        strongConnect(F);
+  }
+
+  std::map<const Function *, unsigned> SccId;
+  std::vector<std::vector<const Function *>> Sccs; // reverse topological
+
+private:
+  struct Frame {
+    const Function *F;
+    size_t NextSucc = 0;
+  };
+
+  void strongConnect(const Function *Root) {
+    std::vector<Frame> CallStack;
+    CallStack.push_back({Root});
+    push(Root);
+    while (!CallStack.empty()) {
+      Frame &Top = CallStack.back();
+      const auto &S = Succs.at(Top.F);
+      if (Top.NextSucc < S.size()) {
+        const Function *W = S[Top.NextSucc++];
+        if (!Index.count(W)) {
+          push(W);
+          CallStack.push_back({W});
+        } else if (OnStack.count(W)) {
+          Low[Top.F] = std::min(Low[Top.F], Index[W]);
+        }
+      } else {
+        if (Low[Top.F] == Index[Top.F]) {
+          std::vector<const Function *> Scc;
+          const Function *W;
+          do {
+            W = Stack.back();
+            Stack.pop_back();
+            OnStack.erase(W);
+            SccId[W] = static_cast<unsigned>(Sccs.size());
+            Scc.push_back(W);
+          } while (W != Top.F);
+          Sccs.push_back(std::move(Scc));
+        }
+        const Function *Done = Top.F;
+        CallStack.pop_back();
+        if (!CallStack.empty())
+          Low[CallStack.back().F] =
+              std::min(Low[CallStack.back().F], Low[Done]);
+      }
+    }
+  }
+
+  void push(const Function *F) {
+    Index[F] = Low[F] = Counter++;
+    Stack.push_back(F);
+    OnStack.insert(F);
+  }
+
+  const std::map<const Function *, std::vector<const Function *>> &Succs;
+  std::map<const Function *, unsigned> Index, Low;
+  std::set<const Function *> OnStack;
+  std::vector<const Function *> Stack;
+  unsigned Counter = 0;
+};
+
+} // namespace
+
+CallGraph::CallGraph(const Module &M) : M(M) {
+  std::vector<const Function *> Nodes;
+  std::map<const Function *, std::vector<const Function *>> Succs;
+  for (const auto &F : M.functions()) {
+    Nodes.push_back(F.get());
+    Succs[F.get()] = {};
+  }
+
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        const auto *C = dyn_cast<CallInst>(I.get());
+        if (!C)
+          continue;
+        CallSiteInfo Info;
+        Info.Call = C;
+        Info.Caller = F.get();
+        Info.Callee = C->getCallee();
+        Sites.push_back(Info);
+        Succs[F.get()].push_back(C->getCallee());
+      }
+    }
+  }
+  for (const CallSiteInfo &S : Sites)
+    Callers[S.Callee].push_back(&S);
+
+  TarjanScc T(Nodes, Succs);
+  SccId = std::move(T.SccId);
+  // Tarjan emits SCCs in reverse topological order; reverse to get
+  // callers-first.
+  SccsTopo.assign(T.Sccs.rbegin(), T.Sccs.rend());
+}
+
+const std::vector<const CallSiteInfo *> &
+CallGraph::callersOf(const Function *F) const {
+  auto It = Callers.find(F);
+  return It == Callers.end() ? Empty : It->second;
+}

@@ -1,0 +1,78 @@
+//===- analysis/CallGraph.h - Call graph and SCCs --------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct call graph over a whole-program module with Tarjan SCCs, used
+/// by the ISPBO inter-procedural frequency propagation ("our propagation
+/// algorithm properly handles recursion in the call graph", paper §2.3).
+/// Indirect call sites have unknown targets and contribute no edges; the
+/// legality analysis invalidates any record type escaping through them
+/// anyway (IND).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_ANALYSIS_CALLGRAPH_H
+#define SLO_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <vector>
+
+namespace slo {
+
+/// A direct call site.
+struct CallSiteInfo {
+  const CallInst *Call = nullptr;
+  const Function *Caller = nullptr;
+  const Function *Callee = nullptr;
+};
+
+/// Whole-program direct call graph.
+class CallGraph {
+public:
+  explicit CallGraph(const Module &M);
+
+  const Module &getModule() const { return M; }
+
+  /// All direct call sites, in module order.
+  const std::vector<CallSiteInfo> &callSites() const { return Sites; }
+
+  /// Call sites whose callee is \p F.
+  const std::vector<const CallSiteInfo *> &
+  callersOf(const Function *F) const;
+
+  /// SCC id of \p F; functions in the same recursion cycle share an id.
+  /// Ids are assigned in reverse topological order by Tarjan's algorithm,
+  /// so callers have HIGHER ids than their callees (outside cycles).
+  unsigned getSccId(const Function *F) const { return SccId.at(F); }
+
+  /// SCCs in topological order (callers before callees), each a list of
+  /// member functions.
+  const std::vector<std::vector<const Function *>> &
+  sccsTopological() const {
+    return SccsTopo;
+  }
+
+  /// Returns true if the edge Caller->Callee stays within one SCC
+  /// (i.e. is part of a recursion cycle).
+  bool isIntraScc(const Function *Caller, const Function *Callee) const {
+    return getSccId(Caller) == getSccId(Callee);
+  }
+
+private:
+  const Module &M;
+  std::vector<CallSiteInfo> Sites;
+  std::map<const Function *, std::vector<const CallSiteInfo *>> Callers;
+  std::map<const Function *, unsigned> SccId;
+  std::vector<std::vector<const Function *>> SccsTopo;
+  std::vector<const CallSiteInfo *> Empty;
+};
+
+} // namespace slo
+
+#endif // SLO_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,97 @@
+//===- analysis/Dominators.cpp - Dominator tree ---------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <set>
+
+using namespace slo;
+
+DominatorTree::DominatorTree(const Function &F) : F(F) {
+  const BasicBlock *Entry = F.getEntry();
+  if (!Entry)
+    return;
+
+  // Iterative post-order DFS.
+  std::set<const BasicBlock *> Visited;
+  std::vector<std::pair<const BasicBlock *, size_t>> Stack;
+  std::vector<const BasicBlock *> Post;
+  Stack.push_back({Entry, 0});
+  Visited.insert(Entry);
+  while (!Stack.empty()) {
+    auto &[BB, Idx] = Stack.back();
+    auto Succs = BB->successors();
+    if (Idx < Succs.size()) {
+      const BasicBlock *S = Succs[Idx++];
+      if (Visited.insert(S).second)
+        Stack.push_back({S, 0});
+    } else {
+      Post.push_back(BB);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+  for (size_t I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  for (const auto &BB : F.blocks())
+    for (const BasicBlock *S : BB->successors())
+      if (isReachable(BB.get()))
+        Preds[S].push_back(BB.get());
+
+  // Cooper-Harvey-Kennedy iteration.
+  Idom[Entry] = Entry;
+  auto Intersect = [&](const BasicBlock *A, const BasicBlock *B) {
+    while (A != B) {
+      while (RpoIndex.at(A) > RpoIndex.at(B))
+        A = Idom.at(A);
+      while (RpoIndex.at(B) > RpoIndex.at(A))
+        B = Idom.at(B);
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock *BB : Rpo) {
+      if (BB == Entry)
+        continue;
+      const BasicBlock *NewIdom = nullptr;
+      for (const BasicBlock *P : Preds[BB]) {
+        if (!Idom.count(P))
+          continue;
+        NewIdom = NewIdom ? Intersect(P, NewIdom) : P;
+      }
+      if (NewIdom && (!Idom.count(BB) || Idom[BB] != NewIdom)) {
+        Idom[BB] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+const BasicBlock *DominatorTree::getIdom(const BasicBlock *BB) const {
+  auto It = Idom.find(BB);
+  if (It == Idom.end() || It->second == BB)
+    return nullptr;
+  return It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  while (true) {
+    if (A == B)
+      return true;
+    const BasicBlock *Next = getIdom(B);
+    if (!Next)
+      return false;
+    B = Next;
+  }
+}
+
+const std::vector<const BasicBlock *> &
+DominatorTree::predecessors(const BasicBlock *BB) const {
+  auto It = Preds.find(BB);
+  return It == Preds.end() ? Empty : It->second;
+}

@@ -1,0 +1,65 @@
+//===- analysis/Dominators.h - Dominator tree ------------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm, plus
+/// the CFG predecessor lists and reverse post-order every other analysis
+/// wants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_ANALYSIS_DOMINATORS_H
+#define SLO_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <vector>
+
+namespace slo {
+
+/// Dominator information for one function.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  const Function &getFunction() const { return F; }
+
+  /// The immediate dominator, or nullptr for the entry block and
+  /// unreachable blocks.
+  const BasicBlock *getIdom(const BasicBlock *BB) const;
+
+  /// Returns true if \p A dominates \p B (reflexive). Unreachable blocks
+  /// dominate nothing and are dominated by nothing.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  bool isReachable(const BasicBlock *BB) const {
+    return RpoIndex.count(BB) != 0;
+  }
+
+  /// Reachable blocks in reverse post-order (entry first).
+  const std::vector<const BasicBlock *> &reversePostOrder() const {
+    return Rpo;
+  }
+
+  /// CFG predecessors of \p BB (may contain duplicates for condbr with
+  /// identical targets; callers that care deduplicate).
+  const std::vector<const BasicBlock *> &
+  predecessors(const BasicBlock *BB) const;
+
+private:
+  const Function &F;
+  std::vector<const BasicBlock *> Rpo;
+  std::map<const BasicBlock *, size_t> RpoIndex;
+  std::map<const BasicBlock *, const BasicBlock *> Idom;
+  std::map<const BasicBlock *, std::vector<const BasicBlock *>> Preds;
+  std::vector<const BasicBlock *> Empty;
+};
+
+} // namespace slo
+
+#endif // SLO_ANALYSIS_DOMINATORS_H

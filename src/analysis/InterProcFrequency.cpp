@@ -1,0 +1,75 @@
+//===- analysis/InterProcFrequency.cpp - ISPBO propagation ----------------===//
+
+#include "analysis/InterProcFrequency.h"
+
+#include <cmath>
+
+using namespace slo;
+
+InterProcFrequencies::InterProcFrequencies(const StaticEstimator &SE,
+                                           const CallGraph &CG,
+                                           const InterProcOptions &Opts)
+    : SE(SE), Opts(Opts) {
+  const Module &M = SE.getModule();
+  for (const auto &F : M.functions())
+    GlobalCount[F.get()] = 0.0;
+
+  const Function *Entry = M.lookupFunction(Opts.EntryFunction);
+  if (Entry)
+    GlobalCount[Entry] = 1.0;
+
+  // The local frequency of the block containing a call site is E_loc(c);
+  // with N_loc = 1, E_g(c) = E_loc(c) * N_g(caller).
+  auto LocalSiteFreq = [&](const CallSiteInfo *S) {
+    if (S->Caller->isDeclaration())
+      return 0.0;
+    const FunctionStaticAnalyses &A = SE.get(S->Caller);
+    return A.BF->get(S->Call->getParent());
+  };
+
+  // Pass 1: topological sweep over the SCC condensation, using only edges
+  // from outside each SCC.
+  for (const auto &Scc : CG.sccsTopological()) {
+    for (const Function *F : Scc) {
+      double N = GlobalCount[F]; // 1 for the entry, 0 otherwise.
+      for (const CallSiteInfo *S : CG.callersOf(F)) {
+        if (CG.isIntraScc(S->Caller, F))
+          continue;
+        N += LocalSiteFreq(S) * GlobalCount[S->Caller];
+      }
+      GlobalCount[F] = N;
+    }
+    // Pass 2 (within the SCC): one relaxation round for recursive edges,
+    // approximating recursion as a single extra level. A no-op for
+    // non-recursive SCCs (no intra-SCC edges exist).
+    std::map<const Function *, double> Extra;
+    for (const Function *F : Scc) {
+      double Add = 0.0;
+      for (const CallSiteInfo *S : CG.callersOf(F))
+        if (CG.isIntraScc(S->Caller, F))
+          Add += LocalSiteFreq(S) * GlobalCount[S->Caller];
+      Extra[F] = Add;
+    }
+    for (const Function *F : Scc)
+      GlobalCount[F] += Extra[F];
+  }
+}
+
+double InterProcFrequencies::getGlobalCount(const Function *F) const {
+  auto It = GlobalCount.find(F);
+  return It == GlobalCount.end() ? 0.0 : It->second;
+}
+
+double InterProcFrequencies::getScale(const Function *F) const {
+  double S = getGlobalCount(F);
+  if (S <= 0.0)
+    return 0.0;
+  return Opts.ApplyExponent ? std::pow(S, Opts.Exponent) : S;
+}
+
+double InterProcFrequencies::getBlockWeight(const BasicBlock *BB) const {
+  const Function *F = BB->getParent();
+  if (F->isDeclaration())
+    return 0.0;
+  return SE.get(F).BF->get(BB) * getScale(F);
+}

@@ -1,0 +1,72 @@
+//===- analysis/InterProcFrequency.h - ISPBO propagation -------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's inter-procedurally scaled static frequencies (ISPBO,
+/// §2.3): execution counts are propagated top-down over the call graph
+/// with N_g(main) = 1, N_g(f) = sum of E_g(c) over call sites c, and
+/// per-block global counts C_g(b) = C_loc(b) * N_g(f) / N_loc(f). Local
+/// frequencies are normalized so N_loc(f) = 1.
+///
+/// Because the purely static per-loop probabilities produce "too flat"
+/// hotness histograms, the paper scales the derived factors S by an
+/// exponent E (default 1.5); ISPBO.NO is the unexponentiated variant.
+/// Recursion is handled by processing call-graph SCCs in topological
+/// order; edges inside an SCC contribute one additional relaxation pass
+/// (recursion depth approximated as one level; documented deviation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_ANALYSIS_INTERPROCFREQUENCY_H
+#define SLO_ANALYSIS_INTERPROCFREQUENCY_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/StaticEstimator.h"
+
+#include <map>
+
+namespace slo {
+
+struct InterProcOptions {
+  /// The paper's separability exponent E applied to the scaling factors.
+  double Exponent = 1.5;
+  /// When false, the raw scaling factor is used (the ISPBO.NO column).
+  bool ApplyExponent = true;
+  /// Name of the program entry function.
+  std::string EntryFunction = "main";
+};
+
+/// Global (whole-program) function and block frequencies from static
+/// estimation.
+class InterProcFrequencies {
+public:
+  InterProcFrequencies(const StaticEstimator &SE, const CallGraph &CG,
+                       const InterProcOptions &Opts = InterProcOptions());
+
+  /// N_g(f): expected invocations of \p F per program run.
+  double getGlobalCount(const Function *F) const;
+
+  /// The scaling factor applied to local counts in \p F: N_g^E (or N_g
+  /// when the exponent is disabled).
+  double getScale(const Function *F) const;
+
+  /// C_g(b): globally scaled execution count of \p BB.
+  double getBlockWeight(const BasicBlock *BB) const;
+
+  /// Globally scaled entry weight of \p F (the weight given to its
+  /// straight-line affinity group).
+  double getEntryWeight(const Function *F) const { return getScale(F); }
+
+private:
+  const StaticEstimator &SE;
+  InterProcOptions Opts;
+  std::map<const Function *, double> GlobalCount;
+};
+
+} // namespace slo
+
+#endif // SLO_ANALYSIS_INTERPROCFREQUENCY_H

@@ -1,0 +1,496 @@
+//===- analysis/Legality.cpp - Structure layout legality ------------------===//
+
+#include "analysis/Legality.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+using namespace slo;
+
+const char *slo::violationName(Violation V) {
+  switch (V) {
+  case Violation::CSTT:
+    return "CSTT";
+  case Violation::CSTF:
+    return "CSTF";
+  case Violation::ATKN:
+    return "ATKN";
+  case Violation::LIBC:
+    return "LIBC";
+  case Violation::IND:
+    return "IND";
+  case Violation::SMAL:
+    return "SMAL";
+  case Violation::MSET:
+    return "MSET";
+  case Violation::NEST:
+    return "NEST";
+  case Violation::UNSZ:
+    return "UNSZ";
+  case Violation::ESCP:
+    return "ESCP";
+  }
+  return "????";
+}
+
+std::string slo::violationMaskToString(uint32_t Mask) {
+  static const Violation All[] = {
+      Violation::CSTT, Violation::CSTF, Violation::ATKN, Violation::LIBC,
+      Violation::IND,  Violation::SMAL, Violation::MSET, Violation::NEST,
+      Violation::UNSZ, Violation::ESCP};
+  std::string Out;
+  for (Violation V : All) {
+    if (!(Mask & violationBit(V)))
+      continue;
+    if (!Out.empty())
+      Out += "|";
+    Out += violationName(V);
+  }
+  return Out;
+}
+
+std::string TypeAttributes::toString() const {
+  std::string Out;
+  auto Add = [&](bool Flag, const char *Name) {
+    if (!Flag)
+      return;
+    if (!Out.empty())
+      Out += " ";
+    Out += Name;
+  };
+  Add(HasGlobalVar, "GVAR");
+  Add(HasLocalVar, "LVAR");
+  Add(HasGlobalPtr, "GPTR");
+  Add(HasLocalPtr, "LPTR");
+  Add(HasStaticArray, "ARRY");
+  Add(DynamicallyAllocated, "HEAP");
+  Add(Freed, "FREE");
+  Add(Reallocated, "REAL");
+  Add(HasRecursivePtrField, "RPTR");
+  Add(PassedToFunction, "PARG");
+  return Out;
+}
+
+RecordType *slo::strippedRecord(Type *Ty) {
+  while (true) {
+    if (auto *PT = dyn_cast<PointerType>(Ty)) {
+      Ty = PT->getPointee();
+      continue;
+    }
+    if (auto *AT = dyn_cast<ArrayType>(Ty)) {
+      Ty = AT->getElementType();
+      continue;
+    }
+    break;
+  }
+  return dyn_cast<RecordType>(Ty);
+}
+
+const TypeLegality &LegalityResult::get(const RecordType *Rec) const {
+  auto It = Map.find(Rec);
+  if (It == Map.end())
+    reportFatalError("legality requested for unanalyzed type '" +
+                     Rec->getRecordName() + "'");
+  return It->second;
+}
+
+TypeLegality &LegalityResult::getOrCreate(RecordType *Rec) {
+  auto It = Map.find(Rec);
+  if (It != Map.end())
+    return It->second;
+  TypeLegality &L = Map[Rec];
+  L.Rec = Rec;
+  Order.push_back(Rec);
+  return L;
+}
+
+std::vector<RecordType *> LegalityResult::legalTypes(bool Relax) const {
+  std::vector<RecordType *> Out;
+  for (RecordType *R : Order)
+    if (Map.at(R).isLegal(Relax))
+      Out.push_back(R);
+  return Out;
+}
+
+namespace {
+
+/// The single-pass FE legality walk plus the IPA aggregation.
+class LegalityAnalyzer {
+public:
+  LegalityAnalyzer(const Module &M, const LegalityOptions &Opts)
+      : M(M), Opts(Opts) {}
+
+  LegalityResult run() {
+    // Seed every completed record type so even unreferenced types show up
+    // in the census (Table 1 counts all types).
+    for (RecordType *R : M.getTypes().records())
+      if (!R->isOpaque())
+        Result.getOrCreate(R);
+
+    collectTypeShapes();
+    for (const auto &G : M.globals())
+      collectGlobal(*G);
+    for (const auto &F : M.functions())
+      collectFunction(*F);
+    aggregate();
+    return std::move(Result);
+  }
+
+private:
+  void flag(RecordType *R, Violation V) {
+    if (R)
+      Result.getOrCreate(R).Violations |= violationBit(V);
+  }
+  TypeAttributes *attrs(RecordType *R) {
+    return R ? &Result.getOrCreate(R).Attrs : nullptr;
+  }
+
+  /// NEST and recursive-pointer attributes come from the type shapes
+  /// themselves.
+  void collectTypeShapes() {
+    for (RecordType *R : M.getTypes().records()) {
+      if (R->isOpaque())
+        continue;
+      for (const Field &F : R->fields()) {
+        Type *FT = F.Ty;
+        // By-value nesting (directly or through a fixed array) marks both
+        // the outer and the inner record invalid (paper: implementation
+        // limitation NEST).
+        Type *Stripped = FT;
+        while (auto *AT = dyn_cast<ArrayType>(Stripped))
+          Stripped = AT->getElementType();
+        if (auto *Inner = dyn_cast<RecordType>(Stripped)) {
+          flag(R, Violation::NEST);
+          flag(Inner, Violation::NEST);
+        }
+        // Pointer fields referring to records: attribute only (affects
+        // peeling eligibility, not legality).
+        if (FT->isPointer())
+          if (RecordType *Target = strippedRecord(FT))
+            Result.getOrCreate(Target).Attrs.HasRecursivePtrField = true;
+      }
+    }
+  }
+
+  void collectGlobal(const GlobalVariable &G) {
+    Type *VT = G.getValueType();
+    if (auto *R = dyn_cast<RecordType>(VT))
+      attrs(R)->HasGlobalVar = true;
+    if (auto *PT = dyn_cast<PointerType>(VT)) {
+      if (RecordType *R = strippedRecord(PT)) {
+        attrs(R)->HasGlobalPtr = true;
+        Result.getOrCreate(R).PointerGlobals.push_back(
+            const_cast<GlobalVariable *>(&G));
+      }
+    }
+    if (auto *AT = dyn_cast<ArrayType>(VT))
+      if (auto *R = dyn_cast<RecordType>(AT->getElementType()))
+        attrs(R)->HasStaticArray = true;
+  }
+
+  void collectFunction(const Function &F) {
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        collectInstruction(*I);
+  }
+
+  void collectInstruction(const Instruction &I) {
+    switch (I.getOpcode()) {
+    case Instruction::OpAlloca: {
+      const auto *A = cast<AllocaInst>(&I);
+      Type *Ty = A->getAllocatedType();
+      if (auto *R = dyn_cast<RecordType>(Ty))
+        attrs(R)->HasLocalVar = true;
+      if (Ty->isPointer())
+        if (RecordType *R = strippedRecord(Ty))
+          attrs(R)->HasLocalPtr = true;
+      if (auto *AT = dyn_cast<ArrayType>(Ty))
+        if (auto *R = dyn_cast<RecordType>(AT->getElementType()))
+          attrs(R)->HasStaticArray = true;
+      return;
+    }
+    case Instruction::OpBitcast:
+      collectCast(*cast<CastInst>(&I));
+      return;
+    case Instruction::OpPtrToInt: {
+      const auto *C = cast<CastInst>(&I);
+      if (RecordType *R = strippedRecord(C->getCastOperand()->getType()))
+        flag(R, Violation::CSTF);
+      return;
+    }
+    case Instruction::OpIntToPtr: {
+      const auto *C = cast<CastInst>(&I);
+      if (RecordType *R = strippedRecord(C->getType()))
+        flag(R, Violation::CSTT);
+      return;
+    }
+    case Instruction::OpFieldAddr:
+      collectFieldAddr(*cast<FieldAddrInst>(&I));
+      return;
+    case Instruction::OpStore: {
+      const auto *S = cast<StoreInst>(&I);
+      // Stores of record-pointer values (into any memory) matter for
+      // peeling eligibility.
+      Type *VT = S->getStoredValue()->getType();
+      if (VT->isPointer())
+        if (RecordType *R = strippedRecord(VT))
+          attrs(R)->PtrValueStores += 1;
+      return;
+    }
+    case Instruction::OpCall:
+      collectCall(*cast<CallInst>(&I));
+      return;
+    case Instruction::OpICall: {
+      const auto *C = cast<IndirectCallInst>(&I);
+      for (unsigned A = 0; A < C->getNumArgs(); ++A)
+        if (RecordType *R = strippedRecord(C->getArg(A)->getType()))
+          flag(R, Violation::IND);
+      if (RecordType *R = strippedRecord(C->getType()))
+        flag(R, Violation::IND);
+      return;
+    }
+    case Instruction::OpMalloc:
+    case Instruction::OpCalloc:
+      collectAllocation(I);
+      return;
+    case Instruction::OpRealloc: {
+      const auto *R = cast<ReallocInst>(&I);
+      if (RecordType *Rec = strippedRecord(R->getPtr()->getType()))
+        attrs(Rec)->Reallocated = true;
+      return;
+    }
+    case Instruction::OpFree: {
+      const auto *Fr = cast<FreeInst>(&I);
+      if (RecordType *Rec = strippedRecord(Fr->getPtr()->getType())) {
+        attrs(Rec)->Freed = true;
+        Result.getOrCreate(Rec).FreeSites.push_back(
+            const_cast<Instruction *>(&I));
+      }
+      return;
+    }
+    case Instruction::OpMemset: {
+      const auto *Ms = cast<MemsetInst>(&I);
+      if (RecordType *Rec = strippedRecord(Ms->getPtr()->getType()))
+        flag(Rec, Violation::MSET);
+      return;
+    }
+    case Instruction::OpMemcpy: {
+      const auto *Mc = cast<MemcpyInst>(&I);
+      if (RecordType *Rec = strippedRecord(Mc->getDst()->getType()))
+        flag(Rec, Violation::MSET);
+      if (RecordType *Rec = strippedRecord(Mc->getSrc()->getType()))
+        flag(Rec, Violation::MSET);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  /// Returns true when \p Cast is the benign array-to-pointer decay the
+  /// frontend emits ([N x T]* -> T*).
+  static bool isArrayDecay(const CastInst &Cast) {
+    auto *SrcPT = dyn_cast<PointerType>(Cast.getCastOperand()->getType());
+    auto *DstPT = dyn_cast<PointerType>(Cast.getType());
+    if (!SrcPT || !DstPT)
+      return false;
+    auto *AT = dyn_cast<ArrayType>(SrcPT->getPointee());
+    return AT && AT->getElementType() == DstPT->getPointee();
+  }
+
+  void collectCast(const CastInst &Cast) {
+    if (isArrayDecay(Cast))
+      return;
+    RecordType *From = strippedRecord(Cast.getCastOperand()->getType());
+    RecordType *To = strippedRecord(Cast.getType());
+    if (From == To && From) {
+      // T** -> T* style casts still count as unsafe use of T.
+      flag(From, Violation::CSTF);
+      flag(To, Violation::CSTT);
+      return;
+    }
+    if (From)
+      flag(From, Violation::CSTF);
+    if (To) {
+      // The paper's tolerance list: casts of malloc()/calloc() return
+      // values are the idiomatic typed allocation and do not invalidate.
+      const Value *Src = Cast.getCastOperand();
+      bool FromAllocator = isa<MallocInst>(Src) || isa<CallocInst>(Src) ||
+                           isa<ReallocInst>(Src);
+      if (!FromAllocator)
+        flag(To, Violation::CSTT);
+    }
+  }
+
+  void collectFieldAddr(const FieldAddrInst &FA) {
+    RecordType *Rec = FA.getRecord();
+    for (const Instruction *U : FA.users()) {
+      switch (U->getOpcode()) {
+      case Instruction::OpLoad:
+        continue; // Loading the field: fine.
+      case Instruction::OpStore:
+        // Storing *through* the field address is fine; storing the
+        // address itself is ATKN.
+        if (cast<StoreInst>(U)->getPointer() == &FA)
+          continue;
+        flag(Rec, Violation::ATKN);
+        continue;
+      case Instruction::OpCall:
+        // Tolerated: "if the address of a field is taken in the context
+        // of a function call, we do not invalidate the type" (paper).
+        // But the field type itself escaping to a library function is
+        // handled in collectCall.
+        continue;
+      case Instruction::OpMemset:
+      case Instruction::OpMemcpy:
+        // Streaming over a field: treat as MSET on the parent.
+        flag(Rec, Violation::MSET);
+        continue;
+      default:
+        flag(Rec, Violation::ATKN);
+        continue;
+      }
+    }
+  }
+
+  void collectCall(const CallInst &C) {
+    const Function *Callee = C.getCallee();
+    auto NoteEscape = [&](RecordType *R) {
+      if (!R)
+        return;
+      TypeLegality &L = Result.getOrCreate(R);
+      L.Attrs.PassedToFunction = true;
+      if (Callee->isLibFunction()) {
+        flag(R, Violation::LIBC);
+      } else if (Callee->isDeclaration()) {
+        // Post-link, a non-library declaration means the definition is
+        // outside the compilation scope.
+        flag(R, Violation::ESCP);
+      } else {
+        L.EscapesTo.insert(Callee);
+      }
+    };
+    for (unsigned A = 0; A < C.getNumArgs(); ++A)
+      NoteEscape(strippedRecord(C.getArg(A)->getType()));
+    NoteEscape(strippedRecord(C.getCallee()->getReturnType()));
+  }
+
+  /// Pattern-matches the allocation size and records the site under the
+  /// record the result is cast to.
+  void collectAllocation(const Instruction &I) {
+    // The byte-size expression (malloc) or element size (calloc).
+    Value *SizeExpr = nullptr;
+    Value *CountExpr = nullptr; // calloc's explicit count
+    if (const auto *Mal = dyn_cast<MallocInst>(&I)) {
+      SizeExpr = Mal->getSizeBytes();
+    } else {
+      const auto *Cal = cast<CallocInst>(&I);
+      SizeExpr = Cal->getElemSize();
+      CountExpr = Cal->getCount();
+    }
+
+    // Which record does the result become? Look at bitcast users.
+    RecordType *Target = nullptr;
+    Instruction *CastInstr = nullptr;
+    for (Instruction *U : I.users()) {
+      if (U->getOpcode() != Instruction::OpBitcast)
+        continue;
+      if (RecordType *R = strippedRecord(U->getType())) {
+        Target = R;
+        CastInstr = U;
+        break;
+      }
+    }
+    if (!Target)
+      return; // Allocation of non-record memory: not our concern.
+
+    TypeLegality &L = Result.getOrCreate(Target);
+    L.Attrs.DynamicallyAllocated = true;
+
+    AllocSiteInfo Site;
+    Site.Alloc = const_cast<Instruction *>(&I);
+    Site.CastToRecord = CastInstr;
+
+    int64_t RecSize = static_cast<int64_t>(Target->getSize());
+    auto DecomposeSize = [&](Value *Bytes) {
+      // Case 1: plain or attributed constant.
+      if (auto *CI = dyn_cast<ConstantInt>(Bytes)) {
+        if (CI->getValue() % RecSize == 0) {
+          Site.ConstCount = CI->getValue() / RecSize;
+          return true;
+        }
+        return false;
+      }
+      // Case 2: Mul(N, sizeof(T)) in either operand order. Prefer the
+      // sizeof-attributed constant as the size factor: a plain constant
+      // count can numerically equal sizeof(T) (e.g. 64 elements of a
+      // 64-byte record) and must not be mistaken for it.
+      if (auto *Mul = dyn_cast<BinaryInst>(Bytes)) {
+        if (Mul->getOpcode() != Instruction::OpMul)
+          return false;
+        int SizeSide = -1;
+        for (unsigned Side = 0; Side < 2; ++Side) {
+          auto *CI = dyn_cast<ConstantInt>(Mul->getOperand(Side));
+          if (CI && CI->getSizeOfRecord() == Target) {
+            SizeSide = static_cast<int>(Side);
+            break;
+          }
+        }
+        if (SizeSide < 0) {
+          for (unsigned Side = 0; Side < 2; ++Side) {
+            auto *CI = dyn_cast<ConstantInt>(Mul->getOperand(Side));
+            if (CI && !CI->isSizeOf() && CI->getValue() == RecSize) {
+              SizeSide = static_cast<int>(Side);
+              break;
+            }
+          }
+        }
+        if (SizeSide >= 0) {
+          Value *N = Mul->getOperand(1 - static_cast<unsigned>(SizeSide));
+          Site.CountValue = N;
+          if (auto *NC = dyn_cast<ConstantInt>(N))
+            Site.ConstCount = NC->getValue();
+          return true;
+        }
+      }
+      return false;
+    };
+
+    if (CountExpr) {
+      // calloc(N, size): the element size must match sizeof(T).
+      auto *CI = dyn_cast<ConstantInt>(SizeExpr);
+      if (CI && CI->getValue() == RecSize) {
+        Site.CountValue = CountExpr;
+        if (auto *NC = dyn_cast<ConstantInt>(CountExpr))
+          Site.ConstCount = NC->getValue();
+      } else {
+        Site.Unanalyzable = true;
+      }
+    } else if (!DecomposeSize(SizeExpr)) {
+      Site.Unanalyzable = true;
+    }
+
+    if (Site.Unanalyzable)
+      flag(Target, Violation::UNSZ);
+    else if (Site.ConstCount >= 0 &&
+             Site.ConstCount <= Opts.SmallAllocThreshold)
+      flag(Target, Violation::SMAL);
+    L.AllocSites.push_back(Site);
+  }
+
+  /// The IPA aggregation step. With whole-program linking the escape
+  /// closure is already final: escapes to defined functions are inside
+  /// the scope, everything else was flagged during collection.
+  void aggregate() {}
+
+  const Module &M;
+  LegalityOptions Opts;
+  LegalityResult Result;
+};
+
+} // namespace
+
+LegalityResult slo::analyzeLegality(const Module &M,
+                                    const LegalityOptions &Opts) {
+  return LegalityAnalyzer(M, Opts).run();
+}

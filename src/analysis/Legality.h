@@ -1,0 +1,175 @@
+//===- analysis/Legality.h - Structure layout legality ---------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's legality analysis (§2.2): a set of simple, efficient tests
+/// performed in one pass over the IR that determine whether a record type
+/// may be transformed, together with the attribute collection consulted
+/// by the heuristics. The test names follow the paper exactly:
+///
+///   CSTT  cast to a record type (tolerated when cast from a malloc/calloc
+///         result, the paper's return-value list)
+///   CSTF  cast from a record type
+///   ATKN  address of a field taken (tolerated in function call argument
+///         position)
+///   LIBC  record escapes to a standard library function
+///   IND   record escapes to an indirect call
+///   SMAL  dynamically allocated with a constant element count <= A
+///   MSET  used in a memset/memcpy-style streaming operation
+///   NEST  nested in (or nesting) another record type
+///
+/// Plus one repository-specific violation:
+///
+///   UNSZ  an allocation of the type whose byte size expression cannot be
+///         pattern-matched as N * sizeof(T); such allocation sites cannot
+///         be rewritten when the layout changes.
+///
+/// "Relaxing" CSTT/CSTF/ATKN approximates what the field-sensitive
+/// points-to analysis could prove (the paper's Table 1 "Relax" column).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_ANALYSIS_LEGALITY_H
+#define SLO_ANALYSIS_LEGALITY_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// Legality violation bits.
+enum class Violation : uint32_t {
+  CSTT = 1u << 0,
+  CSTF = 1u << 1,
+  ATKN = 1u << 2,
+  LIBC = 1u << 3,
+  IND = 1u << 4,
+  SMAL = 1u << 5,
+  MSET = 1u << 6,
+  NEST = 1u << 7,
+  UNSZ = 1u << 8,
+  /// Escapes to a function outside the compilation scope (a non-library
+  /// declaration that the linker could not resolve).
+  ESCP = 1u << 9,
+};
+
+inline uint32_t violationBit(Violation V) { return static_cast<uint32_t>(V); }
+
+/// Short name of one violation ("CSTT", ...).
+const char *violationName(Violation V);
+
+/// Renders a violation mask as "CSTT|ATKN".
+std::string violationMaskToString(uint32_t Mask);
+
+/// One dynamic allocation site of a record type, with everything the
+/// transformations need to rewrite it.
+struct AllocSiteInfo {
+  /// The malloc/calloc instruction.
+  Instruction *Alloc = nullptr;
+  /// The bitcast of the allocation result to T*.
+  Instruction *CastToRecord = nullptr;
+  /// Element count: a Value for malloc(N * sizeof(T)) / calloc(N, ...),
+  /// or null when the count is the constant 1 (malloc(sizeof(T))).
+  Value *CountValue = nullptr;
+  /// Constant element count when known, -1 otherwise.
+  int64_t ConstCount = -1;
+  /// True when the byte size could not be decomposed (UNSZ).
+  bool Unanalyzable = false;
+};
+
+/// Attributes collected per record type (paper §2.2: "whether a global or
+/// local variable, pointer, or array of a given type were found, whether
+/// a type has been dynamically allocated, free'd, or re-allocated").
+struct TypeAttributes {
+  bool HasGlobalVar = false;   // GVAR: global of type T
+  bool HasLocalVar = false;    // LVAR: local (alloca) of type T
+  bool HasGlobalPtr = false;   // GPTR: global of type T*
+  bool HasLocalPtr = false;    // LPTR: local of type T*
+  bool HasStaticArray = false; // ARRY: global/local array of T
+  bool DynamicallyAllocated = false; // HEAP
+  bool Freed = false;                // FREE
+  bool Reallocated = false;          // REAL
+  bool HasRecursivePtrField = false; // a field of some record has type T*
+  bool PassedToFunction = false;     // T (or T*) appears in a call arg
+  /// Stores of T*-typed values anywhere (blocks peeling when more than
+  /// the single allocation store exists).
+  unsigned PtrValueStores = 0;
+
+  /// Renders the set attributes as "GPTR HEAP ...".
+  std::string toString() const;
+};
+
+/// The legality verdict and supporting data for one record type.
+struct TypeLegality {
+  RecordType *Rec = nullptr;
+  uint32_t Violations = 0;
+  TypeAttributes Attrs;
+  std::vector<AllocSiteInfo> AllocSites;
+  /// Non-library functions the type escapes to (IPA escape tuples).
+  std::set<const Function *> EscapesTo;
+  /// Free sites whose pointer is of type T*.
+  std::vector<Instruction *> FreeSites;
+  /// Globals of type T* (peeling candidates track these).
+  std::vector<GlobalVariable *> PointerGlobals;
+
+  bool hasViolation(Violation V) const {
+    return (Violations & violationBit(V)) != 0;
+  }
+
+  /// True when every legality test passes. With \p Relax, CSTT/CSTF/ATKN
+  /// are tolerated (the paper's points-to upper bound).
+  bool isLegal(bool Relax = false) const {
+    uint32_t Mask = ~0u;
+    if (Relax)
+      Mask &= ~(violationBit(Violation::CSTT) |
+                violationBit(Violation::CSTF) |
+                violationBit(Violation::ATKN));
+    return (Violations & Mask) == 0;
+  }
+};
+
+struct LegalityOptions {
+  /// The paper's SMAL threshold A: constant allocation counts <= A mark
+  /// the type invalid ("set to > 1": single objects are not worth
+  /// splitting).
+  int64_t SmallAllocThreshold = 1;
+};
+
+/// Whole-module legality results.
+class LegalityResult {
+public:
+  const TypeLegality &get(const RecordType *Rec) const;
+  TypeLegality &getOrCreate(RecordType *Rec);
+
+  /// All analyzed record types, in type-creation order.
+  const std::vector<RecordType *> &types() const { return Order; }
+
+  /// Types passing all tests (paper Table 1 "Legal" / "Relax" columns).
+  std::vector<RecordType *> legalTypes(bool Relax = false) const;
+
+private:
+  std::map<const RecordType *, TypeLegality> Map;
+  std::vector<RecordType *> Order;
+};
+
+/// Runs the FE single-pass legality tests over every function of \p M and
+/// aggregates the results (the IPA step; \p M is the linked program).
+LegalityResult analyzeLegality(const Module &M,
+                               const LegalityOptions &Opts = LegalityOptions());
+
+/// Returns the record type a pointer/array type ultimately refers to, or
+/// null (e.g. node** -> node, [4 x node]* -> node).
+RecordType *strippedRecord(Type *Ty);
+
+} // namespace slo
+
+#endif // SLO_ANALYSIS_LEGALITY_H

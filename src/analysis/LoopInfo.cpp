@@ -1,0 +1,125 @@
+//===- analysis/LoopInfo.cpp - Natural loop detection ---------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+
+using namespace slo;
+
+bool Loop::contains(const Loop *L) const {
+  while (L) {
+    if (L == this)
+      return true;
+    L = L->getParent();
+  }
+  return false;
+}
+
+LoopInfo::LoopInfo(const Function &F, const DominatorTree &DT) {
+  // Find back edges and group them by header.
+  std::map<const BasicBlock *, std::vector<const BasicBlock *>> BackEdges;
+  for (const auto &BB : F.blocks()) {
+    if (!DT.isReachable(BB.get()))
+      continue;
+    for (const BasicBlock *S : BB->successors())
+      if (DT.dominates(S, BB.get()))
+        BackEdges[S].push_back(BB.get());
+  }
+
+  // Build each loop body: reverse reachability from the latches without
+  // crossing the header.
+  for (auto &[Header, Latches] : BackEdges) {
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Latches = Latches;
+    L->BlockSet.insert(Header);
+    std::vector<const BasicBlock *> Work(Latches.begin(), Latches.end());
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!L->BlockSet.insert(BB).second)
+        continue;
+      for (const BasicBlock *P : DT.predecessors(BB))
+        Work.push_back(P);
+    }
+    L->Blocks.assign(L->BlockSet.begin(), L->BlockSet.end());
+    // Keep deterministic order: by block number.
+    std::sort(L->Blocks.begin(), L->Blocks.end(),
+              [](const BasicBlock *A, const BasicBlock *B) {
+                return A->getNumber() < B->getNumber();
+              });
+    Loops.push_back(std::move(L));
+  }
+
+  // Nesting: the parent of L is the smallest loop strictly containing L's
+  // header (and different from L).
+  for (auto &L : Loops) {
+    Loop *Best = nullptr;
+    for (auto &Candidate : Loops) {
+      if (Candidate.get() == L.get())
+        continue;
+      if (!Candidate->contains(L->Header))
+        continue;
+      if (!Best || Candidate->Blocks.size() < Best->Blocks.size())
+        Best = Candidate.get();
+    }
+    L->Parent = Best;
+    if (Best)
+      Best->SubLoops.push_back(L.get());
+  }
+  for (auto &L : Loops) {
+    unsigned D = 1;
+    for (Loop *P = L->Parent; P; P = P->Parent)
+      ++D;
+    L->Depth = D;
+  }
+
+  // Innermost-loop map: the smallest loop containing each block.
+  for (auto &L : Loops) {
+    for (const BasicBlock *BB : L->Blocks) {
+      Loop *&Slot = InnermostLoop[BB];
+      if (!Slot || L->Blocks.size() < Slot->Blocks.size())
+        Slot = L.get();
+    }
+  }
+
+  // Order Loops outermost-first for deterministic iteration.
+  std::sort(Loops.begin(), Loops.end(),
+            [](const std::unique_ptr<Loop> &A,
+               const std::unique_ptr<Loop> &B) {
+              if (A->Depth != B->Depth)
+                return A->Depth < B->Depth;
+              return A->Header->getNumber() < B->Header->getNumber();
+            });
+}
+
+Loop *LoopInfo::getLoopFor(const BasicBlock *BB) const {
+  auto It = InnermostLoop.find(BB);
+  return It == InnermostLoop.end() ? nullptr : It->second;
+}
+
+std::vector<Loop *> LoopInfo::topLevel() const {
+  std::vector<Loop *> Out;
+  for (const auto &L : Loops)
+    if (!L->getParent())
+      Out.push_back(L.get());
+  return Out;
+}
+
+std::vector<Loop *> LoopInfo::loopsInnermostFirst() const {
+  std::vector<Loop *> Out;
+  for (const auto &L : Loops)
+    Out.push_back(L.get());
+  std::reverse(Out.begin(), Out.end());
+  return Out;
+}
+
+bool LoopInfo::isBackEdge(const BasicBlock *From, const BasicBlock *To) const {
+  Loop *L = getLoopFor(From);
+  while (L) {
+    if (L->getHeader() == To)
+      return true;
+    L = L->getParent();
+  }
+  return false;
+}

@@ -1,0 +1,31 @@
+//===- analysis/StaticEstimator.cpp - Per-function static analyses --------===//
+
+#include "analysis/StaticEstimator.h"
+
+#include "support/Error.h"
+
+using namespace slo;
+
+StaticEstimator::StaticEstimator(const Module &M,
+                                 const BranchProbOptions &Opts)
+    : M(M) {
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    FunctionStaticAnalyses A;
+    A.DT = std::make_unique<DominatorTree>(*F);
+    A.LI = std::make_unique<LoopInfo>(*F, *A.DT);
+    A.BP = std::make_unique<BranchProbabilities>(*F, *A.LI, Opts);
+    A.BF = std::make_unique<BlockFrequencies>(*F, *A.DT, *A.BP);
+    PerFunction.emplace(F.get(), std::move(A));
+  }
+}
+
+const FunctionStaticAnalyses &
+StaticEstimator::get(const Function *F) const {
+  auto It = PerFunction.find(F);
+  if (It == PerFunction.end())
+    reportFatalError("static analyses requested for an undefined function: " +
+                     F->getName());
+  return It->second;
+}

@@ -1,0 +1,123 @@
+//===- analysis/WeightSchemes.h - The paper's weighting schemes -*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nine weighting mechanisms evaluated in the paper's Table 2:
+///
+///   PBO      profiled edge counts from a training run
+///   PPBO     "perfect PBO": profile from the reference input
+///   SPBO     local static estimates (Wu-Larus), no scaling
+///   ISPBO    inter-procedurally scaled static estimates, exponent E=1.5
+///   ISPBO.NO ISPBO without the exponent
+///   ISPBO.W  ISPBO with raised back-edge probabilities instead of the
+///            exponent (fp 0.93->0.98, int 0.88->0.95)
+///   DMISS    field hotness taken from d-cache miss counts
+///   DLAT     field hotness taken from accumulated load latencies
+///   DMISS.NO DMISS collected without instrumentation
+///
+/// Each scheme produces a FieldStatsResult; the bench for Table 2
+/// correlates their relative hotness vectors against PBO.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_ANALYSIS_WEIGHTSCHEMES_H
+#define SLO_ANALYSIS_WEIGHTSCHEMES_H
+
+#include "analysis/Affinity.h"
+#include "analysis/InterProcFrequency.h"
+#include "profile/FeedbackFile.h"
+
+#include <string>
+
+namespace slo {
+
+enum class WeightScheme {
+  PBO,
+  PPBO,
+  SPBO,
+  ISPBO,
+  ISPBO_NO,
+  ISPBO_W,
+  DMISS,
+  DLAT,
+  DMISS_NO,
+};
+
+const char *weightSchemeName(WeightScheme S);
+
+/// Inputs a scheme may need. Null profiles are only an error for the
+/// schemes that require them.
+struct SchemeInputs {
+  const Module *M = nullptr;
+  /// Profile from the training input (PBO, and cache events for
+  /// DMISS/DLAT).
+  const FeedbackFile *TrainProfile = nullptr;
+  /// Profile from the reference input (PPBO).
+  const FeedbackFile *RefProfile = nullptr;
+  /// Cache events sampled without instrumentation (DMISS.NO).
+  const FeedbackFile *UninstrumentedProfile = nullptr;
+  /// ISPBO exponent E.
+  double Exponent = 1.5;
+};
+
+/// Weight source backed by a feedback file (PBO / PPBO).
+class ProfileWeightSource : public WeightSource {
+public:
+  explicit ProfileWeightSource(const FeedbackFile &FB) : FB(FB) {}
+  double blockWeight(const BasicBlock *BB) const override {
+    return static_cast<double>(FB.getBlockCount(BB));
+  }
+  double entryWeight(const Function *F) const override {
+    return static_cast<double>(FB.getEntryCount(F));
+  }
+
+private:
+  const FeedbackFile &FB;
+};
+
+/// Weight source backed by purely local static estimates (SPBO).
+class LocalStaticWeightSource : public WeightSource {
+public:
+  explicit LocalStaticWeightSource(const StaticEstimator &SE) : SE(SE) {}
+  double blockWeight(const BasicBlock *BB) const override {
+    const Function *F = BB->getParent();
+    return F->isDeclaration() ? 0.0 : SE.get(F).BF->get(BB);
+  }
+  double entryWeight(const Function *F) const override {
+    return F->isDeclaration() ? 0.0 : 1.0;
+  }
+
+private:
+  const StaticEstimator &SE;
+};
+
+/// Weight source backed by inter-procedurally scaled estimates (ISPBO and
+/// variants).
+class InterProcWeightSource : public WeightSource {
+public:
+  explicit InterProcWeightSource(const InterProcFrequencies &IPF)
+      : IPF(IPF) {}
+  double blockWeight(const BasicBlock *BB) const override {
+    return IPF.getBlockWeight(BB);
+  }
+  double entryWeight(const Function *F) const override {
+    return IPF.getEntryWeight(F);
+  }
+
+private:
+  const InterProcFrequencies &IPF;
+};
+
+/// Computes the per-field statistics for \p Scheme. For the d-cache
+/// schemes the hotness vector is replaced by miss counts / latencies
+/// while reads/writes/affinity come from the underlying profile weights.
+FieldStatsResult computeSchemeFieldStats(WeightScheme Scheme,
+                                         const SchemeInputs &Inputs);
+
+} // namespace slo
+
+#endif // SLO_ANALYSIS_WEIGHTSCHEMES_H

@@ -1,0 +1,365 @@
+//===- frontend/Ast.h - MiniC abstract syntax tree -------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for MiniC. The AST is deliberately small: the
+/// language only has to be rich enough to express the paper's workloads
+/// (pointer-chasing kernels over dynamically allocated arrays of structs,
+/// with the full zoo of legality-relevant constructs: casts, address-of,
+/// library calls, indirect calls, memset/memcpy, nested records).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_FRONTEND_AST_H
+#define SLO_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+struct TypeSpec;
+
+/// Function-pointer prototype used inside TypeSpec.
+struct FnProto;
+
+/// A parsed type: a base kind, an optional struct name, and a pointer
+/// depth. Function-pointer types carry a prototype.
+struct TypeSpec {
+  enum BaseKind {
+    BK_Void,
+    BK_Char,
+    BK_Short,
+    BK_Int,
+    BK_Long,
+    BK_Float,
+    BK_Double,
+    BK_Struct,
+    BK_FnPtr,
+  };
+
+  BaseKind Base = BK_Int;
+  std::string StructName; // For BK_Struct.
+  unsigned PtrDepth = 0;
+  std::shared_ptr<FnProto> Proto; // For BK_FnPtr.
+};
+
+struct FnProto {
+  TypeSpec Ret;
+  std::vector<TypeSpec> Params;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr {
+  enum ExprKind {
+    EK_IntLit,
+    EK_FloatLit,
+    EK_VarRef,
+    EK_Unary,
+    EK_Binary,
+    EK_Assign,
+    EK_IncDec,
+    EK_Cond,
+    EK_Call,
+    EK_Index,
+    EK_Member,
+    EK_Cast,
+    EK_SizeofType,
+  };
+
+  explicit Expr(ExprKind K, unsigned Line) : Kind(K), Line(Line) {}
+  virtual ~Expr() = default;
+
+  ExprKind getKind() const { return Kind; }
+
+  ExprKind Kind;
+  unsigned Line;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  IntLitExpr(int64_t V, unsigned Line) : Expr(EK_IntLit, Line), Value(V) {}
+  int64_t Value;
+  static bool classof(const Expr *E) { return E->Kind == EK_IntLit; }
+};
+
+struct FloatLitExpr : Expr {
+  FloatLitExpr(double V, unsigned Line) : Expr(EK_FloatLit, Line), Value(V) {}
+  double Value;
+  static bool classof(const Expr *E) { return E->Kind == EK_FloatLit; }
+};
+
+struct VarRefExpr : Expr {
+  VarRefExpr(std::string Name, unsigned Line)
+      : Expr(EK_VarRef, Line), Name(std::move(Name)) {}
+  std::string Name;
+  static bool classof(const Expr *E) { return E->Kind == EK_VarRef; }
+};
+
+struct UnaryExpr : Expr {
+  enum UnaryOp { UO_Neg, UO_LogicalNot, UO_BitNot, UO_Deref, UO_AddrOf };
+  UnaryExpr(UnaryOp Op, ExprPtr Sub, unsigned Line)
+      : Expr(EK_Unary, Line), Op(Op), Sub(std::move(Sub)) {}
+  UnaryOp Op;
+  ExprPtr Sub;
+  static bool classof(const Expr *E) { return E->Kind == EK_Unary; }
+};
+
+struct BinaryExpr : Expr {
+  enum BinOp {
+    BO_Add,
+    BO_Sub,
+    BO_Mul,
+    BO_Div,
+    BO_Rem,
+    BO_And,
+    BO_Or,
+    BO_Xor,
+    BO_Shl,
+    BO_Shr,
+    BO_EQ,
+    BO_NE,
+    BO_LT,
+    BO_LE,
+    BO_GT,
+    BO_GE,
+    BO_LAnd,
+    BO_LOr,
+  };
+  BinaryExpr(BinOp Op, ExprPtr L, ExprPtr R, unsigned Line)
+      : Expr(EK_Binary, Line), Op(Op), LHS(std::move(L)), RHS(std::move(R)) {}
+  BinOp Op;
+  ExprPtr LHS, RHS;
+  static bool classof(const Expr *E) { return E->Kind == EK_Binary; }
+};
+
+struct AssignExpr : Expr {
+  enum AssignOp { AO_Assign, AO_Add, AO_Sub, AO_Mul, AO_Div };
+  AssignExpr(AssignOp Op, ExprPtr L, ExprPtr R, unsigned Line)
+      : Expr(EK_Assign, Line), Op(Op), LHS(std::move(L)), RHS(std::move(R)) {}
+  AssignOp Op;
+  ExprPtr LHS, RHS;
+  static bool classof(const Expr *E) { return E->Kind == EK_Assign; }
+};
+
+struct IncDecExpr : Expr {
+  IncDecExpr(bool IsInc, bool IsPrefix, ExprPtr Sub, unsigned Line)
+      : Expr(EK_IncDec, Line), IsInc(IsInc), IsPrefix(IsPrefix),
+        Sub(std::move(Sub)) {}
+  bool IsInc;
+  bool IsPrefix;
+  ExprPtr Sub;
+  static bool classof(const Expr *E) { return E->Kind == EK_IncDec; }
+};
+
+struct CondExpr : Expr {
+  CondExpr(ExprPtr C, ExprPtr T, ExprPtr F, unsigned Line)
+      : Expr(EK_Cond, Line), Cond(std::move(C)), TrueE(std::move(T)),
+        FalseE(std::move(F)) {}
+  ExprPtr Cond, TrueE, FalseE;
+  static bool classof(const Expr *E) { return E->Kind == EK_Cond; }
+};
+
+struct CallExpr : Expr {
+  CallExpr(ExprPtr Callee, std::vector<ExprPtr> Args, unsigned Line)
+      : Expr(EK_Call, Line), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  ExprPtr Callee;
+  std::vector<ExprPtr> Args;
+  static bool classof(const Expr *E) { return E->Kind == EK_Call; }
+};
+
+struct IndexExpr : Expr {
+  IndexExpr(ExprPtr Base, ExprPtr Idx, unsigned Line)
+      : Expr(EK_Index, Line), Base(std::move(Base)), Idx(std::move(Idx)) {}
+  ExprPtr Base, Idx;
+  static bool classof(const Expr *E) { return E->Kind == EK_Index; }
+};
+
+struct MemberExpr : Expr {
+  MemberExpr(ExprPtr Base, std::string Name, bool IsArrow, unsigned Line)
+      : Expr(EK_Member, Line), Base(std::move(Base)), Name(std::move(Name)),
+        IsArrow(IsArrow) {}
+  ExprPtr Base;
+  std::string Name;
+  bool IsArrow;
+  static bool classof(const Expr *E) { return E->Kind == EK_Member; }
+};
+
+struct CastExpr : Expr {
+  CastExpr(TypeSpec Ty, ExprPtr Sub, unsigned Line)
+      : Expr(EK_Cast, Line), Ty(std::move(Ty)), Sub(std::move(Sub)) {}
+  TypeSpec Ty;
+  ExprPtr Sub;
+  static bool classof(const Expr *E) { return E->Kind == EK_Cast; }
+};
+
+struct SizeofTypeExpr : Expr {
+  SizeofTypeExpr(TypeSpec Ty, unsigned Line)
+      : Expr(EK_SizeofType, Line), Ty(std::move(Ty)) {}
+  TypeSpec Ty;
+  static bool classof(const Expr *E) { return E->Kind == EK_SizeofType; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt {
+  enum StmtKind {
+    SK_Block,
+    SK_Expr,
+    SK_VarDecl,
+    SK_If,
+    SK_While,
+    SK_For,
+    SK_Return,
+    SK_Break,
+    SK_Continue,
+    SK_Empty,
+  };
+
+  explicit Stmt(StmtKind K, unsigned Line) : Kind(K), Line(Line) {}
+  virtual ~Stmt() = default;
+
+  StmtKind Kind;
+  unsigned Line;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  explicit BlockStmt(unsigned Line) : Stmt(SK_Block, Line) {}
+  std::vector<StmtPtr> Stmts;
+  static bool classof(const Stmt *S) { return S->Kind == SK_Block; }
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt(ExprPtr E, unsigned Line) : Stmt(SK_Expr, Line), E(std::move(E)) {}
+  ExprPtr E;
+  static bool classof(const Stmt *S) { return S->Kind == SK_Expr; }
+};
+
+struct VarDeclStmt : Stmt {
+  VarDeclStmt(TypeSpec Ty, std::string Name, unsigned Line)
+      : Stmt(SK_VarDecl, Line), Ty(std::move(Ty)), Name(std::move(Name)) {}
+  TypeSpec Ty;
+  std::string Name;
+  /// 0 means "not an array".
+  uint64_t ArraySize = 0;
+  ExprPtr Init; // May be null.
+  static bool classof(const Stmt *S) { return S->Kind == SK_VarDecl; }
+};
+
+struct IfStmt : Stmt {
+  IfStmt(ExprPtr C, StmtPtr T, StmtPtr E, unsigned Line)
+      : Stmt(SK_If, Line), Cond(std::move(C)), Then(std::move(T)),
+        Else(std::move(E)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // May be null.
+  static bool classof(const Stmt *S) { return S->Kind == SK_If; }
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(ExprPtr C, StmtPtr B, unsigned Line)
+      : Stmt(SK_While, Line), Cond(std::move(C)), Body(std::move(B)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+  static bool classof(const Stmt *S) { return S->Kind == SK_While; }
+};
+
+struct ForStmt : Stmt {
+  explicit ForStmt(unsigned Line) : Stmt(SK_For, Line) {}
+  StmtPtr Init;  // VarDecl or Expr statement; may be null.
+  ExprPtr Cond;  // May be null (infinite loop).
+  ExprPtr Step;  // May be null.
+  StmtPtr Body;
+  static bool classof(const Stmt *S) { return S->Kind == SK_For; }
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt(ExprPtr E, unsigned Line)
+      : Stmt(SK_Return, Line), E(std::move(E)) {}
+  ExprPtr E; // May be null.
+  static bool classof(const Stmt *S) { return S->Kind == SK_Return; }
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(unsigned Line) : Stmt(SK_Break, Line) {}
+  static bool classof(const Stmt *S) { return S->Kind == SK_Break; }
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(unsigned Line) : Stmt(SK_Continue, Line) {}
+  static bool classof(const Stmt *S) { return S->Kind == SK_Continue; }
+};
+
+struct EmptyStmt : Stmt {
+  explicit EmptyStmt(unsigned Line) : Stmt(SK_Empty, Line) {}
+  static bool classof(const Stmt *S) { return S->Kind == SK_Empty; }
+};
+
+//===----------------------------------------------------------------------===//
+// Top-level declarations
+//===----------------------------------------------------------------------===//
+
+struct StructFieldDecl {
+  TypeSpec Ty;
+  std::string Name;
+  uint64_t ArraySize = 0; // 0 means "not an array".
+};
+
+struct StructDecl {
+  std::string Name;
+  std::vector<StructFieldDecl> Fields;
+  unsigned Line = 0;
+};
+
+struct ParamDecl {
+  TypeSpec Ty;
+  std::string Name;
+};
+
+struct FuncDecl {
+  TypeSpec Ret;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body;          // Null for declarations.
+  bool IsExtern = false; // 'extern' marks a library function.
+  unsigned Line = 0;
+};
+
+struct GlobalDecl {
+  TypeSpec Ty;
+  std::string Name;
+  uint64_t ArraySize = 0; // 0 means "not an array".
+  bool HasInit = false;
+  int64_t InitValue = 0;
+  unsigned Line = 0;
+};
+
+/// One parsed translation unit.
+struct TranslationUnit {
+  std::vector<StructDecl> Structs;
+  std::vector<FuncDecl> Functions;
+  std::vector<GlobalDecl> Globals;
+  /// Declaration order across all three kinds, as (kind, index) pairs:
+  /// 0=struct, 1=function, 2=global. IRGen processes structs and
+  /// signatures first regardless, but keeps this for diagnostics.
+  std::vector<std::pair<int, size_t>> Order;
+};
+
+} // namespace slo
+
+#endif // SLO_FRONTEND_AST_H

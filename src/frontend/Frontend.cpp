@@ -1,0 +1,84 @@
+//===- frontend/Frontend.cpp - MiniC compilation entry points -------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/IRGen.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "ir/Linker.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+
+using namespace slo;
+
+std::unique_ptr<Module> slo::compileMiniC(IRContext &Ctx,
+                                          const std::string &ModuleName,
+                                          const std::string &Source,
+                                          std::vector<std::string> &Diags) {
+  Lexer Lex(Source);
+  std::string LexError;
+  std::vector<Token> Tokens = Lex.lexAll(LexError);
+  if (!LexError.empty()) {
+    Diags.push_back(ModuleName + ": " + LexError);
+    return nullptr;
+  }
+
+  std::vector<std::string> LocalDiags;
+  Parser P(std::move(Tokens), LocalDiags);
+  std::unique_ptr<TranslationUnit> TU = P.parse();
+  if (!TU) {
+    for (const std::string &D : LocalDiags)
+      Diags.push_back(ModuleName + ": " + D);
+    return nullptr;
+  }
+
+  IRGenerator Gen(Ctx, LocalDiags);
+  std::unique_ptr<Module> M = Gen.run(*TU, ModuleName);
+  if (!M) {
+    for (const std::string &D : LocalDiags)
+      Diags.push_back(ModuleName + ": " + D);
+    return nullptr;
+  }
+
+  std::vector<std::string> VerifyErrors;
+  if (!verifyModule(*M, VerifyErrors)) {
+    for (const std::string &D : VerifyErrors)
+      Diags.push_back(ModuleName + ": internal error: " + D);
+    return nullptr;
+  }
+  return M;
+}
+
+std::unique_ptr<Module>
+slo::compileProgram(IRContext &Ctx, const std::string &ProgramName,
+                    const std::vector<std::string> &Sources,
+                    std::vector<std::string> &Diags) {
+  std::vector<std::unique_ptr<Module>> TUs;
+  for (size_t I = 0; I < Sources.size(); ++I) {
+    std::string Name = ProgramName + ".tu" + std::to_string(I);
+    std::unique_ptr<Module> M = compileMiniC(Ctx, Name, Sources[I], Diags);
+    if (!M)
+      return nullptr;
+    TUs.push_back(std::move(M));
+  }
+  std::unique_ptr<Module> Linked =
+      linkModules(Ctx, std::move(TUs), ProgramName);
+  std::vector<std::string> VerifyErrors;
+  if (!verifyModule(*Linked, VerifyErrors)) {
+    for (const std::string &D : VerifyErrors)
+      Diags.push_back(ProgramName + ": internal error after linking: " + D);
+    return nullptr;
+  }
+  return Linked;
+}
+
+std::unique_ptr<Module>
+slo::compileProgramOrDie(IRContext &Ctx, const std::string &ProgramName,
+                         const std::vector<std::string> &Sources) {
+  std::vector<std::string> Diags;
+  std::unique_ptr<Module> M = compileProgram(Ctx, ProgramName, Sources, Diags);
+  if (!M)
+    reportFatalError("compilation of '" + ProgramName + "' failed: " +
+                     (Diags.empty() ? "unknown error" : Diags.front()));
+  return M;
+}

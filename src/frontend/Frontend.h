@@ -1,0 +1,48 @@
+//===- frontend/Frontend.h - MiniC compilation entry points ----*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call entry points: source text in, IR module out. The multi-source
+/// variant mirrors the paper's -ipo flow (per-TU front end, then link).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_FRONTEND_FRONTEND_H
+#define SLO_FRONTEND_FRONTEND_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+class IRContext;
+class Module;
+
+/// Compiles one MiniC translation unit. Returns null on error, with
+/// diagnostics appended to \p Diags.
+std::unique_ptr<Module> compileMiniC(IRContext &Ctx,
+                                     const std::string &ModuleName,
+                                     const std::string &Source,
+                                     std::vector<std::string> &Diags);
+
+/// Compiles each source as a translation unit and links the results into
+/// one whole-program module. Returns null on any error.
+std::unique_ptr<Module>
+compileProgram(IRContext &Ctx, const std::string &ProgramName,
+               const std::vector<std::string> &Sources,
+               std::vector<std::string> &Diags);
+
+/// Like compileProgram, but aborts with the first diagnostic. Convenience
+/// for tests and benchmark harnesses compiling known-good workloads.
+std::unique_ptr<Module>
+compileProgramOrDie(IRContext &Ctx, const std::string &ProgramName,
+                    const std::vector<std::string> &Sources);
+
+} // namespace slo
+
+#endif // SLO_FRONTEND_FRONTEND_H

@@ -1,0 +1,1169 @@
+//===- frontend/IRGen.cpp - AST to IR lowering ----------------------------===//
+
+#include "frontend/IRGen.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+using namespace slo;
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+Value *IRGenerator::error(unsigned Line, const std::string &Msg) {
+  errorNoValue(Line, Msg);
+  return Ctx.getInt64(0);
+}
+
+void IRGenerator::errorNoValue(unsigned Line, const std::string &Msg) {
+  HadError = true;
+  Diags.push_back(formatString("line %u: %s", Line, Msg.c_str()));
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Module> IRGenerator::run(const TranslationUnit &TU,
+                                         const std::string &ModuleName) {
+  auto Mod = std::make_unique<Module>(Ctx, ModuleName);
+  M = Mod.get();
+
+  for (const StructDecl &S : TU.Structs)
+    declareStruct(S);
+  for (const FuncDecl &F : TU.Functions)
+    declareFunction(F);
+  for (const GlobalDecl &G : TU.Globals)
+    declareGlobal(G);
+  for (const FuncDecl &F : TU.Functions)
+    if (F.Body)
+      generateFunctionBody(F);
+
+  if (HadError)
+    return nullptr;
+  return Mod;
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+FunctionType *IRGenerator::resolveProto(const FnProto &P, unsigned Line) {
+  Type *Ret = resolveType(P.Ret, Line);
+  std::vector<Type *> Params;
+  for (const TypeSpec &TS : P.Params)
+    Params.push_back(resolveType(TS, Line));
+  return Ctx.getTypes().getFunctionType(Ret, std::move(Params));
+}
+
+Type *IRGenerator::resolveType(const TypeSpec &TS, unsigned Line) {
+  TypeContext &T = Ctx.getTypes();
+  Type *Base = nullptr;
+  switch (TS.Base) {
+  case TypeSpec::BK_Void:
+    if (TS.PtrDepth == 0)
+      return T.getVoidType();
+    // void* is spelled i8* in the IR.
+    Base = T.getI8();
+    break;
+  case TypeSpec::BK_Char:
+    Base = T.getI8();
+    break;
+  case TypeSpec::BK_Short:
+    Base = T.getI16();
+    break;
+  case TypeSpec::BK_Int:
+    Base = T.getI32();
+    break;
+  case TypeSpec::BK_Long:
+    Base = T.getI64();
+    break;
+  case TypeSpec::BK_Float:
+    Base = T.getF32();
+    break;
+  case TypeSpec::BK_Double:
+    Base = T.getF64();
+    break;
+  case TypeSpec::BK_Struct:
+    Base = T.getOrCreateRecord(TS.StructName);
+    if (TS.PtrDepth == 0 && cast<RecordType>(Base)->isOpaque())
+      errorNoValue(Line, "use of incomplete type 'struct " + TS.StructName +
+                             "'");
+    break;
+  case TypeSpec::BK_FnPtr:
+    return T.getPointerType(resolveProto(*TS.Proto, Line));
+  }
+  for (unsigned I = 0; I < TS.PtrDepth; ++I)
+    Base = T.getPointerType(Base);
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+void IRGenerator::declareStruct(const StructDecl &S) {
+  RecordType *Rec = Ctx.getTypes().getOrCreateRecord(S.Name);
+  std::vector<Field> Fields;
+  for (const StructFieldDecl &FD : S.Fields) {
+    Field F;
+    F.Name = FD.Name;
+    F.Ty = resolveType(FD.Ty, S.Line);
+    if (FD.ArraySize > 0)
+      F.Ty = Ctx.getTypes().getArrayType(F.Ty, FD.ArraySize);
+    if (F.Ty->isVoid()) {
+      errorNoValue(S.Line, "field '" + FD.Name + "' has void type");
+      F.Ty = Ctx.getTypes().getI32();
+    }
+    Fields.push_back(std::move(F));
+  }
+  if (!Rec->isOpaque()) {
+    // Same struct declared in another translation unit: layouts must agree
+    // (the shared TypeContext is the type-unified IPA symbol table).
+    bool Same = Rec->getNumFields() == Fields.size();
+    for (unsigned I = 0; Same && I < Fields.size(); ++I)
+      Same = Rec->getField(I).Name == Fields[I].Name &&
+             Rec->getField(I).Ty == Fields[I].Ty;
+    if (!Same)
+      errorNoValue(S.Line, "conflicting redefinition of 'struct " + S.Name +
+                               "' across translation units");
+    return;
+  }
+  Rec->setFields(std::move(Fields));
+}
+
+void IRGenerator::declareFunction(const FuncDecl &F) {
+  Type *Ret = resolveType(F.Ret, F.Line);
+  std::vector<Type *> Params;
+  for (const ParamDecl &P : F.Params)
+    Params.push_back(resolveType(P.Ty, F.Line));
+  FunctionType *FnTy =
+      Ctx.getTypes().getFunctionType(Ret, std::move(Params));
+
+  if (Function *Existing = M->lookupFunction(F.Name)) {
+    if (Existing->getFunctionType() != FnTy) {
+      errorNoValue(F.Line, "conflicting declaration of function '" + F.Name +
+                               "'");
+    }
+    return;
+  }
+  Function *Fn = M->createFunction(FnTy, F.Name, /*IsLib=*/F.IsExtern);
+  for (unsigned I = 0; I < F.Params.size(); ++I)
+    if (!F.Params[I].Name.empty())
+      Fn->getArg(I)->setName(F.Params[I].Name);
+}
+
+void IRGenerator::declareGlobal(const GlobalDecl &G) {
+  Type *Ty = resolveType(G.Ty, G.Line);
+  if (Ty->isVoid()) {
+    errorNoValue(G.Line, "global '" + G.Name + "' has void type");
+    return;
+  }
+  if (G.ArraySize > 0)
+    Ty = Ctx.getTypes().getArrayType(Ty, G.ArraySize);
+  if (M->lookupGlobal(G.Name)) {
+    errorNoValue(G.Line, "redefinition of global '" + G.Name + "'");
+    return;
+  }
+  GlobalVariable *GV = M->createGlobal(Ty, G.Name);
+  if (G.HasInit)
+    GV->setIntInit(G.InitValue);
+}
+
+//===----------------------------------------------------------------------===//
+// Control-flow helpers
+//===----------------------------------------------------------------------===//
+
+BasicBlock *IRGenerator::newBlock(const std::string &Name) {
+  return CurFn->createBlock(Name + "." + std::to_string(BlockCounter++));
+}
+
+void IRGenerator::startBlock(BasicBlock *BB) { B.setInsertPoint(BB); }
+
+bool IRGenerator::blockTerminated() const {
+  BasicBlock *BB = B.getInsertBlock();
+  return BB && BB->getTerminator();
+}
+
+void IRGenerator::finalizeFunction() {
+  // Any block left without a terminator (including empty blocks created
+  // for dead code) gets a default return.
+  for (const auto &BB : CurFn->blocks()) {
+    if (BB->getTerminator())
+      continue;
+    B.setInsertPoint(BB.get());
+    Type *Ret = CurFn->getReturnType();
+    if (Ret->isVoid())
+      B.createRet();
+    else if (Ret->isFloat())
+      B.createRet(Ctx.getConstantFloat(cast<FloatType>(Ret), 0.0));
+    else if (Ret->isPointer())
+      B.createRet(Ctx.getNullPtr(cast<PointerType>(Ret)));
+    else
+      B.createRet(Ctx.getConstantInt(cast<IntType>(Ret), 0));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Function bodies
+//===----------------------------------------------------------------------===//
+
+void IRGenerator::generateFunctionBody(const FuncDecl &F) {
+  CurFn = M->lookupFunction(F.Name);
+  assert(CurFn && "body for an undeclared function");
+  if (!CurFn->blocks().empty()) {
+    errorNoValue(F.Line, "redefinition of function '" + F.Name + "'");
+    return;
+  }
+  BlockCounter = 0;
+  BasicBlock *Entry = CurFn->createBlock("entry");
+  startBlock(Entry);
+  pushScope();
+
+  // Spill parameters into allocas so that parameters are addressable like
+  // any other local.
+  for (unsigned I = 0; I < F.Params.size(); ++I) {
+    Argument *A = CurFn->getArg(I);
+    AllocaInst *Slot = B.createAlloca(A->getType(), A->getName() + ".addr");
+    B.createStore(A, Slot);
+    VarInfo Info;
+    Info.Addr = Slot;
+    Info.ValueTy = A->getType();
+    if (!F.Params[I].Name.empty())
+      Scopes.back()[F.Params[I].Name] = Info;
+  }
+
+  genStmt(*F.Body);
+  popScope();
+  finalizeFunction();
+  CurFn = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void IRGenerator::genStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case Stmt::SK_Block:
+    genBlock(*cast<BlockStmt>(&S));
+    return;
+  case Stmt::SK_Expr:
+    genExpr(*cast<ExprStmt>(&S)->E);
+    return;
+  case Stmt::SK_VarDecl:
+    genVarDecl(*cast<VarDeclStmt>(&S));
+    return;
+  case Stmt::SK_If:
+    genIf(*cast<IfStmt>(&S));
+    return;
+  case Stmt::SK_While:
+    genWhile(*cast<WhileStmt>(&S));
+    return;
+  case Stmt::SK_For:
+    genFor(*cast<ForStmt>(&S));
+    return;
+  case Stmt::SK_Return:
+    genReturn(*cast<ReturnStmt>(&S));
+    return;
+  case Stmt::SK_Break:
+    if (BreakTargets.empty()) {
+      errorNoValue(S.Line, "'break' outside of a loop");
+      return;
+    }
+    B.createBr(BreakTargets.back());
+    startBlock(newBlock("dead"));
+    return;
+  case Stmt::SK_Continue:
+    if (ContinueTargets.empty()) {
+      errorNoValue(S.Line, "'continue' outside of a loop");
+      return;
+    }
+    B.createBr(ContinueTargets.back());
+    startBlock(newBlock("dead"));
+    return;
+  case Stmt::SK_Empty:
+    return;
+  }
+}
+
+void IRGenerator::genBlock(const BlockStmt &S) {
+  pushScope();
+  for (const StmtPtr &Child : S.Stmts)
+    genStmt(*Child);
+  popScope();
+}
+
+void IRGenerator::genVarDecl(const VarDeclStmt &S) {
+  Type *Ty = resolveType(S.Ty, S.Line);
+  if (Ty->isVoid()) {
+    errorNoValue(S.Line, "variable '" + S.Name + "' has void type");
+    return;
+  }
+  if (S.ArraySize > 0)
+    Ty = Ctx.getTypes().getArrayType(Ty, S.ArraySize);
+  AllocaInst *Slot = B.createAlloca(Ty, S.Name);
+  VarInfo Info;
+  Info.Addr = Slot;
+  Info.ValueTy = Ty;
+  Scopes.back()[S.Name] = Info;
+  if (S.Init) {
+    Value *V = genExpr(*S.Init);
+    B.createStore(convert(V, Ty, S.Line), Slot);
+  }
+}
+
+void IRGenerator::genIf(const IfStmt &S) {
+  Value *Cond = toBool(genExpr(*S.Cond), S.Line);
+  BasicBlock *ThenBB = newBlock("if.then");
+  BasicBlock *EndBB = newBlock("if.end");
+  BasicBlock *ElseBB = S.Else ? newBlock("if.else") : EndBB;
+  B.createCondBr(Cond, ThenBB, ElseBB);
+
+  startBlock(ThenBB);
+  genStmt(*S.Then);
+  if (!blockTerminated())
+    B.createBr(EndBB);
+
+  if (S.Else) {
+    startBlock(ElseBB);
+    genStmt(*S.Else);
+    if (!blockTerminated())
+      B.createBr(EndBB);
+  }
+  startBlock(EndBB);
+}
+
+void IRGenerator::genWhile(const WhileStmt &S) {
+  BasicBlock *CondBB = newBlock("while.cond");
+  BasicBlock *BodyBB = newBlock("while.body");
+  BasicBlock *EndBB = newBlock("while.end");
+  B.createBr(CondBB);
+
+  startBlock(CondBB);
+  Value *Cond = toBool(genExpr(*S.Cond), S.Line);
+  B.createCondBr(Cond, BodyBB, EndBB);
+
+  BreakTargets.push_back(EndBB);
+  ContinueTargets.push_back(CondBB);
+  startBlock(BodyBB);
+  genStmt(*S.Body);
+  if (!blockTerminated())
+    B.createBr(CondBB);
+  BreakTargets.pop_back();
+  ContinueTargets.pop_back();
+
+  startBlock(EndBB);
+}
+
+void IRGenerator::genFor(const ForStmt &S) {
+  pushScope();
+  if (S.Init)
+    genStmt(*S.Init);
+  BasicBlock *CondBB = newBlock("for.cond");
+  BasicBlock *BodyBB = newBlock("for.body");
+  BasicBlock *StepBB = newBlock("for.step");
+  BasicBlock *EndBB = newBlock("for.end");
+  B.createBr(CondBB);
+
+  startBlock(CondBB);
+  if (S.Cond) {
+    Value *Cond = toBool(genExpr(*S.Cond), S.Line);
+    B.createCondBr(Cond, BodyBB, EndBB);
+  } else {
+    B.createBr(BodyBB);
+  }
+
+  BreakTargets.push_back(EndBB);
+  ContinueTargets.push_back(StepBB);
+  startBlock(BodyBB);
+  genStmt(*S.Body);
+  if (!blockTerminated())
+    B.createBr(StepBB);
+  BreakTargets.pop_back();
+  ContinueTargets.pop_back();
+
+  startBlock(StepBB);
+  if (S.Step)
+    genExpr(*S.Step);
+  B.createBr(CondBB);
+
+  startBlock(EndBB);
+  popScope();
+}
+
+void IRGenerator::genReturn(const ReturnStmt &S) {
+  Type *Ret = CurFn->getReturnType();
+  if (S.E) {
+    if (Ret->isVoid()) {
+      errorNoValue(S.Line, "returning a value from a void function");
+      B.createRet();
+    } else {
+      Value *V = genExpr(*S.E);
+      B.createRet(convert(V, Ret, S.Line));
+    }
+  } else {
+    if (!Ret->isVoid())
+      errorNoValue(S.Line, "missing return value");
+    B.createRet();
+  }
+  startBlock(newBlock("dead"));
+}
+
+//===----------------------------------------------------------------------===//
+// Conversions
+//===----------------------------------------------------------------------===//
+
+Value *IRGenerator::decayIfArray(Value *Addr, unsigned Line) {
+  (void)Line;
+  auto *PT = cast<PointerType>(Addr->getType());
+  if (auto *AT = dyn_cast<ArrayType>(PT->getPointee()))
+    return B.createCast(
+        Instruction::OpBitcast, Addr,
+        Ctx.getTypes().getPointerType(AT->getElementType()), "decay");
+  return Addr;
+}
+
+Value *IRGenerator::convert(Value *V, Type *DestTy, unsigned Line) {
+  Type *SrcTy = V->getType();
+  if (SrcTy == DestTy)
+    return V;
+
+  TypeContext &T = Ctx.getTypes();
+
+  // Constant folding keeps malloc size expressions analyzable and avoids
+  // conversion instructions on literals. Note binary expressions are never
+  // folded, so attributed sizeof constants survive inside N * sizeof(T).
+  if (auto *CI = dyn_cast<ConstantInt>(V)) {
+    if (auto *DI = dyn_cast<IntType>(DestTy)) {
+      int64_t Val = CI->getValue();
+      if (DI->getBits() < 64) {
+        uint64_t Mask = (1ULL << DI->getBits()) - 1;
+        uint64_t U = static_cast<uint64_t>(Val) & Mask;
+        // Sign extend back.
+        if (U & (1ULL << (DI->getBits() - 1)))
+          U |= ~Mask;
+        Val = static_cast<int64_t>(U);
+      }
+      return Ctx.getConstantInt(DI, Val, CI->getSizeOfRecord());
+    }
+    if (auto *DF = dyn_cast<FloatType>(DestTy))
+      return Ctx.getConstantFloat(DF, static_cast<double>(CI->getValue()));
+    if (auto *DP = dyn_cast<PointerType>(DestTy)) {
+      if (CI->getValue() == 0)
+        return Ctx.getNullPtr(DP);
+    }
+  }
+  if (auto *CF = dyn_cast<ConstantFloat>(V)) {
+    if (auto *DF = dyn_cast<FloatType>(DestTy))
+      return Ctx.getConstantFloat(DF, CF->getValue());
+    if (auto *DI = dyn_cast<IntType>(DestTy))
+      return Ctx.getConstantInt(DI, static_cast<int64_t>(CF->getValue()));
+  }
+  if (isa<ConstantNull>(V) && DestTy->isPointer())
+    return Ctx.getNullPtr(cast<PointerType>(DestTy));
+
+  if (SrcTy->isInt() && DestTy->isInt()) {
+    unsigned SB = cast<IntType>(SrcTy)->getBits();
+    unsigned DB = cast<IntType>(DestTy)->getBits();
+    if (SB < DB) {
+      // Booleans zero-extend (i1 true is 1, not -1); other ints are signed.
+      Instruction::Opcode Op =
+          SB == 1 ? Instruction::OpZExt : Instruction::OpSExt;
+      return B.createCast(Op, V, DestTy);
+    }
+    return B.createCast(Instruction::OpTrunc, V, DestTy);
+  }
+  if (SrcTy->isInt() && DestTy->isFloat())
+    return B.createCast(Instruction::OpSIToFP, V, DestTy);
+  if (SrcTy->isFloat() && DestTy->isInt())
+    return B.createCast(Instruction::OpFPToSI, V, DestTy);
+  if (SrcTy->isFloat() && DestTy->isFloat()) {
+    unsigned SB = cast<FloatType>(SrcTy)->getBits();
+    unsigned DB = cast<FloatType>(DestTy)->getBits();
+    return B.createCast(SB < DB ? Instruction::OpFPExt
+                                : Instruction::OpFPTrunc,
+                        V, DestTy);
+  }
+  if (SrcTy->isPointer() && DestTy->isPointer())
+    return B.createCast(Instruction::OpBitcast, V, DestTy);
+  if (SrcTy->isPointer() && DestTy->isInt()) {
+    Value *I = B.createCast(Instruction::OpPtrToInt, V, T.getI64());
+    return convert(I, DestTy, Line);
+  }
+  if (SrcTy->isInt() && DestTy->isPointer()) {
+    Value *I = convert(V, T.getI64(), Line);
+    return B.createCast(Instruction::OpIntToPtr, I, DestTy);
+  }
+
+  return error(Line, "cannot convert '" + SrcTy->getName() + "' to '" +
+                         DestTy->getName() + "'");
+}
+
+Value *IRGenerator::toBool(Value *V, unsigned Line) {
+  Type *Ty = V->getType();
+  if (Ty->isInt()) {
+    if (cast<IntType>(Ty)->getBits() == 1)
+      return V;
+    return B.createCmp(Instruction::OpICmpNE, V,
+                       Ctx.getConstantInt(cast<IntType>(Ty), 0));
+  }
+  if (Ty->isFloat())
+    return B.createCmp(Instruction::OpFCmpNE, V,
+                       Ctx.getConstantFloat(cast<FloatType>(Ty), 0.0));
+  if (Ty->isPointer())
+    return B.createCmp(Instruction::OpICmpNE, V,
+                       Ctx.getNullPtr(cast<PointerType>(Ty)));
+  errorNoValue(Line, "condition is not scalar");
+  return Ctx.getBool(false);
+}
+
+Type *IRGenerator::commonType(Type *A, Type *B_) {
+  TypeContext &T = Ctx.getTypes();
+  if (A->isFloat() || B_->isFloat()) {
+    unsigned Bits = 32;
+    if (A->isFloat())
+      Bits = std::max(Bits, cast<FloatType>(A)->getBits());
+    if (B_->isFloat())
+      Bits = std::max(Bits, cast<FloatType>(B_)->getBits());
+    // Mixing an i64 with f32 promotes to f64, like C's usual conversions
+    // promote long/float mixes through double on LP64.
+    if ((A->isInt() && cast<IntType>(A)->getBits() == 64) ||
+        (B_->isInt() && cast<IntType>(B_)->getBits() == 64))
+      Bits = 64;
+    return T.getFloatType(Bits);
+  }
+  unsigned Bits = 32; // C integer promotion: at least int.
+  if (A->isInt())
+    Bits = std::max(Bits, cast<IntType>(A)->getBits());
+  if (B_->isInt())
+    Bits = std::max(Bits, cast<IntType>(B_)->getBits());
+  return T.getIntType(Bits);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+IRGenerator::VarInfo *IRGenerator::lookupVar(const std::string &Name) {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return &Found->second;
+  }
+  return nullptr;
+}
+
+Value *IRGenerator::genAddr(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::EK_VarRef: {
+    const auto *V = cast<VarRefExpr>(&E);
+    if (VarInfo *Info = lookupVar(V->Name))
+      return Info->Addr;
+    if (GlobalVariable *G = M->lookupGlobal(V->Name))
+      return G;
+    errorNoValue(E.Line, "use of undeclared identifier '" + V->Name + "'");
+    return nullptr;
+  }
+  case Expr::EK_Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    if (U->Op == UnaryExpr::UO_Deref) {
+      Value *P = genExpr(*U->Sub);
+      if (!P->getType()->isPointer()) {
+        errorNoValue(E.Line, "cannot dereference a non-pointer");
+        return nullptr;
+      }
+      return P;
+    }
+    errorNoValue(E.Line, "expression is not assignable");
+    return nullptr;
+  }
+  case Expr::EK_Index: {
+    const auto *I = cast<IndexExpr>(&E);
+    Value *Base = genExpr(*I->Base); // Decays arrays to pointers.
+    if (!Base->getType()->isPointer()) {
+      errorNoValue(E.Line, "subscripted value is not a pointer or array");
+      return nullptr;
+    }
+    Value *Idx = convert(genExpr(*I->Idx), Ctx.getTypes().getI64(), E.Line);
+    return B.createIndexAddr(Base, Idx);
+  }
+  case Expr::EK_Member: {
+    const auto *Mem = cast<MemberExpr>(&E);
+    Value *BaseAddr = nullptr;
+    if (Mem->IsArrow) {
+      BaseAddr = genExpr(*Mem->Base);
+    } else {
+      BaseAddr = genAddr(*Mem->Base);
+      if (!BaseAddr)
+        return nullptr;
+    }
+    if (!BaseAddr->getType()->isPointer()) {
+      errorNoValue(E.Line, "member access on a non-pointer");
+      return nullptr;
+    }
+    Type *Pointee = cast<PointerType>(BaseAddr->getType())->getPointee();
+    auto *Rec = dyn_cast<RecordType>(Pointee);
+    if (!Rec || Rec->isOpaque()) {
+      errorNoValue(E.Line, "member access on a non-struct value");
+      return nullptr;
+    }
+    const Field *F = Rec->findField(Mem->Name);
+    if (!F) {
+      errorNoValue(E.Line, "no field named '" + Mem->Name + "' in 'struct " +
+                               Rec->getRecordName() + "'");
+      return nullptr;
+    }
+    return B.createFieldAddr(BaseAddr, Rec, F->Index, Mem->Name);
+  }
+  default:
+    errorNoValue(E.Line, "expression is not assignable");
+    return nullptr;
+  }
+}
+
+Value *IRGenerator::genExpr(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::EK_IntLit: {
+    int64_t V = cast<IntLitExpr>(&E)->Value;
+    TypeContext &T = Ctx.getTypes();
+    if (V >= INT32_MIN && V <= INT32_MAX)
+      return Ctx.getConstantInt(T.getI32(), V);
+    return Ctx.getInt64(V);
+  }
+  case Expr::EK_FloatLit:
+    return Ctx.getConstantFloat(Ctx.getTypes().getF64(),
+                                cast<FloatLitExpr>(&E)->Value);
+  case Expr::EK_VarRef: {
+    const auto *V = cast<VarRefExpr>(&E);
+    if (VarInfo *Info = lookupVar(V->Name)) {
+      if (Info->ValueTy->isArray())
+        return decayIfArray(Info->Addr, E.Line);
+      return B.createLoad(Info->Addr, V->Name);
+    }
+    if (GlobalVariable *G = M->lookupGlobal(V->Name)) {
+      if (G->getValueType()->isArray())
+        return decayIfArray(G, E.Line);
+      return B.createLoad(G, V->Name);
+    }
+    if (Function *F = M->lookupFunction(V->Name))
+      return F; // Function designators decay to function pointers.
+    return error(E.Line, "use of undeclared identifier '" + V->Name + "'");
+  }
+  case Expr::EK_Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    switch (U->Op) {
+    case UnaryExpr::UO_Neg: {
+      Value *V = genExpr(*U->Sub);
+      if (auto *CI = dyn_cast<ConstantInt>(V))
+        return Ctx.getConstantInt(cast<IntType>(CI->getType()),
+                                  -CI->getValue());
+      if (auto *CF = dyn_cast<ConstantFloat>(V))
+        return Ctx.getConstantFloat(cast<FloatType>(CF->getType()),
+                                    -CF->getValue());
+      if (V->getType()->isFloat())
+        return B.createBinary(
+            Instruction::OpFSub,
+            Ctx.getConstantFloat(cast<FloatType>(V->getType()), 0.0), V);
+      if (V->getType()->isInt()) {
+        Type *Ty = commonType(V->getType(), V->getType());
+        V = convert(V, Ty, E.Line);
+        return B.createBinary(Instruction::OpSub,
+                              Ctx.getConstantInt(cast<IntType>(Ty), 0), V);
+      }
+      return error(E.Line, "cannot negate this operand");
+    }
+    case UnaryExpr::UO_LogicalNot: {
+      Value *C = toBool(genExpr(*U->Sub), E.Line);
+      return B.createBinary(Instruction::OpXor, C, Ctx.getBool(true));
+    }
+    case UnaryExpr::UO_BitNot: {
+      Value *V = genExpr(*U->Sub);
+      if (!V->getType()->isInt())
+        return error(E.Line, "'~' requires an integer operand");
+      Type *Ty = commonType(V->getType(), V->getType());
+      V = convert(V, Ty, E.Line);
+      return B.createBinary(Instruction::OpXor, V,
+                            Ctx.getConstantInt(cast<IntType>(Ty), -1));
+    }
+    case UnaryExpr::UO_Deref: {
+      Value *P = genExpr(*U->Sub);
+      if (!P->getType()->isPointer())
+        return error(E.Line, "cannot dereference a non-pointer");
+      return B.createLoad(P);
+    }
+    case UnaryExpr::UO_AddrOf: {
+      // &function yields the function pointer directly.
+      if (const auto *VR = dyn_cast<VarRefExpr>(U->Sub.get())) {
+        if (!lookupVar(VR->Name) && !M->lookupGlobal(VR->Name))
+          if (Function *F = M->lookupFunction(VR->Name))
+            return F;
+      }
+      Value *Addr = genAddr(*U->Sub);
+      return Addr ? Addr : Ctx.getInt64(0);
+    }
+    }
+    SLO_UNREACHABLE("unary operator not handled");
+  }
+  case Expr::EK_Binary:
+    return genBinary(*cast<BinaryExpr>(&E));
+  case Expr::EK_Assign:
+    return genAssign(*cast<AssignExpr>(&E));
+  case Expr::EK_IncDec:
+    return genIncDec(*cast<IncDecExpr>(&E));
+  case Expr::EK_Cond:
+    return genCond(*cast<CondExpr>(&E));
+  case Expr::EK_Call:
+    return genCall(*cast<CallExpr>(&E));
+  case Expr::EK_Index:
+  case Expr::EK_Member: {
+    Value *Addr = genAddr(E);
+    if (!Addr)
+      return Ctx.getInt64(0);
+    // An aggregate-typed member (array field) decays rather than loads.
+    Type *Pointee = cast<PointerType>(Addr->getType())->getPointee();
+    if (Pointee->isArray())
+      return decayIfArray(Addr, E.Line);
+    if (Pointee->isRecord())
+      return error(E.Line, "struct values cannot be used as expressions; "
+                           "take a field or an address");
+    return B.createLoad(Addr);
+  }
+  case Expr::EK_Cast: {
+    const auto *C = cast<CastExpr>(&E);
+    Value *V = genExpr(*C->Sub);
+    Type *DestTy = resolveType(C->Ty, E.Line);
+    if (DestTy->isVoid())
+      return V; // (void)expr discards the value.
+    return convert(V, DestTy, E.Line);
+  }
+  case Expr::EK_SizeofType: {
+    const auto *S = cast<SizeofTypeExpr>(&E);
+    Type *Ty = resolveType(S->Ty, E.Line);
+    if (Ty->isVoid())
+      return error(E.Line, "sizeof(void) is invalid");
+    if (auto *Rec = dyn_cast<RecordType>(Ty))
+      return Ctx.getSizeOf(Rec); // Attributed constant.
+    return Ctx.getInt64(static_cast<int64_t>(Ty->getSize()));
+  }
+  }
+  SLO_UNREACHABLE("expression kind not handled");
+}
+
+Value *IRGenerator::genShortCircuit(const BinaryExpr &E) {
+  bool IsAnd = E.Op == BinaryExpr::BO_LAnd;
+  // Lower with a temporary slot rather than SSA phis (the IR has none).
+  AllocaInst *Tmp = nullptr;
+  {
+    // Put the slot in the entry block so it dominates all uses.
+    BasicBlock *Save = B.getInsertBlock();
+    BasicBlock *Entry = CurFn->getEntry();
+    if (Entry->getTerminator())
+      B.setInsertBefore(Entry->getTerminator());
+    else
+      B.setInsertPoint(Entry);
+    Tmp = B.createAlloca(Ctx.getTypes().getI1(), IsAnd ? "and.tmp" : "or.tmp");
+    B.setInsertPoint(Save);
+  }
+  B.createStore(Ctx.getBool(!IsAnd), Tmp);
+  Value *C1 = toBool(genExpr(*E.LHS), E.Line);
+  BasicBlock *RhsBB = newBlock(IsAnd ? "and.rhs" : "or.rhs");
+  BasicBlock *EndBB = newBlock(IsAnd ? "and.end" : "or.end");
+  if (IsAnd)
+    B.createCondBr(C1, RhsBB, EndBB);
+  else
+    B.createCondBr(C1, EndBB, RhsBB);
+  startBlock(RhsBB);
+  Value *C2 = toBool(genExpr(*E.RHS), E.Line);
+  B.createStore(C2, Tmp);
+  B.createBr(EndBB);
+  startBlock(EndBB);
+  return B.createLoad(Tmp);
+}
+
+Value *IRGenerator::genBinary(const BinaryExpr &E) {
+  if (E.Op == BinaryExpr::BO_LAnd || E.Op == BinaryExpr::BO_LOr)
+    return genShortCircuit(E);
+
+  Value *L = genExpr(*E.LHS);
+  Value *R = genExpr(*E.RHS);
+
+  // Pointer arithmetic and pointer comparisons.
+  if (L->getType()->isPointer() || R->getType()->isPointer()) {
+    bool LPtr = L->getType()->isPointer();
+    bool RPtr = R->getType()->isPointer();
+    switch (E.Op) {
+    case BinaryExpr::BO_Add:
+    case BinaryExpr::BO_Sub: {
+      if (LPtr && !RPtr) {
+        Value *Idx = convert(R, Ctx.getTypes().getI64(), E.Line);
+        if (E.Op == BinaryExpr::BO_Sub)
+          Idx = B.createBinary(Instruction::OpSub, Ctx.getInt64(0), Idx);
+        return B.createIndexAddr(L, Idx);
+      }
+      if (!LPtr && RPtr && E.Op == BinaryExpr::BO_Add) {
+        Value *Idx = convert(L, Ctx.getTypes().getI64(), E.Line);
+        return B.createIndexAddr(R, Idx);
+      }
+      return error(E.Line, "unsupported pointer arithmetic");
+    }
+    case BinaryExpr::BO_EQ:
+    case BinaryExpr::BO_NE:
+    case BinaryExpr::BO_LT:
+    case BinaryExpr::BO_LE:
+    case BinaryExpr::BO_GT:
+    case BinaryExpr::BO_GE: {
+      // Compare as addresses; coerce integer 0 to null.
+      if (!LPtr)
+        L = convert(L, R->getType(), E.Line);
+      if (!RPtr)
+        R = convert(R, L->getType(), E.Line);
+      if (L->getType() != R->getType())
+        R = convert(R, L->getType(), E.Line);
+      Instruction::Opcode Op;
+      switch (E.Op) {
+      case BinaryExpr::BO_EQ:
+        Op = Instruction::OpICmpEQ;
+        break;
+      case BinaryExpr::BO_NE:
+        Op = Instruction::OpICmpNE;
+        break;
+      case BinaryExpr::BO_LT:
+        Op = Instruction::OpICmpSLT;
+        break;
+      case BinaryExpr::BO_LE:
+        Op = Instruction::OpICmpSLE;
+        break;
+      case BinaryExpr::BO_GT:
+        Op = Instruction::OpICmpSGT;
+        break;
+      default:
+        Op = Instruction::OpICmpSGE;
+        break;
+      }
+      return B.createCmp(Op, L, R);
+    }
+    default:
+      return error(E.Line, "invalid operands to binary operator");
+    }
+  }
+
+  Type *Common = commonType(L->getType(), R->getType());
+  L = convert(L, Common, E.Line);
+  R = convert(R, Common, E.Line);
+  bool IsFloat = Common->isFloat();
+
+  switch (E.Op) {
+  case BinaryExpr::BO_Add:
+    return B.createBinary(IsFloat ? Instruction::OpFAdd : Instruction::OpAdd,
+                          L, R);
+  case BinaryExpr::BO_Sub:
+    return B.createBinary(IsFloat ? Instruction::OpFSub : Instruction::OpSub,
+                          L, R);
+  case BinaryExpr::BO_Mul:
+    return B.createBinary(IsFloat ? Instruction::OpFMul : Instruction::OpMul,
+                          L, R);
+  case BinaryExpr::BO_Div:
+    return B.createBinary(IsFloat ? Instruction::OpFDiv : Instruction::OpSDiv,
+                          L, R);
+  case BinaryExpr::BO_Rem:
+    if (IsFloat)
+      return error(E.Line, "'%' requires integer operands");
+    return B.createBinary(Instruction::OpSRem, L, R);
+  case BinaryExpr::BO_And:
+  case BinaryExpr::BO_Or:
+  case BinaryExpr::BO_Xor:
+  case BinaryExpr::BO_Shl:
+  case BinaryExpr::BO_Shr: {
+    if (IsFloat)
+      return error(E.Line, "bitwise operator requires integer operands");
+    Instruction::Opcode Op;
+    switch (E.Op) {
+    case BinaryExpr::BO_And:
+      Op = Instruction::OpAnd;
+      break;
+    case BinaryExpr::BO_Or:
+      Op = Instruction::OpOr;
+      break;
+    case BinaryExpr::BO_Xor:
+      Op = Instruction::OpXor;
+      break;
+    case BinaryExpr::BO_Shl:
+      Op = Instruction::OpShl;
+      break;
+    default:
+      Op = Instruction::OpAShr;
+      break;
+    }
+    return B.createBinary(Op, L, R);
+  }
+  case BinaryExpr::BO_EQ:
+  case BinaryExpr::BO_NE:
+  case BinaryExpr::BO_LT:
+  case BinaryExpr::BO_LE:
+  case BinaryExpr::BO_GT:
+  case BinaryExpr::BO_GE: {
+    Instruction::Opcode Op;
+    switch (E.Op) {
+    case BinaryExpr::BO_EQ:
+      Op = IsFloat ? Instruction::OpFCmpEQ : Instruction::OpICmpEQ;
+      break;
+    case BinaryExpr::BO_NE:
+      Op = IsFloat ? Instruction::OpFCmpNE : Instruction::OpICmpNE;
+      break;
+    case BinaryExpr::BO_LT:
+      Op = IsFloat ? Instruction::OpFCmpLT : Instruction::OpICmpSLT;
+      break;
+    case BinaryExpr::BO_LE:
+      Op = IsFloat ? Instruction::OpFCmpLE : Instruction::OpICmpSLE;
+      break;
+    case BinaryExpr::BO_GT:
+      Op = IsFloat ? Instruction::OpFCmpGT : Instruction::OpICmpSGT;
+      break;
+    default:
+      Op = IsFloat ? Instruction::OpFCmpGE : Instruction::OpICmpSGE;
+      break;
+    }
+    return B.createCmp(Op, L, R);
+  }
+  case BinaryExpr::BO_LAnd:
+  case BinaryExpr::BO_LOr:
+    break;
+  }
+  SLO_UNREACHABLE("binary operator not handled");
+}
+
+Value *IRGenerator::genAssign(const AssignExpr &E) {
+  Value *Addr = genAddr(*E.LHS);
+  if (!Addr)
+    return Ctx.getInt64(0);
+  Type *ValueTy = cast<PointerType>(Addr->getType())->getPointee();
+  Value *RHS = genExpr(*E.RHS);
+
+  if (E.Op != AssignExpr::AO_Assign) {
+    Value *Old = B.createLoad(Addr);
+    if (Old->getType()->isPointer()) {
+      // p += n / p -= n.
+      Value *Idx = convert(RHS, Ctx.getTypes().getI64(), E.Line);
+      if (E.Op == AssignExpr::AO_Sub)
+        Idx = B.createBinary(Instruction::OpSub, Ctx.getInt64(0), Idx);
+      else if (E.Op != AssignExpr::AO_Add)
+        return error(E.Line, "invalid compound assignment to a pointer");
+      RHS = B.createIndexAddr(Old, Idx);
+    } else {
+      Type *Common = commonType(Old->getType(), RHS->getType());
+      Value *L = convert(Old, Common, E.Line);
+      Value *R = convert(RHS, Common, E.Line);
+      bool IsFloat = Common->isFloat();
+      Instruction::Opcode Op;
+      switch (E.Op) {
+      case AssignExpr::AO_Add:
+        Op = IsFloat ? Instruction::OpFAdd : Instruction::OpAdd;
+        break;
+      case AssignExpr::AO_Sub:
+        Op = IsFloat ? Instruction::OpFSub : Instruction::OpSub;
+        break;
+      case AssignExpr::AO_Mul:
+        Op = IsFloat ? Instruction::OpFMul : Instruction::OpMul;
+        break;
+      default:
+        Op = IsFloat ? Instruction::OpFDiv : Instruction::OpSDiv;
+        break;
+      }
+      RHS = B.createBinary(Op, L, R);
+    }
+  }
+
+  Value *Converted = convert(RHS, ValueTy, E.Line);
+  B.createStore(Converted, Addr);
+  return Converted;
+}
+
+Value *IRGenerator::genIncDec(const IncDecExpr &E) {
+  Value *Addr = genAddr(*E.Sub);
+  if (!Addr)
+    return Ctx.getInt64(0);
+  Value *Old = B.createLoad(Addr);
+  Value *New = nullptr;
+  if (Old->getType()->isPointer()) {
+    New = B.createIndexAddr(Old, Ctx.getInt64(E.IsInc ? 1 : -1));
+  } else if (Old->getType()->isFloat()) {
+    auto *FT = cast<FloatType>(Old->getType());
+    New = B.createBinary(E.IsInc ? Instruction::OpFAdd : Instruction::OpFSub,
+                         Old, Ctx.getConstantFloat(FT, 1.0));
+  } else {
+    auto *IT = cast<IntType>(Old->getType());
+    New = B.createBinary(E.IsInc ? Instruction::OpAdd : Instruction::OpSub,
+                         Old, Ctx.getConstantInt(IT, 1));
+  }
+  B.createStore(New, Addr);
+  return E.IsPrefix ? New : Old;
+}
+
+Value *IRGenerator::genCond(const CondExpr &E) {
+  Value *C = toBool(genExpr(*E.Cond), E.Line);
+  BasicBlock *TrueBB = newBlock("sel.true");
+  BasicBlock *FalseBB = newBlock("sel.false");
+  BasicBlock *EndBB = newBlock("sel.end");
+  B.createCondBr(C, TrueBB, FalseBB);
+
+  // Evaluate both arms into a temporary slot (no phis in this IR). The
+  // result type is computed by a first pass over the arm types; to keep
+  // things simple we require both arms to be scalars.
+  startBlock(TrueBB);
+  Value *TV = genExpr(*E.TrueE);
+  BasicBlock *TrueEnd = B.getInsertBlock();
+
+  startBlock(FalseBB);
+  Value *FV = genExpr(*E.FalseE);
+  BasicBlock *FalseEnd = B.getInsertBlock();
+
+  Type *ResultTy = nullptr;
+  if (TV->getType()->isPointer() && FV->getType()->isPointer())
+    ResultTy = TV->getType();
+  else if (TV->getType()->isPointer() || FV->getType()->isPointer())
+    ResultTy = TV->getType()->isPointer() ? TV->getType() : FV->getType();
+  else
+    ResultTy = commonType(TV->getType(), FV->getType());
+
+  AllocaInst *Tmp = nullptr;
+  {
+    BasicBlock *Save = B.getInsertBlock();
+    BasicBlock *Entry = CurFn->getEntry();
+    if (Entry->getTerminator())
+      B.setInsertBefore(Entry->getTerminator());
+    else
+      B.setInsertPoint(Entry);
+    Tmp = B.createAlloca(ResultTy, "sel.tmp");
+    B.setInsertPoint(Save);
+  }
+
+  B.setInsertPoint(TrueEnd);
+  B.createStore(convert(TV, ResultTy, E.Line), Tmp);
+  B.createBr(EndBB);
+  B.setInsertPoint(FalseEnd);
+  B.createStore(convert(FV, ResultTy, E.Line), Tmp);
+  B.createBr(EndBB);
+
+  startBlock(EndBB);
+  return B.createLoad(Tmp);
+}
+
+Value *IRGenerator::genBuiltinCall(const CallExpr &E,
+                                   const std::string &Name) {
+  TypeContext &T = Ctx.getTypes();
+  auto Arg = [&](size_t I) { return genExpr(*E.Args[I]); };
+  auto ArgI64 = [&](size_t I) {
+    return convert(Arg(I), T.getI64(), E.Line);
+  };
+  auto ArgPtr = [&](size_t I) {
+    Value *V = Arg(I);
+    if (!V->getType()->isPointer())
+      return static_cast<Value *>(nullptr);
+    return V;
+  };
+  auto WrongArgs = [&](const char *Expected) {
+    return error(E.Line,
+                 formatString("'%s' expects %s", Name.c_str(), Expected));
+  };
+
+  if (Name == "malloc") {
+    if (E.Args.size() != 1)
+      return WrongArgs("1 argument");
+    return B.createMalloc(ArgI64(0), "m");
+  }
+  if (Name == "calloc") {
+    if (E.Args.size() != 2)
+      return WrongArgs("2 arguments");
+    Value *N = ArgI64(0);
+    return B.createCalloc(N, ArgI64(1), "c");
+  }
+  if (Name == "realloc") {
+    if (E.Args.size() != 2)
+      return WrongArgs("2 arguments");
+    Value *P = ArgPtr(0);
+    if (!P)
+      return WrongArgs("a pointer first argument");
+    return B.createRealloc(P, ArgI64(1), "r");
+  }
+  if (Name == "free") {
+    if (E.Args.size() != 1)
+      return WrongArgs("1 argument");
+    Value *P = ArgPtr(0);
+    if (!P)
+      return WrongArgs("a pointer argument");
+    B.createFree(P);
+    return Ctx.getInt64(0);
+  }
+  if (Name == "memset") {
+    if (E.Args.size() != 3)
+      return WrongArgs("3 arguments");
+    Value *P = ArgPtr(0);
+    if (!P)
+      return WrongArgs("a pointer first argument");
+    Value *V = ArgI64(1);
+    B.createMemset(P, V, ArgI64(2));
+    return Ctx.getInt64(0);
+  }
+  if (Name == "memcpy") {
+    if (E.Args.size() != 3)
+      return WrongArgs("3 arguments");
+    Value *D = ArgPtr(0);
+    Value *S = ArgPtr(1);
+    if (!D || !S)
+      return WrongArgs("pointer arguments");
+    B.createMemcpy(D, S, ArgI64(2));
+    return Ctx.getInt64(0);
+  }
+  SLO_UNREACHABLE("not a builtin");
+}
+
+static bool isBuiltinName(const std::string &Name) {
+  return Name == "malloc" || Name == "calloc" || Name == "realloc" ||
+         Name == "free" || Name == "memset" || Name == "memcpy";
+}
+
+Value *IRGenerator::genCall(const CallExpr &E) {
+  // Direct calls and builtins are recognized through the callee name when
+  // it is not shadowed by a variable.
+  if (const auto *VR = dyn_cast<VarRefExpr>(E.Callee.get())) {
+    if (!lookupVar(VR->Name)) {
+      if (isBuiltinName(VR->Name))
+        return genBuiltinCall(E, VR->Name);
+      if (Function *F = M->lookupFunction(VR->Name)) {
+        FunctionType *FnTy = F->getFunctionType();
+        if (E.Args.size() != FnTy->getNumParams())
+          return error(E.Line, "wrong number of arguments to '" + VR->Name +
+                                   "'");
+        std::vector<Value *> Args;
+        for (size_t I = 0; I < E.Args.size(); ++I)
+          Args.push_back(convert(genExpr(*E.Args[I]),
+                                 FnTy->getParamType(static_cast<unsigned>(I)),
+                                 E.Line));
+        Value *Result = B.createCall(F, Args, VR->Name + ".res");
+        return Result->getType()->isVoid() ? Ctx.getInt64(0) : Result;
+      }
+      if (!M->lookupGlobal(VR->Name))
+        return error(E.Line, "call to undeclared function '" + VR->Name +
+                                 "'");
+    }
+  }
+
+  // Indirect call through a function-pointer value.
+  Value *Callee = genExpr(*E.Callee);
+  auto *PT = dyn_cast<PointerType>(Callee->getType());
+  if (!PT || !PT->getPointee()->isFunction())
+    return error(E.Line, "called object is not a function pointer");
+  auto *FnTy = cast<FunctionType>(PT->getPointee());
+  if (E.Args.size() != FnTy->getNumParams())
+    return error(E.Line, "wrong number of arguments in indirect call");
+  std::vector<Value *> Args;
+  for (size_t I = 0; I < E.Args.size(); ++I)
+    Args.push_back(convert(genExpr(*E.Args[I]),
+                           FnTy->getParamType(static_cast<unsigned>(I)),
+                           E.Line));
+  Value *Result = B.createIndirectCall(Callee, Args, "icall.res");
+  return Result->getType()->isVoid() ? Ctx.getInt64(0) : Result;
+}

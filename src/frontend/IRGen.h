@@ -1,0 +1,121 @@
+//===- frontend/IRGen.h - AST to IR lowering -------------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a MiniC TranslationUnit into an ir::Module. Notable lowering
+/// decisions that feed the paper's analyses:
+///
+///  - malloc/calloc return i8* and the assignment to a typed pointer emits
+///    an explicit Bitcast, so the CSTT malloc-tolerance logic is exercised
+///    exactly as in C.
+///  - sizeof(struct T) lowers to an attributed ConstantInt carrying the
+///    record, implementing the paper's proposed fix for the sizeof
+///    problem.
+///  - Array-to-pointer decay emits a Bitcast from [N x T]* to T*, which
+///    the legality analysis recognizes structurally as benign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_FRONTEND_IRGEN_H
+#define SLO_FRONTEND_IRGEN_H
+
+#include "frontend/Ast.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// Lowers one TranslationUnit into a Module sharing the program's
+/// IRContext.
+class IRGenerator {
+public:
+  IRGenerator(IRContext &Ctx, std::vector<std::string> &Diags)
+      : Ctx(Ctx), B(Ctx), Diags(Diags) {}
+
+  /// Returns the generated module, or null when any diagnostic was
+  /// emitted.
+  std::unique_ptr<Module> run(const TranslationUnit &TU,
+                              const std::string &ModuleName);
+
+private:
+  struct VarInfo {
+    Value *Addr = nullptr; // Alloca or global; type is ValueTy*.
+    Type *ValueTy = nullptr;
+  };
+
+  // Diagnostics; returns a harmless poison value so lowering can continue.
+  Value *error(unsigned Line, const std::string &Msg);
+  void errorNoValue(unsigned Line, const std::string &Msg);
+
+  // Declarations.
+  void declareStruct(const StructDecl &S);
+  void declareFunction(const FuncDecl &F);
+  void declareGlobal(const GlobalDecl &G);
+  void generateFunctionBody(const FuncDecl &F);
+
+  // Types.
+  Type *resolveType(const TypeSpec &TS, unsigned Line);
+  FunctionType *resolveProto(const FnProto &P, unsigned Line);
+
+  // Scope management.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  VarInfo *lookupVar(const std::string &Name);
+
+  // Statements.
+  void genStmt(const Stmt &S);
+  void genBlock(const BlockStmt &S);
+  void genVarDecl(const VarDeclStmt &S);
+  void genIf(const IfStmt &S);
+  void genWhile(const WhileStmt &S);
+  void genFor(const ForStmt &S);
+  void genReturn(const ReturnStmt &S);
+
+  // Expressions.
+  Value *genExpr(const Expr &E);
+  Value *genAddr(const Expr &E); // Lvalue address, or null + diagnostic.
+  Value *genCall(const CallExpr &E);
+  Value *genBuiltinCall(const CallExpr &E, const std::string &Name);
+  Value *genBinary(const BinaryExpr &E);
+  Value *genShortCircuit(const BinaryExpr &E);
+  Value *genAssign(const AssignExpr &E);
+  Value *genIncDec(const IncDecExpr &E);
+  Value *genCond(const CondExpr &E);
+
+  // Conversions.
+  Value *convert(Value *V, Type *DestTy, unsigned Line);
+  Value *toBool(Value *V, unsigned Line);
+  Type *commonType(Type *A, Type *B);
+  Value *decayIfArray(Value *Addr, unsigned Line);
+
+  // Control-flow helpers.
+  BasicBlock *newBlock(const std::string &Name);
+  void startBlock(BasicBlock *BB);
+  bool blockTerminated() const;
+  void finalizeFunction();
+
+  IRContext &Ctx;
+  IRBuilder B;
+  std::vector<std::string> &Diags;
+  bool HadError = false;
+
+  Module *M = nullptr;
+  Function *CurFn = nullptr;
+  std::vector<std::map<std::string, VarInfo>> Scopes;
+  std::vector<BasicBlock *> BreakTargets;
+  std::vector<BasicBlock *> ContinueTargets;
+  unsigned BlockCounter = 0;
+};
+
+} // namespace slo
+
+#endif // SLO_FRONTEND_IRGEN_H

@@ -1,0 +1,380 @@
+//===- frontend/Lexer.cpp - MiniC lexer -----------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace slo;
+
+const char *slo::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::FloatLiteral:
+    return "float literal";
+  case TokKind::KwStruct:
+    return "'struct'";
+  case TokKind::KwExtern:
+    return "'extern'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwLong:
+    return "'long'";
+  case TokKind::KwChar:
+    return "'char'";
+  case TokKind::KwShort:
+    return "'short'";
+  case TokKind::KwFloat:
+    return "'float'";
+  case TokKind::KwDouble:
+    return "'double'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwSizeof:
+    return "'sizeof'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::StarAssign:
+    return "'*='";
+  case TokKind::SlashAssign:
+    return "'/='";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::MinusMinus:
+    return "'--'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Colon:
+    return "':'";
+  }
+  return "<unknown token>";
+}
+
+Lexer::Lexer(std::string Source) : Src(std::move(Source)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+Token Lexer::make(TokKind K) const {
+  Token T;
+  T.Kind = K;
+  T.Line = TokLine;
+  T.Col = TokCol;
+  return T;
+}
+
+void Lexer::skipWhitespaceAndComments(std::string &Error) {
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos >= Src.size()) {
+        Error = formatString("line %u: unterminated block comment", Line);
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+static const std::map<std::string, TokKind> &keywordMap() {
+  static const std::map<std::string, TokKind> Keywords = {
+      {"struct", TokKind::KwStruct},   {"extern", TokKind::KwExtern},
+      {"int", TokKind::KwInt},         {"long", TokKind::KwLong},
+      {"char", TokKind::KwChar},       {"short", TokKind::KwShort},
+      {"float", TokKind::KwFloat},     {"double", TokKind::KwDouble},
+      {"void", TokKind::KwVoid},       {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+      {"for", TokKind::KwFor},         {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},     {"continue", TokKind::KwContinue},
+      {"sizeof", TokKind::KwSizeof},
+  };
+  return Keywords;
+}
+
+Token Lexer::next(std::string &Error) {
+  skipWhitespaceAndComments(Error);
+  if (!Error.empty())
+    return make(TokKind::Eof);
+  TokLine = Line;
+  TokCol = Col;
+  if (Pos >= Src.size())
+    return make(TokKind::Eof);
+
+  char C = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Ident(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Ident += advance();
+    auto It = keywordMap().find(Ident);
+    if (It != keywordMap().end())
+      return make(It->second);
+    Token T = make(TokKind::Identifier);
+    T.Text = std::move(Ident);
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Num(1, C);
+    if (C == '0' && (peek() == 'x' || peek() == 'X')) {
+      Num += advance();
+      while (std::isxdigit(static_cast<unsigned char>(peek())))
+        Num += advance();
+      Token T = make(TokKind::IntLiteral);
+      T.IntValue = static_cast<int64_t>(std::strtoull(Num.c_str(), nullptr, 16));
+      return T;
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Num += advance();
+    bool IsFloat = false;
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      Num += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Num += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char Sign = peek(1);
+      if (std::isdigit(static_cast<unsigned char>(Sign)) ||
+          ((Sign == '+' || Sign == '-') &&
+           std::isdigit(static_cast<unsigned char>(peek(2))))) {
+        IsFloat = true;
+        Num += advance();
+        if (peek() == '+' || peek() == '-')
+          Num += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          Num += advance();
+      }
+    }
+    if (IsFloat) {
+      Token T = make(TokKind::FloatLiteral);
+      T.FloatValue = std::strtod(Num.c_str(), nullptr);
+      return T;
+    }
+    Token T = make(TokKind::IntLiteral);
+    T.IntValue = static_cast<int64_t>(std::strtoull(Num.c_str(), nullptr, 10));
+    return T;
+  }
+
+  switch (C) {
+  case '(':
+    return make(TokKind::LParen);
+  case ')':
+    return make(TokKind::RParen);
+  case '{':
+    return make(TokKind::LBrace);
+  case '}':
+    return make(TokKind::RBrace);
+  case '[':
+    return make(TokKind::LBracket);
+  case ']':
+    return make(TokKind::RBracket);
+  case ';':
+    return make(TokKind::Semi);
+  case ',':
+    return make(TokKind::Comma);
+  case '.':
+    return make(TokKind::Dot);
+  case '+':
+    if (match('+'))
+      return make(TokKind::PlusPlus);
+    if (match('='))
+      return make(TokKind::PlusAssign);
+    return make(TokKind::Plus);
+  case '-':
+    if (match('>'))
+      return make(TokKind::Arrow);
+    if (match('-'))
+      return make(TokKind::MinusMinus);
+    if (match('='))
+      return make(TokKind::MinusAssign);
+    return make(TokKind::Minus);
+  case '*':
+    if (match('='))
+      return make(TokKind::StarAssign);
+    return make(TokKind::Star);
+  case '/':
+    if (match('='))
+      return make(TokKind::SlashAssign);
+    return make(TokKind::Slash);
+  case '%':
+    return make(TokKind::Percent);
+  case '&':
+    if (match('&'))
+      return make(TokKind::AmpAmp);
+    return make(TokKind::Amp);
+  case '|':
+    if (match('|'))
+      return make(TokKind::PipePipe);
+    return make(TokKind::Pipe);
+  case '^':
+    return make(TokKind::Caret);
+  case '~':
+    return make(TokKind::Tilde);
+  case '!':
+    if (match('='))
+      return make(TokKind::NotEq);
+    return make(TokKind::Bang);
+  case '=':
+    if (match('='))
+      return make(TokKind::EqEq);
+    return make(TokKind::Assign);
+  case '<':
+    if (match('='))
+      return make(TokKind::LessEq);
+    if (match('<'))
+      return make(TokKind::Shl);
+    return make(TokKind::Less);
+  case '>':
+    if (match('='))
+      return make(TokKind::GreaterEq);
+    if (match('>'))
+      return make(TokKind::Shr);
+    return make(TokKind::Greater);
+  case '?':
+    return make(TokKind::Question);
+  case ':':
+    return make(TokKind::Colon);
+  default:
+    Error = formatString("line %u: unexpected character '%c'", TokLine, C);
+    return make(TokKind::Eof);
+  }
+}
+
+std::vector<Token> Lexer::lexAll(std::string &Error) {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next(Error);
+    Tokens.push_back(T);
+    if (T.is(TokKind::Eof) || !Error.empty())
+      break;
+  }
+  if (Tokens.empty() || !Tokens.back().is(TokKind::Eof)) {
+    Token T;
+    T.Kind = TokKind::Eof;
+    T.Line = Line;
+    Tokens.push_back(T);
+  }
+  return Tokens;
+}

@@ -1,0 +1,52 @@
+//===- frontend/Lexer.h - MiniC lexer --------------------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC. Supports //- and /**/-style comments,
+/// decimal and hexadecimal integers, and floating point literals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_FRONTEND_LEXER_H
+#define SLO_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// Tokenizes one translation unit.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Tokenizes the whole input. On a lexical error, \p Error is set and an
+  /// Eof-terminated prefix is returned.
+  std::vector<Token> lexAll(std::string &Error);
+
+private:
+  Token next(std::string &Error);
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  void skipWhitespaceAndComments(std::string &Error);
+
+  Token make(TokKind K) const;
+
+  std::string Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+  unsigned TokLine = 1;
+  unsigned TokCol = 1;
+};
+
+} // namespace slo
+
+#endif // SLO_FRONTEND_LEXER_H

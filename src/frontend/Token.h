@@ -1,0 +1,105 @@
+//===- frontend/Token.h - MiniC tokens -------------------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token definitions for MiniC, the C subset the workload programs are
+/// written in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_FRONTEND_TOKEN_H
+#define SLO_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace slo {
+
+enum class TokKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+
+  // Keywords.
+  KwStruct,
+  KwExtern,
+  KwInt,
+  KwLong,
+  KwChar,
+  KwShort,
+  KwFloat,
+  KwDouble,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSizeof,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Arrow,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PlusPlus,
+  MinusMinus,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Shl,
+  Shr,
+  AmpAmp,
+  PipePipe,
+  Question,
+  Colon,
+};
+
+/// Returns a human-readable spelling for diagnostics.
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;     // Identifier spelling.
+  int64_t IntValue = 0; // For IntLiteral.
+  double FloatValue = 0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace slo
+
+#endif // SLO_FRONTEND_TOKEN_H

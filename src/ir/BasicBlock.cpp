@@ -1,0 +1,72 @@
+//===- ir/BasicBlock.cpp - Basic blocks -----------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+using namespace slo;
+
+BasicBlock::~BasicBlock() {
+  // Destroy instructions back-to-front so that defs outlive uses, and drop
+  // operand references first so cross-references within the block are safe.
+  for (auto &I : Insts)
+    I->dropAllReferences();
+}
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert(I && "appending a null instruction");
+  assert(!getTerminator() && "appending past a terminator");
+  I->Parent = this;
+  Insts.push_back(std::move(I));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertBefore(Instruction *Pos,
+                                      std::unique_ptr<Instruction> I) {
+  assert(I && "inserting a null instruction");
+  I->Parent = this;
+  for (auto It = Insts.begin(); It != Insts.end(); ++It) {
+    if (It->get() == Pos) {
+      return Insts.insert(It, std::move(I))->get();
+    }
+  }
+  SLO_UNREACHABLE("insertBefore: position not in this block");
+}
+
+void BasicBlock::erase(Instruction *I) {
+  assert(!I->hasUsers() && "erasing an instruction that still has users");
+  for (auto It = Insts.begin(); It != Insts.end(); ++It) {
+    if (It->get() == I) {
+      Insts.erase(It);
+      return;
+    }
+  }
+  SLO_UNREACHABLE("erase: instruction not in this block");
+}
+
+std::unique_ptr<Instruction> BasicBlock::remove(Instruction *I) {
+  for (auto It = Insts.begin(); It != Insts.end(); ++It) {
+    if (It->get() == I) {
+      std::unique_ptr<Instruction> Out = std::move(*It);
+      Insts.erase(It);
+      Out->Parent = nullptr;
+      return Out;
+    }
+  }
+  SLO_UNREACHABLE("remove: instruction not in this block");
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  Instruction *T = getTerminator();
+  if (!T)
+    return {};
+  if (auto *Br = dyn_cast<BrInst>(T))
+    return {Br->getTarget()};
+  if (auto *CBr = dyn_cast<CondBrInst>(T)) {
+    if (CBr->getTrueTarget() == CBr->getFalseTarget())
+      return {CBr->getTrueTarget()};
+    return {CBr->getTrueTarget(), CBr->getFalseTarget()};
+  }
+  return {};
+}

@@ -1,0 +1,87 @@
+//===- ir/BasicBlock.h - Basic blocks --------------------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks own their instructions and expose the CFG through their
+/// terminators. Successor edges live in the terminator; predecessor lists
+/// are computed by the analyses that need them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_IR_BASICBLOCK_H
+#define SLO_IR_BASICBLOCK_H
+
+#include "ir/Instructions.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+class Function;
+
+/// A straight-line sequence of instructions ending in a terminator.
+class BasicBlock {
+public:
+  explicit BasicBlock(std::string Name) : Name(std::move(Name)) {}
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+  ~BasicBlock();
+
+  const std::string &getName() const { return Name; }
+  Function *getParent() const { return Parent; }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// The block's terminator, or nullptr while the block is being built.
+  Instruction *getTerminator() const {
+    return (!Insts.empty() && Insts.back()->isTerminator()) ? back()
+                                                            : nullptr;
+  }
+
+  /// Appends \p I; returns the raw pointer for convenience.
+  Instruction *append(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I immediately before \p Pos, which must be in this block.
+  Instruction *insertBefore(Instruction *Pos, std::unique_ptr<Instruction> I);
+
+  /// Removes and destroys \p I, which must be in this block and must have
+  /// no remaining users.
+  void erase(Instruction *I);
+
+  /// Removes \p I from this block without destroying it; ownership passes
+  /// to the caller.
+  std::unique_ptr<Instruction> remove(Instruction *I);
+
+  /// The successor blocks, taken from the terminator (empty for ret).
+  /// Duplicate targets (condbr with identical arms) are reported once.
+  std::vector<BasicBlock *> successors() const;
+
+  /// Iteration over the owned instructions in order.
+  const std::vector<std::unique_ptr<Instruction>> &instructions() const {
+    return Insts;
+  }
+
+  /// Position of this block within its function; assigned by Function.
+  unsigned getNumber() const { return Number; }
+
+private:
+  friend class Function;
+  std::string Name;
+  Function *Parent = nullptr;
+  unsigned Number = 0;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+} // namespace slo
+
+#endif // SLO_IR_BASICBLOCK_H

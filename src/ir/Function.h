@@ -1,0 +1,111 @@
+//===- ir/Function.h - Functions and arguments -----------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function definitions and declarations. A declaration without a body is
+/// either an unresolved external (resolved by the Linker) or a library
+/// function; the latter drives the paper's LIBC legality test: record
+/// types escaping to a library function are invalid because they escape
+/// the compilation scope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_IR_FUNCTION_H
+#define SLO_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+class Module;
+class Function;
+
+/// A formal parameter of a function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, std::string Name, unsigned Index, Function *Parent)
+      : Value(VK_Argument, Ty, std::move(Name)), Index(Index),
+        Parent(Parent) {}
+
+  unsigned getIndex() const { return Index; }
+  Function *getParent() const { return Parent; }
+
+  static bool classof(const Value *V) { return V->getKind() == VK_Argument; }
+
+private:
+  unsigned Index;
+  Function *Parent;
+};
+
+/// A function definition or declaration.
+class Function : public Value {
+public:
+  Function(TypeContext &Types, FunctionType *FnTy, std::string Name,
+           bool IsLib);
+  ~Function() override;
+
+  FunctionType *getFunctionType() const { return FnTy; }
+  Type *getReturnType() const { return FnTy->getReturnType(); }
+
+  /// True for declarations marked as standard-library functions (the
+  /// paper's "marked specially in the header files" set). Escaping a
+  /// record type to one of these triggers the LIBC legality violation.
+  bool isLibFunction() const { return IsLib; }
+  void setLibFunction(bool V) { IsLib = V; }
+
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  unsigned getNumArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *getArg(unsigned I) const { return Args[I].get(); }
+
+  Module *getParent() const { return Parent; }
+  void setParent(Module *M) { Parent = M; }
+
+  /// Creates and appends a new basic block.
+  BasicBlock *createBlock(const std::string &BlockName);
+
+  /// Inserts an externally created block (used by transformations that
+  /// splice in loops).
+  BasicBlock *insertBlockAfter(BasicBlock *Pos,
+                               std::unique_ptr<BasicBlock> BB);
+
+  BasicBlock *getEntry() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  size_t size() const { return Blocks.size(); }
+
+  /// Renumbers blocks 0..N-1 in layout order. Called automatically on
+  /// block creation; cheap enough to call after CFG surgery.
+  void renumberBlocks();
+
+  /// Changes this function's signature to \p NewTy (same arity). Only the
+  /// layout transformations use this, when a record type mentioned in the
+  /// signature is replaced by a new layout. Argument types are mutated by
+  /// the caller's retyping walk.
+  void retype(TypeContext &Types, FunctionType *NewTy);
+
+  static bool classof(const Value *V) { return V->getKind() == VK_Function; }
+
+private:
+  FunctionType *FnTy;
+  bool IsLib;
+  Module *Parent = nullptr;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace slo
+
+#endif // SLO_IR_FUNCTION_H

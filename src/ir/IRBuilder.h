@@ -1,0 +1,154 @@
+//===- ir/IRBuilder.h - Instruction creation convenience -------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builder that appends instructions to a current insertion block (or
+/// before a given instruction). Used by the frontend IR generator, the
+/// transformations, and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_IR_IRBUILDER_H
+#define SLO_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// Appends newly created instructions at an insertion point.
+class IRBuilder {
+public:
+  explicit IRBuilder(IRContext &Ctx) : Ctx(Ctx) {}
+
+  IRContext &getContext() const { return Ctx; }
+  TypeContext &getTypes() const { return Ctx.getTypes(); }
+
+  /// Sets the insertion point to the end of \p BB.
+  void setInsertPoint(BasicBlock *BB) {
+    InsertBlock = BB;
+    InsertBefore = nullptr;
+  }
+
+  /// Sets the insertion point immediately before \p I.
+  void setInsertBefore(Instruction *I) {
+    InsertBlock = I->getParent();
+    InsertBefore = I;
+  }
+
+  BasicBlock *getInsertBlock() const { return InsertBlock; }
+
+  // Memory.
+  AllocaInst *createAlloca(Type *Ty, const std::string &Name) {
+    return insert(new AllocaInst(getTypes(), Ty, Name));
+  }
+  LoadInst *createLoad(Value *Ptr, const std::string &Name = "") {
+    return insert(new LoadInst(Ptr, Name));
+  }
+  StoreInst *createStore(Value *Val, Value *Ptr) {
+    return insert(new StoreInst(getTypes(), Val, Ptr));
+  }
+  FieldAddrInst *createFieldAddr(Value *Base, RecordType *Rec,
+                                 unsigned FieldIndex,
+                                 const std::string &Name = "") {
+    return insert(new FieldAddrInst(getTypes(), Base, Rec, FieldIndex, Name));
+  }
+  IndexAddrInst *createIndexAddr(Value *Base, Value *Index,
+                                 const std::string &Name = "") {
+    return insert(new IndexAddrInst(Base, Index, Name));
+  }
+
+  // Arithmetic.
+  BinaryInst *createBinary(Instruction::Opcode Op, Value *LHS, Value *RHS,
+                           const std::string &Name = "") {
+    return insert(new BinaryInst(Op, LHS, RHS, Name));
+  }
+  CmpInst *createCmp(Instruction::Opcode Op, Value *LHS, Value *RHS,
+                     const std::string &Name = "") {
+    return insert(new CmpInst(getTypes(), Op, LHS, RHS, Name));
+  }
+  CastInst *createCast(Instruction::Opcode Op, Value *V, Type *DestTy,
+                       const std::string &Name = "") {
+    return insert(new CastInst(Op, V, DestTy, Name));
+  }
+
+  // Calls and control flow.
+  CallInst *createCall(Function *Callee, const std::vector<Value *> &Args,
+                       const std::string &Name = "") {
+    return insert(new CallInst(Callee, Args, Name));
+  }
+  IndirectCallInst *createIndirectCall(Value *CalleePtr,
+                                       const std::vector<Value *> &Args,
+                                       const std::string &Name = "") {
+    return insert(new IndirectCallInst(CalleePtr, Args, Name));
+  }
+  RetInst *createRet(Value *V = nullptr) {
+    return insert(new RetInst(getTypes(), V));
+  }
+  BrInst *createBr(BasicBlock *Target) {
+    return insert(new BrInst(getTypes(), Target));
+  }
+  CondBrInst *createCondBr(Value *Cond, BasicBlock *TrueBB,
+                           BasicBlock *FalseBB) {
+    return insert(new CondBrInst(getTypes(), Cond, TrueBB, FalseBB));
+  }
+
+  // Heap intrinsics.
+  MallocInst *createMalloc(Value *SizeBytes, const std::string &Name = "") {
+    return insert(new MallocInst(getTypes(), SizeBytes, Name));
+  }
+  CallocInst *createCalloc(Value *Count, Value *ElemSize,
+                           const std::string &Name = "") {
+    return insert(new CallocInst(getTypes(), Count, ElemSize, Name));
+  }
+  ReallocInst *createRealloc(Value *Ptr, Value *SizeBytes,
+                             const std::string &Name = "") {
+    return insert(new ReallocInst(getTypes(), Ptr, SizeBytes, Name));
+  }
+  FreeInst *createFree(Value *Ptr) {
+    return insert(new FreeInst(getTypes(), Ptr));
+  }
+  MemsetInst *createMemset(Value *Ptr, Value *Byte, Value *SizeBytes) {
+    return insert(new MemsetInst(getTypes(), Ptr, Byte, SizeBytes));
+  }
+  MemcpyInst *createMemcpy(Value *Dst, Value *Src, Value *SizeBytes) {
+    return insert(new MemcpyInst(getTypes(), Dst, Src, SizeBytes));
+  }
+
+  // Constant shorthands.
+  ConstantInt *getInt64(int64_t V) { return Ctx.getInt64(V); }
+  ConstantInt *getInt32(int32_t V) {
+    return Ctx.getConstantInt(getTypes().getI32(), V);
+  }
+  ConstantInt *getBool(bool V) { return Ctx.getBool(V); }
+  ConstantFloat *getF64(double V) {
+    return Ctx.getConstantFloat(getTypes().getF64(), V);
+  }
+  ConstantInt *getSizeOf(RecordType *Rec) { return Ctx.getSizeOf(Rec); }
+
+private:
+  template <typename InstT> InstT *insert(InstT *I) {
+    assert(InsertBlock && "no insertion point set");
+    std::unique_ptr<Instruction> Owned(I);
+    if (InsertBefore)
+      InsertBlock->insertBefore(InsertBefore, std::move(Owned));
+    else
+      InsertBlock->append(std::move(Owned));
+    return I;
+  }
+
+  IRContext &Ctx;
+  BasicBlock *InsertBlock = nullptr;
+  Instruction *InsertBefore = nullptr;
+};
+
+} // namespace slo
+
+#endif // SLO_IR_IRBUILDER_H

@@ -1,0 +1,37 @@
+//===- ir/IRPrinter.h - Textual IR dumping ---------------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules, functions, and instructions in a readable textual form
+/// for debugging, golden tests, and the example programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_IR_IRPRINTER_H
+#define SLO_IR_IRPRINTER_H
+
+#include <string>
+
+namespace slo {
+
+class Module;
+class Function;
+class Instruction;
+class RecordType;
+
+/// Renders the whole module: record layouts, globals, then functions.
+std::string printModule(const Module &M);
+
+/// Renders one function with numbered values.
+std::string printFunction(const Function &F);
+
+/// Renders one record type with field offsets ("struct node { ... }").
+std::string printRecordLayout(const RecordType &Rec);
+
+} // namespace slo
+
+#endif // SLO_IR_IRPRINTER_H

@@ -1,0 +1,103 @@
+//===- ir/Linker.cpp - Whole-program module linking -----------------------===//
+
+#include "ir/Linker.h"
+
+#include "ir/Module.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <map>
+
+using namespace slo;
+
+std::unique_ptr<Module>
+slo::linkModules(IRContext &Ctx, std::vector<std::unique_ptr<Module>> TUs,
+                 const std::string &Name) {
+  auto Out = std::make_unique<Module>(Ctx, Name);
+
+  // Maps a replaced declaration to the surviving function/global.
+  std::map<Function *, Function *> FnReplacement;
+  std::map<GlobalVariable *, GlobalVariable *> GlobalReplacement;
+  // Keep replaced declarations alive until all references are patched.
+  std::vector<std::unique_ptr<Function>> DeadFns;
+  std::vector<std::unique_ptr<GlobalVariable>> DeadGlobals;
+
+  for (auto &TU : TUs) {
+    for (auto &F : TU->takeFunctions()) {
+      Function *Existing = Out->lookupFunction(F->getName());
+      if (!Existing) {
+        Out->adoptFunction(std::move(F));
+        continue;
+      }
+      if (Existing->getFunctionType() != F->getFunctionType())
+        reportFatalError("linker: signature mismatch for function '" +
+                         F->getName() + "'");
+      if (!Existing->isDeclaration() && !F->isDeclaration())
+        reportFatalError("linker: duplicate definition of function '" +
+                         F->getName() + "'");
+      if (Existing->isDeclaration() && !F->isDeclaration()) {
+        // The new definition wins; retire the old declaration but keep it
+        // alive until its remaining references are patched.
+        // Propagate the library marking conservatively: a function is a
+        // library function only if every view of it says so.
+        F->setLibFunction(Existing->isLibFunction() && F->isLibFunction());
+        Function *NewF = Out->adoptFunction(std::move(F));
+        FnReplacement[Existing] = NewF;
+        for (auto &[From, To] : FnReplacement)
+          if (To == Existing)
+            To = NewF;
+        DeadFns.push_back(Out->releaseFunction(Existing));
+      } else {
+        // Existing definition (or both declarations): drop the new one.
+        Existing->setLibFunction(Existing->isLibFunction() &&
+                                 F->isLibFunction());
+        FnReplacement[F.get()] = Existing;
+        DeadFns.push_back(std::move(F));
+      }
+    }
+    for (auto &G : TU->takeGlobals()) {
+      GlobalVariable *Existing = Out->lookupGlobal(G->getName());
+      if (!Existing) {
+        Out->adoptGlobal(std::move(G));
+        continue;
+      }
+      if (Existing->getValueType() != G->getValueType())
+        reportFatalError("linker: type mismatch for global '" + G->getName() +
+                         "'");
+      GlobalReplacement[G.get()] = Existing;
+      DeadGlobals.push_back(std::move(G));
+    }
+  }
+
+  // Resolve any remaining declaration entries in the replacement map to
+  // their final definitions (a declaration may have been replaced before
+  // the definition arrived).
+  auto Resolve = [&](Function *F) {
+    while (FnReplacement.count(F))
+      F = FnReplacement[F];
+    return F;
+  };
+
+  // Patch direct-call callee links and operand references.
+  for (const auto &F : Out->functions()) {
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        if (auto *C = dyn_cast<CallInst>(I.get())) {
+          Function *Target = Resolve(C->getCallee());
+          if (Target != C->getCallee())
+            C->setCallee(Target);
+        }
+      }
+    }
+  }
+  for (auto &[From, To] : FnReplacement)
+    From->replaceAllUsesWith(Resolve(To));
+  for (auto &[From, To] : GlobalReplacement)
+    From->replaceAllUsesWith(To);
+
+  // Dead declarations have no users now; destroying them is safe.
+  DeadFns.clear();
+  DeadGlobals.clear();
+  TUs.clear();
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- ir/Linker.h - Whole-program module linking --------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Merges the modules of a program's translation units into one module,
+/// the stand-in for the paper's -ipo link step where IELF files are
+/// handed to the inter-procedural optimizer. Record types are already
+/// unified by name through the shared TypeContext; the linker resolves
+/// function declarations to definitions and merges globals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_IR_LINKER_H
+#define SLO_IR_LINKER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+class IRContext;
+class Module;
+
+/// Links \p TUs (all sharing one IRContext) into a single module named
+/// \p Name. Aborts on duplicate definitions or signature mismatches
+/// (these indicate malformed workload programs, not user-recoverable
+/// conditions).
+std::unique_ptr<Module> linkModules(IRContext &Ctx,
+                                    std::vector<std::unique_ptr<Module>> TUs,
+                                    const std::string &Name);
+
+} // namespace slo
+
+#endif // SLO_IR_LINKER_H

@@ -1,0 +1,128 @@
+//===- ir/Type.cpp - IR type system ---------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/Error.h"
+
+using namespace slo;
+
+uint64_t VoidType::getSize() const {
+  reportFatalError("void type has no size");
+}
+
+unsigned VoidType::getAlign() const {
+  reportFatalError("void type has no alignment");
+}
+
+uint64_t FunctionType::getSize() const {
+  reportFatalError("function type has no size");
+}
+
+unsigned FunctionType::getAlign() const {
+  reportFatalError("function type has no alignment");
+}
+
+std::string FunctionType::getName() const {
+  std::string S = Ret->getName() + "(";
+  for (size_t I = 0; I < Params.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += Params[I]->getName();
+  }
+  return S + ")";
+}
+
+void RecordType::setFields(std::vector<Field> NewFields) {
+  assert(!LayoutDone && "record body already set");
+  Fields = std::move(NewFields);
+  uint64_t Offset = 0;
+  unsigned MaxAlign = 1;
+  for (unsigned I = 0; I < Fields.size(); ++I) {
+    Field &F = Fields[I];
+    assert(F.Ty && "field has no type");
+    unsigned A = F.Ty->getAlign();
+    Offset = alignTo(Offset, A);
+    F.Offset = Offset;
+    F.Index = I;
+    Offset += F.Ty->getSize();
+    MaxAlign = std::max(MaxAlign, A);
+  }
+  Align = MaxAlign;
+  Size = alignTo(Offset, MaxAlign);
+  // An empty record still occupies one byte so that distinct heap objects
+  // have distinct addresses (mirrors C++ rather than C, which forbids
+  // empty structs).
+  if (Size == 0)
+    Size = 1;
+  LayoutDone = true;
+}
+
+const Field *RecordType::findField(const std::string &FieldName) const {
+  for (const Field &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+TypeContext::TypeContext() : VoidTy(new VoidType()) {}
+
+IntType *TypeContext::getIntType(unsigned Bits) {
+  auto &Slot = IntTypes[Bits];
+  if (!Slot)
+    Slot.reset(new IntType(Bits));
+  return Slot.get();
+}
+
+FloatType *TypeContext::getFloatType(unsigned Bits) {
+  auto &Slot = FloatTypes[Bits];
+  if (!Slot)
+    Slot.reset(new FloatType(Bits));
+  return Slot.get();
+}
+
+PointerType *TypeContext::getPointerType(Type *Pointee) {
+  auto &Slot = PointerTypes[Pointee];
+  if (!Slot)
+    Slot.reset(new PointerType(Pointee));
+  return Slot.get();
+}
+
+ArrayType *TypeContext::getArrayType(Type *Elem, uint64_t NumElements) {
+  auto &Slot = ArrayTypes[{Elem, NumElements}];
+  if (!Slot)
+    Slot.reset(new ArrayType(Elem, NumElements));
+  return Slot.get();
+}
+
+FunctionType *TypeContext::getFunctionType(Type *Ret,
+                                           std::vector<Type *> Params) {
+  for (auto &FT : FunctionTypes)
+    if (FT->getReturnType() == Ret && FT->getParamTypes() == Params)
+      return FT.get();
+  FunctionTypes.emplace_back(new FunctionType(Ret, std::move(Params)));
+  return FunctionTypes.back().get();
+}
+
+RecordType *TypeContext::getOrCreateRecord(const std::string &Name) {
+  auto &Slot = Records[Name];
+  if (!Slot) {
+    Slot.reset(new RecordType(Name));
+    RecordOrder.push_back(Slot.get());
+  }
+  return Slot.get();
+}
+
+RecordType *TypeContext::lookupRecord(const std::string &Name) const {
+  auto It = Records.find(Name);
+  return It == Records.end() ? nullptr : It->second.get();
+}
+
+RecordType *TypeContext::createUniqueRecord(const std::string &BaseName) {
+  std::string Name = BaseName;
+  unsigned Suffix = 0;
+  while (Records.count(Name))
+    Name = BaseName + "." + std::to_string(++Suffix);
+  return getOrCreateRecord(Name);
+}
+
+std::vector<RecordType *> TypeContext::records() const { return RecordOrder; }

@@ -1,0 +1,80 @@
+//===- ir/Value.cpp - Values, constants, and the IR context ---------------===//
+
+#include "ir/Value.h"
+
+#include "ir/Instructions.h"
+#include "support/Error.h"
+
+#include <cstring>
+
+using namespace slo;
+
+Value::~Value() {
+  // A value must not be destroyed while instructions still reference it;
+  // transformations must RAUW or erase users first.
+  assert(Users.empty() && "value destroyed while still in use");
+}
+
+void Value::removeUser(Instruction *I) {
+  for (size_t J = 0; J < Users.size(); ++J) {
+    if (Users[J] == I) {
+      Users[J] = Users.back();
+      Users.pop_back();
+      return;
+    }
+  }
+  SLO_UNREACHABLE("removeUser: instruction was not a user");
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "replacing a value with itself");
+  // Each setOperand mutates the user list, so restart from a snapshot.
+  while (!Users.empty()) {
+    Instruction *U = Users.back();
+    for (unsigned I = 0, E = U->getNumOperands(); I != E; ++I) {
+      if (U->getOperand(I) == this) {
+        U->setOperand(I, New);
+        break;
+      }
+    }
+  }
+}
+
+bool slo::isConstant(const Value *V) {
+  switch (V->getKind()) {
+  case Value::VK_ConstantInt:
+  case Value::VK_ConstantFloat:
+  case Value::VK_ConstantNull:
+    return true;
+  default:
+    return false;
+  }
+}
+
+ConstantInt *IRContext::getConstantInt(IntType *Ty, int64_t Val,
+                                       RecordType *SizeOfRec) {
+  auto Key = std::make_tuple(Ty, Val, SizeOfRec);
+  auto &Slot = IntConstants[Key];
+  if (!Slot)
+    Slot.reset(new ConstantInt(Ty, Val, SizeOfRec));
+  return Slot.get();
+}
+
+ConstantFloat *IRContext::getConstantFloat(FloatType *Ty, double Val) {
+  // Key on the bit pattern so that -0.0 and 0.0 stay distinct and NaNs
+  // do not break map ordering.
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Val), "double must be 64-bit");
+  std::memcpy(&Bits, &Val, sizeof(Bits));
+  auto &Slot = FloatConstants[{Ty, Bits}];
+  if (!Slot)
+    Slot.reset(new ConstantFloat(Ty, Val));
+  return Slot.get();
+}
+
+ConstantNull *IRContext::getNullPtr(PointerType *Ty) {
+  auto &Slot = NullConstants[Ty];
+  if (!Slot)
+    Slot.reset(new ConstantNull(Ty));
+  return Slot.get();
+}

@@ -1,0 +1,188 @@
+//===- ir/Value.h - Values, constants, and the IR context -----*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Value base class (with user tracking, which the legality analysis
+/// and the transformations rely on heavily), the constant classes, and the
+/// IRContext that owns types and uniques constants program-wide.
+///
+/// ConstantInt may carry a "sizeof" attribution: the paper points out that
+/// front ends folding sizeof() into plain integers make layout changes
+/// unsafe, and proposes attributed constants as the fix. We implement that
+/// proposal: a constant tagged with a record type is rewritten by the
+/// transformations when that record's layout changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_IR_VALUE_H
+#define SLO_IR_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+class Instruction;
+
+/// Base class of everything that can appear as an instruction operand.
+class Value {
+public:
+  enum ValueKind {
+    VK_ConstantInt,
+    VK_ConstantFloat,
+    VK_ConstantNull,
+    VK_GlobalVariable,
+    VK_Argument,
+    VK_Function,
+    VK_Instruction,
+  };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind getKind() const { return Kind; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Instructions currently using this value as an operand. An instruction
+  /// using the value in N operand slots appears N times.
+  const std::vector<Instruction *> &users() const { return Users; }
+  bool hasUsers() const { return !Users.empty(); }
+
+  /// Rewrites every operand slot that references this value to reference
+  /// \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+  /// Changes the type of this value. Only the layout transformations use
+  /// this, to retype values from an old record layout to a new one.
+  void mutateType(Type *NewTy) { Ty = NewTy; }
+
+protected:
+  Value(ValueKind Kind, Type *Ty, std::string Name)
+      : Kind(Kind), Ty(Ty), Name(std::move(Name)) {}
+
+private:
+  friend class Instruction;
+  void addUser(Instruction *I) { Users.push_back(I); }
+  void removeUser(Instruction *I);
+
+  ValueKind Kind;
+  Type *Ty;
+  std::string Name;
+  std::vector<Instruction *> Users;
+};
+
+/// Integer constant, optionally attributed as sizeof(record).
+class ConstantInt : public Value {
+public:
+  int64_t getValue() const { return Val; }
+
+  /// The record this constant is the size of, or nullptr if this is a
+  /// plain integer constant.
+  RecordType *getSizeOfRecord() const { return SizeOfRec; }
+  bool isSizeOf() const { return SizeOfRec != nullptr; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_ConstantInt;
+  }
+
+private:
+  friend class IRContext;
+  ConstantInt(IntType *Ty, int64_t Val, RecordType *SizeOfRec)
+      : Value(VK_ConstantInt, Ty, ""), Val(Val), SizeOfRec(SizeOfRec) {}
+  int64_t Val;
+  RecordType *SizeOfRec;
+};
+
+/// Floating point constant.
+class ConstantFloat : public Value {
+public:
+  double getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_ConstantFloat;
+  }
+
+private:
+  friend class IRContext;
+  ConstantFloat(FloatType *Ty, double Val)
+      : Value(VK_ConstantFloat, Ty, ""), Val(Val) {}
+  double Val;
+};
+
+/// The null pointer constant of a given pointer type.
+class ConstantNull : public Value {
+public:
+  static bool classof(const Value *V) {
+    return V->getKind() == VK_ConstantNull;
+  }
+
+private:
+  friend class IRContext;
+  explicit ConstantNull(PointerType *Ty) : Value(VK_ConstantNull, Ty, "") {}
+};
+
+/// Returns true if \p V is any constant kind.
+bool isConstant(const Value *V);
+
+/// Owns the type system and uniques constants for a whole program.
+///
+/// One IRContext is shared by all modules of a program (the translation
+/// units a MiniC frontend produces), so constants and types stay valid
+/// across linking.
+class IRContext {
+public:
+  IRContext() = default;
+  IRContext(const IRContext &) = delete;
+  IRContext &operator=(const IRContext &) = delete;
+
+  TypeContext &getTypes() { return Types; }
+
+  /// Returns the uniqued integer constant \p Val of type \p Ty. When
+  /// \p SizeOfRec is non-null the constant is attributed as
+  /// sizeof(SizeOfRec); attributed and plain constants of equal value are
+  /// distinct values.
+  ConstantInt *getConstantInt(IntType *Ty, int64_t Val,
+                              RecordType *SizeOfRec = nullptr);
+  /// Shorthand for an i64 constant.
+  ConstantInt *getInt64(int64_t Val) {
+    return getConstantInt(Types.getI64(), Val);
+  }
+  /// Shorthand for an i1 (boolean) constant.
+  ConstantInt *getBool(bool Val) {
+    return getConstantInt(Types.getI1(), Val ? 1 : 0);
+  }
+  /// Returns the attributed constant sizeof(\p Rec) as an i64.
+  ConstantInt *getSizeOf(RecordType *Rec) {
+    return getConstantInt(Types.getI64(),
+                          static_cast<int64_t>(Rec->getSize()), Rec);
+  }
+
+  ConstantFloat *getConstantFloat(FloatType *Ty, double Val);
+  ConstantNull *getNullPtr(PointerType *Ty);
+
+private:
+  TypeContext Types;
+  std::map<std::tuple<IntType *, int64_t, RecordType *>,
+           std::unique_ptr<ConstantInt>>
+      IntConstants;
+  std::map<std::pair<FloatType *, uint64_t>, std::unique_ptr<ConstantFloat>>
+      FloatConstants;
+  std::map<PointerType *, std::unique_ptr<ConstantNull>> NullConstants;
+};
+
+} // namespace slo
+
+#endif // SLO_IR_VALUE_H

@@ -1,0 +1,285 @@
+//===- ir/Verifier.cpp - IR well-formedness checking ----------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Module.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <map>
+#include <set>
+
+using namespace slo;
+
+namespace {
+
+/// Verifier for a single function: terminator discipline, operand typing,
+/// def-before-use via dominators, and CFG edge sanity.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, std::vector<std::string> &Errors)
+      : F(F), Errors(Errors) {}
+
+  bool run() {
+    size_t Before = Errors.size();
+    checkBlocks();
+    if (Errors.size() == Before) {
+      computeDominators();
+      checkDefDominatesUse();
+    }
+    return Errors.size() == Before;
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Errors.push_back("function '" + F.getName() + "': " + Msg);
+  }
+
+  void checkBlocks() {
+    std::set<const BasicBlock *> Owned;
+    for (const auto &BB : F.blocks())
+      Owned.insert(BB.get());
+
+    for (const auto &BB : F.blocks()) {
+      if (BB->empty()) {
+        error("block '" + BB->getName() + "' is empty");
+        continue;
+      }
+      if (!BB->getTerminator()) {
+        error("block '" + BB->getName() + "' has no terminator");
+        continue;
+      }
+      for (const auto &I : BB->instructions()) {
+        if (I->isTerminator() && I.get() != BB->back())
+          error("terminator in the middle of block '" + BB->getName() + "'");
+        if (I->getParent() != BB.get())
+          error("instruction parent link broken in '" + BB->getName() + "'");
+        checkInstruction(*I);
+      }
+      for (BasicBlock *Succ : BB->successors())
+        if (!Owned.count(Succ))
+          error("block '" + BB->getName() +
+                "' branches to a block of another function");
+    }
+  }
+
+  void checkInstruction(const Instruction &I) {
+    for (unsigned Op = 0; Op < I.getNumOperands(); ++Op) {
+      const Value *V = I.getOperand(Op);
+      if (!V) {
+        error("null operand");
+        continue;
+      }
+      if (V->getType()->isVoid())
+        error("void value used as operand");
+      if (const auto *OpInst = dyn_cast<Instruction>(V)) {
+        if (OpInst->getFunction() != &F)
+          error("operand defined in another function");
+      }
+      if (const auto *Arg = dyn_cast<Argument>(V)) {
+        if (Arg->getParent() != &F)
+          error("argument of another function used as operand");
+      }
+    }
+    checkTypes(I);
+  }
+
+  void checkTypes(const Instruction &I) {
+    switch (I.getOpcode()) {
+    case Instruction::OpLoad: {
+      const auto *L = cast<LoadInst>(&I);
+      if (!L->getPointer()->getType()->isPointer())
+        error("load from non-pointer");
+      else if (cast<PointerType>(L->getPointer()->getType())->getPointee() !=
+               L->getType())
+        error("load type does not match pointee type");
+      break;
+    }
+    case Instruction::OpStore: {
+      const auto *S = cast<StoreInst>(&I);
+      if (!S->getPointer()->getType()->isPointer())
+        error("store to non-pointer");
+      else if (cast<PointerType>(S->getPointer()->getType())->getPointee() !=
+               S->getStoredValue()->getType())
+        error("store value type does not match pointee type");
+      break;
+    }
+    case Instruction::OpFieldAddr: {
+      const auto *FA = cast<FieldAddrInst>(&I);
+      const Type *BaseTy = FA->getBase()->getType();
+      if (!BaseTy->isPointer())
+        error("fieldaddr base is not a pointer");
+      else {
+        const Type *Pointee = cast<PointerType>(BaseTy)->getPointee();
+        if (Pointee != FA->getRecord())
+          error("fieldaddr base does not point to the accessed record");
+        if (FA->getFieldIndex() >= FA->getRecord()->getNumFields())
+          error("fieldaddr index out of range");
+      }
+      break;
+    }
+    case Instruction::OpCondBr:
+      if (!cast<CondBrInst>(&I)->getCondition()->getType()->isInt())
+        error("condbr condition is not an integer");
+      break;
+    case Instruction::OpRet: {
+      const auto *R = cast<RetInst>(&I);
+      const Type *Expected = F.getReturnType();
+      if (R->hasValue()) {
+        if (R->getValue()->getType() != Expected)
+          error("return value type mismatch");
+      } else if (!Expected->isVoid()) {
+        error("missing return value in non-void function");
+      }
+      break;
+    }
+    case Instruction::OpCall: {
+      const auto *C = cast<CallInst>(&I);
+      const FunctionType *FT = C->getCallee()->getFunctionType();
+      for (unsigned A = 0; A < C->getNumArgs(); ++A)
+        if (C->getArg(A)->getType() != FT->getParamType(A))
+          error("call argument type mismatch calling '" +
+                C->getCallee()->getName() + "'");
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  // A small iterative dominator computation (the analysis library has the
+  // full-featured one; the verifier stays self-contained so it can be
+  // used below the analysis layer).
+  void computeDominators() {
+    const BasicBlock *Entry = F.getEntry();
+    std::vector<const BasicBlock *> Order;
+    std::set<const BasicBlock *> Visited;
+    // Reverse post-order via iterative DFS.
+    std::vector<std::pair<const BasicBlock *, size_t>> Stack;
+    Stack.push_back({Entry, 0});
+    Visited.insert(Entry);
+    std::vector<const BasicBlock *> Post;
+    while (!Stack.empty()) {
+      auto &[BB, Idx] = Stack.back();
+      auto Succs = BB->successors();
+      if (Idx < Succs.size()) {
+        const BasicBlock *S = Succs[Idx++];
+        if (Visited.insert(S).second)
+          Stack.push_back({S, 0});
+      } else {
+        Post.push_back(BB);
+        Stack.pop_back();
+      }
+    }
+    Order.assign(Post.rbegin(), Post.rend());
+    for (size_t I = 0; I < Order.size(); ++I)
+      RpoIndex[Order[I]] = I;
+    for (const auto &BB : F.blocks()) {
+      if (!Visited.count(BB.get()))
+        Unreachable.insert(BB.get());
+      for (const BasicBlock *S : BB->successors())
+        Preds[S].push_back(BB.get());
+    }
+
+    Idom[Entry] = Entry;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const BasicBlock *BB : Order) {
+        if (BB == Entry)
+          continue;
+        const BasicBlock *NewIdom = nullptr;
+        for (const BasicBlock *P : Preds[BB]) {
+          if (!Idom.count(P))
+            continue;
+          NewIdom = NewIdom ? intersect(P, NewIdom) : P;
+        }
+        if (NewIdom && Idom[BB] != NewIdom) {
+          Idom[BB] = NewIdom;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  const BasicBlock *intersect(const BasicBlock *A, const BasicBlock *B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  }
+
+  bool dominates(const BasicBlock *A, const BasicBlock *B) {
+    const BasicBlock *Entry = F.getEntry();
+    while (true) {
+      if (B == A)
+        return true;
+      if (B == Entry)
+        return false;
+      auto It = Idom.find(B);
+      if (It == Idom.end())
+        return false;
+      B = It->second;
+    }
+  }
+
+  void checkDefDominatesUse() {
+    // Map instruction -> position within its block.
+    std::map<const Instruction *, unsigned> Position;
+    for (const auto &BB : F.blocks()) {
+      unsigned Pos = 0;
+      for (const auto &I : BB->instructions())
+        Position[I.get()] = Pos++;
+    }
+    for (const auto &BB : F.blocks()) {
+      if (Unreachable.count(BB.get()))
+        continue;
+      for (const auto &I : BB->instructions()) {
+        for (unsigned Op = 0; Op < I->getNumOperands(); ++Op) {
+          const auto *Def = dyn_cast<Instruction>(I->getOperand(Op));
+          if (!Def)
+            continue;
+          if (Unreachable.count(Def->getParent()))
+            continue;
+          bool Ok = Def->getParent() == BB.get()
+                        ? Position[Def] < Position[I.get()]
+                        : dominates(Def->getParent(), BB.get());
+          if (!Ok)
+            error("use of value does not follow its definition (block '" +
+                  BB->getName() + "')");
+        }
+      }
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> &Errors;
+  std::map<const BasicBlock *, size_t> RpoIndex;
+  std::map<const BasicBlock *, std::vector<const BasicBlock *>> Preds;
+  std::map<const BasicBlock *, const BasicBlock *> Idom;
+  std::set<const BasicBlock *> Unreachable;
+};
+
+} // namespace
+
+bool slo::verifyFunction(const Function &F, std::vector<std::string> &Errors) {
+  if (F.isDeclaration())
+    return true;
+  return FunctionVerifier(F, Errors).run();
+}
+
+bool slo::verifyModule(const Module &M, std::vector<std::string> &Errors) {
+  bool Ok = true;
+  for (const auto &F : M.functions())
+    Ok &= verifyFunction(*F, Errors);
+  return Ok;
+}
+
+void slo::verifyModuleOrDie(const Module &M) {
+  std::vector<std::string> Errors;
+  if (!verifyModule(M, Errors))
+    reportFatalError("module verification failed: " + Errors.front());
+}

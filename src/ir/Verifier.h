@@ -1,0 +1,40 @@
+//===- ir/Verifier.h - IR well-formedness checking -------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type checks over modules. Run after the frontend and
+/// after every transformation; the property tests rely on it to catch
+/// rewrites that leave the IR inconsistent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_IR_VERIFIER_H
+#define SLO_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace slo {
+
+class Module;
+class Function;
+
+/// Checks \p F and appends diagnostics to \p Errors. Returns true when no
+/// problems were found.
+bool verifyFunction(const Function &F, std::vector<std::string> &Errors);
+
+/// Checks every function of \p M. Returns true when no problems were
+/// found; otherwise \p Errors describes each violation.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+/// Convenience wrapper that aborts with the first error. Used by tests
+/// and the pipeline in assert-style positions.
+void verifyModuleOrDie(const Module &M);
+
+} // namespace slo
+
+#endif // SLO_IR_VERIFIER_H

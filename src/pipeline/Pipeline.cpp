@@ -1,0 +1,39 @@
+//===- pipeline/Pipeline.cpp - FE -> IPA -> BE driver ---------------------===//
+
+#include "pipeline/Pipeline.h"
+
+using namespace slo;
+
+PipelineResult slo::runStructLayoutPipeline(Module &M,
+                                            const PipelineOptions &Opts,
+                                            const FeedbackFile *Train,
+                                            const FeedbackFile *Ref) {
+  PipelineResult R;
+
+  // FE phase: single-pass legality tests and attribute collection.
+  R.Legality = analyzeLegality(M, Opts.Legality);
+
+  // IPA phase: profitability analysis under the selected weighting.
+  SchemeInputs In;
+  In.M = &M;
+  In.TrainProfile = Train;
+  In.RefProfile = Ref;
+  In.UninstrumentedProfile = Train;
+  In.Exponent = Opts.IspboExponent;
+  R.Stats = computeSchemeFieldStats(Opts.Scheme, In);
+
+  // Heuristics: the threshold T_s depends on whether hotness came from a
+  // profile (3%) or static estimation (7.5%).
+  PlannerOptions Planner = Opts.Planner;
+  Planner.HotnessFromProfile = Opts.Scheme == WeightScheme::PBO ||
+                               Opts.Scheme == WeightScheme::PPBO ||
+                               Opts.Scheme == WeightScheme::DMISS ||
+                               Opts.Scheme == WeightScheme::DLAT ||
+                               Opts.Scheme == WeightScheme::DMISS_NO;
+  R.Plans = planLayout(M, R.Legality, R.Stats, Planner);
+
+  // BE phase.
+  if (!Opts.AnalyzeOnly)
+    R.Summary = applyPlans(M, R.Plans, R.Legality);
+  return R;
+}

@@ -1,0 +1,65 @@
+//===- pipeline/Pipeline.h - FE -> IPA -> BE driver ------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Packages the whole flow of the paper's framework behind one call,
+/// mirroring the SYZYGY -ipo structure: the front end collects legality
+/// and affinity summaries, IPA aggregates them, evaluates the weighting
+/// scheme, runs the heuristics, and the back end applies the chosen
+/// transformations.
+///
+/// Typical use:
+///   IRContext Ctx;
+///   auto M = compileProgramOrDie(Ctx, "prog", Sources);
+///   FeedbackFile Train;                        // optional PBO run
+///   runProgram(*M, trainOptions(&Train));
+///   PipelineOptions Opts;
+///   Opts.Scheme = WeightScheme::PBO;
+///   PipelineResult R = runStructLayoutPipeline(*M, Opts, &Train);
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_PIPELINE_PIPELINE_H
+#define SLO_PIPELINE_PIPELINE_H
+
+#include "analysis/Legality.h"
+#include "analysis/WeightSchemes.h"
+#include "transform/LayoutPlanner.h"
+#include "transform/Transform.h"
+
+namespace slo {
+
+struct PipelineOptions {
+  /// Which hotness/affinity weighting to use. PBO/PPBO/DMISS/DLAT need a
+  /// feedback file.
+  WeightScheme Scheme = WeightScheme::ISPBO;
+  /// The paper's E exponent for ISPBO.
+  double IspboExponent = 1.5;
+  LegalityOptions Legality;
+  PlannerOptions Planner;
+  /// Analyze and plan, but do not rewrite the module (advisor-only mode,
+  /// the paper's reporting option).
+  bool AnalyzeOnly = false;
+};
+
+struct PipelineResult {
+  LegalityResult Legality;
+  FieldStatsResult Stats;
+  std::vector<TypePlan> Plans;
+  TransformSummary Summary;
+};
+
+/// Runs legality + profitability analysis, plans, and (unless
+/// AnalyzeOnly) transforms \p M in place. \p Train supplies profile data
+/// for the profile-based schemes (may be null for the static schemes).
+PipelineResult runStructLayoutPipeline(Module &M, const PipelineOptions &Opts,
+                                       const FeedbackFile *Train = nullptr,
+                                       const FeedbackFile *Ref = nullptr);
+
+} // namespace slo
+
+#endif // SLO_PIPELINE_PIPELINE_H

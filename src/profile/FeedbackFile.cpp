@@ -1,0 +1,19 @@
+//===- profile/FeedbackFile.cpp - PBO feedback data -----------------------===//
+
+#include "profile/FeedbackFile.h"
+
+using namespace slo;
+
+uint64_t FeedbackFile::getBlockCount(const BasicBlock *BB) const {
+  const Function *F = BB->getParent();
+  uint64_t N = 0;
+  if (F && F->getEntry() == BB)
+    N += getEntryCount(F);
+  if (F) {
+    for (const auto &Pred : F->blocks())
+      for (const BasicBlock *S : Pred->successors())
+        if (S == BB)
+          N += getEdgeCount(Pred.get(), BB);
+  }
+  return N;
+}

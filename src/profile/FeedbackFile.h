@@ -1,0 +1,93 @@
+//===- profile/FeedbackFile.h - PBO feedback data --------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The feedback file produced by a profile collection run (paper §3.1):
+/// CFG edge counts from instrumentation plus d-cache event samples from
+/// the performance monitoring unit, attributed to structure fields. In
+/// this reproduction the "instrumented binary" is the IR interpreter and
+/// the "PMU" is the cache simulator, so attribution is exact and CFG
+/// matching is trivial (the feedback is keyed by the IR objects of the
+/// module it was collected on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_PROFILE_FEEDBACKFILE_H
+#define SLO_PROFILE_FEEDBACKFILE_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <map>
+
+namespace slo {
+
+/// Per-field d-cache statistics (the paper's DMISS / DLAT inputs).
+struct FieldCacheStats {
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  /// Misses at the field's first cache level (L1 for integer data, L2
+  /// for floating point on Itanium; paper §3.2).
+  uint64_t Misses = 0;
+  /// Total load latency in cycles (misses and hits).
+  double TotalLatency = 0.0;
+
+  double averageLatency() const {
+    uint64_t N = Loads;
+    return N ? TotalLatency / static_cast<double>(N) : 0.0;
+  }
+};
+
+/// Profile feedback for one module: edge counts and field cache events.
+class FeedbackFile {
+public:
+  using Edge = std::pair<const BasicBlock *, const BasicBlock *>;
+  using FieldKey = std::pair<const RecordType *, unsigned>;
+
+  // -- Collection interface (used by the interpreter) --
+  void countEntry(const Function *F, uint64_t N = 1) { EntryCounts[F] += N; }
+  void countEdge(const BasicBlock *From, const BasicBlock *To,
+                 uint64_t N = 1) {
+    EdgeCounts[{From, To}] += N;
+  }
+  FieldCacheStats &fieldStats(const RecordType *Rec, unsigned FieldIndex) {
+    return FieldCache[{Rec, FieldIndex}];
+  }
+
+  // -- Query interface (used by the PBO weighting and the advisor) --
+  uint64_t getEntryCount(const Function *F) const {
+    auto It = EntryCounts.find(F);
+    return It == EntryCounts.end() ? 0 : It->second;
+  }
+  uint64_t getEdgeCount(const BasicBlock *From, const BasicBlock *To) const {
+    auto It = EdgeCounts.find({From, To});
+    return It == EdgeCounts.end() ? 0 : It->second;
+  }
+
+  /// Execution count of \p BB: entry count for the entry block plus the
+  /// sum of incoming edge counts.
+  uint64_t getBlockCount(const BasicBlock *BB) const;
+
+  const FieldCacheStats *getFieldStats(const RecordType *Rec,
+                                       unsigned FieldIndex) const {
+    auto It = FieldCache.find({Rec, FieldIndex});
+    return It == FieldCache.end() ? nullptr : &It->second;
+  }
+
+  const std::map<FieldKey, FieldCacheStats> &allFieldStats() const {
+    return FieldCache;
+  }
+
+private:
+  std::map<const Function *, uint64_t> EntryCounts;
+  std::map<Edge, uint64_t> EdgeCounts;
+  std::map<FieldKey, FieldCacheStats> FieldCache;
+};
+
+} // namespace slo
+
+#endif // SLO_PROFILE_FEEDBACKFILE_H

@@ -1,0 +1,124 @@
+//===- profile/FeedbackIO.cpp - Feedback file persistence -----------------===//
+
+#include "profile/FeedbackIO.h"
+
+#include "support/Format.h"
+
+#include <map>
+#include <sstream>
+
+using namespace slo;
+
+std::string slo::serializeFeedback(const Module &M, const FeedbackFile &FB) {
+  std::ostringstream OS;
+  OS << "slo-feedback-v1\n";
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    if (uint64_t N = FB.getEntryCount(F.get()))
+      OS << "entry " << F->getName() << " " << N << "\n";
+    for (const auto &BB : F->blocks())
+      for (const BasicBlock *Succ : BB->successors())
+        if (uint64_t N = FB.getEdgeCount(BB.get(), Succ))
+          OS << "edge " << F->getName() << " " << BB->getNumber() << " "
+             << Succ->getNumber() << " " << N << "\n";
+  }
+  for (const auto &[Key, Stats] : FB.allFieldStats()) {
+    OS << "field " << Key.first->getRecordName() << " " << Key.second
+       << " " << Stats.Loads << " " << Stats.Stores << " " << Stats.Misses
+       << " " << formatString("%.6g", Stats.TotalLatency) << "\n";
+  }
+  return OS.str();
+}
+
+FeedbackMatchResult slo::deserializeFeedback(const Module &M,
+                                             const std::string &Text,
+                                             FeedbackFile &FB) {
+  FeedbackMatchResult Result;
+  std::istringstream In(Text);
+  std::string Header;
+  if (!std::getline(In, Header) || Header != "slo-feedback-v1") {
+    Result.Error = "missing or unknown feedback header";
+    return Result;
+  }
+
+  // Index blocks by (function, number) once.
+  std::map<std::pair<const Function *, unsigned>, const BasicBlock *>
+      Blocks;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      Blocks[{F.get(), BB->getNumber()}] = BB.get();
+
+  std::string Line;
+  unsigned LineNo = 1;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    std::string Kind;
+    LS >> Kind;
+    if (Kind == "entry") {
+      std::string Fn;
+      uint64_t N;
+      if (!(LS >> Fn >> N)) {
+        Result.Error = formatString("line %u: malformed entry", LineNo);
+        return Result;
+      }
+      const Function *F = M.lookupFunction(Fn);
+      if (!F) {
+        ++Result.DroppedEntries;
+        continue;
+      }
+      FB.countEntry(F, N);
+      ++Result.MatchedEntries;
+    } else if (Kind == "edge") {
+      std::string Fn;
+      unsigned From, To;
+      uint64_t N;
+      if (!(LS >> Fn >> From >> To >> N)) {
+        Result.Error = formatString("line %u: malformed edge", LineNo);
+        return Result;
+      }
+      const Function *F = M.lookupFunction(Fn);
+      const BasicBlock *FromBB =
+          F ? Blocks.count({F, From}) ? Blocks[{F, From}] : nullptr
+            : nullptr;
+      const BasicBlock *ToBB =
+          F ? Blocks.count({F, To}) ? Blocks[{F, To}] : nullptr : nullptr;
+      if (!FromBB || !ToBB) {
+        ++Result.DroppedEntries;
+        continue;
+      }
+      FB.countEdge(FromBB, ToBB, N);
+      ++Result.MatchedEntries;
+    } else if (Kind == "field") {
+      std::string Rec;
+      unsigned Idx;
+      uint64_t Loads, Stores, Misses;
+      double Latency;
+      if (!(LS >> Rec >> Idx >> Loads >> Stores >> Misses >> Latency)) {
+        Result.Error = formatString("line %u: malformed field", LineNo);
+        return Result;
+      }
+      RecordType *R = M.getTypes().lookupRecord(Rec);
+      if (!R || R->isOpaque() || Idx >= R->getNumFields()) {
+        ++Result.DroppedEntries;
+        continue;
+      }
+      FieldCacheStats &S = FB.fieldStats(R, Idx);
+      S.Loads += Loads;
+      S.Stores += Stores;
+      S.Misses += Misses;
+      S.TotalLatency += Latency;
+      ++Result.MatchedEntries;
+    } else {
+      Result.Error =
+          formatString("line %u: unknown record '%s'", LineNo,
+                       Kind.c_str());
+      return Result;
+    }
+  }
+  Result.Ok = true;
+  return Result;
+}

@@ -1,0 +1,53 @@
+//===- profile/FeedbackIO.h - Feedback file persistence --------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes feedback data to a text format and matches it back against
+/// a module, the equivalent of the paper's PBO use phase: "the
+/// application's CFG is constructed and matched against the CFG
+/// constructed from the data found in the feedback file" (§3.1). Keys
+/// are symbolic (function names, block numbers, record/field names), so
+/// a feedback file survives process boundaries; matching fails softly —
+/// entries whose symbols no longer exist are dropped and counted.
+///
+/// Format (one record per line):
+///   slo-feedback-v1
+///   entry <function> <count>
+///   edge <function> <from-block#> <to-block#> <count>
+///   field <record> <field#> <loads> <stores> <misses> <total-latency>
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_PROFILE_FEEDBACKIO_H
+#define SLO_PROFILE_FEEDBACKIO_H
+
+#include "profile/FeedbackFile.h"
+
+#include <string>
+
+namespace slo {
+
+/// Serializes \p FB (collected on \p M) to the text format.
+std::string serializeFeedback(const Module &M, const FeedbackFile &FB);
+
+/// Result of matching a serialized profile against a module.
+struct FeedbackMatchResult {
+  bool Ok = false;
+  std::string Error;        // Set when !Ok (malformed input).
+  unsigned MatchedEntries = 0;
+  unsigned DroppedEntries = 0; // Symbols that no longer exist.
+};
+
+/// Parses \p Text and populates \p FB with the records that match \p M
+/// (the PBO use-phase CFG matching).
+FeedbackMatchResult deserializeFeedback(const Module &M,
+                                        const std::string &Text,
+                                        FeedbackFile &FB);
+
+} // namespace slo
+
+#endif // SLO_PROFILE_FEEDBACKIO_H

@@ -1,0 +1,134 @@
+//===- runtime/CacheSim.cpp - Data cache simulator ------------------------===//
+
+#include "runtime/CacheSim.h"
+
+#include <cassert>
+
+using namespace slo;
+
+static unsigned log2Exact(uint64_t V) {
+  unsigned S = 0;
+  while ((1ull << S) < V)
+    ++S;
+  assert((1ull << S) == V && "cache geometry must be a power of two");
+  return S;
+}
+
+/// Largest S with 2^S <= V (V > 0).
+static unsigned log2Floor(uint64_t V) {
+  assert(V > 0 && "log2Floor of zero");
+  unsigned S = 0;
+  while ((2ull << S) <= V)
+    ++S;
+  return S;
+}
+
+void CacheSim::Level::configure(const CacheLevelConfig &C) {
+  LineShift = log2Exact(C.LineBytes);
+  Ways = C.Ways;
+  NumSets = C.SizeBytes / (static_cast<uint64_t>(C.LineBytes) * C.Ways);
+  if (NumSets == 0)
+    NumSets = 1;
+  // Round the set count down to a power of two for cheap indexing (the
+  // capacity shrinks accordingly for non-power-of-two geometries).
+  NumSets = 1ull << log2Floor(NumSets);
+  Entries.assign(NumSets * Ways, Way());
+  UseCounter = 0;
+}
+
+bool CacheSim::Level::touch(uint64_t Addr) {
+  uint64_t Line = Addr >> LineShift;
+  uint64_t Set = Line & (NumSets - 1);
+  uint64_t Tag = Line >> log2Exact(NumSets);
+  Way *Base = &Entries[Set * Ways];
+  ++UseCounter;
+
+  Way *Victim = Base;
+  for (unsigned W = 0; W < Ways; ++W) {
+    Way &Candidate = Base[W];
+    if (Candidate.Valid && Candidate.Tag == Tag) {
+      Candidate.LastUse = UseCounter;
+      return true;
+    }
+    if (!Candidate.Valid) {
+      Victim = &Candidate;
+    } else if (Victim->Valid && Candidate.LastUse < Victim->LastUse) {
+      Victim = &Candidate;
+    }
+  }
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->LastUse = UseCounter;
+  return false;
+}
+
+void CacheSim::Level::clear() {
+  for (Way &W : Entries)
+    W = Way();
+  UseCounter = 0;
+}
+
+CacheSim::CacheSim(const CacheConfig &Config) : Config(Config) {
+  L1.configure(Config.L1);
+  L2.configure(Config.L2);
+  L3.configure(Config.L3);
+}
+
+void CacheSim::reset() {
+  L1.clear();
+  L2.clear();
+  L3.clear();
+  L1Stats = CacheLevelStats();
+  L2Stats = CacheLevelStats();
+  L3Stats = CacheLevelStats();
+}
+
+CacheAccessResult CacheSim::access(uint64_t Addr, bool IsStore, bool IsFp) {
+  CacheAccessResult R;
+  bool UseL1 = !(IsFp && Config.FpBypassesL1);
+
+  unsigned Latency = 0;
+  bool FirstLevelMiss = false;
+
+  // Look up level by level; the first hit's latency is charged. LRU
+  // state below the hit level is refreshed only on the miss path (lazy
+  // inclusion).
+  if (UseL1 && L1.touch(Addr)) {
+    ++L1Stats.Hits;
+    Latency = Config.L1.HitLatency;
+  } else {
+    if (UseL1) {
+      ++L1Stats.Misses;
+      FirstLevelMiss = true;
+    }
+    if (L2.touch(Addr)) {
+      ++L2Stats.Hits;
+      Latency = Config.L2.HitLatency;
+    } else {
+      ++L2Stats.Misses;
+      // For FP accesses L2 is the first level (Itanium FP bypasses L1).
+      if (!UseL1)
+        FirstLevelMiss = true;
+      if (L3.touch(Addr)) {
+        ++L3Stats.Hits;
+        Latency = Config.L3.HitLatency;
+      } else {
+        ++L3Stats.Misses;
+        Latency = Config.MemoryLatency;
+      }
+    }
+  }
+
+  unsigned FirstLevelHit =
+      UseL1 ? Config.L1.HitLatency : Config.L2.HitLatency;
+  unsigned Stall = Latency > FirstLevelHit ? Latency - FirstLevelHit : 0;
+  if (IsStore) {
+    unsigned Div = Config.StoreCostDivisor ? Config.StoreCostDivisor : 1;
+    Latency = Latency / Div;
+    Stall = Stall / Div;
+  }
+  R.Latency = Latency;
+  R.Stall = Stall;
+  R.FirstLevelMiss = FirstLevelMiss;
+  return R;
+}

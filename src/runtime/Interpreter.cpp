@@ -1,0 +1,866 @@
+//===- runtime/Interpreter.cpp - IR interpreter with cache model ----------===//
+
+#include "runtime/Interpreter.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace slo;
+
+namespace {
+
+/// One runtime value: integers and pointers in I, floats in F.
+union Reg {
+  int64_t I;
+  double F;
+};
+
+/// Precomputed execution layout of one function: value slots and fixed
+/// frame offsets for every alloca.
+struct FunctionLayout {
+  int NumSlots = 0;
+  uint64_t FrameSize = 0;
+  std::map<const AllocaInst *, uint64_t> AllocaOffset;
+};
+
+constexpr uint64_t NullGuard = 4096;       // Addresses below this trap.
+constexpr uint64_t FuncAddrBase = 1ull << 48; // Function "addresses".
+constexpr uint64_t StackBytes = 16ull << 20;
+
+} // namespace
+
+/// The interpreter implementation.
+class Interpreter::Impl {
+public:
+  Impl(const Module &M, RunOptions Opts)
+      : M(M), Opts(std::move(Opts)), Cache(this->Opts.Cache) {}
+
+  RunResult run(const std::string &EntryName);
+
+private:
+  // -- Setup --
+  void layoutGlobals();
+  const FunctionLayout &getLayout(const Function *F);
+
+  // -- Memory --
+  void ensureMem(uint64_t End) {
+    if (End > Mem.size())
+      Mem.resize(std::max<uint64_t>(End, Mem.size() * 2), 0);
+  }
+  bool checkAddr(uint64_t Addr, uint64_t Size, const char *What) {
+    if (Addr < NullGuard || Addr >= FuncAddrBase) {
+      trap(formatString("%s at invalid address 0x%llx", What,
+                        static_cast<unsigned long long>(Addr)));
+      return false;
+    }
+    ensureMem(Addr + Size);
+    return true;
+  }
+  uint64_t heapAlloc(uint64_t Size, uint8_t Fill);
+  bool heapFree(uint64_t Addr);
+
+  int64_t readInt(uint64_t Addr, unsigned Bytes, bool SignExtend);
+  void writeInt(uint64_t Addr, unsigned Bytes, int64_t V);
+  double readFloat(uint64_t Addr, unsigned Bytes);
+  void writeFloat(uint64_t Addr, unsigned Bytes, double V);
+
+  // -- Execution --
+  Reg evalValue(const Value *V, const std::vector<Reg> &Frame);
+  Reg executeCall(const Function *F, const std::vector<Reg> &Args,
+                  unsigned Depth);
+  Reg callBuiltin(const Function *F, const std::vector<Reg> &Args);
+  void simulateAccess(uint64_t Addr, const Type *Ty, bool IsStore,
+                      const Value *PtrOperand);
+
+  void trap(const std::string &Reason) {
+    if (!Result.Trapped) {
+      Result.Trapped = true;
+      Result.TrapReason = Reason;
+    }
+  }
+  bool running() const {
+    return !Result.Trapped && Result.Instructions <= Opts.MaxInstructions;
+  }
+
+  /// Per-opcode base cost in cycles. Loads and stores are charged by
+  /// their handlers instead: accesses to the simulated stack model
+  /// register-promoted locals (a real compiler runs mem2reg) and are
+  /// free, while data accesses cost one issue cycle plus cache stalls.
+  static unsigned baseCost(Instruction::Opcode Op) {
+    switch (Op) {
+    case Instruction::OpMul:
+      return 2;
+    case Instruction::OpSDiv:
+    case Instruction::OpSRem:
+    case Instruction::OpFDiv:
+      return 16;
+    case Instruction::OpLoad:
+    case Instruction::OpStore:
+      return 0;
+    default:
+      return 1;
+    }
+  }
+
+  bool isStackAddress(uint64_t Addr) const {
+    return Addr >= StackBase && Addr < StackLimit;
+  }
+
+  const Module &M;
+  RunOptions Opts;
+  CacheSim Cache;
+  RunResult Result;
+
+  std::vector<uint8_t> Mem;
+  uint64_t StackBase = 0, StackTop = 0, StackLimit = 0;
+  uint64_t HeapBump = 0;
+  std::map<uint64_t, uint64_t> LiveAllocs;          // addr -> size
+  std::map<uint64_t, std::vector<uint64_t>> FreeLists; // size -> addrs
+
+  std::map<const GlobalVariable *, uint64_t> GlobalAddr;
+  std::map<const Function *, uint64_t> FuncAddr;
+  std::map<uint64_t, const Function *> FuncByAddr;
+  std::map<const Function *, FunctionLayout> Layouts;
+  uint64_t SampleTick = 0;
+
+  friend class Interpreter;
+};
+
+//===----------------------------------------------------------------------===//
+// Setup
+//===----------------------------------------------------------------------===//
+
+void Interpreter::Impl::layoutGlobals() {
+  uint64_t Cursor = NullGuard;
+  for (const auto &G : M.globals()) {
+    Type *VT = G->getValueType();
+    Cursor = alignTo(Cursor, std::max<unsigned>(VT->getAlign(), 8));
+    GlobalAddr[G.get()] = Cursor;
+    ensureMem(Cursor + VT->getSize());
+    Cursor += VT->getSize();
+  }
+  // Apply scalar initializers, then parameter overrides.
+  for (const auto &G : M.globals()) {
+    if (!G->hasIntInit())
+      continue;
+    if (auto *IT = dyn_cast<IntType>(G->getValueType()))
+      writeInt(GlobalAddr[G.get()], static_cast<unsigned>(IT->getSize()),
+               G->getIntInit());
+  }
+  for (const auto &[Name, V] : Opts.IntParams) {
+    GlobalVariable *G = M.lookupGlobal(Name);
+    if (!G)
+      reportFatalError("run parameter refers to unknown global '" + Name +
+                       "'");
+    auto *IT = dyn_cast<IntType>(G->getValueType());
+    if (!IT)
+      reportFatalError("run parameter global '" + Name +
+                       "' is not an integer");
+    writeInt(GlobalAddr[G], static_cast<unsigned>(IT->getSize()), V);
+  }
+
+  uint64_t FIdx = 0;
+  for (const auto &F : M.functions()) {
+    uint64_t A = FuncAddrBase + (FIdx++ << 4);
+    FuncAddr[F.get()] = A;
+    FuncByAddr[A] = F.get();
+  }
+
+  StackBase = alignTo(Mem.size() + 64, 4096);
+  StackTop = StackBase;
+  StackLimit = StackBase + StackBytes;
+  HeapBump = alignTo(StackLimit + 4096, 4096);
+  ensureMem(StackBase);
+}
+
+const FunctionLayout &Interpreter::Impl::getLayout(const Function *F) {
+  auto It = Layouts.find(F);
+  if (It != Layouts.end())
+    return It->second;
+  FunctionLayout L;
+  int Slot = static_cast<int>(F->getNumArgs());
+  uint64_t Frame = 0;
+  for (const auto &BB : F->blocks()) {
+    for (const auto &I : BB->instructions()) {
+      if (!I->getType()->isVoid())
+        I->setSlot(Slot++);
+      if (const auto *A = dyn_cast<AllocaInst>(I.get())) {
+        Type *Ty = A->getAllocatedType();
+        Frame = alignTo(Frame, std::max<unsigned>(Ty->getAlign(), 1));
+        L.AllocaOffset[A] = Frame;
+        Frame += Ty->getSize();
+      }
+    }
+  }
+  L.NumSlots = Slot;
+  L.FrameSize = alignTo(Frame, 16);
+  return Layouts.emplace(F, std::move(L)).first->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+uint64_t Interpreter::Impl::heapAlloc(uint64_t Size, uint8_t Fill) {
+  if (Size == 0)
+    Size = 1;
+  Size = alignTo(Size, 16);
+  uint64_t Addr = 0;
+  auto It = FreeLists.find(Size);
+  if (It != FreeLists.end() && !It->second.empty()) {
+    Addr = It->second.back();
+    It->second.pop_back();
+  } else {
+    Addr = HeapBump;
+    HeapBump += Size;
+  }
+  ensureMem(Addr + Size);
+  std::memset(Mem.data() + Addr, Fill, Size);
+  LiveAllocs[Addr] = Size;
+  Result.HeapBytesAllocated += Size;
+  ++Result.HeapAllocations;
+  return Addr;
+}
+
+bool Interpreter::Impl::heapFree(uint64_t Addr) {
+  if (Addr == 0)
+    return true; // free(NULL) is a no-op.
+  auto It = LiveAllocs.find(Addr);
+  if (It == LiveAllocs.end()) {
+    trap(formatString("free of a non-heap address 0x%llx",
+                      static_cast<unsigned long long>(Addr)));
+    return false;
+  }
+  FreeLists[It->second].push_back(Addr);
+  LiveAllocs.erase(It);
+  return true;
+}
+
+int64_t Interpreter::Impl::readInt(uint64_t Addr, unsigned Bytes,
+                                   bool SignExtend) {
+  uint64_t Raw = 0;
+  std::memcpy(&Raw, Mem.data() + Addr, Bytes);
+  if (Bytes == 8)
+    return static_cast<int64_t>(Raw);
+  if (SignExtend) {
+    uint64_t SignBit = 1ull << (Bytes * 8 - 1);
+    if (Raw & SignBit)
+      Raw |= ~((SignBit << 1) - 1);
+  }
+  return static_cast<int64_t>(Raw);
+}
+
+void Interpreter::Impl::writeInt(uint64_t Addr, unsigned Bytes, int64_t V) {
+  std::memcpy(Mem.data() + Addr, &V, Bytes);
+}
+
+double Interpreter::Impl::readFloat(uint64_t Addr, unsigned Bytes) {
+  if (Bytes == 4) {
+    float F;
+    std::memcpy(&F, Mem.data() + Addr, 4);
+    return F;
+  }
+  double D;
+  std::memcpy(&D, Mem.data() + Addr, 8);
+  return D;
+}
+
+void Interpreter::Impl::writeFloat(uint64_t Addr, unsigned Bytes, double V) {
+  if (Bytes == 4) {
+    float F = static_cast<float>(V);
+    std::memcpy(Mem.data() + Addr, &F, 4);
+    return;
+  }
+  std::memcpy(Mem.data() + Addr, &V, 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache simulation and attribution
+//===----------------------------------------------------------------------===//
+
+void Interpreter::Impl::simulateAccess(uint64_t Addr, const Type *Ty,
+                                       bool IsStore,
+                                       const Value *PtrOperand) {
+  // Stack slots model register-promoted locals: free, not simulated.
+  if (isStackAddress(Addr))
+    return;
+  if (IsStore)
+    ++Result.Stores;
+  else
+    ++Result.Loads;
+  ++Result.Cycles; // Issue cost of a real memory operation.
+  if (!Opts.SimulateCache)
+    return;
+  bool IsFp = Ty->isFloat();
+  CacheAccessResult A = Cache.access(Addr, IsStore, IsFp);
+  Result.Cycles += A.Stall;
+  Result.MemStallCycles += A.Stall;
+
+  if (!Opts.Profile)
+    return;
+  const auto *FA = dyn_cast<FieldAddrInst>(PtrOperand);
+  if (!FA)
+    return;
+  if (Opts.CacheSamplePeriod > 1 &&
+      (SampleTick++ % Opts.CacheSamplePeriod) != 0)
+    return;
+  FieldCacheStats &S =
+      Opts.Profile->fieldStats(FA->getRecord(), FA->getFieldIndex());
+  uint64_t Scale = Opts.CacheSamplePeriod;
+  if (IsStore) {
+    S.Stores += Scale;
+  } else {
+    S.Loads += Scale;
+    S.TotalLatency += static_cast<double>(A.Latency) * Scale;
+  }
+  if (A.FirstLevelMiss)
+    S.Misses += Scale;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+Reg Interpreter::Impl::evalValue(const Value *V,
+                                 const std::vector<Reg> &Frame) {
+  Reg R;
+  R.I = 0;
+  switch (V->getKind()) {
+  case Value::VK_ConstantInt:
+    R.I = cast<ConstantInt>(V)->getValue();
+    return R;
+  case Value::VK_ConstantFloat:
+    R.F = cast<ConstantFloat>(V)->getValue();
+    return R;
+  case Value::VK_ConstantNull:
+    return R;
+  case Value::VK_GlobalVariable:
+    R.I = static_cast<int64_t>(GlobalAddr.at(cast<GlobalVariable>(V)));
+    return R;
+  case Value::VK_Function:
+    R.I = static_cast<int64_t>(FuncAddr.at(cast<Function>(V)));
+    return R;
+  case Value::VK_Argument:
+    return Frame[cast<Argument>(V)->getIndex()];
+  case Value::VK_Instruction:
+    return Frame[static_cast<size_t>(cast<Instruction>(V)->getSlot())];
+  }
+  SLO_UNREACHABLE("unknown value kind");
+}
+
+Reg Interpreter::Impl::callBuiltin(const Function *F,
+                                   const std::vector<Reg> &Args) {
+  Reg R;
+  R.I = 0;
+  const std::string &Name = F->getName();
+  if (Name == "print_i64") {
+    Result.PrintedInts.push_back(Args[0].I);
+    return R;
+  }
+  if (Name == "print_f64") {
+    Result.PrintedFloats.push_back(Args[0].F);
+    return R;
+  }
+  if (Name == "f_sqrt") {
+    R.F = std::sqrt(Args[0].F);
+    return R;
+  }
+  if (Name == "f_fabs") {
+    R.F = std::fabs(Args[0].F);
+    return R;
+  }
+  if (Name == "f_exp") {
+    R.F = std::exp(Args[0].F);
+    return R;
+  }
+  if (Name == "f_log") {
+    R.F = std::log(Args[0].F);
+    return R;
+  }
+  if (Name == "f_floor") {
+    R.F = std::floor(Args[0].F);
+    return R;
+  }
+  if (Name == "i_abs") {
+    R.I = Args[0].I < 0 ? -Args[0].I : Args[0].I;
+    return R;
+  }
+  trap("call to unimplemented library function '" + Name + "'");
+  return R;
+}
+
+Reg Interpreter::Impl::executeCall(const Function *F,
+                                   const std::vector<Reg> &Args,
+                                   unsigned Depth) {
+  Reg Void;
+  Void.I = 0;
+  if (F->isDeclaration())
+    return callBuiltin(F, Args);
+  if (Depth > Opts.MaxCallDepth) {
+    trap("call depth limit exceeded in '" + F->getName() + "'");
+    return Void;
+  }
+
+  const FunctionLayout &L = getLayout(F);
+  if (StackTop + L.FrameSize > StackLimit) {
+    trap("simulated stack overflow in '" + F->getName() + "'");
+    return Void;
+  }
+  uint64_t FrameBase = StackTop;
+  StackTop += L.FrameSize;
+  ensureMem(StackTop);
+
+  std::vector<Reg> Frame(static_cast<size_t>(L.NumSlots));
+  for (size_t I = 0; I < Args.size(); ++I)
+    Frame[I] = Args[I];
+  for (const auto &[A, Off] : L.AllocaOffset)
+    Frame[static_cast<size_t>(A->getSlot())].I =
+        static_cast<int64_t>(FrameBase + Off);
+
+  if (Opts.Profile)
+    Opts.Profile->countEntry(F);
+
+  Reg RetVal = Void;
+  const BasicBlock *BB = F->getEntry();
+  bool Done = false;
+  while (!Done && running()) {
+    const BasicBlock *NextBB = nullptr;
+    for (const auto &IPtr : BB->instructions()) {
+      const Instruction &I = *IPtr;
+      ++Result.Instructions;
+      Result.Cycles += baseCost(I.getOpcode());
+      if (!running())
+        break;
+
+      switch (I.getOpcode()) {
+      case Instruction::OpAlloca:
+        break; // Frame addresses were precomputed.
+      case Instruction::OpLoad: {
+        const auto &Ld = static_cast<const LoadInst &>(I);
+        uint64_t Addr =
+            static_cast<uint64_t>(evalValue(Ld.getPointer(), Frame).I);
+        Type *Ty = Ld.getType();
+        unsigned Bytes = static_cast<unsigned>(Ty->getSize());
+        if (!checkAddr(Addr, Bytes, "load"))
+          break;
+        Reg R;
+        if (Ty->isFloat())
+          R.F = readFloat(Addr, Bytes);
+        else
+          R.I = readInt(Addr, Bytes,
+                        !(Ty->isInt() && cast<IntType>(Ty)->getBits() == 1));
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        simulateAccess(Addr, Ty, /*IsStore=*/false, Ld.getPointer());
+        break;
+      }
+      case Instruction::OpStore: {
+        const auto &St = static_cast<const StoreInst &>(I);
+        uint64_t Addr =
+            static_cast<uint64_t>(evalValue(St.getPointer(), Frame).I);
+        Type *Ty = St.getStoredValue()->getType();
+        unsigned Bytes = static_cast<unsigned>(Ty->getSize());
+        if (!checkAddr(Addr, Bytes, "store"))
+          break;
+        Reg V = evalValue(St.getStoredValue(), Frame);
+        if (Ty->isFloat())
+          writeFloat(Addr, Bytes, V.F);
+        else
+          writeInt(Addr, Bytes, V.I);
+        simulateAccess(Addr, Ty, /*IsStore=*/true, St.getPointer());
+        break;
+      }
+      case Instruction::OpFieldAddr: {
+        const auto &FA = static_cast<const FieldAddrInst &>(I);
+        Reg Base = evalValue(FA.getBase(), Frame);
+        Reg R;
+        R.I = Base.I + static_cast<int64_t>(FA.getField().Offset);
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpIndexAddr: {
+        const auto &IA = static_cast<const IndexAddrInst &>(I);
+        Reg Base = evalValue(IA.getBase(), Frame);
+        Reg Idx = evalValue(IA.getIndex(), Frame);
+        uint64_t ElemSize =
+            cast<PointerType>(IA.getType())->getPointee()->getSize();
+        Reg R;
+        R.I = Base.I + Idx.I * static_cast<int64_t>(ElemSize);
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpAdd:
+      case Instruction::OpSub:
+      case Instruction::OpMul:
+      case Instruction::OpSDiv:
+      case Instruction::OpSRem:
+      case Instruction::OpAnd:
+      case Instruction::OpOr:
+      case Instruction::OpXor:
+      case Instruction::OpShl:
+      case Instruction::OpAShr:
+      case Instruction::OpFAdd:
+      case Instruction::OpFSub:
+      case Instruction::OpFMul:
+      case Instruction::OpFDiv: {
+        Reg A = evalValue(I.getOperand(0), Frame);
+        Reg B = evalValue(I.getOperand(1), Frame);
+        Reg R;
+        R.I = 0;
+        switch (I.getOpcode()) {
+        case Instruction::OpAdd:
+          R.I = A.I + B.I;
+          break;
+        case Instruction::OpSub:
+          R.I = A.I - B.I;
+          break;
+        case Instruction::OpMul:
+          R.I = A.I * B.I;
+          break;
+        case Instruction::OpSDiv:
+          if (B.I == 0) {
+            trap("integer division by zero");
+            break;
+          }
+          R.I = A.I / B.I;
+          break;
+        case Instruction::OpSRem:
+          if (B.I == 0) {
+            trap("integer remainder by zero");
+            break;
+          }
+          R.I = A.I % B.I;
+          break;
+        case Instruction::OpAnd:
+          R.I = A.I & B.I;
+          break;
+        case Instruction::OpOr:
+          R.I = A.I | B.I;
+          break;
+        case Instruction::OpXor:
+          R.I = A.I ^ B.I;
+          break;
+        case Instruction::OpShl:
+          R.I = A.I << (B.I & 63);
+          break;
+        case Instruction::OpAShr:
+          R.I = A.I >> (B.I & 63);
+          break;
+        case Instruction::OpFAdd:
+          R.F = A.F + B.F;
+          break;
+        case Instruction::OpFSub:
+          R.F = A.F - B.F;
+          break;
+        case Instruction::OpFMul:
+          R.F = A.F * B.F;
+          break;
+        case Instruction::OpFDiv:
+          R.F = A.F / B.F;
+          break;
+        default:
+          break;
+        }
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpICmpEQ:
+      case Instruction::OpICmpNE:
+      case Instruction::OpICmpSLT:
+      case Instruction::OpICmpSLE:
+      case Instruction::OpICmpSGT:
+      case Instruction::OpICmpSGE:
+      case Instruction::OpFCmpEQ:
+      case Instruction::OpFCmpNE:
+      case Instruction::OpFCmpLT:
+      case Instruction::OpFCmpLE:
+      case Instruction::OpFCmpGT:
+      case Instruction::OpFCmpGE: {
+        Reg A = evalValue(I.getOperand(0), Frame);
+        Reg B = evalValue(I.getOperand(1), Frame);
+        bool C = false;
+        switch (I.getOpcode()) {
+        case Instruction::OpICmpEQ:
+          C = A.I == B.I;
+          break;
+        case Instruction::OpICmpNE:
+          C = A.I != B.I;
+          break;
+        case Instruction::OpICmpSLT:
+          C = A.I < B.I;
+          break;
+        case Instruction::OpICmpSLE:
+          C = A.I <= B.I;
+          break;
+        case Instruction::OpICmpSGT:
+          C = A.I > B.I;
+          break;
+        case Instruction::OpICmpSGE:
+          C = A.I >= B.I;
+          break;
+        case Instruction::OpFCmpEQ:
+          C = A.F == B.F;
+          break;
+        case Instruction::OpFCmpNE:
+          C = A.F != B.F;
+          break;
+        case Instruction::OpFCmpLT:
+          C = A.F < B.F;
+          break;
+        case Instruction::OpFCmpLE:
+          C = A.F <= B.F;
+          break;
+        case Instruction::OpFCmpGT:
+          C = A.F > B.F;
+          break;
+        case Instruction::OpFCmpGE:
+          C = A.F >= B.F;
+          break;
+        default:
+          break;
+        }
+        Reg R;
+        R.I = C ? 1 : 0;
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpTrunc: {
+        Reg A = evalValue(I.getOperand(0), Frame);
+        unsigned Bits = cast<IntType>(I.getType())->getBits();
+        Reg R;
+        if (Bits >= 64) {
+          R.I = A.I;
+        } else {
+          uint64_t Mask = (1ull << Bits) - 1;
+          uint64_t U = static_cast<uint64_t>(A.I) & Mask;
+          if (Bits > 1 && (U & (1ull << (Bits - 1))))
+            U |= ~Mask;
+          R.I = static_cast<int64_t>(U);
+        }
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpSExt:
+      case Instruction::OpZExt:
+      case Instruction::OpBitcast:
+      case Instruction::OpPtrToInt:
+      case Instruction::OpIntToPtr: {
+        // Register representation is canonical; these are no-ops at
+        // runtime (sign/zero extension happened at produce time).
+        Frame[static_cast<size_t>(I.getSlot())] =
+            evalValue(I.getOperand(0), Frame);
+        break;
+      }
+      case Instruction::OpFPExt:
+      case Instruction::OpFPTrunc: {
+        Reg A = evalValue(I.getOperand(0), Frame);
+        Reg R;
+        R.F = I.getOpcode() == Instruction::OpFPTrunc
+                  ? static_cast<double>(static_cast<float>(A.F))
+                  : A.F;
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpSIToFP: {
+        Reg A = evalValue(I.getOperand(0), Frame);
+        Reg R;
+        R.F = static_cast<double>(A.I);
+        if (cast<FloatType>(I.getType())->getBits() == 32)
+          R.F = static_cast<float>(R.F);
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpFPToSI: {
+        Reg A = evalValue(I.getOperand(0), Frame);
+        Reg R;
+        R.I = static_cast<int64_t>(A.F);
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpCall: {
+        const auto &C = static_cast<const CallInst &>(I);
+        std::vector<Reg> CallArgs;
+        CallArgs.reserve(C.getNumArgs());
+        for (unsigned A = 0; A < C.getNumArgs(); ++A)
+          CallArgs.push_back(evalValue(C.getArg(A), Frame));
+        Reg R = executeCall(C.getCallee(), CallArgs, Depth + 1);
+        if (!I.getType()->isVoid())
+          Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpICall: {
+        const auto &C = static_cast<const IndirectCallInst &>(I);
+        uint64_t Target =
+            static_cast<uint64_t>(evalValue(C.getCalleePtr(), Frame).I);
+        auto It = FuncByAddr.find(Target);
+        if (It == FuncByAddr.end()) {
+          trap("indirect call through a non-function pointer");
+          break;
+        }
+        std::vector<Reg> CallArgs;
+        CallArgs.reserve(C.getNumArgs());
+        for (unsigned A = 0; A < C.getNumArgs(); ++A)
+          CallArgs.push_back(evalValue(C.getArg(A), Frame));
+        Reg R = executeCall(It->second, CallArgs, Depth + 1);
+        if (!I.getType()->isVoid())
+          Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpRet: {
+        const auto &Rt = static_cast<const RetInst &>(I);
+        if (Rt.hasValue())
+          RetVal = evalValue(Rt.getValue(), Frame);
+        Done = true;
+        break;
+      }
+      case Instruction::OpBr: {
+        const auto &Br = static_cast<const BrInst &>(I);
+        NextBB = Br.getTarget();
+        break;
+      }
+      case Instruction::OpCondBr: {
+        const auto &CBr = static_cast<const CondBrInst &>(I);
+        bool C = evalValue(CBr.getCondition(), Frame).I != 0;
+        NextBB = C ? CBr.getTrueTarget() : CBr.getFalseTarget();
+        break;
+      }
+      case Instruction::OpMalloc: {
+        const auto &Mal = static_cast<const MallocInst &>(I);
+        uint64_t Size =
+            static_cast<uint64_t>(evalValue(Mal.getSizeBytes(), Frame).I);
+        Reg R;
+        R.I = static_cast<int64_t>(heapAlloc(Size, 0xAA));
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpCalloc: {
+        const auto &Cal = static_cast<const CallocInst &>(I);
+        uint64_t N = static_cast<uint64_t>(evalValue(Cal.getCount(), Frame).I);
+        uint64_t Sz =
+            static_cast<uint64_t>(evalValue(Cal.getElemSize(), Frame).I);
+        Reg R;
+        R.I = static_cast<int64_t>(heapAlloc(N * Sz, 0x00));
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpRealloc: {
+        const auto &Re = static_cast<const ReallocInst &>(I);
+        uint64_t Old = static_cast<uint64_t>(evalValue(Re.getPtr(), Frame).I);
+        uint64_t NewSize =
+            static_cast<uint64_t>(evalValue(Re.getSizeBytes(), Frame).I);
+        uint64_t NewAddr = heapAlloc(NewSize, 0xAA);
+        if (Old != 0) {
+          auto It = LiveAllocs.find(Old);
+          if (It == LiveAllocs.end()) {
+            trap("realloc of a non-heap address");
+            break;
+          }
+          uint64_t CopyBytes = std::min(It->second, NewSize);
+          ensureMem(NewAddr + CopyBytes);
+          std::memmove(Mem.data() + NewAddr, Mem.data() + Old, CopyBytes);
+          heapFree(Old);
+        }
+        Reg R;
+        R.I = static_cast<int64_t>(NewAddr);
+        Frame[static_cast<size_t>(I.getSlot())] = R;
+        break;
+      }
+      case Instruction::OpFree: {
+        const auto &Fr = static_cast<const FreeInst &>(I);
+        heapFree(static_cast<uint64_t>(evalValue(Fr.getPtr(), Frame).I));
+        break;
+      }
+      case Instruction::OpMemset: {
+        const auto &Ms = static_cast<const MemsetInst &>(I);
+        uint64_t Addr = static_cast<uint64_t>(evalValue(Ms.getPtr(), Frame).I);
+        int64_t Byte = evalValue(Ms.getByte(), Frame).I;
+        uint64_t Size =
+            static_cast<uint64_t>(evalValue(Ms.getSizeBytes(), Frame).I);
+        if (!checkAddr(Addr, Size, "memset"))
+          break;
+        std::memset(Mem.data() + Addr, static_cast<int>(Byte & 0xff), Size);
+        // Touch one cache line per 64 bytes.
+        if (Opts.SimulateCache)
+          for (uint64_t Off = 0; Off < Size; Off += 64)
+            Result.Cycles +=
+                Cache.access(Addr + Off, /*IsStore=*/true, false).Stall;
+        break;
+      }
+      case Instruction::OpMemcpy: {
+        const auto &Mc = static_cast<const MemcpyInst &>(I);
+        uint64_t Dst = static_cast<uint64_t>(evalValue(Mc.getDst(), Frame).I);
+        uint64_t Src = static_cast<uint64_t>(evalValue(Mc.getSrc(), Frame).I);
+        uint64_t Size =
+            static_cast<uint64_t>(evalValue(Mc.getSizeBytes(), Frame).I);
+        if (!checkAddr(Dst, Size, "memcpy") || !checkAddr(Src, Size, "memcpy"))
+          break;
+        std::memmove(Mem.data() + Dst, Mem.data() + Src, Size);
+        if (Opts.SimulateCache) {
+          for (uint64_t Off = 0; Off < Size; Off += 64) {
+            Result.Cycles +=
+                Cache.access(Src + Off, /*IsStore=*/false, false).Stall;
+            Result.Cycles +=
+                Cache.access(Dst + Off, /*IsStore=*/true, false).Stall;
+          }
+        }
+        break;
+      }
+      }
+      if (Result.Trapped || Done || NextBB)
+        break;
+    }
+    if (Result.Trapped)
+      break;
+    if (NextBB) {
+      if (Opts.Profile)
+        Opts.Profile->countEdge(BB, NextBB);
+      BB = NextBB;
+    } else if (!Done) {
+      trap("block fell through without a terminator");
+    }
+  }
+
+  StackTop = FrameBase;
+  return RetVal;
+}
+
+RunResult Interpreter::Impl::run(const std::string &EntryName) {
+  const Function *Entry = M.lookupFunction(EntryName);
+  if (!Entry || Entry->isDeclaration()) {
+    trap("entry function '" + EntryName + "' is not defined");
+    return Result;
+  }
+  layoutGlobals();
+  std::vector<Reg> Args(Entry->getNumArgs());
+  for (Reg &A : Args)
+    A.I = 0;
+  Reg R = executeCall(Entry, Args, 0);
+  if (Result.Instructions > Opts.MaxInstructions)
+    trap("instruction budget exceeded");
+  Result.ExitCode = R.I;
+  Result.L1 = Cache.l1Stats();
+  Result.L2 = Cache.l2Stats();
+  Result.L3 = Cache.l3Stats();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+Interpreter::Interpreter(const Module &M, RunOptions Opts)
+    : P(std::make_unique<Impl>(M, std::move(Opts))) {}
+
+Interpreter::~Interpreter() = default;
+
+RunResult Interpreter::run(const std::string &EntryName) {
+  return P->run(EntryName);
+}
+
+RunResult slo::runProgram(const Module &M, RunOptions Opts) {
+  Interpreter I(M, std::move(Opts));
+  return I.run();
+}

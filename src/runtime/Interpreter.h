@@ -1,0 +1,111 @@
+//===- runtime/Interpreter.h - IR interpreter with cache model -*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a whole-program module under a simulated memory hierarchy.
+/// The interpreter plays three roles from the paper's toolchain:
+///
+///  1. The execution platform (the HP rx2600): "runtime" is reported in
+///     simulated cycles (a per-opcode base cost plus cache stalls), which
+///     is what the Table 3 performance comparisons use.
+///  2. The instrumented binary of the PBO collection phase: it records
+///     exact CFG edge counts into a FeedbackFile.
+///  3. The PMU + HP Caliper: every load/store through a field address is
+///     attributed to its (record, field) with miss and latency counts;
+///     a sampling period can be configured to mimic sampled collection.
+///
+/// Heap, stack, and globals live in one flat simulated address space, so
+/// layout transformations change real simulated addresses and therefore
+/// real cache behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_RUNTIME_INTERPRETER_H
+#define SLO_RUNTIME_INTERPRETER_H
+
+#include "ir/Module.h"
+#include "profile/FeedbackFile.h"
+#include "runtime/CacheSim.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// Execution options.
+struct RunOptions {
+  /// Values assigned to named integer globals before execution; the
+  /// workloads read their problem sizes from such "param_*" globals,
+  /// which is how train vs reference inputs are expressed.
+  std::map<std::string, int64_t> IntParams;
+
+  /// When set, edge counts and d-cache field events are recorded here
+  /// (the PBO collection run).
+  FeedbackFile *Profile = nullptr;
+
+  /// Simulate the cache hierarchy (and charge stall cycles).
+  bool SimulateCache = true;
+  CacheConfig Cache;
+
+  /// Attribute every Nth field cache event (1 = exact; larger values
+  /// mimic PMU sampling).
+  unsigned CacheSamplePeriod = 1;
+
+  /// Execution guards.
+  uint64_t MaxInstructions = 4000000000ull;
+  unsigned MaxCallDepth = 4096;
+};
+
+/// Everything a run produces.
+struct RunResult {
+  bool Trapped = false;
+  std::string TrapReason;
+  int64_t ExitCode = 0;
+
+  uint64_t Instructions = 0;
+  uint64_t Cycles = 0;
+  uint64_t MemStallCycles = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  CacheLevelStats L1;
+  CacheLevelStats L2;
+  CacheLevelStats L3;
+
+  /// Output of the print_i64 / print_f64 library builtins, in order.
+  /// Semantic-equivalence tests compare these across transformations.
+  std::vector<int64_t> PrintedInts;
+  std::vector<double> PrintedFloats;
+
+  uint64_t HeapBytesAllocated = 0;
+  uint64_t HeapAllocations = 0;
+};
+
+/// Interprets one module. The module must outlive the interpreter.
+class Interpreter {
+public:
+  Interpreter(const Module &M, RunOptions Opts = RunOptions());
+  ~Interpreter();
+  Interpreter(const Interpreter &) = delete;
+  Interpreter &operator=(const Interpreter &) = delete;
+
+  /// Executes \p EntryName (default "main") and returns the results.
+  RunResult run(const std::string &EntryName = "main");
+
+private:
+  class Impl;
+  std::unique_ptr<Impl> P;
+};
+
+/// Convenience: compile-free execution helper used all over the tests and
+/// benches. Runs \p M with \p Opts and returns the result.
+RunResult runProgram(const Module &M, RunOptions Opts = RunOptions());
+
+} // namespace slo
+
+#endif // SLO_RUNTIME_INTERPRETER_H

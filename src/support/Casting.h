@@ -1,0 +1,52 @@
+//===- support/Casting.h - isa/cast/dyn_cast -------------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style opt-in RTTI. Classes participate by providing a static
+/// `classof(const Base *)` predicate; these templates then give the usual
+/// isa<> / cast<> / dyn_cast<> vocabulary without enabling C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_SUPPORT_CASTING_H
+#define SLO_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace slo {
+
+/// Returns true if \p V is an instance of To.
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast; asserts that \p V really is a To.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible type");
+  return static_cast<To *>(V);
+}
+
+/// Checked downcast, const overload.
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible type");
+  return static_cast<const To *>(V);
+}
+
+/// Checking downcast; returns nullptr if \p V is not a To.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return (V && To::classof(V)) ? static_cast<To *>(V) : nullptr;
+}
+
+/// Checking downcast, const overload.
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return (V && To::classof(V)) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace slo
+
+#endif // SLO_SUPPORT_CASTING_H

@@ -1,0 +1,12 @@
+//===- support/Error.cpp - Fatal error reporting --------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void slo::reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "slo fatal error: %s\n", Msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,34 @@
+//===- support/Error.h - Fatal error reporting ----------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting helpers used across the library. The library follows
+/// the LLVM convention of not using exceptions; unrecoverable conditions
+/// abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_SUPPORT_ERROR_H
+#define SLO_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace slo {
+
+/// Prints \p Msg to stderr and aborts. Used for unrecoverable internal
+/// errors and for malformed user input in contexts that cannot propagate
+/// a diagnostic.
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+} // namespace slo
+
+/// Marks a point in the code that must never be reached. Aborts with the
+/// given message when executed.
+#define SLO_UNREACHABLE(MSG)                                                   \
+  ::slo::reportFatalError(std::string("unreachable executed: ") + (MSG))
+
+#endif // SLO_SUPPORT_ERROR_H

@@ -1,0 +1,35 @@
+//===- support/Format.cpp - printf-style string formatting ---------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <vector>
+
+std::string slo::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::vector<char> Buf(static_cast<size_t>(Needed) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return std::string(Buf.data(), static_cast<size_t>(Needed));
+}
+
+std::string slo::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+std::string slo::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}

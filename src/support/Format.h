@@ -1,0 +1,34 @@
+//===- support/Format.h - printf-style string formatting ------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string formatting utilities used by the printers, the advisory
+/// report, and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_SUPPORT_FORMAT_H
+#define SLO_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace slo {
+
+/// Formats \p Fmt with printf semantics into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Right-pads \p S with spaces to at least \p Width characters.
+std::string padRight(const std::string &S, size_t Width);
+
+/// Left-pads \p S with spaces to at least \p Width characters.
+std::string padLeft(const std::string &S, size_t Width);
+
+} // namespace slo
+
+#endif // SLO_SUPPORT_FORMAT_H

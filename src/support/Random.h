@@ -1,0 +1,53 @@
+//===- support/Random.h - Deterministic PRNG ------------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic xorshift64* PRNG used by the workload generator so that
+/// generated benchmark programs (and therefore the Table 1 census) are
+/// reproducible across platforms and standard library versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_SUPPORT_RANDOM_H
+#define SLO_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace slo {
+
+/// Deterministic xorshift64* pseudo-random number generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ULL) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    return next() % Bound;
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace slo
+
+#endif // SLO_SUPPORT_RANDOM_H

@@ -1,0 +1,75 @@
+//===- transform/GlobalVarLayout.cpp - GVL phase --------------------------===//
+
+#include "transform/GlobalVarLayout.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace slo;
+
+std::vector<std::pair<const GlobalVariable *, double>>
+slo::computeGlobalWeights(const Module &M, const WeightSource &WS) {
+  std::map<const GlobalVariable *, double> Weight;
+  for (const auto &G : M.globals())
+    Weight[G.get()] = 0.0;
+
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : F->blocks()) {
+      double W = WS.blockWeight(BB.get());
+      if (W <= 0.0)
+        continue;
+      for (const auto &I : BB->instructions()) {
+        // Count direct loads/stores through the global. (Accesses through
+        // derived pointers belong to the pointed-to object, not the
+        // global's own cache line.)
+        const Value *Ptr = nullptr;
+        if (const auto *Ld = dyn_cast<LoadInst>(I.get()))
+          Ptr = Ld->getPointer();
+        else if (const auto *St = dyn_cast<StoreInst>(I.get()))
+          Ptr = St->getPointer();
+        if (!Ptr)
+          continue;
+        if (const auto *G = dyn_cast<GlobalVariable>(Ptr))
+          Weight[G] += W;
+      }
+    }
+  }
+
+  std::vector<std::pair<const GlobalVariable *, double>> Out(
+      Weight.begin(), Weight.end());
+  return Out;
+}
+
+GvlResult slo::applyGlobalVariableLayout(Module &M, const WeightSource &WS) {
+  auto Weights = computeGlobalWeights(M, WS);
+  std::map<const GlobalVariable *, double> WeightOf(Weights.begin(),
+                                                    Weights.end());
+
+  // Desired order: scalars/pointers by weight desc, then aggregates by
+  // weight desc; stable within ties (original module order).
+  std::vector<GlobalVariable *> Order;
+  for (const auto &G : M.globals())
+    Order.push_back(G.get());
+  auto IsAggregate = [](const GlobalVariable *G) {
+    return G->getValueType()->isArray() || G->getValueType()->isRecord();
+  };
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](const GlobalVariable *A, const GlobalVariable *B) {
+                     bool AggA = IsAggregate(A), AggB = IsAggregate(B);
+                     if (AggA != AggB)
+                       return !AggA; // Scalars first.
+                     return WeightOf[A] > WeightOf[B];
+                   });
+
+  GvlResult Result;
+  for (size_t I = 0; I < Order.size(); ++I) {
+    Result.NewOrder.push_back(Order[I]);
+    Result.Weights.push_back(WeightOf[Order[I]]);
+    Result.Changed |= Order[I] != M.globals()[I].get();
+  }
+  if (Result.Changed)
+    M.reorderGlobals(Order);
+  return Result;
+}

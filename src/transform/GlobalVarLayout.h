@@ -1,0 +1,55 @@
+//===- transform/GlobalVarLayout.h - GVL phase -----------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's companion phase: "Our compiler has a similar phase, which
+/// we call global variable layout (GVL). We plan to merge GVL with the
+/// presented framework in the future." (§4, discussing Calder et al.'s
+/// cache-conscious data placement.)
+///
+/// This is that merge: globals are re-laid-out by access weight so hot
+/// scalars pack into the same cache lines and cold ones move out of the
+/// way. The interpreter assigns global addresses in module order, so the
+/// reordering changes real simulated addresses, like a linker acting on
+/// a placement map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_TRANSFORM_GLOBALVARLAYOUT_H
+#define SLO_TRANSFORM_GLOBALVARLAYOUT_H
+
+#include "analysis/Affinity.h"
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// Outcome of the GVL phase.
+struct GvlResult {
+  /// Globals in their new order (hottest scalars first).
+  std::vector<const GlobalVariable *> NewOrder;
+  /// Per-global access weight, parallel to NewOrder.
+  std::vector<double> Weights;
+  /// True when the order actually changed.
+  bool Changed = false;
+};
+
+/// Computes the access weight of every global under \p WS (loads and
+/// stores directly through the global, weighted by block weight).
+std::vector<std::pair<const GlobalVariable *, double>>
+computeGlobalWeights(const Module &M, const WeightSource &WS);
+
+/// Reorders the module's globals hottest-first: scalars and pointers by
+/// descending weight, then aggregates (arrays/records) by descending
+/// weight. Stable for ties, so the layout is deterministic.
+GvlResult applyGlobalVariableLayout(Module &M, const WeightSource &WS);
+
+} // namespace slo
+
+#endif // SLO_TRANSFORM_GLOBALVARLAYOUT_H

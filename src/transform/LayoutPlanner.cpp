@@ -1,0 +1,179 @@
+//===- transform/LayoutPlanner.cpp - The paper's heuristics ---------------===//
+
+#include "transform/LayoutPlanner.h"
+
+#include "transform/StructPeel.h"
+
+#include <algorithm>
+
+using namespace slo;
+
+const char *slo::transformKindName(TransformKind K) {
+  switch (K) {
+  case TransformKind::None:
+    return "None";
+  case TransformKind::Split:
+    return "Splitting";
+  case TransformKind::Peel:
+    return "Peeling";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Classifies the fields of one type into live/dead/unused.
+struct FieldClasses {
+  std::vector<unsigned> Live;
+  std::vector<unsigned> Dead;   // Stores but no loads.
+  std::vector<unsigned> Unused; // No references at all.
+};
+
+FieldClasses classifyFields(const TypeFieldStats &S, bool RemoveDead) {
+  FieldClasses C;
+  for (unsigned I = 0; I < S.Rec->getNumFields(); ++I) {
+    bool HasReads = S.Reads[I] > 0.0;
+    bool HasWrites = S.Writes[I] > 0.0;
+    if (!RemoveDead) {
+      C.Live.push_back(I);
+    } else if (!HasReads && !HasWrites) {
+      C.Unused.push_back(I);
+    } else if (!HasReads && HasWrites) {
+      C.Dead.push_back(I);
+    } else {
+      C.Live.push_back(I);
+    }
+  }
+  return C;
+}
+
+/// Stable sort by decreasing hotness: the reordering applied to the new
+/// records ("field reordering is currently only performed in the context
+/// of structure splitting").
+void sortByHotnessDescending(std::vector<unsigned> &Fields,
+                             const TypeFieldStats &S) {
+  std::stable_sort(Fields.begin(), Fields.end(),
+                   [&S](unsigned A, unsigned B) {
+                     return S.Hotness[A] > S.Hotness[B];
+                   });
+}
+
+} // namespace
+
+std::vector<TypePlan> slo::planLayout(const Module &M,
+                                      const LegalityResult &Legal,
+                                      const FieldStatsResult &Stats,
+                                      const PlannerOptions &Opts) {
+  std::vector<TypePlan> Plans;
+  for (RecordType *Rec : Legal.types()) {
+    TypePlan Plan;
+    Plan.Rec = Rec;
+    Plan.Kind = TransformKind::None;
+    const TypeLegality &L = Legal.get(Rec);
+
+    if (!L.isLegal(/*Relax=*/false)) {
+      Plan.Reason =
+          "illegal: " + violationMaskToString(L.Violations);
+      Plans.push_back(std::move(Plan));
+      continue;
+    }
+    if (!L.Attrs.DynamicallyAllocated) {
+      Plan.Reason = "not dynamically allocated";
+      Plans.push_back(std::move(Plan));
+      continue;
+    }
+    if (L.Attrs.Reallocated) {
+      Plan.Reason = "type is realloc'd";
+      Plans.push_back(std::move(Plan));
+      continue;
+    }
+    if (L.Attrs.HasGlobalVar || L.Attrs.HasLocalVar ||
+        L.Attrs.HasStaticArray) {
+      Plan.Reason = "aggregate (non-heap) instances exist";
+      Plans.push_back(std::move(Plan));
+      continue;
+    }
+
+    const TypeFieldStats *S = Stats.get(Rec);
+    if (!S) {
+      Plan.Reason = "no field statistics";
+      Plans.push_back(std::move(Plan));
+      continue;
+    }
+
+    FieldClasses C = classifyFields(*S, Opts.EnableDeadFieldRemoval);
+
+    // Peeling is always performed when possible (paper §2.4).
+    if (Opts.EnablePeeling) {
+      PeelabilityInfo PI = analyzePeelability(M, Rec, L);
+      if (PI.Peelable && C.Live.size() >= 1) {
+        Plan.Kind = TransformKind::Peel;
+        Plan.DeadFields = C.Dead;
+        Plan.UnusedFields = C.Unused;
+        // One field per group, like the paper's 179.art example.
+        for (unsigned I : C.Live)
+          Plan.PeelGroups.push_back({I});
+        Plan.Reason = "peeled into " +
+                      std::to_string(Plan.PeelGroups.size()) +
+                      " per-field arrays";
+        Plans.push_back(std::move(Plan));
+        continue;
+      }
+    }
+
+    if (!Opts.EnableSplitting) {
+      Plan.Reason = "splitting disabled";
+      Plans.push_back(std::move(Plan));
+      continue;
+    }
+
+    // Splitting: cold fields are live fields under the hotness threshold.
+    std::vector<double> Rel = S->relativeHotness();
+    std::vector<unsigned> Hot, Cold;
+    for (unsigned I : C.Live) {
+      if (Rel[I] < Opts.splitThreshold())
+        Cold.push_back(I);
+      else
+        Hot.push_back(I);
+    }
+    if (Hot.empty()) {
+      // Everything cold (type never referenced in a hot context): leave
+      // it alone.
+      Plan.Reason = "no hot fields";
+      Plans.push_back(std::move(Plan));
+      continue;
+    }
+    if (Cold.size() < Opts.MinColdFields) {
+      // Not enough cold fields to pay for the link pointer. Dead-field
+      // removal (with reordering) may still be worthwhile.
+      if (!C.Dead.empty() || !C.Unused.empty()) {
+        Plan.Kind = TransformKind::Split;
+        Plan.HotFields = C.Live; // All live fields stay.
+        Plan.DeadFields = C.Dead;
+        Plan.UnusedFields = C.Unused;
+        sortByHotnessDescending(Plan.HotFields, *S);
+        Plan.Reason = "dead field removal only";
+        Plans.push_back(std::move(Plan));
+        continue;
+      }
+      Plan.Reason = "fewer than " + std::to_string(Opts.MinColdFields) +
+                    " cold fields (T_s=" +
+                    std::to_string(Opts.splitThreshold()) + "%)";
+      Plans.push_back(std::move(Plan));
+      continue;
+    }
+
+    Plan.Kind = TransformKind::Split;
+    Plan.HotFields = Hot;
+    Plan.ColdFields = Cold;
+    Plan.DeadFields = C.Dead;
+    Plan.UnusedFields = C.Unused;
+    // Field reordering in the context of splitting: hottest first.
+    sortByHotnessDescending(Plan.HotFields, *S);
+    sortByHotnessDescending(Plan.ColdFields, *S);
+    Plan.Reason = "split: " + std::to_string(Cold.size()) +
+                  " cold fields below T_s";
+    Plans.push_back(std::move(Plan));
+  }
+  return Plans;
+}

@@ -1,0 +1,67 @@
+//===- transform/LayoutPlanner.h - The paper's heuristics ------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heuristics of paper §2.4, deciding if and how each record type is
+/// transformed:
+///
+///   - dead structure fields are always removed;
+///   - structure peeling is always performed when legal;
+///   - splitting uses a relative-hotness threshold T_s (3% under PBO,
+///     7.5% under ISPBO) and requires at least two split-out fields
+///     (the link pointer must pay for itself);
+///   - field reordering happens only in the context of splitting;
+///   - only dynamically allocated types are transformed, never types
+///     with only global/local instances, never realloc'd types;
+///   - hot fields stay in the hot section no matter what ("the single
+///     most important criterion for splitting is hotness").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_TRANSFORM_LAYOUTPLANNER_H
+#define SLO_TRANSFORM_LAYOUTPLANNER_H
+
+#include "analysis/Affinity.h"
+#include "analysis/Legality.h"
+#include "transform/Plan.h"
+
+#include <vector>
+
+namespace slo {
+
+class Module;
+
+struct PlannerOptions {
+  /// T_s for profile-based compilations (paper: 3%).
+  double SplitThresholdPBO = 3.0;
+  /// T_s for non-profile (ISPBO) compilations (paper: 7.5%).
+  double SplitThresholdStatic = 7.5;
+  /// True when the hotness numbers come from a profile (selects the
+  /// threshold).
+  bool HotnessFromProfile = false;
+  /// Minimum number of fields that must be split out (paper: 2, because
+  /// of the link pointer).
+  unsigned MinColdFields = 2;
+  /// Enable/disable individual transformations (for ablations).
+  bool EnablePeeling = true;
+  bool EnableSplitting = true;
+  bool EnableDeadFieldRemoval = true;
+
+  double splitThreshold() const {
+    return HotnessFromProfile ? SplitThresholdPBO : SplitThresholdStatic;
+  }
+};
+
+/// Decides the transformation for every record type.
+/// \p M must be the module \p Legal and \p Stats were computed on.
+std::vector<TypePlan> planLayout(const Module &M, const LegalityResult &Legal,
+                                 const FieldStatsResult &Stats,
+                                 const PlannerOptions &Opts);
+
+} // namespace slo
+
+#endif // SLO_TRANSFORM_LAYOUTPLANNER_H

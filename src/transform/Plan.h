@@ -1,0 +1,78 @@
+//===- transform/Plan.h - Transformation plans -----------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control information the IPA phase hands to the back end ("if types
+/// are to be split it emits control information for the BE", paper §2).
+/// A TypePlan describes what happens to one record type: splitting with
+/// link pointers, peeling into per-field arrays, plus the dead/unused
+/// fields to remove and the new field order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_TRANSFORM_PLAN_H
+#define SLO_TRANSFORM_PLAN_H
+
+#include "ir/Type.h"
+
+#include <string>
+#include <vector>
+
+namespace slo {
+
+enum class TransformKind {
+  /// Type left untouched.
+  None,
+  /// Hot part + cold part reachable through a link pointer (Figure 1b).
+  /// Also covers pure dead-field-removal/reordering when ColdFields is
+  /// empty (no link pointer inserted then).
+  Split,
+  /// Per-field arrays behind fresh global pointers (Figure 1c).
+  Peel,
+};
+
+const char *transformKindName(TransformKind K);
+
+/// What to do with one record type.
+struct TypePlan {
+  RecordType *Rec = nullptr;
+  TransformKind Kind = TransformKind::None;
+
+  /// Fields that stay in the root (hot) part, in their new order
+  /// (field reordering happens "in the context of structure splitting",
+  /// paper §2.4).
+  std::vector<unsigned> HotFields;
+
+  /// Fields split out into the cold part, in their new order.
+  std::vector<unsigned> ColdFields;
+
+  /// For peeling: the field groups, each becoming its own record/array.
+  /// The paper's art example peels one field per group.
+  std::vector<std::vector<unsigned>> PeelGroups;
+
+  /// Fields with stores but no loads: removed, stores deleted.
+  std::vector<unsigned> DeadFields;
+
+  /// Fields never referenced at all: removed silently.
+  std::vector<unsigned> UnusedFields;
+
+  /// Human-readable planning rationale (also used by the advisor).
+  std::string Reason;
+
+  bool isNoop() const { return Kind == TransformKind::None; }
+
+  /// Total fields removed or split out (the paper's Table 3 "S/D"
+  /// column).
+  unsigned splitOrDeadCount() const {
+    return static_cast<unsigned>(ColdFields.size() + DeadFields.size() +
+                                 UnusedFields.size());
+  }
+};
+
+} // namespace slo
+
+#endif // SLO_TRANSFORM_PLAN_H

@@ -1,0 +1,128 @@
+//===- transform/RewriteUtils.cpp - Shared rewriting helpers --------------===//
+
+#include "transform/RewriteUtils.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+using namespace slo;
+
+Type *slo::remapType(TypeContext &Types, Type *Ty, RecordType *From,
+                     RecordType *To) {
+  if (Ty == From)
+    return To;
+  if (auto *PT = dyn_cast<PointerType>(Ty)) {
+    Type *NewPointee = remapType(Types, PT->getPointee(), From, To);
+    return NewPointee == PT->getPointee() ? Ty
+                                          : Types.getPointerType(NewPointee);
+  }
+  if (auto *AT = dyn_cast<ArrayType>(Ty)) {
+    Type *NewElem = remapType(Types, AT->getElementType(), From, To);
+    return NewElem == AT->getElementType()
+               ? Ty
+               : Types.getArrayType(NewElem, AT->getNumElements());
+  }
+  if (auto *FT = dyn_cast<FunctionType>(Ty)) {
+    Type *NewRet = remapType(Types, FT->getReturnType(), From, To);
+    std::vector<Type *> NewParams;
+    bool Changed = NewRet != FT->getReturnType();
+    for (Type *P : FT->getParamTypes()) {
+      Type *NP = remapType(Types, P, From, To);
+      Changed |= NP != P;
+      NewParams.push_back(NP);
+    }
+    return Changed ? Types.getFunctionType(NewRet, std::move(NewParams))
+                   : Ty;
+  }
+  return Ty;
+}
+
+void slo::retypeModuleForRecord(Module &M, RecordType *From, RecordType *To) {
+  TypeContext &Types = M.getTypes();
+  IRContext &Ctx = M.getContext();
+
+  for (const auto &G : M.globals()) {
+    Type *NewTy = remapType(Types, G->getValueType(), From, To);
+    if (NewTy != G->getValueType())
+      G->setValueType(Types, NewTy);
+  }
+
+  for (const auto &F : M.functions()) {
+    // Function signature (arguments retype via their own walk below).
+    auto *NewFnTy = cast<FunctionType>(
+        remapType(Types, F->getFunctionType(), From, To));
+    if (NewFnTy != F->getFunctionType())
+      F->retype(Types, NewFnTy);
+
+    for (unsigned A = 0; A < F->getNumArgs(); ++A) {
+      Argument *Arg = F->getArg(A);
+      Type *NewTy = remapType(Types, Arg->getType(), From, To);
+      if (NewTy != Arg->getType())
+        Arg->mutateType(NewTy);
+    }
+
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        if (auto *A = dyn_cast<AllocaInst>(I.get())) {
+          Type *NewTy = remapType(Types, A->getAllocatedType(), From, To);
+          if (NewTy != A->getAllocatedType())
+            A->setAllocatedType(Types, NewTy);
+        } else {
+          Type *NewTy = remapType(Types, I->getType(), From, To);
+          if (NewTy != I->getType())
+            I->mutateType(NewTy);
+        }
+        // Null-pointer constants are uniqued per type; swap operands.
+        for (unsigned Op = 0; Op < I->getNumOperands(); ++Op) {
+          if (auto *Null = dyn_cast<ConstantNull>(I->getOperand(Op))) {
+            Type *NewTy = remapType(Types, Null->getType(), From, To);
+            if (NewTy != Null->getType())
+              I->setOperand(Op,
+                            Ctx.getNullPtr(cast<PointerType>(NewTy)));
+          }
+        }
+      }
+    }
+  }
+}
+
+void slo::rewriteSizeofConstants(Module &M, RecordType *From,
+                                 RecordType *To) {
+  IRContext &Ctx = M.getContext();
+  ConstantInt *NewConst = Ctx.getSizeOf(To);
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        for (unsigned Op = 0; Op < I->getNumOperands(); ++Op) {
+          auto *C = dyn_cast<ConstantInt>(I->getOperand(Op));
+          if (C && C->getSizeOfRecord() == From)
+            I->setOperand(Op, NewConst);
+        }
+      }
+    }
+  }
+}
+
+BasicBlock *slo::splitBlockAfter(BasicBlock *BB, Instruction *Pos,
+                                 const std::string &TailName) {
+  Function *F = BB->getParent();
+  assert(F && "splitting a detached block");
+  auto Tail = std::make_unique<BasicBlock>(TailName);
+  BasicBlock *TailPtr = Tail.get();
+  F->insertBlockAfter(BB, std::move(Tail));
+
+  // Collect the instructions after Pos (Pos stays in BB).
+  std::vector<Instruction *> ToMove;
+  bool Found = false;
+  for (const auto &I : BB->instructions()) {
+    if (Found)
+      ToMove.push_back(I.get());
+    if (I.get() == Pos)
+      Found = true;
+  }
+  if (!Found)
+    reportFatalError("splitBlockAfter: position not in block");
+  for (Instruction *I : ToMove)
+    TailPtr->append(BB->remove(I));
+  return TailPtr;
+}

@@ -1,0 +1,50 @@
+//===- transform/RewriteUtils.h - Shared rewriting helpers -----*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR surgery shared by the splitting and peeling transformations:
+/// whole-module retyping from one record to another, tagged sizeof
+/// constant rewriting, and block splitting for the link-pointer
+/// initialization loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_TRANSFORM_REWRITEUTILS_H
+#define SLO_TRANSFORM_REWRITEUTILS_H
+
+#include "ir/Module.h"
+
+namespace slo {
+
+/// Recursively rewrites \p Ty, substituting \p From with \p To under
+/// pointers, arrays, and function types. Returns \p Ty unchanged when
+/// \p From does not occur.
+Type *remapType(TypeContext &Types, Type *Ty, RecordType *From,
+                RecordType *To);
+
+/// Retypes every value of the module whose type involves \p From so it
+/// involves \p To instead: globals, allocas, arguments, function
+/// signatures, instruction results, and null-pointer constant operands.
+/// FieldAddr instructions keep their record/index (callers rewrite those
+/// explicitly afterwards).
+void retypeModuleForRecord(Module &M, RecordType *From, RecordType *To);
+
+/// Replaces every operand that is the attributed constant sizeof(From)
+/// with the attributed constant sizeof(To). This implements the paper's
+/// attributed-constant answer to the sizeof() problem (§2.2).
+void rewriteSizeofConstants(Module &M, RecordType *From, RecordType *To);
+
+/// Splits \p BB after \p Pos: instructions following \p Pos (including
+/// the terminator) move into a new block inserted after \p BB, and \p BB
+/// is NOT given a terminator (the caller wires up the control flow).
+/// Returns the new tail block.
+BasicBlock *splitBlockAfter(BasicBlock *BB, Instruction *Pos,
+                            const std::string &TailName);
+
+} // namespace slo
+
+#endif // SLO_TRANSFORM_REWRITEUTILS_H

@@ -1,0 +1,56 @@
+//===- transform/Transform.cpp - BE transformation driver -----------------===//
+
+#include "transform/Transform.h"
+
+#include "support/Format.h"
+
+using namespace slo;
+
+TransformSummary slo::applyPlans(Module &M,
+                                 const std::vector<TypePlan> &Plans,
+                                 const LegalityResult &Legal) {
+  TransformSummary Summary;
+
+  // Peels first, splits second; the sets of affected types are disjoint
+  // by construction (one plan per type), so the order only affects block
+  // layout.
+  for (int Phase = 0; Phase < 2; ++Phase) {
+    for (const TypePlan &Plan : Plans) {
+      bool IsPeel = Plan.Kind == TransformKind::Peel;
+      if (Plan.isNoop() || (Phase == 0) != IsPeel)
+        continue;
+      AppliedTransform Applied;
+      Applied.Plan = Plan;
+      if (IsPeel) {
+        PeelabilityInfo Info =
+            analyzePeelability(M, Plan.Rec, Legal.get(Plan.Rec));
+        if (!Info.Peelable) {
+          Summary.Log.push_back("skipped peel of '" +
+                                Plan.Rec->getRecordName() +
+                                "': " + Info.Reason);
+          continue;
+        }
+        Applied.Peel = applyStructPeel(M, Plan, Info);
+        Summary.Log.push_back(formatString(
+            "peeled '%s' into %u arrays (%u dead/unused fields removed)",
+            Plan.Rec->getRecordName().c_str(),
+            static_cast<unsigned>(Applied.Peel.GroupRecs.size()),
+            static_cast<unsigned>(Plan.DeadFields.size() +
+                                  Plan.UnusedFields.size())));
+      } else {
+        Applied.Split = applyStructSplit(M, Plan, Legal.get(Plan.Rec));
+        Summary.Log.push_back(formatString(
+            "split '%s': %u hot, %u cold, %u dead/unused",
+            Plan.Rec->getRecordName().c_str(),
+            static_cast<unsigned>(Plan.HotFields.size()),
+            static_cast<unsigned>(Plan.ColdFields.size()),
+            static_cast<unsigned>(Plan.DeadFields.size() +
+                                  Plan.UnusedFields.size())));
+      }
+      ++Summary.TypesTransformed;
+      Summary.FieldsSplitOrDead += Plan.splitOrDeadCount();
+      Summary.Applied.push_back(std::move(Applied));
+    }
+  }
+  return Summary;
+}

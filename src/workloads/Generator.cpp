@@ -1,0 +1,240 @@
+//===- workloads/Generator.cpp - Synthetic benchmark generator ------------===//
+
+#include "workloads/Generator.h"
+
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <sstream>
+#include <vector>
+
+using namespace slo;
+
+namespace {
+
+/// Builds the program text incrementally: struct declarations, globals,
+/// per-type use functions, and a main that calls everything.
+class SourceBuilder {
+public:
+  SourceBuilder(const GeneratorConfig &Config) : Config(Config), R(Config.Seed) {}
+
+  std::string build() {
+    Decls << "// Generated benchmark '" << Config.Name << "' (seed "
+          << Config.Seed << ").\n";
+    Decls << "extern void print_i64(long v);\n";
+    Decls << "long gen_never;\n";
+    Decls << "void *wrap_alloc(long bytes) { return malloc(bytes); }\n";
+    Decls << "void gen_pin_sink(long v) { if (v == 123456789) { gen_never = v; } }\n";
+
+    unsigned TypeId = 0;
+    unsigned Candidates = Config.TransformCandidates;
+    for (unsigned I = 0; I < Config.LegalTypes; ++I, ++TypeId) {
+      if (Candidates > 0) {
+        emitHotCandidate(TypeId);
+        --Candidates;
+      } else {
+        emitLegalGlobalOnly(TypeId);
+      }
+    }
+    static const char *RelaxKinds[] = {"cstt", "cstf", "atkn"};
+    for (unsigned I = 0; I < Config.RelaxOnlyTypes; ++I, ++TypeId)
+      emitRelaxOnly(TypeId, RelaxKinds[I % 3]);
+
+    unsigned Hard = Config.TotalTypes - Config.LegalTypes -
+                    Config.RelaxOnlyTypes;
+    static const char *HardKinds[] = {"libc", "ind",  "smal",
+                                      "mset", "unsz", "nest"};
+    unsigned HardKindIdx = 0;
+    while (Hard > 0) {
+      const char *Kind = HardKinds[HardKindIdx++ % 6];
+      if (std::string(Kind) == "nest") {
+        if (Hard < 2)
+          continue; // A NEST pair needs two type slots.
+        emitNestPair(TypeId);
+        TypeId += 2;
+        Hard -= 2;
+        continue;
+      }
+      emitHard(TypeId, Kind);
+      ++TypeId;
+      --Hard;
+    }
+
+    std::ostringstream Out;
+    Out << Decls.str() << "\n" << Funcs.str() << "\n";
+    Out << "int main() {\n  long acc = 0;\n";
+    for (const std::string &Call : MainCalls)
+      Out << "  acc += " << Call << ";\n";
+    Out << "  print_i64(acc);\n  return 0;\n}\n";
+    return Out.str();
+  }
+
+private:
+  std::string typeName(unsigned Id) {
+    return formatString("t%u_%s", Id, Config.Name.c_str());
+  }
+
+  /// Emits a struct with 3..8 fields named f0..fN; returns the count.
+  unsigned emitStruct(const std::string &Name, unsigned MinFields = 3) {
+    unsigned NumFields =
+        MinFields + static_cast<unsigned>(R.nextBelow(9 - MinFields));
+    Decls << "struct " << Name << " {";
+    for (unsigned F = 0; F < NumFields; ++F) {
+      const char *Ty = (R.nextBelow(3) == 0) ? "double" : "long";
+      Decls << " " << Ty << " f" << F << ";";
+    }
+    Decls << " };\n";
+    return NumFields;
+  }
+
+  void registerCall(const std::string &FnName) {
+    MainCalls.push_back(FnName + "()");
+  }
+
+  /// A hot split candidate: heap array, deeply nested hot loop over the
+  /// first two fields, shallow cold pass over the rest, pointer escaping
+  /// to a defined helper (blocks peeling, keeps splitting predictable).
+  void emitHotCandidate(unsigned Id) {
+    std::string T = typeName(Id);
+    unsigned NumFields = 4 + static_cast<unsigned>(R.nextBelow(4));
+    Decls << "struct " << T << " {";
+    for (unsigned F = 0; F < NumFields; ++F)
+      Decls << " long f" << F << ";";
+    Decls << " };\n";
+    Decls << "struct " << T << " *gp_" << Id << ";\n";
+    Funcs << "void pin_" << Id << "(struct " << T << " *p) { }\n";
+    Funcs << "long use_" << Id << "() {\n";
+    Funcs << "  long n = " << Config.HotElements << ";\n";
+    Funcs << "  gp_" << Id << " = (struct " << T << "*) malloc(n * sizeof(struct " << T << "));\n";
+    Funcs << "  struct " << T << " *p = gp_" << Id << ";\n";
+    Funcs << "  pin_" << Id << "(p);\n";
+    Funcs << "  for (long i = 0; i < n; i++) {\n";
+    for (unsigned F = 0; F < NumFields; ++F)
+      Funcs << "    p[i].f" << F << " = i + " << F << ";\n";
+    Funcs << "  }\n";
+    Funcs << "  long s = 0;\n";
+    // Four levels of nesting so the static estimator (whose per-loop
+    // weight is depth-based, not trip-count-based) sees the contrast.
+    Funcs << "  for (long r = 0; r < 2; r++)\n";
+    Funcs << "    for (long k = 0; k < " << Config.HotIterations << "; k++)\n";
+    Funcs << "      for (long m = 0; m < 2; m++)\n";
+    Funcs << "        for (long i = 0; i < n; i++)\n";
+    Funcs << "          s += p[i].f0 + p[i].f1;\n";
+    Funcs << "  for (long i = 0; i < n; i++) {\n";
+    for (unsigned F = 2; F < NumFields; ++F)
+      Funcs << "    s += p[i].f" << F << ";\n";
+    Funcs << "  }\n";
+    Funcs << "  free(p);\n  return s % 1000003;\n}\n";
+    registerCall("use_" + std::to_string(Id));
+  }
+
+  /// Legal but untransformable: only a global instance exists.
+  void emitLegalGlobalOnly(unsigned Id) {
+    std::string T = typeName(Id);
+    unsigned NumFields = emitStruct(T);
+    Decls << "struct " << T << " g_" << Id << ";\n";
+    Funcs << "long use_" << Id << "() {\n  long s = 0;\n";
+    Funcs << "  for (long i = 0; i < 16; i++) {\n";
+    for (unsigned F = 0; F < NumFields; ++F)
+      Funcs << "    g_" << Id << ".f" << F << " = (long) g_" << Id << ".f"
+            << F << " + i;\n";
+    Funcs << "  }\n";
+    Funcs << "  s = (long) g_" << Id << ".f0 + (long) g_" << Id << ".f"
+          << (NumFields - 1) << ";\n";
+    Funcs << "  return s;\n}\n";
+    registerCall("use_" + std::to_string(Id));
+  }
+
+  /// Violations tolerated by the relaxed (points-to) analysis.
+  void emitRelaxOnly(unsigned Id, const std::string &Kind) {
+    std::string T = typeName(Id);
+    unsigned NumFields = emitStruct(T);
+    (void)NumFields;
+    Funcs << "long use_" << Id << "() {\n";
+    if (Kind == "cstt") {
+      Funcs << "  struct " << T << " *p = (struct " << T
+            << "*) wrap_alloc(8 * sizeof(struct " << T << "));\n";
+    } else {
+      Funcs << "  struct " << T << " *p = (struct " << T
+            << "*) malloc(8 * sizeof(struct " << T << "));\n";
+    }
+    Funcs << "  for (long i = 0; i < 8; i++) { p[i].f0 = i; p[i].f1 = 2 * i; }\n";
+    Funcs << "  long s = 0;\n";
+    if (Kind == "cstf") {
+      Funcs << "  long *raw = (long*) p;\n";
+      Funcs << "  s += raw[0];\n";
+    } else if (Kind == "atkn") {
+      Decls << "long *atkn_" << Id << ";\n";
+      Funcs << "  atkn_" << Id << " = &p[2].f1;\n";
+      Funcs << "  s += *atkn_" << Id << ";\n";
+    }
+    Funcs << "  for (long i = 0; i < 8; i++) { s += p[i].f0 + p[i].f1; }\n";
+    Funcs << "  free(p);\n  return s;\n}\n";
+    registerCall("use_" + std::to_string(Id));
+  }
+
+  /// Violations that even the relaxed analysis cannot tolerate.
+  void emitHard(unsigned Id, const std::string &Kind) {
+    std::string T = typeName(Id);
+    emitStruct(T);
+    Funcs << "long use_" << Id << "() {\n";
+    if (Kind == "smal") {
+      Funcs << "  struct " << T << " *p = (struct " << T
+            << "*) malloc(sizeof(struct " << T << "));\n";
+      Funcs << "  p->f0 = 7;\n  long s = p->f0;\n  free(p);\n";
+      Funcs << "  return s;\n}\n";
+    } else if (Kind == "unsz") {
+      Funcs << "  struct " << T << " *p = (struct " << T
+            << "*) malloc(8 * sizeof(struct " << T << ") + 8);\n";
+      Funcs << "  p[1].f0 = 5;\n  long s = p[1].f0;\n  free(p);\n";
+      Funcs << "  return s;\n}\n";
+    } else if (Kind == "mset") {
+      Funcs << "  struct " << T << " *p = (struct " << T
+            << "*) malloc(8 * sizeof(struct " << T << "));\n";
+      Funcs << "  memset(p, 0, 8 * sizeof(struct " << T << "));\n";
+      Funcs << "  long s = p[3].f0;\n  free(p);\n  return s;\n}\n";
+    } else if (Kind == "libc") {
+      Decls << "extern void lib_sink_" << Id << "(struct " << T << " *p);\n";
+      Funcs << "  struct " << T << " *p = (struct " << T
+            << "*) malloc(8 * sizeof(struct " << T << "));\n";
+      Funcs << "  p->f1 = 3;\n";
+      Funcs << "  if (gen_never == 1) { lib_sink_" << Id << "(p); }\n";
+      Funcs << "  long s = p->f1;\n  free(p);\n  return s;\n}\n";
+    } else { // ind
+      Funcs << "  struct " << T << " *p = (struct " << T
+            << "*) malloc(8 * sizeof(struct " << T << "));\n";
+      Funcs << "  long (*fn)(struct " << T << "*);\n";
+      Funcs << "  fn = taker_" << Id << ";\n";
+      Funcs << "  long s = fn(p);\n  free(p);\n  return s;\n}\n";
+      Funcs << "long taker_" << Id << "(struct " << T
+            << " *q) { q->f0 = 9; return q->f0; }\n";
+    }
+    registerCall("use_" + std::to_string(Id));
+  }
+
+  /// Two mutually nested types (both NEST-invalid).
+  void emitNestPair(unsigned Id) {
+    std::string Inner = typeName(Id);
+    std::string Outer = typeName(Id + 1);
+    Decls << "struct " << Inner << " { long a; long b; };\n";
+    Decls << "struct " << Outer << " { struct " << Inner
+          << " in; long tag; };\n";
+    Funcs << "long use_" << Id << "() {\n";
+    Funcs << "  struct " << Outer << " o;\n";
+    Funcs << "  o.in.a = 1;\n  o.in.b = 2;\n  o.tag = 3;\n";
+    Funcs << "  return o.in.a + o.in.b + o.tag;\n}\n";
+    registerCall("use_" + std::to_string(Id));
+  }
+
+  const GeneratorConfig &Config;
+  Rng R;
+  std::ostringstream Decls;
+  std::ostringstream Funcs;
+  std::vector<std::string> MainCalls;
+};
+
+} // namespace
+
+std::string slo::generateBenchmarkSource(const GeneratorConfig &Config) {
+  return SourceBuilder(Config).build();
+}

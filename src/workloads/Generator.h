@@ -1,0 +1,51 @@
+//===- workloads/Generator.h - Synthetic benchmark generator ---*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates MiniC benchmark programs with a configured record-type
+/// census: so many types in total, so many passing the practical
+/// legality tests, so many that become legal when CSTT/CSTF/ATKN are
+/// relaxed. This reproduces the *population* of the paper's Table 1 for
+/// the nine open-source benchmarks whose sources are not available;
+/// the legality DETECTORS are what is under test (unit tests exercise
+/// each one on hand-written inputs), the generator supplies realistic
+/// volume. Everything is seeded and deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_WORKLOADS_GENERATOR_H
+#define SLO_WORKLOADS_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace slo {
+
+/// Census and workload parameters of one generated benchmark.
+struct GeneratorConfig {
+  std::string Name;
+  uint64_t Seed = 1;
+  /// Table 1 census.
+  unsigned TotalTypes = 10;
+  unsigned LegalTypes = 2;
+  /// Types whose only violations are CSTT/CSTF/ATKN (the "Relax" column
+  /// equals LegalTypes + RelaxOnlyTypes).
+  unsigned RelaxOnlyTypes = 3;
+  /// Of the legal types, how many are hot heap types the planner should
+  /// find transformable (split candidates with cold fields).
+  unsigned TransformCandidates = 1;
+  /// Loop scale for the hot kernels (elements per array).
+  unsigned HotElements = 6000;
+  unsigned HotIterations = 6;
+};
+
+/// Emits one MiniC translation unit implementing the census.
+std::string generateBenchmarkSource(const GeneratorConfig &Config);
+
+} // namespace slo
+
+#endif // SLO_WORKLOADS_GENERATOR_H

@@ -1,0 +1,74 @@
+//===- workloads/Workloads.h - Benchmark workloads -------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The twelve benchmarks of the paper's Table 1 as MiniC programs. The
+/// three benchmarks with significant reported gains (181.mcf, 179.art,
+/// moldyn) are hand-written kernels that reproduce the hot record types'
+/// field-access shape; the other nine are emitted by the deterministic
+/// type-population generator with the paper's per-benchmark type census
+/// (total / legal / relax-legal counts). See DESIGN.md for the
+/// substitution rationale.
+///
+/// Workloads parameterize their problem size through "param_*" globals,
+/// which is how training vs reference inputs are expressed (paper §2.3:
+/// PBO uses the training set, "perfect PBO" the reference set).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_WORKLOADS_WORKLOADS_H
+#define SLO_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// Reference values from the paper for one benchmark (NaN/-1 = not
+/// reported).
+struct PaperReference {
+  unsigned Types = 0;
+  unsigned Legal = 0;
+  unsigned Relax = 0;
+  /// Table 3 performance impact in percent; the paper reports two rows
+  /// for mcf and moldyn (with and without PBO).
+  double PerfNoPbo = 0.0;
+  double PerfPbo = 0.0;
+  bool PerfKnown = false;
+};
+
+/// One benchmark program.
+struct Workload {
+  std::string Name;
+  std::vector<std::string> Sources; // MiniC translation units.
+  std::map<std::string, int64_t> TrainParams;
+  std::map<std::string, int64_t> RefParams;
+  PaperReference Paper;
+};
+
+/// All twelve benchmarks in the paper's Table 1 order.
+const std::vector<Workload> &allWorkloads();
+
+/// Finds a benchmark by name; returns nullptr when unknown.
+const Workload *findWorkload(const std::string &Name);
+
+/// The hand-written benchmark sources (exposed for tests and examples).
+const char *mcfSource();
+const char *artSource();
+const char *moldynSource();
+
+/// §3.4 case studies: the SPEC2006 C++ benchmark with four hot fields
+/// scattered over a >cache-line struct, and the C benchmark dominated by
+/// three loops over a two-field record.
+const Workload &caseStudyHotStruct();
+const Workload &caseStudyTwoField();
+
+} // namespace slo
+
+#endif // SLO_WORKLOADS_WORKLOADS_H

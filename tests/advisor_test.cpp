@@ -1,0 +1,194 @@
+//===- tests/advisor_test.cpp - Advisory tool and correlation tests -------===//
+
+#include "advisor/AdvisorReport.h"
+#include "advisor/Correlation.h"
+#include "frontend/Frontend.h"
+#include "pipeline/Pipeline.h"
+#include "runtime/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+TEST(CorrelationTest, PerfectCorrelation) {
+  EXPECT_NEAR(pearsonCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0,
+              1e-12);
+}
+
+TEST(CorrelationTest, PerfectAntiCorrelation) {
+  EXPECT_NEAR(pearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, UncorrelatedIsNearZero) {
+  // Symmetric pattern with zero covariance.
+  EXPECT_NEAR(pearsonCorrelation({1, 2, 3, 4}, {1, -1, -1, 1}), 0.0,
+              1e-12);
+}
+
+TEST(CorrelationTest, ConstantVectorGivesZero) {
+  EXPECT_EQ(pearsonCorrelation({5, 5, 5}, {1, 2, 3}), 0.0);
+}
+
+TEST(CorrelationTest, ExcludingAnOutlierChangesR) {
+  // x and y agree except on index 0, which dominates.
+  std::vector<double> X = {100, 1, 2, 3, 4};
+  std::vector<double> Y = {100, 4, 3, 2, 1};
+  double R = pearsonCorrelation(X, Y);
+  double RPrime = pearsonCorrelationExcluding(X, Y, 0);
+  EXPECT_GT(R, 0.9);      // The shared outlier dominates.
+  EXPECT_LT(RPrime, 0.0); // Without it the rest anti-correlates.
+}
+
+TEST(CorrelationTest, ExcludeIsOrderInsensitive) {
+  std::vector<double> X = {1, 5, 2, 8};
+  std::vector<double> Y = {2, 4, 1, 9};
+  EXPECT_NEAR(pearsonCorrelationExcluding(X, Y, 3),
+              pearsonCorrelation({1, 5, 2}, {2, 4, 1}), 1e-12);
+}
+
+struct AdvisorFixture : public ::testing::Test {
+  void SetUp() override {
+    std::vector<std::string> Diags;
+    M = compileMiniC(Ctx, "adv", R"(
+      extern void print_i64(long v);
+      struct hotcold {
+        long hot;
+        long cold;
+        long deadf;   // written only
+        long unusedf; // untouched
+      };
+      struct hotcold *p;
+      void pin(struct hotcold *q) { }
+      int main() {
+        p = (struct hotcold*) malloc(2048 * sizeof(struct hotcold));
+        pin(p);
+        long s = 0;
+        for (long i = 0; i < 2048; i++) {
+          p[i].hot = i;
+          p[i].cold = 2 * i;
+          p[i].deadf = 3 * i;
+        }
+        for (long r = 0; r < 2; r++)
+          for (long k = 0; k < 4; k++)
+            for (long m = 0; m < 2; m++)
+              for (long i = 0; i < 2048; i++)
+                s += p[i].hot;
+        for (long i = 0; i < 2048; i++)
+          s += p[i].cold;
+        print_i64(s);
+        free(p);
+        return 0;
+      }
+    )",
+                     Diags);
+    ASSERT_TRUE(M) << (Diags.empty() ? "?" : Diags[0]);
+    RunOptions O;
+    O.Profile = &Train;
+    RunResult R = runProgram(*M, std::move(O));
+    ASSERT_FALSE(R.Trapped) << R.TrapReason;
+
+    PipelineOptions Opts;
+    Opts.Scheme = WeightScheme::PBO;
+    Opts.AnalyzeOnly = true;
+    Result = runStructLayoutPipeline(*M, Opts, &Train);
+
+    In.M = M.get();
+    In.Legal = &Result.Legality;
+    In.Stats = &Result.Stats;
+    In.Cache = &Train;
+    In.Plans = &Result.Plans;
+  }
+
+  IRContext Ctx;
+  std::unique_ptr<Module> M;
+  FeedbackFile Train;
+  PipelineResult Result;
+  AdvisorInputs In;
+};
+
+TEST_F(AdvisorFixture, ReportContainsHeaderBlock) {
+  RecordType *Rec = Ctx.getTypes().lookupRecord("hotcold");
+  std::string S = renderTypeReport(In, Rec);
+  EXPECT_NE(S.find("Type     : hotcold"), std::string::npos) << S;
+  EXPECT_NE(S.find("Fields   : 4, 32 bytes"), std::string::npos) << S;
+  EXPECT_NE(S.find("Hotness"), std::string::npos);
+  EXPECT_NE(S.find("Status   : *OK*"), std::string::npos) << S;
+}
+
+TEST_F(AdvisorFixture, HotFieldShowsFullBarAndColdLess) {
+  RecordType *Rec = Ctx.getTypes().lookupRecord("hotcold");
+  std::string S = renderTypeReport(In, Rec);
+  // The hot field has the 100% bar.
+  EXPECT_NE(S.find("|##########| \"hot\""), std::string::npos) << S;
+  // The cold field's bar is not full.
+  EXPECT_EQ(S.find("|##########| \"cold\""), std::string::npos) << S;
+}
+
+TEST_F(AdvisorFixture, UnusedAndDeadAreMarked) {
+  RecordType *Rec = Ctx.getTypes().lookupRecord("hotcold");
+  std::string S = renderTypeReport(In, Rec);
+  EXPECT_NE(S.find("\"unusedf\" *unused*"), std::string::npos) << S;
+  EXPECT_NE(S.find("*dead*"), std::string::npos) << S;
+}
+
+TEST_F(AdvisorFixture, ReadWriteBarsReflectDominance) {
+  RecordType *Rec = Ctx.getTypes().lookupRecord("hotcold");
+  std::string S = renderTypeReport(In, Rec);
+  // hot is read 16x more than written: uppercase R bar.
+  EXPECT_NE(S.find("RRRR"), std::string::npos) << S;
+  // deadf is written only: uppercase W bar.
+  EXPECT_NE(S.find("WWWW"), std::string::npos) << S;
+}
+
+TEST_F(AdvisorFixture, CacheLinesPresentWhenProfiled) {
+  RecordType *Rec = Ctx.getTypes().lookupRecord("hotcold");
+  std::string S = renderTypeReport(In, Rec);
+  EXPECT_NE(S.find("miss :"), std::string::npos) << S;
+  EXPECT_NE(S.find("[cyc]"), std::string::npos) << S;
+}
+
+TEST_F(AdvisorFixture, AffinityEdgesPrinted) {
+  RecordType *Rec = Ctx.getTypes().lookupRecord("hotcold");
+  std::string S = renderTypeReport(In, Rec);
+  EXPECT_NE(S.find("aff  :"), std::string::npos) << S;
+  EXPECT_NE(S.find("--> hot"), std::string::npos) << S;
+}
+
+TEST_F(AdvisorFixture, FullReportSortsTypesAndSkipsCold) {
+  std::string S = renderAdvisorReport(In);
+  EXPECT_NE(S.find("hotcold"), std::string::npos);
+}
+
+TEST_F(AdvisorFixture, TransformLinePresent) {
+  RecordType *Rec = Ctx.getTypes().lookupRecord("hotcold");
+  std::string S = renderTypeReport(In, Rec);
+  EXPECT_NE(S.find("Transform: Splitting"), std::string::npos) << S;
+}
+
+TEST_F(AdvisorFixture, VcgGraphIsWellFormed) {
+  RecordType *Rec = Ctx.getTypes().lookupRecord("hotcold");
+  const TypeFieldStats *Stats = Result.Stats.get(Rec);
+  std::string S = renderVcgGraph(*Stats);
+  EXPECT_EQ(S.find("graph: {"), 0u);
+  EXPECT_NE(S.find("node: { title: \"hot\""), std::string::npos) << S;
+  EXPECT_NE(S.rfind("}\n"), std::string::npos);
+  // One node per field.
+  size_t Count = 0, Pos = 0;
+  while ((Pos = S.find("node: {", Pos)) != std::string::npos) {
+    ++Count;
+    Pos += 6;
+  }
+  EXPECT_EQ(Count, 4u);
+}
+
+TEST_F(AdvisorFixture, MtNotesGroupByReadWrite) {
+  In.MtNotes = true;
+  RecordType *Rec = Ctx.getTypes().lookupRecord("hotcold");
+  std::string S = renderTypeReport(In, Rec);
+  EXPECT_NE(S.find("MT note"), std::string::npos) << S;
+  EXPECT_NE(S.find("write-heavy"), std::string::npos) << S;
+}
+
+} // namespace

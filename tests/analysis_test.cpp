@@ -1,0 +1,424 @@
+//===- tests/analysis_test.cpp - Analysis library unit tests --------------===//
+
+#include "analysis/Legality.h"
+#include "analysis/StaticEstimator.h"
+#include "analysis/WeightSchemes.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+struct Compiled {
+  std::unique_ptr<IRContext> Ctx;
+  std::unique_ptr<Module> M;
+};
+
+static Compiled compile(const char *Src) {
+  Compiled C;
+  C.Ctx = std::make_unique<IRContext>();
+  std::vector<std::string> Diags;
+  C.M = compileMiniC(*C.Ctx, "t", Src, Diags);
+  EXPECT_TRUE(C.M) << (Diags.empty() ? "?" : Diags[0]);
+  return C;
+}
+
+static uint32_t violationsOf(const char *Src, const char *RecName) {
+  Compiled C = compile(Src);
+  if (!C.M)
+    return ~0u;
+  LegalityResult L = analyzeLegality(*C.M);
+  RecordType *R = C.Ctx->getTypes().lookupRecord(RecName);
+  EXPECT_NE(R, nullptr);
+  return L.get(R).Violations;
+}
+
+TEST(LegalityTest, CleanHeapTypeIsLegal) {
+  uint32_t V = violationsOf(R"(
+    struct s { long a; long b; long c; };
+    struct s *p;
+    int main() {
+      p = (struct s*) malloc(16 * sizeof(struct s));
+      p[3].a = 1;
+      return 0;
+    }
+  )", "s");
+  EXPECT_EQ(V, 0u) << violationMaskToString(V);
+}
+
+TEST(LegalityTest, MallocCastIsTolerated) {
+  // The (struct s*) cast of the malloc result must NOT be CSTT.
+  uint32_t V = violationsOf(R"(
+    struct s { long a; long b; };
+    struct s *p;
+    int main() { p = (struct s*) malloc(10 * sizeof(struct s)); return 0; }
+  )", "s");
+  EXPECT_FALSE(V & violationBit(Violation::CSTT));
+}
+
+TEST(LegalityTest, WrapperAllocationIsInvalidated) {
+  // Paper: "types allocated in wrapper functions returning (void*) will
+  // be invalidated" -- the cast source is a call, not a malloc.
+  uint32_t V = violationsOf(R"(
+    struct s { long a; long b; };
+    struct s *p;
+    void *wrap(long bytes) { return malloc(bytes); }
+    int main() {
+      p = (struct s*) wrap(10 * sizeof(struct s));
+      return 0;
+    }
+  )", "s");
+  EXPECT_TRUE(V & violationBit(Violation::CSTT)) << violationMaskToString(V);
+}
+
+TEST(LegalityTest, CastFromRecordIsCSTF) {
+  uint32_t V = violationsOf(R"(
+    struct s { long a; };
+    struct s *p;
+    int main() {
+      p = (struct s*) malloc(4 * sizeof(struct s));
+      long *raw = (long*) p;
+      return (int) raw[0];
+    }
+  )", "s");
+  EXPECT_TRUE(V & violationBit(Violation::CSTF)) << violationMaskToString(V);
+}
+
+TEST(LegalityTest, CastBetweenRecordsFlagsBoth) {
+  Compiled C = compile(R"(
+    struct a { long x; long y; };
+    struct b { long u; long v; };
+    struct a *pa;
+    int main() {
+      pa = (struct a*) malloc(4 * sizeof(struct a));
+      struct b *pb = (struct b*) pa;
+      pb->u = 1;
+      return 0;
+    }
+  )");
+  LegalityResult L = analyzeLegality(*C.M);
+  EXPECT_TRUE(L.get(C.Ctx->getTypes().lookupRecord("a"))
+                  .hasViolation(Violation::CSTF));
+  EXPECT_TRUE(L.get(C.Ctx->getTypes().lookupRecord("b"))
+                  .hasViolation(Violation::CSTT));
+}
+
+TEST(LegalityTest, AddressOfFieldIsATKN) {
+  uint32_t V = violationsOf(R"(
+    struct s { long a; long b; };
+    struct s *p;
+    long *stash;
+    int main() {
+      p = (struct s*) malloc(4 * sizeof(struct s));
+      stash = &p->b;   // address stored: ATKN
+      return 0;
+    }
+  )", "s");
+  EXPECT_TRUE(V & violationBit(Violation::ATKN)) << violationMaskToString(V);
+}
+
+TEST(LegalityTest, FieldAddressInCallIsTolerated) {
+  uint32_t V = violationsOf(R"(
+    struct s { long a; long b; };
+    struct s *p;
+    void sink(long *x) { *x = 3; }
+    int main() {
+      p = (struct s*) malloc(4 * sizeof(struct s));
+      sink(&p->b);   // tolerated per the paper
+      return 0;
+    }
+  )", "s");
+  EXPECT_FALSE(V & violationBit(Violation::ATKN)) << violationMaskToString(V);
+}
+
+TEST(LegalityTest, EscapeToLibFunctionIsLIBC) {
+  uint32_t V = violationsOf(R"(
+    extern void fwrite_like(struct s *p);
+    struct s { long a; };
+    struct s *p;
+    int main() {
+      p = (struct s*) malloc(4 * sizeof(struct s));
+      fwrite_like(p);
+      return 0;
+    }
+  )", "s");
+  EXPECT_TRUE(V & violationBit(Violation::LIBC)) << violationMaskToString(V);
+}
+
+TEST(LegalityTest, EscapeToIndirectCallIsIND) {
+  uint32_t V = violationsOf(R"(
+    struct s { long a; };
+    struct s *p;
+    void taker(struct s *q) { q->a = 1; }
+    int main() {
+      p = (struct s*) malloc(4 * sizeof(struct s));
+      void (*fn)(struct s*);
+      fn = taker;
+      fn(p);
+      return 0;
+    }
+  )", "s");
+  EXPECT_TRUE(V & violationBit(Violation::IND)) << violationMaskToString(V);
+}
+
+TEST(LegalityTest, SmallConstantAllocationIsSMAL) {
+  uint32_t V = violationsOf(R"(
+    struct s { long a; long b; };
+    struct s *p;
+    int main() { p = (struct s*) malloc(sizeof(struct s)); return 0; }
+  )", "s");
+  EXPECT_TRUE(V & violationBit(Violation::SMAL)) << violationMaskToString(V);
+}
+
+TEST(LegalityTest, MemsetOnTypeIsMSET) {
+  uint32_t V = violationsOf(R"(
+    struct s { long a; long b; };
+    struct s *p;
+    int main() {
+      p = (struct s*) malloc(8 * sizeof(struct s));
+      memset(p, 0, 8 * sizeof(struct s));
+      return 0;
+    }
+  )", "s");
+  EXPECT_TRUE(V & violationBit(Violation::MSET)) << violationMaskToString(V);
+}
+
+TEST(LegalityTest, NestedRecordsAreNEST) {
+  Compiled C = compile(R"(
+    struct inner { long a; };
+    struct outer { struct inner in; long b; };
+    int main() { struct outer o; o.b = 1; return 0; }
+  )");
+  LegalityResult L = analyzeLegality(*C.M);
+  EXPECT_TRUE(L.get(C.Ctx->getTypes().lookupRecord("outer"))
+                  .hasViolation(Violation::NEST));
+  EXPECT_TRUE(L.get(C.Ctx->getTypes().lookupRecord("inner"))
+                  .hasViolation(Violation::NEST));
+}
+
+TEST(LegalityTest, UnanalyzableAllocSizeIsUNSZ) {
+  uint32_t V = violationsOf(R"(
+    struct s { long a; long b; };
+    struct s *p;
+    long param_n;
+    int main() {
+      p = (struct s*) malloc(param_n * 16 + 8);
+      return 0;
+    }
+  )", "s");
+  EXPECT_TRUE(V & violationBit(Violation::UNSZ)) << violationMaskToString(V);
+}
+
+TEST(LegalityTest, RelaxToleratesCastsAndAddresses) {
+  Compiled C = compile(R"(
+    struct s { long a; long b; };
+    struct s *p;
+    long *stash;
+    int main() {
+      p = (struct s*) malloc(4 * sizeof(struct s));
+      stash = &p->b;
+      long *raw = (long*) p;
+      return (int) raw[0];
+    }
+  )");
+  LegalityResult L = analyzeLegality(*C.M);
+  const TypeLegality &TL = L.get(C.Ctx->getTypes().lookupRecord("s"));
+  EXPECT_FALSE(TL.isLegal(false));
+  EXPECT_TRUE(TL.isLegal(true));
+}
+
+TEST(LegalityTest, AttributesCollected) {
+  Compiled C = compile(R"(
+    struct s { long a; };
+    struct s g;             // global instance
+    struct s *gp;           // global pointer
+    int main() {
+      struct s l;           // local instance
+      struct s *lp = &l;    // local pointer
+      lp->a = 1;
+      g.a = 2;
+      gp = (struct s*) malloc(4 * sizeof(struct s));
+      free(gp);
+      return 0;
+    }
+  )");
+  LegalityResult L = analyzeLegality(*C.M);
+  const TypeAttributes &A =
+      L.get(C.Ctx->getTypes().lookupRecord("s")).Attrs;
+  EXPECT_TRUE(A.HasGlobalVar);
+  EXPECT_TRUE(A.HasGlobalPtr);
+  EXPECT_TRUE(A.HasLocalVar);
+  EXPECT_TRUE(A.HasLocalPtr);
+  EXPECT_TRUE(A.DynamicallyAllocated);
+  EXPECT_TRUE(A.Freed);
+  EXPECT_FALSE(A.Reallocated);
+}
+
+TEST(StaticEstimatorTest, LoopBlocksAreHotterThanEntry) {
+  Compiled C = compile(R"(
+    long f(long n) {
+      long s = 0;
+      for (long i = 0; i < n; i++) s += i;
+      return s;
+    }
+    int main() { return (int) f(10); }
+  )");
+  StaticEstimator SE(*C.M);
+  const Function *F = C.M->lookupFunction("f");
+  const auto &A = SE.get(F);
+  double EntryFreq = A.BF->get(F->getEntry());
+  EXPECT_NEAR(EntryFreq, 1.0, 1e-9);
+  double MaxFreq = 0;
+  for (const auto &BB : F->blocks())
+    MaxFreq = std::max(MaxFreq, A.BF->get(BB.get()));
+  // Loop body should run ~ 1/(1-0.88) ~ 8.3 times.
+  EXPECT_GT(MaxFreq, 4.0);
+  EXPECT_LT(MaxFreq, 20.0);
+}
+
+TEST(StaticEstimatorTest, NestedLoopsMultiply) {
+  Compiled C = compile(R"(
+    long f(long n) {
+      long s = 0;
+      for (long i = 0; i < n; i++)
+        for (long j = 0; j < n; j++)
+          s += i * j;
+      return s;
+    }
+    int main() { return (int) f(3); }
+  )");
+  StaticEstimator SE(*C.M);
+  const Function *F = C.M->lookupFunction("f");
+  const auto &A = SE.get(F);
+  double MaxFreq = 0;
+  for (const auto &BB : F->blocks())
+    MaxFreq = std::max(MaxFreq, A.BF->get(BB.get()));
+  // Inner body ~ 8.3^2 ~ 69.
+  EXPECT_GT(MaxFreq, 30.0);
+}
+
+TEST(InterProcTest, CalleeInLoopIsHotterThanCaller) {
+  Compiled C = compile(R"(
+    struct s { long a; long b; };
+    struct s *p;
+    long leaf(long i) { return i * 2; }
+    int main() {
+      p = (struct s*) malloc(8 * sizeof(struct s));
+      long s = 0;
+      for (long i = 0; i < 100; i++)
+        for (long j = 0; j < 100; j++)
+          s += leaf(j);
+      return (int) s;
+    }
+  )");
+  StaticEstimator SE(*C.M);
+  CallGraph CG(*C.M);
+  InterProcFrequencies IPF(SE, CG);
+  const Function *Main = C.M->lookupFunction("main");
+  const Function *Leaf = C.M->lookupFunction("leaf");
+  EXPECT_NEAR(IPF.getGlobalCount(Main), 1.0, 1e-9);
+  EXPECT_GT(IPF.getGlobalCount(Leaf), 10.0);
+  EXPECT_GT(IPF.getScale(Leaf), IPF.getScale(Main));
+}
+
+TEST(InterProcTest, RecursionDoesNotDiverge) {
+  Compiled C = compile(R"(
+    long fib(long n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    int main() { return (int) fib(10); }
+  )");
+  StaticEstimator SE(*C.M);
+  CallGraph CG(*C.M);
+  InterProcFrequencies IPF(SE, CG);
+  const Function *Fib = C.M->lookupFunction("fib");
+  double N = IPF.getGlobalCount(Fib);
+  EXPECT_GT(N, 0.0);
+  EXPECT_LT(N, 1e6); // Bounded (single relaxation pass).
+}
+
+TEST(AffinityTest, SameLoopFieldsAreAffine) {
+  Compiled C = compile(R"(
+    struct s { long a; long b; long c; };
+    struct s *p;
+    long param_n;
+    int main() {
+      p = (struct s*) malloc(param_n * sizeof(struct s));
+      long s = 0;
+      for (long i = 0; i < param_n; i++)
+        s += p[i].a + p[i].b;   // a,b affine
+      for (long i = 0; i < param_n; i++)
+        s += p[i].c;            // c alone
+      return (int) s;
+    }
+  )");
+  SchemeInputs In;
+  In.M = C.M.get();
+  FieldStatsResult Stats = computeSchemeFieldStats(WeightScheme::SPBO, In);
+  const TypeFieldStats *S =
+      Stats.get(C.Ctx->getTypes().lookupRecord("s"));
+  ASSERT_NE(S, nullptr);
+  EXPECT_GT(S->Affinity.count({0, 1}), 0u);
+  EXPECT_EQ(S->Affinity.count({0, 2}), 0u);
+  EXPECT_EQ(S->Affinity.count({1, 2}), 0u);
+  EXPECT_GT(S->Affinity.count({2, 2}), 0u); // Self-edge for the singleton.
+  EXPECT_GT(S->Hotness[0], 0.0);
+  EXPECT_GT(S->Hotness[2], 0.0);
+}
+
+TEST(AffinityTest, HotterLoopDominatesHotness) {
+  Compiled C = compile(R"(
+    struct s { long hot; long cold; };
+    struct s *p;
+    long param_n;
+    int main() {
+      p = (struct s*) malloc(param_n * sizeof(struct s));
+      long s = 0;
+      for (long r = 0; r < 100; r++)
+        for (long i = 0; i < param_n; i++)
+          s += p[i].hot;
+      for (long i = 0; i < param_n; i++)
+        s += p[i].cold;
+      return (int) s;
+    }
+  )");
+  SchemeInputs In;
+  In.M = C.M.get();
+  FieldStatsResult Stats = computeSchemeFieldStats(WeightScheme::ISPBO, In);
+  const TypeFieldStats *S =
+      Stats.get(C.Ctx->getTypes().lookupRecord("s"));
+  ASSERT_NE(S, nullptr);
+  EXPECT_GT(S->Hotness[0], S->Hotness[1] * 2.0);
+  std::vector<double> Rel = S->relativeHotness();
+  EXPECT_NEAR(Rel[0], 100.0, 1e-9);
+  EXPECT_LT(Rel[1], 50.0);
+}
+
+TEST(AffinityTest, ReadsAndWritesAreSeparated) {
+  Compiled C = compile(R"(
+    struct s { long r_only; long w_only; };
+    struct s *p;
+    long param_n;
+    int main() {
+      p = (struct s*) malloc(param_n * sizeof(struct s));
+      long s = 0;
+      for (long i = 0; i < param_n; i++) {
+        s += p[i].r_only;
+        p[i].w_only = i;
+      }
+      return (int) s;
+    }
+  )");
+  SchemeInputs In;
+  In.M = C.M.get();
+  FieldStatsResult Stats = computeSchemeFieldStats(WeightScheme::SPBO, In);
+  const TypeFieldStats *S =
+      Stats.get(C.Ctx->getTypes().lookupRecord("s"));
+  ASSERT_NE(S, nullptr);
+  EXPECT_GT(S->Reads[0], 0.0);
+  EXPECT_EQ(S->Writes[0], 0.0);
+  EXPECT_EQ(S->Reads[1], 0.0);
+  EXPECT_GT(S->Writes[1], 0.0);
+}
+
+} // namespace

@@ -1,0 +1,303 @@
+//===- tests/cfg_analysis_test.cpp - CFG analysis detail tests ------------===//
+//
+// Detailed checks of dominators, loop nesting, call-graph SCCs, branch
+// probabilities, and block frequencies on hand-written control flow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/StaticEstimator.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+struct Compiled {
+  std::unique_ptr<IRContext> Ctx;
+  std::unique_ptr<Module> M;
+};
+
+static Compiled compile(const char *Src) {
+  Compiled C;
+  C.Ctx = std::make_unique<IRContext>();
+  std::vector<std::string> Diags;
+  C.M = compileMiniC(*C.Ctx, "t", Src, Diags);
+  EXPECT_TRUE(C.M) << (Diags.empty() ? "?" : Diags[0]);
+  return C;
+}
+
+TEST(DominatorsTest, EntryDominatesEverything) {
+  Compiled C = compile(R"(
+    long f(long a) {
+      long r = 0;
+      if (a > 0) r = 1; else r = 2;
+      while (a > 0) { a--; }
+      return r;
+    }
+    int main() { return 0; }
+  )");
+  const Function *F = C.M->lookupFunction("f");
+  DominatorTree DT(*F);
+  const BasicBlock *Entry = F->getEntry();
+  for (const auto &BB : F->blocks()) {
+    if (!DT.isReachable(BB.get()))
+      continue;
+    EXPECT_TRUE(DT.dominates(Entry, BB.get())) << BB->getName();
+    EXPECT_TRUE(DT.dominates(BB.get(), BB.get())); // Reflexive.
+  }
+}
+
+TEST(DominatorsTest, BranchArmsDoNotDominateJoin) {
+  Compiled C = compile(R"(
+    long f(long a) {
+      long r = 0;
+      if (a > 0) { r = 1; } else { r = 2; }
+      return r;
+    }
+    int main() { return 0; }
+  )");
+  const Function *F = C.M->lookupFunction("f");
+  DominatorTree DT(*F);
+  const BasicBlock *Then = nullptr, *Else = nullptr, *End = nullptr;
+  for (const auto &BB : F->blocks()) {
+    if (BB->getName().rfind("if.then", 0) == 0)
+      Then = BB.get();
+    if (BB->getName().rfind("if.else", 0) == 0)
+      Else = BB.get();
+    if (BB->getName().rfind("if.end", 0) == 0)
+      End = BB.get();
+  }
+  ASSERT_TRUE(Then && Else && End);
+  EXPECT_FALSE(DT.dominates(Then, End));
+  EXPECT_FALSE(DT.dominates(Else, End));
+  EXPECT_TRUE(DT.dominates(F->getEntry(), End));
+  EXPECT_EQ(DT.getIdom(End), F->getEntry());
+}
+
+TEST(LoopInfoTest, TripleNestDepths) {
+  Compiled C = compile(R"(
+    long f(long n) {
+      long s = 0;
+      for (long i = 0; i < n; i++)
+        for (long j = 0; j < n; j++)
+          for (long k = 0; k < n; k++)
+            s += 1;
+      return s;
+    }
+    int main() { return 0; }
+  )");
+  const Function *F = C.M->lookupFunction("f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 3u);
+  unsigned MaxDepth = 0;
+  for (const auto &L : LI.loops())
+    MaxDepth = std::max(MaxDepth, L->getDepth());
+  EXPECT_EQ(MaxDepth, 3u);
+  EXPECT_EQ(LI.topLevel().size(), 1u);
+  // The innermost loop is contained in both outer loops.
+  std::vector<Loop *> Inner = LI.loopsInnermostFirst();
+  EXPECT_EQ(Inner.front()->getDepth(), 3u);
+  EXPECT_TRUE(LI.topLevel()[0]->contains(Inner.front()));
+}
+
+TEST(LoopInfoTest, SiblingsShareAParent) {
+  Compiled C = compile(R"(
+    long f(long n) {
+      long s = 0;
+      for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) s += 1;
+        for (long k = 0; k < n; k++) s += 2;
+      }
+      return s;
+    }
+    int main() { return 0; }
+  )");
+  const Function *F = C.M->lookupFunction("f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 3u);
+  ASSERT_EQ(LI.topLevel().size(), 1u);
+  EXPECT_EQ(LI.topLevel()[0]->subLoops().size(), 2u);
+}
+
+TEST(LoopInfoTest, BackEdgeDetection) {
+  Compiled C = compile(R"(
+    long f(long n) {
+      long s = 0;
+      while (n > 0) { s += n; n--; }
+      return s;
+    }
+    int main() { return 0; }
+  )");
+  const Function *F = C.M->lookupFunction("f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop *L = LI.loops()[0].get();
+  ASSERT_EQ(L->latches().size(), 1u);
+  EXPECT_TRUE(LI.isBackEdge(L->latches()[0], L->getHeader()));
+  EXPECT_FALSE(LI.isBackEdge(F->getEntry(), L->getHeader()));
+}
+
+TEST(CallGraphTest, SccsAndTopologicalOrder) {
+  Compiled C = compile(R"(
+    long pong(long n);
+    long ping(long n) { if (n <= 0) return 0; return pong(n - 1); }
+    long pong(long n) { return ping(n - 1); }
+    long leaf(long n) { return n; }
+    int main() { return (int) (ping(4) + leaf(1)); }
+  )");
+  CallGraph CG(*C.M);
+  const Function *Ping = C.M->lookupFunction("ping");
+  const Function *Pong = C.M->lookupFunction("pong");
+  const Function *Leaf = C.M->lookupFunction("leaf");
+  const Function *Main = C.M->lookupFunction("main");
+  // ping and pong form one SCC; leaf and main are their own.
+  EXPECT_EQ(CG.getSccId(Ping), CG.getSccId(Pong));
+  EXPECT_NE(CG.getSccId(Ping), CG.getSccId(Leaf));
+  EXPECT_NE(CG.getSccId(Main), CG.getSccId(Ping));
+  EXPECT_TRUE(CG.isIntraScc(Ping, Pong));
+  EXPECT_FALSE(CG.isIntraScc(Main, Ping));
+  // Topological order: main's SCC before ping/pong's SCC.
+  size_t MainPos = 0, PingPos = 0;
+  const auto &Sccs = CG.sccsTopological();
+  for (size_t I = 0; I < Sccs.size(); ++I)
+    for (const Function *F : Sccs[I]) {
+      if (F == Main)
+        MainPos = I;
+      if (F == Ping)
+        PingPos = I;
+    }
+  EXPECT_LT(MainPos, PingPos);
+  // Call sites: main has two, ping one, pong one.
+  EXPECT_EQ(CG.callersOf(Leaf).size(), 1u);
+  EXPECT_EQ(CG.callersOf(Ping).size(), 2u); // main and pong.
+}
+
+TEST(BranchProbTest, LoopBackEdgeGetsLoopProbability) {
+  Compiled C = compile(R"(
+    long f(long n) {
+      long s = 0;
+      for (long i = 0; i < n; i++) s += i;
+      return s;
+    }
+    int main() { return 0; }
+  )");
+  const Function *F = C.M->lookupFunction("f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  BranchProbabilities BP(*F, LI);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop *L = LI.loops()[0].get();
+  // The loop header's conditional branch: staying in the loop has the
+  // back-edge probability (0.88 integer default).
+  const BasicBlock *Header = L->getHeader();
+  double StayProb = 0;
+  for (const BasicBlock *S : Header->successors())
+    if (L->contains(S))
+      StayProb = BP.getEdgeProb(Header, S);
+  EXPECT_NEAR(StayProb, 0.88, 1e-9);
+}
+
+TEST(BranchProbTest, FpLoopGetsHigherProbability) {
+  Compiled C = compile(R"(
+    double f(long n) {
+      double s = 0.0;
+      for (long i = 0; i < n; i++) s = s + 0.5;
+      return s;
+    }
+    int main() { return 0; }
+  )");
+  const Function *F = C.M->lookupFunction("f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  BranchProbabilities BP(*F, LI);
+  const Loop *L = LI.loops()[0].get();
+  const BasicBlock *Header = L->getHeader();
+  double StayProb = 0;
+  for (const BasicBlock *S : Header->successors())
+    if (L->contains(S))
+      StayProb = BP.getEdgeProb(Header, S);
+  EXPECT_NEAR(StayProb, 0.93, 1e-9); // FP loop default.
+}
+
+TEST(BranchProbTest, ProbabilitiesSumToOne) {
+  Compiled C = compile(R"(
+    long f(long a, long b) {
+      long s = 0;
+      if (a > b) s = 1;
+      for (long i = 0; i < a; i++)
+        if (i % 2 == 0) s += i;
+      return s;
+    }
+    int main() { return 0; }
+  )");
+  const Function *F = C.M->lookupFunction("f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  BranchProbabilities BP(*F, LI);
+  for (const auto &BB : F->blocks()) {
+    auto Succs = BB->successors();
+    if (Succs.empty())
+      continue;
+    double Sum = 0;
+    for (const BasicBlock *S : Succs)
+      Sum += BP.getEdgeProb(BB.get(), S);
+    EXPECT_NEAR(Sum, 1.0, 1e-9) << BB->getName();
+  }
+}
+
+TEST(BlockFreqTest, DiamondSplitsFlow) {
+  Compiled C = compile(R"(
+    long f(long a) {
+      long r = 0;
+      if (a > 0) { r = 1; } else { r = 2; }
+      return r;
+    }
+    int main() { return 0; }
+  )");
+  const Function *F = C.M->lookupFunction("f");
+  StaticEstimator SE(*C.M);
+  const auto &A = SE.get(F);
+  double ThenFreq = 0, EndFreq = 0;
+  for (const auto &BB : F->blocks()) {
+    if (BB->getName().rfind("if.then", 0) == 0)
+      ThenFreq = A.BF->get(BB.get());
+    if (BB->getName().rfind("if.end", 0) == 0)
+      EndFreq = A.BF->get(BB.get());
+  }
+  EXPECT_NEAR(ThenFreq, 0.5, 0.25); // Heuristics may skew, but < 1.
+  EXPECT_NEAR(EndFreq, 1.0, 1e-6);  // Flow reconverges.
+}
+
+TEST(BlockFreqTest, FrequenciesConserveFlow) {
+  Compiled C = compile(R"(
+    long f(long n) {
+      long s = 0;
+      for (long i = 0; i < n; i++) {
+        if (i % 2 == 0) s += i;
+        else s -= i;
+      }
+      return s;
+    }
+    int main() { return 0; }
+  )");
+  const Function *F = C.M->lookupFunction("f");
+  StaticEstimator SE(*C.M);
+  const auto &A = SE.get(F);
+  // Every non-entry reachable block's frequency equals its inflow.
+  for (const BasicBlock *BB : A.DT->reversePostOrder()) {
+    if (BB == F->getEntry())
+      continue;
+    double In = 0;
+    for (const BasicBlock *P : A.DT->predecessors(BB))
+      In += A.BF->get(P) * A.BP->getEdgeProb(P, BB);
+    EXPECT_NEAR(A.BF->get(BB), In, 1e-6) << BB->getName();
+  }
+}
+
+} // namespace

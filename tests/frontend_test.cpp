@@ -1,0 +1,372 @@
+//===- tests/frontend_test.cpp - MiniC frontend unit tests ----------------===//
+
+#include "frontend/Frontend.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+/// Compiles a single source and expects success.
+static std::unique_ptr<Module> compileOk(IRContext &Ctx, const char *Src) {
+  std::vector<std::string> Diags;
+  auto M = compileMiniC(Ctx, "test", Src, Diags);
+  EXPECT_TRUE(M) << (Diags.empty() ? "no diagnostics" : Diags[0]);
+  return M;
+}
+
+/// Compiles a single source and expects failure; returns the first
+/// diagnostic.
+static std::string compileFail(const char *Src) {
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  auto M = compileMiniC(Ctx, "test", Src, Diags);
+  EXPECT_FALSE(M);
+  return Diags.empty() ? "" : Diags[0];
+}
+
+TEST(FrontendTest, EmptyMainCompiles) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, "int main() { return 0; }");
+  ASSERT_TRUE(M);
+  Function *Main = M->lookupFunction("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_FALSE(Main->isDeclaration());
+}
+
+TEST(FrontendTest, StructLayoutMatchesDeclaration) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    struct node {
+      int number;
+      long pred;
+      double potential;
+      struct node *child;
+    };
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(M);
+  RecordType *R = Ctx.getTypes().lookupRecord("node");
+  ASSERT_NE(R, nullptr);
+  ASSERT_EQ(R->getNumFields(), 4u);
+  EXPECT_EQ(R->getField(0).Name, "number");
+  EXPECT_EQ(R->getField(0).Offset, 0u);
+  EXPECT_EQ(R->getField(1).Offset, 8u);
+  EXPECT_EQ(R->getField(2).Offset, 16u);
+  EXPECT_EQ(R->getField(3).Offset, 24u);
+  EXPECT_EQ(R->getSize(), 32u);
+}
+
+TEST(FrontendTest, MallocProducesBitcastWithTaggedSizeof) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    struct s { long a; long b; };
+    struct s *p;
+    int main() {
+      p = (struct s*) malloc(10 * sizeof(struct s));
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(M);
+  Function *Main = M->lookupFunction("main");
+  bool SawMalloc = false, SawTaggedSizeof = false, SawBitcast = false;
+  for (const auto &BB : Main->blocks()) {
+    for (const auto &I : BB->instructions()) {
+      if (auto *Mal = dyn_cast<MallocInst>(I.get())) {
+        SawMalloc = true;
+        // Size operand is a Mul whose RHS is the attributed constant.
+        if (auto *Mul = dyn_cast<BinaryInst>(Mal->getSizeBytes())) {
+          for (Value *Op : Mul->operands())
+            if (auto *C = dyn_cast<ConstantInt>(Op))
+              if (C->isSizeOf() &&
+                  C->getSizeOfRecord()->getRecordName() == "s")
+                SawTaggedSizeof = true;
+        }
+      }
+      if (auto *C = dyn_cast<CastInst>(I.get()))
+        if (C->getOpcode() == Instruction::OpBitcast &&
+            C->getType()->isPointer())
+          SawBitcast = true;
+    }
+  }
+  EXPECT_TRUE(SawMalloc);
+  EXPECT_TRUE(SawTaggedSizeof);
+  EXPECT_TRUE(SawBitcast);
+}
+
+TEST(FrontendTest, FieldAccessLowersToFieldAddr) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    struct pt { double x; double y; };
+    double take(struct pt *p) { return p->y; }
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(M);
+  Function *F = M->lookupFunction("take");
+  bool Saw = false;
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      if (auto *FA = dyn_cast<FieldAddrInst>(I.get())) {
+        EXPECT_EQ(FA->getField().Name, "y");
+        EXPECT_EQ(FA->getFieldIndex(), 1u);
+        Saw = true;
+      }
+  EXPECT_TRUE(Saw);
+}
+
+TEST(FrontendTest, ControlFlowConstructs) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    long collatz(long n) {
+      long steps = 0;
+      while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        steps++;
+      }
+      return steps;
+    }
+    long sum(long k) {
+      long s = 0;
+      for (long i = 0; i < k; i++) {
+        if (i == 7) continue;
+        if (i > 100) break;
+        s += i;
+      }
+      return s;
+    }
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(M);
+  verifyModuleOrDie(*M);
+}
+
+TEST(FrontendTest, ShortCircuitAndTernary) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    long f(long a, long b) {
+      long r = (a > 0 && b > 0) ? a : b;
+      if (a == 1 || b == 2) r = r + 1;
+      return r;
+    }
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(M);
+  verifyModuleOrDie(*M);
+}
+
+TEST(FrontendTest, FunctionPointersLowerToIndirectCalls) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    long inc(long x) { return x + 1; }
+    long apply(long v) {
+      long (*fn)(long);
+      fn = inc;
+      return fn(v);
+    }
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(M);
+  Function *F = M->lookupFunction("apply");
+  bool SawICall = false;
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      if (isa<IndirectCallInst>(I.get()))
+        SawICall = true;
+  EXPECT_TRUE(SawICall);
+}
+
+TEST(FrontendTest, ExternFunctionsAreLibraryFunctions) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    extern void print_i64(long v);
+    int main() { print_i64(42); return 0; }
+  )");
+  ASSERT_TRUE(M);
+  Function *P = M->lookupFunction("print_i64");
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(P->isLibFunction());
+  EXPECT_TRUE(P->isDeclaration());
+  EXPECT_FALSE(M->lookupFunction("main")->isLibFunction());
+}
+
+TEST(FrontendTest, GlobalsAndArrays) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    long table[16];
+    long scale = 3;
+    long get(long i) { return table[i] * scale; }
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(M);
+  GlobalVariable *Tab = M->lookupGlobal("table");
+  ASSERT_NE(Tab, nullptr);
+  EXPECT_TRUE(Tab->getValueType()->isArray());
+  GlobalVariable *S = M->lookupGlobal("scale");
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->hasIntInit());
+  EXPECT_EQ(S->getIntInit(), 3);
+}
+
+TEST(FrontendTest, NestedStructsAndDotAccess) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    struct inner { long a; long b; };
+    struct outer { long x; struct inner in; };
+    long f() {
+      struct outer o;
+      o.in.b = 5;
+      return o.in.b + o.x;
+    }
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(M);
+  verifyModuleOrDie(*M);
+  RecordType *Outer = Ctx.getTypes().lookupRecord("outer");
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_TRUE(Outer->getField(1).Ty->isRecord());
+}
+
+TEST(FrontendTest, AddressOfFieldCompiles) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    struct s { long a; long b; };
+    long *grab(struct s *p) { return &p->b; }
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(M);
+  verifyModuleOrDie(*M);
+}
+
+TEST(FrontendTest, MemsetMemcpyFreeBuiltins) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    struct s { long a; long b; };
+    int main() {
+      struct s *p = (struct s*) malloc(4 * sizeof(struct s));
+      struct s *q = (struct s*) malloc(4 * sizeof(struct s));
+      memset(p, 0, 4 * sizeof(struct s));
+      memcpy(q, p, 4 * sizeof(struct s));
+      free(p);
+      free(q);
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(M);
+  Function *Main = M->lookupFunction("main");
+  int Memsets = 0, Memcpys = 0, Frees = 0;
+  for (const auto &BB : Main->blocks())
+    for (const auto &I : BB->instructions()) {
+      Memsets += isa<MemsetInst>(I.get());
+      Memcpys += isa<MemcpyInst>(I.get());
+      Frees += isa<FreeInst>(I.get());
+    }
+  EXPECT_EQ(Memsets, 1);
+  EXPECT_EQ(Memcpys, 1);
+  EXPECT_EQ(Frees, 2);
+}
+
+TEST(FrontendTest, ErrorUndeclaredIdentifier) {
+  std::string D = compileFail("int main() { return nope; }");
+  EXPECT_NE(D.find("undeclared"), std::string::npos) << D;
+}
+
+TEST(FrontendTest, ErrorUnknownField) {
+  std::string D = compileFail(R"(
+    struct s { long a; };
+    int main() { struct s x; x.b = 1; return 0; }
+  )");
+  EXPECT_NE(D.find("no field named"), std::string::npos) << D;
+}
+
+TEST(FrontendTest, ErrorIncompleteType) {
+  std::string D = compileFail(R"(
+    int main() { struct never x; return 0; }
+  )");
+  EXPECT_NE(D.find("incomplete"), std::string::npos) << D;
+}
+
+TEST(FrontendTest, ErrorBadCall) {
+  std::string D = compileFail(R"(
+    long f(long a) { return a; }
+    int main() { return (int) f(1, 2); }
+  )");
+  EXPECT_NE(D.find("arguments"), std::string::npos) << D;
+}
+
+TEST(FrontendTest, ErrorSyntax) {
+  std::string D = compileFail("int main( { return 0; }");
+  EXPECT_FALSE(D.empty());
+}
+
+TEST(FrontendTest, MultiTuProgramLinks) {
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  auto M = compileProgram(Ctx, "prog",
+                          {R"(
+      struct shared { long v; };
+      long get(struct shared *s);
+      long run() { struct shared x; x.v = 7; return get(&x); }
+      int main() { return (int) run(); }
+    )",
+                           R"(
+      struct shared { long v; };
+      long get(struct shared *s) { return s->v; }
+    )"},
+                          Diags);
+  ASSERT_TRUE(M) << (Diags.empty() ? "" : Diags[0]);
+  Function *Get = M->lookupFunction("get");
+  ASSERT_NE(Get, nullptr);
+  EXPECT_FALSE(Get->isDeclaration());
+}
+
+TEST(FrontendTest, MultiTuConflictingStructFails) {
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  auto M = compileProgram(Ctx, "prog",
+                          {"struct s { long a; }; int main() { return 0; }",
+                           "struct s { double a; }; long f() { return 1; }"},
+                          Diags);
+  EXPECT_FALSE(M);
+}
+
+TEST(FrontendTest, CastsBetweenRecordPointers) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    struct a { long x; };
+    struct b { long y; };
+    long peek(struct a *p) {
+      struct b *q = (struct b*) p;
+      return q->y;
+    }
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(M);
+  Function *F = M->lookupFunction("peek");
+  bool SawBitcast = false;
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      if (I->getOpcode() == Instruction::OpBitcast)
+        SawBitcast = true;
+  EXPECT_TRUE(SawBitcast);
+}
+
+TEST(FrontendTest, FloatArithmeticAndConversions) {
+  IRContext Ctx;
+  auto M = compileOk(Ctx, R"(
+    double mix(long i, float f) {
+      double d = i * 2.5;
+      return d + f / 3;
+    }
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(M);
+  verifyModuleOrDie(*M);
+}
+
+} // namespace

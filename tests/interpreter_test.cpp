@@ -1,0 +1,344 @@
+//===- tests/interpreter_test.cpp - Interpreter and cache sim tests -------===//
+
+#include "frontend/Frontend.h"
+#include "runtime/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+/// Compiles and runs one source; fails the test on compile errors.
+static RunResult runSource(const char *Src, RunOptions Opts = RunOptions()) {
+  static std::vector<std::unique_ptr<IRContext>> Contexts;
+  static std::vector<std::unique_ptr<Module>> Modules;
+  Contexts.push_back(std::make_unique<IRContext>());
+  std::vector<std::string> Diags;
+  auto M = compileMiniC(*Contexts.back(), "t", Src, Diags);
+  EXPECT_TRUE(M) << (Diags.empty() ? "?" : Diags[0]);
+  if (!M) {
+    RunResult R;
+    R.Trapped = true;
+    return R;
+  }
+  Modules.push_back(std::move(M));
+  return runProgram(*Modules.back(), std::move(Opts));
+}
+
+TEST(InterpreterTest, ReturnsExitCode) {
+  RunResult R = runSource("int main() { return 42; }");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(InterpreterTest, ArithmeticAndLoops) {
+  RunResult R = runSource(R"(
+    int main() {
+      long s = 0;
+      for (long i = 1; i <= 100; i++) s += i;
+      return (int) s; // 5050
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ExitCode, 5050);
+}
+
+TEST(InterpreterTest, CollatzControlFlow) {
+  RunResult R = runSource(R"(
+    long collatz(long n) {
+      long steps = 0;
+      while (n != 1) {
+        if (n % 2 == 0) n = n / 2; else n = 3 * n + 1;
+        steps++;
+      }
+      return steps;
+    }
+    int main() { return (int) collatz(27); } // 111 steps
+  )");
+  EXPECT_EQ(R.ExitCode, 111);
+}
+
+TEST(InterpreterTest, HeapStructsAndFields) {
+  RunResult R = runSource(R"(
+    struct pt { long x; long y; double w; };
+    int main() {
+      struct pt *a = (struct pt*) malloc(10 * sizeof(struct pt));
+      for (long i = 0; i < 10; i++) {
+        a[i].x = i;
+        a[i].y = i * 2;
+        a[i].w = 0.5;
+      }
+      long s = 0;
+      for (long i = 0; i < 10; i++) s += a[i].x + a[i].y;
+      free(a);
+      return (int) s; // 3*45 = 135
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ExitCode, 135);
+}
+
+TEST(InterpreterTest, PointerChasingList) {
+  RunResult R = runSource(R"(
+    struct node { long v; struct node *next; };
+    int main() {
+      struct node *head = 0;
+      for (long i = 0; i < 50; i++) {
+        struct node *n = (struct node*) malloc(sizeof(struct node));
+        n->v = i;
+        n->next = head;
+        head = n;
+      }
+      long s = 0;
+      struct node *p = head;
+      while (p != 0) { s += p->v; p = p->next; }
+      return (int) s; // 1225
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ExitCode, 1225);
+}
+
+TEST(InterpreterTest, PrintBuiltinsRecordOutput) {
+  RunResult R = runSource(R"(
+    extern void print_i64(long v);
+    extern void print_f64(double v);
+    int main() {
+      print_i64(7);
+      print_i64(-3);
+      print_f64(2.5);
+      return 0;
+    }
+  )");
+  ASSERT_EQ(R.PrintedInts.size(), 2u);
+  EXPECT_EQ(R.PrintedInts[0], 7);
+  EXPECT_EQ(R.PrintedInts[1], -3);
+  ASSERT_EQ(R.PrintedFloats.size(), 1u);
+  EXPECT_DOUBLE_EQ(R.PrintedFloats[0], 2.5);
+}
+
+TEST(InterpreterTest, MathBuiltins) {
+  RunResult R = runSource(R"(
+    extern double f_sqrt(double x);
+    extern double f_fabs(double x);
+    int main() {
+      double a = f_sqrt(81.0) + f_fabs(-3.0);
+      return (int) a; // 12
+    }
+  )");
+  EXPECT_EQ(R.ExitCode, 12);
+}
+
+TEST(InterpreterTest, RecursionWorks) {
+  RunResult R = runSource(R"(
+    long fib(long n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    int main() { return (int) fib(15); } // 610
+  )");
+  EXPECT_EQ(R.ExitCode, 610);
+}
+
+TEST(InterpreterTest, FunctionPointerDispatch) {
+  RunResult R = runSource(R"(
+    long twice(long x) { return 2 * x; }
+    long thrice(long x) { return 3 * x; }
+    int main() {
+      long (*f)(long);
+      long s = 0;
+      f = twice;  s += f(10);
+      f = thrice; s += f(10);
+      return (int) s; // 50
+    }
+  )");
+  EXPECT_EQ(R.ExitCode, 50);
+}
+
+TEST(InterpreterTest, MemsetMemcpyReallocSemantics) {
+  RunResult R = runSource(R"(
+    int main() {
+      long *a = (long*) malloc(8 * 8);
+      memset(a, 0, 64);
+      long s = 0;
+      for (long i = 0; i < 8; i++) { a[i] = i; }
+      long *b = (long*) malloc(64);
+      memcpy(b, a, 64);
+      b = (long*) realloc(b, 128);
+      for (long i = 0; i < 8; i++) s += b[i];
+      free(a); free(b);
+      return (int) s; // 28
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ExitCode, 28);
+}
+
+TEST(InterpreterTest, NullDereferenceTraps) {
+  RunResult R = runSource(R"(
+    struct s { long a; };
+    int main() {
+      struct s *p = 0;
+      return (int) p->a;
+    }
+  )");
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(InterpreterTest, DoubleFreeTraps) {
+  RunResult R = runSource(R"(
+    int main() {
+      long *p = (long*) malloc(8);
+      free(p);
+      free(p);
+      return 0;
+    }
+  )");
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(InterpreterTest, InstructionBudgetStopsRunaway) {
+  RunOptions Opts;
+  Opts.MaxInstructions = 10000;
+  RunResult R = runSource("int main() { while (1) { } return 0; }", Opts);
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(InterpreterTest, ParamsConfigureGlobals) {
+  RunOptions Opts;
+  Opts.IntParams["param_n"] = 12;
+  RunResult R = runSource(R"(
+    long param_n;
+    int main() { return (int) (param_n * 2); }
+  )",
+                          Opts);
+  EXPECT_EQ(R.ExitCode, 24);
+}
+
+TEST(InterpreterTest, GlobalInitializersApply) {
+  RunResult R = runSource(R"(
+    long a = 5;
+    long b = -3;
+    int main() { return (int) (a + b); }
+  )");
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+TEST(InterpreterTest, EdgeProfileCountsLoopIterations) {
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  auto M = compileMiniC(Ctx, "t", R"(
+    long work(long n) {
+      long s = 0;
+      for (long i = 0; i < n; i++) s += i;
+      return s;
+    }
+    int main() { return (int) (work(100) % 97); }
+  )",
+                        Diags);
+  ASSERT_TRUE(M) << (Diags.empty() ? "?" : Diags[0]);
+  FeedbackFile FB;
+  RunOptions Opts;
+  Opts.Profile = &FB;
+  RunResult R = runProgram(*M, std::move(Opts));
+  EXPECT_FALSE(R.Trapped);
+  const Function *Work = M->lookupFunction("work");
+  EXPECT_EQ(FB.getEntryCount(Work), 1u);
+  // Some block in `work` must have run 100 or 101 times (the loop).
+  uint64_t MaxCount = 0;
+  for (const auto &BB : Work->blocks())
+    MaxCount = std::max(MaxCount, FB.getBlockCount(BB.get()));
+  EXPECT_GE(MaxCount, 100u);
+}
+
+TEST(InterpreterTest, FieldCacheEventsAreAttributed) {
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  auto M = compileMiniC(Ctx, "t", R"(
+    struct rec { long hot; long pad1; long pad2; long pad3;
+                 long pad4; long pad5; long pad6; long pad7; };
+    struct rec *arr;
+    long param_n;
+    int main() {
+      arr = (struct rec*) malloc(param_n * sizeof(struct rec));
+      long s = 0;
+      for (long i = 0; i < param_n; i++) arr[i].hot = i;
+      for (long r = 0; r < 4; r++)
+        for (long i = 0; i < param_n; i++) s += arr[i].hot;
+      return (int) (s % 127);
+    }
+  )",
+                        Diags);
+  ASSERT_TRUE(M) << (Diags.empty() ? "?" : Diags[0]);
+  FeedbackFile FB;
+  RunOptions Opts;
+  Opts.Profile = &FB;
+  Opts.IntParams["param_n"] = 4096; // 256 KiB of recs: misses in L1.
+  RunResult R = runProgram(*M, std::move(Opts));
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  const RecordType *Rec = Ctx.getTypes().lookupRecord("rec");
+  const FieldCacheStats *S = FB.getFieldStats(Rec, 0);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Loads, 4u * 4096u);
+  EXPECT_EQ(S->Stores, 4096u);
+  // Each struct is 64 bytes = one L1 line; with 16 KiB L1 and 256 KiB of
+  // data every fresh pass misses on every element.
+  EXPECT_GT(S->Misses, 3u * 4096u);
+}
+
+TEST(CacheSimTest, SequentialAccessHitsWithinLine) {
+  CacheSim C;
+  // 8 consecutive 8-byte words: 1 miss + 7 hits per 64-byte line.
+  uint64_t Misses = 0;
+  for (uint64_t A = 0; A < 64 * 8; A += 8)
+    Misses += C.access(1000000 + A, false, false).FirstLevelMiss;
+  EXPECT_EQ(Misses, 8u);
+  EXPECT_EQ(C.l1Stats().Hits, 56u);
+}
+
+TEST(CacheSimTest, RepeatedAccessIsAHit) {
+  CacheSim C;
+  EXPECT_TRUE(C.access(4096, false, false).FirstLevelMiss);
+  EXPECT_FALSE(C.access(4096, false, false).FirstLevelMiss);
+  EXPECT_FALSE(C.access(4100, false, false).FirstLevelMiss);
+}
+
+TEST(CacheSimTest, CapacityEviction) {
+  CacheConfig Cfg;
+  Cfg.L1 = {1024, 64, 2, 1}; // Tiny L1: 16 lines.
+  CacheSim C(Cfg);
+  // Touch 64 distinct lines, then re-touch the first: must miss again.
+  for (uint64_t I = 0; I < 64; ++I)
+    C.access(1 << 20 | (I * 64), false, false);
+  EXPECT_TRUE(C.access(1 << 20, false, false).FirstLevelMiss);
+}
+
+TEST(CacheSimTest, LruKeepsHotLine) {
+  CacheConfig Cfg;
+  Cfg.L1 = {128, 64, 2, 1}; // 1 set, 2 ways.
+  CacheSim C(Cfg);
+  C.access(0x10000, false, false); // line A
+  C.access(0x20000, false, false); // line B
+  C.access(0x10000, false, false); // A again (now MRU)
+  C.access(0x30000, false, false); // line C evicts B (LRU)
+  EXPECT_FALSE(C.access(0x10000, false, false).FirstLevelMiss);
+  EXPECT_TRUE(C.access(0x20000, false, false).FirstLevelMiss);
+}
+
+TEST(CacheSimTest, FpBypassesL1) {
+  CacheSim C;
+  CacheAccessResult First = C.access(1 << 21, false, /*IsFp=*/true);
+  EXPECT_TRUE(First.FirstLevelMiss); // Counted at L2 for FP.
+  EXPECT_EQ(C.l1Stats().Hits + C.l1Stats().Misses, 0u);
+  CacheAccessResult Second = C.access(1 << 21, false, /*IsFp=*/true);
+  EXPECT_FALSE(Second.FirstLevelMiss);
+  EXPECT_EQ(Second.Latency, C.config().L2.HitLatency);
+}
+
+TEST(CacheSimTest, StoresAreCheaper) {
+  CacheSim C;
+  unsigned LoadLat = C.access(1 << 22, false, false).Latency;
+  C.reset();
+  unsigned StoreLat = C.access(1 << 22, true, false).Latency;
+  EXPECT_LT(StoreLat, LoadLat);
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+//===- tests/ir_test.cpp - IR substrate unit tests ------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Linker.h"
+#include "ir/Verifier.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+TEST(TypeTest, PrimitiveSizes) {
+  IRContext Ctx;
+  TypeContext &T = Ctx.getTypes();
+  EXPECT_EQ(T.getI8()->getSize(), 1u);
+  EXPECT_EQ(T.getI16()->getSize(), 2u);
+  EXPECT_EQ(T.getI32()->getSize(), 4u);
+  EXPECT_EQ(T.getI64()->getSize(), 8u);
+  EXPECT_EQ(T.getF32()->getSize(), 4u);
+  EXPECT_EQ(T.getF64()->getSize(), 8u);
+  EXPECT_EQ(T.getPointerType(T.getI32())->getSize(), 8u);
+  EXPECT_EQ(T.getI1()->getSize(), 1u);
+}
+
+TEST(TypeTest, TypesAreUniqued) {
+  IRContext Ctx;
+  TypeContext &T = Ctx.getTypes();
+  EXPECT_EQ(T.getI32(), T.getI32());
+  EXPECT_EQ(T.getPointerType(T.getI32()), T.getPointerType(T.getI32()));
+  EXPECT_NE(T.getPointerType(T.getI32()), T.getPointerType(T.getI64()));
+  EXPECT_EQ(T.getArrayType(T.getF64(), 4), T.getArrayType(T.getF64(), 4));
+  EXPECT_EQ(T.getFunctionType(T.getI32(), {T.getI64()}),
+            T.getFunctionType(T.getI32(), {T.getI64()}));
+}
+
+TEST(TypeTest, RecordLayoutFollowsCRules) {
+  IRContext Ctx;
+  TypeContext &T = Ctx.getTypes();
+  RecordType *R = T.getOrCreateRecord("mixed");
+  R->setFields({{"a", T.getI8(), 0, 0},
+                {"b", T.getI32(), 0, 0},
+                {"c", T.getI8(), 0, 0},
+                {"d", T.getF64(), 0, 0}});
+  EXPECT_EQ(R->getField(0).Offset, 0u);
+  EXPECT_EQ(R->getField(1).Offset, 4u); // aligned to 4
+  EXPECT_EQ(R->getField(2).Offset, 8u);
+  EXPECT_EQ(R->getField(3).Offset, 16u); // aligned to 8
+  EXPECT_EQ(R->getSize(), 24u);          // rounded up to align 8
+  EXPECT_EQ(R->getAlign(), 8u);
+}
+
+TEST(TypeTest, RecordLookupByName) {
+  IRContext Ctx;
+  TypeContext &T = Ctx.getTypes();
+  RecordType *R = T.getOrCreateRecord("node");
+  EXPECT_EQ(T.getOrCreateRecord("node"), R);
+  EXPECT_EQ(T.lookupRecord("node"), R);
+  EXPECT_EQ(T.lookupRecord("nothere"), nullptr);
+  RecordType *U = T.createUniqueRecord("node");
+  EXPECT_NE(U, R);
+  EXPECT_NE(U->getRecordName(), "node");
+}
+
+TEST(ValueTest, SizeofConstantsAreAttributedAndDistinct) {
+  IRContext Ctx;
+  TypeContext &T = Ctx.getTypes();
+  RecordType *R = T.getOrCreateRecord("s");
+  R->setFields({{"x", T.getI64(), 0, 0}});
+  ConstantInt *Tagged = Ctx.getSizeOf(R);
+  ConstantInt *Plain = Ctx.getInt64(8);
+  EXPECT_EQ(Tagged->getValue(), 8);
+  EXPECT_NE(Tagged, Plain);
+  EXPECT_EQ(Tagged->getSizeOfRecord(), R);
+  EXPECT_EQ(Plain->getSizeOfRecord(), nullptr);
+  EXPECT_EQ(Ctx.getSizeOf(R), Tagged); // Uniqued.
+}
+
+// Builds: define i64 @f(i64 %a) { ret (a + 1) }
+static Function *buildAddOne(Module &M) {
+  IRContext &Ctx = M.getContext();
+  TypeContext &T = Ctx.getTypes();
+  FunctionType *FnTy = T.getFunctionType(T.getI64(), {T.getI64()});
+  Function *F = M.createFunction(FnTy, "addone");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(BB);
+  Value *Sum =
+      B.createBinary(Instruction::OpAdd, F->getArg(0), Ctx.getInt64(1));
+  B.createRet(Sum);
+  return F;
+}
+
+TEST(IRTest, UseListsTrackOperands) {
+  IRContext Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildAddOne(M);
+  Argument *A = F->getArg(0);
+  ASSERT_EQ(A->users().size(), 1u);
+  Instruction *Add = A->users().front();
+  EXPECT_EQ(Add->getOpcode(), Instruction::OpAdd);
+  EXPECT_EQ(Add->users().size(), 1u); // The ret.
+}
+
+TEST(IRTest, ReplaceAllUsesWith) {
+  IRContext Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildAddOne(M);
+  Argument *A = F->getArg(0);
+  Value *C = Ctx.getInt64(42);
+  A->replaceAllUsesWith(C);
+  EXPECT_TRUE(A->users().empty());
+  ASSERT_EQ(C->users().size(), 1u);
+  EXPECT_EQ(C->users().front()->getOpcode(), Instruction::OpAdd);
+}
+
+TEST(IRTest, VerifierAcceptsWellFormed) {
+  IRContext Ctx;
+  Module M(Ctx, "m");
+  buildAddOne(M);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(M, Errors)) << (Errors.empty() ? "" : Errors[0]);
+}
+
+TEST(IRTest, VerifierRejectsMissingTerminator) {
+  IRContext Ctx;
+  TypeContext &T = Ctx.getTypes();
+  Module M(Ctx, "m");
+  Function *F =
+      M.createFunction(T.getFunctionType(T.getVoidType(), {}), "f");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(BB);
+  B.createAlloca(T.getI32(), "x");
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(IRTest, VerifierRejectsTypeMismatchedStore) {
+  IRContext Ctx;
+  TypeContext &T = Ctx.getTypes();
+  Module M(Ctx, "m");
+  Function *F =
+      M.createFunction(T.getFunctionType(T.getVoidType(), {}), "f");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(BB);
+  AllocaInst *Slot = B.createAlloca(T.getI32(), "x");
+  B.createStore(Ctx.getInt64(1), Slot); // i64 into i32 slot.
+  B.createRet();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyModule(M, Errors));
+}
+
+TEST(IRTest, PrinterMentionsRecordsAndOpcodes) {
+  IRContext Ctx;
+  Module M(Ctx, "m");
+  buildAddOne(M);
+  std::string S = printModule(M);
+  EXPECT_NE(S.find("@addone"), std::string::npos);
+  EXPECT_NE(S.find("add"), std::string::npos);
+  EXPECT_NE(S.find("ret"), std::string::npos);
+}
+
+TEST(LinkerTest, ResolvesDeclarationToDefinition) {
+  IRContext Ctx;
+  TypeContext &T = Ctx.getTypes();
+  auto A = std::make_unique<Module>(Ctx, "a");
+  auto Bm = std::make_unique<Module>(Ctx, "b");
+  FunctionType *FnTy = T.getFunctionType(T.getI64(), {T.getI64()});
+
+  // Module a: declaration + caller.
+  Function *Decl = A->createFunction(FnTy, "addone");
+  Function *Caller =
+      A->createFunction(T.getFunctionType(T.getI64(), {}), "caller");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Caller->createBlock("entry"));
+  Value *R = B.createCall(Decl, {Ctx.getInt64(1)});
+  B.createRet(R);
+
+  // Module b: definition.
+  buildAddOne(*Bm);
+
+  std::vector<std::unique_ptr<Module>> TUs;
+  TUs.push_back(std::move(A));
+  TUs.push_back(std::move(Bm));
+  auto Linked = linkModules(Ctx, std::move(TUs), "prog");
+
+  Function *Def = Linked->lookupFunction("addone");
+  ASSERT_NE(Def, nullptr);
+  EXPECT_FALSE(Def->isDeclaration());
+  Function *C = Linked->lookupFunction("caller");
+  ASSERT_NE(C, nullptr);
+  // The call inside caller must now point at the definition.
+  for (const auto &BB : C->blocks())
+    for (const auto &I : BB->instructions())
+      if (auto *Call = dyn_cast<CallInst>(I.get())) {
+        EXPECT_EQ(Call->getCallee(), Def);
+      }
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(*Linked, Errors));
+}
+
+TEST(LinkerTest, MergesDuplicateGlobals) {
+  IRContext Ctx;
+  TypeContext &T = Ctx.getTypes();
+  auto A = std::make_unique<Module>(Ctx, "a");
+  auto Bm = std::make_unique<Module>(Ctx, "b");
+  A->createGlobal(T.getI64(), "counter");
+  Bm->createGlobal(T.getI64(), "counter");
+  std::vector<std::unique_ptr<Module>> TUs;
+  TUs.push_back(std::move(A));
+  TUs.push_back(std::move(Bm));
+  auto Linked = linkModules(Ctx, std::move(TUs), "prog");
+  EXPECT_EQ(Linked->globals().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+//===- tests/profile_test.cpp - Feedback persistence and GVL tests --------===//
+
+#include "frontend/Frontend.h"
+#include "profile/FeedbackIO.h"
+#include "runtime/Interpreter.h"
+#include "analysis/WeightSchemes.h"
+#include "transform/GlobalVarLayout.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+const char *ProfiledProgram = R"(
+  extern void print_i64(long v);
+  struct pt { long x; long y; };
+  struct pt *arr;
+  long hot_counter;
+  long cold_counter;
+  int main() {
+    arr = (struct pt*) malloc(128 * sizeof(struct pt));
+    long s = 0;
+    for (long i = 0; i < 128; i++) {
+      arr[i].x = i;
+      arr[i].y = 2 * i;
+      hot_counter = hot_counter + 1;
+    }
+    for (long r = 0; r < 16; r++)
+      for (long i = 0; i < 128; i++) {
+        s += arr[i].x;
+        hot_counter = hot_counter + 1;
+      }
+    cold_counter = s % 7;
+    print_i64(s + hot_counter + cold_counter);
+    free(arr);
+    return 0;
+  }
+)";
+
+struct Compiled {
+  std::unique_ptr<IRContext> Ctx;
+  std::unique_ptr<Module> M;
+};
+
+static Compiled compile(const char *Src) {
+  Compiled C;
+  C.Ctx = std::make_unique<IRContext>();
+  std::vector<std::string> Diags;
+  C.M = compileMiniC(*C.Ctx, "t", Src, Diags);
+  EXPECT_TRUE(C.M) << (Diags.empty() ? "?" : Diags[0]);
+  return C;
+}
+
+TEST(FeedbackIoTest, RoundTripPreservesCounts) {
+  Compiled C = compile(ProfiledProgram);
+  FeedbackFile FB;
+  RunOptions O;
+  O.Profile = &FB;
+  RunResult R = runProgram(*C.M, std::move(O));
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+
+  std::string Text = serializeFeedback(*C.M, FB);
+  EXPECT_EQ(Text.rfind("slo-feedback-v1", 0), 0u);
+
+  FeedbackFile Restored;
+  FeedbackMatchResult MR = deserializeFeedback(*C.M, Text, Restored);
+  ASSERT_TRUE(MR.Ok) << MR.Error;
+  EXPECT_EQ(MR.DroppedEntries, 0u);
+  EXPECT_GT(MR.MatchedEntries, 0u);
+
+  const Function *Main = C.M->lookupFunction("main");
+  EXPECT_EQ(Restored.getEntryCount(Main), FB.getEntryCount(Main));
+  for (const auto &BB : Main->blocks())
+    EXPECT_EQ(Restored.getBlockCount(BB.get()), FB.getBlockCount(BB.get()))
+        << BB->getName();
+
+  RecordType *Pt = C.Ctx->getTypes().lookupRecord("pt");
+  const FieldCacheStats *A = FB.getFieldStats(Pt, 0);
+  const FieldCacheStats *B = Restored.getFieldStats(Pt, 0);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(A->Loads, B->Loads);
+  EXPECT_EQ(A->Misses, B->Misses);
+  EXPECT_NEAR(A->TotalLatency, B->TotalLatency,
+              1e-6 * (1.0 + A->TotalLatency));
+}
+
+TEST(FeedbackIoTest, MatchesAcrossRecompilation) {
+  // The PBO use phase: the profile is collected by one compilation and
+  // consumed by a fresh one (different IR objects, same symbols).
+  Compiled A = compile(ProfiledProgram);
+  FeedbackFile FB;
+  RunOptions O;
+  O.Profile = &FB;
+  runProgram(*A.M, std::move(O));
+  std::string Text = serializeFeedback(*A.M, FB);
+
+  Compiled B = compile(ProfiledProgram);
+  FeedbackFile Restored;
+  FeedbackMatchResult MR = deserializeFeedback(*B.M, Text, Restored);
+  ASSERT_TRUE(MR.Ok) << MR.Error;
+  EXPECT_EQ(MR.DroppedEntries, 0u);
+  EXPECT_EQ(Restored.getEntryCount(B.M->lookupFunction("main")), 1u);
+}
+
+TEST(FeedbackIoTest, StaleSymbolsAreDroppedSoftly) {
+  Compiled A = compile(ProfiledProgram);
+  FeedbackFile FB;
+  RunOptions O;
+  O.Profile = &FB;
+  runProgram(*A.M, std::move(O));
+  std::string Text = serializeFeedback(*A.M, FB);
+  Text += "entry no_such_function 99\n";
+  Text += "field no_such_record 0 1 2 3 4.5\n";
+
+  Compiled B = compile(ProfiledProgram);
+  FeedbackFile Restored;
+  FeedbackMatchResult MR = deserializeFeedback(*B.M, Text, Restored);
+  ASSERT_TRUE(MR.Ok) << MR.Error;
+  EXPECT_EQ(MR.DroppedEntries, 2u);
+}
+
+TEST(FeedbackIoTest, MalformedInputRejected) {
+  Compiled A = compile(ProfiledProgram);
+  FeedbackFile FB;
+  EXPECT_FALSE(deserializeFeedback(*A.M, "not-a-feedback-file", FB).Ok);
+  EXPECT_FALSE(
+      deserializeFeedback(*A.M, "slo-feedback-v1\nbogus line\n", FB).Ok);
+  EXPECT_FALSE(
+      deserializeFeedback(*A.M, "slo-feedback-v1\nentry onlyname\n", FB)
+          .Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Global variable layout (GVL)
+//===----------------------------------------------------------------------===//
+
+const char *GvlProgram = R"(
+  extern void print_i64(long v);
+  long pad_a[64];
+  long hot1;
+  long pad_b[64];
+  long hot2;
+  long pad_c[64];
+  long cold1;
+  int main() {
+    long s = 0;
+    for (long r = 0; r < 4; r++)
+      for (long k = 0; k < 4; k++)
+        for (long i = 0; i < 256; i++) {
+          hot1 = hot1 + 1;
+          hot2 = hot2 + 2;
+        }
+    cold1 = hot1 % 13;
+    s = hot1 + hot2 + cold1;
+    print_i64(s);
+    return 0;
+  }
+)";
+
+TEST(GvlTest, HotScalarsMoveToTheFront) {
+  Compiled C = compile(GvlProgram);
+  FeedbackFile FB;
+  RunOptions O;
+  O.Profile = &FB;
+  RunResult Before = runProgram(*C.M, std::move(O));
+  ASSERT_FALSE(Before.Trapped);
+
+  ProfileWeightSource WS(FB);
+  GvlResult R = applyGlobalVariableLayout(*C.M, WS);
+  EXPECT_TRUE(R.Changed);
+  // Hot scalars first, aggregates last.
+  ASSERT_GE(R.NewOrder.size(), 6u);
+  EXPECT_EQ(R.NewOrder[0]->getName().substr(0, 3), "hot");
+  EXPECT_EQ(R.NewOrder[1]->getName().substr(0, 3), "hot");
+  EXPECT_TRUE(R.NewOrder.back()->getValueType()->isArray());
+  // Module order now matches.
+  EXPECT_EQ(C.M->globals()[0]->getName().substr(0, 3), "hot");
+
+  RunResult After = runProgram(*C.M);
+  ASSERT_FALSE(After.Trapped) << After.TrapReason;
+  EXPECT_EQ(Before.PrintedInts, After.PrintedInts);
+}
+
+TEST(GvlTest, WeightsReflectAccessCounts) {
+  Compiled C = compile(GvlProgram);
+  FeedbackFile FB;
+  RunOptions O;
+  O.Profile = &FB;
+  runProgram(*C.M, std::move(O));
+  ProfileWeightSource WS(FB);
+  auto Weights = computeGlobalWeights(*C.M, WS);
+  double Hot1 = 0, Cold1 = 0;
+  for (const auto &[G, W] : Weights) {
+    if (G->getName() == "hot1")
+      Hot1 = W;
+    if (G->getName() == "cold1")
+      Cold1 = W;
+  }
+  EXPECT_GT(Hot1, Cold1 * 100);
+}
+
+TEST(GvlTest, NoopWhenAlreadyOrdered) {
+  Compiled C = compile(R"(
+    long a;
+    int main() { a = 1; return (int) a; }
+  )");
+  FeedbackFile FB;
+  RunOptions O;
+  O.Profile = &FB;
+  runProgram(*C.M, std::move(O));
+  ProfileWeightSource WS(FB);
+  GvlResult R = applyGlobalVariableLayout(*C.M, WS);
+  EXPECT_FALSE(R.Changed);
+}
+
+} // namespace

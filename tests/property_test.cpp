@@ -1,0 +1,280 @@
+//===- tests/property_test.cpp - Property-based invariant tests -----------===//
+//
+// Parameterized sweeps over generated programs and configurations:
+//  - every generated benchmark census is classified exactly as configured;
+//  - the full pipeline preserves observable behaviour on every seed;
+//  - split layouts conserve live fields and never grow;
+//  - the cache simulator obeys capacity/LRU invariants across geometries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Legality.h"
+#include "frontend/Frontend.h"
+#include "pipeline/Pipeline.h"
+#include "runtime/CacheSim.h"
+#include "runtime/Interpreter.h"
+#include "transform/Transform.h"
+#include "workloads/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Generated-census properties
+//===----------------------------------------------------------------------===//
+
+struct CensusCase {
+  uint64_t Seed;
+  unsigned Total, Legal, RelaxOnly, Candidates;
+};
+
+class CensusProperty : public ::testing::TestWithParam<CensusCase> {};
+
+TEST_P(CensusProperty, LegalityClassifiesExactly) {
+  const CensusCase &C = GetParam();
+  GeneratorConfig Cfg;
+  Cfg.Name = "prop";
+  Cfg.Seed = C.Seed;
+  Cfg.TotalTypes = C.Total;
+  Cfg.LegalTypes = C.Legal;
+  Cfg.RelaxOnlyTypes = C.RelaxOnly;
+  Cfg.TransformCandidates = C.Candidates;
+  Cfg.HotElements = 512;
+  Cfg.HotIterations = 2;
+  std::string Src = generateBenchmarkSource(Cfg);
+
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  auto M = compileMiniC(Ctx, "prop", Src, Diags);
+  ASSERT_TRUE(M) << (Diags.empty() ? "?" : Diags[0]);
+
+  LegalityResult Legal = analyzeLegality(*M);
+  EXPECT_EQ(Legal.types().size(), C.Total);
+  EXPECT_EQ(Legal.legalTypes(false).size(), C.Legal);
+  EXPECT_EQ(Legal.legalTypes(true).size(), C.Legal + C.RelaxOnly);
+}
+
+TEST_P(CensusProperty, PipelineRoundTripPreservesOutput) {
+  const CensusCase &C = GetParam();
+  GeneratorConfig Cfg;
+  Cfg.Name = "prop";
+  Cfg.Seed = C.Seed;
+  Cfg.TotalTypes = C.Total;
+  Cfg.LegalTypes = C.Legal;
+  Cfg.RelaxOnlyTypes = C.RelaxOnly;
+  Cfg.TransformCandidates = C.Candidates;
+  Cfg.HotElements = 512;
+  Cfg.HotIterations = 2;
+  std::string Src = generateBenchmarkSource(Cfg);
+
+  std::vector<std::string> Diags;
+  IRContext CtxA;
+  auto Base = compileMiniC(CtxA, "prop", Src, Diags);
+  ASSERT_TRUE(Base);
+  RunResult Before = runProgram(*Base);
+  ASSERT_FALSE(Before.Trapped) << Before.TrapReason;
+
+  IRContext CtxB;
+  auto Opt = compileMiniC(CtxB, "prop", Src, Diags);
+  ASSERT_TRUE(Opt);
+  PipelineOptions POpts;
+  PipelineResult P = runStructLayoutPipeline(*Opt, POpts);
+  RunResult After = runProgram(*Opt);
+  ASSERT_FALSE(After.Trapped) << After.TrapReason;
+  EXPECT_EQ(Before.PrintedInts, After.PrintedInts);
+  EXPECT_EQ(Before.ExitCode, After.ExitCode);
+  // Transform candidates must actually be transformed.
+  EXPECT_GE(P.Summary.TypesTransformed, C.Candidates);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CensusProperty,
+    ::testing::Values(CensusCase{1, 8, 2, 3, 1},
+                      CensusCase{2, 12, 4, 4, 2},
+                      CensusCase{3, 15, 3, 6, 1},
+                      CensusCase{42, 25, 6, 10, 3},
+                      CensusCase{0xdead, 10, 2, 0, 1},
+                      CensusCase{0xbeef, 18, 5, 9, 2},
+                      CensusCase{7, 9, 0, 4, 0},
+                      CensusCase{99, 30, 8, 12, 4}),
+    [](const ::testing::TestParamInfo<CensusCase> &Info) {
+      return "seed" + std::to_string(Info.param.Seed) + "_t" +
+             std::to_string(Info.param.Total);
+    });
+
+//===----------------------------------------------------------------------===//
+// Split-layout conservation properties
+//===----------------------------------------------------------------------===//
+
+TEST(SplitLayoutProperty, LiveFieldsConservedAndNoGrowth) {
+  // Sweep several hot/cold partitions of an 8-field record; in every
+  // case the new layouts must (a) contain each live field exactly once,
+  // (b) have combined size <= original + link pointer.
+  const char *Src = R"(
+    extern void print_i64(long v);
+    struct rec { long f0; long f1; long f2; long f3;
+                 long f4; long f5; long f6; long f7; };
+    struct rec *p;
+    void pin(struct rec *q) { }
+    int main() {
+      p = (struct rec*) malloc(64 * sizeof(struct rec));
+      pin(p);
+      long s = 0;
+      for (long i = 0; i < 64; i++) {
+        p[i].f0 = i; p[i].f1 = i; p[i].f2 = i; p[i].f3 = i;
+        p[i].f4 = i; p[i].f5 = i; p[i].f6 = i; p[i].f7 = i;
+      }
+      for (long i = 0; i < 64; i++)
+        s += p[i].f0 + p[i].f1 + p[i].f2 + p[i].f3
+           + p[i].f4 + p[i].f5 + p[i].f6 + p[i].f7;
+      print_i64(s);
+      free(p);
+      return 0;
+    }
+  )";
+
+  for (unsigned Mask = 1; Mask < 255; Mask += 23) {
+    IRContext Ctx;
+    std::vector<std::string> Diags;
+    auto M = compileMiniC(Ctx, "t", Src, Diags);
+    ASSERT_TRUE(M);
+    RecordType *Rec = Ctx.getTypes().lookupRecord("rec");
+    LegalityResult Legal = analyzeLegality(*M);
+
+    TypePlan Plan;
+    Plan.Rec = Rec;
+    Plan.Kind = TransformKind::Split;
+    for (unsigned F = 0; F < 8; ++F) {
+      if (Mask & (1u << F))
+        Plan.HotFields.push_back(F);
+      else
+        Plan.ColdFields.push_back(F);
+    }
+    if (Plan.HotFields.empty() || Plan.ColdFields.empty())
+      continue;
+
+    IRContext CtxRef;
+    auto Ref = compileMiniC(CtxRef, "t", Src, Diags);
+    RunResult Before = runProgram(*Ref);
+
+    TransformSummary S = applyPlans(*M, {Plan}, Legal);
+    ASSERT_EQ(S.Applied.size(), 1u) << "mask " << Mask;
+    const SplitResult &R = S.Applied[0].Split;
+    ASSERT_NE(R.HotRec, nullptr);
+    ASSERT_NE(R.ColdRec, nullptr);
+    // Conservation: every original field appears exactly once.
+    EXPECT_EQ(R.HotRec->getNumFields() + R.ColdRec->getNumFields(),
+              8u + 1u /* link */);
+    // No growth beyond the link pointer.
+    EXPECT_LE(R.HotRec->getSize() + R.ColdRec->getSize(),
+              Rec->getSize() + 8);
+
+    RunResult After = runProgram(*M);
+    ASSERT_FALSE(After.Trapped) << After.TrapReason;
+    EXPECT_EQ(Before.PrintedInts, After.PrintedInts) << "mask " << Mask;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cache simulator properties across geometries
+//===----------------------------------------------------------------------===//
+
+struct CacheGeometry {
+  uint64_t L1Size;
+  unsigned L1Line;
+  unsigned L1Ways;
+};
+
+class CacheProperty : public ::testing::TestWithParam<CacheGeometry> {};
+
+TEST_P(CacheProperty, WorkingSetWithinCapacityAlwaysHitsAfterWarmup) {
+  const CacheGeometry &G = GetParam();
+  CacheConfig Cfg;
+  Cfg.L1 = {G.L1Size, G.L1Line, G.L1Ways, 1};
+  CacheSim C(Cfg);
+  // Touch half the capacity twice; second pass must be all hits.
+  uint64_t Lines = (G.L1Size / G.L1Line) / 2;
+  for (uint64_t I = 0; I < Lines; ++I)
+    C.access(1 << 20 | (I * G.L1Line), false, false);
+  uint64_t MissesAfterWarmup = C.l1Stats().Misses;
+  for (uint64_t I = 0; I < Lines; ++I)
+    C.access(1 << 20 | (I * G.L1Line), false, false);
+  EXPECT_EQ(C.l1Stats().Misses, MissesAfterWarmup)
+      << "size=" << G.L1Size << " line=" << G.L1Line
+      << " ways=" << G.L1Ways;
+}
+
+TEST_P(CacheProperty, StridedOverCapacityAlwaysMisses) {
+  const CacheGeometry &G = GetParam();
+  CacheConfig Cfg;
+  Cfg.L1 = {G.L1Size, G.L1Line, G.L1Ways, 1};
+  CacheSim C(Cfg);
+  // Cycle over 4x the capacity repeatedly: LRU guarantees every access
+  // at line granularity misses (the reuse distance exceeds capacity).
+  uint64_t Lines = (G.L1Size / G.L1Line) * 4;
+  for (int Pass = 0; Pass < 3; ++Pass)
+    for (uint64_t I = 0; I < Lines; ++I)
+      C.access(1 << 22 | (I * G.L1Line), false, false);
+  EXPECT_EQ(C.l1Stats().Misses, 3 * Lines);
+  EXPECT_EQ(C.l1Stats().Hits, 0u);
+}
+
+TEST_P(CacheProperty, ResetClearsEverything) {
+  const CacheGeometry &G = GetParam();
+  CacheConfig Cfg;
+  Cfg.L1 = {G.L1Size, G.L1Line, G.L1Ways, 1};
+  CacheSim C(Cfg);
+  C.access(0x100000, false, false);
+  C.access(0x100000, false, false);
+  C.reset();
+  EXPECT_EQ(C.l1Stats().Hits, 0u);
+  EXPECT_EQ(C.l1Stats().Misses, 0u);
+  EXPECT_TRUE(C.access(0x100000, false, false).FirstLevelMiss);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperty,
+    ::testing::Values(CacheGeometry{1024, 64, 1},
+                      CacheGeometry{4096, 64, 2},
+                      CacheGeometry{8192, 128, 4},
+                      CacheGeometry{16384, 64, 4},
+                      CacheGeometry{65536, 128, 8},
+                      CacheGeometry{32768, 32, 16}),
+    [](const ::testing::TestParamInfo<CacheGeometry> &Info) {
+      return "s" + std::to_string(Info.param.L1Size) + "_l" +
+             std::to_string(Info.param.L1Line) + "_w" +
+             std::to_string(Info.param.L1Ways);
+    });
+
+//===----------------------------------------------------------------------===//
+// Interpreter determinism
+//===----------------------------------------------------------------------===//
+
+TEST(DeterminismProperty, RepeatedRunsAreIdentical) {
+  GeneratorConfig Cfg;
+  Cfg.Name = "det";
+  Cfg.Seed = 321;
+  Cfg.TotalTypes = 10;
+  Cfg.LegalTypes = 3;
+  Cfg.RelaxOnlyTypes = 3;
+  Cfg.TransformCandidates = 2;
+  Cfg.HotElements = 256;
+  Cfg.HotIterations = 2;
+  std::string Src = generateBenchmarkSource(Cfg);
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  auto M = compileMiniC(Ctx, "det", Src, Diags);
+  ASSERT_TRUE(M);
+  RunResult A = runProgram(*M);
+  RunResult B = runProgram(*M);
+  EXPECT_EQ(A.ExitCode, B.ExitCode);
+  EXPECT_EQ(A.Instructions, B.Instructions);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.PrintedInts, B.PrintedInts);
+  EXPECT_EQ(A.L1.Misses, B.L1.Misses);
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+//===- tests/support_test.cpp - Support + lexer/parser detail tests -------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "transform/RewriteUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+TEST(FormatTest, BasicFormatting) {
+  EXPECT_EQ(formatString("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(formatString("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(formatString("%s", "x"), "x");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(FormatTest, LongStringsAreNotTruncated) {
+  std::string Long(500, 'a');
+  EXPECT_EQ(formatString("%s", Long.c_str()).size(), 500u);
+}
+
+TEST(FormatTest, Padding) {
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(R.nextBelow(17), 17u);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+static std::vector<Token> lex(const char *Src, std::string &Err) {
+  Lexer L(Src);
+  return L.lexAll(Err);
+}
+
+TEST(LexerTest, TokenKinds) {
+  std::string Err;
+  auto Toks = lex("struct foo { int a; } x->y += 0x1F 2.5e3 // c\n != <=",
+                  Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  std::vector<TokKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.Kind);
+  EXPECT_EQ(Kinds[0], TokKind::KwStruct);
+  EXPECT_EQ(Kinds[1], TokKind::Identifier);
+  EXPECT_EQ(Kinds[2], TokKind::LBrace);
+  EXPECT_EQ(Kinds[3], TokKind::KwInt);
+  EXPECT_EQ(Kinds[6], TokKind::RBrace);
+  EXPECT_EQ(Kinds[8], TokKind::Arrow);
+  EXPECT_EQ(Kinds[10], TokKind::PlusAssign);
+}
+
+TEST(LexerTest, NumericLiterals) {
+  std::string Err;
+  auto Toks = lex("0x1F 42 2.5 1e3 7", Err);
+  ASSERT_TRUE(Err.empty());
+  EXPECT_EQ(Toks[0].Kind, TokKind::IntLiteral);
+  EXPECT_EQ(Toks[0].IntValue, 31);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].Kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Toks[2].FloatValue, 2.5);
+  EXPECT_EQ(Toks[3].Kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Toks[3].FloatValue, 1000.0);
+  EXPECT_EQ(Toks[4].IntValue, 7);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  std::string Err;
+  auto Toks = lex("a /* block \n comment */ b // line\nc", Err);
+  ASSERT_TRUE(Err.empty());
+  ASSERT_GE(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[2].Text, "c");
+}
+
+TEST(LexerTest, UnterminatedCommentErrors) {
+  std::string Err;
+  lex("a /* never closed", Err);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(LexerTest, UnknownCharacterErrors) {
+  std::string Err;
+  lex("a $ b", Err);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  std::string Err;
+  auto Toks = lex("a\nbb\n  c", Err);
+  EXPECT_EQ(Toks[0].Line, 1u);
+  EXPECT_EQ(Toks[1].Line, 2u);
+  EXPECT_EQ(Toks[2].Line, 3u);
+}
+
+static std::unique_ptr<TranslationUnit> parse(const char *Src,
+                                              std::vector<std::string> &D) {
+  Lexer L(Src);
+  std::string Err;
+  auto Toks = L.lexAll(Err);
+  EXPECT_TRUE(Err.empty());
+  Parser P(std::move(Toks), D);
+  return P.parse();
+}
+
+TEST(ParserTest, TopLevelShapes) {
+  std::vector<std::string> D;
+  auto TU = parse(R"(
+    struct s { long a; long b[4]; long (*cb)(long); };
+    long g;
+    long arr[8];
+    extern void ext(long v);
+    long f(long x, struct s *p) { return x; }
+  )",
+                  D);
+  ASSERT_TRUE(TU) << (D.empty() ? "?" : D[0]);
+  EXPECT_EQ(TU->Structs.size(), 1u);
+  EXPECT_EQ(TU->Structs[0].Fields.size(), 3u);
+  EXPECT_EQ(TU->Structs[0].Fields[1].ArraySize, 4u);
+  EXPECT_EQ(TU->Structs[0].Fields[2].Ty.Base, TypeSpec::BK_FnPtr);
+  EXPECT_EQ(TU->Globals.size(), 2u);
+  EXPECT_EQ(TU->Globals[1].ArraySize, 8u);
+  ASSERT_EQ(TU->Functions.size(), 2u);
+  EXPECT_TRUE(TU->Functions[0].IsExtern);
+  EXPECT_FALSE(TU->Functions[1].IsExtern);
+  EXPECT_EQ(TU->Functions[1].Params.size(), 2u);
+}
+
+TEST(ParserTest, PrecedenceNesting) {
+  std::vector<std::string> D;
+  auto TU = parse("long f() { return 1 + 2 * 3 - 4 / 2; }", D);
+  ASSERT_TRUE(TU);
+  const auto *Body = static_cast<BlockStmt *>(TU->Functions[0].Body.get());
+  const auto *Ret = static_cast<ReturnStmt *>(Body->Stmts[0].get());
+  // Top node is the subtraction.
+  const auto *Sub = static_cast<BinaryExpr *>(Ret->E.get());
+  ASSERT_EQ(Sub->Kind, Expr::EK_Binary);
+  EXPECT_EQ(Sub->Op, BinaryExpr::BO_Sub);
+  const auto *Add = static_cast<BinaryExpr *>(Sub->LHS.get());
+  EXPECT_EQ(Add->Op, BinaryExpr::BO_Add);
+  const auto *Div = static_cast<BinaryExpr *>(Sub->RHS.get());
+  EXPECT_EQ(Div->Op, BinaryExpr::BO_Div);
+}
+
+TEST(ParserTest, DanglingElseBindsInner) {
+  std::vector<std::string> D;
+  auto TU = parse("long f(long a) { if (a) if (a > 1) return 1; "
+                  "else return 2; return 3; }",
+                  D);
+  ASSERT_TRUE(TU);
+  const auto *Body = static_cast<BlockStmt *>(TU->Functions[0].Body.get());
+  const auto *Outer = static_cast<IfStmt *>(Body->Stmts[0].get());
+  EXPECT_EQ(Outer->Else, nullptr); // else bound to the inner if.
+  const auto *Inner = static_cast<IfStmt *>(Outer->Then.get());
+  EXPECT_NE(Inner->Else, nullptr);
+}
+
+TEST(ParserTest, ErrorsReported) {
+  std::vector<std::string> D;
+  auto TU = parse("long f( { return 0; }", D);
+  EXPECT_FALSE(TU);
+  EXPECT_FALSE(D.empty());
+}
+
+TEST(RemapTypeTest, RecursiveSubstitution) {
+  IRContext Ctx;
+  TypeContext &T = Ctx.getTypes();
+  RecordType *Old = T.getOrCreateRecord("old");
+  Old->setFields({{"a", T.getI64(), 0, 0}});
+  RecordType *New = T.getOrCreateRecord("new");
+  New->setFields({{"a", T.getI64(), 0, 0}});
+
+  EXPECT_EQ(remapType(T, Old, Old, New), New);
+  EXPECT_EQ(remapType(T, T.getPointerType(Old), Old, New),
+            T.getPointerType(New));
+  EXPECT_EQ(remapType(T, T.getPointerType(T.getPointerType(Old)), Old, New),
+            T.getPointerType(T.getPointerType(New)));
+  EXPECT_EQ(remapType(T, T.getArrayType(Old, 3), Old, New),
+            T.getArrayType(New, 3));
+  FunctionType *FT =
+      T.getFunctionType(T.getPointerType(Old), {T.getI32()});
+  auto *Remapped = static_cast<FunctionType *>(remapType(T, FT, Old, New));
+  EXPECT_EQ(Remapped->getReturnType(), T.getPointerType(New));
+  // Types not involving Old are returned unchanged (same pointer).
+  EXPECT_EQ(remapType(T, T.getI64(), Old, New), T.getI64());
+  EXPECT_EQ(remapType(T, T.getPointerType(T.getF64()), Old, New),
+            T.getPointerType(T.getF64()));
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+//===- tests/workloads_test.cpp - Benchmark workload integration tests ----===//
+
+#include "frontend/Frontend.h"
+#include "pipeline/Pipeline.h"
+#include "runtime/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<IRContext> Ctx;
+  std::unique_ptr<Module> M;
+};
+
+static Built buildWorkload(const Workload &W) {
+  Built B;
+  B.Ctx = std::make_unique<IRContext>();
+  std::vector<std::string> Diags;
+  B.M = compileProgram(*B.Ctx, W.Name, W.Sources, Diags);
+  EXPECT_TRUE(B.M) << W.Name << ": "
+                   << (Diags.empty() ? "?" : Diags[0]);
+  return B;
+}
+
+static RunOptions paramsOf(const std::map<std::string, int64_t> &P) {
+  RunOptions O;
+  O.IntParams = P;
+  return O;
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WorkloadSuite, CompilesAndRunsClean) {
+  const Workload &W = allWorkloads()[GetParam()];
+  Built B = buildWorkload(W);
+  ASSERT_TRUE(B.M);
+  RunResult R = runProgram(*B.M, paramsOf(W.TrainParams));
+  EXPECT_FALSE(R.Trapped) << W.Name << ": " << R.TrapReason;
+  EXPECT_GT(R.Instructions, 1000u) << W.Name;
+}
+
+TEST_P(WorkloadSuite, Table1CensusMatchesPaper) {
+  const Workload &W = allWorkloads()[GetParam()];
+  Built B = buildWorkload(W);
+  ASSERT_TRUE(B.M);
+  LegalityResult Legal = analyzeLegality(*B.M);
+  EXPECT_EQ(Legal.types().size(), W.Paper.Types) << W.Name;
+  EXPECT_EQ(Legal.legalTypes(false).size(), W.Paper.Legal) << W.Name;
+  EXPECT_EQ(Legal.legalTypes(true).size(), W.Paper.Relax) << W.Name;
+}
+
+TEST_P(WorkloadSuite, StaticTransformPreservesSemantics) {
+  const Workload &W = allWorkloads()[GetParam()];
+  Built Ref = buildWorkload(W);
+  ASSERT_TRUE(Ref.M);
+  RunResult Before = runProgram(*Ref.M, paramsOf(W.TrainParams));
+  ASSERT_FALSE(Before.Trapped) << W.Name << ": " << Before.TrapReason;
+
+  Built B = buildWorkload(W);
+  ASSERT_TRUE(B.M);
+  PipelineOptions Opts; // ISPBO static heuristics.
+  PipelineResult P = runStructLayoutPipeline(*B.M, Opts);
+  RunResult After = runProgram(*B.M, paramsOf(W.TrainParams));
+  ASSERT_FALSE(After.Trapped) << W.Name << ": " << After.TrapReason;
+  EXPECT_EQ(Before.PrintedInts, After.PrintedInts) << W.Name;
+  ASSERT_EQ(Before.PrintedFloats.size(), After.PrintedFloats.size());
+  for (size_t I = 0; I < Before.PrintedFloats.size(); ++I)
+    EXPECT_DOUBLE_EQ(Before.PrintedFloats[I], After.PrintedFloats[I])
+        << W.Name;
+  (void)P;
+}
+
+TEST_P(WorkloadSuite, PboTransformPreservesSemantics) {
+  const Workload &W = allWorkloads()[GetParam()];
+  Built Ref = buildWorkload(W);
+  ASSERT_TRUE(Ref.M);
+  RunResult Before = runProgram(*Ref.M, paramsOf(W.TrainParams));
+  ASSERT_FALSE(Before.Trapped);
+
+  Built B = buildWorkload(W);
+  ASSERT_TRUE(B.M);
+  // Collect the training profile, then compile with PBO.
+  FeedbackFile Train;
+  RunOptions ProfOpts = paramsOf(W.TrainParams);
+  ProfOpts.Profile = &Train;
+  RunResult ProfRun = runProgram(*B.M, std::move(ProfOpts));
+  ASSERT_FALSE(ProfRun.Trapped) << W.Name << ": " << ProfRun.TrapReason;
+
+  PipelineOptions Opts;
+  Opts.Scheme = WeightScheme::PBO;
+  runStructLayoutPipeline(*B.M, Opts, &Train);
+  RunResult After = runProgram(*B.M, paramsOf(W.TrainParams));
+  ASSERT_FALSE(After.Trapped) << W.Name << ": " << After.TrapReason;
+  EXPECT_EQ(Before.PrintedInts, After.PrintedInts) << W.Name;
+  ASSERT_EQ(Before.PrintedFloats.size(), After.PrintedFloats.size());
+  for (size_t I = 0; I < Before.PrintedFloats.size(); ++I)
+    EXPECT_DOUBLE_EQ(Before.PrintedFloats[I], After.PrintedFloats[I])
+        << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadSuite,
+                         ::testing::Range<size_t>(0, 12),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           std::string N =
+                               allWorkloads()[Info.param].Name;
+                           for (char &C : N)
+                             if (!isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return N;
+                         });
+
+TEST(WorkloadDetails, McfNodeIsTheLegalType) {
+  const Workload *W = findWorkload("181.mcf");
+  ASSERT_NE(W, nullptr);
+  Built B = buildWorkload(*W);
+  ASSERT_TRUE(B.M);
+  LegalityResult Legal = analyzeLegality(*B.M);
+  std::vector<RecordType *> LegalTypes = Legal.legalTypes(false);
+  ASSERT_EQ(LegalTypes.size(), 1u);
+  EXPECT_EQ(LegalTypes[0]->getRecordName(), "node");
+  EXPECT_EQ(LegalTypes[0]->getNumFields(), 15u);
+  // The relaxed set adds arc (ATKN) and basket (CSTT).
+  std::vector<RecordType *> Relaxed = Legal.legalTypes(true);
+  EXPECT_EQ(Relaxed.size(), 3u);
+}
+
+TEST(WorkloadDetails, McfSplitsNodeUnderPbo) {
+  const Workload *W = findWorkload("181.mcf");
+  Built B = buildWorkload(*W);
+  ASSERT_TRUE(B.M);
+  FeedbackFile Train;
+  RunOptions ProfOpts = paramsOf(W->TrainParams);
+  ProfOpts.Profile = &Train;
+  runProgram(*B.M, std::move(ProfOpts));
+
+  PipelineOptions Opts;
+  Opts.Scheme = WeightScheme::PBO;
+  PipelineResult P = runStructLayoutPipeline(*B.M, Opts, &Train);
+  ASSERT_EQ(P.Summary.TypesTransformed, 1u);
+  const AppliedTransform &A = P.Summary.Applied[0];
+  EXPECT_EQ(A.Plan.Rec->getRecordName(), "node");
+  EXPECT_EQ(A.Plan.Kind, TransformKind::Split);
+  // ident is unused; several cold fields split out.
+  EXPECT_EQ(A.Plan.UnusedFields.size(), 1u);
+  EXPECT_GE(A.Plan.ColdFields.size(), 2u);
+  // The hot record must be smaller than the original 15-field node.
+  ASSERT_NE(A.Split.HotRec, nullptr);
+  EXPECT_LT(A.Split.HotRec->getSize(), A.Plan.Rec->getSize());
+}
+
+TEST(WorkloadDetails, ArtPeelsF1Neuron) {
+  const Workload *W = findWorkload("179.art");
+  Built B = buildWorkload(*W);
+  ASSERT_TRUE(B.M);
+  PipelineOptions Opts; // Static heuristics suffice: peel is structural.
+  PipelineResult P = runStructLayoutPipeline(*B.M, Opts);
+  ASSERT_EQ(P.Summary.TypesTransformed, 1u);
+  const AppliedTransform &A = P.Summary.Applied[0];
+  EXPECT_EQ(A.Plan.Rec->getRecordName(), "f1_neuron");
+  EXPECT_EQ(A.Plan.Kind, TransformKind::Peel);
+  EXPECT_EQ(A.Peel.GroupRecs.size(), 8u);
+}
+
+TEST(WorkloadDetails, MoldynSplitsParticle) {
+  const Workload *W = findWorkload("moldyn");
+  Built B = buildWorkload(*W);
+  ASSERT_TRUE(B.M);
+  FeedbackFile Train;
+  RunOptions ProfOpts = paramsOf(W->TrainParams);
+  ProfOpts.Profile = &Train;
+  runProgram(*B.M, std::move(ProfOpts));
+  PipelineOptions Opts;
+  Opts.Scheme = WeightScheme::PBO;
+  PipelineResult P = runStructLayoutPipeline(*B.M, Opts, &Train);
+  ASSERT_EQ(P.Summary.TypesTransformed, 1u);
+  const AppliedTransform &A = P.Summary.Applied[0];
+  EXPECT_EQ(A.Plan.Rec->getRecordName(), "particle");
+  EXPECT_EQ(A.Plan.Kind, TransformKind::Split);
+  // Velocities and mass go cold.
+  EXPECT_GE(A.Plan.ColdFields.size(), 3u);
+}
+
+TEST(WorkloadDetails, CaseStudiesCompileAndRun) {
+  for (const Workload *W :
+       {&caseStudyHotStruct(), &caseStudyTwoField()}) {
+    Built B = buildWorkload(*W);
+    ASSERT_TRUE(B.M) << W->Name;
+    RunResult R = runProgram(*B.M, paramsOf(W->TrainParams));
+    EXPECT_FALSE(R.Trapped) << W->Name << ": " << R.TrapReason;
+  }
+}
+
+TEST(WorkloadDetails, GeneratorIsDeterministic) {
+  const Workload *A = findWorkload("povray");
+  ASSERT_NE(A, nullptr);
+  // Re-fetching produces the identical source text.
+  const Workload *B = findWorkload("povray");
+  EXPECT_EQ(A->Sources, B->Sources);
+}
+
+} // namespace
