@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hotsplit.dir/bench_ablation_hotsplit.cpp.o"
+  "CMakeFiles/bench_ablation_hotsplit.dir/bench_ablation_hotsplit.cpp.o.d"
+  "bench_ablation_hotsplit"
+  "bench_ablation_hotsplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hotsplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

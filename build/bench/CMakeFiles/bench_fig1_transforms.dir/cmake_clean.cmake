@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_transforms.dir/bench_fig1_transforms.cpp.o"
+  "CMakeFiles/bench_fig1_transforms.dir/bench_fig1_transforms.cpp.o.d"
+  "bench_fig1_transforms"
+  "bench_fig1_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_advisor.dir/bench_fig2_advisor.cpp.o"
+  "CMakeFiles/bench_fig2_advisor.dir/bench_fig2_advisor.cpp.o.d"
+  "bench_fig2_advisor"
+  "bench_fig2_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

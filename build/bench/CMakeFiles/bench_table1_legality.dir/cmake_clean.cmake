@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_legality.dir/bench_table1_legality.cpp.o"
+  "CMakeFiles/bench_table1_legality.dir/bench_table1_legality.cpp.o.d"
+  "bench_table1_legality"
+  "bench_table1_legality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_legality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

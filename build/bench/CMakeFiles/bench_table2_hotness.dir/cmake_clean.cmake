@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hotness.dir/bench_table2_hotness.cpp.o"
+  "CMakeFiles/bench_table2_hotness.dir/bench_table2_hotness.cpp.o.d"
+  "bench_table2_hotness"
+  "bench_table2_hotness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hotness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/art_peeling.dir/art_peeling.cpp.o"
+  "CMakeFiles/art_peeling.dir/art_peeling.cpp.o.d"
+  "art_peeling"
+  "art_peeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/art_peeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_sharing_advice.dir/false_sharing_advice.cpp.o"
+  "CMakeFiles/false_sharing_advice.dir/false_sharing_advice.cpp.o.d"
+  "false_sharing_advice"
+  "false_sharing_advice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_sharing_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcf_advisor.dir/mcf_advisor.cpp.o"
+  "CMakeFiles/mcf_advisor.dir/mcf_advisor.cpp.o.d"
+  "mcf_advisor"
+  "mcf_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcf_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

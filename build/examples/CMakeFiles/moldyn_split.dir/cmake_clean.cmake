@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moldyn_split.dir/moldyn_split.cpp.o"
+  "CMakeFiles/moldyn_split.dir/moldyn_split.cpp.o.d"
+  "moldyn_split"
+  "moldyn_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moldyn_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

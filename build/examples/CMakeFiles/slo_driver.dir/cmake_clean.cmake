@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_driver.dir/slo_driver.cpp.o"
+  "CMakeFiles/slo_driver.dir/slo_driver.cpp.o.d"
+  "slo_driver"
+  "slo_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

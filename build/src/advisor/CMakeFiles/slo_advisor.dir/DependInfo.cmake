@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/AdvisorReport.cpp" "src/advisor/CMakeFiles/slo_advisor.dir/AdvisorReport.cpp.o" "gcc" "src/advisor/CMakeFiles/slo_advisor.dir/AdvisorReport.cpp.o.d"
+  "/root/repo/src/advisor/Correlation.cpp" "src/advisor/CMakeFiles/slo_advisor.dir/Correlation.cpp.o" "gcc" "src/advisor/CMakeFiles/slo_advisor.dir/Correlation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transform/CMakeFiles/slo_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/slo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/slo_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/slo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_advisor.dir/AdvisorReport.cpp.o"
+  "CMakeFiles/slo_advisor.dir/AdvisorReport.cpp.o.d"
+  "CMakeFiles/slo_advisor.dir/Correlation.cpp.o"
+  "CMakeFiles/slo_advisor.dir/Correlation.cpp.o.d"
+  "libslo_advisor.a"
+  "libslo_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Affinity.cpp" "src/analysis/CMakeFiles/slo_analysis.dir/Affinity.cpp.o" "gcc" "src/analysis/CMakeFiles/slo_analysis.dir/Affinity.cpp.o.d"
+  "/root/repo/src/analysis/BlockFrequency.cpp" "src/analysis/CMakeFiles/slo_analysis.dir/BlockFrequency.cpp.o" "gcc" "src/analysis/CMakeFiles/slo_analysis.dir/BlockFrequency.cpp.o.d"
+  "/root/repo/src/analysis/BranchProbability.cpp" "src/analysis/CMakeFiles/slo_analysis.dir/BranchProbability.cpp.o" "gcc" "src/analysis/CMakeFiles/slo_analysis.dir/BranchProbability.cpp.o.d"
+  "/root/repo/src/analysis/CallGraph.cpp" "src/analysis/CMakeFiles/slo_analysis.dir/CallGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/slo_analysis.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/analysis/CMakeFiles/slo_analysis.dir/Dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/slo_analysis.dir/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/InterProcFrequency.cpp" "src/analysis/CMakeFiles/slo_analysis.dir/InterProcFrequency.cpp.o" "gcc" "src/analysis/CMakeFiles/slo_analysis.dir/InterProcFrequency.cpp.o.d"
+  "/root/repo/src/analysis/Legality.cpp" "src/analysis/CMakeFiles/slo_analysis.dir/Legality.cpp.o" "gcc" "src/analysis/CMakeFiles/slo_analysis.dir/Legality.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/analysis/CMakeFiles/slo_analysis.dir/LoopInfo.cpp.o" "gcc" "src/analysis/CMakeFiles/slo_analysis.dir/LoopInfo.cpp.o.d"
+  "/root/repo/src/analysis/StaticEstimator.cpp" "src/analysis/CMakeFiles/slo_analysis.dir/StaticEstimator.cpp.o" "gcc" "src/analysis/CMakeFiles/slo_analysis.dir/StaticEstimator.cpp.o.d"
+  "/root/repo/src/analysis/WeightSchemes.cpp" "src/analysis/CMakeFiles/slo_analysis.dir/WeightSchemes.cpp.o" "gcc" "src/analysis/CMakeFiles/slo_analysis.dir/WeightSchemes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/slo_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/slo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

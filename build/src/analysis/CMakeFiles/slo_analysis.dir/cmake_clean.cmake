@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_analysis.dir/Affinity.cpp.o"
+  "CMakeFiles/slo_analysis.dir/Affinity.cpp.o.d"
+  "CMakeFiles/slo_analysis.dir/BlockFrequency.cpp.o"
+  "CMakeFiles/slo_analysis.dir/BlockFrequency.cpp.o.d"
+  "CMakeFiles/slo_analysis.dir/BranchProbability.cpp.o"
+  "CMakeFiles/slo_analysis.dir/BranchProbability.cpp.o.d"
+  "CMakeFiles/slo_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/slo_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/slo_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/slo_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/slo_analysis.dir/InterProcFrequency.cpp.o"
+  "CMakeFiles/slo_analysis.dir/InterProcFrequency.cpp.o.d"
+  "CMakeFiles/slo_analysis.dir/Legality.cpp.o"
+  "CMakeFiles/slo_analysis.dir/Legality.cpp.o.d"
+  "CMakeFiles/slo_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/slo_analysis.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/slo_analysis.dir/StaticEstimator.cpp.o"
+  "CMakeFiles/slo_analysis.dir/StaticEstimator.cpp.o.d"
+  "CMakeFiles/slo_analysis.dir/WeightSchemes.cpp.o"
+  "CMakeFiles/slo_analysis.dir/WeightSchemes.cpp.o.d"
+  "libslo_analysis.a"
+  "libslo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_frontend.dir/Frontend.cpp.o"
+  "CMakeFiles/slo_frontend.dir/Frontend.cpp.o.d"
+  "CMakeFiles/slo_frontend.dir/IRGen.cpp.o"
+  "CMakeFiles/slo_frontend.dir/IRGen.cpp.o.d"
+  "CMakeFiles/slo_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/slo_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/slo_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/slo_frontend.dir/Parser.cpp.o.d"
+  "libslo_frontend.a"
+  "libslo_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

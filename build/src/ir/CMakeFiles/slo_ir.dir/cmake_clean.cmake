@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_ir.dir/BasicBlock.cpp.o"
+  "CMakeFiles/slo_ir.dir/BasicBlock.cpp.o.d"
+  "CMakeFiles/slo_ir.dir/Function.cpp.o"
+  "CMakeFiles/slo_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/slo_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/slo_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/slo_ir.dir/Instructions.cpp.o"
+  "CMakeFiles/slo_ir.dir/Instructions.cpp.o.d"
+  "CMakeFiles/slo_ir.dir/Linker.cpp.o"
+  "CMakeFiles/slo_ir.dir/Linker.cpp.o.d"
+  "CMakeFiles/slo_ir.dir/Module.cpp.o"
+  "CMakeFiles/slo_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/slo_ir.dir/Type.cpp.o"
+  "CMakeFiles/slo_ir.dir/Type.cpp.o.d"
+  "CMakeFiles/slo_ir.dir/Value.cpp.o"
+  "CMakeFiles/slo_ir.dir/Value.cpp.o.d"
+  "CMakeFiles/slo_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/slo_ir.dir/Verifier.cpp.o.d"
+  "libslo_ir.a"
+  "libslo_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

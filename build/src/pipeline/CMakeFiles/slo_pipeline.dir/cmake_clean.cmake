@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_pipeline.dir/Pipeline.cpp.o"
+  "CMakeFiles/slo_pipeline.dir/Pipeline.cpp.o.d"
+  "libslo_pipeline.a"
+  "libslo_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

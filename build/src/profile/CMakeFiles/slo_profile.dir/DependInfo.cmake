@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/FeedbackFile.cpp" "src/profile/CMakeFiles/slo_profile.dir/FeedbackFile.cpp.o" "gcc" "src/profile/CMakeFiles/slo_profile.dir/FeedbackFile.cpp.o.d"
+  "/root/repo/src/profile/FeedbackIO.cpp" "src/profile/CMakeFiles/slo_profile.dir/FeedbackIO.cpp.o" "gcc" "src/profile/CMakeFiles/slo_profile.dir/FeedbackIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/slo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_profile.dir/FeedbackFile.cpp.o"
+  "CMakeFiles/slo_profile.dir/FeedbackFile.cpp.o.d"
+  "CMakeFiles/slo_profile.dir/FeedbackIO.cpp.o"
+  "CMakeFiles/slo_profile.dir/FeedbackIO.cpp.o.d"
+  "libslo_profile.a"
+  "libslo_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_runtime.dir/CacheSim.cpp.o"
+  "CMakeFiles/slo_runtime.dir/CacheSim.cpp.o.d"
+  "CMakeFiles/slo_runtime.dir/Interpreter.cpp.o"
+  "CMakeFiles/slo_runtime.dir/Interpreter.cpp.o.d"
+  "libslo_runtime.a"
+  "libslo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_support.dir/Error.cpp.o"
+  "CMakeFiles/slo_support.dir/Error.cpp.o.d"
+  "CMakeFiles/slo_support.dir/Format.cpp.o"
+  "CMakeFiles/slo_support.dir/Format.cpp.o.d"
+  "libslo_support.a"
+  "libslo_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/GlobalVarLayout.cpp" "src/transform/CMakeFiles/slo_transform.dir/GlobalVarLayout.cpp.o" "gcc" "src/transform/CMakeFiles/slo_transform.dir/GlobalVarLayout.cpp.o.d"
+  "/root/repo/src/transform/LayoutPlanner.cpp" "src/transform/CMakeFiles/slo_transform.dir/LayoutPlanner.cpp.o" "gcc" "src/transform/CMakeFiles/slo_transform.dir/LayoutPlanner.cpp.o.d"
+  "/root/repo/src/transform/RewriteUtils.cpp" "src/transform/CMakeFiles/slo_transform.dir/RewriteUtils.cpp.o" "gcc" "src/transform/CMakeFiles/slo_transform.dir/RewriteUtils.cpp.o.d"
+  "/root/repo/src/transform/StructPeel.cpp" "src/transform/CMakeFiles/slo_transform.dir/StructPeel.cpp.o" "gcc" "src/transform/CMakeFiles/slo_transform.dir/StructPeel.cpp.o.d"
+  "/root/repo/src/transform/StructSplit.cpp" "src/transform/CMakeFiles/slo_transform.dir/StructSplit.cpp.o" "gcc" "src/transform/CMakeFiles/slo_transform.dir/StructSplit.cpp.o.d"
+  "/root/repo/src/transform/Transform.cpp" "src/transform/CMakeFiles/slo_transform.dir/Transform.cpp.o" "gcc" "src/transform/CMakeFiles/slo_transform.dir/Transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/slo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/slo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/slo_profile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_transform.dir/GlobalVarLayout.cpp.o"
+  "CMakeFiles/slo_transform.dir/GlobalVarLayout.cpp.o.d"
+  "CMakeFiles/slo_transform.dir/LayoutPlanner.cpp.o"
+  "CMakeFiles/slo_transform.dir/LayoutPlanner.cpp.o.d"
+  "CMakeFiles/slo_transform.dir/RewriteUtils.cpp.o"
+  "CMakeFiles/slo_transform.dir/RewriteUtils.cpp.o.d"
+  "CMakeFiles/slo_transform.dir/StructPeel.cpp.o"
+  "CMakeFiles/slo_transform.dir/StructPeel.cpp.o.d"
+  "CMakeFiles/slo_transform.dir/StructSplit.cpp.o"
+  "CMakeFiles/slo_transform.dir/StructSplit.cpp.o.d"
+  "CMakeFiles/slo_transform.dir/Transform.cpp.o"
+  "CMakeFiles/slo_transform.dir/Transform.cpp.o.d"
+  "libslo_transform.a"
+  "libslo_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Generator.cpp" "src/workloads/CMakeFiles/slo_workloads.dir/Generator.cpp.o" "gcc" "src/workloads/CMakeFiles/slo_workloads.dir/Generator.cpp.o.d"
+  "/root/repo/src/workloads/HandwrittenSources.cpp" "src/workloads/CMakeFiles/slo_workloads.dir/HandwrittenSources.cpp.o" "gcc" "src/workloads/CMakeFiles/slo_workloads.dir/HandwrittenSources.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/workloads/CMakeFiles/slo_workloads.dir/Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/slo_workloads.dir/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/slo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

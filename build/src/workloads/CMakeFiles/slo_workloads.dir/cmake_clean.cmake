@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_workloads.dir/Generator.cpp.o"
+  "CMakeFiles/slo_workloads.dir/Generator.cpp.o.d"
+  "CMakeFiles/slo_workloads.dir/HandwrittenSources.cpp.o"
+  "CMakeFiles/slo_workloads.dir/HandwrittenSources.cpp.o.d"
+  "CMakeFiles/slo_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/slo_workloads.dir/Workloads.cpp.o.d"
+  "libslo_workloads.a"
+  "libslo_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

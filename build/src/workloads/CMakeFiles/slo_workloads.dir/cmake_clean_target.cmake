@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslo_workloads.a"
+)

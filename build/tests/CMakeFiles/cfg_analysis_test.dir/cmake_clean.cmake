@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_analysis_test.dir/cfg_analysis_test.cpp.o"
+  "CMakeFiles/cfg_analysis_test.dir/cfg_analysis_test.cpp.o.d"
+  "cfg_analysis_test"
+  "cfg_analysis_test.pdb"
+  "cfg_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

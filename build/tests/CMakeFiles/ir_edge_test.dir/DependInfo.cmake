@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ir_edge_test.cpp" "tests/CMakeFiles/ir_edge_test.dir/ir_edge_test.cpp.o" "gcc" "tests/CMakeFiles/ir_edge_test.dir/ir_edge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/slo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/slo_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/advisor/CMakeFiles/slo_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/slo_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/slo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/slo_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/slo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/slo_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/slo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/slo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
