@@ -58,6 +58,7 @@ int main(int argc, char **argv) {
   In.Stats = &P.Stats;
   In.Cache = &Train;
   In.Plans = &P.Plans;
+  In.Refined = &P.Refined;
   In.MtNotes = true;
   std::printf("%s", renderAdvisorReport(In).c_str());
 

@@ -12,6 +12,8 @@
 //     --scheme=NAME     ISPBO (default) | SPBO | ISPBO.NO | ISPBO.W | PBO
 //     --run             execute and report simulated cycles
 //     --dump-ir         print the (transformed) IR
+//     --diags           print legality/refinement diagnostics as text
+//     --diags-json      print them as a JSON array (for tooling)
 //     --param NAME=V    set an integer global before running
 //
 //===----------------------------------------------------------------------===//
@@ -36,6 +38,8 @@ struct DriverOptions {
   bool Pbo = false;
   bool Run = false;
   bool DumpIr = false;
+  bool DiagsText = false;
+  bool DiagsJson = false;
   WeightScheme Scheme = WeightScheme::ISPBO;
   std::map<std::string, int64_t> Params;
   std::vector<std::string> Files;
@@ -53,6 +57,10 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
       O.Run = true;
     } else if (A == "--dump-ir") {
       O.DumpIr = true;
+    } else if (A == "--diags") {
+      O.DiagsText = true;
+    } else if (A == "--diags-json") {
+      O.DiagsJson = true;
     } else if (A.rfind("--scheme=", 0) == 0) {
       std::string S = A.substr(9);
       if (S == "ISPBO")
@@ -88,7 +96,8 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
   if (O.Files.empty()) {
     std::fprintf(stderr,
                  "usage: slo_driver [--advise] [--pbo] [--run] [--dump-ir] "
-                 "[--scheme=NAME] [--param N=V] file.minic...\n");
+                 "[--diags] [--diags-json] [--scheme=NAME] [--param N=V] "
+                 "file.minic...\n");
     return false;
   }
   return true;
@@ -149,6 +158,7 @@ int main(int argc, char **argv) {
     In.Stats = &R.Stats;
     In.Cache = O.Pbo ? &Train : nullptr;
     In.Plans = &R.Plans;
+    In.Refined = &R.Refined;
     std::printf("%s", renderAdvisorReport(In).c_str());
   } else {
     for (const std::string &Line : R.Summary.Log)
@@ -156,6 +166,11 @@ int main(int argc, char **argv) {
     if (R.Summary.TypesTransformed == 0)
       std::printf("no types transformed\n");
   }
+
+  if (O.DiagsText)
+    std::printf("%s", R.Diags.renderText().c_str());
+  if (O.DiagsJson)
+    std::printf("%s\n", R.Diags.renderJson().c_str());
 
   if (O.DumpIr)
     std::printf("%s", printModule(*M).c_str());

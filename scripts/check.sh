@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full check: build and test plain, then again under ASan+UBSan.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== plain build ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "=== sanitized build (ASan+UBSan) ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DSLO_ENABLE_SANITIZERS=ON
+cmake --build build-asan -j"$(nproc)"
+# The interpreter recurses on the host stack for simulated calls; ASan's
+# enlarged frames need more than the default 8 MiB to reach the
+# interpreter's own MaxCallDepth trap (see DeepRecursionTrapsNotCrashes).
+ulimit -s 262144 2>/dev/null || true
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+
+echo "=== all checks passed ==="

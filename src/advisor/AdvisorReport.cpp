@@ -113,6 +113,16 @@ std::string slo::renderTypeReport(const AdvisorInputs &In, RecordType *Rec) {
   if (!Attrs.empty())
     OS << " / " << Attrs;
   OS << "\n";
+  if (In.Refined) {
+    if (const TypeRefinement *TR = In.Refined->get(Rec)) {
+      if (!L.isLegal() && TR->ProvenLegal)
+        OS << "Proven   : legal ("
+           << (TR->TransformSafe ? "transformable" : "advisory only") << ")\n";
+      for (const SiteProof &P : TR->Proofs)
+        OS << "  proof  : " << (P.Discharged ? "[ok]      " : "[blocked] ")
+           << describeViolationSite(*P.Site) << " -- " << P.Fact << "\n";
+    }
+  }
   OS << std::string(69, '-') << "\n";
 
   std::vector<double> RelHot = S->relativeHotness();

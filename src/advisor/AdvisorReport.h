@@ -35,6 +35,7 @@
 
 #include "analysis/Affinity.h"
 #include "analysis/Legality.h"
+#include "analysis/LegalityRefine.h"
 #include "profile/FeedbackFile.h"
 #include "transform/Plan.h"
 
@@ -53,6 +54,9 @@ struct AdvisorInputs {
   const FeedbackFile *Cache = nullptr;
   /// Planned transformations (enables the "Transform:" line).
   const std::vector<TypePlan> *Plans = nullptr;
+  /// Points-to refinement (enables the "Proven:" line and the per-site
+  /// proof lines under the status).
+  const RefinementResult *Refined = nullptr;
   /// Print at most this many types (0 = all).
   unsigned MaxTypes = 0;
   /// Skip types that were never referenced.

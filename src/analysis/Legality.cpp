@@ -71,6 +71,20 @@ std::string TypeAttributes::toString() const {
   return Out;
 }
 
+std::string slo::describeViolationSite(const ViolationSite &S) {
+  std::string Out = std::string("[") + violationName(S.Kind) + "] ";
+  if (S.Inst) {
+    Out += Instruction::getOpcodeName(S.Inst->getOpcode());
+    if (!S.Inst->getName().empty())
+      Out += " '" + S.Inst->getName() + "'";
+  }
+  if (!S.Function.empty())
+    Out += " in '" + S.Function + "'";
+  if (!S.Detail.empty())
+    Out += ": " + S.Detail;
+  return Out;
+}
+
 RecordType *slo::strippedRecord(Type *Ty) {
   while (true) {
     if (auto *PT = dyn_cast<PointerType>(Ty)) {
@@ -137,9 +151,24 @@ public:
   }
 
 private:
-  void flag(RecordType *R, Violation V) {
-    if (R)
-      Result.getOrCreate(R).Violations |= violationBit(V);
+  void flag(RecordType *R, Violation V, const Instruction *I = nullptr,
+            std::string Detail = "") {
+    if (!R)
+      return;
+    TypeLegality &L = Result.getOrCreate(R);
+    L.Violations |= violationBit(V);
+    // One site per (instruction, test); the per-type site lists are short
+    // enough for a linear scan.
+    for (const ViolationSite &S : L.Sites)
+      if (S.Inst == I && S.Kind == V)
+        return;
+    ViolationSite Site;
+    Site.Kind = V;
+    Site.Inst = I;
+    if (I && I->getFunction())
+      Site.Function = I->getFunction()->getName();
+    Site.Detail = std::move(Detail);
+    L.Sites.push_back(std::move(Site));
   }
   TypeAttributes *attrs(RecordType *R) {
     return R ? &Result.getOrCreate(R).Attrs : nullptr;
@@ -160,8 +189,10 @@ private:
         while (auto *AT = dyn_cast<ArrayType>(Stripped))
           Stripped = AT->getElementType();
         if (auto *Inner = dyn_cast<RecordType>(Stripped)) {
-          flag(R, Violation::NEST);
-          flag(Inner, Violation::NEST);
+          flag(R, Violation::NEST, nullptr,
+               "nests '" + Inner->getRecordName() + "' by value");
+          flag(Inner, Violation::NEST, nullptr,
+               "nested by value in '" + R->getRecordName() + "'");
         }
         // Pointer fields referring to records: attribute only (affects
         // peeling eligibility, not legality).
@@ -215,13 +246,13 @@ private:
     case Instruction::OpPtrToInt: {
       const auto *C = cast<CastInst>(&I);
       if (RecordType *R = strippedRecord(C->getCastOperand()->getType()))
-        flag(R, Violation::CSTF);
+        flag(R, Violation::CSTF, &I, "pointer-to-integer cast");
       return;
     }
     case Instruction::OpIntToPtr: {
       const auto *C = cast<CastInst>(&I);
       if (RecordType *R = strippedRecord(C->getType()))
-        flag(R, Violation::CSTT);
+        flag(R, Violation::CSTT, &I, "integer-to-pointer cast");
       return;
     }
     case Instruction::OpFieldAddr:
@@ -244,9 +275,9 @@ private:
       const auto *C = cast<IndirectCallInst>(&I);
       for (unsigned A = 0; A < C->getNumArgs(); ++A)
         if (RecordType *R = strippedRecord(C->getArg(A)->getType()))
-          flag(R, Violation::IND);
+          flag(R, Violation::IND, &I, "escapes to an indirect call");
       if (RecordType *R = strippedRecord(C->getType()))
-        flag(R, Violation::IND);
+        flag(R, Violation::IND, &I, "returned from an indirect call");
       return;
     }
     case Instruction::OpMalloc:
@@ -271,15 +302,15 @@ private:
     case Instruction::OpMemset: {
       const auto *Ms = cast<MemsetInst>(&I);
       if (RecordType *Rec = strippedRecord(Ms->getPtr()->getType()))
-        flag(Rec, Violation::MSET);
+        flag(Rec, Violation::MSET, &I, "memset over the type");
       return;
     }
     case Instruction::OpMemcpy: {
       const auto *Mc = cast<MemcpyInst>(&I);
       if (RecordType *Rec = strippedRecord(Mc->getDst()->getType()))
-        flag(Rec, Violation::MSET);
+        flag(Rec, Violation::MSET, &I, "memcpy destination");
       if (RecordType *Rec = strippedRecord(Mc->getSrc()->getType()))
-        flag(Rec, Violation::MSET);
+        flag(Rec, Violation::MSET, &I, "memcpy source");
       return;
     }
     default:
@@ -305,12 +336,14 @@ private:
     RecordType *To = strippedRecord(Cast.getType());
     if (From == To && From) {
       // T** -> T* style casts still count as unsafe use of T.
-      flag(From, Violation::CSTF);
-      flag(To, Violation::CSTT);
+      flag(From, Violation::CSTF, &Cast, "pointer-depth cast");
+      flag(To, Violation::CSTT, &Cast, "pointer-depth cast");
       return;
     }
     if (From)
-      flag(From, Violation::CSTF);
+      flag(From, Violation::CSTF, &Cast,
+           "cast from the record type to '" + Cast.getType()->getName() +
+               "'");
     if (To) {
       // The paper's tolerance list: casts of malloc()/calloc() return
       // values are the idiomatic typed allocation and do not invalidate.
@@ -318,12 +351,15 @@ private:
       bool FromAllocator = isa<MallocInst>(Src) || isa<CallocInst>(Src) ||
                            isa<ReallocInst>(Src);
       if (!FromAllocator)
-        flag(To, Violation::CSTT);
+        flag(To, Violation::CSTT, &Cast,
+             "cast to the record type from '" +
+                 Src->getType()->getName() + "'");
     }
   }
 
   void collectFieldAddr(const FieldAddrInst &FA) {
     RecordType *Rec = FA.getRecord();
+    const std::string &FieldName = FA.getField().Name;
     for (const Instruction *U : FA.users()) {
       switch (U->getOpcode()) {
       case Instruction::OpLoad:
@@ -333,21 +369,32 @@ private:
         // address itself is ATKN.
         if (cast<StoreInst>(U)->getPointer() == &FA)
           continue;
-        flag(Rec, Violation::ATKN);
+        flag(Rec, Violation::ATKN, &FA,
+             "address of field '" + FieldName + "' stored as a value");
         continue;
-      case Instruction::OpCall:
+      case Instruction::OpCall: {
         // Tolerated: "if the address of a field is taken in the context
         // of a function call, we do not invalidate the type" (paper).
-        // But the field type itself escaping to a library function is
-        // handled in collectCall.
+        // The tolerance must still record the escape, though: the
+        // refinement and the heuristics need to know the type leaked a
+        // field pointer into a callee.
+        const Function *Callee = cast<CallInst>(U)->getCallee();
+        TypeLegality &L = Result.getOrCreate(Rec);
+        L.Attrs.PassedToFunction = true;
+        if (!Callee->isLibFunction() && !Callee->isDeclaration())
+          L.EscapesTo.insert(Callee);
         continue;
+      }
       case Instruction::OpMemset:
       case Instruction::OpMemcpy:
         // Streaming over a field: treat as MSET on the parent.
-        flag(Rec, Violation::MSET);
+        flag(Rec, Violation::MSET, U,
+             "streaming over field '" + FieldName + "'");
         continue;
       default:
-        flag(Rec, Violation::ATKN);
+        flag(Rec, Violation::ATKN, &FA,
+             "address of field '" + FieldName + "' used by " +
+                 Instruction::getOpcodeName(U->getOpcode()));
         continue;
       }
     }
@@ -361,11 +408,13 @@ private:
       TypeLegality &L = Result.getOrCreate(R);
       L.Attrs.PassedToFunction = true;
       if (Callee->isLibFunction()) {
-        flag(R, Violation::LIBC);
+        flag(R, Violation::LIBC, &C,
+             "escapes to library function '" + Callee->getName() + "'");
       } else if (Callee->isDeclaration()) {
         // Post-link, a non-library declaration means the definition is
         // outside the compilation scope.
-        flag(R, Violation::ESCP);
+        flag(R, Violation::ESCP, &C,
+             "escapes to external function '" + Callee->getName() + "'");
       } else {
         L.EscapesTo.insert(Callee);
       }
@@ -471,10 +520,14 @@ private:
     }
 
     if (Site.Unanalyzable)
-      flag(Target, Violation::UNSZ);
+      flag(Target, Violation::UNSZ, &I,
+           "allocation size is not N * sizeof(" +
+               Target->getRecordName() + ")");
     else if (Site.ConstCount >= 0 &&
              Site.ConstCount <= Opts.SmallAllocThreshold)
-      flag(Target, Violation::SMAL);
+      flag(Target, Violation::SMAL, &I,
+           "constant allocation count " +
+               std::to_string(Site.ConstCount) + " below threshold");
     L.AllocSites.push_back(Site);
   }
 

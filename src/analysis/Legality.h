@@ -70,6 +70,20 @@ const char *violationName(Violation V);
 /// Renders a violation mask as "CSTT|ATKN".
 std::string violationMaskToString(uint32_t Mask);
 
+/// One recorded violation occurrence: which test fired, where, and why.
+/// The points-to refinement discharges (or fails to discharge) these
+/// sites individually; the diagnostics engine renders them.
+struct ViolationSite {
+  Violation Kind = Violation::CSTT;
+  /// The offending instruction, or null for shape-derived violations
+  /// (NEST has no single instruction).
+  const Instruction *Inst = nullptr;
+  /// Name of the enclosing function ("" for shape-derived violations).
+  std::string Function;
+  /// Short description of the site ("bitcast 'p'", "field nesting", ...).
+  std::string Detail;
+};
+
 /// One dynamic allocation site of a record type, with everything the
 /// transformations need to rewrite it.
 struct AllocSiteInfo {
@@ -113,6 +127,9 @@ struct TypeLegality {
   RecordType *Rec = nullptr;
   uint32_t Violations = 0;
   TypeAttributes Attrs;
+  /// Every violation occurrence, in collection order (one entry per
+  /// (instruction, test); shape-derived entries have a null instruction).
+  std::vector<ViolationSite> Sites;
   std::vector<AllocSiteInfo> AllocSites;
   /// Non-library functions the type escapes to (IPA escape tuples).
   std::set<const Function *> EscapesTo;
@@ -169,6 +186,10 @@ LegalityResult analyzeLegality(const Module &M,
 /// Returns the record type a pointer/array type ultimately refers to, or
 /// null (e.g. node** -> node, [4 x node]* -> node).
 RecordType *strippedRecord(Type *Ty);
+
+/// Renders a one-line provenance string for a violation site
+/// ("[ATKN] fieldaddr 'cost.addr' in 'refresh_potential': address stored").
+std::string describeViolationSite(const ViolationSite &S);
 
 } // namespace slo
 

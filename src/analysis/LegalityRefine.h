@@ -1,0 +1,119 @@
+//===- analysis/LegalityRefine.h - Points-to legality refinement -*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Discharges individual legality violations using the field-sensitive
+/// points-to and escape analysis. The paper's Table 1 "Relax" column is an
+/// optimistic upper bound ("assume a points-to analysis could prove all
+/// CSTT/CSTF/ATKN sites harmless"); this layer replaces the assumption
+/// with per-site proofs:
+///
+///   CSTT  discharged when every object reaching the cast is a heap
+///         allocation that never escapes externally and is viewed as this
+///         record type only (the idiomatic typed-allocation wrapper).
+///   CSTF  discharged when no alias of the cast result with a foreign
+///         static type has a layout-dependent use (dereference, field or
+///         index arithmetic, streaming, free, escape), and the object does
+///         not escape externally.
+///   ATKN  discharged when the taken field address only ever moves between
+///         analyzed code (loads, stores, compares, calls to analyzed
+///         functions) and the underlying objects escape at most globally.
+///         Discharged fields are reported so the planner keeps them live.
+///   IND   never discharged -- "Relax" does not forgive IND either, so
+///         forgiving it here would break Legal <= Proven <= Relax. Resolved
+///         call targets are reported as informational notes only.
+///
+/// A type whose only violations are discharged CSTT/CSTF/ATKN sites is
+/// "proven legal": the Relax upper bound is realized for it. A proven type
+/// is additionally "transform safe" when every heap object viewed as the
+/// type comes from a rewritable allocation site; a wrapper-allocated type
+/// is proven for the census but must not be transformed (its allocation
+/// cannot be rewritten, which would leave new cold links uninitialized).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_ANALYSIS_LEGALITYREFINE_H
+#define SLO_ANALYSIS_LEGALITYREFINE_H
+
+#include "analysis/Legality.h"
+#include "analysis/PointsTo.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+class DiagnosticEngine;
+
+/// The proof outcome for one recorded violation site.
+struct SiteProof {
+  /// The site, owned by the LegalityResult this refinement was built from.
+  const ViolationSite *Site = nullptr;
+  bool Discharged = false;
+  /// The machine-checkable justification: the discharging fact when
+  /// discharged, the blocking fact otherwise.
+  std::string Fact;
+};
+
+/// Refinement verdict for one record type.
+struct TypeRefinement {
+  RecordType *Rec = nullptr;
+  /// One proof per relaxable (CSTT/CSTF/ATKN) site, plus informational
+  /// entries for resolved IND sites (never discharged).
+  std::vector<SiteProof> Proofs;
+  /// All violations are relaxable and every site was discharged.
+  bool ProvenLegal = false;
+  /// ProvenLegal, and every heap object viewed as this type is a recorded,
+  /// rewritable allocation site.
+  bool TransformSafe = false;
+  /// Field indices whose discharged ATKN sites store the field address;
+  /// the planner must keep these fields live.
+  std::set<unsigned> AddressTakenLiveFields;
+  /// IND sites whose target set was completely resolved (informational).
+  unsigned ResolvedIndirectSites = 0;
+};
+
+/// Whole-module refinement results: the "Proven" column.
+class RefinementResult {
+public:
+  /// The refinement for \p Rec, or null when the type was not analyzed.
+  const TypeRefinement *get(const RecordType *Rec) const;
+
+  /// True when \p Rec is strictly legal or all its violations were
+  /// discharged.
+  bool isProvenLegal(const RecordType *Rec) const;
+
+  /// True when \p Rec may actually be transformed based on proofs.
+  bool isTransformSafe(const RecordType *Rec) const;
+
+  /// Types proven legal, in type-creation order (Table 1 "Proven").
+  std::vector<RecordType *> provenTypes() const;
+
+  const std::vector<RecordType *> &types() const { return Order; }
+
+private:
+  friend RefinementResult refineLegality(const Module &,
+                                         const LegalityResult &,
+                                         const PointsToResult &,
+                                         DiagnosticEngine *);
+  std::map<const RecordType *, TypeRefinement> Map;
+  std::vector<RecordType *> Order;
+};
+
+/// Attempts to discharge every relaxable violation site in \p Legal using
+/// the points-to solution \p PT. When \p Diags is non-null, emits one
+/// remark per discharged site, one warning per blocked site, and one note
+/// per completely resolved indirect call.
+RefinementResult refineLegality(const Module &M, const LegalityResult &Legal,
+                                const PointsToResult &PT,
+                                DiagnosticEngine *Diags = nullptr);
+
+} // namespace slo
+
+#endif // SLO_ANALYSIS_LEGALITYREFINE_H

@@ -4,6 +4,7 @@
 
 #include "ir/Module.h"
 #include "support/Casting.h"
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 
 #include <map>
@@ -17,22 +18,22 @@ namespace {
 /// def-before-use via dominators, and CFG edge sanity.
 class FunctionVerifier {
 public:
-  FunctionVerifier(const Function &F, std::vector<std::string> &Errors)
-      : F(F), Errors(Errors) {}
+  FunctionVerifier(const Function &F, DiagnosticEngine &Diags)
+      : F(F), Diags(Diags) {}
 
   bool run() {
-    size_t Before = Errors.size();
+    size_t Before = Diags.count(DiagSeverity::Error);
     checkBlocks();
-    if (Errors.size() == Before) {
+    if (Diags.count(DiagSeverity::Error) == Before) {
       computeDominators();
       checkDefDominatesUse();
     }
-    return Errors.size() == Before;
+    return Diags.count(DiagSeverity::Error) == Before;
   }
 
 private:
   void error(const std::string &Msg) {
-    Errors.push_back("function '" + F.getName() + "': " + Msg);
+    Diags.report(DiagSeverity::Error, "verifier", Msg).Function = F.getName();
   }
 
   void checkBlocks() {
@@ -256,7 +257,7 @@ private:
   }
 
   const Function &F;
-  std::vector<std::string> &Errors;
+  DiagnosticEngine &Diags;
   std::map<const BasicBlock *, size_t> RpoIndex;
   std::map<const BasicBlock *, std::vector<const BasicBlock *>> Preds;
   std::map<const BasicBlock *, const BasicBlock *> Idom;
@@ -265,16 +266,43 @@ private:
 
 } // namespace
 
-bool slo::verifyFunction(const Function &F, std::vector<std::string> &Errors) {
+bool slo::verifyFunction(const Function &F, DiagnosticEngine &Diags) {
   if (F.isDeclaration())
     return true;
-  return FunctionVerifier(F, Errors).run();
+  return FunctionVerifier(F, Diags).run();
+}
+
+bool slo::verifyModule(const Module &M, DiagnosticEngine &Diags) {
+  bool Ok = true;
+  for (const auto &F : M.functions())
+    Ok &= verifyFunction(*F, Diags);
+  return Ok;
+}
+
+namespace {
+
+/// Renders verifier diagnostics in the legacy string format the shim
+/// callers (tests, scripts) were written against.
+void appendLegacyStrings(const DiagnosticEngine &Diags, size_t From,
+                         std::vector<std::string> &Errors) {
+  const std::vector<Diagnostic> &All = Diags.all();
+  for (size_t I = From; I < All.size(); ++I)
+    Errors.push_back("function '" + All[I].Function + "': " + All[I].Message);
+}
+
+} // namespace
+
+bool slo::verifyFunction(const Function &F, std::vector<std::string> &Errors) {
+  DiagnosticEngine Diags;
+  bool Ok = verifyFunction(F, Diags);
+  appendLegacyStrings(Diags, 0, Errors);
+  return Ok;
 }
 
 bool slo::verifyModule(const Module &M, std::vector<std::string> &Errors) {
-  bool Ok = true;
-  for (const auto &F : M.functions())
-    Ok &= verifyFunction(*F, Errors);
+  DiagnosticEngine Diags;
+  bool Ok = verifyModule(M, Diags);
+  appendLegacyStrings(Diags, 0, Errors);
   return Ok;
 }
 

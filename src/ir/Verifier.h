@@ -22,13 +22,22 @@ namespace slo {
 
 class Module;
 class Function;
+class DiagnosticEngine;
 
-/// Checks \p F and appends diagnostics to \p Errors. Returns true when no
-/// problems were found.
+/// Checks \p F and reports each problem as an error diagnostic (code
+/// "verifier", function set to the offending function). Returns true when
+/// no problems were found.
+bool verifyFunction(const Function &F, DiagnosticEngine &Diags);
+
+/// Checks every function of \p M, reporting into \p Diags. Returns true
+/// when no problems were found.
+bool verifyModule(const Module &M, DiagnosticEngine &Diags);
+
+/// Compatibility shim: appends each problem to \p Errors as
+/// "function 'name': message".
 bool verifyFunction(const Function &F, std::vector<std::string> &Errors);
 
-/// Checks every function of \p M. Returns true when no problems were
-/// found; otherwise \p Errors describes each violation.
+/// Compatibility shim over the DiagnosticEngine-based verifyModule.
 bool verifyModule(const Module &M, std::vector<std::string> &Errors);
 
 /// Convenience wrapper that aborts with the first error. Used by tests

@@ -2,6 +2,8 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "analysis/PointsTo.h"
+
 using namespace slo;
 
 PipelineResult slo::runStructLayoutPipeline(Module &M,
@@ -10,8 +12,13 @@ PipelineResult slo::runStructLayoutPipeline(Module &M,
                                             const FeedbackFile *Ref) {
   PipelineResult R;
 
-  // FE phase: single-pass legality tests and attribute collection.
+  // FE phase: single-pass legality tests and attribute collection,
+  // refined by the points-to analysis into per-site proofs.
   R.Legality = analyzeLegality(M, Opts.Legality);
+  if (Opts.UseProvenLegality) {
+    PointsToResult PT = analyzePointsTo(M);
+    R.Refined = refineLegality(M, R.Legality, PT, &R.Diags);
+  }
 
   // IPA phase: profitability analysis under the selected weighting.
   SchemeInputs In;
@@ -30,7 +37,8 @@ PipelineResult slo::runStructLayoutPipeline(Module &M,
                                Opts.Scheme == WeightScheme::DMISS ||
                                Opts.Scheme == WeightScheme::DLAT ||
                                Opts.Scheme == WeightScheme::DMISS_NO;
-  R.Plans = planLayout(M, R.Legality, R.Stats, Planner);
+  R.Plans = planLayout(M, R.Legality, R.Stats, Planner,
+                       Opts.UseProvenLegality ? &R.Refined : nullptr);
 
   // BE phase.
   if (!Opts.AnalyzeOnly)

@@ -27,7 +27,9 @@
 #define SLO_PIPELINE_PIPELINE_H
 
 #include "analysis/Legality.h"
+#include "analysis/LegalityRefine.h"
 #include "analysis/WeightSchemes.h"
+#include "support/Diagnostics.h"
 #include "transform/LayoutPlanner.h"
 #include "transform/Transform.h"
 
@@ -44,10 +46,19 @@ struct PipelineOptions {
   /// Analyze and plan, but do not rewrite the module (advisor-only mode,
   /// the paper's reporting option).
   bool AnalyzeOnly = false;
+  /// Run the points-to refinement and let per-site proofs (not the Relax
+  /// flag) admit types the blanket legality tests rejected.
+  bool UseProvenLegality = true;
 };
 
 struct PipelineResult {
   LegalityResult Legality;
+  /// Per-site discharge proofs over Legality's violation sites. Only
+  /// populated when PipelineOptions::UseProvenLegality is set.
+  RefinementResult Refined;
+  /// Structured diagnostics from the refinement (discharges, failures,
+  /// notes); render with DiagnosticEngine::renderText/renderJson.
+  DiagnosticEngine Diags;
   FieldStatsResult Stats;
   std::vector<TypePlan> Plans;
   TransformSummary Summary;

@@ -1,0 +1,126 @@
+//===- support/Diagnostics.cpp - Structured diagnostics -------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace slo;
+
+const char *slo::severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Remark:
+    return "remark";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "?";
+}
+
+std::string slo::escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string Diagnostic::renderText() const {
+  std::ostringstream OS;
+  OS << severityName(Severity) << " [" << Code << "]";
+  if (!RecordName.empty())
+    OS << " type '" << RecordName << "'";
+  if (!Function.empty())
+    OS << " in '" << Function << "'";
+  if (!Site.empty())
+    OS << " at " << Site;
+  OS << ": " << Message;
+  if (!Fact.empty())
+    OS << " {" << Fact << "}";
+  return OS.str();
+}
+
+std::string Diagnostic::renderJson() const {
+  std::ostringstream OS;
+  OS << "{\"severity\": \"" << severityName(Severity) << "\", \"code\": \""
+     << escapeJson(Code) << "\"";
+  if (!RecordName.empty())
+    OS << ", \"record\": \"" << escapeJson(RecordName) << "\"";
+  if (!Function.empty())
+    OS << ", \"function\": \"" << escapeJson(Function) << "\"";
+  if (!Site.empty())
+    OS << ", \"site\": \"" << escapeJson(Site) << "\"";
+  OS << ", \"message\": \"" << escapeJson(Message) << "\"";
+  if (!Fact.empty())
+    OS << ", \"fact\": \"" << escapeJson(Fact) << "\"";
+  OS << "}";
+  return OS.str();
+}
+
+Diagnostic &DiagnosticEngine::report(DiagSeverity S, std::string Code,
+                                     std::string Message) {
+  Diagnostic D;
+  D.Severity = S;
+  D.Code = std::move(Code);
+  D.Message = std::move(Message);
+  Diags.push_back(std::move(D));
+  return Diags.back();
+}
+
+size_t DiagnosticEngine::count(DiagSeverity S) const {
+  size_t N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Severity == S)
+      ++N;
+  return N;
+}
+
+std::string DiagnosticEngine::renderText() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.renderText();
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string DiagnosticEngine::renderJson() const {
+  std::string Out = "[";
+  for (size_t I = 0; I < Diags.size(); ++I) {
+    if (I)
+      Out += ",\n ";
+    Out += Diags[I].renderJson();
+  }
+  Out += "]";
+  return Out;
+}

@@ -1,0 +1,89 @@
+//===- support/Diagnostics.h - Structured diagnostics ----------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small structured diagnostics engine shared by the legality analysis,
+/// the points-to refinement, the verifier, and the advisory tool. Each
+/// diagnostic carries a severity, a machine-readable code (a violation
+/// name like "CSTT", "verifier", "proof", ...), the record type and
+/// function it concerns, a rendered site provenance, a human-readable
+/// message, and — for refinement proofs — the machine-checkable fact that
+/// justifies the verdict. Diagnostics render as one-line text or as JSON
+/// objects, so the advisory output can be consumed by tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_SUPPORT_DIAGNOSTICS_H
+#define SLO_SUPPORT_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+enum class DiagSeverity {
+  /// Informational (e.g. a resolved indirect-call target set).
+  Note,
+  /// A positive analysis result (e.g. a discharged violation).
+  Remark,
+  /// A negative analysis result that does not invalidate the module.
+  Warning,
+  /// A structural problem (verifier findings).
+  Error,
+};
+
+const char *severityName(DiagSeverity S);
+
+/// One diagnostic record.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Note;
+  /// Machine-readable code: a violation name ("CSTT", "ATKN", ...),
+  /// "verifier", "proof", ...
+  std::string Code;
+  /// Record type concerned, when any.
+  std::string RecordName;
+  /// Enclosing function, when any.
+  std::string Function;
+  /// Rendered site provenance ("bitcast 'p' in 'use_4'"), when any.
+  std::string Site;
+  /// Human-readable text.
+  std::string Message;
+  /// Machine-checkable justification for proof diagnostics ("pts(src)=
+  /// {heap:...}; views={T}; escape=NoEscape"), empty otherwise.
+  std::string Fact;
+
+  std::string renderText() const;
+  std::string renderJson() const;
+};
+
+/// Collects diagnostics and renders them as text or JSON.
+class DiagnosticEngine {
+public:
+  /// Appends a diagnostic and returns it for field-by-field completion.
+  Diagnostic &report(DiagSeverity S, std::string Code, std::string Message);
+
+  const std::vector<Diagnostic> &all() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+  size_t count(DiagSeverity S) const;
+  bool hasErrors() const { return count(DiagSeverity::Error) > 0; }
+
+  /// One line per diagnostic.
+  std::string renderText() const;
+  /// A JSON array of diagnostic objects.
+  std::string renderJson() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+/// Escapes \p S for inclusion in a JSON string literal.
+std::string escapeJson(const std::string &S);
+
+} // namespace slo
+
+#endif // SLO_SUPPORT_DIAGNOSTICS_H

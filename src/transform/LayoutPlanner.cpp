@@ -29,12 +29,16 @@ struct FieldClasses {
   std::vector<unsigned> Unused; // No references at all.
 };
 
-FieldClasses classifyFields(const TypeFieldStats &S, bool RemoveDead) {
+FieldClasses classifyFields(const TypeFieldStats &S, bool RemoveDead,
+                            const std::set<unsigned> *ForceLive) {
   FieldClasses C;
   for (unsigned I = 0; I < S.Rec->getNumFields(); ++I) {
     bool HasReads = S.Reads[I] > 0.0;
     bool HasWrites = S.Writes[I] > 0.0;
-    if (!RemoveDead) {
+    if (!RemoveDead || (ForceLive && ForceLive->count(I))) {
+      // A field whose address was taken (and discharged) may be read
+      // through stored pointers the access stats cannot see; removing it
+      // as dead would be wrong.
       C.Live.push_back(I);
     } else if (!HasReads && !HasWrites) {
       C.Unused.push_back(I);
@@ -63,7 +67,8 @@ void sortByHotnessDescending(std::vector<unsigned> &Fields,
 std::vector<TypePlan> slo::planLayout(const Module &M,
                                       const LegalityResult &Legal,
                                       const FieldStatsResult &Stats,
-                                      const PlannerOptions &Opts) {
+                                      const PlannerOptions &Opts,
+                                      const RefinementResult *Refine) {
   std::vector<TypePlan> Plans;
   for (RecordType *Rec : Legal.types()) {
     TypePlan Plan;
@@ -71,7 +76,10 @@ std::vector<TypePlan> slo::planLayout(const Module &M,
     Plan.Kind = TransformKind::None;
     const TypeLegality &L = Legal.get(Rec);
 
-    if (!L.isLegal(/*Relax=*/false)) {
+    bool StrictLegal = L.isLegal(/*Relax=*/false);
+    const TypeRefinement *TR = Refine ? Refine->get(Rec) : nullptr;
+    bool Proven = TR && TR->ProvenLegal && TR->TransformSafe;
+    if (!StrictLegal && !Proven) {
       Plan.Reason =
           "illegal: " + violationMaskToString(L.Violations);
       Plans.push_back(std::move(Plan));
@@ -101,10 +109,16 @@ std::vector<TypePlan> slo::planLayout(const Module &M,
       continue;
     }
 
-    FieldClasses C = classifyFields(*S, Opts.EnableDeadFieldRemoval);
+    const std::set<unsigned> *ForceLive =
+        TR && !TR->AddressTakenLiveFields.empty()
+            ? &TR->AddressTakenLiveFields
+            : nullptr;
+    FieldClasses C = classifyFields(*S, Opts.EnableDeadFieldRemoval, ForceLive);
 
-    // Peeling is always performed when possible (paper §2.4).
-    if (Opts.EnablePeeling) {
+    // Peeling is always performed when possible (paper §2.4). The peeling
+    // rewrite changes the allocation shape wholesale, so it is reserved
+    // for types legal under the blanket tests, not merely proven.
+    if (Opts.EnablePeeling && StrictLegal) {
       PeelabilityInfo PI = analyzePeelability(M, Rec, L);
       if (PI.Peelable && C.Live.size() >= 1) {
         Plan.Kind = TransformKind::Peel;

@@ -27,6 +27,7 @@
 
 #include "analysis/Affinity.h"
 #include "analysis/Legality.h"
+#include "analysis/LegalityRefine.h"
 #include "transform/Plan.h"
 
 #include <vector>
@@ -58,9 +59,17 @@ struct PlannerOptions {
 
 /// Decides the transformation for every record type.
 /// \p M must be the module \p Legal and \p Stats were computed on.
+///
+/// When \p Refine is supplied, types whose violations were all discharged
+/// by the points-to refinement (and whose allocations are rewritable) are
+/// admitted for splitting even though the blanket legality tests failed;
+/// fields with discharged address-taken sites are kept live. The Relax
+/// flag of TypeLegality::isLegal is never consulted here: upper bounds
+/// report, proofs transform.
 std::vector<TypePlan> planLayout(const Module &M, const LegalityResult &Legal,
                                  const FieldStatsResult &Stats,
-                                 const PlannerOptions &Opts);
+                                 const PlannerOptions &Opts,
+                                 const RefinementResult *Refine = nullptr);
 
 } // namespace slo
 
