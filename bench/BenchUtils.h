@@ -24,11 +24,16 @@
 #include "pipeline/Pipeline.h"
 #include "runtime/Interpreter.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace slo {
 namespace bench {
@@ -74,6 +79,76 @@ inline void requireSameOutput(const RunResult &A, const RunResult &B,
                               const std::string &What) {
   if (A.PrintedInts != B.PrintedInts || A.PrintedFloats != B.PrintedFloats)
     reportFatalError("output mismatch after transformation in " + What);
+}
+
+/// Worker count for the parallel harness: SLO_BENCH_THREADS when set
+/// (=1 forces the serial path, for determinism comparisons), otherwise
+/// the hardware concurrency.
+inline unsigned benchParallelism() {
+  if (const char *E = std::getenv("SLO_BENCH_THREADS")) {
+    long V = std::strtol(E, nullptr, 10);
+    if (V >= 1)
+      return static_cast<unsigned>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+/// Runs F(0..N-1) on a thread pool and returns the results indexed by
+/// task — reduction stays in task order no matter how the tasks were
+/// scheduled, so table output is deterministic. Each task must be
+/// independent (build its own modules, interpreters, and cache sims);
+/// shared modules are read-only under the pre-decoding interpreter.
+template <typename Fn>
+auto parallelMap(size_t N, Fn F) -> std::vector<decltype(F(size_t{}))> {
+  using R = decltype(F(size_t{}));
+  std::vector<R> Out(N);
+  size_t Threads = std::min<size_t>(benchParallelism(), N);
+  if (Threads <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Out[I] = F(I);
+    return Out;
+  }
+  ThreadPool Pool(static_cast<unsigned>(Threads));
+  for (size_t I = 0; I < N; ++I)
+    Pool.enqueue([&Out, &F, I] { Out[I] = F(I); });
+  Pool.wait();
+  return Out;
+}
+
+/// Minimal JSON string escaping for the machine-readable bench outputs.
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+/// Writes \p Text to \p Path, aborting on failure: a bench that claims
+/// to have emitted a JSON artifact must actually have done so.
+inline void writeTextFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    reportFatalError("cannot write " + Path);
+  std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
 }
 
 } // namespace bench

@@ -82,11 +82,16 @@ int main() {
   std::printf("%s\n", std::string(56, '-').c_str());
   const Workload *Art = findWorkload("179.art");
   const Workload *Moldyn = findWorkload("moldyn");
-  for (const Variant &V : variants()) {
-    double A = measure(*Art, V.Config);
-    double M = measure(*Moldyn, V.Config);
-    std::printf("%-30s %+11.1f%% %+11.1f%%\n", V.Name, A, M);
-  }
+  const std::vector<Variant> Variants = variants();
+  // Flatten to (variant, workload) tasks; reduce in variant order.
+  std::vector<double> Perf =
+      parallelMap(Variants.size() * 2, [&](size_t I) {
+        const Variant &V = Variants[I / 2];
+        return measure(I % 2 == 0 ? *Art : *Moldyn, V.Config);
+      });
+  for (size_t I = 0; I < Variants.size(); ++I)
+    std::printf("%-30s %+11.1f%% %+11.1f%%\n", Variants[I].Name,
+                Perf[2 * I], Perf[2 * I + 1]);
   std::printf("\nExpected shape: gains shrink when the last level is "
               "large enough to hold the\nuntransformed data (nothing to "
               "win) and when memory is fast (less to hide).\n");

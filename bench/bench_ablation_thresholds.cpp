@@ -28,20 +28,30 @@ int main() {
   std::printf("Ablation: splitting threshold T_s sweep (PBO weights, "
               "mcf)\n\n");
   std::printf("%8s %6s %6s %13s\n", "T_s [%]", "Tt", "S/D", "Performance");
-  for (double Ts : {0.5, 1.0, 3.0, 7.5, 15.0, 30.0}) {
-    Built B = buildWorkload(*W);
-    FeedbackFile Train;
-    runWith(*B.M, W->TrainParams, &Train);
-    PipelineOptions Opts;
-    Opts.Scheme = WeightScheme::PBO;
-    Opts.Planner.SplitThresholdPBO = Ts;
-    PipelineResult P = runStructLayoutPipeline(*B.M, Opts, &Train);
-    RunResult R = runWith(*B.M, W->RefParams);
-    requireSameOutput(BaseRun, R, "T_s sweep");
-    std::printf("%8.1f %6u %6u %+12.1f%%\n", Ts,
-                P.Summary.TypesTransformed, P.Summary.FieldsSplitOrDead,
-                perfPercent(BaseRun.Cycles, R.Cycles));
-  }
+  struct TsRow {
+    unsigned Transformed = 0;
+    unsigned SplitDead = 0;
+    double Perf = 0.0;
+  };
+  const std::vector<double> TsValues = {0.5, 1.0, 3.0, 7.5, 15.0, 30.0};
+  std::vector<TsRow> TsRows =
+      parallelMap(TsValues.size(), [&](size_t I) -> TsRow {
+        Built B = buildWorkload(*W);
+        FeedbackFile Train;
+        runWith(*B.M, W->TrainParams, &Train);
+        PipelineOptions Opts;
+        Opts.Scheme = WeightScheme::PBO;
+        Opts.Planner.SplitThresholdPBO = TsValues[I];
+        PipelineResult P = runStructLayoutPipeline(*B.M, Opts, &Train);
+        RunResult R = runWith(*B.M, W->RefParams);
+        requireSameOutput(BaseRun, R, "T_s sweep");
+        return {P.Summary.TypesTransformed, P.Summary.FieldsSplitOrDead,
+                perfPercent(BaseRun.Cycles, R.Cycles)};
+      });
+  for (size_t I = 0; I < TsValues.size(); ++I)
+    std::printf("%8.1f %6u %6u %+12.1f%%\n", TsValues[I],
+                TsRows[I].Transformed, TsRows[I].SplitDead,
+                TsRows[I].Perf);
   std::printf("(paper default: 3%% with PBO, 7.5%% with ISPBO; very "
               "large T_s splits hot fields\nout and hurts, very small "
               "T_s leaves cold fields in)\n\n");
@@ -65,27 +75,37 @@ int main() {
     Baseline =
         S.get(B.Ctx->getTypes().lookupRecord("node"))->relativeHotness();
   }
-  for (double E : {1.0, 1.25, 1.5, 2.0, 3.0}) {
-    Built B = buildWorkload(*W);
-    SchemeInputs In;
-    In.M = B.M.get();
-    In.Exponent = E;
-    FieldStatsResult S =
-        computeSchemeFieldStats(WeightScheme::ISPBO, In);
-    std::vector<double> Rel =
-        S.get(B.Ctx->getTypes().lookupRecord("node"))->relativeHotness();
-    double Corr = pearsonCorrelation(Baseline, Rel);
+  struct ERow {
+    double Corr = 0.0;
+    unsigned SplitDead = 0;
+    double Perf = 0.0;
+  };
+  const std::vector<double> EValues = {1.0, 1.25, 1.5, 2.0, 3.0};
+  std::vector<ERow> ERows =
+      parallelMap(EValues.size(), [&](size_t I) -> ERow {
+        Built B = buildWorkload(*W);
+        SchemeInputs In;
+        In.M = B.M.get();
+        In.Exponent = EValues[I];
+        FieldStatsResult S =
+            computeSchemeFieldStats(WeightScheme::ISPBO, In);
+        std::vector<double> Rel =
+            S.get(B.Ctx->getTypes().lookupRecord("node"))
+                ->relativeHotness();
+        double Corr = pearsonCorrelation(Baseline, Rel);
 
-    PipelineOptions Opts;
-    Opts.Scheme = WeightScheme::ISPBO;
-    Opts.IspboExponent = E;
-    PipelineResult P = runStructLayoutPipeline(*B.M, Opts);
-    RunResult R = runWith(*B.M, W->RefParams);
-    requireSameOutput(BaseRun, R, "E sweep");
-    std::printf("%6.2f %10.3f %6u %+12.1f%%\n", E, Corr,
-                P.Summary.FieldsSplitOrDead,
-                perfPercent(BaseRun.Cycles, R.Cycles));
-  }
+        PipelineOptions Opts;
+        Opts.Scheme = WeightScheme::ISPBO;
+        Opts.IspboExponent = EValues[I];
+        PipelineResult P = runStructLayoutPipeline(*B.M, Opts);
+        RunResult R = runWith(*B.M, W->RefParams);
+        requireSameOutput(BaseRun, R, "E sweep");
+        return {Corr, P.Summary.FieldsSplitOrDead,
+                perfPercent(BaseRun.Cycles, R.Cycles)};
+      });
+  for (size_t I = 0; I < EValues.size(); ++I)
+    std::printf("%6.2f %10.3f %6u %+12.1f%%\n", EValues[I], ERows[I].Corr,
+                ERows[I].SplitDead, ERows[I].Perf);
   std::printf("(paper default E = 1.5: 'since S is either bigger or "
               "smaller than 1.0 the\nscaling improves the separability "
               "between hot and cold fields')\n");

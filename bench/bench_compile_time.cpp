@@ -97,4 +97,26 @@ BENCHMARK(BM_FeLegality)->Arg(0)->Arg(3)->Arg(5);
 BENCHMARK(BM_IpaProfitability)->Arg(0)->Arg(3)->Arg(5);
 BENCHMARK(BM_BeTransform)->Arg(0)->Arg(3)->Arg(5);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default machine-readable artifact: unless the
+// caller picks their own --benchmark_out, results are also written to
+// BENCH_compile_time.json in google-benchmark's JSON schema.
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  char OutFlag[] = "--benchmark_out=BENCH_compile_time.json";
+  char FmtFlag[] = "--benchmark_out_format=json";
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::string(argv[I]).rfind("--benchmark_out=", 0) == 0)
+      HasOut = true;
+  if (!HasOut) {
+    Args.push_back(OutFlag);
+    Args.push_back(FmtFlag);
+  }
+  int Argc = static_cast<int>(Args.size());
+  ::benchmark::Initialize(&Argc, Args.data());
+  if (::benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -50,6 +50,17 @@ void requireSubset(const std::vector<RecordType *> &Inner,
   }
 }
 
+/// Per-workload measurements, computed concurrently and reduced in
+/// workload order so the table and the sample-diagnostic selection stay
+/// deterministic.
+struct LegalityRow {
+  unsigned Types = 0;
+  unsigned NumLegal = 0;
+  unsigned NumProven = 0;
+  unsigned NumRelax = 0;
+  std::string SampleJson; // First discharge diagnostic, if any.
+};
+
 } // namespace
 
 int main() {
@@ -61,51 +72,63 @@ int main() {
               "Types", "Legal", "%", "Proven", "%", "Relax", "%");
   std::printf("%s\n", std::string(86, '-').c_str());
 
+  const std::vector<Workload> &Workloads = allWorkloads();
+  std::vector<LegalityRow> Rows =
+      parallelMap(Workloads.size(), [&](size_t I) -> LegalityRow {
+        const Workload &W = Workloads[I];
+        Built B = buildWorkload(W);
+        LegalityResult Legal = analyzeLegality(*B.M);
+        PointsToResult PT = analyzePointsTo(*B.M);
+        DiagnosticEngine Diags;
+        RefinementResult Refined = refineLegality(*B.M, Legal, PT, &Diags);
+
+        std::vector<RecordType *> LegalSet = Legal.legalTypes(false);
+        std::vector<RecordType *> RelaxSet = Legal.legalTypes(true);
+        std::vector<RecordType *> ProvenSet = Refined.provenTypes();
+        requireSubset(LegalSet, ProvenSet, "Legal", "Proven", W.Name);
+        requireSubset(ProvenSet, RelaxSet, "Proven", "Relax", W.Name);
+
+        LegalityRow R;
+        R.Types = static_cast<unsigned>(Legal.types().size());
+        R.NumLegal = static_cast<unsigned>(LegalSet.size());
+        R.NumProven = static_cast<unsigned>(ProvenSet.size());
+        R.NumRelax = static_cast<unsigned>(RelaxSet.size());
+        if (R.NumProven > R.NumLegal) {
+          for (const Diagnostic &D : Diags.all()) {
+            if (D.Severity == DiagSeverity::Remark && !D.Fact.empty() &&
+                D.Code != "PROVEN") {
+              R.SampleJson = D.renderJson();
+              break;
+            }
+          }
+        }
+        return R;
+      });
+
   double SumLegalPct = 0.0, SumProvenPct = 0.0, SumRelaxPct = 0.0;
   unsigned N = 0;
-  // One discharge diagnostic from a workload where Proven > Legal,
-  // printed as JSON below the table.
+  // One discharge diagnostic from the first workload (in table order)
+  // where Proven > Legal, printed as JSON below the table.
   std::string SampleWorkload;
   std::string SampleJson;
-  for (const Workload &W : allWorkloads()) {
-    Built B = buildWorkload(W);
-    LegalityResult Legal = analyzeLegality(*B.M);
-    PointsToResult PT = analyzePointsTo(*B.M);
-    DiagnosticEngine Diags;
-    RefinementResult Refined = refineLegality(*B.M, Legal, PT, &Diags);
-
-    std::vector<RecordType *> LegalSet = Legal.legalTypes(false);
-    std::vector<RecordType *> RelaxSet = Legal.legalTypes(true);
-    std::vector<RecordType *> ProvenSet = Refined.provenTypes();
-    requireSubset(LegalSet, ProvenSet, "Legal", "Proven", W.Name);
-    requireSubset(ProvenSet, RelaxSet, "Proven", "Relax", W.Name);
-
-    unsigned Types = static_cast<unsigned>(Legal.types().size());
-    unsigned NumLegal = static_cast<unsigned>(LegalSet.size());
-    unsigned NumProven = static_cast<unsigned>(ProvenSet.size());
-    unsigned NumRelax = static_cast<unsigned>(RelaxSet.size());
-    double LegalPct = 100.0 * NumLegal / Types;
-    double ProvenPct = 100.0 * NumProven / Types;
-    double RelaxPct = 100.0 * NumRelax / Types;
+  for (size_t I = 0; I < Workloads.size(); ++I) {
+    const Workload &W = Workloads[I];
+    const LegalityRow &R = Rows[I];
+    double LegalPct = 100.0 * R.NumLegal / R.Types;
+    double ProvenPct = 100.0 * R.NumProven / R.Types;
+    double RelaxPct = 100.0 * R.NumRelax / R.Types;
     SumLegalPct += LegalPct;
     SumProvenPct += ProvenPct;
     SumRelaxPct += RelaxPct;
     ++N;
     std::printf("%-12s %4u (%4u) %6u (%4u) %6.1f %8u %6.1f %6u (%4u) "
                 "%6.1f\n",
-                W.Name.c_str(), Types, W.Paper.Types, NumLegal,
-                W.Paper.Legal, LegalPct, NumProven, ProvenPct, NumRelax,
-                W.Paper.Relax, RelaxPct);
-
-    if (SampleJson.empty() && NumProven > NumLegal) {
-      for (const Diagnostic &D : Diags.all()) {
-        if (D.Severity == DiagSeverity::Remark && !D.Fact.empty() &&
-            D.Code != "PROVEN") {
-          SampleWorkload = W.Name;
-          SampleJson = D.renderJson();
-          break;
-        }
-      }
+                W.Name.c_str(), R.Types, W.Paper.Types, R.NumLegal,
+                W.Paper.Legal, LegalPct, R.NumProven, ProvenPct,
+                R.NumRelax, W.Paper.Relax, RelaxPct);
+    if (SampleJson.empty() && !R.SampleJson.empty()) {
+      SampleWorkload = W.Name;
+      SampleJson = R.SampleJson;
     }
   }
   std::printf("%s\n", std::string(86, '-').c_str());

@@ -30,20 +30,32 @@ int main() {
   // Feedback files: training input (PBO, DMISS, DLAT), reference input
   // (PPBO), and an uninstrumented sampling run (DMISS.NO). In this
   // reproduction "uninstrumented" means edge profiling off, cache
-  // sampling with a PMU-like period.
+  // sampling with a PMU-like period. The three profiling runs share one
+  // module — the interpreter pre-decodes without mutating it, so they
+  // run concurrently, each with its own Interpreter and CacheSim.
   FeedbackFile Train, Ref, NoInstr;
-  runWith(*B.M, W->TrainParams, &Train);
-  runWith(*B.M, W->RefParams, &Ref);
-  {
-    RunOptions O;
-    O.IntParams = W->TrainParams;
-    O.Cache = CacheConfig::scaledItanium();
-    O.Profile = &NoInstr;
-    O.CacheSamplePeriod = 16; // Sampled, like the PMU.
-    RunResult R = runProgram(*B.M, std::move(O));
-    if (R.Trapped)
-      reportFatalError("uninstrumented run trapped: " + R.TrapReason);
-  }
+  parallelMap(3, [&](size_t Task) -> int {
+    switch (Task) {
+    case 0:
+      runWith(*B.M, W->TrainParams, &Train);
+      break;
+    case 1:
+      runWith(*B.M, W->RefParams, &Ref);
+      break;
+    default: {
+      RunOptions O;
+      O.IntParams = W->TrainParams;
+      O.Cache = CacheConfig::scaledItanium();
+      O.Profile = &NoInstr;
+      O.CacheSamplePeriod = 16; // Sampled, like the PMU.
+      RunResult R = runProgram(*B.M, std::move(O));
+      if (R.Trapped)
+        reportFatalError("uninstrumented run trapped: " + R.TrapReason);
+      break;
+    }
+    }
+    return 0;
+  });
 
   const WeightScheme Schemes[] = {
       WeightScheme::PBO,      WeightScheme::PPBO,

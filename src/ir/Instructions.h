@@ -123,11 +123,6 @@ public:
     return Op == OpRet || Op == OpBr || Op == OpCondBr;
   }
 
-  /// Interpreter value slot, assigned by runtime::FunctionLayout. -1 when
-  /// the instruction produces no value or slots were not assigned yet.
-  int getSlot() const { return Slot; }
-  void setSlot(int S) { Slot = S; }
-
   /// Removes this instruction's operand uses. Called by BasicBlock::erase
   /// before destruction, and by the destructor as a safety net.
   void dropAllReferences();
@@ -147,7 +142,6 @@ private:
   Opcode Op;
   BasicBlock *Parent = nullptr;
   std::vector<Value *> Operands;
-  int Slot = -1;
 };
 
 /// Stack allocation of one object of the given type; yields a pointer.

@@ -2,6 +2,7 @@
 
 #include "runtime/CacheSim.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace slo;
@@ -32,6 +33,7 @@ void CacheSim::Level::configure(const CacheLevelConfig &C) {
   // Round the set count down to a power of two for cheap indexing (the
   // capacity shrinks accordingly for non-power-of-two geometries).
   NumSets = 1ull << log2Floor(NumSets);
+  SetShift = log2Exact(NumSets);
   Entries.assign(NumSets * Ways, Way());
   UseCounter = 0;
 }
@@ -39,7 +41,7 @@ void CacheSim::Level::configure(const CacheLevelConfig &C) {
 bool CacheSim::Level::touch(uint64_t Addr) {
   uint64_t Line = Addr >> LineShift;
   uint64_t Set = Line & (NumSets - 1);
-  uint64_t Tag = Line >> log2Exact(NumSets);
+  uint64_t Tag = Line >> SetShift;
   Way *Base = &Entries[Set * Ways];
   ++UseCounter;
 
@@ -83,40 +85,56 @@ void CacheSim::reset() {
   L3Stats = CacheLevelStats();
 }
 
-CacheAccessResult CacheSim::access(uint64_t Addr, bool IsStore, bool IsFp) {
-  CacheAccessResult R;
-  bool UseL1 = !(IsFp && Config.FpBypassesL1);
-
-  unsigned Latency = 0;
-  bool FirstLevelMiss = false;
-
+unsigned CacheSim::lookupLine(uint64_t Addr, bool UseL1,
+                              bool &FirstLevelMiss) {
   // Look up level by level; the first hit's latency is charged. LRU
   // state below the hit level is refreshed only on the miss path (lazy
   // inclusion).
-  if (UseL1 && L1.touch(Addr)) {
-    ++L1Stats.Hits;
-    Latency = Config.L1.HitLatency;
-  } else {
-    if (UseL1) {
-      ++L1Stats.Misses;
-      FirstLevelMiss = true;
+  if (UseL1) {
+    if (L1.touch(Addr)) {
+      ++L1Stats.Hits;
+      return Config.L1.HitLatency;
     }
-    if (L2.touch(Addr)) {
-      ++L2Stats.Hits;
-      Latency = Config.L2.HitLatency;
-    } else {
-      ++L2Stats.Misses;
-      // For FP accesses L2 is the first level (Itanium FP bypasses L1).
-      if (!UseL1)
-        FirstLevelMiss = true;
-      if (L3.touch(Addr)) {
-        ++L3Stats.Hits;
-        Latency = Config.L3.HitLatency;
-      } else {
-        ++L3Stats.Misses;
-        Latency = Config.MemoryLatency;
-      }
-    }
+    ++L1Stats.Misses;
+    FirstLevelMiss = true;
+  }
+  if (L2.touch(Addr)) {
+    ++L2Stats.Hits;
+    return Config.L2.HitLatency;
+  }
+  ++L2Stats.Misses;
+  // For FP accesses L2 is the first level (Itanium FP bypasses L1).
+  if (!UseL1)
+    FirstLevelMiss = true;
+  if (L3.touch(Addr)) {
+    ++L3Stats.Hits;
+    return Config.L3.HitLatency;
+  }
+  ++L3Stats.Misses;
+  return Config.MemoryLatency;
+}
+
+CacheAccessResult CacheSim::access(uint64_t Addr, unsigned Bytes,
+                                   bool IsStore, bool IsFp) {
+  if (Bytes == 0)
+    Bytes = 1;
+  bool UseL1 = !(IsFp && Config.FpBypassesL1);
+
+  bool FirstLevelMiss = false;
+  unsigned Latency = lookupLine(Addr, UseL1, FirstLevelMiss);
+
+  // An access that crosses a line boundary at its first level also fills
+  // the line holding its last byte: a second full stateful walk, so both
+  // fills land in the level statistics. Where the two spans share a line
+  // at an outer level, the second walk naturally hits the line the first
+  // walk just filled — no double fill. The access is charged the worse
+  // of the two fills and fires at most one first-level miss event (the
+  // event a PMU would attribute to the instruction).
+  const Level &First = UseL1 ? L1 : L2;
+  uint64_t Last = Addr + Bytes - 1;
+  if ((Addr >> First.lineShift()) != (Last >> First.lineShift())) {
+    unsigned SecondLatency = lookupLine(Last, UseL1, FirstLevelMiss);
+    Latency = std::max(Latency, SecondLatency);
   }
 
   unsigned FirstLevelHit =
@@ -127,6 +145,7 @@ CacheAccessResult CacheSim::access(uint64_t Addr, bool IsStore, bool IsFp) {
     Latency = Latency / Div;
     Stall = Stall / Div;
   }
+  CacheAccessResult R;
   R.Latency = Latency;
   R.Stall = Stall;
   R.FirstLevelMiss = FirstLevelMiss;

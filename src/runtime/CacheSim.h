@@ -15,6 +15,16 @@
 /// and L1 for everything else", paper §3.2); the simulator models exactly
 /// that.
 ///
+/// Accesses carry their byte width: an access whose span crosses a line
+/// boundary at its first level touches both lines (both fills show up in
+/// the level statistics, and each fill walks outward independently), is
+/// charged the worse of the two fills, and counts as at most one
+/// first-level miss event — which is what the PMU would attribute to the
+/// instruction. Field reordering and
+/// splitting are exactly the transformations that move fields onto and
+/// off line boundaries, so straddles must cost something or the
+/// simulator under-charges the layouts it is supposed to judge.
+///
 /// The simulator is driven with simulated addresses by the interpreter;
 /// it returns a latency in cycles per access and counts the first-level
 /// miss events that the advisory tool attributes to structure fields.
@@ -70,7 +80,8 @@ struct CacheConfig {
 /// Result of one simulated access.
 struct CacheAccessResult {
   /// Total access latency in cycles (what the PMU's DLAT-style counters
-  /// see and the advisor reports).
+  /// see and the advisor reports). For a line-straddling access this is
+  /// the worse of the two fills.
   unsigned Latency = 0;
   /// Pipeline stall cycles charged to the program: the excess of the
   /// latency over the first-level hit latency for this access kind. A
@@ -78,7 +89,8 @@ struct CacheAccessResult {
   /// stalls, which is how wide in-order machines like Itanium behave.
   unsigned Stall = 0;
   /// Miss at the first level that serves this access kind (the event the
-  /// PMU would attribute).
+  /// PMU would attribute). At most one per access, even when a straddle
+  /// fills two lines.
   bool FirstLevelMiss = false;
 };
 
@@ -88,13 +100,18 @@ struct CacheLevelStats {
   uint64_t Misses = 0;
 };
 
-/// The two-level simulator.
+/// The three-level simulator.
 class CacheSim {
 public:
   explicit CacheSim(const CacheConfig &Config = CacheConfig());
 
-  /// Simulates a data access of \p Size bytes at \p Addr.
-  CacheAccessResult access(uint64_t Addr, bool IsStore, bool IsFp);
+  /// Simulates a data access of \p Bytes bytes at \p Addr. When
+  /// [Addr, Addr+Bytes) crosses a line boundary at the access's first
+  /// level, both lines are looked up (each fill walking outward as
+  /// needed); the reported latency is the worse of the two fills and
+  /// FirstLevelMiss fires at most once.
+  CacheAccessResult access(uint64_t Addr, unsigned Bytes, bool IsStore,
+                           bool IsFp);
 
   const CacheLevelStats &l1Stats() const { return L1Stats; }
   const CacheLevelStats &l2Stats() const { return L2Stats; }
@@ -113,6 +130,7 @@ private:
     /// Returns true on hit; on miss the line is filled (LRU victim).
     bool touch(uint64_t Addr);
     void clear();
+    unsigned lineShift() const { return LineShift; }
 
   private:
     struct Way {
@@ -121,11 +139,18 @@ private:
       bool Valid = false;
     };
     unsigned LineShift = 6;
+    unsigned SetShift = 0; // log2(NumSets), precomputed for indexing.
     uint64_t NumSets = 1;
     unsigned Ways = 1;
     std::vector<Way> Entries; // NumSets * Ways.
     uint64_t UseCounter = 0;
   };
+
+  /// One full hierarchy walk for the line holding \p Addr. A straddling
+  /// access runs two walks; where the spans share a line at an outer
+  /// level the second walk hits the line the first walk just filled, so
+  /// nothing is double-filled.
+  unsigned lookupLine(uint64_t Addr, bool UseL1, bool &FirstLevelMiss);
 
   CacheConfig Config;
   Level L1, L2, L3;

@@ -1,0 +1,61 @@
+//===- support/ThreadPool.cpp - Fixed-size worker thread pool -------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace slo;
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  if (ThreadCount == 0)
+    ThreadCount = 1;
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  TaskAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskAvailable.wait(Lock,
+                         [this] { return Stopping || !Tasks.empty(); });
+      // Drain the queue even when stopping so a destructor that races
+      // with late enqueues still runs everything that was scheduled.
+      if (Tasks.empty())
+        return;
+      Task = std::move(Tasks.front());
+      Tasks.pop_front();
+      ++Active;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Active;
+      if (Tasks.empty() && Active == 0)
+        Idle.notify_all();
+    }
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Tasks.push_back(std::move(Task));
+  }
+  TaskAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this] { return Tasks.empty() && Active == 0; });
+}

@@ -1,0 +1,67 @@
+//===- support/ThreadPool.h - Fixed-size worker thread pool ----*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool for the benchmark harnesses: the 12-workload
+/// tables build and simulate every workload independently, so each can
+/// run on its own worker with its own Interpreter and CacheSim. The pool
+/// deliberately has no futures or task graph — callers enqueue closures
+/// that write into caller-owned, index-addressed storage and then wait()
+/// for quiescence, which keeps result reduction in task-submission order
+/// and the harness output deterministic regardless of scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_SUPPORT_THREADPOOL_H
+#define SLO_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slo {
+
+class ThreadPool {
+public:
+  /// Spawns \p ThreadCount workers (at least one).
+  explicit ThreadPool(unsigned ThreadCount);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Schedules \p Task to run on some worker. Tasks are started in
+  /// enqueue order.
+  void enqueue(std::function<void()> Task);
+
+  /// Blocks until every enqueued task has finished.
+  void wait();
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+private:
+  void workerLoop();
+
+  std::mutex Mutex;
+  std::condition_variable TaskAvailable;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Tasks;
+  std::vector<std::thread> Workers;
+  unsigned Active = 0;
+  bool Stopping = false;
+};
+
+} // namespace slo
+
+#endif // SLO_SUPPORT_THREADPOOL_H

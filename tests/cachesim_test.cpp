@@ -1,0 +1,191 @@
+//===- tests/cachesim_test.cpp - Cache simulator unit tests ---------------===//
+//
+// Direct unit tests for the three-level simulator, focused on the
+// size-aware access path: an access that crosses a line boundary at its
+// first level fills both lines, is charged the worse fill, and fires at
+// most one first-level miss event. The straddle tests are regressions
+// against the old width-blind access(), which charged every access as if
+// it fit inside one line.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "runtime/CacheSim.h"
+#include "runtime/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace slo;
+
+namespace {
+
+TEST(CacheSimUnitTest, LruEvictsLeastRecentlyUsedWay) {
+  CacheConfig Cfg;
+  Cfg.L1 = {128, 64, 2, 1}; // 1 set, 2 ways.
+  CacheSim C(Cfg);
+  C.access(0x10000, 8, false, false); // line A (miss, fill)
+  C.access(0x20000, 8, false, false); // line B (miss, fill)
+  C.access(0x10000, 8, false, false); // A again: now MRU
+  C.access(0x30000, 8, false, false); // line C evicts B, the LRU way
+  EXPECT_FALSE(C.access(0x10000, 8, false, false).FirstLevelMiss);
+  EXPECT_TRUE(C.access(0x20000, 8, false, false).FirstLevelMiss);
+}
+
+TEST(CacheSimUnitTest, CapacityEviction) {
+  CacheConfig Cfg;
+  Cfg.L1 = {1024, 64, 2, 1}; // Tiny L1: 16 lines.
+  CacheSim C(Cfg);
+  for (uint64_t I = 0; I < 64; ++I)
+    C.access((1 << 20) | (I * 64), 8, false, false);
+  EXPECT_TRUE(C.access(1 << 20, 8, false, false).FirstLevelMiss);
+}
+
+TEST(CacheSimUnitTest, FpBypassesL1) {
+  CacheSim C;
+  CacheAccessResult First = C.access(1 << 21, 8, false, /*IsFp=*/true);
+  EXPECT_TRUE(First.FirstLevelMiss); // The FP first level is L2.
+  EXPECT_EQ(C.l1Stats().Hits + C.l1Stats().Misses, 0u);
+  CacheAccessResult Second = C.access(1 << 21, 8, false, /*IsFp=*/true);
+  EXPECT_FALSE(Second.FirstLevelMiss);
+  EXPECT_EQ(Second.Latency, C.config().L2.HitLatency);
+}
+
+TEST(CacheSimUnitTest, StoreDivisorAppliedToLatencyAndStall) {
+  CacheSim C;
+  CacheAccessResult Load = C.access(1 << 22, 8, false, false);
+  C.reset();
+  CacheAccessResult Store = C.access(1 << 22, 8, true, false);
+  unsigned Div = C.config().StoreCostDivisor;
+  ASSERT_GT(Div, 1u);
+  EXPECT_EQ(Store.Latency, Load.Latency / Div);
+  EXPECT_EQ(Store.Stall, Load.Stall / Div);
+}
+
+// The headline regression from the issue: an 8-byte load at line offset
+// 60 spans bytes 60..67, i.e. two 64-byte L1 lines. The old width-blind
+// access() filled only the first line; now both fills must show up in
+// the L1 statistics while the access itself counts as a single
+// first-level miss event.
+TEST(CacheSimUnitTest, StraddlingLoadFillsBothLines) {
+  CacheSim C;
+  CacheAccessResult R = C.access(4096 + 60, 8, false, false);
+  EXPECT_TRUE(R.FirstLevelMiss);
+  EXPECT_EQ(C.l1Stats().Misses, 2u); // Two cold lines, two fills.
+  EXPECT_EQ(C.l1Stats().Hits, 0u);
+  // Both spans live in the same 128-byte L2/L3 line: the second walk
+  // hits the line the first walk just brought in.
+  EXPECT_EQ(C.l2Stats().Misses, 1u);
+  EXPECT_EQ(C.l2Stats().Hits, 1u);
+  EXPECT_EQ(C.l3Stats().Misses, 1u);
+  // Worse of the two fills: the first went all the way to memory.
+  EXPECT_EQ(R.Latency, C.config().MemoryLatency);
+
+  // Once both lines are resident the straddle is two L1 hits and costs
+  // a plain first-level hit.
+  CacheAccessResult Again = C.access(4096 + 60, 8, false, false);
+  EXPECT_FALSE(Again.FirstLevelMiss);
+  EXPECT_EQ(C.l1Stats().Hits, 2u);
+  EXPECT_EQ(Again.Latency, C.config().L1.HitLatency);
+}
+
+TEST(CacheSimUnitTest, AlignedLoadFillsOneLine) {
+  CacheSim C;
+  // Same line, but the span 56..63 stays inside it: exactly one fill.
+  C.access(4096 + 56, 8, false, false);
+  EXPECT_EQ(C.l1Stats().Misses, 1u);
+}
+
+TEST(CacheSimUnitTest, StraddleChargesWorseOfTwoFills) {
+  CacheSim C;
+  C.access(4096, 8, false, false); // Warm the first line (and its L2/L3 lines).
+  CacheAccessResult R = C.access(4096 + 60, 8, false, false);
+  // First span hits L1; the second span misses L1 and fills from the
+  // (already resident) L2 line. Worse fill: the L2 hit latency.
+  EXPECT_TRUE(R.FirstLevelMiss);
+  EXPECT_EQ(R.Latency, C.config().L2.HitLatency);
+  EXPECT_EQ(R.Stall, C.config().L2.HitLatency - C.config().L1.HitLatency);
+}
+
+TEST(CacheSimUnitTest, FpStraddleCrossesL2Line) {
+  CacheSim C;
+  ASSERT_TRUE(C.config().FpBypassesL1);
+  // FP first level is L2 with 128-byte lines: an 8-byte access at line
+  // offset 124 spans two L2 lines; one at offset 60 does not.
+  CacheAccessResult R = C.access(8192 + 124, 8, false, /*IsFp=*/true);
+  EXPECT_TRUE(R.FirstLevelMiss);
+  EXPECT_EQ(C.l1Stats().Hits + C.l1Stats().Misses, 0u);
+  EXPECT_EQ(C.l2Stats().Misses, 2u);
+  C.reset();
+  C.access(8192 + 60, 8, false, /*IsFp=*/true);
+  EXPECT_EQ(C.l2Stats().Misses, 1u);
+}
+
+TEST(CacheSimUnitTest, ZeroWidthTreatedAsOneByte) {
+  CacheSim C;
+  C.access(4096 + 63, 0, false, false); // Must not straddle into 4160.
+  EXPECT_EQ(C.l1Stats().Misses, 1u);
+}
+
+/// Compiles and runs one source; fails the test on compile errors.
+static RunResult runSource(const char *Src, RunOptions Opts = RunOptions()) {
+  static std::vector<std::unique_ptr<IRContext>> Contexts;
+  static std::vector<std::unique_ptr<Module>> Modules;
+  Contexts.push_back(std::make_unique<IRContext>());
+  std::vector<std::string> Diags;
+  auto M = compileMiniC(*Contexts.back(), "t", Src, Diags);
+  EXPECT_TRUE(M) << (Diags.empty() ? "?" : Diags[0]);
+  if (!M) {
+    RunResult R;
+    R.Trapped = true;
+    return R;
+  }
+  Modules.push_back(std::move(M));
+  return runProgram(*Modules.back(), std::move(Opts));
+}
+
+// End-to-end regression: model an array of 192-byte (3-line) records
+// whose hot 8-byte field ended up at record offset 60 after a careless
+// reorder, so every record's hot field straddles into the next line.
+// Under the scaled hierarchy (8K L1 = 128 lines) 100 records' hot lines
+// fit L1 when the field is aligned (offset 56: 100 lines), but the
+// straddling layout touches 200 lines, overflows the 4-way sets, and
+// thrashes on every pass. The old width-blind access() priced both
+// layouts identically.
+TEST(CacheSimUnitTest, InterpreterPaysForStraddlingHotField) {
+  const char *Fmt = R"(
+    int main() {
+      long a = (long) malloc(32768);
+      long base = a + (64 - a %% 64) %% 64; // 64-aligned start
+      long s = 0;
+      for (long pass = 0; pass < 50; pass++) {
+        for (long i = 0; i < 100; i++) {
+          long *hot = (long*)(base + i * 192 + %d);
+          s = s + *hot;
+        }
+      }
+      return 0;
+    }
+  )";
+  char Aligned[1024], Straddling[1024];
+  std::snprintf(Aligned, sizeof(Aligned), Fmt, 56);
+  std::snprintf(Straddling, sizeof(Straddling), Fmt, 60);
+
+  RunOptions Opts;
+  Opts.Cache = CacheConfig::scaledItanium(); // 8K L1 = 128 lines.
+  RunResult Ali = runSource(Aligned, Opts);
+  RunResult Str = runSource(Straddling, Opts);
+  ASSERT_FALSE(Ali.Trapped) << Ali.TrapReason;
+  ASSERT_FALSE(Str.Trapped) << Str.TrapReason;
+
+  // Identical code shape: only the field offset constant differs.
+  EXPECT_EQ(Str.Instructions, Ali.Instructions);
+  // The aligned layout settles into L1 after the first pass; the
+  // straddling layout keeps missing on every pass.
+  EXPECT_GT(Str.L1.Misses, 2 * Ali.L1.Misses);
+  EXPECT_GT(Str.MemStallCycles, Ali.MemStallCycles);
+  EXPECT_GT(Str.Cycles, Ali.Cycles);
+}
+
+} // namespace

@@ -289,16 +289,16 @@ TEST(CacheSimTest, SequentialAccessHitsWithinLine) {
   // 8 consecutive 8-byte words: 1 miss + 7 hits per 64-byte line.
   uint64_t Misses = 0;
   for (uint64_t A = 0; A < 64 * 8; A += 8)
-    Misses += C.access(1000000 + A, false, false).FirstLevelMiss;
+    Misses += C.access(1000000 + A, 8, false, false).FirstLevelMiss;
   EXPECT_EQ(Misses, 8u);
   EXPECT_EQ(C.l1Stats().Hits, 56u);
 }
 
 TEST(CacheSimTest, RepeatedAccessIsAHit) {
   CacheSim C;
-  EXPECT_TRUE(C.access(4096, false, false).FirstLevelMiss);
-  EXPECT_FALSE(C.access(4096, false, false).FirstLevelMiss);
-  EXPECT_FALSE(C.access(4100, false, false).FirstLevelMiss);
+  EXPECT_TRUE(C.access(4096, 8, false, false).FirstLevelMiss);
+  EXPECT_FALSE(C.access(4096, 8, false, false).FirstLevelMiss);
+  EXPECT_FALSE(C.access(4100, 8, false, false).FirstLevelMiss);
 }
 
 TEST(CacheSimTest, CapacityEviction) {
@@ -307,37 +307,37 @@ TEST(CacheSimTest, CapacityEviction) {
   CacheSim C(Cfg);
   // Touch 64 distinct lines, then re-touch the first: must miss again.
   for (uint64_t I = 0; I < 64; ++I)
-    C.access(1 << 20 | (I * 64), false, false);
-  EXPECT_TRUE(C.access(1 << 20, false, false).FirstLevelMiss);
+    C.access(1 << 20 | (I * 64), 8, false, false);
+  EXPECT_TRUE(C.access(1 << 20, 8, false, false).FirstLevelMiss);
 }
 
 TEST(CacheSimTest, LruKeepsHotLine) {
   CacheConfig Cfg;
   Cfg.L1 = {128, 64, 2, 1}; // 1 set, 2 ways.
   CacheSim C(Cfg);
-  C.access(0x10000, false, false); // line A
-  C.access(0x20000, false, false); // line B
-  C.access(0x10000, false, false); // A again (now MRU)
-  C.access(0x30000, false, false); // line C evicts B (LRU)
-  EXPECT_FALSE(C.access(0x10000, false, false).FirstLevelMiss);
-  EXPECT_TRUE(C.access(0x20000, false, false).FirstLevelMiss);
+  C.access(0x10000, 8, false, false); // line A
+  C.access(0x20000, 8, false, false); // line B
+  C.access(0x10000, 8, false, false); // A again (now MRU)
+  C.access(0x30000, 8, false, false); // line C evicts B (LRU)
+  EXPECT_FALSE(C.access(0x10000, 8, false, false).FirstLevelMiss);
+  EXPECT_TRUE(C.access(0x20000, 8, false, false).FirstLevelMiss);
 }
 
 TEST(CacheSimTest, FpBypassesL1) {
   CacheSim C;
-  CacheAccessResult First = C.access(1 << 21, false, /*IsFp=*/true);
+  CacheAccessResult First = C.access(1 << 21, 8, false, /*IsFp=*/true);
   EXPECT_TRUE(First.FirstLevelMiss); // Counted at L2 for FP.
   EXPECT_EQ(C.l1Stats().Hits + C.l1Stats().Misses, 0u);
-  CacheAccessResult Second = C.access(1 << 21, false, /*IsFp=*/true);
+  CacheAccessResult Second = C.access(1 << 21, 8, false, /*IsFp=*/true);
   EXPECT_FALSE(Second.FirstLevelMiss);
   EXPECT_EQ(Second.Latency, C.config().L2.HitLatency);
 }
 
 TEST(CacheSimTest, StoresAreCheaper) {
   CacheSim C;
-  unsigned LoadLat = C.access(1 << 22, false, false).Latency;
+  unsigned LoadLat = C.access(1 << 22, 8, false, false).Latency;
   C.reset();
-  unsigned StoreLat = C.access(1 << 22, true, false).Latency;
+  unsigned StoreLat = C.access(1 << 22, 8, true, false).Latency;
   EXPECT_LT(StoreLat, LoadLat);
 }
 

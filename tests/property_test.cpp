@@ -198,10 +198,10 @@ TEST_P(CacheProperty, WorkingSetWithinCapacityAlwaysHitsAfterWarmup) {
   // Touch half the capacity twice; second pass must be all hits.
   uint64_t Lines = (G.L1Size / G.L1Line) / 2;
   for (uint64_t I = 0; I < Lines; ++I)
-    C.access(1 << 20 | (I * G.L1Line), false, false);
+    C.access(1 << 20 | (I * G.L1Line), 8, false, false);
   uint64_t MissesAfterWarmup = C.l1Stats().Misses;
   for (uint64_t I = 0; I < Lines; ++I)
-    C.access(1 << 20 | (I * G.L1Line), false, false);
+    C.access(1 << 20 | (I * G.L1Line), 8, false, false);
   EXPECT_EQ(C.l1Stats().Misses, MissesAfterWarmup)
       << "size=" << G.L1Size << " line=" << G.L1Line
       << " ways=" << G.L1Ways;
@@ -217,7 +217,7 @@ TEST_P(CacheProperty, StridedOverCapacityAlwaysMisses) {
   uint64_t Lines = (G.L1Size / G.L1Line) * 4;
   for (int Pass = 0; Pass < 3; ++Pass)
     for (uint64_t I = 0; I < Lines; ++I)
-      C.access(1 << 22 | (I * G.L1Line), false, false);
+      C.access(1 << 22 | (I * G.L1Line), 8, false, false);
   EXPECT_EQ(C.l1Stats().Misses, 3 * Lines);
   EXPECT_EQ(C.l1Stats().Hits, 0u);
 }
@@ -227,12 +227,12 @@ TEST_P(CacheProperty, ResetClearsEverything) {
   CacheConfig Cfg;
   Cfg.L1 = {G.L1Size, G.L1Line, G.L1Ways, 1};
   CacheSim C(Cfg);
-  C.access(0x100000, false, false);
-  C.access(0x100000, false, false);
+  C.access(0x100000, 8, false, false);
+  C.access(0x100000, 8, false, false);
   C.reset();
   EXPECT_EQ(C.l1Stats().Hits, 0u);
   EXPECT_EQ(C.l1Stats().Misses, 0u);
-  EXPECT_TRUE(C.access(0x100000, false, false).FirstLevelMiss);
+  EXPECT_TRUE(C.access(0x100000, 8, false, false).FirstLevelMiss);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -4,9 +4,12 @@
 #include "frontend/Parser.h"
 #include "support/Format.h"
 #include "support/Random.h"
+#include "support/ThreadPool.h"
 #include "transform/RewriteUtils.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
 
 using namespace slo;
 
@@ -213,6 +216,50 @@ TEST(RemapTypeTest, RecursiveSubstitution) {
   EXPECT_EQ(remapType(T, T.getI64(), Old, New), T.getI64());
   EXPECT_EQ(remapType(T, T.getPointerType(T.getF64()), Old, New),
             T.getPointerType(T.getF64()));
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.enqueue([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.enqueue([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1);
+  Pool.enqueue([&Count] { ++Count; });
+  Pool.enqueue([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(1);
+    for (int I = 0; I < 50; ++I)
+      Pool.enqueue([&Count] { ++Count; });
+    // No wait(): the destructor must still run every queued task.
+  }
+  EXPECT_EQ(Count.load(), 50);
+}
+
+TEST(ThreadPoolTest, IndexAddressedResultsAreDeterministic) {
+  // The bench harness pattern: each task owns one output slot, so the
+  // reduced result is independent of scheduling order.
+  ThreadPool Pool(4);
+  std::vector<int> Out(64, 0);
+  for (size_t I = 0; I < Out.size(); ++I)
+    Pool.enqueue([&Out, I] { Out[I] = static_cast<int>(I * I); });
+  Pool.wait();
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], static_cast<int>(I * I));
 }
 
 } // namespace
