@@ -21,6 +21,9 @@
 #define SLO_BENCH_BENCHUTILS_H
 
 #include "frontend/Frontend.h"
+#include "observability/CounterRegistry.h"
+#include "observability/MissAttribution.h"
+#include "observability/Tracer.h"
 #include "pipeline/Pipeline.h"
 #include "runtime/Interpreter.h"
 #include "support/Error.h"
@@ -51,14 +54,25 @@ inline Built buildWorkload(const Workload &W) {
   return B;
 }
 
+/// Optional observability hooks for a harness run; all null by default.
+struct RunHooks {
+  Tracer *Trace = nullptr;
+  CounterRegistry *Counters = nullptr;
+  MissAttribution *Attribution = nullptr;
+};
+
 /// Runs with the given parameter set on the scaled hierarchy.
 inline RunResult runWith(const Module &M,
                          const std::map<std::string, int64_t> &Params,
-                         FeedbackFile *Profile = nullptr) {
+                         FeedbackFile *Profile = nullptr,
+                         const RunHooks &Hooks = RunHooks()) {
   RunOptions O;
   O.IntParams = Params;
   O.Cache = CacheConfig::scaledItanium();
   O.Profile = Profile;
+  O.Trace = Hooks.Trace;
+  O.Counters = Hooks.Counters;
+  O.Attribution = Hooks.Attribution;
   RunResult R = runProgram(M, std::move(O));
   if (R.Trapped)
     reportFatalError("benchmark run trapped: " + R.TrapReason);

@@ -36,18 +36,22 @@ struct Row {
   unsigned SplitDead;
   uint64_t BaseCycles;
   uint64_t OptCycles;
+  uint64_t BaseMisses; // First-level miss events, untransformed build.
+  uint64_t OptMisses;  // Same, transformed build (what the gate watches).
   double Perf;
   double PaperPerf;
   bool PaperKnown;
 };
 
-Row measure(const Workload &W, bool UsePbo, uint64_t BaseCycles,
-            const RunResult &BaseRun) {
+Row measure(const Workload &W, bool UsePbo, const RunResult &BaseRun,
+            Tracer *Trace) {
   Built B = buildWorkload(W);
   FeedbackFile Train;
   PipelineOptions Opts;
+  Opts.Trace = Trace;
   if (UsePbo) {
-    runWith(*B.M, W.TrainParams, &Train);
+    TraceSpan S(Trace, ("train/" + W.Name).c_str(), "workload");
+    runWith(*B.M, W.TrainParams, &Train, {Trace, nullptr, nullptr});
     Opts.Scheme = WeightScheme::PBO;
   } else {
     Opts.Scheme = WeightScheme::ISPBO;
@@ -55,7 +59,11 @@ Row measure(const Workload &W, bool UsePbo, uint64_t BaseCycles,
   PipelineResult P =
       runStructLayoutPipeline(*B.M, Opts, UsePbo ? &Train : nullptr);
 
-  RunResult Opt = runWith(*B.M, W.RefParams);
+  RunResult Opt;
+  {
+    TraceSpan S(Trace, ("opt-run/" + W.Name).c_str(), "workload");
+    Opt = runWith(*B.M, W.RefParams, nullptr, {Trace, nullptr, nullptr});
+  }
   requireSameOutput(BaseRun, Opt, W.Name);
 
   Row R;
@@ -64,9 +72,11 @@ Row measure(const Workload &W, bool UsePbo, uint64_t BaseCycles,
   R.Types = static_cast<unsigned>(P.Legality.types().size());
   R.Transformed = P.Summary.TypesTransformed;
   R.SplitDead = P.Summary.FieldsSplitOrDead;
-  R.BaseCycles = BaseCycles;
+  R.BaseCycles = BaseRun.Cycles;
   R.OptCycles = Opt.Cycles;
-  R.Perf = perfPercent(BaseCycles, Opt.Cycles);
+  R.BaseMisses = BaseRun.FirstLevelMisses;
+  R.OptMisses = Opt.FirstLevelMisses;
+  R.Perf = perfPercent(BaseRun.Cycles, Opt.Cycles);
   R.PaperPerf = UsePbo ? W.Paper.PerfPbo : W.Paper.PerfNoPbo;
   R.PaperKnown = W.Paper.PerfKnown;
   return R;
@@ -84,17 +94,25 @@ int main() {
   std::printf("%s\n", std::string(60, '-').c_str());
 
   const std::vector<Workload> &Workloads = allWorkloads();
+  // One shared Tracer across all workers (record() is mutex-guarded);
+  // its thread ids let chrome://tracing show the pool's schedule.
+  Tracer Trace;
   // One task per benchmark: baseline run plus one row per mode. The
   // paper shows both PBO modes for mcf and moldyn; one row otherwise.
   std::vector<std::vector<Row>> PerWorkload = parallelMap(
       Workloads.size(), [&](size_t I) -> std::vector<Row> {
         const Workload &W = Workloads[I];
         Built Base = buildWorkload(W);
-        RunResult BaseRun = runWith(*Base.M, W.RefParams);
+        RunResult BaseRun;
+        {
+          TraceSpan S(&Trace, ("base-run/" + W.Name).c_str(), "workload");
+          BaseRun = runWith(*Base.M, W.RefParams, nullptr,
+                            {&Trace, nullptr, nullptr});
+        }
         bool BothModes = W.Name == "181.mcf" || W.Name == "moldyn";
         std::vector<Row> Rows;
         for (int UsePbo = 0; UsePbo <= (BothModes ? 1 : 0); ++UsePbo)
-          Rows.push_back(measure(W, UsePbo != 0, BaseRun.Cycles, BaseRun));
+          Rows.push_back(measure(W, UsePbo != 0, BaseRun, &Trace));
         return Rows;
       });
 
@@ -119,22 +137,27 @@ int main() {
           "    {\"benchmark\": \"%s\", \"pbo\": %s, \"types\": %u, "
           "\"transformed\": %u, \"split_dead\": %u, "
           "\"base_cycles\": %llu, \"opt_cycles\": %llu, "
+          "\"base_misses\": %llu, \"opt_misses\": %llu, "
           "\"perf_percent\": %.3f}",
           jsonEscape(R.Name).c_str(), R.Pbo ? "true" : "false", R.Types,
           R.Transformed, R.SplitDead,
           static_cast<unsigned long long>(R.BaseCycles),
-          static_cast<unsigned long long>(R.OptCycles), R.Perf);
+          static_cast<unsigned long long>(R.OptCycles),
+          static_cast<unsigned long long>(R.BaseMisses),
+          static_cast<unsigned long long>(R.OptMisses), R.Perf);
     }
   }
   Json += "\n  ]\n}\n";
   writeTextFile("BENCH_table3.json", Json);
+  writeTextFile("BENCH_table3_trace.json", Trace.renderChromeJson());
 
   std::printf("%s\n", std::string(60, '-').c_str());
   std::printf("paper: gains 16.7-17.3%% (mcf), 78.2%% (art), "
               "21.8-30.9%% (moldyn);\n"
               "       the other benchmarks range from -1.5%% (noise) to "
               "small gains\n");
-  std::printf("\nwrote BENCH_table3.json (%u worker threads)\n",
+  std::printf("\nwrote BENCH_table3.json and BENCH_table3_trace.json "
+              "(%u worker threads)\n",
               benchParallelism());
   return 0;
 }

@@ -15,14 +15,23 @@
 //     --diags           print legality/refinement diagnostics as text
 //     --diags-json      print them as a JSON array (for tooling)
 //     --param NAME=V    set an integer global before running
+//     --trace-json=P    write Chrome trace_event spans (pipeline phases
+//                       and interpreter runs) to P; chrome://tracing
+//     --stats-json=P    write run counters + the per-field miss heatmap
+//                       to P (implies --run)
+//     --trace-summary   print the span summary table to stdout
 //
 //===----------------------------------------------------------------------===//
 
 #include "advisor/AdvisorReport.h"
 #include "frontend/Frontend.h"
 #include "ir/IRPrinter.h"
+#include "observability/CounterRegistry.h"
+#include "observability/MissAttribution.h"
+#include "observability/Tracer.h"
 #include "pipeline/Pipeline.h"
 #include "runtime/Interpreter.h"
+#include "support/Format.h"
 
 #include <cstdio>
 #include <cstring>
@@ -40,6 +49,9 @@ struct DriverOptions {
   bool DumpIr = false;
   bool DiagsText = false;
   bool DiagsJson = false;
+  bool TraceSummary = false;
+  std::string TraceJsonPath;
+  std::string StatsJsonPath;
   WeightScheme Scheme = WeightScheme::ISPBO;
   std::map<std::string, int64_t> Params;
   std::vector<std::string> Files;
@@ -61,6 +73,13 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
       O.DiagsText = true;
     } else if (A == "--diags-json") {
       O.DiagsJson = true;
+    } else if (A == "--trace-summary") {
+      O.TraceSummary = true;
+    } else if (A.rfind("--trace-json=", 0) == 0) {
+      O.TraceJsonPath = A.substr(13);
+    } else if (A.rfind("--stats-json=", 0) == 0) {
+      O.StatsJsonPath = A.substr(13);
+      O.Run = true; // The stats artifact describes an execution.
     } else if (A.rfind("--scheme=", 0) == 0) {
       std::string S = A.substr(9);
       if (S == "ISPBO")
@@ -97,9 +116,20 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
     std::fprintf(stderr,
                  "usage: slo_driver [--advise] [--pbo] [--run] [--dump-ir] "
                  "[--diags] [--diags-json] [--scheme=NAME] [--param N=V] "
+                 "[--trace-json=P] [--stats-json=P] [--trace-summary] "
                  "file.minic...\n");
     return false;
   }
+  return true;
+}
+
+bool writeFileOrComplain(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  Out << Text;
   return true;
 }
 
@@ -132,11 +162,22 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // Observability: a Tracer when --trace-json/--trace-summary was given,
+  // a counter registry and per-field miss sink when --stats-json was.
+  Tracer Trace;
+  Tracer *TracePtr =
+      (!O.TraceJsonPath.empty() || O.TraceSummary) ? &Trace : nullptr;
+  CounterRegistry Counters;
+  MissAttribution Attribution;
+  bool WantStats = !O.StatsJsonPath.empty();
+
   FeedbackFile Train;
   if (O.Pbo) {
+    TraceSpan S(TracePtr, "profile-collection", "run");
     RunOptions PO;
     PO.IntParams = O.Params;
     PO.Profile = &Train;
+    PO.Trace = TracePtr;
     RunResult R = runProgram(*M, std::move(PO));
     if (R.Trapped) {
       std::fprintf(stderr, "profiling run trapped: %s\n",
@@ -148,6 +189,8 @@ int main(int argc, char **argv) {
   PipelineOptions POpts;
   POpts.Scheme = O.Scheme;
   POpts.AnalyzeOnly = O.Advise;
+  POpts.Trace = TracePtr;
+  POpts.Counters = WantStats ? &Counters : nullptr;
   PipelineResult R =
       runStructLayoutPipeline(*M, POpts, O.Pbo ? &Train : nullptr);
 
@@ -178,6 +221,11 @@ int main(int argc, char **argv) {
   if (O.Run) {
     RunOptions RO;
     RO.IntParams = O.Params;
+    RO.Trace = TracePtr;
+    if (WantStats) {
+      RO.Counters = &Counters;
+      RO.Attribution = &Attribution;
+    }
     RunResult Res = runProgram(*M, std::move(RO));
     if (Res.Trapped) {
       std::fprintf(stderr, "run trapped: %s\n", Res.TrapReason.c_str());
@@ -195,6 +243,38 @@ int main(int argc, char **argv) {
       std::printf("print_i64: %lld\n", static_cast<long long>(V));
     for (double V : Res.PrintedFloats)
       std::printf("print_f64: %g\n", V);
+
+    if (WantStats) {
+      // One artifact: the counter snapshot (pipeline + run), the run
+      // totals, and the per-field miss heatmap whose site misses
+      // partition first_level_misses exactly.
+      std::string Json = "{\n";
+      Json += formatString(
+          "  \"run\": {\"exit\": %lld, \"instructions\": %llu, "
+          "\"cycles\": %llu, \"mem_stall_cycles\": %llu, \"loads\": %llu, "
+          "\"stores\": %llu, \"first_level_misses\": %llu},\n",
+          static_cast<long long>(Res.ExitCode),
+          static_cast<unsigned long long>(Res.Instructions),
+          static_cast<unsigned long long>(Res.Cycles),
+          static_cast<unsigned long long>(Res.MemStallCycles),
+          static_cast<unsigned long long>(Res.Loads),
+          static_cast<unsigned long long>(Res.Stores),
+          static_cast<unsigned long long>(Res.FirstLevelMisses));
+      Json += "  \"counters\": " + Counters.renderJson() + ",\n";
+      Json += "  \"miss_attribution\": ";
+      std::string Heatmap = Attribution.renderHeatmapJson();
+      // Indent the nested object to keep the artifact readable.
+      Json += Heatmap;
+      Json += "}\n";
+      if (!writeFileOrComplain(O.StatsJsonPath, Json))
+        return 1;
+    }
   }
+
+  if (!O.TraceJsonPath.empty() &&
+      !writeFileOrComplain(O.TraceJsonPath, Trace.renderChromeJson()))
+    return 1;
+  if (O.TraceSummary)
+    std::printf("%s", Trace.renderTextSummary().c_str());
   return 0;
 }

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Bench-gate comparator for syzygy-slo CI.
+
+Compares a freshly produced BENCH_table3.json against the checked-in
+baseline (bench/baselines/BENCH_table3.json) and fails when simulated
+first-level miss counts or speedup ratios drift beyond tolerance.
+
+The simulator is deterministic — cycles and miss counts are simulation
+results, not wall times — so the tolerances mainly guard against
+intentional-but-unreviewed changes to the cache model, the workloads, or
+the transformations. Wall-clock artifacts (BENCH_compile_time.json) are
+checked for presence and schema only, never gated numerically.
+
+Usage:
+  bench_compare.py --current BENCH_table3.json \
+      [--baseline bench/baselines/BENCH_table3.json] \
+      [--compile-time BENCH_compile_time.json] \
+      [--miss-tolerance 0.05] [--perf-tolerance 2.0]
+  bench_compare.py --self-test [--baseline ...]
+
+--self-test injects a 10% miss-count regression into a copy of the
+baseline and asserts the gate rejects it (and that the unmodified
+baseline passes); CI runs it so a silently broken comparator cannot turn
+the gate green.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("table") != "table3" or "rows" not in doc:
+        raise SystemExit(f"{path}: not a BENCH_table3.json artifact")
+    rows = {}
+    for row in doc["rows"]:
+        key = (row["benchmark"], bool(row["pbo"]))
+        if key in rows:
+            raise SystemExit(f"{path}: duplicate row for {key}")
+        rows[key] = row
+    return rows
+
+
+def rel_drift(base, cur):
+    if base == 0:
+        return 0.0 if cur == 0 else float("inf")
+    return abs(cur - base) / base
+
+
+def compare(baseline, current, miss_tol, perf_tol):
+    """Returns a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    for key in baseline:
+        if key not in current:
+            failures.append(f"{key[0]} (pbo={key[1]}): row missing from current run")
+    for key in current:
+        if key not in baseline:
+            failures.append(
+                f"{key[0]} (pbo={key[1]}): new row not in baseline "
+                "(regenerate bench/baselines/BENCH_table3.json)"
+            )
+    for key, base in sorted(baseline.items()):
+        cur = current.get(key)
+        if cur is None:
+            continue
+        name = f"{key[0]} (pbo={'yes' if key[1] else 'no'})"
+        for field in ("base_misses", "opt_misses"):
+            drift = rel_drift(base[field], cur[field])
+            if drift > miss_tol:
+                failures.append(
+                    f"{name}: {field} drifted {drift:.1%} "
+                    f"({base[field]} -> {cur[field]}, tolerance {miss_tol:.1%})"
+                )
+        perf_delta = abs(cur["perf_percent"] - base["perf_percent"])
+        if perf_delta > perf_tol:
+            failures.append(
+                f"{name}: perf_percent moved {perf_delta:.2f}pp "
+                f"({base['perf_percent']:.2f} -> {cur['perf_percent']:.2f}, "
+                f"tolerance {perf_tol:.2f}pp)"
+            )
+    return failures
+
+
+def check_compile_time(path):
+    """Presence/schema check only: google-benchmark JSON with benchmarks."""
+    with open(path) as f:
+        doc = json.load(f)
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        raise SystemExit(f"{path}: no benchmarks in artifact")
+    for b in benches:
+        if "name" not in b or "real_time" not in b:
+            raise SystemExit(f"{path}: malformed benchmark entry: {b}")
+    print(f"ok: {path} contains {len(benches)} compile-time measurements")
+
+
+def self_test(baseline_rows, miss_tol, perf_tol):
+    clean = compare(baseline_rows, baseline_rows, miss_tol, perf_tol)
+    if clean:
+        print("self-test FAILED: baseline does not pass against itself:")
+        for f in clean:
+            print(f"  {f}")
+        return 1
+
+    regressed = copy.deepcopy(baseline_rows)
+    victim = sorted(regressed)[0]
+    regressed[victim]["opt_misses"] = int(
+        regressed[victim]["opt_misses"] * 1.10
+    )
+    failures = compare(baseline_rows, regressed, miss_tol, perf_tol)
+    if not failures:
+        print(
+            "self-test FAILED: a 10% opt_misses regression on "
+            f"{victim} was not rejected"
+        )
+        return 1
+    print("self-test ok: baseline passes, injected 10% miss regression fails:")
+    for f in failures:
+        print(f"  {f}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="bench/baselines/BENCH_table3.json")
+    ap.add_argument("--current", help="freshly produced BENCH_table3.json")
+    ap.add_argument(
+        "--compile-time",
+        help="BENCH_compile_time.json to presence/schema-check (not gated)",
+    )
+    ap.add_argument(
+        "--miss-tolerance",
+        type=float,
+        default=0.05,
+        help="max relative drift in base/opt miss counts (default 5%%)",
+    )
+    ap.add_argument(
+        "--perf-tolerance",
+        type=float,
+        default=2.0,
+        help="max absolute drift in perf_percent, in points (default 2.0)",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the gate rejects an injected 10%% miss regression",
+    )
+    args = ap.parse_args()
+
+    baseline = load_rows(args.baseline)
+
+    if args.self_test:
+        return self_test(baseline, args.miss_tolerance, args.perf_tolerance)
+
+    if not args.current:
+        ap.error("--current is required unless --self-test")
+
+    if args.compile_time:
+        check_compile_time(args.compile_time)
+
+    current = load_rows(args.current)
+    failures = compare(baseline, current, args.miss_tolerance, args.perf_tolerance)
+    if failures:
+        print(f"bench gate FAILED ({len(failures)} drift(s) vs {args.baseline}):")
+        for f in failures:
+            print(f"  {f}")
+        print(
+            "if this change is intentional, regenerate the baseline:\n"
+            "  ./build/bench/bench_table3_performance && "
+            "cp BENCH_table3.json bench/baselines/"
+        )
+        return 1
+    print(
+        f"bench gate ok: {len(current)} rows within tolerance "
+        f"(miss {args.miss_tolerance:.1%}, perf {args.perf_tolerance}pp)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

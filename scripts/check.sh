@@ -1,22 +1,47 @@
 #!/usr/bin/env bash
-# Full check: build and test plain, then again under ASan+UBSan.
+# Full check: build and test plain, then again under ASan+UBSan. Both
+# ctest legs always run; the script exits nonzero if either failed, so a
+# plain-leg failure is never masked by a green sanitized leg.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# nproc is a coreutils extra some minimal images lack; POSIX getconf is
+# the fallback.
+jobs() {
+  if command -v nproc >/dev/null 2>&1; then
+    nproc
+  else
+    getconf _NPROCESSORS_ONLN
+  fi
+}
+J="$(jobs)"
+
+# Pass a compiler launcher (ccache in CI) through to both builds.
+LAUNCHER_ARGS=()
+if [[ -n "${CMAKE_CXX_COMPILER_LAUNCHER:-}" ]]; then
+  LAUNCHER_ARGS+=("-DCMAKE_CXX_COMPILER_LAUNCHER=${CMAKE_CXX_COMPILER_LAUNCHER}")
+fi
+
 echo "=== plain build ==="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build -j"$(nproc)"
-ctest --test-dir build --output-on-failure -j"$(nproc)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "${LAUNCHER_ARGS[@]}"
+cmake --build build -j"$J"
+PLAIN_RC=0
+ctest --test-dir build --output-on-failure -j"$J" || PLAIN_RC=$?
 
 echo "=== sanitized build (ASan+UBSan) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DSLO_ENABLE_SANITIZERS=ON
-cmake --build build-asan -j"$(nproc)"
+      -DSLO_ENABLE_SANITIZERS=ON "${LAUNCHER_ARGS[@]}"
+cmake --build build-asan -j"$J"
 # The interpreter recurses on the host stack for simulated calls; ASan's
 # enlarged frames need more than the default 8 MiB to reach the
 # interpreter's own MaxCallDepth trap (see DeepRecursionTrapsNotCrashes).
 ulimit -s 262144 2>/dev/null || true
-ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+ASAN_RC=0
+ctest --test-dir build-asan --output-on-failure -j"$J" || ASAN_RC=$?
 
+if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 ]]; then
+  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC) ==="
+  exit 1
+fi
 echo "=== all checks passed ==="

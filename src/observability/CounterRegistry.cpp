@@ -1,0 +1,122 @@
+//===- observability/CounterRegistry.cpp - Sharded counters ---------------===//
+
+#include "observability/CounterRegistry.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace slo;
+
+namespace {
+
+/// Thread-local cache mapping registries to this thread's shard. A
+/// generation tag guards against a destroyed registry being reallocated
+/// at the same address. Linear scan: a thread touches very few distinct
+/// registries, and the common case is a hit on the first entry.
+struct ShardCacheEntry {
+  const void *Registry = nullptr;
+  uint64_t Generation = 0;
+  void *Shard = nullptr;
+};
+
+thread_local std::vector<ShardCacheEntry> TLSCache;
+
+std::atomic<uint64_t> NextGeneration{1};
+
+} // namespace
+
+CounterRegistry::CounterRegistry()
+    : Generation(NextGeneration.fetch_add(1, std::memory_order_relaxed)) {}
+
+CounterRegistry::~CounterRegistry() = default;
+
+CounterRegistry::CounterId CounterRegistry::id(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Ids.find(Name);
+  if (It != Ids.end())
+    return It->second;
+  assert(Names.size() < MaxCounters && "counter registry is full");
+  CounterId C = static_cast<CounterId>(Names.size());
+  Names.push_back(Name);
+  Ids.emplace(Name, C);
+  return C;
+}
+
+CounterRegistry::Shard &CounterRegistry::localShard() {
+  for (const ShardCacheEntry &E : TLSCache)
+    if (E.Registry == this && E.Generation == Generation)
+      return *static_cast<Shard *>(E.Shard);
+  Shard *S;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Shards.push_back(std::make_unique<Shard>());
+    S = Shards.back().get();
+  }
+  TLSCache.push_back({this, Generation, S});
+  return *S;
+}
+
+void CounterRegistry::add(CounterId C, uint64_t N) {
+  assert(C < MaxCounters && "counter id out of range");
+  // Single-writer per shard: relaxed is enough, the merge path orders
+  // itself with the registry mutex.
+  localShard().Slots[C].fetch_add(N, std::memory_order_relaxed);
+}
+
+uint64_t CounterRegistry::value(CounterId C) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Sum = 0;
+  for (const auto &S : Shards)
+    Sum += S->Slots[C].load(std::memory_order_relaxed);
+  return Sum;
+}
+
+uint64_t CounterRegistry::value(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Ids.find(Name);
+  if (It == Ids.end())
+    return 0;
+  uint64_t Sum = 0;
+  for (const auto &S : Shards)
+    Sum += S->Slots[It->second].load(std::memory_order_relaxed);
+  return Sum;
+}
+
+std::map<std::string, uint64_t> CounterRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<std::string, uint64_t> Out;
+  for (const auto &[Name, C] : Ids) {
+    uint64_t Sum = 0;
+    for (const auto &S : Shards)
+      Sum += S->Slots[C].load(std::memory_order_relaxed);
+    Out[Name] = Sum;
+  }
+  return Out;
+}
+
+std::string CounterRegistry::renderText() const {
+  std::string Out;
+  for (const auto &[Name, V] : snapshot()) {
+    Out += Name;
+    Out += ' ';
+    Out += std::to_string(V);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string CounterRegistry::renderJson() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, V] : snapshot()) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += '"';
+    Out += Name; // Counter names are identifiers; no escaping needed.
+    Out += "\": ";
+    Out += std::to_string(V);
+  }
+  Out += "}";
+  return Out;
+}

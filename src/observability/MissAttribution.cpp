@@ -1,0 +1,103 @@
+//===- observability/MissAttribution.cpp - Per-field miss sink ------------===//
+
+#include "observability/MissAttribution.h"
+
+#include "support/Diagnostics.h" // escapeJson
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace slo;
+
+MissAttribution::MissAttribution() {
+  // Reserve the pseudo-sites so ids are stable constants.
+  Sites.resize(3);
+  Sites[UntypedSite].Record = "(untyped)";
+  Sites[MemsetSite].Record = "(memset)";
+  Sites[MemcpySite].Record = "(memcpy)";
+}
+
+MissAttribution::SiteId
+MissAttribution::registerField(const std::string &Record,
+                               const std::string &Field) {
+  auto Key = std::make_pair(Record, Field);
+  auto It = FieldIds.find(Key);
+  if (It != FieldIds.end())
+    return It->second;
+  SiteId Id = static_cast<SiteId>(Sites.size());
+  Sites.emplace_back();
+  Sites.back().Record = Record;
+  Sites.back().Field = Field;
+  FieldIds.emplace(std::move(Key), Id);
+  return Id;
+}
+
+void MissAttribution::notePcLabel(uint64_t Pc, const std::string &Label) {
+  PcLabels.emplace(Pc, Label);
+}
+
+std::vector<AttributedSiteStats> MissAttribution::collect() const {
+  std::vector<AttributedSiteStats> Out = Sites;
+  for (const auto &[Pc, SiteMisses] : MissesByRawPc) {
+    auto It = PcLabels.find(Pc);
+    std::string Label = It != PcLabels.end()
+                            ? It->second
+                            : formatString("pc:%llx",
+                                           static_cast<unsigned long long>(
+                                               Pc));
+    Out[SiteMisses.first].MissesByPc[Label] += SiteMisses.second;
+  }
+  // Drop sites with no traffic at all (pseudo-sites included when idle).
+  Out.erase(std::remove_if(Out.begin(), Out.end(),
+                           [](const AttributedSiteStats &S) {
+                             return S.Loads == 0 && S.Stores == 0 &&
+                                    S.Misses == 0;
+                           }),
+            Out.end());
+  return Out;
+}
+
+std::string MissAttribution::renderHeatmapJson() const {
+  std::vector<AttributedSiteStats> All = collect();
+  std::stable_sort(All.begin(), All.end(),
+                   [](const AttributedSiteStats &A,
+                      const AttributedSiteStats &B) {
+                     if (A.Misses != B.Misses)
+                       return A.Misses > B.Misses;
+                     if (A.Record != B.Record)
+                       return A.Record < B.Record;
+                     return A.Field < B.Field;
+                   });
+  std::string Out = formatString(
+      "{\n  \"total_misses\": %llu,\n  \"sites\": [\n",
+      static_cast<unsigned long long>(TotalMissEvents));
+  for (size_t I = 0; I < All.size(); ++I) {
+    const AttributedSiteStats &S = All[I];
+    if (I)
+      Out += ",\n";
+    uint64_t Accesses = S.Loads + S.Stores;
+    double AvgLat =
+        Accesses ? static_cast<double>(S.TotalLatency) /
+                       static_cast<double>(Accesses)
+                 : 0.0;
+    Out += formatString(
+        "    {\"record\": \"%s\", \"field\": \"%s\", \"loads\": %llu, "
+        "\"stores\": %llu, \"misses\": %llu, \"avg_latency\": %.3f, "
+        "\"pcs\": {",
+        escapeJson(S.Record).c_str(), escapeJson(S.Field).c_str(),
+        static_cast<unsigned long long>(S.Loads),
+        static_cast<unsigned long long>(S.Stores),
+        static_cast<unsigned long long>(S.Misses), AvgLat);
+    bool FirstPc = true;
+    for (const auto &[Label, N] : S.MissesByPc) {
+      if (!FirstPc)
+        Out += ", ";
+      FirstPc = false;
+      Out += formatString("\"%s\": %llu", escapeJson(Label).c_str(),
+                          static_cast<unsigned long long>(N));
+    }
+    Out += "}}";
+  }
+  Out += "\n  ]\n}\n";
+  return Out;
+}

@@ -1,0 +1,118 @@
+//===- observability/MissAttribution.h - Per-field miss sink ---*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standalone reproduction of HP Caliper's data-cache attribution
+/// (paper §3.1): every simulated access — and in particular every
+/// first-level miss event — is mapped back to (record type, field,
+/// access PC). The advisor's one-shot correlation consumed this table
+/// and threw it away; this sink keeps it as a first-class, machine-
+/// readable artifact that tooling and CI can diff across runs.
+///
+/// Sites are interned up front (at interpreter decode time) into dense
+/// ids, so the per-access hot path is three array bumps; only the miss
+/// path touches the per-PC map. Accesses that do not go through a
+/// field address (array elements, globals, memset/memcpy traffic) are
+/// attributed to reserved pseudo-sites, so the heatmap partitions the
+/// simulator's miss total exactly: the sum over all sites equals
+/// CacheSim's first-level miss event count, by construction and
+/// cross-checked in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_OBSERVABILITY_MISSATTRIBUTION_H
+#define SLO_OBSERVABILITY_MISSATTRIBUTION_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// Per-field (or pseudo-site) access and miss statistics.
+struct AttributedSiteStats {
+  std::string Record; // Record type name, or a "(...)" pseudo-site tag.
+  std::string Field;  // Field name, empty for pseudo-sites.
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  /// First-level miss events (the PMU-attributable event: at most one
+  /// per access, even when a straddle fills two lines).
+  uint64_t Misses = 0;
+  /// Sum of access latencies in cycles (loads and stores).
+  uint64_t TotalLatency = 0;
+  /// Miss events per access PC ("function+codeindex" at registration).
+  std::map<std::string, uint64_t> MissesByPc;
+};
+
+/// The sink. One per simulated run; not thread-safe (each Interpreter
+/// owns its CacheSim and its sink, like the per-run cache state).
+class MissAttribution {
+public:
+  using SiteId = uint32_t;
+
+  /// Pseudo-sites for traffic with no field provenance. Registered at
+  /// construction so ids 0..2 are always valid.
+  static constexpr SiteId UntypedSite = 0;  // Non-field loads/stores.
+  static constexpr SiteId MemsetSite = 1;   // memset line traffic.
+  static constexpr SiteId MemcpySite = 2;   // memcpy line traffic.
+
+  MissAttribution();
+
+  /// Interns one (record, field) site; returns a dense id. Repeated
+  /// registration of the same pair returns the same id.
+  SiteId registerField(const std::string &Record, const std::string &Field);
+
+  /// Interns an access-PC label for \p Pc (an opaque 64-bit token; the
+  /// interpreter packs function index and code index). Labels are
+  /// resolved lazily on the miss path only.
+  void notePcLabel(uint64_t Pc, const std::string &Label);
+
+  /// Records one simulated access at \p Site from \p Pc.
+  void recordAccess(SiteId Site, uint64_t Pc, bool IsStore, bool Miss,
+                    unsigned Latency) {
+    AttributedSiteStats &S = Sites[Site];
+    if (IsStore)
+      ++S.Stores;
+    else
+      ++S.Loads;
+    S.TotalLatency += Latency;
+    if (Miss) {
+      ++S.Misses;
+      ++TotalMissEvents;
+      ++MissesByRawPc[Pc].second;
+      MissesByRawPc[Pc].first = Site;
+    }
+  }
+
+  /// Sum of miss events over every site — must equal the simulator's
+  /// first-level miss event count.
+  uint64_t totalMisses() const { return TotalMissEvents; }
+
+  /// All sites with any traffic, pseudo-sites included, with the per-PC
+  /// miss breakdown folded in (PCs with no label render as "pc:<hex>").
+  std::vector<AttributedSiteStats> collect() const;
+
+  /// The per-field miss heatmap as a JSON object:
+  /// {"total_misses": N, "sites": [{record, field, loads, stores,
+  ///  misses, avg_latency, pcs: {label: misses}}...]} sorted by misses
+  /// descending then name, so the artifact is deterministic.
+  std::string renderHeatmapJson() const;
+
+private:
+  std::vector<AttributedSiteStats> Sites;
+  std::map<std::pair<std::string, std::string>, SiteId> FieldIds;
+  std::map<uint64_t, std::string> PcLabels;
+  /// Pc -> (owning site, miss events). A PC belongs to one DInst and so
+  /// to one site.
+  std::map<uint64_t, std::pair<SiteId, uint64_t>> MissesByRawPc;
+  uint64_t TotalMissEvents = 0;
+};
+
+} // namespace slo
+
+#endif // SLO_OBSERVABILITY_MISSATTRIBUTION_H

@@ -1,0 +1,101 @@
+//===- observability/Tracer.cpp - Hierarchical phase tracing --------------===//
+
+#include "observability/Tracer.h"
+
+#include "support/Diagnostics.h" // escapeJson
+#include "support/Format.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+
+using namespace slo;
+
+namespace {
+
+/// Small dense thread ids, assigned on first trace from each thread.
+/// Stable across tracers so one process's traces line up.
+uint32_t localThreadId() {
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+uint64_t microsBetween(Tracer::Clock::time_point A,
+                       Tracer::Clock::time_point B) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(B - A).count());
+}
+
+} // namespace
+
+void Tracer::record(std::string Name, std::string Category,
+                    Clock::time_point Start, Clock::time_point End) {
+  Event E;
+  E.Name = std::move(Name);
+  E.Category = std::move(Category);
+  E.StartMicros = microsBetween(Epoch, Start);
+  E.DurMicros = microsBetween(Start, End);
+  E.ThreadId = localThreadId();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back(std::move(E));
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events;
+}
+
+std::string Tracer::renderChromeJson() const {
+  std::vector<Event> Evs = events();
+  // The viewer sorts by timestamp itself, but a sorted file diffs better
+  // across runs.
+  std::stable_sort(Evs.begin(), Evs.end(),
+                   [](const Event &A, const Event &B) {
+                     return A.StartMicros < B.StartMicros;
+                   });
+  std::string Out = "{\"traceEvents\": [\n";
+  for (size_t I = 0; I < Evs.size(); ++I) {
+    const Event &E = Evs[I];
+    if (I)
+      Out += ",\n";
+    Out += formatString(
+        "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+        "\"ts\": %llu, \"dur\": %llu, \"pid\": 1, \"tid\": %u}",
+        escapeJson(E.Name).c_str(), escapeJson(E.Category).c_str(),
+        static_cast<unsigned long long>(E.StartMicros),
+        static_cast<unsigned long long>(E.DurMicros), E.ThreadId);
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string Tracer::renderTextSummary() const {
+  struct Agg {
+    uint64_t Count = 0;
+    uint64_t TotalMicros = 0;
+    uint64_t MaxMicros = 0;
+  };
+  std::map<std::string, Agg> ByName;
+  for (const Event &E : events()) {
+    Agg &A = ByName[E.Name];
+    ++A.Count;
+    A.TotalMicros += E.DurMicros;
+    A.MaxMicros = std::max(A.MaxMicros, E.DurMicros);
+  }
+  std::vector<std::pair<std::string, Agg>> Rows(ByName.begin(), ByName.end());
+  std::stable_sort(Rows.begin(), Rows.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second.TotalMicros > B.second.TotalMicros;
+                   });
+  std::string Out =
+      formatString("%8s %12s %12s  %s\n", "count", "total-ms", "max-ms",
+                   "span");
+  for (const auto &[Name, A] : Rows)
+    Out += formatString("%8llu %12.3f %12.3f  %s\n",
+                        static_cast<unsigned long long>(A.Count),
+                        static_cast<double>(A.TotalMicros) / 1000.0,
+                        static_cast<double>(A.MaxMicros) / 1000.0,
+                        Name.c_str());
+  return Out;
+}

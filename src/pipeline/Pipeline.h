@@ -35,6 +35,9 @@
 
 namespace slo {
 
+class CounterRegistry;
+class Tracer;
+
 struct PipelineOptions {
   /// Which hotness/affinity weighting to use. PBO/PPBO/DMISS/DLAT need a
   /// feedback file.
@@ -49,6 +52,12 @@ struct PipelineOptions {
   /// Run the points-to refinement and let per-site proofs (not the Relax
   /// flag) admit types the blanket legality tests rejected.
   bool UseProvenLegality = true;
+
+  /// Observability hooks, both default off (null). Trace records one
+  /// span per FE/IPA/BE stage; Counters receives "pipeline.*",
+  /// "pointsto.*", and "planner.*" totals.
+  Tracer *Trace = nullptr;
+  CounterRegistry *Counters = nullptr;
 };
 
 struct PipelineResult {

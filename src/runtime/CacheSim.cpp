@@ -2,6 +2,8 @@
 
 #include "runtime/CacheSim.h"
 
+#include "observability/CounterRegistry.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -83,6 +85,17 @@ void CacheSim::reset() {
   L1Stats = CacheLevelStats();
   L2Stats = CacheLevelStats();
   L3Stats = CacheLevelStats();
+  FirstLevelMissEvents = 0;
+}
+
+void CacheSim::publishCounters(CounterRegistry &Counters) const {
+  Counters.add("cachesim.l1.hits", L1Stats.Hits);
+  Counters.add("cachesim.l1.misses", L1Stats.Misses);
+  Counters.add("cachesim.l2.hits", L2Stats.Hits);
+  Counters.add("cachesim.l2.misses", L2Stats.Misses);
+  Counters.add("cachesim.l3.hits", L3Stats.Hits);
+  Counters.add("cachesim.l3.misses", L3Stats.Misses);
+  Counters.add("cachesim.first_level_miss_events", FirstLevelMissEvents);
 }
 
 unsigned CacheSim::lookupLine(uint64_t Addr, bool UseL1,
@@ -145,6 +158,12 @@ CacheAccessResult CacheSim::access(uint64_t Addr, unsigned Bytes,
     Latency = Latency / Div;
     Stall = Stall / Div;
   }
+  if (FirstLevelMiss)
+    ++FirstLevelMissEvents;
+  // The attribution sink sees every access the simulator sees, so the
+  // per-site miss counts partition FirstLevelMissEvents exactly.
+  if (Sink)
+    Sink->recordAccess(CtxSite, CtxPc, IsStore, FirstLevelMiss, Latency);
   CacheAccessResult R;
   R.Latency = Latency;
   R.Stall = Stall;

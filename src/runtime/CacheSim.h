@@ -34,10 +34,14 @@
 #ifndef SLO_RUNTIME_CACHESIM_H
 #define SLO_RUNTIME_CACHESIM_H
 
+#include "observability/MissAttribution.h"
+
 #include <cstdint>
 #include <vector>
 
 namespace slo {
+
+class CounterRegistry;
 
 /// Geometry and latency of one cache level.
 struct CacheLevelConfig {
@@ -117,6 +121,29 @@ public:
   const CacheLevelStats &l2Stats() const { return L2Stats; }
   const CacheLevelStats &l3Stats() const { return L3Stats; }
 
+  /// First-level miss events: at most one per access (what a PMU would
+  /// attribute to the instruction). Note L1Stats.Misses can exceed this
+  /// because a straddling access may fill two lines.
+  uint64_t firstLevelMissEvents() const { return FirstLevelMissEvents; }
+
+  /// Attaches a per-field miss attribution sink: every subsequent access
+  /// is recorded against the current attribution context. Null detaches
+  /// (the guarded fast path: one branch per access).
+  void setMissSink(MissAttribution *S) { Sink = S; }
+  MissAttribution *missSink() const { return Sink; }
+
+  /// Sets the attribution context for subsequent accesses: the
+  /// (record, field) site and an opaque access-PC token. The driver of
+  /// the simulator (the interpreter) updates this before each access.
+  void setAccessContext(MissAttribution::SiteId Site, uint64_t Pc) {
+    CtxSite = Site;
+    CtxPc = Pc;
+  }
+
+  /// Publishes the level statistics and the miss-event count into
+  /// \p Counters under "cachesim.*".
+  void publishCounters(CounterRegistry &Counters) const;
+
   /// Clears all cache state and statistics.
   void reset();
 
@@ -155,6 +182,11 @@ private:
   CacheConfig Config;
   Level L1, L2, L3;
   CacheLevelStats L1Stats, L2Stats, L3Stats;
+  uint64_t FirstLevelMissEvents = 0;
+
+  MissAttribution *Sink = nullptr;
+  MissAttribution::SiteId CtxSite = MissAttribution::UntypedSite;
+  uint64_t CtxPc = 0;
 };
 
 } // namespace slo

@@ -14,6 +14,9 @@
 
 #include "runtime/Interpreter.h"
 
+#include "observability/CounterRegistry.h"
+#include "observability/MissAttribution.h"
+#include "observability/Tracer.h"
 #include "support/Casting.h"
 #include "support/Error.h"
 #include "support/Format.h"
@@ -127,6 +130,7 @@ struct DInst {
   const FieldAddrInst *Attrib = nullptr;   // Load/store d-cache attribution.
   const BasicBlock *FromBB = nullptr;      // Branches: edge profiling.
   const BasicBlock *ToBB0 = nullptr, *ToBB1 = nullptr;
+  uint32_t Site = 0; // MissAttribution site id (0 = untyped traffic).
 };
 
 /// Fetches an operand value.
@@ -138,6 +142,7 @@ inline Reg get(const Operand &O, const Reg *Frame) {
 /// call-argument operand pool, and the register/stack frame shape.
 struct DecodedFunction {
   const Function *F = nullptr;
+  uint32_t FuncIdx = 0;
   int32_t NumSlots = 0;
   uint64_t FrameSize = 0;
   std::vector<DInst> Code;
@@ -180,7 +185,10 @@ BuiltinKind classifyBuiltin(const std::string &Name) {
 class Interpreter::Impl {
 public:
   Impl(const Module &M, RunOptions Opts)
-      : M(M), Opts(std::move(Opts)), Cache(this->Opts.Cache) {}
+      : M(M), Opts(std::move(Opts)), Cache(this->Opts.Cache) {
+    if (this->Opts.Attribution)
+      Cache.setMissSink(this->Opts.Attribution);
+  }
 
   RunResult run(const std::string &EntryName);
 
@@ -226,7 +234,26 @@ private:
   Reg callBuiltin(uint16_t Kind, const Function *F, const Operand *ArgOps,
                   unsigned NumArgs, const Reg *Frame);
   void simulateAccess(uint64_t Addr, unsigned Bytes, bool IsFp, bool IsStore,
-                      const FieldAddrInst *Attrib);
+                      const FieldAddrInst *Attrib, uint32_t Site,
+                      uint64_t Pc);
+
+  /// Registers a human-readable label ("function+codeindex") for the
+  /// packed PC token on its first attributed miss; per-PC bitmap keeps
+  /// the miss path at one vector test after the first.
+  void labelPc(uint64_t Pc) {
+    uint32_t FIdx = static_cast<uint32_t>(Pc >> 32);
+    uint32_t Idx = static_cast<uint32_t>(Pc);
+    if (PcLabeled.size() <= FIdx)
+      PcLabeled.resize(FuncList.size());
+    std::vector<bool> &Seen = PcLabeled[FIdx];
+    if (Seen.empty())
+      Seen.resize(DecodedFns[FIdx]->Code.size());
+    if (Seen[Idx])
+      return;
+    Seen[Idx] = true;
+    Opts.Attribution->notePcLabel(
+        Pc, formatString("%s+%u", FuncList[FIdx]->getName().c_str(), Idx));
+  }
 
   void ensureArena(size_t End) {
     if (End > RegArena.size())
@@ -265,6 +292,9 @@ private:
   size_t ArenaTop = 0;
 
   uint64_t SampleTick = 0;
+
+  /// [FuncIdx][CodeIdx] -> PC label already registered with the sink.
+  std::vector<std::vector<bool>> PcLabeled;
 
   friend class Interpreter;
 };
@@ -321,6 +351,7 @@ void Interpreter::Impl::layoutGlobals() {
 const DecodedFunction &Interpreter::Impl::decodedFunction(uint32_t Idx) {
   if (!DecodedFns[Idx]) {
     auto DF = std::make_unique<DecodedFunction>();
+    DF->FuncIdx = Idx;
     decodeInto(FuncList[Idx], *DF);
     DecodedFns[Idx] = std::move(DF);
   }
@@ -410,6 +441,10 @@ void Interpreter::Impl::decodeInto(const Function *F, DecodedFunction &DF) {
         D.SignExtend =
             !(Ty->isInt() && cast<IntType>(Ty)->getBits() == 1);
         D.Attrib = dyn_cast<FieldAddrInst>(Ld.getPointer());
+        if (D.Attrib && Opts.Attribution)
+          D.Site = Opts.Attribution->registerField(
+              D.Attrib->getRecord()->getRecordName(),
+              D.Attrib->getField().Name);
         break;
       }
       case Instruction::OpStore: {
@@ -422,6 +457,10 @@ void Interpreter::Impl::decodeInto(const Function *F, DecodedFunction &DF) {
         D.Bytes = static_cast<uint8_t>(Ty->getSize());
         D.IsFloat = Ty->isFloat();
         D.Attrib = dyn_cast<FieldAddrInst>(St.getPointer());
+        if (D.Attrib && Opts.Attribution)
+          D.Site = Opts.Attribution->registerField(
+              D.Attrib->getRecord()->getRecordName(),
+              D.Attrib->getField().Name);
         break;
       }
       case Instruction::OpFieldAddr: {
@@ -703,7 +742,8 @@ void Interpreter::Impl::writeFloat(uint64_t Addr, unsigned Bytes, double V) {
 
 void Interpreter::Impl::simulateAccess(uint64_t Addr, unsigned Bytes,
                                        bool IsFp, bool IsStore,
-                                       const FieldAddrInst *Attrib) {
+                                       const FieldAddrInst *Attrib,
+                                       uint32_t Site, uint64_t Pc) {
   // Stack slots model register-promoted locals: free, not simulated.
   if (isStackAddress(Addr))
     return;
@@ -714,9 +754,13 @@ void Interpreter::Impl::simulateAccess(uint64_t Addr, unsigned Bytes,
   ++Result.Cycles; // Issue cost of a real memory operation.
   if (!Opts.SimulateCache)
     return;
+  if (Opts.Attribution)
+    Cache.setAccessContext(Site, Pc);
   CacheAccessResult A = Cache.access(Addr, Bytes, IsStore, IsFp);
   Result.Cycles += A.Stall;
   Result.MemStallCycles += A.Stall;
+  if (Opts.Attribution && A.FirstLevelMiss)
+    labelPc(Pc);
 
   if (!Opts.Profile || !Attrib)
     return;
@@ -858,7 +902,9 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
       else
         R.I = readInt(Addr, D.Bytes, D.SignExtend);
       Frame[D.ResultSlot] = R;
-      simulateAccess(Addr, D.Bytes, D.IsFloat, /*IsStore=*/false, D.Attrib);
+      simulateAccess(Addr, D.Bytes, D.IsFloat, /*IsStore=*/false, D.Attrib,
+                     D.Site,
+                     (static_cast<uint64_t>(DF.FuncIdx) << 32) | (PC - 1));
       break;
     }
     case DOp::Store: {
@@ -870,7 +916,9 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
         writeFloat(Addr, D.Bytes, V.F);
       else
         writeInt(Addr, D.Bytes, V.I);
-      simulateAccess(Addr, D.Bytes, D.IsFloat, /*IsStore=*/true, D.Attrib);
+      simulateAccess(Addr, D.Bytes, D.IsFloat, /*IsStore=*/true, D.Attrib,
+                     D.Site,
+                     (static_cast<uint64_t>(DF.FuncIdx) << 32) | (PC - 1));
       break;
     }
     case DOp::FieldAddr: {
@@ -1129,15 +1177,21 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
       std::memset(Mem.data() + Addr, static_cast<int>(Byte & 0xff), Size);
       // Touch one cache line per 64 bytes, with the chunk's real width
       // so misaligned streams pay for the lines they straddle.
-      if (Opts.SimulateCache)
-        for (uint64_t Off = 0; Off < Size; Off += 64)
-          Result.Cycles +=
-              Cache
-                  .access(Addr + Off,
-                          static_cast<unsigned>(std::min<uint64_t>(
-                              64, Size - Off)),
-                          /*IsStore=*/true, false)
-                  .Stall;
+      if (Opts.SimulateCache) {
+        uint64_t Pc = (static_cast<uint64_t>(DF.FuncIdx) << 32) | (PC - 1);
+        if (Opts.Attribution)
+          Cache.setAccessContext(MissAttribution::MemsetSite, Pc);
+        for (uint64_t Off = 0; Off < Size; Off += 64) {
+          CacheAccessResult A =
+              Cache.access(Addr + Off,
+                           static_cast<unsigned>(
+                               std::min<uint64_t>(64, Size - Off)),
+                           /*IsStore=*/true, false);
+          Result.Cycles += A.Stall;
+          if (Opts.Attribution && A.FirstLevelMiss)
+            labelPc(Pc);
+        }
+      }
       break;
     }
     case DOp::Memcpy: {
@@ -1148,13 +1202,19 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
         break;
       std::memmove(Mem.data() + Dst, Mem.data() + Src, Size);
       if (Opts.SimulateCache) {
+        uint64_t Pc = (static_cast<uint64_t>(DF.FuncIdx) << 32) | (PC - 1);
+        if (Opts.Attribution)
+          Cache.setAccessContext(MissAttribution::MemcpySite, Pc);
         for (uint64_t Off = 0; Off < Size; Off += 64) {
           unsigned W =
               static_cast<unsigned>(std::min<uint64_t>(64, Size - Off));
-          Result.Cycles +=
-              Cache.access(Src + Off, W, /*IsStore=*/false, false).Stall;
-          Result.Cycles +=
-              Cache.access(Dst + Off, W, /*IsStore=*/true, false).Stall;
+          CacheAccessResult RdA =
+              Cache.access(Src + Off, W, /*IsStore=*/false, false);
+          CacheAccessResult WrA =
+              Cache.access(Dst + Off, W, /*IsStore=*/true, false);
+          Result.Cycles += RdA.Stall + WrA.Stall;
+          if (Opts.Attribution && (RdA.FirstLevelMiss || WrA.FirstLevelMiss))
+            labelPc(Pc);
         }
       }
       break;
@@ -1173,6 +1233,9 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
 }
 
 RunResult Interpreter::Impl::run(const std::string &EntryName) {
+  std::string SpanName =
+      Opts.Trace ? "interpret/" + M.getName() : std::string();
+  TraceSpan Span(Opts.Trace, SpanName.c_str(), "run");
   const Function *Entry = M.lookupFunction(EntryName);
   if (!Entry || Entry->isDeclaration()) {
     trap("entry function '" + EntryName + "' is not defined");
@@ -1195,6 +1258,24 @@ RunResult Interpreter::Impl::run(const std::string &EntryName) {
   Result.L1 = Cache.l1Stats();
   Result.L2 = Cache.l2Stats();
   Result.L3 = Cache.l3Stats();
+  Result.FirstLevelMisses = Cache.firstLevelMissEvents();
+
+  if (Opts.Counters) {
+    CounterRegistry &C = *Opts.Counters;
+    C.add("interp.instructions", Result.Instructions);
+    C.add("interp.cycles", Result.Cycles);
+    C.add("interp.mem_stall_cycles", Result.MemStallCycles);
+    C.add("interp.loads", Result.Loads);
+    C.add("interp.stores", Result.Stores);
+    C.add("interp.heap_allocations", Result.HeapAllocations);
+    C.add("interp.heap_bytes", Result.HeapBytesAllocated);
+    uint64_t Decoded = 0;
+    for (const auto &DF : DecodedFns)
+      Decoded += DF != nullptr;
+    C.add("interp.functions_decoded", Decoded);
+    C.add("interp.traps", Result.Trapped ? 1 : 0);
+    Cache.publishCounters(C);
+  }
   return Result;
 }
 

@@ -38,6 +38,10 @@
 
 namespace slo {
 
+class CounterRegistry;
+class MissAttribution;
+class Tracer;
+
 /// Execution options.
 struct RunOptions {
   /// Values assigned to named integer globals before execution; the
@@ -56,6 +60,19 @@ struct RunOptions {
   /// Attribute every Nth field cache event (1 = exact; larger values
   /// mimic PMU sampling).
   unsigned CacheSamplePeriod = 1;
+
+  /// Observability hooks; all default off (null), and the null paths are
+  /// single-branch guards so a plain run pays nothing measurable.
+  /// When set, every simulated access is attributed to
+  /// (record, field, access PC) — exact, unlike the sampled
+  /// FeedbackFile attribution — and the per-site miss counts partition
+  /// the simulator's first-level miss event total.
+  MissAttribution *Attribution = nullptr;
+  /// When set, the run records an "interpret/<module>" span.
+  Tracer *Trace = nullptr;
+  /// When set, run totals and cache level statistics are published under
+  /// "interp.*" / "cachesim.*" after the run.
+  CounterRegistry *Counters = nullptr;
 
   /// Execution guards.
   uint64_t MaxInstructions = 4000000000ull;
@@ -76,6 +93,8 @@ struct RunResult {
   CacheLevelStats L1;
   CacheLevelStats L2;
   CacheLevelStats L3;
+  /// First-level miss events (at most one per access; the PMU event).
+  uint64_t FirstLevelMisses = 0;
 
   /// Output of the print_i64 / print_f64 library builtins, in order.
   /// Semantic-equivalence tests compare these across transformations.

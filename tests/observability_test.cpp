@@ -1,0 +1,273 @@
+//===- tests/observability_test.cpp - Tracer/counters/attribution ---------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// Covers the observability layer's three contracts:
+//  - the miss-attribution partition invariant: site misses sum exactly
+//    to the simulator's first-level miss event count, on every workload;
+//  - CounterRegistry merges deterministically under the ThreadPool;
+//  - attaching any hook never perturbs the simulated execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "observability/CounterRegistry.h"
+#include "observability/MissAttribution.h"
+#include "observability/Tracer.h"
+#include "runtime/Interpreter.h"
+#include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<IRContext> Ctx;
+  std::unique_ptr<Module> M;
+};
+
+static Built buildWorkload(const Workload &W) {
+  Built B;
+  B.Ctx = std::make_unique<IRContext>();
+  std::vector<std::string> Diags;
+  B.M = compileProgram(*B.Ctx, W.Name, W.Sources, Diags);
+  EXPECT_TRUE(B.M) << W.Name << ": " << (Diags.empty() ? "?" : Diags[0]);
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// Miss attribution
+//===----------------------------------------------------------------------===//
+
+class AttributionSuite : public ::testing::TestWithParam<size_t> {};
+
+// The acceptance invariant: per-field (plus pseudo-site) miss counts
+// partition the simulator's first-level miss event total exactly.
+TEST_P(AttributionSuite, SiteMissesPartitionSimulatorTotal) {
+  const Workload &W = allWorkloads()[GetParam()];
+  Built B = buildWorkload(W);
+  ASSERT_TRUE(B.M);
+
+  MissAttribution Sink;
+  RunOptions O;
+  O.IntParams = W.TrainParams;
+  O.Cache = CacheConfig::scaledItanium();
+  O.Attribution = &Sink;
+  RunResult R = runProgram(*B.M, std::move(O));
+  ASSERT_FALSE(R.Trapped) << W.Name << ": " << R.TrapReason;
+
+  EXPECT_EQ(Sink.totalMisses(), R.FirstLevelMisses) << W.Name;
+
+  uint64_t SiteSum = 0, PcSum = 0;
+  for (const AttributedSiteStats &S : Sink.collect()) {
+    SiteSum += S.Misses;
+    for (const auto &[Label, N] : S.MissesByPc)
+      PcSum += N;
+  }
+  EXPECT_EQ(SiteSum, R.FirstLevelMisses) << W.Name;
+  EXPECT_EQ(PcSum, R.FirstLevelMisses) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, AttributionSuite,
+                         ::testing::Range<size_t>(0, allWorkloads().size()),
+                         [](const ::testing::TestParamInfo<size_t> &I) {
+                           std::string N = allWorkloads()[I.param].Name;
+                           for (char &C : N)
+                             if (!isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return N;
+                         });
+
+TEST(MissAttributionTest, PseudoSitesAndFieldsAreDistinct) {
+  MissAttribution Sink;
+  MissAttribution::SiteId S1 = Sink.registerField("node", "next");
+  MissAttribution::SiteId S2 = Sink.registerField("node", "key");
+  EXPECT_NE(S1, S2);
+  EXPECT_EQ(Sink.registerField("node", "next"), S1);
+  EXPECT_GT(S1, MissAttribution::MemcpySite);
+
+  Sink.notePcLabel(7, "f+3");
+  Sink.recordAccess(S1, 7, /*IsStore=*/false, /*Miss=*/true, 9);
+  Sink.recordAccess(S1, 7, /*IsStore=*/false, /*Miss=*/false, 1);
+  Sink.recordAccess(MissAttribution::MemsetSite, 0, /*IsStore=*/true,
+                    /*Miss=*/true, 9);
+  EXPECT_EQ(Sink.totalMisses(), 2u);
+
+  std::vector<AttributedSiteStats> Sites = Sink.collect();
+  ASSERT_EQ(Sites.size(), 2u); // Zero-traffic sites are dropped.
+  bool SawField = false, SawMemset = false;
+  for (const AttributedSiteStats &S : Sites) {
+    if (S.Record == "node") {
+      SawField = true;
+      EXPECT_EQ(S.Field, "next");
+      EXPECT_EQ(S.Loads, 2u);
+      EXPECT_EQ(S.Misses, 1u);
+      ASSERT_EQ(S.MissesByPc.size(), 1u);
+      EXPECT_EQ(S.MissesByPc.at("f+3"), 1u);
+    } else if (S.Record == "(memset)") {
+      SawMemset = true;
+      EXPECT_EQ(S.Stores, 1u);
+      EXPECT_EQ(S.Misses, 1u);
+    }
+  }
+  EXPECT_TRUE(SawField);
+  EXPECT_TRUE(SawMemset);
+
+  std::string Json = Sink.renderHeatmapJson();
+  EXPECT_NE(Json.find("\"total_misses\": 2"), std::string::npos);
+  EXPECT_NE(Json.find("\"record\": \"node\""), std::string::npos);
+  EXPECT_NE(Json.find("\"f+3\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// CounterRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(CounterRegistryTest, InternAndMerge) {
+  CounterRegistry C;
+  CounterRegistry::CounterId A = C.id("alpha");
+  EXPECT_EQ(C.id("alpha"), A);
+  C.add(A, 3);
+  C.add("alpha", 4);
+  C.add("beta", 1);
+  EXPECT_EQ(C.value(A), 7u);
+  EXPECT_EQ(C.value("beta"), 1u);
+  EXPECT_EQ(C.value("never-registered"), 0u);
+
+  std::map<std::string, uint64_t> Snap = C.snapshot();
+  ASSERT_EQ(Snap.size(), 2u);
+  EXPECT_EQ(Snap["alpha"], 7u);
+  EXPECT_EQ(Snap["beta"], 1u);
+  EXPECT_EQ(C.renderJson(), "{\"alpha\": 7, \"beta\": 1}");
+}
+
+// The merge must be deterministic no matter how the pool schedules the
+// bumps: exact sums, identical across repeated runs.
+TEST(CounterRegistryTest, MergeIsDeterministicUnderThreadPool) {
+  constexpr unsigned Threads = 8;
+  constexpr unsigned Tasks = 200;
+  constexpr unsigned BumpsPerTask = 1000;
+
+  std::map<std::string, uint64_t> Previous;
+  for (int Round = 0; Round < 3; ++Round) {
+    CounterRegistry C;
+    CounterRegistry::CounterId Even = C.id("even");
+    CounterRegistry::CounterId Odd = C.id("odd");
+    ThreadPool Pool(Threads);
+    for (unsigned T = 0; T < Tasks; ++T)
+      Pool.enqueue([&C, Even, Odd, T] {
+        for (unsigned I = 0; I < BumpsPerTask; ++I)
+          C.add(T % 2 ? Odd : Even, 1);
+        C.add("per_task", T);
+      });
+    Pool.wait();
+
+    std::map<std::string, uint64_t> Snap = C.snapshot();
+    EXPECT_EQ(Snap["even"], uint64_t(Tasks / 2) * BumpsPerTask);
+    EXPECT_EQ(Snap["odd"], uint64_t(Tasks / 2) * BumpsPerTask);
+    EXPECT_EQ(Snap["per_task"], uint64_t(Tasks) * (Tasks - 1) / 2);
+    if (Round > 0) {
+      EXPECT_EQ(Snap, Previous);
+    }
+    Previous = std::move(Snap);
+  }
+}
+
+// Two registries alive at once: thread-local shard caches must not leak
+// bumps across them.
+TEST(CounterRegistryTest, ConcurrentRegistriesStayIsolated) {
+  CounterRegistry A, B;
+  ThreadPool Pool(4);
+  for (unsigned T = 0; T < 32; ++T)
+    Pool.enqueue([&A, &B] {
+      for (int I = 0; I < 100; ++I) {
+        A.add("x", 1);
+        B.add("x", 2);
+      }
+    });
+  Pool.wait();
+  EXPECT_EQ(A.value("x"), 3200u);
+  EXPECT_EQ(B.value("x"), 6400u);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+TEST(TracerTest, RecordsNestedSpans) {
+  Tracer T;
+  {
+    TraceSpan Outer(&T, "outer", "phase");
+    TraceSpan Inner(&T, "inner", "phase");
+  }
+  std::vector<Tracer::Event> Events = T.events();
+  ASSERT_EQ(Events.size(), 2u);
+  // Destruction order: inner completes first.
+  EXPECT_EQ(Events[0].Name, "inner");
+  EXPECT_EQ(Events[1].Name, "outer");
+  EXPECT_LE(Events[1].StartMicros, Events[0].StartMicros);
+  EXPECT_GE(Events[1].DurMicros, Events[0].DurMicros);
+
+  std::string Json = T.renderChromeJson();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"X\""), std::string::npos);
+
+  std::string Summary = T.renderTextSummary();
+  EXPECT_NE(Summary.find("outer"), std::string::npos);
+  EXPECT_NE(Summary.find("inner"), std::string::npos);
+}
+
+TEST(TracerTest, NullTracerSpanIsInert) {
+  // The tracing-off fast path: must not crash, allocate into a tracer,
+  // or read the clock (the latter is not observable here, but the span
+  // must at least be a no-op).
+  TraceSpan S(nullptr, "unseen", "phase");
+}
+
+//===----------------------------------------------------------------------===//
+// Observability must not perturb the simulation
+//===----------------------------------------------------------------------===//
+
+TEST(ObservabilityTest, HooksDoNotPerturbSimulation) {
+  const Workload *W = findWorkload("179.art");
+  ASSERT_NE(W, nullptr);
+
+  auto Run = [&](bool Hooks, Tracer *T, CounterRegistry *C,
+                 MissAttribution *A) {
+    Built B = buildWorkload(*W);
+    RunOptions O;
+    O.IntParams = W->TrainParams;
+    O.Cache = CacheConfig::scaledItanium();
+    if (Hooks) {
+      O.Trace = T;
+      O.Counters = C;
+      O.Attribution = A;
+    }
+    return runProgram(*B.M, std::move(O));
+  };
+
+  RunResult Plain = Run(false, nullptr, nullptr, nullptr);
+  Tracer T;
+  CounterRegistry C;
+  MissAttribution A;
+  RunResult Hooked = Run(true, &T, &C, &A);
+
+  EXPECT_EQ(Plain.Instructions, Hooked.Instructions);
+  EXPECT_EQ(Plain.Cycles, Hooked.Cycles);
+  EXPECT_EQ(Plain.MemStallCycles, Hooked.MemStallCycles);
+  EXPECT_EQ(Plain.L1.Misses, Hooked.L1.Misses);
+  EXPECT_EQ(Plain.FirstLevelMisses, Hooked.FirstLevelMisses);
+  EXPECT_EQ(Plain.PrintedInts, Hooked.PrintedInts);
+
+  // And the hooks actually saw the run.
+  EXPECT_EQ(C.value("interp.cycles"), Hooked.Cycles);
+  EXPECT_EQ(A.totalMisses(), Hooked.FirstLevelMisses);
+  EXPECT_FALSE(T.events().empty());
+}
+
+} // namespace

@@ -2,6 +2,7 @@
 
 #include "frontend/Lexer.h"
 #include "frontend/Parser.h"
+#include "support/Diagnostics.h"
 #include "support/Format.h"
 #include "support/Random.h"
 #include "support/ThreadPool.h"
@@ -260,6 +261,36 @@ TEST(ThreadPoolTest, IndexAddressedResultsAreDeterministic) {
   Pool.wait();
   for (size_t I = 0; I < Out.size(); ++I)
     EXPECT_EQ(Out[I], static_cast<int>(I * I));
+}
+
+TEST(DiagnosticsTest, EscapeJsonHandlesHostileStrings) {
+  EXPECT_EQ(escapeJson("plain"), "plain");
+  EXPECT_EQ(escapeJson("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escapeJson("a\\b"), "a\\\\b");
+  EXPECT_EQ(escapeJson("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(escapeJson(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(escapeJson("\x01\x1f"), "\\u0001\\u001f");
+  EXPECT_EQ(escapeJson("tab\there"), "tab\\there");
+}
+
+TEST(DiagnosticsTest, RenderJsonEscapesRecordAndFieldNames) {
+  // Record/field names come from user source; a hostile name must not
+  // be able to break the JSON array the tooling consumes.
+  DiagnosticEngine E;
+  Diagnostic &D =
+      E.report(DiagSeverity::Warning, "CSTT", "cast of \"rec\"\nto char*");
+  D.RecordName = "rec\"ord\\1";
+  D.Function = "f\tn";
+  D.Site = "bitcast 'p' in \"g\"";
+
+  std::string Json = E.renderJson();
+  EXPECT_NE(Json.find("rec\\\"ord\\\\1"), std::string::npos);
+  EXPECT_NE(Json.find("f\\tn"), std::string::npos);
+  EXPECT_NE(Json.find("cast of \\\"rec\\\"\\nto char*"), std::string::npos);
+  // No raw control characters or unescaped quotes survive into the
+  // output: every '"' is either structural or preceded by a backslash.
+  for (size_t I = 0; I < Json.size(); ++I)
+    EXPECT_GE(static_cast<unsigned char>(Json[I]), 0x20u) << "at " << I;
 }
 
 } // namespace
