@@ -29,6 +29,13 @@ cmake --build build -j"$J"
 PLAIN_RC=0
 ctest --test-dir build --output-on-failure -j"$J" || PLAIN_RC=$?
 
+# A short differential-fuzz sweep (fixed seed, so reproducible) plus the
+# committed corpus. Failures drop minimized repros next to the build.
+echo "=== differential fuzz (corpus + 50 random programs) ==="
+FUZZ_RC=0
+./build/examples/slo_fuzz --runs 50 --seed 1 --minimize \
+  --corpus tests/corpus --out build/fuzz-repros || FUZZ_RC=$?
+
 echo "=== sanitized build (ASan+UBSan) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSLO_ENABLE_SANITIZERS=ON "${LAUNCHER_ARGS[@]}"
@@ -40,8 +47,8 @@ ulimit -s 262144 2>/dev/null || true
 ASAN_RC=0
 ctest --test-dir build-asan --output-on-failure -j"$J" || ASAN_RC=$?
 
-if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 ]]; then
-  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC) ==="
+if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 || $FUZZ_RC -ne 0 ]]; then
+  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC, fuzz: $FUZZ_RC) ==="
   exit 1
 fi
 echo "=== all checks passed ==="

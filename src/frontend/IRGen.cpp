@@ -744,8 +744,12 @@ Value *IRGenerator::genExpr(const Expr &E) {
     Type *Ty = resolveType(S->Ty, E.Line);
     if (Ty->isVoid())
       return error(E.Line, "sizeof(void) is invalid");
-    if (auto *Rec = dyn_cast<RecordType>(Ty))
+    if (auto *Rec = dyn_cast<RecordType>(Ty)) {
+      if (Rec->isOpaque())
+        return error(E.Line, "sizeof of incomplete type 'struct " +
+                                 Rec->getRecordName() + "'");
       return Ctx.getSizeOf(Rec); // Attributed constant.
+    }
     return Ctx.getInt64(static_cast<int64_t>(Ty->getSize()));
   }
   }

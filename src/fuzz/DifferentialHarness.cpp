@@ -1,0 +1,273 @@
+//===- fuzz/DifferentialHarness.cpp - Transform-equivalence oracle --------===//
+
+#include "fuzz/DifferentialHarness.h"
+
+#include "analysis/Legality.h"
+#include "analysis/LegalityRefine.h"
+#include "analysis/PointsTo.h"
+#include "frontend/Frontend.h"
+#include "ir/Verifier.h"
+#include "observability/MissAttribution.h"
+#include "support/Format.h"
+#include "transform/Transform.h"
+
+#include <cstring>
+
+using namespace slo;
+
+const char *slo::fuzzOracleName(FuzzOracle O) {
+  switch (O) {
+  case FuzzOracle::None:
+    return "none";
+  case FuzzOracle::Compile:
+    return "compile";
+  case FuzzOracle::BaseTrap:
+    return "base-trap";
+  case FuzzOracle::OptTrap:
+    return "opt-trap";
+  case FuzzOracle::Output:
+    return "output";
+  case FuzzOracle::LeakCensus:
+    return "leak-census";
+  case FuzzOracle::Verifier:
+    return "verifier";
+  case FuzzOracle::Legality:
+    return "legality";
+  case FuzzOracle::Attribution:
+    return "attribution";
+  }
+  return "?";
+}
+
+namespace {
+
+DifferentialOutcome fail(FuzzOracle O, std::string Detail) {
+  DifferentialOutcome R;
+  R.Passed = false;
+  R.Oracle = O;
+  R.Detail = std::move(Detail);
+  return R;
+}
+
+uint64_t doubleBits(double D) {
+  uint64_t B;
+  std::memcpy(&B, &D, sizeof(B));
+  return B;
+}
+
+/// Runs \p M with the attribution sink attached; on return \p Partition
+/// holds whether the sink's miss total equals the simulator's.
+RunResult runWithAttribution(const Module &M, uint64_t MaxInstructions,
+                             bool Attribute, bool *Partition,
+                             std::string *PartitionDetail) {
+  MissAttribution Sink;
+  RunOptions Opts;
+  Opts.MaxInstructions = MaxInstructions;
+  if (Attribute)
+    Opts.Attribution = &Sink;
+  RunResult R = runProgram(M, std::move(Opts));
+  if (Attribute) {
+    *Partition = Sink.totalMisses() == R.FirstLevelMisses;
+    if (!*Partition)
+      *PartitionDetail = formatString(
+          "site misses %llu != first-level miss events %llu",
+          static_cast<unsigned long long>(Sink.totalMisses()),
+          static_cast<unsigned long long>(R.FirstLevelMisses));
+  } else {
+    *Partition = true;
+  }
+  return R;
+}
+
+/// The Legality oracle: Legal <= Proven <= Relax per type, and no type
+/// proven via discharges may have an externally escaping object viewed
+/// as it. Returns an empty string when the invariant holds.
+std::string checkLegalityInvariant(const LegalityResult &Legal,
+                                   const RefinementResult &Refined,
+                                   const PointsToResult &PT) {
+  for (RecordType *Rec : Legal.types()) {
+    const TypeLegality &TL = Legal.get(Rec);
+    bool Strict = TL.isLegal(/*Relax=*/false);
+    bool Relax = TL.isLegal(/*Relax=*/true);
+    bool Proven = Refined.isProvenLegal(Rec);
+    if (Strict && !Proven)
+      return "type '" + Rec->getName() + "' is strictly legal but not proven";
+    if (Proven && !Relax)
+      return "type '" + Rec->getName() +
+             "' is proven but outside the Relax upper bound (" +
+             violationMaskToString(TL.Violations) + ")";
+    if (Proven && !Strict) {
+      for (PointsToResult::ObjectID O : PT.objectsViewedAs(Rec))
+        if (PT.object(O).Escape == EscapeState::ExternalEscape)
+          return "type '" + Rec->getName() +
+                 "' proven by discharge but viewed by externally escaping "
+                 "object " +
+                 PT.object(O).describe();
+    }
+  }
+  return "";
+}
+
+} // namespace
+
+DifferentialOutcome slo::runDifferential(const std::string &Name,
+                                         const std::string &Source,
+                                         const DifferentialOptions &Opts) {
+  // Two independent compilations: the base module is never touched by
+  // the pipeline, so any divergence comes from the transforms alone.
+  IRContext BaseCtx;
+  std::vector<std::string> Diags;
+  auto BaseM = compileProgram(BaseCtx, Name, {Source}, Diags);
+  if (!BaseM)
+    return fail(FuzzOracle::Compile,
+                Diags.empty() ? "compile failed" : Diags.front());
+  IRContext OptCtx;
+  auto OptM = compileProgram(OptCtx, Name, {Source}, Diags);
+  if (!OptM)
+    return fail(FuzzOracle::Compile,
+                Diags.empty() ? "compile failed (second context)"
+                              : Diags.front());
+
+  bool Partition = true;
+  std::string PartitionDetail;
+  RunResult Base =
+      runWithAttribution(*BaseM, Opts.MaxInstructions, Opts.CheckAttribution,
+                         &Partition, &PartitionDetail);
+  if (Base.Trapped) {
+    DifferentialOutcome R = fail(FuzzOracle::BaseTrap, Base.TrapReason);
+    R.Base = Base;
+    return R;
+  }
+  if (!Partition)
+    return fail(FuzzOracle::Attribution, "base run: " + PartitionDetail);
+
+  // FE: legality + points-to + per-site proofs, on the module that will
+  // be transformed.
+  LegalityResult Legal = analyzeLegality(*OptM);
+  if (Opts.InjectLegalityBug) {
+    uint32_t Strip = violationBit(Violation::CSTT) |
+                     violationBit(Violation::CSTF) |
+                     violationBit(Violation::ATKN);
+    for (RecordType *Rec : Legal.types())
+      Legal.getOrCreate(Rec).Violations &= ~Strip;
+  }
+  PointsToResult PT = analyzePointsTo(*OptM);
+  RefinementResult Refined = refineLegality(*OptM, Legal, PT);
+  if (!Opts.InjectLegalityBug) {
+    // The invariant is deliberately unchecked under injection: stripping
+    // bits falsifies the Legal set itself, and the point of the
+    // injection test is that the *behavioural* oracles catch the
+    // resulting mis-transformation.
+    std::string Broken = checkLegalityInvariant(Legal, Refined, PT);
+    if (!Broken.empty())
+      return fail(FuzzOracle::Legality, Broken);
+  }
+
+  std::vector<std::string> VerifyErrors;
+  if (!verifyModule(*OptM, VerifyErrors))
+    return fail(FuzzOracle::Verifier,
+                "before BE: " + (VerifyErrors.empty() ? "?"
+                                                      : VerifyErrors.front()));
+
+  // IPA: field stats under the configured scheme, then the planner.
+  SchemeInputs In;
+  In.M = OptM.get();
+  In.Exponent = Opts.IspboExponent;
+  FieldStatsResult Stats = computeSchemeFieldStats(Opts.Scheme, In);
+  PlannerOptions Planner = Opts.Planner;
+  Planner.HotnessFromProfile = false;
+  std::vector<TypePlan> Plans =
+      planLayout(*OptM, Legal, Stats, Planner,
+                 Opts.UseProvenLegality ? &Refined : nullptr);
+
+  // BE: apply (verify-or-dies after each individual transform), then the
+  // graceful end-to-end verification for the oracle.
+  TransformSummary Summary = applyPlans(*OptM, Plans, Legal);
+  VerifyErrors.clear();
+  if (!verifyModule(*OptM, VerifyErrors))
+    return fail(FuzzOracle::Verifier,
+                "after BE: " + (VerifyErrors.empty() ? "?"
+                                                     : VerifyErrors.front()));
+
+  RunResult Opt =
+      runWithAttribution(*OptM, Opts.MaxInstructions, Opts.CheckAttribution,
+                         &Partition, &PartitionDetail);
+  DifferentialOutcome R;
+  R.TypesTransformed = Summary.TypesTransformed;
+  R.Base = Base;
+  R.Opt = Opt;
+  if (Opt.Trapped) {
+    R.Passed = false;
+    R.Oracle = FuzzOracle::OptTrap;
+    R.Detail = Opt.TrapReason;
+    return R;
+  }
+  if (!Partition) {
+    R.Passed = false;
+    R.Oracle = FuzzOracle::Attribution;
+    R.Detail = "transformed run: " + PartitionDetail;
+    return R;
+  }
+
+  // Output oracle: exit code, then the print streams, bit-compared.
+  auto outputFail = [&](std::string Detail) {
+    R.Passed = false;
+    R.Oracle = FuzzOracle::Output;
+    R.Detail = std::move(Detail);
+    return R;
+  };
+  if (Base.ExitCode != Opt.ExitCode)
+    return outputFail(formatString("exit code base=%lld opt=%lld",
+                                   static_cast<long long>(Base.ExitCode),
+                                   static_cast<long long>(Opt.ExitCode)));
+  if (Base.PrintedInts.size() != Opt.PrintedInts.size())
+    return outputFail(formatString(
+        "printed int count base=%zu opt=%zu", Base.PrintedInts.size(),
+        Opt.PrintedInts.size()));
+  for (size_t I = 0; I < Base.PrintedInts.size(); ++I)
+    if (Base.PrintedInts[I] != Opt.PrintedInts[I])
+      return outputFail(formatString(
+          "printed int #%zu base=%lld opt=%lld", I,
+          static_cast<long long>(Base.PrintedInts[I]),
+          static_cast<long long>(Opt.PrintedInts[I])));
+  if (Base.PrintedFloats.size() != Opt.PrintedFloats.size())
+    return outputFail(formatString(
+        "printed float count base=%zu opt=%zu", Base.PrintedFloats.size(),
+        Opt.PrintedFloats.size()));
+  for (size_t I = 0; I < Base.PrintedFloats.size(); ++I)
+    if (doubleBits(Base.PrintedFloats[I]) != doubleBits(Opt.PrintedFloats[I]))
+      return outputFail(formatString("printed float #%zu base=%g opt=%g", I,
+                                     Base.PrintedFloats[I],
+                                     Opt.PrintedFloats[I]));
+
+  // Leak-census oracle. Exact when the module was not rewritten; when
+  // splits fired, the cold halves double the object count of leaked
+  // sites, so only leak/no-leak equivalence is meaningful.
+  if (Summary.TypesTransformed == 0) {
+    if (Base.HeapLiveAllocs != Opt.HeapLiveAllocs ||
+        Base.HeapLiveBytes != Opt.HeapLiveBytes) {
+      R.Passed = false;
+      R.Oracle = FuzzOracle::LeakCensus;
+      R.Detail = formatString(
+          "leaks base=%llu allocs/%llu bytes opt=%llu allocs/%llu bytes",
+          static_cast<unsigned long long>(Base.HeapLiveAllocs),
+          static_cast<unsigned long long>(Base.HeapLiveBytes),
+          static_cast<unsigned long long>(Opt.HeapLiveAllocs),
+          static_cast<unsigned long long>(Opt.HeapLiveBytes));
+      return R;
+    }
+  } else if ((Base.HeapLiveAllocs == 0) != (Opt.HeapLiveAllocs == 0)) {
+    R.Passed = false;
+    R.Oracle = FuzzOracle::LeakCensus;
+    R.Detail = formatString(
+        "leak parity base=%llu allocs opt=%llu allocs (after %u transforms)",
+        static_cast<unsigned long long>(Base.HeapLiveAllocs),
+        static_cast<unsigned long long>(Opt.HeapLiveAllocs),
+        Summary.TypesTransformed);
+    return R;
+  }
+
+  R.Passed = true;
+  R.Oracle = FuzzOracle::None;
+  return R;
+}

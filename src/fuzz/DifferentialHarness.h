@@ -1,0 +1,102 @@
+//===- fuzz/DifferentialHarness.h - Transform-equivalence oracle -*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one MiniC program through the FE -> IPA -> BE pipeline twice —
+/// transforms off and transforms on — and checks the four differential
+/// oracles the paper's safety claim rests on:
+///
+///   Output       printed integers/doubles (bit-compared), exit code,
+///                and the heap-leak census are identical across the two
+///                runs. When transforms fired, the census comparison is
+///                boolean (leaks vs no leaks): splitting legitimately
+///                adds one cold allocation per site, so a program that
+///                leaks by construction leaks more objects after it.
+///   Verifier     the module verifies before and after the BE phase (the
+///                BE additionally verify-or-dies after each individual
+///                transform).
+///   Legality     Legal <= Proven <= Relax holds for every record type,
+///                and no proven-by-discharge type has an externally
+///                escaping object viewed as it.
+///   Attribution  MissAttribution's per-site misses partition the cache
+///                simulator's first-level miss events exactly, in both
+///                the base and the transformed run.
+///
+/// The harness runs the pipeline phases manually (rather than through
+/// runStructLayoutPipeline) because the Legality oracle needs the
+/// PointsToResult, which the packaged pipeline does not expose.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_FUZZ_DIFFERENTIALHARNESS_H
+#define SLO_FUZZ_DIFFERENTIALHARNESS_H
+
+#include "analysis/WeightSchemes.h"
+#include "runtime/Interpreter.h"
+#include "transform/LayoutPlanner.h"
+
+#include <string>
+
+namespace slo {
+
+/// Which oracle a differential run failed (None = passed).
+enum class FuzzOracle {
+  None,
+  Compile,     // the program did not compile/link
+  BaseTrap,    // the untransformed run trapped
+  OptTrap,     // the transformed run trapped
+  Output,      // printed values / exit code diverged
+  LeakCensus,  // heap-leak census diverged
+  Verifier,    // module failed verification around the BE phase
+  Legality,    // Legal <= Proven <= Relax (or escape admission) broken
+  Attribution, // site misses do not partition the miss events
+};
+
+const char *fuzzOracleName(FuzzOracle O);
+
+struct DifferentialOptions {
+  WeightScheme Scheme = WeightScheme::ISPBO;
+  double IspboExponent = 1.5;
+  PlannerOptions Planner;
+  /// Let per-site proofs admit types the blanket tests rejected (the
+  /// production default).
+  bool UseProvenLegality = true;
+  /// Check the miss-partition oracle (requires cache simulation; turning
+  /// it off makes runs cheaper).
+  bool CheckAttribution = true;
+  /// Test-only fault injection: strip the relaxable violation bits
+  /// (CSTT/CSTF/ATKN) from every type's legality verdict before
+  /// planning, simulating a broken legality analysis. The acceptance
+  /// test proves the Output oracle catches this and the reducer shrinks
+  /// the witness.
+  bool InjectLegalityBug = false;
+  /// Guard for generated programs; both runs share it.
+  uint64_t MaxInstructions = 200000000ull;
+};
+
+struct DifferentialOutcome {
+  bool Passed = false;
+  FuzzOracle Oracle = FuzzOracle::None;
+  /// Human-readable failure description (first divergence, verifier
+  /// error, broken invariant).
+  std::string Detail;
+  /// Types the BE actually rewrote in the transformed pipeline.
+  unsigned TypesTransformed = 0;
+  RunResult Base;
+  RunResult Opt;
+};
+
+/// Compiles \p Source twice (two contexts), runs the base module as-is
+/// and the second through the full pipeline, and checks every oracle.
+/// \p Name labels the program in failure details.
+DifferentialOutcome
+runDifferential(const std::string &Name, const std::string &Source,
+                const DifferentialOptions &Opts = DifferentialOptions());
+
+} // namespace slo
+
+#endif // SLO_FUZZ_DIFFERENTIALHARNESS_H

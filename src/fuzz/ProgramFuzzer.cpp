@@ -1,0 +1,498 @@
+//===- fuzz/ProgramFuzzer.cpp - Random MiniC program generator ------------===//
+
+#include "fuzz/ProgramFuzzer.h"
+
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace slo;
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+std::string FuzzConfig::describe() const {
+  std::ostringstream S;
+  S << "seed=" << Seed << " structs=[" << MinStructs << "," << MaxStructs
+    << "] fields=[" << MinFields << "," << MaxFields << "]"
+    << " dbl=" << DoubleFieldChance << " narrow=" << NarrowFieldChance
+    << " arr=" << ArrayFieldChance << " selfptr=" << SelfPtrFieldChance
+    << " nest=" << NestedFieldChance << " fnptr=" << FnPtrFieldChance
+    << " dead=" << DeadFieldChance << " calloc=" << HeapCallocChance
+    << " realloc=" << HeapReallocChance << " wrap=" << WrapperAllocChance
+    << " memset=" << MemsetChance << " memcpy=" << MemcpyChance
+    << " leak=" << LeakChance << " pun=" << CastPunChance
+    << " atkn=" << AddrTakenChance << " atarg=" << AddrArgChance
+    << " gvar=" << GlobalInstanceChance << " lvar=" << LocalInstanceChance
+    << " chase=" << ChaseChance << " fncall=" << FnPtrCallChance
+    << " nestdepth=" << MaxLoopNest << " elems=[" << MinElements << ","
+    << MaxElements << "] iters=" << MaxIterations;
+  return S.str();
+}
+
+std::string FuzzProgram::render() const {
+  std::ostringstream Out;
+  Out << "// slo_fuzz program '" << Name << "'\n";
+  for (const std::string &Line : Banner)
+    Out << "// " << Line << "\n";
+  Out << "extern void print_i64(long v);\n";
+  Out << "extern void print_f64(double v);\n";
+  for (const FuzzStruct &S : Structs) {
+    Out << "struct " << S.Name << " {\n";
+    for (const std::string &F : S.Fields)
+      Out << "  " << F << "\n";
+    Out << "};\n";
+  }
+  for (const std::string &G : Globals)
+    Out << G << "\n";
+  for (const FuzzFunction &F : Functions) {
+    Out << F.Decl << " {\n";
+    for (const std::string &Stmt : F.Body)
+      Out << "  " << Stmt << "\n";
+    Out << "}\n";
+  }
+  Out << "int main() {\n";
+  for (const std::string &Stmt : MainBody)
+    Out << "  " << Stmt << "\n";
+  Out << "  return 0;\n";
+  Out << "}\n";
+  return Out.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class FieldKind { Long, Double, Narrow, Array, SelfPtr, Nested, FnPtr };
+
+struct FieldInfo {
+  FieldKind Kind = FieldKind::Long;
+  unsigned ArrayLen = 0;     // Array
+  const char *NarrowTy = ""; // Narrow
+  bool Dead = false;         // written in the init loop, never read
+};
+
+/// Everything decided up front for one unit (struct + use function), so
+/// statement emission is a pure function of the plan.
+struct UnitPlan {
+  unsigned Index = 0;
+  bool Pun = false;
+  bool UseCalloc = false, UseRealloc = false, UseWrapper = false;
+  bool UseMemset = false, UseMemcpy = false, Leak = false;
+  bool AddrTaken = false, AddrArg = false;
+  bool GlobalInst = false, LocalInst = false;
+  bool Chase = false;
+  int ChaseField = -1;
+  int FnPtrField = -1;
+  bool CallFnPtr = false;
+  unsigned Elements = 0; // initial allocation count N
+  unsigned Effective = 0; // element count after an optional realloc
+  unsigned Reps = 0;
+  unsigned RepNest = 1;
+  std::vector<FieldInfo> Fields;
+};
+
+class ProgramBuilder {
+public:
+  ProgramBuilder(const FuzzConfig &Cfg) : Cfg(Cfg), R(Cfg.Seed) {}
+
+  FuzzProgram build() {
+    FuzzProgram P;
+    P.Name = Cfg.Name;
+    P.Banner.push_back(Cfg.describe());
+
+    unsigned Units =
+        Cfg.MinStructs +
+        static_cast<unsigned>(R.nextBelow(Cfg.MaxStructs - Cfg.MinStructs + 1));
+    std::vector<UnitPlan> Plans;
+    for (unsigned I = 0; I < Units; ++I)
+      Plans.push_back(planUnit(I));
+
+    bool NeedPeek = false;
+    for (const UnitPlan &U : Plans)
+      NeedPeek |= U.AddrArg;
+    if (NeedPeek) {
+      FuzzFunction Peek;
+      Peek.Decl = "long fz_peek(long *p)";
+      Peek.Body.push_back("return *p;");
+      P.Functions.push_back(std::move(Peek));
+    }
+
+    for (const UnitPlan &U : Plans)
+      emitUnit(P, U);
+
+    for (const UnitPlan &U : Plans)
+      P.MainBody.push_back(
+          formatString("print_i64(fz_use_%u());", U.Index));
+    return P;
+  }
+
+private:
+  const FuzzConfig &Cfg;
+  Rng R;
+
+  std::string structName(unsigned I) const {
+    return formatString("fz_%s_s%u", Cfg.Name.c_str(), I);
+  }
+
+  UnitPlan planUnit(unsigned I) {
+    UnitPlan U;
+    U.Index = I;
+    U.Pun = R.nextChance(Cfg.CastPunChance);
+    unsigned NumFields =
+        Cfg.MinFields +
+        static_cast<unsigned>(R.nextBelow(Cfg.MaxFields - Cfg.MinFields + 1));
+    static const char *NarrowTys[] = {"int", "short", "char"};
+    for (unsigned F = 0; F < NumFields; ++F) {
+      FieldInfo FI;
+      if (F >= 2 && !U.Pun) {
+        if (R.nextChance(Cfg.DoubleFieldChance))
+          FI.Kind = FieldKind::Double;
+        else if (R.nextChance(Cfg.NarrowFieldChance)) {
+          FI.Kind = FieldKind::Narrow;
+          FI.NarrowTy = NarrowTys[F % 3];
+        } else if (R.nextChance(Cfg.ArrayFieldChance)) {
+          FI.Kind = FieldKind::Array;
+          FI.ArrayLen = 2 + static_cast<unsigned>(R.nextBelow(3));
+        } else if (R.nextChance(Cfg.SelfPtrFieldChance))
+          FI.Kind = FieldKind::SelfPtr;
+        else if (I > 0 && R.nextChance(Cfg.NestedFieldChance))
+          FI.Kind = FieldKind::Nested;
+        else if (R.nextChance(Cfg.FnPtrFieldChance))
+          FI.Kind = FieldKind::FnPtr;
+      }
+      // The hot pair f0/f1 stays live; scalar/array cold fields may be
+      // write-only (dead-field-removal candidates).
+      if (F >= 2 &&
+          (FI.Kind == FieldKind::Long || FI.Kind == FieldKind::Double ||
+           FI.Kind == FieldKind::Narrow || FI.Kind == FieldKind::Array))
+        FI.Dead = R.nextChance(Cfg.DeadFieldChance);
+      U.Fields.push_back(FI);
+    }
+
+    for (unsigned F = 0; F < U.Fields.size(); ++F) {
+      if (U.Fields[F].Kind == FieldKind::SelfPtr && U.ChaseField < 0)
+        U.ChaseField = static_cast<int>(F);
+      if (U.Fields[F].Kind == FieldKind::FnPtr && U.FnPtrField < 0)
+        U.FnPtrField = static_cast<int>(F);
+    }
+
+    U.UseCalloc = R.nextChance(Cfg.HeapCallocChance);
+    U.UseWrapper = !U.UseCalloc && R.nextChance(Cfg.WrapperAllocChance);
+    U.UseRealloc = R.nextChance(Cfg.HeapReallocChance);
+    U.UseMemset = R.nextChance(Cfg.MemsetChance);
+    U.UseMemcpy = R.nextChance(Cfg.MemcpyChance);
+    U.Leak = R.nextChance(Cfg.LeakChance);
+    U.AddrTaken = R.nextChance(Cfg.AddrTakenChance);
+    U.AddrArg = R.nextChance(Cfg.AddrArgChance);
+    U.GlobalInst = R.nextChance(Cfg.GlobalInstanceChance);
+    U.LocalInst = R.nextChance(Cfg.LocalInstanceChance);
+    U.Chase = U.ChaseField >= 0 && R.nextChance(Cfg.ChaseChance);
+    U.CallFnPtr = U.FnPtrField >= 0 && R.nextChance(Cfg.FnPtrCallChance);
+    if (U.Pun) {
+      // Pun units are the transformability probes: keep the type free of
+      // planner blockers so the only thing standing between the raw
+      // long* read and a layout rewrite is the CSTF legality verdict.
+      U.UseRealloc = false;
+      U.UseMemset = false;
+      U.UseMemcpy = false;
+      U.GlobalInst = false;
+      U.LocalInst = false;
+    }
+
+    U.Elements =
+        Cfg.MinElements +
+        static_cast<unsigned>(R.nextBelow(Cfg.MaxElements - Cfg.MinElements + 1));
+    U.Effective = U.UseRealloc ? U.Elements * 2 : U.Elements;
+    U.Reps = 1 + static_cast<unsigned>(R.nextBelow(Cfg.MaxIterations));
+    U.RepNest = 1 + static_cast<unsigned>(R.nextBelow(Cfg.MaxLoopNest));
+    return U;
+  }
+
+  std::string fieldDecl(const UnitPlan &U, unsigned F) const {
+    const FieldInfo &FI = U.Fields[F];
+    switch (FI.Kind) {
+    case FieldKind::Long:
+      return formatString("long f%u;", F);
+    case FieldKind::Double:
+      return formatString("double f%u;", F);
+    case FieldKind::Narrow:
+      return formatString("%s f%u;", FI.NarrowTy, F);
+    case FieldKind::Array:
+      return formatString("long f%u[%u];", F, FI.ArrayLen);
+    case FieldKind::SelfPtr:
+      return formatString("struct %s *f%u;", structName(U.Index).c_str(), F);
+    case FieldKind::Nested:
+      return formatString("struct %s f%u;", structName(U.Index - 1).c_str(),
+                          F);
+    case FieldKind::FnPtr:
+      return formatString("long (*f%u)(long);", F);
+    }
+    return "";
+  }
+
+  void emitUnit(FuzzProgram &P, const UnitPlan &U) {
+    const std::string SN = structName(U.Index);
+    const std::string ST = "struct " + SN;
+    const unsigned NE = U.Effective;
+
+    FuzzStruct S;
+    S.Name = SN;
+    for (unsigned F = 0; F < U.Fields.size(); ++F)
+      S.Fields.push_back(fieldDecl(U, F));
+    P.Structs.push_back(std::move(S));
+
+    if (U.GlobalInst)
+      P.Globals.push_back(formatString("%s fz_g%u;", ST.c_str(), U.Index));
+
+    if (U.UseWrapper) {
+      FuzzFunction W;
+      W.Decl = formatString("void *fz_alloc_%u(long n)", U.Index);
+      W.Body.push_back("return malloc(n);");
+      P.Functions.push_back(std::move(W));
+    }
+    if (U.FnPtrField >= 0) {
+      FuzzFunction FN;
+      FN.Decl = formatString("long fz_fn_%u(long x)", U.Index);
+      FN.Body.push_back(formatString("return x * 3 + %u;", U.Index));
+      P.Functions.push_back(std::move(FN));
+    }
+
+    FuzzFunction Use;
+    Use.Decl = formatString("long fz_use_%u()", U.Index);
+    std::vector<std::string> &B = Use.Body;
+    B.push_back("long s = 0;");
+
+    // Allocation.
+    if (U.UseCalloc)
+      B.push_back(formatString("%s *a = (%s*) calloc(%u, sizeof(%s));",
+                               ST.c_str(), ST.c_str(), U.Elements,
+                               ST.c_str()));
+    else if (U.UseWrapper)
+      B.push_back(formatString("%s *a = (%s*) fz_alloc_%u(%u * sizeof(%s));",
+                               ST.c_str(), ST.c_str(), U.Index, U.Elements,
+                               ST.c_str()));
+    else
+      B.push_back(formatString("%s *a = (%s*) malloc(%u * sizeof(%s));",
+                               ST.c_str(), ST.c_str(), U.Elements,
+                               ST.c_str()));
+    if (U.UseMemset)
+      B.push_back(formatString("memset(a, 0, %u * sizeof(%s));", U.Elements,
+                               ST.c_str()));
+    if (U.UseRealloc)
+      B.push_back(formatString("a = (%s*) realloc(a, %u * sizeof(%s));",
+                               ST.c_str(), NE, ST.c_str()));
+
+    // Initialization: every field of every element gets a value that
+    // depends on (element, field), so a transform that mis-addresses any
+    // field changes the printed sums.
+    {
+      std::ostringstream L;
+      L << "for (long i = 0; i < " << NE << "; i++) {\n";
+      for (unsigned F = 0; F < U.Fields.size(); ++F) {
+        const FieldInfo &FI = U.Fields[F];
+        switch (FI.Kind) {
+        case FieldKind::Long:
+          L << "    a[i].f" << F << " = i * 31 + " << (F * 7 + 1) << ";\n";
+          break;
+        case FieldKind::Double:
+          L << "    a[i].f" << F << " = (double)(i + " << F << ") * 0.5;\n";
+          break;
+        case FieldKind::Narrow:
+          L << "    a[i].f" << F << " = (i + " << F << ") % 99;\n";
+          break;
+        case FieldKind::Array:
+          L << "    for (long k = 0; k < " << FI.ArrayLen << "; k++) { a[i].f"
+            << F << "[k] = i + k * 3; }\n";
+          break;
+        case FieldKind::Nested:
+          L << "    a[i].f" << F << ".f0 = i + " << F << ";\n";
+          L << "    a[i].f" << F << ".f1 = i * 2 + " << F << ";\n";
+          break;
+        case FieldKind::FnPtr:
+          L << "    a[i].f" << F << " = fz_fn_" << U.Index << ";\n";
+          break;
+        case FieldKind::SelfPtr:
+          break; // chase links are built below; other self-pointers stay
+                 // unread
+        }
+      }
+      L << "  }";
+      B.push_back(L.str());
+    }
+
+    if (U.Chase) {
+      std::ostringstream L;
+      L << "for (long i = 0; i + 1 < " << NE << "; i++) { a[i].f"
+        << U.ChaseField << " = &a[i + 1]; }\n";
+      L << "  a[" << (NE - 1) << "].f" << U.ChaseField << " = &a[0];";
+      B.push_back(L.str());
+    }
+
+    // The hot loop: a repetition nest around the element loop so the
+    // static estimator sees f0/f1 as much hotter than the cold fields.
+    {
+      std::ostringstream L;
+      std::string Ind;
+      for (unsigned N = 0; N < U.RepNest; ++N) {
+        L << Ind << (N ? "  " : "") << "for (long r" << N << " = 0; r" << N
+          << " < " << U.Reps << "; r" << N << "++) {\n";
+        Ind += "  ";
+      }
+      L << "  " << Ind << "for (long i = 0; i < " << NE << "; i++) {\n";
+      L << "  " << Ind << "  s += a[i].f0 + a[i].f1 * 2;\n";
+      L << "  " << Ind << "}\n";
+      for (unsigned N = U.RepNest; N > 0; --N) {
+        Ind.resize(Ind.size() - 2);
+        L << "  " << Ind << "}" << (N > 1 ? "\n" : "");
+      }
+      B.push_back(L.str());
+    }
+
+    if (U.Pun) {
+      std::ostringstream L;
+      L << "long *raw = (long*) a;\n";
+      L << "  for (long i = 0; i < " << NE * U.Fields.size()
+        << "; i++) { s += raw[i]; }";
+      B.push_back(L.str());
+    }
+
+    if (U.Chase) {
+      std::ostringstream L;
+      L << ST << " *p = a;\n";
+      L << "  for (long c = 0; c < " << NE << "; c++) { s += p->f0; p = p->f"
+        << U.ChaseField << "; }";
+      B.push_back(L.str());
+    }
+
+    if (U.CallFnPtr)
+      B.push_back(formatString("s += a[2].f%d(s %% 97);", U.FnPtrField));
+
+    if (U.AddrTaken)
+      B.push_back("long *q = &a[1].f0;\n  *q = *q + 5;\n  s += *q;");
+    if (U.AddrArg)
+      B.push_back("s += fz_peek(&a[1].f1);");
+
+    if (U.UseMemcpy) {
+      std::ostringstream L;
+      L << ST << " *b = (" << ST << "*) malloc(" << NE << " * sizeof(" << ST
+        << "));\n";
+      L << "  memcpy(b, a, " << NE << " * sizeof(" << ST << "));\n";
+      L << "  s += b[0].f0 + b[" << (NE - 1) << "].f1;\n";
+      L << "  free(b);";
+      B.push_back(L.str());
+    }
+
+    // The cold pass: one read of every live non-hot field.
+    {
+      bool AnyDouble = false;
+      for (unsigned F = 2; F < U.Fields.size(); ++F)
+        AnyDouble |= U.Fields[F].Kind == FieldKind::Double && !U.Fields[F].Dead;
+      if (AnyDouble)
+        B.push_back("double d = 0.0;");
+      std::ostringstream L;
+      L << "for (long i = 0; i < " << NE << "; i++) {\n";
+      bool Any = false;
+      for (unsigned F = 2; F < U.Fields.size(); ++F) {
+        const FieldInfo &FI = U.Fields[F];
+        if (FI.Dead)
+          continue;
+        switch (FI.Kind) {
+        case FieldKind::Long:
+        case FieldKind::Narrow:
+          L << "    s += a[i].f" << F << ";\n";
+          Any = true;
+          break;
+        case FieldKind::Double:
+          L << "    d = d + a[i].f" << F << ";\n";
+          Any = true;
+          break;
+        case FieldKind::Array:
+          L << "    s += a[i].f" << F << "[0] + a[i].f" << F << "["
+            << (FI.ArrayLen - 1) << "];\n";
+          Any = true;
+          break;
+        case FieldKind::Nested:
+          L << "    s += a[i].f" << F << ".f0 + a[i].f" << F << ".f1;\n";
+          Any = true;
+          break;
+        case FieldKind::SelfPtr:
+        case FieldKind::FnPtr:
+          break;
+        }
+      }
+      L << "  }";
+      if (Any)
+        B.push_back(L.str());
+      if (AnyDouble) {
+        B.push_back("print_f64(d * 0.5);");
+        B.push_back("s += (long) d;");
+      }
+    }
+
+    if (U.GlobalInst)
+      B.push_back(formatString(
+          "fz_g%u.f0 = 21 + %u;\n  s += fz_g%u.f0;", U.Index, U.Index,
+          U.Index));
+    if (U.LocalInst)
+      B.push_back(formatString(
+          "%s loc;\n  loc.f0 = 9;\n  loc.f1 = 4 + %u;\n  s += loc.f0 * "
+          "loc.f1;",
+          ST.c_str(), U.Index));
+
+    if (!U.Leak)
+      B.push_back("free(a);");
+    B.push_back("return s % 1000003;");
+    P.Functions.push_back(std::move(Use));
+  }
+};
+
+} // namespace
+
+FuzzProgram slo::generateFuzzProgram(const FuzzConfig &Cfg) {
+  return ProgramBuilder(Cfg).build();
+}
+
+FuzzConfig slo::randomFuzzConfig(uint64_t Seed) {
+  // A distinct stream from the program generator's: the config knobs and
+  // the program dice must not be correlated.
+  Rng R(Seed ^ 0xc0f1c0f1c0f1c0f1ULL);
+  FuzzConfig C;
+  C.Seed = Seed;
+  C.Name = formatString("fz%llu", static_cast<unsigned long long>(Seed));
+  C.MinStructs = 1;
+  C.MaxStructs = 1 + static_cast<unsigned>(R.nextBelow(4));
+  C.MinFields = 3;
+  C.MaxFields = 4 + static_cast<unsigned>(R.nextBelow(5));
+  C.DoubleFieldChance = R.nextDouble() * 0.3;
+  C.NarrowFieldChance = R.nextDouble() * 0.3;
+  C.ArrayFieldChance = R.nextDouble() * 0.25;
+  C.SelfPtrFieldChance = R.nextDouble() * 0.35;
+  C.NestedFieldChance = R.nextDouble() * 0.25;
+  C.FnPtrFieldChance = R.nextDouble() * 0.25;
+  C.DeadFieldChance = R.nextDouble() * 0.35;
+  C.HeapCallocChance = R.nextDouble() * 0.4;
+  C.HeapReallocChance = R.nextDouble() * 0.3;
+  C.WrapperAllocChance = R.nextDouble() * 0.35;
+  C.MemsetChance = R.nextDouble() * 0.35;
+  C.MemcpyChance = R.nextDouble() * 0.35;
+  C.LeakChance = 0.0; // generated programs balance alloc/free; the
+                      // census oracle compares equality, not zero
+  C.CastPunChance = R.nextDouble() * 0.3;
+  C.AddrTakenChance = R.nextDouble() * 0.4;
+  C.AddrArgChance = R.nextDouble() * 0.3;
+  C.GlobalInstanceChance = R.nextDouble() * 0.25;
+  C.LocalInstanceChance = R.nextDouble() * 0.3;
+  C.ChaseChance = R.nextDouble();
+  C.FnPtrCallChance = 0.5 + R.nextDouble() * 0.5;
+  C.MaxLoopNest = 1 + static_cast<unsigned>(R.nextBelow(3));
+  C.MinElements = 4;
+  C.MaxElements = 8 + static_cast<unsigned>(R.nextBelow(41));
+  C.MaxIterations = 1 + static_cast<unsigned>(R.nextBelow(4));
+  return C;
+}

@@ -1,0 +1,143 @@
+//===- fuzz/ProgramFuzzer.h - Random MiniC program generator ---*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A grammar-driven random MiniC program generator for differential
+/// testing of the layout pipeline. Unlike workloads/Generator (which
+/// emits programs with a *prescribed* legality census for the Table 1
+/// benchmarks), this generator samples freely over the feature space —
+/// struct shapes, heap intrinsics, casts, address-taking, pointer
+/// chases, function pointers — while guaranteeing three properties the
+/// differential oracles rely on:
+///
+///   1. validity: every generated program parses, compiles, and links;
+///   2. termination: every loop bound is a literal constant;
+///   3. determinism and trap-freedom: no input, no uninitialized reads,
+///      all indices in bounds, balanced malloc/free.
+///
+/// Programs are kept in a structured form (structs / globals / functions
+/// / statements) rather than flat text so the delta-debugging reducer
+/// can drop whole constructs and re-render.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_FUZZ_PROGRAMFUZZER_H
+#define SLO_FUZZ_PROGRAMFUZZER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// Generation knobs. Every knob is sampled per program unit (one unit =
+/// one struct plus the function exercising it), so a single program
+/// mixes features. All defaults are chosen so that a default-config
+/// sweep exercises every legality test except UNSZ.
+struct FuzzConfig {
+  uint64_t Seed = 1;
+  std::string Name = "fuzz";
+
+  /// Unit (struct) count range, inclusive.
+  unsigned MinStructs = 1;
+  unsigned MaxStructs = 4;
+  /// Fields per struct, inclusive; fields f0/f1 are always plain longs
+  /// (the hot pair), the rest sample the mix below.
+  unsigned MinFields = 3;
+  unsigned MaxFields = 8;
+
+  /// Field mix (per field beyond the hot pair).
+  double DoubleFieldChance = 0.15;
+  double NarrowFieldChance = 0.15; // int / short / char
+  double ArrayFieldChance = 0.12;  // long fN[k]
+  double SelfPtrFieldChance = 0.2; // struct S *fN (enables chases)
+  double NestedFieldChance = 0.1;  // struct S_prev fN (NEST)
+  double FnPtrFieldChance = 0.1;   // long (*fN)(long)
+  /// Chance a generated field is written but never read (a dead-field
+  /// candidate for the planner).
+  double DeadFieldChance = 0.2;
+
+  /// Heap-intrinsic density (per unit).
+  double HeapCallocChance = 0.25;  // calloc instead of malloc
+  double HeapReallocChance = 0.15; // grow the array mid-unit (REAL)
+  double WrapperAllocChance = 0.2; // allocate via a void* helper (CSTT)
+  double MemsetChance = 0.2;       // memset after allocation (MSET)
+  double MemcpyChance = 0.2;       // memcpy into a second array (MSET)
+  double LeakChance = 0.0;         // skip the free (census exercise)
+
+  /// Cast / address-taking frequency (per unit).
+  double CastPunChance = 0.12; // read through long* pun (CSTF); forces
+                               // an all-long struct so the pun is valid
+  double AddrTakenChance = 0.25; // &a[i].f stored to a local (ATKN)
+  double AddrArgChance = 0.2;    // &a[i].f passed to a helper (tolerated)
+
+  /// Aggregate-instance frequency (per unit). Either blocks the planner
+  /// ("aggregate (non-heap) instances exist"), so they are sampled
+  /// against transform coverage.
+  double GlobalInstanceChance = 0.12;
+  double LocalInstanceChance = 0.15;
+
+  /// Pointer chase over the self-pointer field, when one exists.
+  double ChaseChance = 0.5;
+  /// Call through the function-pointer field, when one exists (IND).
+  double FnPtrCallChance = 0.75;
+
+  /// Hot-loop shape: repetition-loop nesting depth (1..) around the
+  /// element loop, and the literal bounds. Deeper nests give the static
+  /// hotness estimator a stronger hot/cold contrast.
+  unsigned MaxLoopNest = 2;
+  unsigned MinElements = 4;
+  unsigned MaxElements = 48;
+  unsigned MaxIterations = 4;
+
+  /// One-line rendering of every knob, embedded in repro headers so a
+  /// failure is reproducible from the file alone.
+  std::string describe() const;
+};
+
+/// One struct declaration: name plus one rendered line per field
+/// ("long f0;"). The reducer drops fields by erasing lines.
+struct FuzzStruct {
+  std::string Name;
+  std::vector<std::string> Fields;
+};
+
+/// One function: the signature ("long fz_use_0()") and one rendered
+/// statement per Body entry (a whole loop nest is a single entry, so
+/// dropping an entry never unbalances braces).
+struct FuzzFunction {
+  std::string Decl;
+  std::vector<std::string> Body;
+};
+
+/// A generated program in reducible form.
+struct FuzzProgram {
+  std::string Name;
+  /// Header comment lines (seed, config) carried into render().
+  std::vector<std::string> Banner;
+  std::vector<FuzzStruct> Structs;
+  std::vector<std::string> Globals;
+  std::vector<FuzzFunction> Functions;
+  std::vector<std::string> MainBody;
+
+  /// Renders the program as MiniC source text.
+  std::string render() const;
+};
+
+/// Generates one program. Same config (including seed) => identical
+/// program, on every platform.
+FuzzProgram generateFuzzProgram(const FuzzConfig &Cfg);
+
+/// Samples a configuration for sweep \p Seed: knob values are themselves
+/// randomized (within validity-preserving bounds) so a seed sweep covers
+/// different regions of the feature space, not just different dice rolls
+/// of one region.
+FuzzConfig randomFuzzConfig(uint64_t Seed);
+
+} // namespace slo
+
+#endif // SLO_FUZZ_PROGRAMFUZZER_H

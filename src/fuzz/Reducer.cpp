@@ -1,0 +1,188 @@
+//===- fuzz/Reducer.cpp - Delta-debugging repro minimizer -----------------===//
+
+#include "fuzz/Reducer.h"
+
+#include <sstream>
+
+using namespace slo;
+
+namespace {
+
+/// Shared attempt budget across every pass of one reduction.
+struct Budget {
+  unsigned Remaining;
+  ReduceStats *Stats;
+
+  bool spend() {
+    if (Remaining == 0)
+      return false;
+    --Remaining;
+    if (Stats)
+      ++Stats->Attempts;
+    return true;
+  }
+  void accepted() {
+    if (Stats)
+      ++Stats->Accepted;
+  }
+};
+
+/// Generic "try erasing one element of a vector" pass. Walks back to
+/// front (later elements depend on earlier ones more often than the
+/// reverse, so removing from the tail succeeds more). Returns true when
+/// anything was removed.
+template <typename T, typename MakeCandidate>
+bool dropElementsPass(std::vector<T> &Items, Budget &B,
+                      const MakeCandidate &TryWithout) {
+  bool Progress = false;
+  for (size_t I = Items.size(); I-- > 0;) {
+    if (!B.spend())
+      return Progress;
+    if (TryWithout(I)) {
+      Items.erase(Items.begin() + static_cast<ptrdiff_t>(I));
+      B.accepted();
+      Progress = true;
+    }
+  }
+  return Progress;
+}
+
+bool mentions(const std::string &Text, const std::string &Name) {
+  return Text.find(Name) != std::string::npos;
+}
+
+/// Removes function \p I and every statement elsewhere that refers to it
+/// by name (main calls, helper uses).
+FuzzProgram withoutFunction(const FuzzProgram &P, size_t I) {
+  FuzzProgram C = P;
+  // "long fz_use_0()" -> "fz_use_0".
+  std::string Decl = C.Functions[I].Decl;
+  size_t Paren = Decl.find('(');
+  size_t NameStart = Decl.rfind(' ', Paren);
+  std::string Name = Decl.substr(NameStart + 1, Paren - NameStart - 1);
+  C.Functions.erase(C.Functions.begin() + static_cast<ptrdiff_t>(I));
+  auto Purge = [&](std::vector<std::string> &Stmts) {
+    for (size_t S = Stmts.size(); S-- > 0;)
+      if (mentions(Stmts[S], Name))
+        Stmts.erase(Stmts.begin() + static_cast<ptrdiff_t>(S));
+  };
+  Purge(C.MainBody);
+  for (FuzzFunction &F : C.Functions)
+    Purge(F.Body);
+  return C;
+}
+
+} // namespace
+
+FuzzProgram slo::reduceProgram(FuzzProgram P, const FuzzPredicate &StillFails,
+                               ReduceStats *Stats, unsigned MaxAttempts) {
+  Budget B{MaxAttempts, Stats};
+  bool Progress = true;
+  while (Progress && B.Remaining > 0) {
+    Progress = false;
+
+    // 1. Whole functions, coarsest first. A dropped function takes its
+    // call sites with it, so the candidate replaces P wholesale (the
+    // generic pass only handles single-element erasure).
+    for (size_t I = P.Functions.size(); I-- > 0;) {
+      if (!B.spend())
+        break;
+      FuzzProgram C = withoutFunction(P, I);
+      if (StillFails(C)) {
+        P = std::move(C);
+        B.accepted();
+        Progress = true;
+      }
+    }
+
+    // 2. Individual main statements.
+    Progress |= dropElementsPass(P.MainBody, B, [&](size_t I) {
+      FuzzProgram C = P;
+      C.MainBody.erase(C.MainBody.begin() + static_cast<ptrdiff_t>(I));
+      return StillFails(C);
+    });
+
+    // 3. Individual statements inside each function.
+    for (size_t F = 0; F < P.Functions.size(); ++F)
+      Progress |= dropElementsPass(P.Functions[F].Body, B, [&](size_t I) {
+        FuzzProgram C = P;
+        C.Functions[F].Body.erase(C.Functions[F].Body.begin() +
+                                  static_cast<ptrdiff_t>(I));
+        return StillFails(C);
+      });
+
+    // 4. Globals.
+    Progress |= dropElementsPass(P.Globals, B, [&](size_t I) {
+      FuzzProgram C = P;
+      C.Globals.erase(C.Globals.begin() + static_cast<ptrdiff_t>(I));
+      return StillFails(C);
+    });
+
+    // 5. Struct fields (compile rejects candidates with live uses).
+    for (size_t S = 0; S < P.Structs.size(); ++S)
+      Progress |= dropElementsPass(P.Structs[S].Fields, B, [&](size_t I) {
+        FuzzProgram C = P;
+        C.Structs[S].Fields.erase(C.Structs[S].Fields.begin() +
+                                  static_cast<ptrdiff_t>(I));
+        return StillFails(C);
+      });
+
+    // 6. Whole structs.
+    Progress |= dropElementsPass(P.Structs, B, [&](size_t I) {
+      FuzzProgram C = P;
+      C.Structs.erase(C.Structs.begin() + static_cast<ptrdiff_t>(I));
+      return StillFails(C);
+    });
+  }
+  return P;
+}
+
+std::string slo::reduceSourceLines(
+    const std::string &Source,
+    const std::function<bool(const std::string &)> &StillFails,
+    ReduceStats *Stats, unsigned MaxAttempts) {
+  std::vector<std::string> Lines;
+  {
+    std::istringstream In(Source);
+    std::string L;
+    while (std::getline(In, L))
+      Lines.push_back(L);
+  }
+  Budget B{MaxAttempts, Stats};
+
+  auto Render = [](const std::vector<std::string> &Ls) {
+    std::ostringstream Out;
+    for (const std::string &L : Ls)
+      Out << L << "\n";
+    return Out.str();
+  };
+
+  size_t Chunk = Lines.size() / 2;
+  while (Chunk >= 1 && B.Remaining > 0) {
+    bool Progress = false;
+    for (size_t Start = 0; Start + Chunk <= Lines.size();) {
+      if (!B.spend())
+        break;
+      std::vector<std::string> Candidate;
+      Candidate.reserve(Lines.size() - Chunk);
+      Candidate.insert(Candidate.end(), Lines.begin(),
+                       Lines.begin() + static_cast<ptrdiff_t>(Start));
+      Candidate.insert(Candidate.end(),
+                       Lines.begin() + static_cast<ptrdiff_t>(Start + Chunk),
+                       Lines.end());
+      if (StillFails(Render(Candidate))) {
+        Lines = std::move(Candidate);
+        B.accepted();
+        Progress = true;
+        // Retry the same start: the next chunk slid into place.
+      } else {
+        Start += Chunk;
+      }
+    }
+    // Keep the chunk size while it makes progress (each removal shrinks
+    // the line list, so this terminates); halve it on a sterile pass.
+    if (!Progress)
+      Chunk /= 2;
+  }
+  return Render(Lines);
+}

@@ -1,0 +1,59 @@
+//===- fuzz/Reducer.h - Delta-debugging repro minimizer --------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing fuzz program to a small witness. The structured
+/// reducer works on FuzzProgram's construct lists, repeatedly trying to
+/// drop whole functions, then individual statements, then globals,
+/// struct fields, and finally whole structs; a candidate survives only
+/// when the caller's predicate still fails (same oracle). Candidates
+/// that no longer compile are naturally rejected by the predicate, so
+/// dependencies between constructs need no modelling. A line-based
+/// ddmin fallback handles failures found in corpus files, where no
+/// structured form exists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_FUZZ_REDUCER_H
+#define SLO_FUZZ_REDUCER_H
+
+#include "fuzz/ProgramFuzzer.h"
+
+#include <functional>
+#include <string>
+
+namespace slo {
+
+/// Reduction bookkeeping, for logs and tests.
+struct ReduceStats {
+  unsigned Attempts = 0; // predicate evaluations
+  unsigned Accepted = 0; // candidates that kept failing
+};
+
+/// Predicate over a candidate program: true when the candidate still
+/// fails the *same* oracle as the original (callers must compare the
+/// oracle, not just Passed, or the reducer will happily "minimize" an
+/// output divergence into a compile error).
+using FuzzPredicate = std::function<bool(const FuzzProgram &)>;
+
+/// Greedily minimizes \p P under \p StillFails, to a fixpoint or until
+/// \p MaxAttempts predicate evaluations. \p StillFails(P) is assumed
+/// true on entry.
+FuzzProgram reduceProgram(FuzzProgram P, const FuzzPredicate &StillFails,
+                          ReduceStats *Stats = nullptr,
+                          unsigned MaxAttempts = 4000);
+
+/// ddmin over source lines, for failures with no structured form.
+/// Removes line chunks of halving sizes while \p StillFails holds.
+std::string
+reduceSourceLines(const std::string &Source,
+                  const std::function<bool(const std::string &)> &StillFails,
+                  ReduceStats *Stats = nullptr, unsigned MaxAttempts = 4000);
+
+} // namespace slo
+
+#endif // SLO_FUZZ_REDUCER_H

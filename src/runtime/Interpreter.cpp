@@ -1255,6 +1255,11 @@ RunResult Interpreter::Impl::run(const std::string &EntryName) {
   if (Result.Instructions > Opts.MaxInstructions)
     trap("instruction budget exceeded");
   Result.ExitCode = R.I;
+  Result.HeapLiveAllocs = LiveAllocs.size();
+  for (const auto &[Addr, Size] : LiveAllocs) {
+    (void)Addr;
+    Result.HeapLiveBytes += Size;
+  }
   Result.L1 = Cache.l1Stats();
   Result.L2 = Cache.l2Stats();
   Result.L3 = Cache.l3Stats();
@@ -1269,6 +1274,8 @@ RunResult Interpreter::Impl::run(const std::string &EntryName) {
     C.add("interp.stores", Result.Stores);
     C.add("interp.heap_allocations", Result.HeapAllocations);
     C.add("interp.heap_bytes", Result.HeapBytesAllocated);
+    C.add("interp.heap_leaked_allocs", Result.HeapLiveAllocs);
+    C.add("interp.heap_leaked_bytes", Result.HeapLiveBytes);
     uint64_t Decoded = 0;
     for (const auto &DF : DecodedFns)
       Decoded += DF != nullptr;

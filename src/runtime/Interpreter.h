@@ -103,6 +103,14 @@ struct RunResult {
 
   uint64_t HeapBytesAllocated = 0;
   uint64_t HeapAllocations = 0;
+
+  /// Heap-leak census at exit: allocations that were never freed, and
+  /// their total (alignment-padded) bytes. The differential fuzz oracle
+  /// compares these across transform-off/transform-on runs: a rewrite
+  /// that drops a free-site rewrite turns a leak-free program into a
+  /// leaking one, which output comparison alone cannot see.
+  uint64_t HeapLiveAllocs = 0;
+  uint64_t HeapLiveBytes = 0;
 };
 
 /// Interprets one module. The module must outlive the interpreter.

@@ -44,6 +44,24 @@ public:
     return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
   }
 
+  /// True with probability \p P (clamped to [0, 1]).
+  bool nextChance(double P) { return nextDouble() < P; }
+
+  /// Derives an independent child stream. The child's seed is a splitmix64
+  /// finalizer over one draw from this stream, so (a) the child sequence is
+  /// decorrelated from the parent's continuation, and (b) a sequence of
+  /// split() calls made in a fixed order yields the same children no matter
+  /// when — or on which thread — each child is later consumed. Parallel
+  /// fuzz shards split all their streams up front on the submitting thread
+  /// and are therefore reproducible independent of scheduling.
+  Rng split() {
+    uint64_t S = next() + 0x9e3779b97f4a7c15ULL;
+    S = (S ^ (S >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    S = (S ^ (S >> 27)) * 0x94d049bb133111ebULL;
+    S ^= S >> 31;
+    return Rng(S);
+  }
+
 private:
   uint64_t State;
 };

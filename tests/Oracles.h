@@ -1,0 +1,87 @@
+//===- tests/Oracles.h - Shared differential/determinism oracles ----------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// gtest-facing wrappers over the fuzz subsystem's differential harness,
+// shared by the hand-written property tests and the fuzzer tests so the
+// "pipeline round-trip preserves behaviour" and "repeated runs are
+// identical" checks exist exactly once.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_TESTS_ORACLES_H
+#define SLO_TESTS_ORACLES_H
+
+#include "frontend/Frontend.h"
+#include "fuzz/DifferentialHarness.h"
+#include "runtime/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+namespace slo {
+namespace oracles {
+
+/// Renders a differential outcome as a gtest assertion: success when all
+/// four oracles passed, the failing oracle and detail otherwise.
+inline ::testing::AssertionResult passes(const DifferentialOutcome &O) {
+  if (O.Passed)
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "oracle '" << fuzzOracleName(O.Oracle) << "' failed: " << O.Detail;
+}
+
+/// The pipeline round-trip oracle: compile twice, transform one copy,
+/// require identical observable behaviour plus the verifier, legality,
+/// and attribution invariants. \p Out (optional) receives the outcome
+/// for extra assertions (e.g. that transforms actually fired).
+inline ::testing::AssertionResult
+transformEquivalent(const std::string &Name, const std::string &Source,
+                    DifferentialOutcome *Out = nullptr,
+                    const DifferentialOptions &Opts = DifferentialOptions()) {
+  DifferentialOutcome O = runDifferential(Name, Source, Opts);
+  if (Out)
+    *Out = O;
+  return passes(O);
+}
+
+/// The determinism oracle: one module, \p Times runs, every observable
+/// and every simulation statistic identical.
+inline ::testing::AssertionResult
+deterministicRuns(const std::string &Name, const std::string &Source,
+                  unsigned Times = 2) {
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  auto M = compileProgram(Ctx, Name, {Source}, Diags);
+  if (!M)
+    return ::testing::AssertionFailure()
+           << "compile failed: " << (Diags.empty() ? "?" : Diags.front());
+  RunResult First = runProgram(*M);
+  if (First.Trapped)
+    return ::testing::AssertionFailure() << "trapped: " << First.TrapReason;
+  for (unsigned I = 1; I < Times; ++I) {
+    RunResult R = runProgram(*M);
+    if (R.ExitCode != First.ExitCode)
+      return ::testing::AssertionFailure() << "exit code diverged on run " << I;
+    if (R.Instructions != First.Instructions || R.Cycles != First.Cycles)
+      return ::testing::AssertionFailure()
+             << "instruction/cycle counts diverged on run " << I;
+    if (R.PrintedInts != First.PrintedInts ||
+        R.PrintedFloats != First.PrintedFloats)
+      return ::testing::AssertionFailure() << "output diverged on run " << I;
+    if (R.L1.Misses != First.L1.Misses ||
+        R.FirstLevelMisses != First.FirstLevelMisses)
+      return ::testing::AssertionFailure() << "miss counts diverged on run "
+                                           << I;
+    if (R.HeapLiveAllocs != First.HeapLiveAllocs ||
+        R.HeapLiveBytes != First.HeapLiveBytes)
+      return ::testing::AssertionFailure() << "leak census diverged on run "
+                                           << I;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+} // namespace oracles
+} // namespace slo
+
+#endif // SLO_TESTS_ORACLES_H

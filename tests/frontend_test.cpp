@@ -291,6 +291,20 @@ TEST(FrontendTest, ErrorIncompleteType) {
   EXPECT_NE(D.find("incomplete"), std::string::npos) << D;
 }
 
+TEST(FrontendTest, ErrorSizeofIncompleteType) {
+  // Found by the differential fuzzer's reducer: dropping a struct
+  // definition while a sizeof use survives must be a diagnostic, not an
+  // assertion failure in RecordType::getSize().
+  std::string D = compileFail(R"(
+    int main() {
+      struct never *p = (struct never*) malloc(4 * sizeof(struct never));
+      free(p);
+      return 0;
+    }
+  )");
+  EXPECT_NE(D.find("incomplete type 'struct never'"), std::string::npos) << D;
+}
+
 TEST(FrontendTest, ErrorBadCall) {
   std::string D = compileFail(R"(
     long f(long a) { return a; }

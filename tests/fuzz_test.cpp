@@ -1,0 +1,318 @@
+//===- tests/fuzz_test.cpp - Differential fuzzing subsystem tests ---------===//
+//
+// Covers the fuzz subsystem end to end:
+//  - the generator is deterministic and only emits valid, terminating,
+//    trap-free programs;
+//  - the differential harness passes all four oracles across a seed
+//    sweep, and transforms actually fire within the sweep (the oracles
+//    are vacuous if nothing is ever rewritten);
+//  - a deliberately broken legality analysis (the InjectLegalityBug
+//    hook) is caught by the behavioural oracles and minimized to a
+//    sub-30-line repro by the delta-debugging reducer;
+//  - the committed seed corpus passes;
+//  - the interpreter's heap-leak census (the LeakCensus oracle's input)
+//    counts unfreed allocations exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Oracles.h"
+#include "fuzz/DifferentialHarness.h"
+#include "fuzz/ProgramFuzzer.h"
+#include "fuzz/Reducer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace slo;
+
+namespace {
+
+/// Lines of actual MiniC: non-blank, non-comment.
+unsigned countCodeLines(const std::string &Source) {
+  std::istringstream In(Source);
+  std::string L;
+  unsigned N = 0;
+  while (std::getline(In, L)) {
+    size_t First = L.find_first_not_of(" \t");
+    if (First == std::string::npos)
+      continue;
+    if (L.compare(First, 2, "//") == 0)
+      continue;
+    ++N;
+  }
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Generator properties
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramFuzzer, GenerationIsDeterministic) {
+  for (uint64_t Seed : {1ull, 7ull, 1234ull}) {
+    FuzzConfig A = randomFuzzConfig(Seed);
+    FuzzConfig B = randomFuzzConfig(Seed);
+    EXPECT_EQ(A.describe(), B.describe()) << "seed " << Seed;
+    EXPECT_EQ(generateFuzzProgram(A).render(), generateFuzzProgram(B).render())
+        << "seed " << Seed;
+  }
+  EXPECT_NE(generateFuzzProgram(randomFuzzConfig(5)).render(),
+            generateFuzzProgram(randomFuzzConfig(6)).render());
+}
+
+TEST(ProgramFuzzer, GeneratedProgramsAlwaysCompile) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    FuzzProgram P = generateFuzzProgram(randomFuzzConfig(Seed));
+    IRContext Ctx;
+    std::vector<std::string> Diags;
+    auto M = compileProgram(Ctx, P.Name, {P.render()}, Diags);
+    ASSERT_TRUE(M) << "seed " << Seed << ": "
+                   << (Diags.empty() ? "?" : Diags.front()) << "\n"
+                   << P.render();
+    RunResult R = runProgram(*M);
+    EXPECT_FALSE(R.Trapped)
+        << "seed " << Seed << ": " << R.TrapReason << "\n" << P.render();
+    EXPECT_GT(R.Instructions, 0u) << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential sweep
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialHarness, SeedSweepPassesAllOracles) {
+  unsigned TotalTransformed = 0;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    FuzzProgram P = generateFuzzProgram(randomFuzzConfig(Seed));
+    DifferentialOutcome O;
+    EXPECT_TRUE(oracles::transformEquivalent(P.Name, P.render(), &O))
+        << "seed " << Seed << "\n" << P.render();
+    TotalTransformed += O.TypesTransformed;
+  }
+  // The sweep must exercise the BE: if nothing is ever transformed, the
+  // equivalence oracles are vacuously true and the fuzzer tests nothing.
+  EXPECT_GT(TotalTransformed, 0u);
+}
+
+TEST(DifferentialHarness, GeneratedProgramsRunDeterministically) {
+  for (uint64_t Seed : {3ull, 11ull, 19ull}) {
+    FuzzProgram P = generateFuzzProgram(randomFuzzConfig(Seed));
+    EXPECT_TRUE(oracles::deterministicRuns(P.Name, P.render()))
+        << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection + minimization (the acceptance-criteria test)
+//===----------------------------------------------------------------------===//
+
+/// A configuration whose programs keep the pun struct free of planner
+/// blockers: with the legality bits stripped, the planner admits the
+/// punned type and the split breaks the raw long* reads observably.
+FuzzConfig injectionConfig(uint64_t Seed) {
+  FuzzConfig C;
+  C.Seed = Seed;
+  C.Name = "inj" + std::to_string(Seed);
+  C.MinStructs = 1;
+  C.MaxStructs = 1;
+  C.MinFields = 5;
+  C.MaxFields = 7;
+  C.CastPunChance = 1.0;
+  C.DeadFieldChance = 0.2;
+  C.HeapCallocChance = 0.0;
+  C.WrapperAllocChance = 0.0;
+  C.MemcpyChance = 0.0;
+  C.AddrTakenChance = 0.0;
+  C.AddrArgChance = 0.0;
+  C.MaxLoopNest = 2;
+  C.MinElements = 8;
+  C.MaxElements = 16;
+  C.MaxIterations = 2;
+  return C;
+}
+
+TEST(DifferentialHarness, InjectedLegalityBugIsCaughtAndMinimized) {
+  DifferentialOptions Broken;
+  Broken.InjectLegalityBug = true;
+
+  FuzzProgram Witness;
+  DifferentialOutcome Failure;
+  bool Found = false;
+  for (uint64_t Seed = 1; Seed <= 40 && !Found; ++Seed) {
+    FuzzProgram P = generateFuzzProgram(injectionConfig(Seed));
+    std::string Src = P.render();
+    // The same program must be clean under the honest pipeline: the
+    // divergence below is the injected bug's doing, not the program's.
+    DifferentialOutcome Honest = runDifferential(P.Name, Src);
+    ASSERT_TRUE(Honest.Passed)
+        << "seed " << Seed << ": " << Honest.Detail << "\n" << Src;
+    DifferentialOutcome O = runDifferential(P.Name, Src, Broken);
+    if (!O.Passed) {
+      // The mis-transformation must surface behaviourally: wrong output,
+      // or an out-of-bounds trap from the shrunken hot records.
+      EXPECT_TRUE(O.Oracle == FuzzOracle::Output ||
+                  O.Oracle == FuzzOracle::OptTrap ||
+                  O.Oracle == FuzzOracle::LeakCensus)
+          << fuzzOracleName(O.Oracle) << ": " << O.Detail;
+      Witness = P;
+      Failure = O;
+      Found = true;
+    }
+  }
+  ASSERT_TRUE(Found)
+      << "no seed in 1..40 tripped the injected legality bug — the "
+         "fuzzer has lost its ability to detect broken legality analyses";
+
+  // Delta-debug the witness down to a small repro that still fails the
+  // same oracle under the broken pipeline.
+  FuzzOracle Want = Failure.Oracle;
+  auto StillFails = [&](const FuzzProgram &Candidate) {
+    return runDifferential(Candidate.Name, Candidate.render(), Broken)
+               .Oracle == Want;
+  };
+  ReduceStats Stats;
+  FuzzProgram Reduced = reduceProgram(Witness, StillFails, &Stats);
+  std::string ReducedSrc = Reduced.render();
+
+  EXPECT_TRUE(StillFails(Reduced)) << ReducedSrc;
+  EXPECT_GT(Stats.Attempts, 0u);
+  EXPECT_LT(countCodeLines(ReducedSrc), 30u)
+      << "repro not minimal enough (" << countCodeLines(ReducedSrc)
+      << " code lines):\n"
+      << ReducedSrc;
+  // And the honest pipeline still accepts the reduced program.
+  DifferentialOutcome Honest = runDifferential(Reduced.Name, ReducedSrc);
+  EXPECT_TRUE(Honest.Passed) << Honest.Detail << "\n" << ReducedSrc;
+}
+
+//===----------------------------------------------------------------------===//
+// Reducer unit behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(Reducer, LineReducerFindsSingleCulprit) {
+  std::ostringstream Src;
+  for (int I = 0; I < 63; ++I)
+    Src << "line " << I << "\n";
+  Src << "CULPRIT\n";
+  for (int I = 63; I < 100; ++I)
+    Src << "line " << I << "\n";
+  ReduceStats Stats;
+  std::string Reduced = reduceSourceLines(
+      Src.str(),
+      [](const std::string &S) {
+        return S.find("CULPRIT") != std::string::npos;
+      },
+      &Stats);
+  EXPECT_EQ(Reduced, "CULPRIT\n");
+  EXPECT_GT(Stats.Accepted, 0u);
+}
+
+TEST(Reducer, RespectsAttemptBudget) {
+  std::ostringstream Src;
+  for (int I = 0; I < 100; ++I)
+    Src << "line " << I << "\n";
+  ReduceStats Stats;
+  reduceSourceLines(
+      Src.str(), [](const std::string &) { return true; }, &Stats,
+      /*MaxAttempts=*/10);
+  EXPECT_LE(Stats.Attempts, 10u);
+}
+
+TEST(Reducer, StructuredReducerDropsUnrelatedUnits) {
+  // Two units; the predicate only cares about unit 0's print call. The
+  // reducer must drop unit 1's function entirely (with its main call).
+  FuzzConfig C = randomFuzzConfig(2);
+  C.MinStructs = 2;
+  C.MaxStructs = 2;
+  FuzzProgram P = generateFuzzProgram(C);
+  ASSERT_EQ(P.MainBody.size(), 2u);
+  auto Pred = [](const FuzzProgram &Candidate) {
+    for (const std::string &S : Candidate.MainBody)
+      if (S.find("fz_use_0") != std::string::npos)
+        return true;
+    return false;
+  };
+  FuzzProgram Reduced = reduceProgram(P, Pred);
+  EXPECT_EQ(Reduced.MainBody.size(), 1u);
+  for (const FuzzFunction &F : Reduced.Functions)
+    EXPECT_EQ(F.Decl.find("fz_use_1"), std::string::npos) << F.Decl;
+}
+
+//===----------------------------------------------------------------------===//
+// Seed corpus
+//===----------------------------------------------------------------------===//
+
+TEST(Corpus, EveryCorpusFilePassesTheDifferentialOracles) {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(SLO_CORPUS_DIR))
+    if (Entry.path().extension() == ".minic")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  ASSERT_GE(Files.size(), 5u) << "seed corpus went missing";
+  for (const auto &Path : Files) {
+    std::ifstream In(Path);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    EXPECT_TRUE(
+        oracles::transformEquivalent(Path.stem().string(), Buf.str()))
+        << Path;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Heap-leak census (the LeakCensus oracle's input)
+//===----------------------------------------------------------------------===//
+
+TEST(LeakCensus, CountsUnfreedAllocationsExactly) {
+  const char *Src = R"(
+    extern void print_i64(long v);
+    struct rec { long a; long b; };
+    int main() {
+      struct rec *p = (struct rec*) malloc(4 * sizeof(struct rec));
+      struct rec *q = (struct rec*) malloc(2 * sizeof(struct rec));
+      struct rec *r = (struct rec*) malloc(8 * sizeof(struct rec));
+      p[0].a = 1; q[0].a = 2; r[0].a = 3;
+      print_i64(p[0].a + q[0].a + r[0].a);
+      free(q);
+      return 0;
+    }
+  )";
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  auto M = compileProgram(Ctx, "leak", {Src}, Diags);
+  ASSERT_TRUE(M);
+  RunResult R = runProgram(*M);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.HeapLiveAllocs, 2u);
+  // 4*16 + 8*16 bytes leaked (both sizes already 16-aligned).
+  EXPECT_EQ(R.HeapLiveBytes, 4u * 16 + 8u * 16);
+  EXPECT_EQ(R.HeapAllocations, 3u);
+}
+
+TEST(LeakCensus, BalancedProgramReportsZero) {
+  const char *Src = R"(
+    extern void print_i64(long v);
+    struct rec { long a; long b; };
+    int main() {
+      struct rec *p = (struct rec*) malloc(4 * sizeof(struct rec));
+      p[0].a = 7;
+      print_i64(p[0].a);
+      free(p);
+      return 0;
+    }
+  )";
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  auto M = compileProgram(Ctx, "noleak", {Src}, Diags);
+  ASSERT_TRUE(M);
+  RunResult R = runProgram(*M);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.HeapLiveAllocs, 0u);
+  EXPECT_EQ(R.HeapLiveBytes, 0u);
+}
+
+} // namespace

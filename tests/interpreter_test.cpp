@@ -172,6 +172,117 @@ TEST(InterpreterTest, MemsetMemcpyReallocSemantics) {
   EXPECT_EQ(R.ExitCode, 28);
 }
 
+TEST(InterpreterTest, ReallocShrinkAcrossBucketsPreservesPrefix) {
+  // Grow a block across several 16-byte size buckets, then shrink it
+  // back down; the surviving prefix must be byte-identical throughout.
+  RunResult R = runSource(R"(
+    int main() {
+      long *a = (long*) malloc(4 * 8);   // 32 bytes -> 32-byte bucket
+      for (long i = 0; i < 4; i++) a[i] = i + 100;
+      a = (long*) realloc(a, 20 * 8);    // 160 bytes: new bucket
+      for (long i = 4; i < 20; i++) a[i] = i + 100;
+      a = (long*) realloc(a, 3 * 8);     // shrink below the original
+      long s = 0;
+      for (long i = 0; i < 3; i++) s += a[i]; // 100+101+102
+      free(a);
+      return (int) s;
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ExitCode, 303);
+  EXPECT_EQ(R.HeapLiveAllocs, 0u);
+}
+
+TEST(InterpreterTest, FreeOfNullIsANoOp) {
+  RunResult R = runSource(R"(
+    int main() {
+      long *p = 0;
+      free(p);
+      free(p);
+      return 7;
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ExitCode, 7);
+  EXPECT_EQ(R.HeapLiveAllocs, 0u);
+}
+
+TEST(InterpreterTest, CallocZeroCountYieldsValidFreeableBlock) {
+  RunResult R = runSource(R"(
+    int main() {
+      long *p = (long*) calloc(0, 8);
+      if (p == 0) return 1;
+      free(p);
+      return 0;
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.HeapAllocations, 1u);
+  EXPECT_EQ(R.HeapLiveAllocs, 0u);
+}
+
+TEST(InterpreterTest, CallocZeroFillsEveryElement) {
+  RunResult R = runSource(R"(
+    int main() {
+      long *p = (long*) calloc(16, 8);
+      long s = 0;
+      for (long i = 0; i < 16; i++) s += p[i];
+      free(p);
+      return (int) (s + 9);
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ExitCode, 9);
+}
+
+TEST(InterpreterTest, MemcpyBetweenSplitStyleSubRecords) {
+  // Hand-written hot/cold sub-records of the kind the split transform
+  // produces: memcpy within and across the two arrays must move exactly
+  // the bytes asked for.
+  RunResult R = runSource(R"(
+    struct hot { long k; struct cold_part *rest; };
+    struct cold_part { long a; long b; };
+    int main() {
+      struct hot *h = (struct hot*) malloc(8 * sizeof(struct hot));
+      struct cold_part *c =
+          (struct cold_part*) malloc(8 * sizeof(struct cold_part));
+      for (long i = 0; i < 8; i++) {
+        h[i].k = i;
+        h[i].rest = &c[i];
+        c[i].a = i * 10;
+        c[i].b = i * 100;
+      }
+      // Copy the first half of the cold array over the second half.
+      memcpy(&c[4], &c[0], 4 * sizeof(struct cold_part));
+      long s = 0;
+      for (long i = 0; i < 8; i++) s += h[i].rest->a + h[i].rest->b;
+      // halves identical now: 2 * (0+110+220+330) = 1320
+      free(h); free(c);
+      return (int) s;
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ExitCode, 1320);
+  EXPECT_EQ(R.HeapLiveAllocs, 0u);
+}
+
+TEST(InterpreterTest, LeakCensusReportsLiveBlocks) {
+  RunResult R = runSource(R"(
+    int main() {
+      long *a = (long*) malloc(24);  // rounds to 32
+      long *b = (long*) malloc(64);
+      long *c = (long*) malloc(8);   // rounds to 16
+      free(b);
+      return (int) (a[0] * 0 + c[0] * 0);
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.HeapAllocations, 3u);
+  EXPECT_EQ(R.HeapLiveAllocs, 2u);
+  EXPECT_EQ(R.HeapLiveBytes, 32u + 16u);
+}
+
 TEST(InterpreterTest, NullDereferenceTraps) {
   RunResult R = runSource(R"(
     struct s { long a; };

@@ -8,9 +8,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "Oracles.h"
 #include "analysis/Legality.h"
 #include "frontend/Frontend.h"
-#include "pipeline/Pipeline.h"
 #include "runtime/CacheSim.h"
 #include "runtime/Interpreter.h"
 #include "transform/Transform.h"
@@ -70,24 +70,13 @@ TEST_P(CensusProperty, PipelineRoundTripPreservesOutput) {
   Cfg.HotIterations = 2;
   std::string Src = generateBenchmarkSource(Cfg);
 
-  std::vector<std::string> Diags;
-  IRContext CtxA;
-  auto Base = compileMiniC(CtxA, "prop", Src, Diags);
-  ASSERT_TRUE(Base);
-  RunResult Before = runProgram(*Base);
-  ASSERT_FALSE(Before.Trapped) << Before.TrapReason;
-
-  IRContext CtxB;
-  auto Opt = compileMiniC(CtxB, "prop", Src, Diags);
-  ASSERT_TRUE(Opt);
-  PipelineOptions POpts;
-  PipelineResult P = runStructLayoutPipeline(*Opt, POpts);
-  RunResult After = runProgram(*Opt);
-  ASSERT_FALSE(After.Trapped) << After.TrapReason;
-  EXPECT_EQ(Before.PrintedInts, After.PrintedInts);
-  EXPECT_EQ(Before.ExitCode, After.ExitCode);
+  // The shared differential oracle checks output, leak census, the
+  // verifier, the legality inclusion chain, and the miss-attribution
+  // partition in one pass.
+  DifferentialOutcome O;
+  EXPECT_TRUE(oracles::transformEquivalent("prop", Src, &O));
   // Transform candidates must actually be transformed.
-  EXPECT_GE(P.Summary.TypesTransformed, C.Candidates);
+  EXPECT_GE(O.TypesTransformed, C.Candidates);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -263,18 +252,8 @@ TEST(DeterminismProperty, RepeatedRunsAreIdentical) {
   Cfg.TransformCandidates = 2;
   Cfg.HotElements = 256;
   Cfg.HotIterations = 2;
-  std::string Src = generateBenchmarkSource(Cfg);
-  IRContext Ctx;
-  std::vector<std::string> Diags;
-  auto M = compileMiniC(Ctx, "det", Src, Diags);
-  ASSERT_TRUE(M);
-  RunResult A = runProgram(*M);
-  RunResult B = runProgram(*M);
-  EXPECT_EQ(A.ExitCode, B.ExitCode);
-  EXPECT_EQ(A.Instructions, B.Instructions);
-  EXPECT_EQ(A.Cycles, B.Cycles);
-  EXPECT_EQ(A.PrintedInts, B.PrintedInts);
-  EXPECT_EQ(A.L1.Misses, B.L1.Misses);
+  EXPECT_TRUE(oracles::deterministicRuns("det", generateBenchmarkSource(Cfg),
+                                         /*Times=*/3));
 }
 
 } // namespace

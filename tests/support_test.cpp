@@ -59,6 +59,70 @@ TEST(RngTest, BoundsRespected) {
   }
 }
 
+TEST(RngTest, ChanceBoundsAreExact) {
+  Rng R(11);
+  for (int I = 0; I < 200; ++I) {
+    EXPECT_FALSE(R.nextChance(0.0));
+    EXPECT_TRUE(R.nextChance(1.0));
+  }
+  // A mid probability must produce both outcomes over a long run.
+  Rng S(12);
+  int Trues = 0;
+  for (int I = 0; I < 1000; ++I)
+    Trues += S.nextChance(0.5);
+  EXPECT_GT(Trues, 300);
+  EXPECT_LT(Trues, 700);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng A(99), B(99);
+  for (int I = 0; I < 10; ++I) {
+    Rng CA = A.split();
+    Rng CB = B.split();
+    for (int J = 0; J < 20; ++J)
+      EXPECT_EQ(CA.next(), CB.next());
+  }
+}
+
+TEST(RngTest, SplitChildrenAreDecorrelated) {
+  // Children split from one parent must differ from each other and from
+  // the parent's own continuation stream.
+  Rng Parent(123);
+  Rng C1 = Parent.split();
+  Rng C2 = Parent.split();
+  bool ChildrenDiffer = false, ParentDiffers = false;
+  for (int I = 0; I < 20; ++I) {
+    uint64_t V1 = C1.next(), V2 = C2.next();
+    ChildrenDiffer |= V1 != V2;
+    ParentDiffers |= V1 != Parent.next();
+  }
+  EXPECT_TRUE(ChildrenDiffer);
+  EXPECT_TRUE(ParentDiffers);
+}
+
+TEST(RngTest, SplitUpFrontIsConsumptionOrderIndependent) {
+  // The fuzz driver splits all shard streams up front; each child's
+  // sequence must not depend on when (or whether) the other children are
+  // consumed.
+  Rng P1(777);
+  Rng A1 = P1.split();
+  Rng B1 = P1.split();
+  std::vector<uint64_t> AFirst, BSecond;
+  for (int I = 0; I < 16; ++I)
+    AFirst.push_back(A1.next());
+  for (int I = 0; I < 16; ++I)
+    BSecond.push_back(B1.next());
+
+  Rng P2(777);
+  Rng A2 = P2.split();
+  Rng B2 = P2.split();
+  // Consume in the opposite order this time.
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(B2.next(), BSecond[I]);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(A2.next(), AFirst[I]);
+}
+
 static std::vector<Token> lex(const char *Src, std::string &Err) {
   Lexer L(Src);
   return L.lexAll(Err);
