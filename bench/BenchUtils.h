@@ -59,6 +59,10 @@ struct RunHooks {
   Tracer *Trace = nullptr;
   CounterRegistry *Counters = nullptr;
   MissAttribution *Attribution = nullptr;
+  /// When set, d-cache events are observed through the Caliper stand-in
+  /// and the profile (if any) is populated from its scaled sample
+  /// estimates instead of the exact per-access counts.
+  SampledPmu *Pmu = nullptr;
 };
 
 /// Runs with the given parameter set on the scaled hierarchy.
@@ -73,6 +77,7 @@ inline RunResult runWith(const Module &M,
   O.Trace = Hooks.Trace;
   O.Counters = Hooks.Counters;
   O.Attribution = Hooks.Attribution;
+  O.Pmu = Hooks.Pmu;
   RunResult R = runProgram(M, std::move(O));
   if (R.Trapped)
     reportFatalError("benchmark run trapped: " + R.TrapReason);

@@ -1,0 +1,399 @@
+//===- bench/bench_profile_quality.cpp - Sampled-profile quality ----------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// The paper collects its d-cache profiles with HP Caliper, a sampling
+// profiler ("data is acquired via sampling of the performance monitoring
+// unit", §3.1) — so the advice the framework gives rests on sampled,
+// skid-displaced estimates, not exact counts. This harness quantifies
+// how much profile quality that costs: for every workload it sweeps the
+// sampling period and reports, per period,
+//
+//   tau            Kendall tau-b rank agreement between the sampled and
+//                  the exact per-field miss counts,
+//   topk_overlap   fraction of the exact top-5 hottest fields that the
+//                  sampled profile also ranks in its top 5,
+//   advice_stable  whether planning from the sampled profile (DMISS)
+//                  selects the *identical* transform set as planning
+//                  from the exact profile, and
+//   opt_misses     first-level misses of the resulting transformed build
+//                  on the reference input.
+//
+// Each sampled profile is the merge of two collection runs with
+// different seeds (the paper's multi-run accumulation), round-tripped
+// through the feedback text format onto a fresh compilation — the same
+// path a real cross-process collection takes. Everything (cycles,
+// sampling jitter, skid) is deterministic for fixed seeds, so the
+// BENCH_profile_quality.json artifact is byte-stable and can be gated
+// strictly by scripts/bench_compare.py. The gate's contract: at the
+// default period (61) the advice is stable on every workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtils.h"
+#include "observability/SampledPmu.h"
+#include "profile/FeedbackIO.h"
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+using namespace slo;
+using namespace slo::bench;
+
+namespace {
+
+/// The sweep. kDefaultPeriod is the documented collection default
+/// (slo_driver --sample-period); the gate enforces advice stability
+/// there, the other points show where quality degrades. Collection runs
+/// use zero skid, like a skid-corrected profiler: uncorrected skid
+/// (slo_driver --sample-skid) lands a third of samples on neighboring
+/// fields per skid step and wrecks rank agreement even at period 1.
+const uint64_t kPeriods[] = {1, 16, 61, 256, 2048};
+constexpr uint64_t kDefaultPeriod = 61;
+constexpr unsigned kSkid = 0;
+constexpr unsigned kRunsMerged = 2;
+
+/// Per-field miss counts keyed symbolically, so exact and sampled
+/// profiles collected on different compilations compare.
+using FieldKey = std::pair<std::string, unsigned>;
+using MissMap = std::map<FieldKey, uint64_t>;
+
+MissMap missByField(const FeedbackFile &FB) {
+  MissMap Out;
+  for (const auto &KV : FB.allFieldStats())
+    if (KV.second.Misses)
+      Out[{KV.first.first->getRecordName(), KV.first.second}] +=
+          KV.second.Misses;
+  return Out;
+}
+
+/// Kendall tau-b over the union of both key sets (a field one side never
+/// sampled counts as 0 there). 1.0 when there are no discordant or
+/// tied-breaking pairs — including the degenerate no-data case.
+double kendallTau(const MissMap &A, const MissMap &B) {
+  std::set<FieldKey> Keys;
+  for (const auto &KV : A)
+    Keys.insert(KV.first);
+  for (const auto &KV : B)
+    Keys.insert(KV.first);
+  std::vector<std::pair<uint64_t, uint64_t>> V;
+  for (const FieldKey &K : Keys) {
+    auto IA = A.find(K);
+    auto IB = B.find(K);
+    V.push_back({IA == A.end() ? 0 : IA->second,
+                 IB == B.end() ? 0 : IB->second});
+  }
+  long long Concordant = 0, Discordant = 0, TiesA = 0, TiesB = 0;
+  for (size_t I = 0; I < V.size(); ++I)
+    for (size_t J = I + 1; J < V.size(); ++J) {
+      int DX = V[I].first < V[J].first ? -1 : V[I].first > V[J].first ? 1 : 0;
+      int DY =
+          V[I].second < V[J].second ? -1 : V[I].second > V[J].second ? 1 : 0;
+      if (DX == 0 && DY == 0)
+        continue;
+      if (DX == 0)
+        ++TiesA;
+      else if (DY == 0)
+        ++TiesB;
+      else if (DX == DY)
+        ++Concordant;
+      else
+        ++Discordant;
+    }
+  double Denom =
+      std::sqrt(static_cast<double>(Concordant + Discordant + TiesA) *
+                static_cast<double>(Concordant + Discordant + TiesB));
+  return Denom > 0.0
+             ? static_cast<double>(Concordant - Discordant) / Denom
+             : 1.0;
+}
+
+/// The hottest-by-misses fields, count ties broken by key so the set is
+/// deterministic.
+std::set<FieldKey> topFields(const MissMap &M, size_t K) {
+  std::vector<std::pair<uint64_t, FieldKey>> V;
+  for (const auto &KV : M)
+    V.push_back({KV.second, KV.first});
+  std::sort(V.begin(), V.end(), [](const auto &L, const auto &R) {
+    return L.first != R.first ? L.first > R.first : L.second < R.second;
+  });
+  if (V.size() > K)
+    V.resize(K);
+  std::set<FieldKey> Out;
+  for (const auto &P : V)
+    Out.insert(P.second);
+  return Out;
+}
+
+double topKOverlap(const MissMap &Exact, const MissMap &Sampled) {
+  std::set<FieldKey> Ref = topFields(Exact, 5);
+  if (Ref.empty())
+    return 1.0;
+  std::set<FieldKey> Got = topFields(Sampled, 5);
+  size_t Hit = 0;
+  for (const FieldKey &K : Ref)
+    Hit += Got.count(K);
+  return static_cast<double>(Hit) / static_cast<double>(Ref.size());
+}
+
+/// Canonical description of the advice. Two granularities:
+///
+///   Advice     the transform set — which records get which transform
+///              kind, which fields are removed as dead/unused, and the
+///              peel grouping. This is what the paper's advisor reports
+///              and what the stability gate enforces.
+///   Partition  additionally the exact hot/cold membership of every
+///              split. Membership of fields sitting near the T_s
+///              threshold is a tiebreak sampling noise may flip, so this
+///              stricter signature is reported, not gated.
+///
+/// Field order within a part is excluded from both: reorder-by-hotness
+/// sorts near-equally-hot fields whose relative order is not advice.
+enum class SignatureKind { Advice, Partition };
+
+std::string planSignature(const std::vector<TypePlan> &Plans,
+                          SignatureKind Kind) {
+  std::vector<std::string> Parts;
+  for (const TypePlan &P : Plans) {
+    if (P.isNoop())
+      continue;
+    std::string S = P.Rec->getRecordName();
+    S += '=';
+    S += transformKindName(P.Kind);
+    auto List = [&S](const char *Tag, std::vector<unsigned> V) {
+      std::sort(V.begin(), V.end());
+      S += Tag;
+      for (unsigned F : V) {
+        S += std::to_string(F);
+        S += ',';
+      }
+    };
+    // Whether a cold part (and thus a link pointer) exists is advice;
+    // which borderline fields it contains is partition detail.
+    S += P.ColdFields.empty() ? " link:no" : " link:yes";
+    if (Kind == SignatureKind::Partition)
+      List(" cold:", P.ColdFields);
+    std::vector<std::vector<unsigned>> Groups = P.PeelGroups;
+    for (std::vector<unsigned> &G : Groups)
+      std::sort(G.begin(), G.end());
+    std::sort(Groups.begin(), Groups.end());
+    S += " peel:";
+    for (const std::vector<unsigned> &G : Groups) {
+      for (unsigned F : G) {
+        S += std::to_string(F);
+        S += ',';
+      }
+      S += ';';
+    }
+    List(" dead:", P.DeadFields);
+    List(" unused:", P.UnusedFields);
+    Parts.push_back(std::move(S));
+  }
+  std::sort(Parts.begin(), Parts.end());
+  std::string Sig;
+  for (const std::string &P : Parts) {
+    Sig += P;
+    Sig += '\n';
+  }
+  return Sig;
+}
+
+/// Collection seeds must be deterministic (no clocks) yet decorrelated
+/// across (workload, period, run); SampledPmu::split()s its jitter and
+/// skid streams off whatever we hand it.
+uint64_t collectionSeed(size_t WorkloadIdx, uint64_t Period, unsigned Run) {
+  return 0x510ACA11ull ^ (WorkloadIdx * 0x9E3779B97F4A7C15ull) ^
+         (Period << 8) ^ Run;
+}
+
+/// One sampled collection run on the train input: the serialized profile
+/// plus how many miss samples the PMU actually took.
+struct Collected {
+  std::string Text;
+  uint64_t MissSamples = 0;
+};
+
+Collected collectSampled(const Workload &W, uint64_t Period, uint64_t Seed) {
+  Built B = buildWorkload(W);
+  FeedbackFile FB;
+  SampledPmuConfig Cfg;
+  Cfg.Period = Period;
+  Cfg.Skid = kSkid;
+  Cfg.Seed = Seed;
+  SampledPmu Pmu(Cfg);
+  CounterRegistry Counters;
+  RunHooks Hooks;
+  Hooks.Counters = &Counters;
+  Hooks.Pmu = &Pmu;
+  runWith(*B.M, W.TrainParams, &FB, Hooks);
+  Collected R;
+  R.Text = serializeFeedback(*B.M, FB);
+  std::map<std::string, uint64_t> Snap = Counters.snapshot();
+  auto It = Snap.find("profile.samples_miss");
+  R.MissSamples = It == Snap.end() ? 0 : It->second;
+  return R;
+}
+
+/// Merges the serialized collection runs onto a fresh compilation, plans
+/// and transforms with DMISS weights, and measures the result on the
+/// reference input.
+struct Planned {
+  std::string AdviceSig;
+  std::string PartitionSig;
+  unsigned Transformed = 0;
+  uint64_t OptMisses = 0;
+  MissMap Misses;
+};
+
+Planned planFromProfiles(const Workload &W,
+                         const std::vector<std::string> &Texts,
+                         const RunResult &BaseRun) {
+  Built B = buildWorkload(W);
+  FeedbackFile Merged;
+  for (const std::string &T : Texts) {
+    FeedbackFile One;
+    FeedbackMatchResult MR = deserializeFeedback(*B.M, T, One);
+    if (!MR.Ok)
+      reportFatalError("profile round-trip rejected for " + W.Name + ": " +
+                       MR.Error);
+    Merged.merge(One);
+  }
+  Planned R;
+  R.Misses = missByField(Merged);
+  PipelineOptions Opts;
+  Opts.Scheme = WeightScheme::DMISS;
+  PipelineResult P = runStructLayoutPipeline(*B.M, Opts, &Merged);
+  RunResult Opt = runWith(*B.M, W.RefParams);
+  requireSameOutput(BaseRun, Opt, W.Name);
+  R.AdviceSig = planSignature(P.Plans, SignatureKind::Advice);
+  R.PartitionSig = planSignature(P.Plans, SignatureKind::Partition);
+  R.Transformed = P.Summary.TypesTransformed;
+  R.OptMisses = Opt.FirstLevelMisses;
+  return R;
+}
+
+struct Row {
+  std::string Name;
+  uint64_t Period;
+  bool AdviceStable;
+  bool PartitionStable;
+  double Tau;
+  double TopK;
+  uint64_t MissSamples;
+  uint64_t OptMisses;
+  uint64_t ExactOptMisses;
+  uint64_t BaseMisses;
+  unsigned Transformed;
+};
+
+} // namespace
+
+int main() {
+  std::printf("Profile quality: sampled (Caliper stand-in) vs exact "
+              "d-cache profiles\n");
+  std::printf("(DMISS planning; skid %u, %u merged runs per period; "
+              "default period %llu)\n\n",
+              kSkid, kRunsMerged,
+              static_cast<unsigned long long>(kDefaultPeriod));
+  std::printf("%-12s %7s %6s %6s %7s %5s %10s %12s %7s\n", "Benchmark",
+              "period", "tau", "top5", "advice", "part", "samples",
+              "opt_misses", "vs_ex");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  const std::vector<Workload> &Workloads = allWorkloads();
+  std::vector<std::vector<Row>> PerWorkload = parallelMap(
+      Workloads.size(), [&](size_t I) -> std::vector<Row> {
+        const Workload &W = Workloads[I];
+        Built Base = buildWorkload(W);
+        RunResult BaseRun = runWith(*Base.M, W.RefParams);
+
+        // The exact reference: one uninstrumented-PMU collection run,
+        // round-tripped through the same text format so both sides of
+        // every comparison crossed identical machinery.
+        Built Ex = buildWorkload(W);
+        FeedbackFile Exact;
+        runWith(*Ex.M, W.TrainParams, &Exact);
+        std::string ExactText = serializeFeedback(*Ex.M, Exact);
+        Planned Ref = planFromProfiles(W, {ExactText}, BaseRun);
+
+        std::vector<Row> Rows;
+        for (uint64_t Period : kPeriods) {
+          std::vector<std::string> Texts;
+          uint64_t MissSamples = 0;
+          for (unsigned Run = 0; Run < kRunsMerged; ++Run) {
+            Collected C =
+                collectSampled(W, Period, collectionSeed(I, Period, Run));
+            Texts.push_back(std::move(C.Text));
+            MissSamples += C.MissSamples;
+          }
+          Planned S = planFromProfiles(W, Texts, BaseRun);
+          Row R;
+          R.Name = W.Name;
+          R.Period = Period;
+          R.AdviceStable = S.AdviceSig == Ref.AdviceSig;
+          R.PartitionStable = S.PartitionSig == Ref.PartitionSig;
+          R.Tau = kendallTau(Ref.Misses, S.Misses);
+          R.TopK = topKOverlap(Ref.Misses, S.Misses);
+          R.MissSamples = MissSamples;
+          R.OptMisses = S.OptMisses;
+          R.ExactOptMisses = Ref.OptMisses;
+          R.BaseMisses = BaseRun.FirstLevelMisses;
+          R.Transformed = S.Transformed;
+          Rows.push_back(std::move(R));
+        }
+        return Rows;
+      });
+
+  std::string Json = formatString(
+      "{\n  \"bench\": \"profile_quality\",\n"
+      "  \"default_period\": %llu,\n  \"skid\": %u,\n"
+      "  \"runs_merged\": %u,\n  \"rows\": [\n",
+      static_cast<unsigned long long>(kDefaultPeriod), kSkid, kRunsMerged);
+  bool FirstJsonRow = true;
+  unsigned UnstableAtDefault = 0;
+  for (const std::vector<Row> &Rows : PerWorkload) {
+    for (const Row &R : Rows) {
+      if (R.Period == kDefaultPeriod && !R.AdviceStable)
+        ++UnstableAtDefault;
+      std::printf("%-12s %7llu %6.3f %6.2f %7s %5s %10llu %12llu %7s\n",
+                  R.Name.c_str(), static_cast<unsigned long long>(R.Period),
+                  R.Tau, R.TopK, R.AdviceStable ? "yes" : "NO",
+                  R.PartitionStable ? "yes" : "no",
+                  static_cast<unsigned long long>(R.MissSamples),
+                  static_cast<unsigned long long>(R.OptMisses),
+                  R.OptMisses == R.ExactOptMisses ? "=" : "!=");
+
+      if (!FirstJsonRow)
+        Json += ",\n";
+      FirstJsonRow = false;
+      Json += formatString(
+          "    {\"benchmark\": \"%s\", \"period\": %llu, "
+          "\"advice_stable\": %s, \"partition_stable\": %s, "
+          "\"tau\": %.4f, "
+          "\"topk_overlap\": %.4f, \"miss_samples\": %llu, "
+          "\"opt_misses\": %llu, \"exact_opt_misses\": %llu, "
+          "\"base_misses\": %llu, \"transformed\": %u}",
+          jsonEscape(R.Name).c_str(),
+          static_cast<unsigned long long>(R.Period),
+          R.AdviceStable ? "true" : "false",
+          R.PartitionStable ? "true" : "false", R.Tau, R.TopK,
+          static_cast<unsigned long long>(R.MissSamples),
+          static_cast<unsigned long long>(R.OptMisses),
+          static_cast<unsigned long long>(R.ExactOptMisses),
+          static_cast<unsigned long long>(R.BaseMisses), R.Transformed);
+    }
+  }
+  Json += "\n  ]\n}\n";
+  writeTextFile("BENCH_profile_quality.json", Json);
+
+  std::printf("%s\n", std::string(80, '-').c_str());
+  std::printf("advice unstable at default period %llu: %u workload(s)\n",
+              static_cast<unsigned long long>(kDefaultPeriod),
+              UnstableAtDefault);
+  std::printf("\nwrote BENCH_profile_quality.json (%u worker threads)\n",
+              benchParallelism());
+  return 0;
+}

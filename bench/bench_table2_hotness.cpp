@@ -16,6 +16,7 @@
 #include "advisor/Correlation.h"
 #include "analysis/WeightSchemes.h"
 #include "bench/BenchUtils.h"
+#include "observability/SampledPmu.h"
 
 #include <cstdio>
 #include <vector>
@@ -47,7 +48,10 @@ int main() {
       O.IntParams = W->TrainParams;
       O.Cache = CacheConfig::scaledItanium();
       O.Profile = &NoInstr;
-      O.CacheSamplePeriod = 16; // Sampled, like the PMU.
+      SampledPmuConfig PC;
+      PC.Period = 16; // Sampled, like the PMU.
+      SampledPmu Pmu(PC);
+      O.Pmu = &Pmu;
       RunResult R = runProgram(*B.M, std::move(O));
       if (R.Trapped)
         reportFatalError("uninstrumented run trapped: " + R.TrapReason);

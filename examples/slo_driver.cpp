@@ -10,6 +10,8 @@
 //     --advise          print the advisory report instead of transforming
 //     --pbo             profile first, then use PBO weights
 //     --scheme=NAME     ISPBO (default) | SPBO | ISPBO.NO | ISPBO.W | PBO
+//                       | DMISS | DLAT (the cache schemes profile first,
+//                       like --pbo)
 //     --run             execute and report simulated cycles
 //     --dump-ir         print the (transformed) IR
 //     --diags           print legality/refinement diagnostics as text
@@ -21,6 +23,19 @@
 //                       to P (implies --run)
 //     --trace-summary   print the span summary table to stdout
 //
+//   Sampled profile collection (the Caliper stand-in; see DESIGN.md):
+//     --sample-period N   collect the profiling run's d-cache field
+//                         events through the sampled PMU with mean
+//                         period N instead of exactly (N=1 is exact)
+//     --sample-skid K     displace miss samples onto the site of an
+//                         access up to K events later (Itanium skid)
+//     --sample-seed S     jitter/skid stream seed (default fixed)
+//     --sample-latency-threshold T
+//                         DLAT mode: latency from loads >= T cycles only
+//     --profile-out=P     write the collected profile (feedback format)
+//     --profile-in=P      skip collection, load a feedback file instead;
+//                         corrupt files are structured errors, not UB
+//
 //===----------------------------------------------------------------------===//
 
 #include "advisor/AdvisorReport.h"
@@ -28,9 +43,12 @@
 #include "ir/IRPrinter.h"
 #include "observability/CounterRegistry.h"
 #include "observability/MissAttribution.h"
+#include "observability/SampledPmu.h"
 #include "observability/Tracer.h"
 #include "pipeline/Pipeline.h"
+#include "profile/FeedbackIO.h"
 #include "runtime/Interpreter.h"
+#include "support/Diagnostics.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -55,11 +73,51 @@ struct DriverOptions {
   WeightScheme Scheme = WeightScheme::ISPBO;
   std::map<std::string, int64_t> Params;
   std::vector<std::string> Files;
+  // Sampled collection (0 = exact collection, no PMU).
+  uint64_t SamplePeriod = 0;
+  unsigned SampleSkid = 0;
+  uint64_t SampleSeed = SampledPmuConfig().Seed;
+  uint64_t SampleLatencyThreshold = 0;
+  std::string ProfileOutPath;
+  std::string ProfileInPath;
 };
+
+/// Accepts "--flag=V" or "--flag V"; fills \p Value and returns true when
+/// \p A is \p Flag in either spelling.
+bool valuedFlag(const std::string &Flag, int argc, char **argv, int &I,
+                std::string &Value) {
+  std::string A = argv[I];
+  if (A.rfind(Flag + "=", 0) == 0) {
+    Value = A.substr(Flag.size() + 1);
+    return true;
+  }
+  if (A == Flag && I + 1 < argc) {
+    Value = argv[++I];
+    return true;
+  }
+  return false;
+}
+
+bool parseU64Arg(const std::string &Flag, const std::string &Value,
+                 uint64_t &Out) {
+  try {
+    size_t Pos = 0;
+    unsigned long long V = std::stoull(Value, &Pos);
+    if (Pos != Value.size())
+      throw std::invalid_argument(Value);
+    Out = V;
+    return true;
+  } catch (...) {
+    std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n",
+                 Flag.c_str(), Value.c_str());
+    return false;
+  }
+}
 
 bool parseArgs(int argc, char **argv, DriverOptions &O) {
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
+    std::string V;
     if (A == "--advise") {
       O.Advise = true;
     } else if (A == "--pbo") {
@@ -93,10 +151,35 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
       else if (S == "PBO") {
         O.Scheme = WeightScheme::PBO;
         O.Pbo = true;
+      } else if (S == "DMISS") {
+        O.Scheme = WeightScheme::DMISS;
+        O.Pbo = true; // Cache schemes consume a collected profile.
+      } else if (S == "DLAT") {
+        O.Scheme = WeightScheme::DLAT;
+        O.Pbo = true;
       } else {
         std::fprintf(stderr, "unknown scheme '%s'\n", S.c_str());
         return false;
       }
+    } else if (valuedFlag("--sample-period", argc, argv, I, V)) {
+      if (!parseU64Arg("--sample-period", V, O.SamplePeriod))
+        return false;
+    } else if (valuedFlag("--sample-skid", argc, argv, I, V)) {
+      uint64_t K;
+      if (!parseU64Arg("--sample-skid", V, K))
+        return false;
+      O.SampleSkid = static_cast<unsigned>(K);
+    } else if (valuedFlag("--sample-seed", argc, argv, I, V)) {
+      if (!parseU64Arg("--sample-seed", V, O.SampleSeed))
+        return false;
+    } else if (valuedFlag("--sample-latency-threshold", argc, argv, I, V)) {
+      if (!parseU64Arg("--sample-latency-threshold", V,
+                       O.SampleLatencyThreshold))
+        return false;
+    } else if (valuedFlag("--profile-out", argc, argv, I, V)) {
+      O.ProfileOutPath = V;
+    } else if (valuedFlag("--profile-in", argc, argv, I, V)) {
+      O.ProfileInPath = V;
     } else if (A == "--param" && I + 1 < argc) {
       std::string P = argv[++I];
       size_t Eq = P.find('=');
@@ -117,7 +200,15 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
                  "usage: slo_driver [--advise] [--pbo] [--run] [--dump-ir] "
                  "[--diags] [--diags-json] [--scheme=NAME] [--param N=V] "
                  "[--trace-json=P] [--stats-json=P] [--trace-summary] "
-                 "file.minic...\n");
+                 "[--sample-period N] [--sample-skid K] [--sample-seed S] "
+                 "[--sample-latency-threshold T] [--profile-out=P] "
+                 "[--profile-in=P] file.minic...\n");
+    return false;
+  }
+  if (!O.ProfileInPath.empty() && O.SamplePeriod > 0) {
+    std::fprintf(stderr,
+                 "--profile-in replaces collection; --sample-period has "
+                 "nothing to sample\n");
     return false;
   }
   return true;
@@ -172,18 +263,55 @@ int main(int argc, char **argv) {
   bool WantStats = !O.StatsJsonPath.empty();
 
   FeedbackFile Train;
-  if (O.Pbo) {
+  bool HaveProfile = false;
+  if (!O.ProfileInPath.empty()) {
+    // The PBO use phase on a persisted profile. A corrupt or truncated
+    // file is a structured diagnostic and a clean exit, never UB.
+    DiagnosticEngine FeedbackDiags;
+    FeedbackMatchResult MR =
+        loadFeedbackFile(*M, O.ProfileInPath, Train, FeedbackDiags);
+    std::fprintf(stderr, "%s", FeedbackDiags.renderText().c_str());
+    if (!MR.Ok)
+      return 1;
+    HaveProfile = true;
+  } else if (O.Pbo) {
     TraceSpan S(TracePtr, "profile-collection", "run");
     RunOptions PO;
     PO.IntParams = O.Params;
     PO.Profile = &Train;
     PO.Trace = TracePtr;
+    // Sampled collection: the field d-cache events of the profiling run
+    // come from the Caliper stand-in instead of exact counting. Its
+    // telemetry lands in the stats artifact as profile.samples_*.
+    SampledPmuConfig PmuCfg;
+    PmuCfg.Period = O.SamplePeriod ? O.SamplePeriod : 1;
+    PmuCfg.Skid = O.SampleSkid;
+    PmuCfg.Seed = O.SampleSeed;
+    PmuCfg.LatencyThreshold = O.SampleLatencyThreshold;
+    SampledPmu Pmu(PmuCfg);
+    if (O.SamplePeriod > 0) {
+      PO.Pmu = &Pmu;
+      if (WantStats)
+        PO.Counters = &Counters;
+    }
     RunResult R = runProgram(*M, std::move(PO));
     if (R.Trapped) {
       std::fprintf(stderr, "profiling run trapped: %s\n",
                    R.TrapReason.c_str());
       return 1;
     }
+    HaveProfile = true;
+  }
+
+  if (!O.ProfileOutPath.empty()) {
+    if (!HaveProfile) {
+      std::fprintf(stderr,
+                   "--profile-out needs a collected profile (use --pbo, a "
+                   "cache scheme, or --profile-in)\n");
+      return 1;
+    }
+    if (!writeFileOrComplain(O.ProfileOutPath, serializeFeedback(*M, Train)))
+      return 1;
   }
 
   PipelineOptions POpts;
@@ -192,14 +320,14 @@ int main(int argc, char **argv) {
   POpts.Trace = TracePtr;
   POpts.Counters = WantStats ? &Counters : nullptr;
   PipelineResult R =
-      runStructLayoutPipeline(*M, POpts, O.Pbo ? &Train : nullptr);
+      runStructLayoutPipeline(*M, POpts, HaveProfile ? &Train : nullptr);
 
   if (O.Advise) {
     AdvisorInputs In;
     In.M = M.get();
     In.Legal = &R.Legality;
     In.Stats = &R.Stats;
-    In.Cache = O.Pbo ? &Train : nullptr;
+    In.Cache = HaveProfile ? &Train : nullptr;
     In.Plans = &R.Plans;
     In.Refined = &R.Refined;
     std::printf("%s", renderAdvisorReport(In).c_str());
@@ -252,14 +380,17 @@ int main(int argc, char **argv) {
       Json += formatString(
           "  \"run\": {\"exit\": %lld, \"instructions\": %llu, "
           "\"cycles\": %llu, \"mem_stall_cycles\": %llu, \"loads\": %llu, "
-          "\"stores\": %llu, \"first_level_misses\": %llu},\n",
+          "\"stores\": %llu, \"first_level_misses\": %llu, "
+          "\"heap_live_allocs\": %llu, \"heap_live_bytes\": %llu},\n",
           static_cast<long long>(Res.ExitCode),
           static_cast<unsigned long long>(Res.Instructions),
           static_cast<unsigned long long>(Res.Cycles),
           static_cast<unsigned long long>(Res.MemStallCycles),
           static_cast<unsigned long long>(Res.Loads),
           static_cast<unsigned long long>(Res.Stores),
-          static_cast<unsigned long long>(Res.FirstLevelMisses));
+          static_cast<unsigned long long>(Res.FirstLevelMisses),
+          static_cast<unsigned long long>(Res.HeapLiveAllocs),
+          static_cast<unsigned long long>(Res.HeapLiveBytes));
       Json += "  \"counters\": " + Counters.renderJson() + ",\n";
       Json += "  \"miss_attribution\": ";
       std::string Heatmap = Attribution.renderHeatmapJson();

@@ -41,6 +41,7 @@ struct DriverOptions {
   unsigned Jobs = 0; // 0 = hardware concurrency
   bool Minimize = false;
   bool InjectLegalityBug = false;
+  bool SampledProfiles = false;
   std::string CorpusDir;
   std::string OutDir = ".";
 };
@@ -50,12 +51,16 @@ int usage() {
       stderr,
       "usage: slo_fuzz [--runs N] [--seed S] [--jobs J] [--minimize]\n"
       "                [--corpus DIR] [--out DIR] [--inject-legality-bug]\n"
+      "                [--sampled-profiles]\n"
       "\n"
       "Replays DIR/*.minic (sorted) when --corpus is given, then runs N\n"
       "random differential tests derived from seed S. Every failure is\n"
       "reported with its seed; --minimize shrinks each to a .minic repro\n"
       "in --out (default .). --inject-legality-bug deliberately breaks\n"
-      "the legality verdicts to prove the harness catches it.\n");
+      "the legality verdicts to prove the harness catches it.\n"
+      "--sampled-profiles plans from a sampled d-cache profile (DMISS,\n"
+      "period 61, skid 2) round-tripped through the feedback format,\n"
+      "instead of static estimates — the oracles must still hold.\n");
   return 2;
 }
 
@@ -230,6 +235,8 @@ int main(int argc, char **argv) {
       Opts.Minimize = true;
     } else if (A == "--inject-legality-bug") {
       Opts.InjectLegalityBug = true;
+    } else if (A == "--sampled-profiles") {
+      Opts.SampledProfiles = true;
     } else {
       std::fprintf(stderr, "slo_fuzz: unknown argument '%s'\n", A.c_str());
       return usage();
@@ -238,6 +245,13 @@ int main(int argc, char **argv) {
 
   DifferentialOptions DOpts;
   DOpts.InjectLegalityBug = Opts.InjectLegalityBug;
+  if (Opts.SampledProfiles) {
+    // A realistic collection: miss-driven weights from a jittered
+    // period-61 sweep with a little Itanium skid.
+    DOpts.Scheme = WeightScheme::DMISS;
+    DOpts.SampledProfilePeriod = 61;
+    DOpts.SampledProfileSkid = 2;
+  }
 
   unsigned Failures = 0;
   if (!Opts.CorpusDir.empty()) {

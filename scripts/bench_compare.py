@@ -11,17 +11,28 @@ intentional-but-unreviewed changes to the cache model, the workloads, or
 the transformations. Wall-clock artifacts (BENCH_compile_time.json) are
 checked for presence and schema only, never gated numerically.
 
+A second leg gates BENCH_profile_quality.json (the sampled-PMU
+advice-stability sweep): at the artifact's default sampling period,
+planning from a sampled profile must select the identical transform set
+as planning from the exact profile on every workload — advice_stable is
+a hard invariant there, not a tolerance. The sweep is seeded and fully
+simulated, so stability flags compare exactly against the baseline and
+only tau/opt_misses get tolerances.
+
 Usage:
   bench_compare.py --current BENCH_table3.json \
       [--baseline bench/baselines/BENCH_table3.json] \
       [--compile-time BENCH_compile_time.json] \
-      [--miss-tolerance 0.05] [--perf-tolerance 2.0]
-  bench_compare.py --self-test [--baseline ...]
+      [--profile-quality BENCH_profile_quality.json] \
+      [--profile-quality-baseline bench/baselines/BENCH_profile_quality.json] \
+      [--miss-tolerance 0.05] [--perf-tolerance 2.0] [--tau-tolerance 0.05]
+  bench_compare.py --self-test [--baseline ...] [--profile-quality-baseline ...]
 
 --self-test injects a 10% miss-count regression into a copy of the
-baseline and asserts the gate rejects it (and that the unmodified
-baseline passes); CI runs it so a silently broken comparator cannot turn
-the gate green.
+table3 baseline and an advice-stability flip (what a too-coarse sampling
+period produces) into a copy of the profile-quality baseline, and
+asserts the gate rejects both (and that the unmodified baselines pass);
+CI runs it so a silently broken comparator cannot turn the gate green.
 """
 
 import argparse
@@ -84,6 +95,91 @@ def compare(baseline, current, miss_tol, perf_tol):
     return failures
 
 
+def load_quality(path):
+    """Loads a BENCH_profile_quality.json artifact: (default_period, rows)
+    with rows keyed by (benchmark, period)."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "profile_quality" or "rows" not in doc:
+        raise SystemExit(f"{path}: not a BENCH_profile_quality.json artifact")
+    default_period = doc.get("default_period")
+    if not isinstance(default_period, int):
+        raise SystemExit(f"{path}: missing integer default_period")
+    rows = {}
+    for row in doc["rows"]:
+        key = (row["benchmark"], int(row["period"]))
+        if key in rows:
+            raise SystemExit(f"{path}: duplicate row for {key}")
+        rows[key] = row
+    return default_period, rows
+
+
+def check_quality_stability(default_period, rows):
+    """The advice-stability invariant on one artifact: at the default
+    sampling period, every workload plans the same transform set from
+    sampled data as from exact data."""
+    failures = []
+    checked = 0
+    for (bench, period), row in sorted(rows.items()):
+        if period != default_period:
+            continue
+        checked += 1
+        if not row["advice_stable"]:
+            failures.append(
+                f"{bench}: advice UNSTABLE at default period {default_period} "
+                "(sampled profile plans a different transform set than exact)"
+            )
+    if checked == 0:
+        failures.append(f"no rows at default period {default_period}")
+    return failures
+
+
+def compare_quality(base, current, miss_tol, tau_tol):
+    """Drift of a profile-quality sweep against its baseline. Stability
+    flags are exact (the sweep is seeded and fully simulated); tau and
+    opt_misses get tolerances."""
+    base_period, base_rows = base
+    cur_period, cur_rows = current
+    failures = []
+    if base_period != cur_period:
+        failures.append(
+            f"default_period changed {base_period} -> {cur_period} "
+            "(regenerate the baseline if intentional)"
+        )
+    for key in base_rows:
+        if key not in cur_rows:
+            failures.append(f"{key[0]} (period={key[1]}): row missing from current run")
+    for key in cur_rows:
+        if key not in base_rows:
+            failures.append(
+                f"{key[0]} (period={key[1]}): new row not in baseline "
+                "(regenerate bench/baselines/BENCH_profile_quality.json)"
+            )
+    for key, b in sorted(base_rows.items()):
+        c = cur_rows.get(key)
+        if c is None:
+            continue
+        name = f"{key[0]} (period={key[1]})"
+        for flag in ("advice_stable", "partition_stable"):
+            if bool(b[flag]) != bool(c[flag]):
+                failures.append(
+                    f"{name}: {flag} changed {b[flag]} -> {c[flag]}"
+                )
+        tau_delta = abs(c["tau"] - b["tau"])
+        if tau_delta > tau_tol:
+            failures.append(
+                f"{name}: tau moved {tau_delta:.3f} "
+                f"({b['tau']:.3f} -> {c['tau']:.3f}, tolerance {tau_tol:.3f})"
+            )
+        drift = rel_drift(b["opt_misses"], c["opt_misses"])
+        if drift > miss_tol:
+            failures.append(
+                f"{name}: opt_misses drifted {drift:.1%} "
+                f"({b['opt_misses']} -> {c['opt_misses']}, tolerance {miss_tol:.1%})"
+            )
+    return failures
+
+
 def check_compile_time(path):
     """Presence/schema check only: google-benchmark JSON with benchmarks."""
     with open(path) as f:
@@ -97,7 +193,7 @@ def check_compile_time(path):
     print(f"ok: {path} contains {len(benches)} compile-time measurements")
 
 
-def self_test(baseline_rows, miss_tol, perf_tol):
+def self_test(baseline_rows, quality, miss_tol, perf_tol, tau_tol):
     clean = compare(baseline_rows, baseline_rows, miss_tol, perf_tol)
     if clean:
         print("self-test FAILED: baseline does not pass against itself:")
@@ -119,6 +215,36 @@ def self_test(baseline_rows, miss_tol, perf_tol):
         return 1
     print("self-test ok: baseline passes, injected 10% miss regression fails:")
     for f in failures:
+        print(f"  {f}")
+
+    # Profile-quality leg: the baseline must satisfy the stability
+    # invariant and pass against itself, and flipping one advice_stable
+    # flag at the default period — exactly what collecting with a
+    # too-coarse sampling period produces — must be rejected.
+    default_period, qrows = quality
+    broken = check_quality_stability(default_period, qrows)
+    if broken:
+        print("self-test FAILED: quality baseline violates stability invariant:")
+        for f in broken:
+            print(f"  {f}")
+        return 1
+    if compare_quality(quality, quality, miss_tol, tau_tol):
+        print("self-test FAILED: quality baseline does not pass against itself")
+        return 1
+
+    coarse = copy.deepcopy(qrows)
+    qvictim = sorted(k for k in coarse if k[1] == default_period)[0]
+    coarse[qvictim]["advice_stable"] = False
+    stab = check_quality_stability(default_period, coarse)
+    drift = compare_quality(quality, (default_period, coarse), miss_tol, tau_tol)
+    if not stab or not drift:
+        print(
+            "self-test FAILED: an advice-stability flip on "
+            f"{qvictim} was not rejected"
+        )
+        return 1
+    print("self-test ok: quality baseline passes, injected advice flip fails:")
+    for f in stab + drift:
         print(f"  {f}")
     return 0
 
@@ -144,38 +270,79 @@ def main():
         help="max absolute drift in perf_percent, in points (default 2.0)",
     )
     ap.add_argument(
+        "--profile-quality",
+        help="freshly produced BENCH_profile_quality.json to gate",
+    )
+    ap.add_argument(
+        "--profile-quality-baseline",
+        default="bench/baselines/BENCH_profile_quality.json",
+    )
+    ap.add_argument(
+        "--tau-tolerance",
+        type=float,
+        default=0.05,
+        help="max absolute drift in Kendall tau per row (default 0.05)",
+    )
+    ap.add_argument(
         "--self-test",
         action="store_true",
-        help="verify the gate rejects an injected 10%% miss regression",
+        help="verify the gate rejects an injected 10%% miss regression "
+        "and an injected advice-stability flip",
     )
     args = ap.parse_args()
 
     baseline = load_rows(args.baseline)
 
     if args.self_test:
-        return self_test(baseline, args.miss_tolerance, args.perf_tolerance)
+        quality = load_quality(args.profile_quality_baseline)
+        return self_test(
+            baseline,
+            quality,
+            args.miss_tolerance,
+            args.perf_tolerance,
+            args.tau_tolerance,
+        )
 
-    if not args.current:
-        ap.error("--current is required unless --self-test")
+    if not args.current and not args.profile_quality:
+        ap.error("--current or --profile-quality is required unless --self-test")
 
     if args.compile_time:
         check_compile_time(args.compile_time)
 
-    current = load_rows(args.current)
-    failures = compare(baseline, current, args.miss_tolerance, args.perf_tolerance)
+    failures = []
+    gated = []
+    if args.current:
+        current = load_rows(args.current)
+        failures += compare(
+            baseline, current, args.miss_tolerance, args.perf_tolerance
+        )
+        gated.append(f"{len(current)} table3 rows")
+    if args.profile_quality:
+        qcurrent = load_quality(args.profile_quality)
+        failures += check_quality_stability(*qcurrent)
+        failures += compare_quality(
+            load_quality(args.profile_quality_baseline),
+            qcurrent,
+            args.miss_tolerance,
+            args.tau_tolerance,
+        )
+        gated.append(f"{len(qcurrent[1])} profile-quality rows")
     if failures:
-        print(f"bench gate FAILED ({len(failures)} drift(s) vs {args.baseline}):")
+        print(f"bench gate FAILED ({len(failures)} drift(s)):")
         for f in failures:
             print(f"  {f}")
         print(
-            "if this change is intentional, regenerate the baseline:\n"
+            "if this change is intentional, regenerate the baseline(s):\n"
             "  ./build/bench/bench_table3_performance && "
-            "cp BENCH_table3.json bench/baselines/"
+            "cp BENCH_table3.json bench/baselines/\n"
+            "  ./build/bench/bench_profile_quality && "
+            "cp BENCH_profile_quality.json bench/baselines/"
         )
         return 1
     print(
-        f"bench gate ok: {len(current)} rows within tolerance "
-        f"(miss {args.miss_tolerance:.1%}, perf {args.perf_tolerance}pp)"
+        f"bench gate ok: {', '.join(gated)} within tolerance "
+        f"(miss {args.miss_tolerance:.1%}, perf {args.perf_tolerance}pp, "
+        f"tau {args.tau_tolerance})"
     )
     return 0
 

@@ -36,6 +36,21 @@ FUZZ_RC=0
 ./build/examples/slo_fuzz --runs 50 --seed 1 --minimize \
   --corpus tests/corpus --out build/fuzz-repros || FUZZ_RC=$?
 
+# Sampled-profile smoke: collect a sampled (Caliper stand-in) DMISS
+# profile through the driver, write it out, plan from the file in a
+# second process, then run a short fuzz sweep where every oracle must
+# hold with the planner fed sampled data.
+echo "=== sampled-profile smoke (collection -> file -> advice) ==="
+SAMPLED_RC=0
+./build/examples/slo_driver --scheme=DMISS --sample-period 61 \
+  --profile-out build/sampled.profile --run examples/sample.minic \
+  >/dev/null || SAMPLED_RC=$?
+./build/examples/slo_driver --scheme=DMISS \
+  --profile-in build/sampled.profile --advise examples/sample.minic \
+  >/dev/null || SAMPLED_RC=$?
+./build/examples/slo_fuzz --runs 25 --seed 2 --sampled-profiles \
+  || SAMPLED_RC=$?
+
 echo "=== sanitized build (ASan+UBSan) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSLO_ENABLE_SANITIZERS=ON "${LAUNCHER_ARGS[@]}"
@@ -47,8 +62,8 @@ ulimit -s 262144 2>/dev/null || true
 ASAN_RC=0
 ctest --test-dir build-asan --output-on-failure -j"$J" || ASAN_RC=$?
 
-if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 || $FUZZ_RC -ne 0 ]]; then
-  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC, fuzz: $FUZZ_RC) ==="
+if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 || $FUZZ_RC -ne 0 || $SAMPLED_RC -ne 0 ]]; then
+  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC, fuzz: $FUZZ_RC, sampled smoke: $SAMPLED_RC) ==="
   exit 1
 fi
 echo "=== all checks passed ==="

@@ -8,6 +8,8 @@
 #include "frontend/Frontend.h"
 #include "ir/Verifier.h"
 #include "observability/MissAttribution.h"
+#include "observability/SampledPmu.h"
+#include "profile/FeedbackIO.h"
 #include "support/Format.h"
 #include "transform/Transform.h"
 
@@ -35,6 +37,8 @@ const char *slo::fuzzOracleName(FuzzOracle O) {
     return "legality";
   case FuzzOracle::Attribution:
     return "attribution";
+  case FuzzOracle::Profile:
+    return "profile";
   }
   return "?";
 }
@@ -56,15 +60,21 @@ uint64_t doubleBits(double D) {
 }
 
 /// Runs \p M with the attribution sink attached; on return \p Partition
-/// holds whether the sink's miss total equals the simulator's.
+/// holds whether the sink's miss total equals the simulator's. When
+/// \p Profile and \p Pmu are set, the run also collects a sampled
+/// d-cache profile.
 RunResult runWithAttribution(const Module &M, uint64_t MaxInstructions,
                              bool Attribute, bool *Partition,
-                             std::string *PartitionDetail) {
+                             std::string *PartitionDetail,
+                             FeedbackFile *Profile = nullptr,
+                             SampledPmu *Pmu = nullptr) {
   MissAttribution Sink;
   RunOptions Opts;
   Opts.MaxInstructions = MaxInstructions;
   if (Attribute)
     Opts.Attribution = &Sink;
+  Opts.Profile = Profile;
+  Opts.Pmu = Pmu;
   RunResult R = runProgram(M, std::move(Opts));
   if (Attribute) {
     *Partition = Sink.totalMisses() == R.FirstLevelMisses;
@@ -128,11 +138,22 @@ DifferentialOutcome slo::runDifferential(const std::string &Name,
                 Diags.empty() ? "compile failed (second context)"
                               : Diags.front());
 
+  // Sampled-profiles mode: the base run doubles as the collection run.
+  const bool Sampled = Opts.SampledProfilePeriod > 0;
+  FeedbackFile BaseProfile;
+  SampledPmuConfig PmuCfg;
+  PmuCfg.Period = Opts.SampledProfilePeriod;
+  PmuCfg.Skid = Opts.SampledProfileSkid;
+  PmuCfg.Seed = Opts.SampledProfileSeed;
+  SampledPmu Pmu(PmuCfg);
+
   bool Partition = true;
   std::string PartitionDetail;
   RunResult Base =
       runWithAttribution(*BaseM, Opts.MaxInstructions, Opts.CheckAttribution,
-                         &Partition, &PartitionDetail);
+                         &Partition, &PartitionDetail,
+                         Sampled ? &BaseProfile : nullptr,
+                         Sampled ? &Pmu : nullptr);
   if (Base.Trapped) {
     DifferentialOutcome R = fail(FuzzOracle::BaseTrap, Base.TrapReason);
     R.Base = Base;
@@ -140,6 +161,24 @@ DifferentialOutcome slo::runDifferential(const std::string &Name,
   }
   if (!Partition)
     return fail(FuzzOracle::Attribution, "base run: " + PartitionDetail);
+
+  // The profile was keyed by the base module's IR; the transform-side
+  // compilation consumes it the way production does — through the
+  // serialized feedback format's symbolic matching. A profile our own
+  // writer emitted must always parse back.
+  FeedbackFile Train;
+  if (Sampled) {
+    std::string Text = serializeFeedback(*BaseM, BaseProfile);
+    FeedbackMatchResult MR = deserializeFeedback(*OptM, Text, Train);
+    if (!MR.Ok)
+      return fail(FuzzOracle::Profile,
+                  "sampled profile round-trip rejected: " + MR.Error);
+    if (MR.DroppedEntries > 0)
+      return fail(FuzzOracle::Profile,
+                  formatString("sampled profile round-trip dropped %u "
+                               "record(s) between identical compilations",
+                               MR.DroppedEntries));
+  }
 
   // FE: legality + points-to + per-site proofs, on the module that will
   // be transformed.
@@ -169,13 +208,16 @@ DifferentialOutcome slo::runDifferential(const std::string &Name,
                 "before BE: " + (VerifyErrors.empty() ? "?"
                                                       : VerifyErrors.front()));
 
-  // IPA: field stats under the configured scheme, then the planner.
+  // IPA: field stats under the configured scheme, then the planner. In
+  // sampled mode the scheme (and the planner's hotness) read the
+  // round-tripped profile, exactly like a PBO use-phase compile.
   SchemeInputs In;
   In.M = OptM.get();
   In.Exponent = Opts.IspboExponent;
+  In.TrainProfile = Sampled ? &Train : nullptr;
   FieldStatsResult Stats = computeSchemeFieldStats(Opts.Scheme, In);
   PlannerOptions Planner = Opts.Planner;
-  Planner.HotnessFromProfile = false;
+  Planner.HotnessFromProfile = Sampled;
   std::vector<TypePlan> Plans =
       planLayout(*OptM, Legal, Stats, Planner,
                  Opts.UseProvenLegality ? &Refined : nullptr);

@@ -26,6 +26,12 @@
 ///                simulator's first-level miss events exactly, in both
 ///                the base and the transformed run.
 ///
+/// A fifth mode (sampled profiles) makes the planner consume a sampled
+/// d-cache profile collected on the base run and round-tripped through
+/// the feedback text format, instead of static estimates — every oracle
+/// above must still hold when the advice came from noisy sampled data,
+/// and the round-trip itself becomes an oracle.
+///
 /// The harness runs the pipeline phases manually (rather than through
 /// runStructLayoutPipeline) because the Legality oracle needs the
 /// PointsToResult, which the packaged pipeline does not expose.
@@ -54,6 +60,7 @@ enum class FuzzOracle {
   Verifier,    // module failed verification around the BE phase
   Legality,    // Legal <= Proven <= Relax (or escape admission) broken
   Attribution, // site misses do not partition the miss events
+  Profile,     // sampled profile failed the feedback-format round-trip
 };
 
 const char *fuzzOracleName(FuzzOracle O);
@@ -76,6 +83,15 @@ struct DifferentialOptions {
   bool InjectLegalityBug = false;
   /// Guard for generated programs; both runs share it.
   uint64_t MaxInstructions = 200000000ull;
+  /// Sampled-profiles mode: when nonzero, the base run also collects a
+  /// sampled d-cache profile through the Caliper stand-in (this mean
+  /// period, skid below), the profile round-trips through the feedback
+  /// text format onto the transform-side module, and the planner runs
+  /// from profile hotness instead of static estimates. Pair with a
+  /// cache scheme (DMISS/DLAT) for the profile to actually matter.
+  uint64_t SampledProfilePeriod = 0;
+  unsigned SampledProfileSkid = 0;
+  uint64_t SampledProfileSeed = 0x510ACA11;
 };
 
 struct DifferentialOutcome {

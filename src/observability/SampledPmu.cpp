@@ -1,0 +1,80 @@
+//===- observability/SampledPmu.cpp - Sampled PMU emulation ---------------===//
+
+#include "observability/SampledPmu.h"
+
+#include "observability/CounterRegistry.h"
+
+using namespace slo;
+
+SampledPmu::SampledPmu(const SampledPmuConfig &Config) : Cfg(Config),
+    // Two independent streams split off the seed in a fixed order, so a
+    // run's samples depend only on (seed, event stream), never on when
+    // or where the PMU object was constructed.
+    JitterRng(0), SkidRng(0) {
+  if (Cfg.Period == 0)
+    Cfg.Period = 1;
+  Rng Base(Cfg.Seed);
+  JitterRng = Base.split();
+  SkidRng = Base.split();
+  // The untyped pseudo-site is always id 0.
+  Sites.emplace_back();
+  AccessGap = drawGap();
+  MissGap = drawGap();
+  LatencyGap = drawGap();
+}
+
+SampledPmu::SiteId SampledPmu::registerSite(const void *RecordKey,
+                                            unsigned FieldIndex) {
+  auto [It, Inserted] = SiteIds.try_emplace({RecordKey, FieldIndex},
+                                            static_cast<SiteId>(Sites.size()));
+  if (Inserted) {
+    Site S;
+    S.RecordKey = RecordKey;
+    S.FieldIndex = FieldIndex;
+    Sites.push_back(S);
+  }
+  return It->second;
+}
+
+void SampledPmu::finishRun() {
+  if (Finished)
+    return;
+  Finished = true;
+  if (PendingMiss) {
+    PendingMiss = false;
+    ++DroppedEndOfRun;
+  }
+}
+
+std::vector<SampledPmu::SiteEstimate> SampledPmu::estimates() const {
+  std::vector<SiteEstimate> Out;
+  const double P = static_cast<double>(Cfg.Period);
+  for (SiteId Id = 1; Id < Sites.size(); ++Id) {
+    const Site &S = Sites[Id];
+    if (!S.LoadSamples && !S.StoreSamples && !S.MissSamples &&
+        S.LatencySum == 0.0)
+      continue;
+    SiteEstimate E;
+    E.RecordKey = S.RecordKey;
+    E.FieldIndex = S.FieldIndex;
+    E.Loads = S.LoadSamples * Cfg.Period;
+    E.Stores = S.StoreSamples * Cfg.Period;
+    E.Misses = S.MissSamples * Cfg.Period;
+    E.TotalLatency = S.LatencySum * P;
+    Out.push_back(E);
+  }
+  return Out;
+}
+
+void SampledPmu::publishCounters(CounterRegistry &Counters) const {
+  Counters.add("profile.samples_events", Events);
+  Counters.add("profile.samples_miss_events", MissEvents);
+  Counters.add("profile.samples_access", AccessSamplesTaken);
+  Counters.add("profile.samples_miss", MissSamplesTaken);
+  Counters.add("profile.samples_latency", LatencySamplesTaken);
+  Counters.add("profile.samples_skid_displaced", SkidDisplaced);
+  Counters.add("profile.samples_dropped_untyped", DroppedUntyped);
+  Counters.add("profile.samples_dropped_collision", SkidCollisions);
+  Counters.add("profile.samples_dropped_end_of_run", DroppedEndOfRun);
+  Counters.add("profile.samples_period", Cfg.Period);
+}

@@ -1,0 +1,261 @@
+//===- observability/SampledPmu.h - Sampled PMU emulation ------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HP Caliper stand-in (paper §3.1): a sampling layer over the cache
+/// simulator's event stream that produces *estimated* per-field d-cache
+/// statistics the way a real PMU collection does — periodic samples, not
+/// exact counts. The rest of the repo's exact MissAttribution sink is an
+/// oracle no deployment could afford; this layer reproduces the sampled
+/// regime the paper actually ran under, so the profile-quality harness
+/// can measure how layout advice degrades with the sampling period.
+///
+/// Three emulated event counters, each firing every ~Period events of its
+/// kind (the PMU "counter overflow" interrupt):
+///
+///   access   every simulated access; a sample adds Period to the site's
+///            load or store estimate (and latency, when no DLAT threshold
+///            is configured).
+///   miss     every first-level miss event; a sample adds Period to the
+///            site's miss estimate. With skid, attribution lands on the
+///            site of an access up to Skid events *later* — the
+///            Itanium-style imprecision where the sampled PC trails the
+///            eventing instruction.
+///   latency  (DLAT mode, LatencyThreshold > 0) accesses whose latency
+///            meets the threshold; a sample adds Latency * Period to the
+///            site, emulating EAR-style capture of long-latency loads.
+///
+/// Inter-sample gaps are jittered — drawn uniformly from [1, 2*Period-1]
+/// (mean Period) off deterministic Rng::split() streams — so sampling
+/// cannot lock step with a loop's access pattern. Period 1 degenerates
+/// to a gap of exactly 1 on every counter: with Skid 0 the estimates
+/// reproduce the exact per-field statistics bit for bit, the identity
+/// invariant the tests pin on all twelve workloads.
+///
+/// Sites are interned like MissAttribution's: an opaque record key plus a
+/// field index, registered at interpreter decode time, so the hot path is
+/// a few countdown decrements. One SampledPmu observes one run; merging
+/// across runs happens at the FeedbackFile level (FeedbackFile::merge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_OBSERVABILITY_SAMPLEDPMU_H
+#define SLO_OBSERVABILITY_SAMPLEDPMU_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace slo {
+
+class CounterRegistry;
+
+/// Configuration of the emulated PMU collection.
+struct SampledPmuConfig {
+  /// Mean events per sample on every counter. 1 = sample everything
+  /// (exact); real collections run 1000+.
+  uint64_t Period = 1;
+  /// Maximum skid of a miss sample, in subsequent access events. The
+  /// actual displacement of each sample is drawn from [0, Skid].
+  unsigned Skid = 0;
+  /// Randomize inter-sample gaps (uniform in [1, 2*Period-1]). Off makes
+  /// every gap exactly Period — useful for tests, but susceptible to
+  /// lockstep aliasing with loop bodies, which is why real profilers
+  /// randomize.
+  bool Jitter = true;
+  /// Seed of the jitter/skid streams; the two streams are split() off a
+  /// generator seeded with this, so a run's samples are a deterministic
+  /// function of (seed, event stream).
+  uint64_t Seed = 0x510ACA11;
+  /// DLAT mode: when nonzero, latency estimates come only from a
+  /// dedicated counter over accesses with Latency >= this threshold
+  /// (cycles); access samples then carry no latency.
+  uint64_t LatencyThreshold = 0;
+};
+
+/// One run's sampled PMU state. Not thread-safe: each Interpreter owns
+/// its own (like its CacheSim).
+class SampledPmu {
+public:
+  using SiteId = uint32_t;
+
+  /// Traffic with no field provenance (array elements, globals,
+  /// memset/memcpy lines). Always registered; samples landing here are
+  /// counted but produce no field estimate — exactly the profile mass a
+  /// real PMU attributes outside any structure field.
+  static constexpr SiteId UntypedSite = 0;
+
+  explicit SampledPmu(const SampledPmuConfig &Config);
+
+  /// Interns one (record key, field) site; repeated registration returns
+  /// the same id. The key is opaque to the PMU (the interpreter passes
+  /// its RecordType pointer) so this layer stays IR-independent.
+  SiteId registerSite(const void *RecordKey, unsigned FieldIndex);
+
+  /// Observes one simulated access. Hot path: a pending-skid test and
+  /// three countdown decrements in the common no-sample case.
+  void observeAccess(SiteId Site, bool IsStore, bool FirstLevelMiss,
+                     unsigned Latency) {
+    ++Events;
+    if (PendingMiss) {
+      if (SkidLeft == 0)
+        landMissSample(Site);
+      else
+        --SkidLeft;
+    }
+    if (--AccessGap == 0) {
+      AccessGap = drawGap();
+      takeAccessSample(Site, IsStore, Latency);
+    }
+    if (Cfg.LatencyThreshold && Latency >= Cfg.LatencyThreshold &&
+        --LatencyGap == 0) {
+      LatencyGap = drawGap();
+      takeLatencySample(Site, IsStore, Latency);
+    }
+    if (FirstLevelMiss) {
+      ++MissEvents;
+      if (--MissGap == 0) {
+        MissGap = drawGap();
+        ++MissSamplesTaken;
+        if (Cfg.Skid == 0) {
+          PendingOrigin = Site;
+          landMissSample(Site);
+        } else {
+          if (PendingMiss)
+            ++SkidCollisions; // Overwritten before landing.
+          PendingOrigin = Site;
+          uint64_t D = SkidRng.nextBelow(Cfg.Skid + 1);
+          if (D == 0) {
+            PendingMiss = false;
+            landMissSample(Site);
+          } else {
+            PendingMiss = true;
+            SkidLeft = D - 1; // Lands on the D'th following access.
+          }
+        }
+      }
+    }
+  }
+
+  /// Ends the run: a miss sample still in flight (skid past the last
+  /// access) is dropped and counted. Call exactly once.
+  void finishRun();
+
+  /// Period-scaled estimate for one field site.
+  struct SiteEstimate {
+    const void *RecordKey = nullptr;
+    unsigned FieldIndex = 0;
+    uint64_t Loads = 0;
+    uint64_t Stores = 0;
+    uint64_t Misses = 0;
+    double TotalLatency = 0.0;
+  };
+
+  /// All field sites with at least one sample, in registration order
+  /// (deterministic). UntypedSite is never included.
+  std::vector<SiteEstimate> estimates() const;
+
+  // -- Collection telemetry (the profile.samples_* counters) --
+  uint64_t eventsSeen() const { return Events; }
+  uint64_t missEventsSeen() const { return MissEvents; }
+  uint64_t accessSamples() const { return AccessSamplesTaken; }
+  uint64_t missSamples() const { return MissSamplesTaken; }
+  uint64_t latencySamples() const { return LatencySamplesTaken; }
+  /// Miss samples whose skid displaced them onto a different site than
+  /// the eventing access's.
+  uint64_t skidDisplaced() const { return SkidDisplaced; }
+  /// Miss samples lost to skid: landed on untyped traffic, overwritten
+  /// by a newer sample, or still in flight at run end.
+  uint64_t samplesDroppedUntyped() const { return DroppedUntyped; }
+  uint64_t samplesDroppedCollision() const { return SkidCollisions; }
+  uint64_t samplesDroppedEndOfRun() const { return DroppedEndOfRun; }
+
+  /// Publishes the telemetry under "profile.samples_*".
+  void publishCounters(CounterRegistry &Counters) const;
+
+  const SampledPmuConfig &config() const { return Cfg; }
+
+private:
+  struct Site {
+    const void *RecordKey = nullptr;
+    unsigned FieldIndex = 0;
+    uint64_t LoadSamples = 0;
+    uint64_t StoreSamples = 0;
+    uint64_t MissSamples = 0;
+    double LatencySum = 0.0; // Unscaled sampled latencies.
+  };
+
+  uint64_t drawGap() {
+    if (Cfg.Period <= 1)
+      return 1;
+    if (!Cfg.Jitter)
+      return Cfg.Period;
+    return 1 + JitterRng.nextBelow(2 * Cfg.Period - 1);
+  }
+
+  void takeAccessSample(SiteId S, bool IsStore, unsigned Latency) {
+    ++AccessSamplesTaken;
+    Site &Slot = Sites[S];
+    if (IsStore) {
+      ++Slot.StoreSamples;
+    } else {
+      ++Slot.LoadSamples;
+      if (!Cfg.LatencyThreshold)
+        Slot.LatencySum += static_cast<double>(Latency);
+    }
+  }
+
+  void takeLatencySample(SiteId S, bool IsStore, unsigned Latency) {
+    if (IsStore)
+      return; // EAR-style capture records loads.
+    ++LatencySamplesTaken;
+    Sites[S].LatencySum += static_cast<double>(Latency);
+  }
+
+  void landMissSample(SiteId S) {
+    PendingMiss = false;
+    if (S != PendingOrigin)
+      ++SkidDisplaced;
+    if (S == UntypedSite) {
+      ++DroppedUntyped;
+      return;
+    }
+    ++Sites[S].MissSamples;
+  }
+
+  SampledPmuConfig Cfg;
+  Rng JitterRng;
+  Rng SkidRng;
+
+  std::vector<Site> Sites;
+  std::map<std::pair<const void *, unsigned>, SiteId> SiteIds;
+
+  uint64_t AccessGap = 1;
+  uint64_t MissGap = 1;
+  uint64_t LatencyGap = 1;
+
+  bool PendingMiss = false;
+  uint64_t SkidLeft = 0;
+  SiteId PendingOrigin = UntypedSite;
+  bool Finished = false;
+
+  uint64_t Events = 0;
+  uint64_t MissEvents = 0;
+  uint64_t AccessSamplesTaken = 0;
+  uint64_t MissSamplesTaken = 0;
+  uint64_t LatencySamplesTaken = 0;
+  uint64_t SkidDisplaced = 0;
+  uint64_t SkidCollisions = 0;
+  uint64_t DroppedUntyped = 0;
+  uint64_t DroppedEndOfRun = 0;
+};
+
+} // namespace slo
+
+#endif // SLO_OBSERVABILITY_SAMPLEDPMU_H

@@ -4,6 +4,20 @@
 
 using namespace slo;
 
+void FeedbackFile::merge(const FeedbackFile &Other) {
+  for (const auto &[F, N] : Other.EntryCounts)
+    EntryCounts[F] += N;
+  for (const auto &[E, N] : Other.EdgeCounts)
+    EdgeCounts[E] += N;
+  for (const auto &[Key, S] : Other.FieldCache) {
+    FieldCacheStats &D = FieldCache[Key];
+    D.Loads += S.Loads;
+    D.Stores += S.Stores;
+    D.Misses += S.Misses;
+    D.TotalLatency += S.TotalLatency;
+  }
+}
+
 uint64_t FeedbackFile::getBlockCount(const BasicBlock *BB) const {
   const Function *F = BB->getParent();
   uint64_t N = 0;

@@ -9,10 +9,14 @@
 /// The feedback file produced by a profile collection run (paper §3.1):
 /// CFG edge counts from instrumentation plus d-cache event samples from
 /// the performance monitoring unit, attributed to structure fields. In
-/// this reproduction the "instrumented binary" is the IR interpreter and
-/// the "PMU" is the cache simulator, so attribution is exact and CFG
-/// matching is trivial (the feedback is keyed by the IR objects of the
-/// module it was collected on).
+/// this reproduction the "instrumented binary" is the IR interpreter,
+/// and the "PMU" is either the cache simulator directly (exact
+/// attribution) or the SampledPmu emulation layered over it (scaled
+/// estimates from period sampling with optional skid, like the paper's
+/// Caliper collection). Either way the feedback is keyed by the IR
+/// objects of the module it was collected on, so CFG matching is
+/// trivial; edge counts are always exact — they come from
+/// instrumentation, not the PMU.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -81,6 +85,16 @@ public:
   const std::map<FieldKey, FieldCacheStats> &allFieldStats() const {
     return FieldCache;
   }
+
+  /// Accumulates \p Other into this file: entry/edge counts and field
+  /// cache events are summed key-wise. This is the paper's multi-run
+  /// collection ("data from multiple runs with multiple input sets is
+  /// merged"): profile each run into its own file, then fold them
+  /// together. Both files must be keyed against the same module; to
+  /// merge profiles collected on different compilations, round-trip one
+  /// through serializeFeedback/deserializeFeedback first (the symbolic
+  /// matching re-keys it).
+  void merge(const FeedbackFile &Other);
 
 private:
   std::map<const Function *, uint64_t> EntryCounts;

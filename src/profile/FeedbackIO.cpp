@@ -2,44 +2,127 @@
 
 #include "profile/FeedbackIO.h"
 
+#include "support/Diagnostics.h"
 #include "support/Format.h"
 
+#include <algorithm>
+#include <cmath>
+#include <fstream>
 #include <map>
 #include <sstream>
+#include <vector>
 
 using namespace slo;
 
 std::string slo::serializeFeedback(const Module &M, const FeedbackFile &FB) {
   std::ostringstream OS;
-  OS << "slo-feedback-v1\n";
+  unsigned Records = 0;
+  OS << "slo-feedback-v2\n";
   for (const auto &F : M.functions()) {
     if (F->isDeclaration())
       continue;
-    if (uint64_t N = FB.getEntryCount(F.get()))
+    if (uint64_t N = FB.getEntryCount(F.get())) {
       OS << "entry " << F->getName() << " " << N << "\n";
+      ++Records;
+    }
     for (const auto &BB : F->blocks())
       for (const BasicBlock *Succ : BB->successors())
-        if (uint64_t N = FB.getEdgeCount(BB.get(), Succ))
+        if (uint64_t N = FB.getEdgeCount(BB.get(), Succ)) {
           OS << "edge " << F->getName() << " " << BB->getNumber() << " "
              << Succ->getNumber() << " " << N << "\n";
+          ++Records;
+        }
   }
-  for (const auto &[Key, Stats] : FB.allFieldStats()) {
-    OS << "field " << Key.first->getRecordName() << " " << Key.second
-       << " " << Stats.Loads << " " << Stats.Stores << " " << Stats.Misses
-       << " " << formatString("%.6g", Stats.TotalLatency) << "\n";
+  // Field records sorted by (record name, field index): the in-memory
+  // map is keyed by RecordType pointers, whose order is an accident of
+  // allocation — two collections of identical content must serialize
+  // identically.
+  std::vector<std::pair<std::pair<std::string, unsigned>, std::string>>
+      FieldLines;
+  for (const auto &[Key, Stats] : FB.allFieldStats())
+    FieldLines.push_back(
+        {{Key.first->getRecordName(), Key.second},
+         formatString("field %s %u %llu %llu %llu %.6g\n",
+                      Key.first->getRecordName().c_str(), Key.second,
+                      static_cast<unsigned long long>(Stats.Loads),
+                      static_cast<unsigned long long>(Stats.Stores),
+                      static_cast<unsigned long long>(Stats.Misses),
+                      Stats.TotalLatency)});
+  std::sort(FieldLines.begin(), FieldLines.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  for (const auto &[Key, Line] : FieldLines) {
+    OS << Line;
+    ++Records;
   }
+  OS << "end " << Records << "\n";
   return OS.str();
 }
 
+namespace {
+
+/// Parse context: accumulates the hard error (if any) and mirrors it
+/// into the diagnostic engine.
+struct ParseState {
+  FeedbackMatchResult Result;
+  DiagnosticEngine *Diags = nullptr;
+
+  bool fail(unsigned LineNo, const std::string &What) {
+    Result.Error = formatString("line %u: %s", LineNo, What.c_str());
+    if (Diags)
+      Diags->report(DiagSeverity::Error, "feedback",
+                    "feedback file rejected: " + Result.Error);
+    return false;
+  }
+};
+
+/// Strict unsigned decimal: rejects the leading '-' that istream's
+/// unsigned extraction silently wraps, and anything non-numeric.
+bool parseU64(const std::string &Tok, uint64_t &Out) {
+  if (Tok.empty() || Tok.size() > 20)
+    return false;
+  uint64_t V = 0;
+  for (char C : Tok) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t Next = V * 10 + static_cast<uint64_t>(C - '0');
+    if (Next < V)
+      return false; // Overflow.
+    V = Next;
+  }
+  Out = V;
+  return true;
+}
+
+bool parseLatency(const std::string &Tok, double &Out) {
+  std::istringstream SS(Tok);
+  if (!(SS >> Out) || !SS.eof())
+    return false;
+  return std::isfinite(Out) && Out >= 0.0;
+}
+
+/// Splits one record line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Toks;
+  std::istringstream SS(Line);
+  std::string T;
+  while (SS >> T)
+    Toks.push_back(T);
+  return Toks;
+}
+
+} // namespace
+
 FeedbackMatchResult slo::deserializeFeedback(const Module &M,
                                              const std::string &Text,
-                                             FeedbackFile &FB) {
-  FeedbackMatchResult Result;
+                                             FeedbackFile &FB,
+                                             DiagnosticEngine *Diags) {
+  ParseState PS;
+  PS.Diags = Diags;
   std::istringstream In(Text);
   std::string Header;
-  if (!std::getline(In, Header) || Header != "slo-feedback-v1") {
-    Result.Error = "missing or unknown feedback header";
-    return Result;
+  if (!std::getline(In, Header) || Header != "slo-feedback-v2") {
+    PS.fail(1, "missing or unknown feedback header");
+    return PS.Result;
   }
 
   // Index blocks by (function, number) once.
@@ -51,74 +134,126 @@ FeedbackMatchResult slo::deserializeFeedback(const Module &M,
 
   std::string Line;
   unsigned LineNo = 1;
+  unsigned Records = 0;
+  bool SawEnd = false;
   while (std::getline(In, Line)) {
     ++LineNo;
     if (Line.empty())
       continue;
-    std::istringstream LS(Line);
-    std::string Kind;
-    LS >> Kind;
+    if (SawEnd) {
+      PS.fail(LineNo, "record after end marker");
+      return PS.Result;
+    }
+    std::vector<std::string> Toks = tokenize(Line);
+    const std::string &Kind = Toks.empty() ? Line : Toks[0];
     if (Kind == "entry") {
-      std::string Fn;
       uint64_t N;
-      if (!(LS >> Fn >> N)) {
-        Result.Error = formatString("line %u: malformed entry", LineNo);
-        return Result;
+      if (Toks.size() != 3 || !parseU64(Toks[2], N)) {
+        PS.fail(LineNo, "malformed entry record");
+        return PS.Result;
       }
-      const Function *F = M.lookupFunction(Fn);
+      ++Records;
+      const Function *F = M.lookupFunction(Toks[1]);
       if (!F) {
-        ++Result.DroppedEntries;
+        ++PS.Result.DroppedEntries;
         continue;
       }
       FB.countEntry(F, N);
-      ++Result.MatchedEntries;
+      ++PS.Result.MatchedEntries;
     } else if (Kind == "edge") {
-      std::string Fn;
-      unsigned From, To;
-      uint64_t N;
-      if (!(LS >> Fn >> From >> To >> N)) {
-        Result.Error = formatString("line %u: malformed edge", LineNo);
-        return Result;
+      uint64_t From, To, N;
+      if (Toks.size() != 5 || !parseU64(Toks[2], From) ||
+          !parseU64(Toks[3], To) || !parseU64(Toks[4], N)) {
+        PS.fail(LineNo, "malformed edge record");
+        return PS.Result;
       }
-      const Function *F = M.lookupFunction(Fn);
-      const BasicBlock *FromBB =
-          F ? Blocks.count({F, From}) ? Blocks[{F, From}] : nullptr
-            : nullptr;
-      const BasicBlock *ToBB =
-          F ? Blocks.count({F, To}) ? Blocks[{F, To}] : nullptr : nullptr;
+      ++Records;
+      const Function *F = M.lookupFunction(Toks[1]);
+      const BasicBlock *FromBB = nullptr, *ToBB = nullptr;
+      if (F) {
+        auto FromIt = Blocks.find({F, static_cast<unsigned>(From)});
+        auto ToIt = Blocks.find({F, static_cast<unsigned>(To)});
+        FromBB = FromIt == Blocks.end() ? nullptr : FromIt->second;
+        ToBB = ToIt == Blocks.end() ? nullptr : ToIt->second;
+      }
       if (!FromBB || !ToBB) {
-        ++Result.DroppedEntries;
+        ++PS.Result.DroppedEntries;
         continue;
       }
       FB.countEdge(FromBB, ToBB, N);
-      ++Result.MatchedEntries;
+      ++PS.Result.MatchedEntries;
     } else if (Kind == "field") {
-      std::string Rec;
-      unsigned Idx;
-      uint64_t Loads, Stores, Misses;
+      uint64_t Idx, Loads, Stores, Misses;
       double Latency;
-      if (!(LS >> Rec >> Idx >> Loads >> Stores >> Misses >> Latency)) {
-        Result.Error = formatString("line %u: malformed field", LineNo);
-        return Result;
+      if (Toks.size() != 7 || !parseU64(Toks[2], Idx) ||
+          !parseU64(Toks[3], Loads) || !parseU64(Toks[4], Stores) ||
+          !parseU64(Toks[5], Misses) || !parseLatency(Toks[6], Latency)) {
+        PS.fail(LineNo, "malformed field record");
+        return PS.Result;
       }
-      RecordType *R = M.getTypes().lookupRecord(Rec);
+      ++Records;
+      RecordType *R = M.getTypes().lookupRecord(Toks[1]);
       if (!R || R->isOpaque() || Idx >= R->getNumFields()) {
-        ++Result.DroppedEntries;
+        ++PS.Result.DroppedEntries;
         continue;
       }
-      FieldCacheStats &S = FB.fieldStats(R, Idx);
+      FieldCacheStats &S = FB.fieldStats(R, static_cast<unsigned>(Idx));
       S.Loads += Loads;
       S.Stores += Stores;
       S.Misses += Misses;
       S.TotalLatency += Latency;
-      ++Result.MatchedEntries;
+      ++PS.Result.MatchedEntries;
+    } else if (Kind == "end") {
+      uint64_t Declared;
+      if (Toks.size() != 2 || !parseU64(Toks[1], Declared)) {
+        PS.fail(LineNo, "malformed end record");
+        return PS.Result;
+      }
+      if (Declared != Records) {
+        PS.fail(LineNo,
+                formatString("record count mismatch: end declares %llu, "
+                             "file carries %u (truncated or spliced file)",
+                             static_cast<unsigned long long>(Declared),
+                             Records));
+        return PS.Result;
+      }
+      SawEnd = true;
     } else {
-      Result.Error =
-          formatString("line %u: unknown record '%s'", LineNo,
-                       Kind.c_str());
-      return Result;
+      PS.fail(LineNo, "unknown record '" + Kind + "'");
+      return PS.Result;
     }
   }
-  Result.Ok = true;
-  return Result;
+  if (!SawEnd) {
+    PS.fail(LineNo, "truncated feedback file (missing end marker)");
+    return PS.Result;
+  }
+  if (Diags && PS.Result.DroppedEntries > 0)
+    Diags->report(DiagSeverity::Warning, "feedback",
+                  formatString("%u profile record(s) no longer match a "
+                               "symbol and were dropped",
+                               PS.Result.DroppedEntries));
+  PS.Result.Ok = true;
+  return PS.Result;
+}
+
+FeedbackMatchResult slo::loadFeedbackFile(const Module &M,
+                                          const std::string &Path,
+                                          FeedbackFile &FB,
+                                          DiagnosticEngine &Diags) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    FeedbackMatchResult R;
+    R.Error = "cannot open feedback file '" + Path + "'";
+    Diags.report(DiagSeverity::Error, "feedback", R.Error);
+    return R;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  if (In.bad()) {
+    FeedbackMatchResult R;
+    R.Error = "read error on feedback file '" + Path + "'";
+    Diags.report(DiagSeverity::Error, "feedback", R.Error);
+    return R;
+  }
+  return deserializeFeedback(M, SS.str(), FB, &Diags);
 }

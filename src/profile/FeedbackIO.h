@@ -12,13 +12,23 @@
 /// constructed from the data found in the feedback file" (§3.1). Keys
 /// are symbolic (function names, block numbers, record/field names), so
 /// a feedback file survives process boundaries; matching fails softly —
-/// entries whose symbols no longer exist are dropped and counted.
+/// entries whose symbols no longer exist are dropped and counted — while
+/// malformed or truncated input is a hard, structured error.
 ///
-/// Format (one record per line):
-///   slo-feedback-v1
+/// Format (one record per line, deterministic order: functions in module
+/// order, fields sorted by record name then index):
+///   slo-feedback-v2
 ///   entry <function> <count>
 ///   edge <function> <from-block#> <to-block#> <count>
 ///   field <record> <field#> <loads> <stores> <misses> <total-latency>
+///   end <record-count>
+///
+/// The trailing "end" line carries the number of data records, so a file
+/// truncated on a line boundary — which line-by-line parsing would
+/// otherwise accept silently — is detected and rejected. Counts are
+/// unsigned decimal; a leading '-' (which istream's unsigned extraction
+/// would happily wrap to a huge count) is rejected, as are non-finite or
+/// negative latencies.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,22 +41,38 @@
 
 namespace slo {
 
-/// Serializes \p FB (collected on \p M) to the text format.
+class DiagnosticEngine;
+
+/// Serializes \p FB (collected on \p M) to the text format. The output
+/// is byte-deterministic for a given (module, feedback) content —
+/// independent of pointer values and collection scheduling — so sampled
+/// profiles can be compared across runs byte for byte.
 std::string serializeFeedback(const Module &M, const FeedbackFile &FB);
 
 /// Result of matching a serialized profile against a module.
 struct FeedbackMatchResult {
   bool Ok = false;
-  std::string Error;        // Set when !Ok (malformed input).
+  std::string Error;        // Set when !Ok (malformed/truncated input).
   unsigned MatchedEntries = 0;
   unsigned DroppedEntries = 0; // Symbols that no longer exist.
 };
 
 /// Parses \p Text and populates \p FB with the records that match \p M
-/// (the PBO use-phase CFG matching).
+/// (the PBO use-phase CFG matching). When \p Diags is non-null, parse
+/// failures are additionally reported as structured "feedback" errors
+/// and soft symbol drops as one summarizing warning.
 FeedbackMatchResult deserializeFeedback(const Module &M,
                                         const std::string &Text,
-                                        FeedbackFile &FB);
+                                        FeedbackFile &FB,
+                                        DiagnosticEngine *Diags = nullptr);
+
+/// Loads \p Path and matches it against \p M. I/O failures and parse
+/// errors are reported into \p Diags as structured "feedback" errors;
+/// the returned result's Ok mirrors that. This is the profile load path
+/// drivers use — it never asserts on a corrupt file.
+FeedbackMatchResult loadFeedbackFile(const Module &M, const std::string &Path,
+                                     FeedbackFile &FB,
+                                     DiagnosticEngine &Diags);
 
 } // namespace slo
 

@@ -16,6 +16,7 @@
 
 #include "observability/CounterRegistry.h"
 #include "observability/MissAttribution.h"
+#include "observability/SampledPmu.h"
 #include "observability/Tracer.h"
 #include "support/Casting.h"
 #include "support/Error.h"
@@ -130,7 +131,8 @@ struct DInst {
   const FieldAddrInst *Attrib = nullptr;   // Load/store d-cache attribution.
   const BasicBlock *FromBB = nullptr;      // Branches: edge profiling.
   const BasicBlock *ToBB0 = nullptr, *ToBB1 = nullptr;
-  uint32_t Site = 0; // MissAttribution site id (0 = untyped traffic).
+  uint32_t Site = 0;    // MissAttribution site id (0 = untyped traffic).
+  uint32_t PmuSite = 0; // SampledPmu site id (0 = untyped traffic).
 };
 
 /// Fetches an operand value.
@@ -235,7 +237,7 @@ private:
                   unsigned NumArgs, const Reg *Frame);
   void simulateAccess(uint64_t Addr, unsigned Bytes, bool IsFp, bool IsStore,
                       const FieldAddrInst *Attrib, uint32_t Site,
-                      uint64_t Pc);
+                      uint32_t PmuSite, uint64_t Pc);
 
   /// Registers a human-readable label ("function+codeindex") for the
   /// packed PC token on its first attributed miss; per-PC bitmap keeps
@@ -290,8 +292,6 @@ private:
 
   std::vector<Reg> RegArena; // Register frames of the live call chain.
   size_t ArenaTop = 0;
-
-  uint64_t SampleTick = 0;
 
   /// [FuncIdx][CodeIdx] -> PC label already registered with the sink.
   std::vector<std::vector<bool>> PcLabeled;
@@ -445,6 +445,9 @@ void Interpreter::Impl::decodeInto(const Function *F, DecodedFunction &DF) {
           D.Site = Opts.Attribution->registerField(
               D.Attrib->getRecord()->getRecordName(),
               D.Attrib->getField().Name);
+        if (D.Attrib && Opts.Pmu)
+          D.PmuSite = Opts.Pmu->registerSite(D.Attrib->getRecord(),
+                                             D.Attrib->getFieldIndex());
         break;
       }
       case Instruction::OpStore: {
@@ -461,6 +464,9 @@ void Interpreter::Impl::decodeInto(const Function *F, DecodedFunction &DF) {
           D.Site = Opts.Attribution->registerField(
               D.Attrib->getRecord()->getRecordName(),
               D.Attrib->getField().Name);
+        if (D.Attrib && Opts.Pmu)
+          D.PmuSite = Opts.Pmu->registerSite(D.Attrib->getRecord(),
+                                             D.Attrib->getFieldIndex());
         break;
       }
       case Instruction::OpFieldAddr: {
@@ -743,7 +749,8 @@ void Interpreter::Impl::writeFloat(uint64_t Addr, unsigned Bytes, double V) {
 void Interpreter::Impl::simulateAccess(uint64_t Addr, unsigned Bytes,
                                        bool IsFp, bool IsStore,
                                        const FieldAddrInst *Attrib,
-                                       uint32_t Site, uint64_t Pc) {
+                                       uint32_t Site, uint32_t PmuSite,
+                                       uint64_t Pc) {
   // Stack slots model register-promoted locals: free, not simulated.
   if (isStackAddress(Addr))
     return;
@@ -761,23 +768,23 @@ void Interpreter::Impl::simulateAccess(uint64_t Addr, unsigned Bytes,
   Result.MemStallCycles += A.Stall;
   if (Opts.Attribution && A.FirstLevelMiss)
     labelPc(Pc);
+  if (Opts.Pmu)
+    Opts.Pmu->observeAccess(PmuSite, IsStore, A.FirstLevelMiss, A.Latency);
 
-  if (!Opts.Profile || !Attrib)
-    return;
-  if (Opts.CacheSamplePeriod > 1 &&
-      (SampleTick++ % Opts.CacheSamplePeriod) != 0)
+  // Exact field collection; with a PMU attached the field events come
+  // from the sampled estimates flushed at end of run instead.
+  if (!Opts.Profile || !Attrib || Opts.Pmu)
     return;
   FieldCacheStats &S =
       Opts.Profile->fieldStats(Attrib->getRecord(), Attrib->getFieldIndex());
-  uint64_t Scale = Opts.CacheSamplePeriod;
   if (IsStore) {
-    S.Stores += Scale;
+    ++S.Stores;
   } else {
-    S.Loads += Scale;
-    S.TotalLatency += static_cast<double>(A.Latency) * Scale;
+    ++S.Loads;
+    S.TotalLatency += static_cast<double>(A.Latency);
   }
   if (A.FirstLevelMiss)
-    S.Misses += Scale;
+    ++S.Misses;
 }
 
 //===----------------------------------------------------------------------===//
@@ -903,7 +910,7 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
         R.I = readInt(Addr, D.Bytes, D.SignExtend);
       Frame[D.ResultSlot] = R;
       simulateAccess(Addr, D.Bytes, D.IsFloat, /*IsStore=*/false, D.Attrib,
-                     D.Site,
+                     D.Site, D.PmuSite,
                      (static_cast<uint64_t>(DF.FuncIdx) << 32) | (PC - 1));
       break;
     }
@@ -917,7 +924,7 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
       else
         writeInt(Addr, D.Bytes, V.I);
       simulateAccess(Addr, D.Bytes, D.IsFloat, /*IsStore=*/true, D.Attrib,
-                     D.Site,
+                     D.Site, D.PmuSite,
                      (static_cast<uint64_t>(DF.FuncIdx) << 32) | (PC - 1));
       break;
     }
@@ -1190,6 +1197,9 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
           Result.Cycles += A.Stall;
           if (Opts.Attribution && A.FirstLevelMiss)
             labelPc(Pc);
+          if (Opts.Pmu)
+            Opts.Pmu->observeAccess(SampledPmu::UntypedSite, /*IsStore=*/true,
+                                    A.FirstLevelMiss, A.Latency);
         }
       }
       break;
@@ -1215,6 +1225,12 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
           Result.Cycles += RdA.Stall + WrA.Stall;
           if (Opts.Attribution && (RdA.FirstLevelMiss || WrA.FirstLevelMiss))
             labelPc(Pc);
+          if (Opts.Pmu) {
+            Opts.Pmu->observeAccess(SampledPmu::UntypedSite, /*IsStore=*/false,
+                                    RdA.FirstLevelMiss, RdA.Latency);
+            Opts.Pmu->observeAccess(SampledPmu::UntypedSite, /*IsStore=*/true,
+                                    WrA.FirstLevelMiss, WrA.Latency);
+          }
         }
       }
       break;
@@ -1264,6 +1280,22 @@ RunResult Interpreter::Impl::run(const std::string &EntryName) {
   Result.L2 = Cache.l2Stats();
   Result.L3 = Cache.l3Stats();
   Result.FirstLevelMisses = Cache.firstLevelMissEvents();
+
+  if (Opts.Pmu) {
+    Opts.Pmu->finishRun();
+    if (Opts.Profile) {
+      for (const SampledPmu::SiteEstimate &E : Opts.Pmu->estimates()) {
+        FieldCacheStats &S = Opts.Profile->fieldStats(
+            static_cast<const RecordType *>(E.RecordKey), E.FieldIndex);
+        S.Loads += E.Loads;
+        S.Stores += E.Stores;
+        S.Misses += E.Misses;
+        S.TotalLatency += E.TotalLatency;
+      }
+    }
+    if (Opts.Counters)
+      Opts.Pmu->publishCounters(*Opts.Counters);
+  }
 
   if (Opts.Counters) {
     CounterRegistry &C = *Opts.Counters;

@@ -15,8 +15,9 @@
 ///  2. The instrumented binary of the PBO collection phase: it records
 ///     exact CFG edge counts into a FeedbackFile.
 ///  3. The PMU + HP Caliper: every load/store through a field address is
-///     attributed to its (record, field) with miss and latency counts;
-///     a sampling period can be configured to mimic sampled collection.
+///     attributed to its (record, field) with miss and latency counts —
+///     exactly by default, or through the SampledPmu emulation (period
+///     sampling with jitter and skid) when RunOptions::Pmu is set.
 ///
 /// Heap, stack, and globals live in one flat simulated address space, so
 /// layout transformations change real simulated addresses and therefore
@@ -40,6 +41,7 @@ namespace slo {
 
 class CounterRegistry;
 class MissAttribution;
+class SampledPmu;
 class Tracer;
 
 /// Execution options.
@@ -50,16 +52,21 @@ struct RunOptions {
   std::map<std::string, int64_t> IntParams;
 
   /// When set, edge counts and d-cache field events are recorded here
-  /// (the PBO collection run).
+  /// (the PBO collection run). Edge counts are always exact — they come
+  /// from instrumentation, not the PMU. Field cache events are exact
+  /// unless a sampled PMU is attached (below).
   FeedbackFile *Profile = nullptr;
 
   /// Simulate the cache hierarchy (and charge stall cycles).
   bool SimulateCache = true;
   CacheConfig Cache;
 
-  /// Attribute every Nth field cache event (1 = exact; larger values
-  /// mimic PMU sampling).
-  unsigned CacheSamplePeriod = 1;
+  /// When set, field d-cache events are collected through the Caliper
+  /// stand-in instead of exactly: every simulated access feeds the PMU's
+  /// sampled event counters, and at the end of the run the period-scaled
+  /// per-field estimates are flushed into Profile (when one is attached).
+  /// One SampledPmu per run, like the attribution sink.
+  SampledPmu *Pmu = nullptr;
 
   /// Observability hooks; all default off (null), and the null paths are
   /// single-branch guards so a plain run pays nothing measurable.

@@ -151,8 +151,21 @@ std::vector<TypePlan> slo::planLayout(const Module &M,
         Hot.push_back(I);
     }
     if (Hot.empty()) {
-      // Everything cold (type never referenced in a hot context): leave
-      // it alone.
+      // Everything cold (type never referenced in a hot context): no
+      // split. Dead/unused-field removal still applies — it is static
+      // advice, independent of hotness, so a sampled profile that never
+      // caught this type in a miss sample must yield the same cleanup
+      // an exact profile does.
+      if (!C.Live.empty() && (!C.Dead.empty() || !C.Unused.empty())) {
+        Plan.Kind = TransformKind::Split;
+        Plan.HotFields = C.Live; // All live fields stay.
+        Plan.DeadFields = C.Dead;
+        Plan.UnusedFields = C.Unused;
+        sortByHotnessDescending(Plan.HotFields, *S);
+        Plan.Reason = "dead field removal only (no hot fields)";
+        Plans.push_back(std::move(Plan));
+        continue;
+      }
       Plan.Reason = "no hot fields";
       Plans.push_back(std::move(Plan));
       continue;

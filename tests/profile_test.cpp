@@ -4,9 +4,12 @@
 #include "profile/FeedbackIO.h"
 #include "runtime/Interpreter.h"
 #include "analysis/WeightSchemes.h"
+#include "support/Diagnostics.h"
 #include "transform/GlobalVarLayout.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
 
 using namespace slo;
 
@@ -61,7 +64,7 @@ TEST(FeedbackIoTest, RoundTripPreservesCounts) {
   ASSERT_FALSE(R.Trapped) << R.TrapReason;
 
   std::string Text = serializeFeedback(*C.M, FB);
-  EXPECT_EQ(Text.rfind("slo-feedback-v1", 0), 0u);
+  EXPECT_EQ(Text.rfind("slo-feedback-v2", 0), 0u);
 
   FeedbackFile Restored;
   FeedbackMatchResult MR = deserializeFeedback(*C.M, Text, Restored);
@@ -104,32 +107,162 @@ TEST(FeedbackIoTest, MatchesAcrossRecompilation) {
   EXPECT_EQ(Restored.getEntryCount(B.M->lookupFunction("main")), 1u);
 }
 
-TEST(FeedbackIoTest, StaleSymbolsAreDroppedSoftly) {
-  Compiled A = compile(ProfiledProgram);
+/// Collects a profile for \p Src and returns its serialized text.
+static std::string collectProfileText(const Compiled &C) {
   FeedbackFile FB;
   RunOptions O;
   O.Profile = &FB;
-  runProgram(*A.M, std::move(O));
-  std::string Text = serializeFeedback(*A.M, FB);
-  Text += "entry no_such_function 99\n";
-  Text += "field no_such_record 0 1 2 3 4.5\n";
+  RunResult R = runProgram(*C.M, std::move(O));
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  return serializeFeedback(*C.M, FB);
+}
+
+/// Splices extra record lines before the "end" trailer, fixing up the
+/// declared record count — the shape of a legitimately edited file.
+static std::string spliceRecords(std::string Text, const std::string &Extra,
+                                 unsigned ExtraRecords) {
+  size_t EndPos = Text.rfind("end ");
+  EXPECT_NE(EndPos, std::string::npos);
+  unsigned Declared = 0;
+  EXPECT_EQ(std::sscanf(Text.c_str() + EndPos, "end %u", &Declared), 1);
+  return Text.substr(0, EndPos) + Extra + "end " +
+         std::to_string(Declared + ExtraRecords) + "\n";
+}
+
+TEST(FeedbackIoTest, StaleSymbolsAreDroppedSoftly) {
+  Compiled A = compile(ProfiledProgram);
+  std::string Text = spliceRecords(collectProfileText(A),
+                                   "entry no_such_function 99\n"
+                                   "field no_such_record 0 1 2 3 4.5\n",
+                                   2);
 
   Compiled B = compile(ProfiledProgram);
   FeedbackFile Restored;
-  FeedbackMatchResult MR = deserializeFeedback(*B.M, Text, Restored);
+  DiagnosticEngine Diags;
+  FeedbackMatchResult MR = deserializeFeedback(*B.M, Text, Restored, &Diags);
   ASSERT_TRUE(MR.Ok) << MR.Error;
   EXPECT_EQ(MR.DroppedEntries, 2u);
+  // Soft drops surface as one summarizing warning, not an error.
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.count(DiagSeverity::Warning), 1u);
 }
 
 TEST(FeedbackIoTest, MalformedInputRejected) {
   Compiled A = compile(ProfiledProgram);
   FeedbackFile FB;
   EXPECT_FALSE(deserializeFeedback(*A.M, "not-a-feedback-file", FB).Ok);
+  EXPECT_FALSE(deserializeFeedback(*A.M, "slo-feedback-v1\nend 0\n", FB).Ok)
+      << "old format version must be rejected";
   EXPECT_FALSE(
-      deserializeFeedback(*A.M, "slo-feedback-v1\nbogus line\n", FB).Ok);
-  EXPECT_FALSE(
-      deserializeFeedback(*A.M, "slo-feedback-v1\nentry onlyname\n", FB)
+      deserializeFeedback(*A.M, "slo-feedback-v2\nbogus line\nend 1\n", FB)
           .Ok);
+  EXPECT_FALSE(
+      deserializeFeedback(*A.M, "slo-feedback-v2\nentry onlyname\nend 1\n",
+                          FB)
+          .Ok);
+}
+
+TEST(FeedbackIoTest, CorruptFilesAreStructuredErrorsNotCrashes) {
+  // Regression: the load path used to feed counts through istream's
+  // unsigned extraction (which silently wraps "-1" to 2^64-1) and had no
+  // way to notice a file cut off on a line boundary. Every corruption
+  // here must come back as a structured "feedback" error diagnostic.
+  Compiled A = compile(ProfiledProgram);
+  std::string Good = collectProfileText(A);
+
+  auto ExpectRejected = [&](const std::string &Text, const char *What) {
+    FeedbackFile FB;
+    DiagnosticEngine Diags;
+    FeedbackMatchResult MR = deserializeFeedback(*A.M, Text, FB, &Diags);
+    EXPECT_FALSE(MR.Ok) << What;
+    EXPECT_FALSE(MR.Error.empty()) << What;
+    ASSERT_TRUE(Diags.hasErrors()) << What;
+    EXPECT_EQ(Diags.all().back().Code, "feedback") << What;
+  };
+
+  // Truncation: cut the file after the first few records. With the end
+  // trailer gone the parser must flag the file rather than accept the
+  // partial profile.
+  size_t Cut = Good.find('\n', Good.size() / 2);
+  ASSERT_NE(Cut, std::string::npos);
+  ExpectRejected(Good.substr(0, Cut + 1), "truncated file");
+
+  // Truncation that eats whole records but keeps the trailer shape is
+  // caught by the declared-count mismatch.
+  ExpectRejected("slo-feedback-v2\nend 5\n", "count mismatch");
+
+  // Negative counts must not wrap to huge unsigned values.
+  ExpectRejected("slo-feedback-v2\nentry main -1\nend 1\n", "negative count");
+
+  // Overflowing counts are rejected, not wrapped.
+  ExpectRejected(
+      "slo-feedback-v2\nentry main 99999999999999999999999\nend 1\n",
+      "overflow");
+
+  // Records after the end marker mean a spliced/corrupt file.
+  ExpectRejected(Good + "entry main 1\n", "record after end");
+
+  // Non-finite latency is rejected.
+  ExpectRejected("slo-feedback-v2\nfield pt 0 1 0 0 nan\nend 1\n",
+                 "nan latency");
+
+  // The good text still parses, and parses clean.
+  FeedbackFile FB;
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(deserializeFeedback(*A.M, Good, FB, &Diags).Ok);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(FeedbackIoTest, LoadFeedbackFileReportsIoErrors) {
+  Compiled A = compile(ProfiledProgram);
+  FeedbackFile FB;
+  DiagnosticEngine Diags;
+  FeedbackMatchResult MR = loadFeedbackFile(
+      *A.M, "/nonexistent/dir/profile.fdo", FB, Diags);
+  EXPECT_FALSE(MR.Ok);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.all().back().Code, "feedback");
+}
+
+TEST(FeedbackFileTest, MergeAccumulatesAllSections) {
+  Compiled C = compile(ProfiledProgram);
+  FeedbackFile A, B;
+  {
+    RunOptions O;
+    O.Profile = &A;
+    ASSERT_FALSE(runProgram(*C.M, std::move(O)).Trapped);
+  }
+  {
+    RunOptions O;
+    O.Profile = &B;
+    ASSERT_FALSE(runProgram(*C.M, std::move(O)).Trapped);
+  }
+  FeedbackFile Sum = A;
+  Sum.merge(B);
+
+  const Function *Main = C.M->lookupFunction("main");
+  EXPECT_EQ(Sum.getEntryCount(Main), 2 * A.getEntryCount(Main));
+  for (const auto &BB : Main->blocks())
+    EXPECT_EQ(Sum.getBlockCount(BB.get()), 2 * A.getBlockCount(BB.get()));
+
+  RecordType *Pt = C.Ctx->getTypes().lookupRecord("pt");
+  const FieldCacheStats *SA = A.getFieldStats(Pt, 0);
+  const FieldCacheStats *SS = Sum.getFieldStats(Pt, 0);
+  ASSERT_NE(SA, nullptr);
+  ASSERT_NE(SS, nullptr);
+  EXPECT_EQ(SS->Loads, 2 * SA->Loads);
+  EXPECT_EQ(SS->Stores, 2 * SA->Stores);
+  EXPECT_EQ(SS->Misses, 2 * SA->Misses);
+  EXPECT_NEAR(SS->TotalLatency, 2.0 * SA->TotalLatency,
+              1e-9 * (1.0 + SA->TotalLatency));
+
+  // Merging is how multi-run sampled collections accumulate; the merged
+  // file must serialize identically to a file that held the sums all
+  // along (byte determinism of the writer).
+  FeedbackFile Twice;
+  Twice.merge(A);
+  Twice.merge(B);
+  EXPECT_EQ(serializeFeedback(*C.M, Sum), serializeFeedback(*C.M, Twice));
 }
 
 //===----------------------------------------------------------------------===//
