@@ -8,6 +8,10 @@
 //
 //   slo_driver [options] file1.minic [file2.minic ...]
 //     --advise          print the advisory report instead of transforming
+//     --lint            run the layout-hazard lint suite; findings print
+//                       as diagnostics and pinned types are demoted out
+//                       of Proven before planning (slo_lint is the
+//                       standalone front door)
 //     --pbo             profile first, then use PBO weights
 //     --scheme=NAME     ISPBO (default) | SPBO | ISPBO.NO | ISPBO.W | PBO
 //                       | DMISS | DLAT (the cache schemes profile first,
@@ -62,6 +66,7 @@ namespace {
 
 struct DriverOptions {
   bool Advise = false;
+  bool Lint = false;
   bool Pbo = false;
   bool Run = false;
   bool DumpIr = false;
@@ -120,6 +125,8 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
     std::string V;
     if (A == "--advise") {
       O.Advise = true;
+    } else if (A == "--lint") {
+      O.Lint = true;
     } else if (A == "--pbo") {
       O.Pbo = true;
       O.Scheme = WeightScheme::PBO;
@@ -197,7 +204,8 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
   }
   if (O.Files.empty()) {
     std::fprintf(stderr,
-                 "usage: slo_driver [--advise] [--pbo] [--run] [--dump-ir] "
+                 "usage: slo_driver [--advise] [--lint] [--pbo] [--run] "
+                 "[--dump-ir] "
                  "[--diags] [--diags-json] [--scheme=NAME] [--param N=V] "
                  "[--trace-json=P] [--stats-json=P] [--trace-summary] "
                  "[--sample-period N] [--sample-skid K] [--sample-seed S] "
@@ -317,10 +325,22 @@ int main(int argc, char **argv) {
   PipelineOptions POpts;
   POpts.Scheme = O.Scheme;
   POpts.AnalyzeOnly = O.Advise;
+  POpts.Lint = O.Lint;
   POpts.Trace = TracePtr;
   POpts.Counters = WantStats ? &Counters : nullptr;
   PipelineResult R =
       runStructLayoutPipeline(*M, POpts, HaveProfile ? &Train : nullptr);
+
+  if (O.Lint) {
+    for (const LintFinding &F : R.Lint.Findings)
+      std::printf("lint: %s: lint.%s: %s%s%s\n", severityName(F.Severity),
+                  lintKindName(F.Kind), F.Message.c_str(),
+                  F.Fact.empty() ? "" : " -- ", F.Fact.c_str());
+    std::printf("lint: %zu finding(s), %zu error(s), %zu pinned type(s)\n",
+                R.Lint.Findings.size(),
+                R.Lint.countSeverity(DiagSeverity::Error),
+                R.Lint.Pinnings.Reasons.size());
+  }
 
   if (O.Advise) {
     AdvisorInputs In;

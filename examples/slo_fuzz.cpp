@@ -4,10 +4,10 @@
 // Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
 //
 // Generates random MiniC programs and differentially checks the layout
-// pipeline's four oracles (output + leak census, verifier, legality
-// inclusion, miss-attribution partition) on each; optionally replays a
-// committed corpus first. Failures can be auto-minimized into
-// self-contained .minic repro files.
+// pipeline's oracles (output + leak census, verifier, legality
+// inclusion, miss-attribution partition, lint cross-validation) on
+// each; optionally replays a committed corpus first. Failures can be
+// auto-minimized into self-contained .minic repro files.
 //
 //   slo_fuzz --runs 500 --seed 1 --corpus tests/corpus --minimize
 //
@@ -41,6 +41,8 @@ struct DriverOptions {
   unsigned Jobs = 0; // 0 = hardware concurrency
   bool Minimize = false;
   bool InjectLegalityBug = false;
+  bool InjectLintBug = false;
+  HazardKind InjectHazard = HazardKind::None;
   bool SampledProfiles = false;
   std::string CorpusDir;
   std::string OutDir = ".";
@@ -51,6 +53,7 @@ int usage() {
       stderr,
       "usage: slo_fuzz [--runs N] [--seed S] [--jobs J] [--minimize]\n"
       "                [--corpus DIR] [--out DIR] [--inject-legality-bug]\n"
+      "                [--inject-hazard uaf|uninit] [--inject-lint-bug]\n"
       "                [--sampled-profiles]\n"
       "\n"
       "Replays DIR/*.minic (sorted) when --corpus is given, then runs N\n"
@@ -58,6 +61,11 @@ int usage() {
       "reported with its seed; --minimize shrinks each to a .minic repro\n"
       "in --out (default .). --inject-legality-bug deliberately breaks\n"
       "the legality verdicts to prove the harness catches it.\n"
+      "--inject-hazard plants a dangling use (uaf) or uninitialized\n"
+      "read (uninit) into every generated program; the lint oracle must\n"
+      "flag each one. Adding --inject-lint-bug blinds the lint suite to\n"
+      "free(), so an injected uaf must flip into a lint-oracle failure\n"
+      "(proving the oracle is not vacuous).\n"
       "--sampled-profiles plans from a sampled d-cache profile (DMISS,\n"
       "period 61, skid 2) round-tripped through the feedback format,\n"
       "instead of static estimates — the oracles must still hold.\n");
@@ -150,6 +158,7 @@ unsigned runRandom(const DriverOptions &Opts,
         ShardResult &R = Results[I];
         R.Config = randomFuzzConfig(Seeds[I]);
         R.Program = generateFuzzProgram(R.Config);
+        injectHazard(R.Program, DOpts.ExpectedHazard);
         R.Outcome =
             runDifferential(R.Config.Name, R.Program.render(), DOpts);
         R.Ran = true;
@@ -235,6 +244,18 @@ int main(int argc, char **argv) {
       Opts.Minimize = true;
     } else if (A == "--inject-legality-bug") {
       Opts.InjectLegalityBug = true;
+    } else if (A == "--inject-lint-bug") {
+      Opts.InjectLintBug = true;
+    } else if (A == "--inject-hazard") {
+      const char *V = NextValue();
+      if (!V)
+        return usage();
+      if (std::strcmp(V, "uaf") == 0)
+        Opts.InjectHazard = HazardKind::DanglingUse;
+      else if (std::strcmp(V, "uninit") == 0)
+        Opts.InjectHazard = HazardKind::UninitRead;
+      else
+        return usage();
     } else if (A == "--sampled-profiles") {
       Opts.SampledProfiles = true;
     } else {
@@ -245,6 +266,8 @@ int main(int argc, char **argv) {
 
   DifferentialOptions DOpts;
   DOpts.InjectLegalityBug = Opts.InjectLegalityBug;
+  DOpts.InjectLintBug = Opts.InjectLintBug;
+  DOpts.ExpectedHazard = Opts.InjectHazard;
   if (Opts.SampledProfiles) {
     // A realistic collection: miss-driven weights from a jittered
     // period-61 sweep with a little Itanium skid.

@@ -1,0 +1,172 @@
+//===- examples/slo_lint.cpp - Standalone lint driver ---------------------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// Runs the layout-hazard lint suite (analysis/lint/) over MiniC
+// programs and prints the findings through DiagnosticEngine:
+//
+//   slo_lint [options] file1.minic [file2.minic ...]
+//     --workloads        lint the 12 embedded Table-1 workloads too
+//     --json             print findings as a JSON array
+//     --counters         print the lint.* counter snapshot
+//     --fail-on=S        exit 1 when a finding of severity S or worse
+//                        exists: error (default) | warning | note |
+//                        never
+//
+// Files passed together form ONE linked program (like slo_driver);
+// each workload is linted as its own program. Exit codes: 0 clean
+// (under the threshold), 1 findings at/above the threshold, 2 usage or
+// compile error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Legality.h"
+#include "analysis/PointsTo.h"
+#include "analysis/lint/Lint.h"
+#include "frontend/Frontend.h"
+#include "observability/CounterRegistry.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace slo;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: slo_lint [--workloads] [--json] [--counters]\n"
+               "                [--fail-on=error|warning|note|never]\n"
+               "                [file.minic ...]\n");
+  return 2;
+}
+
+/// Severity at or above \p Threshold (Error is the most severe).
+bool atLeast(DiagSeverity S, DiagSeverity Threshold) {
+  auto Rank = [](DiagSeverity X) {
+    switch (X) {
+    case DiagSeverity::Error:
+      return 3;
+    case DiagSeverity::Warning:
+      return 2;
+    case DiagSeverity::Remark:
+    case DiagSeverity::Note:
+      return 1;
+    }
+    return 0;
+  };
+  return Rank(S) >= Rank(Threshold);
+}
+
+/// Lints one linked program; returns false on compile failure.
+bool lintProgram(const std::string &Name,
+                 const std::vector<std::string> &Sources, bool Json,
+                 CounterRegistry *Counters, DiagSeverity FailOn, bool FailNever,
+                 unsigned &FailingFindings) {
+  IRContext Ctx;
+  std::vector<std::string> CompileDiags;
+  std::unique_ptr<Module> M =
+      compileProgram(Ctx, Name, Sources, CompileDiags);
+  if (!M) {
+    std::fprintf(stderr, "%s: compile error: %s\n", Name.c_str(),
+                 CompileDiags.empty() ? "?" : CompileDiags.front().c_str());
+    return false;
+  }
+  LegalityResult Legal = analyzeLegality(*M);
+  PointsToResult PT = analyzePointsTo(*M);
+  LintOptions LO;
+  LO.Counters = Counters;
+  LintResult R = runLint(*M, &PT, &Legal, LO);
+
+  DiagnosticEngine Diags;
+  reportLintFindings(R, Diags);
+  if (Json)
+    std::printf("%s\n", Diags.renderJson().c_str());
+  else if (!R.Findings.empty())
+    std::printf("%s", Diags.renderText().c_str());
+  std::printf("%s: %zu finding(s), %zu error(s), %zu pinned type(s)%s\n",
+              Name.c_str(), R.Findings.size(),
+              R.countSeverity(DiagSeverity::Error),
+              R.Pinnings.Reasons.size(),
+              R.HeapCoverageComplete ? "" : " [heap coverage incomplete]");
+  if (!FailNever)
+    for (const LintFinding &F : R.Findings)
+      FailingFindings += atLeast(F.Severity, FailOn);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Workloads = false, Json = false, WantCounters = false;
+  bool FailNever = false;
+  DiagSeverity FailOn = DiagSeverity::Error;
+  std::vector<std::string> Files;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--workloads") {
+      Workloads = true;
+    } else if (A == "--json") {
+      Json = true;
+    } else if (A == "--counters") {
+      WantCounters = true;
+    } else if (A.rfind("--fail-on=", 0) == 0) {
+      std::string S = A.substr(10);
+      if (S == "error")
+        FailOn = DiagSeverity::Error;
+      else if (S == "warning")
+        FailOn = DiagSeverity::Warning;
+      else if (S == "note")
+        FailOn = DiagSeverity::Note;
+      else if (S == "never")
+        FailNever = true;
+      else
+        return usage();
+    } else if (A.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "slo_lint: unknown option '%s'\n", A.c_str());
+      return usage();
+    } else {
+      Files.push_back(A);
+    }
+  }
+  if (!Workloads && Files.empty())
+    return usage();
+
+  CounterRegistry Counters;
+  CounterRegistry *CountersPtr = WantCounters ? &Counters : nullptr;
+  unsigned FailingFindings = 0;
+  bool CompileOk = true;
+
+  if (Workloads)
+    for (const Workload &W : allWorkloads())
+      CompileOk &= lintProgram(W.Name, W.Sources, Json, CountersPtr, FailOn,
+                               FailNever, FailingFindings);
+
+  if (!Files.empty()) {
+    std::vector<std::string> Sources;
+    for (const std::string &File : Files) {
+      std::ifstream In(File);
+      if (!In) {
+        std::fprintf(stderr, "cannot open '%s'\n", File.c_str());
+        return 2;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Sources.push_back(SS.str());
+    }
+    CompileOk &= lintProgram(Files.size() == 1 ? Files.front() : "program",
+                             Sources, Json, CountersPtr, FailOn, FailNever,
+                             FailingFindings);
+  }
+
+  if (WantCounters)
+    std::printf("%s", Counters.renderText().c_str());
+  if (!CompileOk)
+    return 2;
+  return FailingFindings ? 1 : 0;
+}

@@ -41,13 +41,43 @@ import json
 import sys
 
 
+def load_json(path, what):
+    """Reads a JSON artifact; any failure is a one-line error, never a
+    traceback (a stale CI cache or a hand-edited baseline must produce a
+    message a human can act on)."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        raise SystemExit(f"{path}: cannot read {what}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(
+            f"{path}: malformed JSON in {what} "
+            f"(line {e.lineno}, column {e.colno}: {e.msg})"
+        )
+
+
+def require_keys(row, keys, path, kind):
+    """Every key the comparators index must exist up front; a missing one
+    is a schema error named after the key, not a KeyError traceback."""
+    for k in keys:
+        if k not in row:
+            raise SystemExit(f"{path}: {kind} record is missing key '{k}': {row}")
+
+
 def load_rows(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("table") != "table3" or "rows" not in doc:
+    doc = load_json(path, "table3 artifact")
+    if not isinstance(doc, dict) or doc.get("table") != "table3" \
+            or "rows" not in doc:
         raise SystemExit(f"{path}: not a BENCH_table3.json artifact")
     rows = {}
     for row in doc["rows"]:
+        require_keys(
+            row,
+            ("benchmark", "pbo", "base_misses", "opt_misses", "perf_percent"),
+            path,
+            "table3",
+        )
         key = (row["benchmark"], bool(row["pbo"]))
         if key in rows:
             raise SystemExit(f"{path}: duplicate row for {key}")
@@ -98,15 +128,22 @@ def compare(baseline, current, miss_tol, perf_tol):
 def load_quality(path):
     """Loads a BENCH_profile_quality.json artifact: (default_period, rows)
     with rows keyed by (benchmark, period)."""
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("bench") != "profile_quality" or "rows" not in doc:
+    doc = load_json(path, "profile-quality artifact")
+    if not isinstance(doc, dict) or doc.get("bench") != "profile_quality" \
+            or "rows" not in doc:
         raise SystemExit(f"{path}: not a BENCH_profile_quality.json artifact")
     default_period = doc.get("default_period")
     if not isinstance(default_period, int):
         raise SystemExit(f"{path}: missing integer default_period")
     rows = {}
     for row in doc["rows"]:
+        require_keys(
+            row,
+            ("benchmark", "period", "advice_stable", "partition_stable",
+             "tau", "opt_misses"),
+            path,
+            "profile-quality",
+        )
         key = (row["benchmark"], int(row["period"]))
         if key in rows:
             raise SystemExit(f"{path}: duplicate row for {key}")
@@ -182,9 +219,8 @@ def compare_quality(base, current, miss_tol, tau_tol):
 
 def check_compile_time(path):
     """Presence/schema check only: google-benchmark JSON with benchmarks."""
-    with open(path) as f:
-        doc = json.load(f)
-    benches = doc.get("benchmarks")
+    doc = load_json(path, "compile-time artifact")
+    benches = doc.get("benchmarks") if isinstance(doc, dict) else None
     if not isinstance(benches, list) or not benches:
         raise SystemExit(f"{path}: no benchmarks in artifact")
     for b in benches:

@@ -36,6 +36,28 @@ FUZZ_RC=0
 ./build/examples/slo_fuzz --runs 50 --seed 1 --minimize \
   --corpus tests/corpus --out build/fuzz-repros || FUZZ_RC=$?
 
+# Lint leg: the layout-hazard suite over the 12 embedded workloads and
+# the committed seed corpus. Error-severity findings fail the leg;
+# layout-pin notes are expected (they demote types instead). A short
+# injected-hazard sweep proves the lint oracle is alive in both
+# directions: it must flag injected hazards, and a broken lint
+# (--inject-lint-bug) must be caught.
+echo "=== lint (workloads + corpus + injected hazards) ==="
+LINT_RC=0
+./build/examples/slo_lint --workloads || LINT_RC=$?
+for f in tests/corpus/*.minic; do
+  ./build/examples/slo_lint "$f" || LINT_RC=$?
+done
+./build/examples/slo_fuzz --runs 10 --seed 3 --inject-hazard uaf \
+  || LINT_RC=$?
+./build/examples/slo_fuzz --runs 10 --seed 3 --inject-hazard uninit \
+  || LINT_RC=$?
+if ./build/examples/slo_fuzz --runs 5 --seed 3 --inject-hazard uaf \
+    --inject-lint-bug >/dev/null 2>&1; then
+  echo "lint oracle is vacuous: --inject-lint-bug was not caught"
+  LINT_RC=1
+fi
+
 # Sampled-profile smoke: collect a sampled (Caliper stand-in) DMISS
 # profile through the driver, write it out, plan from the file in a
 # second process, then run a short fuzz sweep where every oracle must
@@ -62,8 +84,8 @@ ulimit -s 262144 2>/dev/null || true
 ASAN_RC=0
 ctest --test-dir build-asan --output-on-failure -j"$J" || ASAN_RC=$?
 
-if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 || $FUZZ_RC -ne 0 || $SAMPLED_RC -ne 0 ]]; then
-  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC, fuzz: $FUZZ_RC, sampled smoke: $SAMPLED_RC) ==="
+if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 || $FUZZ_RC -ne 0 || $SAMPLED_RC -ne 0 || $LINT_RC -ne 0 ]]; then
+  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC, fuzz: $FUZZ_RC, sampled smoke: $SAMPLED_RC, lint: $LINT_RC) ==="
   exit 1
 fi
 echo "=== all checks passed ==="

@@ -1,0 +1,14 @@
+//===- analysis/Dataflow.cpp - Generic dataflow solver --------------------===//
+
+#include "analysis/Dataflow.h"
+
+using namespace slo;
+
+const char *slo::dataflowDirectionName(DataflowDirection D) {
+  return D == DataflowDirection::Forward ? "forward" : "backward";
+}
+
+bool slo::isExitBlock(const BasicBlock &BB) {
+  const Instruction *T = BB.getTerminator();
+  return T && T->getOpcode() == Instruction::OpRet;
+}

@@ -384,8 +384,31 @@ std::vector<RecordType *> RefinementResult::provenTypes() const {
 
 RefinementResult slo::refineLegality(const Module &, const LegalityResult &Legal,
                                      const PointsToResult &PT,
-                                     DiagnosticEngine *Diags) {
+                                     DiagnosticEngine *Diags,
+                                     const LayoutPinnings *Pins) {
   RefinementResult Res;
   Refiner(Legal, PT, Diags).run(Res.Map, Res.Order);
+  if (!Pins || Pins->empty())
+    return Res;
+  // The lint layer's layout-pinning facts override the per-site proofs:
+  // a pinned type's concrete layout is observed through a foreign lens,
+  // so discharging its cast sites individually is not enough. Strictly
+  // legal types are exempt (pinning implies a recorded CSTT/CSTF/ATKN
+  // violation, so this never breaks Legal <= Proven).
+  for (auto &[Rec, TR] : Res.Map) {
+    if (!Pins->isPinned(Rec))
+      continue;
+    if (Legal.get(Rec).isLegal(false))
+      continue;
+    if (TR.ProvenLegal && Diags) {
+      Diagnostic &D = Diags->report(
+          DiagSeverity::Warning, "PINNED",
+          "demoted out of Proven: layout is pinned by a lint finding");
+      D.RecordName = Rec->getRecordName();
+      D.Fact = Pins->Reasons.at(Rec);
+    }
+    TR.ProvenLegal = false;
+    TR.TransformSafe = false;
+  }
   return Res;
 }

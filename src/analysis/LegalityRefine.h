@@ -51,6 +51,24 @@ namespace slo {
 
 class DiagnosticEngine;
 
+/// Layout-pinning facts produced by the lint layer (analysis/lint/): a
+/// record type is pinned when its objects are also addressed through a
+/// foreign-typed lens (a cast pun) or through out-of-bounds field
+/// arithmetic. A pinned type's concrete layout is observable, so the
+/// discharge proofs must not admit it: refineLegality demotes pinned
+/// types out of Proven (strictly legal types cannot be pinned — a pun or
+/// a taken field address records a CSTF/CSTT/ATKN violation first, so
+/// the demotion never breaks Legal <= Proven).
+struct LayoutPinnings {
+  /// Pinned record type -> human-readable reason (first pinning site).
+  std::map<const RecordType *, std::string> Reasons;
+
+  bool isPinned(const RecordType *Rec) const {
+    return Reasons.count(Rec) != 0;
+  }
+  bool empty() const { return Reasons.empty(); }
+};
+
 /// The proof outcome for one recorded violation site.
 struct SiteProof {
   /// The site, owned by the LegalityResult this refinement was built from.
@@ -101,7 +119,8 @@ private:
   friend RefinementResult refineLegality(const Module &,
                                          const LegalityResult &,
                                          const PointsToResult &,
-                                         DiagnosticEngine *);
+                                         DiagnosticEngine *,
+                                         const LayoutPinnings *);
   std::map<const RecordType *, TypeRefinement> Map;
   std::vector<RecordType *> Order;
 };
@@ -109,10 +128,14 @@ private:
 /// Attempts to discharge every relaxable violation site in \p Legal using
 /// the points-to solution \p PT. When \p Diags is non-null, emits one
 /// remark per discharged site, one warning per blocked site, and one note
-/// per completely resolved indirect call.
+/// per completely resolved indirect call. When \p Pins is non-null,
+/// types it pins are demoted out of Proven/TransformSafe (with a PINNED
+/// diagnostic) unless they are strictly legal: the lint layer's layout
+/// hazards override the per-site discharge proofs.
 RefinementResult refineLegality(const Module &M, const LegalityResult &Legal,
                                 const PointsToResult &PT,
-                                DiagnosticEngine *Diags = nullptr);
+                                DiagnosticEngine *Diags = nullptr,
+                                const LayoutPinnings *Pins = nullptr);
 
 } // namespace slo
 

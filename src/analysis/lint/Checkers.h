@@ -1,0 +1,40 @@
+//===- analysis/lint/Checkers.h - Checker entry points ---------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal entry points of the individual lint checkers, called by the
+/// runLint orchestrator only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_ANALYSIS_LINT_CHECKERS_H
+#define SLO_ANALYSIS_LINT_CHECKERS_H
+
+#include "analysis/lint/Lint.h"
+
+namespace slo {
+
+class LegalityResult;
+class PointsToResult;
+
+namespace lint_detail {
+
+/// The memory-safety dataflow checker over one function: uninitialized
+/// reads, use-after-free, double/invalid free, must-null dereference,
+/// definite leaks. Appends findings to \p R and clears
+/// R.HeapCoverageComplete when a heap allocation escapes tracking.
+void checkMemorySafety(const Function &F, const LintOptions &Opts,
+                       LintResult &R);
+
+/// The layout-pinning detector over the whole module (needs points-to).
+void checkLayoutPinning(const Module &M, const PointsToResult &PT,
+                        const LegalityResult *Legal, LintResult &R);
+
+} // namespace lint_detail
+} // namespace slo
+
+#endif // SLO_ANALYSIS_LINT_CHECKERS_H

@@ -1,0 +1,245 @@
+//===- analysis/lint/LayoutPinning.cpp - Layout-pinning detector ----------===//
+//
+// Finds record types whose concrete layout is observable from outside
+// the type system, which pins the layout against transformation:
+//
+//   PIN-1  a cast pun, in either direction: an object viewed as record
+//          R is also dereferenced through a foreign-typed lens. Either
+//          the cast result itself is foreign ("(long*) p" then raw
+//          indexed reads), or the cast *created* the record view over a
+//          foreign pointer ("(struct r*) q" where the original q keeps
+//          feeding raw reads). Reading R's bytes through the foreign
+//          lens hard-codes R's field offsets.
+//   PIN-2  out-of-bounds field arithmetic: indexing a taken field
+//          address with a nonzero constant. `&p->f + k` reaches
+//          sibling fields by their layout distance.
+//
+// The frontend compiles every named pointer variable into a local
+// alloca slot, so both detectors flow values through non-escaping
+// slots: forward (a value stored into a slot reappears at its loads)
+// when looking for dereferences, and backward (a load yields one of
+// the slot's stored values) when looking for a value's origin.
+//
+// Pinned types are demoted out of Proven by refineLegality; the
+// findings themselves are notes (the demotion, not the report, is the
+// load-bearing part).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Legality.h"
+#include "analysis/PointsTo.h"
+#include "analysis/lint/Checkers.h"
+#include "support/Casting.h"
+
+#include <set>
+#include <vector>
+
+using namespace slo;
+
+namespace {
+
+/// True when \p A is a local pointer variable whose address never
+/// escapes: every user loads from it or stores a value to it. Loads
+/// from such an alloca yield exactly the values stored, so the flow
+/// walks below can move through it.
+bool isLocalPtrSlot(const AllocaInst *A) {
+  if (!A->getAllocatedType()->isPointer())
+    return false;
+  for (const Instruction *U : A->users()) {
+    if (isa<LoadInst>(U))
+      continue;
+    const auto *St = dyn_cast<StoreInst>(U);
+    if (St && St->getPointer() == A && St->getStoredValue() != A)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+/// True when some transitive use of \p I reads or writes memory through
+/// it while its static type is not a pointer to \p Blessed. Casting to
+/// Blessed (and everything behind that cast) is the legitimate lens and
+/// is skipped; with Blessed null every dereference counts. Values
+/// escaping into untracked memory count as observed only when
+/// \p Blessed is null (the pure "is this dereferenced" question).
+bool hasForeignDeref(const Instruction *I, const RecordType *Blessed,
+                     std::set<const Instruction *> &Visited) {
+  if (!Visited.insert(I).second)
+    return false;
+  if (Blessed && strippedRecord(I->getType()) == Blessed)
+    return false;
+  for (const Instruction *U : I->users()) {
+    switch (U->getOpcode()) {
+    case Instruction::OpLoad:
+      if (cast<LoadInst>(U)->getPointer() == I)
+        return true;
+      break;
+    case Instruction::OpMemset:
+    case Instruction::OpMemcpy:
+      return true;
+    case Instruction::OpStore: {
+      const auto *St = cast<StoreInst>(U);
+      if (St->getPointer() == I)
+        return true;
+      const auto *A = dyn_cast<AllocaInst>(St->getPointer());
+      if (A && isLocalPtrSlot(A)) {
+        for (const Instruction *AU : A->users())
+          if (isa<LoadInst>(AU) && hasForeignDeref(AU, Blessed, Visited))
+            return true;
+      } else if (!Blessed) {
+        return true; // escapes into untracked memory: assume observed
+      }
+      break;
+    }
+    case Instruction::OpFieldAddr:
+      // Field arithmetic in a record type: foreign unless blessed (the
+      // blessed case was already cut off above by the type check).
+      return true;
+    case Instruction::OpIndexAddr:
+    case Instruction::OpBitcast:
+      if (hasForeignDeref(U, Blessed, Visited))
+        return true;
+      break;
+    default:
+      break;
+    }
+  }
+  return false;
+}
+
+bool hasForeignDeref(const Instruction *I, const RecordType *Blessed) {
+  std::set<const Instruction *> Visited;
+  return hasForeignDeref(I, Blessed, Visited);
+}
+
+/// Collects the origin values of \p V: strips bitcasts and walks loads
+/// of local pointer slots back to the values stored into them. The
+/// terminals land in \p Out (allocations, field/index addresses,
+/// arguments, call results...).
+void collectOrigins(const Value *V, std::set<const Value *> &Seen,
+                    std::vector<const Value *> &Out) {
+  if (!Seen.insert(V).second)
+    return;
+  if (const auto *C = dyn_cast<CastInst>(V)) {
+    if (C->getOpcode() == Instruction::OpBitcast) {
+      collectOrigins(C->getCastOperand(), Seen, Out);
+      return;
+    }
+  }
+  if (const auto *Ld = dyn_cast<LoadInst>(V)) {
+    const auto *A = dyn_cast<AllocaInst>(Ld->getPointer());
+    if (A && isLocalPtrSlot(A)) {
+      for (const Instruction *AU : A->users())
+        if (const auto *St = dyn_cast<StoreInst>(AU))
+          collectOrigins(St->getStoredValue(), Seen, Out);
+      return;
+    }
+  }
+  Out.push_back(V);
+}
+
+std::vector<const Value *> originsOf(const Value *V) {
+  std::set<const Value *> Seen;
+  std::vector<const Value *> Out;
+  collectOrigins(V, Seen, Out);
+  return Out;
+}
+
+void pin(LintResult &R, const RecordType *Rec, const Instruction *I,
+         std::string Message, std::string Fact) {
+  LintFinding LF;
+  LF.Kind = LintKind::LayoutPin;
+  LF.Severity = DiagSeverity::Note;
+  LF.Function = I->getParent() && I->getParent()->getParent()
+                    ? I->getParent()->getParent()->getName()
+                    : "";
+  LF.Inst = I;
+  LF.RecordName = Rec->getRecordName();
+  LF.Message = std::move(Message);
+  LF.Fact = std::move(Fact);
+  R.Findings.push_back(std::move(LF));
+  R.Pinnings.Reasons.emplace(Rec, R.Findings.back().Message);
+}
+
+} // namespace
+
+void slo::lint_detail::checkLayoutPinning(const Module &M,
+                                          const PointsToResult &PT,
+                                          const LegalityResult *Legal,
+                                          LintResult &R) {
+  (void)Legal;
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        if (I->getOpcode() == Instruction::OpBitcast &&
+            I->getType()->isPointer()) {
+          const RecordType *DestRec = strippedRecord(I->getType());
+          // PIN-1, outbound: the cast result is a foreign lens over an
+          // object some record view owns.
+          if (hasForeignDeref(I.get(), /*Blessed=*/nullptr)) {
+            for (PointsToResult::ObjectID O : PT.pointedObjects(I.get())) {
+              for (const RecordType *RV : PT.object(O).Views) {
+                if (RV == DestRec || R.Pinnings.isPinned(RV))
+                  continue; // one witness per type is enough
+                pin(R, RV, I.get(),
+                    "layout of 'struct " + RV->getRecordName() +
+                        "' is pinned: its object is dereferenced through a "
+                        "cast to '" +
+                        cast<PointerType>(I->getType())
+                            ->getPointee()
+                            ->getName() +
+                        "*' in '" + F->getName() + "'",
+                    "pin=cast-pun; object=" + PT.object(O).describe());
+              }
+            }
+          }
+          // PIN-1, inbound: the cast *creates* the record view over a
+          // pointer whose origin chain keeps feeding raw (non-record)
+          // dereferences elsewhere — the reverse pun.
+          if (DestRec && !R.Pinnings.isPinned(DestRec)) {
+            for (const Value *Origin :
+                 originsOf(cast<CastInst>(I.get())->getCastOperand())) {
+              const auto *OI = dyn_cast<Instruction>(Origin);
+              if (!OI || isa<FieldAddrInst>(OI))
+                continue; // taken field addresses are PIN-2's business
+              if (hasForeignDeref(OI, DestRec)) {
+                pin(R, DestRec, I.get(),
+                    "layout of 'struct " + DestRec->getRecordName() +
+                        "' is pinned: its object is also dereferenced "
+                        "through the raw '" +
+                        cast<PointerType>(OI->getType())
+                            ->getPointee()
+                            ->getName() +
+                        "*' it was cast from in '" + F->getName() + "'",
+                    "pin=reverse-pun");
+                break;
+              }
+            }
+          }
+        }
+        // PIN-2: out-of-bounds arithmetic on a taken field address.
+        if (const auto *IA = dyn_cast<IndexAddrInst>(I.get())) {
+          const auto *Idx = dyn_cast<ConstantInt>(IA->getIndex());
+          if (!Idx || Idx->getValue() == 0)
+            continue;
+          for (const Value *Origin : originsOf(IA->getBase())) {
+            const auto *FA = dyn_cast<FieldAddrInst>(Origin);
+            if (!FA)
+              continue;
+            const RecordType *Rec = FA->getRecord();
+            if (R.Pinnings.isPinned(Rec))
+              continue; // one witness per type is enough
+            pin(R, Rec, IA,
+                "layout of 'struct " + Rec->getRecordName() +
+                    "' is pinned: indexing " +
+                    std::to_string(Idx->getValue()) + " past field '" +
+                    FA->getField().Name +
+                    "' reaches sibling fields by layout distance in '" +
+                    F->getName() + "'",
+                "pin=field-oob; field=" + FA->getField().Name);
+          }
+        }
+      }
+    }
+  }
+}

@@ -1,0 +1,80 @@
+//===- analysis/lint/Lint.cpp - Lint orchestrator -------------------------===//
+
+#include "analysis/lint/Lint.h"
+#include "analysis/lint/Checkers.h"
+#include "observability/CounterRegistry.h"
+#include "observability/Tracer.h"
+
+#include <algorithm>
+
+using namespace slo;
+
+const char *slo::lintKindName(LintKind K) {
+  switch (K) {
+  case LintKind::UninitRead:
+    return "uninit-read";
+  case LintKind::UseAfterFree:
+    return "use-after-free";
+  case LintKind::DoubleFree:
+    return "double-free";
+  case LintKind::InvalidFree:
+    return "invalid-free";
+  case LintKind::NullDeref:
+    return "null-deref";
+  case LintKind::Leak:
+    return "leak";
+  case LintKind::LayoutPin:
+    return "layout-pin";
+  }
+  return "unknown";
+}
+
+size_t LintResult::count(LintKind K) const {
+  return static_cast<size_t>(
+      std::count_if(Findings.begin(), Findings.end(),
+                    [K](const LintFinding &F) { return F.Kind == K; }));
+}
+
+size_t LintResult::countSeverity(DiagSeverity S) const {
+  return static_cast<size_t>(
+      std::count_if(Findings.begin(), Findings.end(),
+                    [S](const LintFinding &F) { return F.Severity == S; }));
+}
+
+LintResult slo::runLint(const Module &M, const PointsToResult *PT,
+                        const LegalityResult *Legal, const LintOptions &Opts) {
+  LintResult R;
+  {
+    TraceSpan Span(Opts.Trace, "lint/memory-safety");
+    for (const auto &F : M.functions())
+      lint_detail::checkMemorySafety(*F, Opts, R);
+  }
+  if (PT) {
+    TraceSpan Span(Opts.Trace, "lint/layout-pinning");
+    lint_detail::checkLayoutPinning(M, *PT, Legal, R);
+  }
+  if (CounterRegistry *C = Opts.Counters) {
+    C->add("lint.findings", static_cast<uint64_t>(R.Findings.size()));
+    for (const LintFinding &F : R.Findings)
+      C->add(std::string("lint.") + lintKindName(F.Kind), 1);
+    C->add("lint.pinned_types", static_cast<uint64_t>(R.Pinnings.Reasons.size()));
+    C->add("lint.bailed_functions", R.BailedFunctions);
+    if (!R.HeapCoverageComplete)
+      C->add("lint.heap_coverage_incomplete", 1);
+  }
+  return R;
+}
+
+void slo::reportLintFindings(const LintResult &R, DiagnosticEngine &Diags) {
+  for (const LintFinding &F : R.Findings) {
+    Diagnostic &D = Diags.report(
+        F.Severity, std::string("lint.") + lintKindName(F.Kind), F.Message);
+    D.Function = F.Function;
+    D.RecordName = F.RecordName;
+    D.Fact = F.Fact;
+    if (F.Inst)
+      D.Site = F.Inst->getName().empty()
+                   ? Instruction::getOpcodeName(F.Inst->getOpcode())
+                   : F.Inst->getName();
+  }
+}

@@ -1,0 +1,125 @@
+//===- analysis/lint/Lint.h - Layout-hazard lint suite ---------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lint suite over the linked module, built on the generic dataflow
+/// solver (analysis/Dataflow.h):
+///
+///   memory safety  a forward must/may analysis per function over local
+///                  pointer variables and allocation sites: definite
+///                  uninitialized reads, use-after-free, double free,
+///                  free of non-heap or interior pointers, dereference
+///                  on must-null paths, and definite heap leaks.
+///   layout pinning objects viewed as a record type but addressed
+///                  through a foreign-typed lens (cast puns) or through
+///                  out-of-bounds arithmetic on a field address. These
+///                  findings are load-bearing: LegalityRefine demotes
+///                  pinned types out of Proven.
+///
+/// Every finding is a *definite* (must) claim along some path — the
+/// checkers stay silent rather than report a maybe — which is what the
+/// differential fuzzer's lint oracle certifies: a definite memory
+/// finding on a dynamically clean generated program is a checker bug,
+/// and a dynamic fault or leak on a lint-clean program (with complete
+/// heap coverage) is a missed finding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_ANALYSIS_LINT_LINT_H
+#define SLO_ANALYSIS_LINT_LINT_H
+
+#include "analysis/LegalityRefine.h"
+#include "ir/Module.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace slo {
+
+class CounterRegistry;
+class LegalityResult;
+class PointsToResult;
+class Tracer;
+
+enum class LintKind {
+  UninitRead,   // read of memory no path has written
+  UseAfterFree, // access through a pointer whose allocation is freed
+  DoubleFree,   // free of an already-freed allocation
+  InvalidFree,  // free of a non-heap or interior pointer
+  NullDeref,    // access through a must-null pointer
+  Leak,         // heap allocation provably never freed nor escaping
+  LayoutPin,    // record layout observed through a foreign-typed lens
+};
+
+const char *lintKindName(LintKind K);
+
+/// One lint finding. Memory-safety findings carry Error severity (they
+/// describe behaviour the interpreter would trap on or leak) except
+/// leaks, which are warnings; layout pinnings are notes — advisory in
+/// the report, load-bearing through LintResult::Pinnings.
+struct LintFinding {
+  LintKind Kind = LintKind::UninitRead;
+  DiagSeverity Severity = DiagSeverity::Error;
+  /// Enclosing function ("" for module-level findings).
+  std::string Function;
+  /// The offending instruction (null for module-level findings).
+  const Instruction *Inst = nullptr;
+  /// The pinned record for LayoutPin findings, "" otherwise.
+  std::string RecordName;
+  std::string Message;
+  /// Machine-checkable justification ("root=heap 'a'; state=Freed").
+  std::string Fact;
+};
+
+struct LintOptions {
+  /// Observability hooks, both default off: one "lint/<checker>" span
+  /// per checker, and lint.* counter totals.
+  Tracer *Trace = nullptr;
+  CounterRegistry *Counters = nullptr;
+
+  /// Test-only fault injection: lifetime tracking ignores free(), so
+  /// dangling uses go unreported. The differential fuzzer's lint oracle
+  /// must catch the resulting missed findings on injected-hazard
+  /// programs, proving the oracle is not vacuous.
+  bool InjectLifetimeBug = false;
+};
+
+struct LintResult {
+  std::vector<LintFinding> Findings;
+  /// Record types pinned by cast-pun / out-of-bounds findings; pass to
+  /// refineLegality to demote them out of Proven.
+  LayoutPinnings Pinnings;
+  /// True when every heap allocation was tracked to a free or a return
+  /// without escaping its function: the leak verdict is then complete,
+  /// not just sound (the fuzz oracle's missed-leak direction relies on
+  /// this flag).
+  bool HeapCoverageComplete = true;
+  /// Functions whose dataflow hit the visit budget (no findings are
+  /// reported for them).
+  unsigned BailedFunctions = 0;
+
+  size_t count(LintKind K) const;
+  bool has(LintKind K) const { return count(K) > 0; }
+  size_t countSeverity(DiagSeverity S) const;
+  bool hasErrors() const { return countSeverity(DiagSeverity::Error) > 0; }
+};
+
+/// Runs every checker over the linked module. \p PT enables the layout
+/// pinning detector (skipped when null); \p Legal refines pinning
+/// severities (a pin on an already-illegal type is a note either way).
+LintResult runLint(const Module &M, const PointsToResult *PT = nullptr,
+                   const LegalityResult *Legal = nullptr,
+                   const LintOptions &Opts = LintOptions());
+
+/// Renders \p R into \p Diags, one diagnostic per finding with code
+/// "lint.<kind>".
+void reportLintFindings(const LintResult &R, DiagnosticEngine &Diags);
+
+} // namespace slo
+
+#endif // SLO_ANALYSIS_LINT_LINT_H

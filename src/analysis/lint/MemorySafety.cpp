@@ -1,0 +1,615 @@
+//===- analysis/lint/MemorySafety.cpp - Memory-safety dataflow ------------===//
+//
+// A forward dataflow over each function that tracks, per allocation site
+// (alloca / malloc / calloc / realloc), a lifetime lattice and the set of
+// byte ranges some path may have initialized, plus the abstract value of
+// every non-address-taken local pointer variable ("slot"). Every finding
+// is a must-claim: the checkers report only when the hazard holds on all
+// paths reaching the instruction, so a finding on a dynamically clean
+// program is a checker bug (the property the fuzzer's lint oracle
+// enforces). When the analysis cannot tell (a pointer escapes, an offset
+// is unknown, a lifetime is only maybe-freed), it goes silent instead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+#include "analysis/lint/Checkers.h"
+#include "support/Casting.h"
+#include "support/Format.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace slo;
+
+namespace {
+
+/// Half-open, disjoint byte intervals, normalized so equality is
+/// structural.
+class IntervalSet {
+public:
+  bool operator==(const IntervalSet &) const = default;
+
+  void add(uint64_t B, uint64_t E) {
+    if (B >= E)
+      return;
+    // Merge every interval overlapping or adjacent to [B, E).
+    auto It = Ivs.upper_bound(B);
+    if (It != Ivs.begin()) {
+      auto Prev = std::prev(It);
+      if (Prev->second >= B)
+        It = Prev;
+    }
+    while (It != Ivs.end() && It->first <= E) {
+      B = std::min(B, It->first);
+      E = std::max(E, It->second);
+      It = Ivs.erase(It);
+    }
+    Ivs[B] = E;
+  }
+
+  bool intersects(uint64_t B, uint64_t E) const {
+    if (B >= E)
+      return false;
+    auto It = Ivs.upper_bound(B);
+    if (It != Ivs.begin() && std::prev(It)->second > B)
+      return true;
+    return It != Ivs.end() && It->first < E;
+  }
+
+  void uniteWith(const IntervalSet &O) {
+    for (const auto &[B, E] : O.Ivs)
+      add(B, E);
+  }
+
+private:
+  std::map<uint64_t, uint64_t> Ivs;
+};
+
+/// What a pointer expression denotes.
+struct PtrVal {
+  enum Kind : uint8_t {
+    Bottom,  // no value on any path yet (uninitialized variable)
+    Null,    // the null constant on every path
+    Obj,     // into a tracked allocation, at Off (-1 = unknown offset)
+    Unknown, // anything else
+  };
+  Kind K = Bottom;
+  unsigned Root = 0;
+  int64_t Off = 0;
+  bool operator==(const PtrVal &) const = default;
+
+  static PtrVal unknown() { return {Unknown, 0, 0}; }
+  static PtrVal null() { return {Null, 0, 0}; }
+  static PtrVal obj(unsigned R, int64_t O) { return {Obj, R, O}; }
+};
+
+/// Lifetime of one allocation along the paths reaching a point.
+/// Untracked absorbs everything: the root escaped (or was never
+/// allocated on this path) and no claim about it is valid.
+enum class Lifetime : uint8_t { Untracked, Live, Freed, MaybeFreed };
+
+struct RootState {
+  Lifetime LS = Lifetime::Untracked;
+  /// Every byte may be initialized (escape, memset, unknown-offset
+  /// store): suppresses uninitialized-read claims wholesale.
+  bool AllInit = false;
+  /// Byte ranges some path has stored to.
+  IntervalSet MayInit;
+  bool operator==(const RootState &) const = default;
+};
+
+struct MemState {
+  /// Abstract value per pointer slot; a missing key is Bottom.
+  std::map<const AllocaInst *, PtrVal> Slots;
+  /// Indexed by root id.
+  std::vector<RootState> Roots;
+  bool operator==(const MemState &) const = default;
+};
+
+/// Static facts about one allocation site.
+struct RootInfo {
+  const Instruction *Origin = nullptr;
+  bool Heap = false;
+  bool ZeroInit = false; // calloc
+  bool Preserves = false; // realloc: old contents carried over
+  std::string Label;
+};
+
+class MemorySafetyClient {
+public:
+  using State = MemState;
+
+  MemorySafetyClient(const Function &F, const LintOptions &Opts,
+                     LintResult &Result)
+      : F(F), Opts(Opts), Result(Result) {
+    collectRoots();
+    collectSlots();
+  }
+
+  State boundary() const {
+    State S;
+    S.Roots.resize(Roots.size());
+    return S;
+  }
+
+  void join(State &Dst, const State &Src) const {
+    for (const auto &[A, V] : Src.Slots) {
+      auto It = Dst.Slots.find(A);
+      if (It == Dst.Slots.end())
+        Dst.Slots[A] = V; // other side is Bottom, the join identity
+      else
+        It->second = joinPtr(It->second, V);
+    }
+    for (size_t I = 0; I < Dst.Roots.size(); ++I) {
+      RootState &D = Dst.Roots[I];
+      const RootState &O = Src.Roots[I];
+      D.LS = joinLifetime(D.LS, O.LS);
+      D.AllInit |= O.AllInit;
+      D.MayInit.uniteWith(O.MayInit);
+    }
+  }
+
+  void transfer(const Instruction *I, State &S) {
+    switch (I->getOpcode()) {
+    case Instruction::OpAlloca:
+      S.Roots[rootOf(I)] = RootState{Lifetime::Live, false, {}};
+      break;
+    case Instruction::OpMalloc:
+      S.Roots[rootOf(I)] = RootState{Lifetime::Live, false, {}};
+      break;
+    case Instruction::OpCalloc:
+      S.Roots[rootOf(I)] = RootState{Lifetime::Live, true, {}};
+      break;
+    case Instruction::OpRealloc: {
+      const auto *RA = cast<ReallocInst>(I);
+      PtrVal Old = resolve(RA->getPtr(), S);
+      if (Old.K == PtrVal::Obj) {
+        RootState &RS = S.Roots[Old.Root];
+        if (RS.LS == Lifetime::Freed)
+          report(LintKind::UseAfterFree, DiagSeverity::Error, I,
+                 "realloc of '" + Roots[Old.Root].Label +
+                     "', which is already freed on every path here",
+                 rootFact(Old.Root, RS));
+        if (!Opts.InjectLifetimeBug && RS.LS != Lifetime::Untracked)
+          RS.LS = Lifetime::Freed; // realloc releases the old block
+      }
+      // The new block carries the old contents; its tail is filled by
+      // the allocator, so no uninitialized-read claim is safe.
+      S.Roots[rootOf(I)] = RootState{Lifetime::Live, true, {}};
+      break;
+    }
+    case Instruction::OpLoad: {
+      const auto *L = cast<LoadInst>(I);
+      PtrVal P = resolve(L->getPointer(), S);
+      checkAccess(I, P, S, /*Write=*/false,
+                  L->getType()->isVoid() ? 0 : L->getType()->getSize());
+      break;
+    }
+    case Instruction::OpStore: {
+      const auto *St = cast<StoreInst>(I);
+      const Value *V = St->getStoredValue();
+      PtrVal Dst = resolve(St->getPointer(), S);
+      uint64_t Sz = V->getType()->getSize();
+      checkAccess(I, Dst, S, /*Write=*/true, Sz);
+      if (Dst.K == PtrVal::Obj) {
+        RootState &RS = S.Roots[Dst.Root];
+        if (Dst.Off >= 0)
+          RS.MayInit.add(static_cast<uint64_t>(Dst.Off),
+                         static_cast<uint64_t>(Dst.Off) + Sz);
+        else
+          RS.AllInit = true;
+      }
+      const auto *A = dyn_cast<AllocaInst>(St->getPointer());
+      if (A && Slots.count(A)) {
+        PtrVal SV = resolve(V, S);
+        if (SV.K == PtrVal::Bottom)
+          S.Slots.erase(A);
+        else
+          S.Slots[A] = SV;
+      } else if (V->getType()->isPointer()) {
+        // A pointer stored into untracked memory can resurface through
+        // any later load: stop making claims about its target.
+        PtrVal SV = resolve(V, S);
+        if (SV.K == PtrVal::Obj)
+          escape(SV.Root, S);
+      }
+      break;
+    }
+    case Instruction::OpFree: {
+      if (Opts.InjectLifetimeBug)
+        break; // injected checker bug: lifetime tracking ignores free()
+      PtrVal P = resolve(cast<FreeInst>(I)->getPtr(), S);
+      if (P.K != PtrVal::Obj)
+        break;
+      RootState &RS = S.Roots[P.Root];
+      const RootInfo &RI = Roots[P.Root];
+      if (RS.LS == Lifetime::Untracked)
+        break;
+      if (!RI.Heap) {
+        report(LintKind::InvalidFree, DiagSeverity::Error, I,
+               "free of non-heap memory '" + RI.Label + "'",
+               rootFact(P.Root, RS));
+      } else if (P.Off > 0) {
+        report(LintKind::InvalidFree, DiagSeverity::Error, I,
+               formatString("free of interior pointer into '%s' (offset %lld)",
+                            RI.Label.c_str(),
+                            static_cast<long long>(P.Off)),
+               rootFact(P.Root, RS));
+      } else if (P.Off < 0) {
+        // Unknown offset: the free may be interior or the base; no claim
+        // about this root is valid past it.
+        escape(P.Root, S);
+      } else if (RS.LS == Lifetime::Freed) {
+        report(LintKind::DoubleFree, DiagSeverity::Error, I,
+               "double free of '" + RI.Label +
+                   "': already freed on every path here",
+               rootFact(P.Root, RS));
+      } else {
+        RS.LS = Lifetime::Freed;
+      }
+      break;
+    }
+    case Instruction::OpMemset: {
+      const auto *MS = cast<MemsetInst>(I);
+      PtrVal Dst = resolve(MS->getPtr(), S);
+      checkAccess(I, Dst, S, /*Write=*/true, 0);
+      if (Dst.K == PtrVal::Obj)
+        S.Roots[Dst.Root].AllInit = true;
+      break;
+    }
+    case Instruction::OpMemcpy: {
+      const auto *MC = cast<MemcpyInst>(I);
+      PtrVal Dst = resolve(MC->getDst(), S);
+      checkAccess(I, Dst, S, /*Write=*/true, 0);
+      if (Dst.K == PtrVal::Obj)
+        S.Roots[Dst.Root].AllInit = true;
+      PtrVal Src = resolve(MC->getSrc(), S);
+      checkAccess(I, Src, S, /*Write=*/false, 0);
+      break;
+    }
+    case Instruction::OpPtrToInt: {
+      // The address can round-trip through integers out of sight.
+      PtrVal P = resolve(cast<CastInst>(I)->getCastOperand(), S);
+      if (P.K == PtrVal::Obj)
+        escape(P.Root, S);
+      break;
+    }
+    case Instruction::OpCall:
+    case Instruction::OpICall: {
+      for (const Value *Op : I->operands()) {
+        if (!Op->getType()->isPointer())
+          continue;
+        PtrVal P = resolve(Op, S);
+        if (P.K == PtrVal::Obj)
+          escape(P.Root, S);
+      }
+      break;
+    }
+    case Instruction::OpRet: {
+      const auto *R = cast<RetInst>(I);
+      if (R->hasValue() && R->getValue()->getType()->isPointer()) {
+        PtrVal P = resolve(R->getValue(), S);
+        if (P.K == PtrVal::Obj)
+          escape(P.Root, S);
+      }
+      if (Out) {
+        for (size_t RId = 0; RId < S.Roots.size(); ++RId) {
+          if (!Roots[RId].Heap)
+            continue;
+          if (S.Roots[RId].LS == Lifetime::Live)
+            report(LintKind::Leak, DiagSeverity::Warning, I,
+                   "heap allocation '" + Roots[RId].Label +
+                       "' is never freed on any path reaching this return "
+                       "and never escapes",
+                   rootFact(static_cast<unsigned>(RId), S.Roots[RId]));
+          else if (S.Roots[RId].LS == Lifetime::MaybeFreed)
+            Result.HeapCoverageComplete = false; // freed on some paths only
+        }
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  /// Path-sensitivity at conditional branches: `p == null` (or `!=`)
+  /// over a slot load refines the slot on both edges.
+  void edge(const BasicBlock *From, const BasicBlock *To, State &S) const {
+    const Instruction *T = From->getTerminator();
+    const auto *CB = T ? dyn_cast<CondBrInst>(T) : nullptr;
+    if (!CB || CB->getTrueTarget() == CB->getFalseTarget())
+      return;
+    const auto *Cmp = dyn_cast<CmpInst>(CB->getCondition());
+    if (!Cmp || (Cmp->getOpcode() != Instruction::OpICmpEQ &&
+                 Cmp->getOpcode() != Instruction::OpICmpNE))
+      return;
+    auto SlotOf = [&](const Value *V) -> const AllocaInst * {
+      const auto *Ld = dyn_cast<LoadInst>(V);
+      if (!Ld)
+        return nullptr;
+      const auto *A = dyn_cast<AllocaInst>(Ld->getPointer());
+      return (A && Slots.count(A)) ? A : nullptr;
+    };
+    const AllocaInst *A = nullptr;
+    if (isa<ConstantNull>(Cmp->getRHS()))
+      A = SlotOf(Cmp->getLHS());
+    else if (isa<ConstantNull>(Cmp->getLHS()))
+      A = SlotOf(Cmp->getRHS());
+    if (!A)
+      return;
+    bool NullEdge = (To == CB->getTrueTarget()) ==
+                    (Cmp->getOpcode() == Instruction::OpICmpEQ);
+    if (NullEdge) {
+      S.Slots[A] = PtrVal::null();
+    } else {
+      auto It = S.Slots.find(A);
+      if (It != S.Slots.end() && It->second.K == PtrVal::Null)
+        It->second = PtrVal::unknown();
+    }
+  }
+
+  /// Switches the client into the reporting walk.
+  void setReporting(bool On) { Out = On; }
+
+  bool anyHeapEscaped() const { return AnyHeapEscape; }
+  bool hasHeapRoots() const {
+    for (const RootInfo &RI : Roots)
+      if (RI.Heap)
+        return true;
+    return false;
+  }
+
+private:
+  static PtrVal joinPtr(const PtrVal &A, const PtrVal &B) {
+    if (A == B)
+      return A;
+    if (A.K == PtrVal::Bottom)
+      return B;
+    if (B.K == PtrVal::Bottom)
+      return A;
+    if (A.K == PtrVal::Obj && B.K == PtrVal::Obj && A.Root == B.Root)
+      return PtrVal::obj(A.Root, -1);
+    return PtrVal::unknown();
+  }
+
+  static Lifetime joinLifetime(Lifetime A, Lifetime B) {
+    if (A == B)
+      return A;
+    if (A == Lifetime::Untracked || B == Lifetime::Untracked)
+      return Lifetime::Untracked;
+    return Lifetime::MaybeFreed;
+  }
+
+  void collectRoots() {
+    for (const auto &BB : F.blocks()) {
+      for (const auto &I : BB->instructions()) {
+        Instruction::Opcode Op = I->getOpcode();
+        if (Op != Instruction::OpAlloca && Op != Instruction::OpMalloc &&
+            Op != Instruction::OpCalloc && Op != Instruction::OpRealloc)
+          continue;
+        RootInfo RI;
+        RI.Origin = I.get();
+        RI.Heap = Op != Instruction::OpAlloca;
+        RI.ZeroInit = Op == Instruction::OpCalloc;
+        RI.Preserves = Op == Instruction::OpRealloc;
+        RI.Label = I->getName().empty()
+                       ? Instruction::getOpcodeName(Op)
+                       : I->getName();
+        RootIds[I.get()] = static_cast<unsigned>(Roots.size());
+        Roots.push_back(std::move(RI));
+      }
+    }
+  }
+
+  /// A slot is a pointer-typed alloca whose address never escapes: every
+  /// user is a load from it or a store *to* it (never of it).
+  void collectSlots() {
+    for (const auto &BB : F.blocks()) {
+      for (const auto &I : BB->instructions()) {
+        const auto *A = dyn_cast<AllocaInst>(I.get());
+        if (!A || !A->getAllocatedType()->isPointer())
+          continue;
+        bool IsSlot = true;
+        for (const Instruction *U : A->users()) {
+          if (isa<LoadInst>(U))
+            continue;
+          const auto *St = dyn_cast<StoreInst>(U);
+          if (St && St->getPointer() == A && St->getStoredValue() != A)
+            continue;
+          IsSlot = false;
+          break;
+        }
+        if (IsSlot)
+          Slots.insert(A);
+      }
+    }
+  }
+
+  unsigned rootOf(const Instruction *I) const {
+    auto It = RootIds.find(I);
+    return It->second;
+  }
+
+  /// Resolves a pointer expression to an abstract value under \p S.
+  /// Chains are re-resolved at each use; this is exact for the
+  /// frontend's statement-at-a-time code shape, where an address chain
+  /// never outlives the statement that loads its slot inputs.
+  PtrVal resolve(const Value *V, const State &S, unsigned Depth = 0) const {
+    if (Depth > 32)
+      return PtrVal::unknown();
+    if (isa<ConstantNull>(V))
+      return PtrVal::null();
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I)
+      return PtrVal::unknown();
+    switch (I->getOpcode()) {
+    case Instruction::OpAlloca:
+    case Instruction::OpMalloc:
+    case Instruction::OpCalloc:
+    case Instruction::OpRealloc:
+      return PtrVal::obj(rootOf(I), 0);
+    case Instruction::OpBitcast:
+      return resolve(cast<CastInst>(I)->getCastOperand(), S, Depth + 1);
+    case Instruction::OpIndexAddr: {
+      const auto *IA = cast<IndexAddrInst>(I);
+      PtrVal B = resolve(IA->getBase(), S, Depth + 1);
+      if (B.K != PtrVal::Obj)
+        return B;
+      const auto *CI = dyn_cast<ConstantInt>(IA->getIndex());
+      if (!CI || B.Off < 0)
+        return PtrVal::obj(B.Root, -1);
+      uint64_t Elem =
+          cast<PointerType>(IA->getBase()->getType())->getPointee()->getSize();
+      int64_t Off = B.Off + CI->getValue() * static_cast<int64_t>(Elem);
+      return PtrVal::obj(B.Root, Off < 0 ? -1 : Off);
+    }
+    case Instruction::OpFieldAddr: {
+      const auto *FA = cast<FieldAddrInst>(I);
+      PtrVal B = resolve(FA->getBase(), S, Depth + 1);
+      if (B.K != PtrVal::Obj || B.Off < 0)
+        return B.K == PtrVal::Obj ? PtrVal::obj(B.Root, -1) : B;
+      return PtrVal::obj(B.Root,
+                         B.Off + static_cast<int64_t>(FA->getField().Offset));
+    }
+    case Instruction::OpLoad: {
+      const auto *A = dyn_cast<AllocaInst>(cast<LoadInst>(I)->getPointer());
+      if (A && Slots.count(A)) {
+        auto It = S.Slots.find(A);
+        return It == S.Slots.end() ? PtrVal{} : It->second;
+      }
+      return PtrVal::unknown();
+    }
+    default:
+      return PtrVal::unknown();
+    }
+  }
+
+  /// The shared hazard checks for a resolved access (load/store/stream).
+  /// \p Size is the accessed byte count (0 = unknown, skips the
+  /// uninitialized check).
+  void checkAccess(const Instruction *I, const PtrVal &P, const State &S,
+                   bool Write, uint64_t Size) {
+    if (P.K == PtrVal::Null) {
+      report(LintKind::NullDeref, DiagSeverity::Error, I,
+             std::string(Write ? "store through" : "read through") +
+                 " a pointer that is null on every path here",
+             "value=null");
+      return;
+    }
+    if (P.K != PtrVal::Obj)
+      return;
+    const RootState &RS = S.Roots[P.Root];
+    const RootInfo &RI = Roots[P.Root];
+    if (RS.LS == Lifetime::Freed) {
+      report(LintKind::UseAfterFree, DiagSeverity::Error, I,
+             std::string(Write ? "store into" : "read of") + " '" + RI.Label +
+                 "', which is freed on every path here",
+             rootFact(P.Root, RS));
+      return;
+    }
+    if (Write || Size == 0 || P.Off < 0)
+      return;
+    if (RS.LS == Lifetime::Untracked || RS.AllInit)
+      return;
+    uint64_t B = static_cast<uint64_t>(P.Off);
+    if (!RS.MayInit.intersects(B, B + Size))
+      report(LintKind::UninitRead, DiagSeverity::Error, I,
+             formatString("read of bytes [%llu, %llu) of '%s', which no "
+                          "path has initialized",
+                          static_cast<unsigned long long>(B),
+                          static_cast<unsigned long long>(B + Size),
+                          RI.Label.c_str()),
+             rootFact(P.Root, RS));
+  }
+
+  void escape(unsigned Root, State &S) {
+    RootState &RS = S.Roots[Root];
+    if (Roots[Root].Heap)
+      AnyHeapEscape = true;
+    RS.LS = Lifetime::Untracked;
+    RS.AllInit = true;
+  }
+
+  std::string rootFact(unsigned Root, const RootState &RS) const {
+    const char *LS = "?";
+    switch (RS.LS) {
+    case Lifetime::Untracked:
+      LS = "untracked";
+      break;
+    case Lifetime::Live:
+      LS = "live";
+      break;
+    case Lifetime::Freed:
+      LS = "freed";
+      break;
+    case Lifetime::MaybeFreed:
+      LS = "maybe-freed";
+      break;
+    }
+    return formatString("root=%s:'%s'; state=%s%s",
+                        Roots[Root].Heap ? "heap" : "stack",
+                        Roots[Root].Label.c_str(), LS,
+                        RS.AllInit ? "; all-init" : "");
+  }
+
+  void report(LintKind K, DiagSeverity Sev, const Instruction *I,
+              std::string Msg, std::string Fact) {
+    if (!Out)
+      return;
+    LintFinding LF;
+    LF.Kind = K;
+    LF.Severity = Sev;
+    LF.Function = F.getName();
+    LF.Inst = I;
+    LF.Message = std::move(Msg);
+    LF.Fact = std::move(Fact);
+    Result.Findings.push_back(std::move(LF));
+  }
+
+  const Function &F;
+  const LintOptions &Opts;
+  LintResult &Result;
+  std::map<const Instruction *, unsigned> RootIds;
+  std::vector<RootInfo> Roots;
+  std::set<const AllocaInst *> Slots;
+  bool AnyHeapEscape = false;
+  /// True during the reporting walk only; the fixpoint stays silent.
+  bool Out = false;
+};
+
+} // namespace
+
+void slo::lint_detail::checkMemorySafety(const Function &F,
+                                         const LintOptions &Opts,
+                                         LintResult &R) {
+  if (F.isDeclaration())
+    return;
+  MemorySafetyClient Client(F, Opts, R);
+  DominatorTree DT(F);
+  DataflowSolver<MemorySafetyClient> Solver(F, DT, Client,
+                                            DataflowDirection::Forward);
+  DataflowStats Stats = Solver.run();
+  if (!Stats.Converged) {
+    ++R.BailedFunctions;
+    if (Client.hasHeapRoots())
+      R.HeapCoverageComplete = false;
+    return;
+  }
+  // Reporting walk: re-apply the transfer from each converged block
+  // entry; the fixpoint above guarantees the walk sees final states.
+  Client.setReporting(true);
+  for (const auto &BB : F.blocks()) {
+    const auto *BS = Solver.get(BB.get());
+    if (!BS)
+      continue;
+    MemState S = BS->Entry;
+    for (const auto &I : BB->instructions())
+      Client.transfer(I.get(), S);
+  }
+  if (Client.anyHeapEscaped())
+    R.HeapCoverageComplete = false;
+}

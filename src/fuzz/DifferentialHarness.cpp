@@ -5,6 +5,7 @@
 #include "analysis/Legality.h"
 #include "analysis/LegalityRefine.h"
 #include "analysis/PointsTo.h"
+#include "analysis/lint/Lint.h"
 #include "frontend/Frontend.h"
 #include "ir/Verifier.h"
 #include "observability/MissAttribution.h"
@@ -39,6 +40,8 @@ const char *slo::fuzzOracleName(FuzzOracle O) {
     return "attribution";
   case FuzzOracle::Profile:
     return "profile";
+  case FuzzOracle::Lint:
+    return "lint";
   }
   return "?";
 }
@@ -138,6 +141,53 @@ DifferentialOutcome slo::runDifferential(const std::string &Name,
                 Diags.empty() ? "compile failed (second context)"
                               : Diags.front());
 
+  // FE analyses and the lint suite run on the pre-transform module, up
+  // front, so the lint verdict exists before the behaviour it predicts
+  // is observed.
+  LegalityResult Legal = analyzeLegality(*OptM);
+  if (Opts.InjectLegalityBug) {
+    uint32_t Strip = violationBit(Violation::CSTT) |
+                     violationBit(Violation::CSTF) |
+                     violationBit(Violation::ATKN);
+    for (RecordType *Rec : Legal.types())
+      Legal.getOrCreate(Rec).Violations &= ~Strip;
+  }
+  PointsToResult PT = analyzePointsTo(*OptM);
+  LintResult LintR;
+  if (Opts.CheckLint) {
+    LintOptions LO;
+    LO.InjectLifetimeBug = Opts.InjectLintBug;
+    LintR = runLint(*OptM, &PT, &Legal, LO);
+    // The missed-finding direction for injected hazards: the planted
+    // bug is statically definite, so its finding class must be present.
+    if (Opts.ExpectedHazard == HazardKind::DanglingUse &&
+        !LintR.has(LintKind::UseAfterFree))
+      return fail(FuzzOracle::Lint,
+                  "injected dangling use not flagged by lint");
+    if (Opts.ExpectedHazard == HazardKind::UninitRead &&
+        !LintR.has(LintKind::UninitRead))
+      return fail(FuzzOracle::Lint,
+                  "injected uninitialized read not flagged by lint");
+    // The false-positive direction: generated programs are hazard-free
+    // by construction, and every lint claim is definite, so any
+    // Error-severity finding outside the injected class is a checker
+    // bug.
+    for (const LintFinding &F : LintR.Findings) {
+      if (F.Severity != DiagSeverity::Error)
+        continue;
+      if (Opts.ExpectedHazard == HazardKind::DanglingUse &&
+          F.Kind == LintKind::UseAfterFree)
+        continue;
+      if (Opts.ExpectedHazard == HazardKind::UninitRead &&
+          F.Kind == LintKind::UninitRead)
+        continue;
+      return fail(FuzzOracle::Lint,
+                  formatString("lint false positive (%s in '%s'): %s",
+                               lintKindName(F.Kind), F.Function.c_str(),
+                               F.Message.c_str()));
+    }
+  }
+
   // Sampled-profiles mode: the base run doubles as the collection run.
   const bool Sampled = Opts.SampledProfilePeriod > 0;
   FeedbackFile BaseProfile;
@@ -155,12 +205,39 @@ DifferentialOutcome slo::runDifferential(const std::string &Name,
                          Sampled ? &BaseProfile : nullptr,
                          Sampled ? &Pmu : nullptr);
   if (Base.Trapped) {
+    // The interpreter's only free-time trap is a bad free; lint claims
+    // completeness for the definite cases, so an unpredicted free trap
+    // indicts the lint suite rather than the program.
+    if (Opts.CheckLint &&
+        Base.TrapReason.find("free of a non-heap address") !=
+            std::string::npos &&
+        !LintR.has(LintKind::InvalidFree) && !LintR.has(LintKind::DoubleFree) &&
+        !LintR.has(LintKind::UseAfterFree))
+      return fail(FuzzOracle::Lint,
+                  "base run trapped ('" + Base.TrapReason +
+                      "') but lint reported no free-related finding");
     DifferentialOutcome R = fail(FuzzOracle::BaseTrap, Base.TrapReason);
     R.Base = Base;
     return R;
   }
   if (!Partition)
     return fail(FuzzOracle::Attribution, "base run: " + PartitionDetail);
+
+  // Leak cross-check: lint's leak verdict is definite, and complete
+  // when it tracked every heap allocation to a free or a return.
+  if (Opts.CheckLint) {
+    if (LintR.has(LintKind::Leak) && Base.HeapLiveAllocs == 0)
+      return fail(FuzzOracle::Lint,
+                  "lint reported a definite leak but the base run freed "
+                  "every allocation");
+    if (Base.HeapLiveAllocs > 0 && !LintR.has(LintKind::Leak) &&
+        LintR.HeapCoverageComplete && LintR.BailedFunctions == 0)
+      return fail(
+          FuzzOracle::Lint,
+          formatString("base run leaked %llu allocation(s) but lint, with "
+                       "complete heap coverage, reported none",
+                       static_cast<unsigned long long>(Base.HeapLiveAllocs)));
+  }
 
   // The profile was keyed by the base module's IR; the transform-side
   // compilation consumes it the way production does — through the
@@ -180,18 +257,11 @@ DifferentialOutcome slo::runDifferential(const std::string &Name,
                                MR.DroppedEntries));
   }
 
-  // FE: legality + points-to + per-site proofs, on the module that will
-  // be transformed.
-  LegalityResult Legal = analyzeLegality(*OptM);
-  if (Opts.InjectLegalityBug) {
-    uint32_t Strip = violationBit(Violation::CSTT) |
-                     violationBit(Violation::CSTF) |
-                     violationBit(Violation::ATKN);
-    for (RecordType *Rec : Legal.types())
-      Legal.getOrCreate(Rec).Violations &= ~Strip;
-  }
-  PointsToResult PT = analyzePointsTo(*OptM);
-  RefinementResult Refined = refineLegality(*OptM, Legal, PT);
+  // Per-site proofs; lint's layout pinnings demote punned types out of
+  // Proven, exactly like the production pipeline.
+  RefinementResult Refined =
+      refineLegality(*OptM, Legal, PT, nullptr,
+                     Opts.CheckLint ? &LintR.Pinnings : nullptr);
   if (!Opts.InjectLegalityBug) {
     // The invariant is deliberately unchecked under injection: stripping
     // bits falsifies the Legal set itself, and the point of the

@@ -26,6 +26,15 @@
 ///                simulator's first-level miss events exactly, in both
 ///                the base and the transformed run.
 ///
+///   Lint         the static lint suite's must-claims agree with the
+///                base run: no Error-severity memory finding on a
+///                hazard-free generated program (every claim is
+///                definite, so one false positive is a checker bug), an
+///                injected hazard's finding class is present, a free
+///                trap is predicted by a free-related finding, and the
+///                leak verdict matches the heap census whenever lint
+///                tracked every heap allocation.
+///
 /// A fifth mode (sampled profiles) makes the planner consume a sampled
 /// d-cache profile collected on the base run and round-tripped through
 /// the feedback text format, instead of static estimates — every oracle
@@ -42,6 +51,7 @@
 #define SLO_FUZZ_DIFFERENTIALHARNESS_H
 
 #include "analysis/WeightSchemes.h"
+#include "fuzz/ProgramFuzzer.h"
 #include "runtime/Interpreter.h"
 #include "transform/LayoutPlanner.h"
 
@@ -61,6 +71,7 @@ enum class FuzzOracle {
   Legality,    // Legal <= Proven <= Relax (or escape admission) broken
   Attribution, // site misses do not partition the miss events
   Profile,     // sampled profile failed the feedback-format round-trip
+  Lint,        // static lint verdict contradicts observed behaviour
 };
 
 const char *fuzzOracleName(FuzzOracle O);
@@ -81,6 +92,23 @@ struct DifferentialOptions {
   /// test proves the Output oracle catches this and the reducer shrinks
   /// the witness.
   bool InjectLegalityBug = false;
+  /// Run the lint suite on the pre-transform module and cross-check the
+  /// static verdicts against observed behaviour (the sixth oracle):
+  /// generated programs are hazard-free by construction, so any
+  /// Error-severity memory finding is a lint false positive; a base-run
+  /// free trap or a heap leak that lint (with complete heap coverage)
+  /// did not predict is a missed finding. Lint pinnings also feed the
+  /// refinement, exactly like the production pipeline.
+  bool CheckLint = true;
+  /// Test-only fault injection: thread LintOptions::InjectLifetimeBug
+  /// through runLint, making it blind to free(). With an injected
+  /// dangling-use hazard this must flip the run into a Lint-oracle
+  /// failure, proving the oracle is not vacuous.
+  bool InjectLintBug = false;
+  /// The hazard injectHazard() planted into the program, if any; the
+  /// lint oracle then *requires* the corresponding finding class and
+  /// tolerates exactly that class.
+  HazardKind ExpectedHazard = HazardKind::None;
   /// Guard for generated programs; both runs share it.
   uint64_t MaxInstructions = 200000000ull;
   /// Sampled-profiles mode: when nonzero, the base run also collects a

@@ -496,3 +496,50 @@ FuzzConfig slo::randomFuzzConfig(uint64_t Seed) {
   C.MaxIterations = 1 + static_cast<unsigned>(R.nextBelow(4));
   return C;
 }
+
+//===----------------------------------------------------------------------===//
+// Hazard injection
+//===----------------------------------------------------------------------===//
+
+const char *slo::hazardKindName(HazardKind K) {
+  switch (K) {
+  case HazardKind::None:
+    return "none";
+  case HazardKind::DanglingUse:
+    return "dangling-use";
+  case HazardKind::UninitRead:
+    return "uninit-read";
+  }
+  return "?";
+}
+
+void slo::injectHazard(FuzzProgram &P, HazardKind K) {
+  if (K == HazardKind::None)
+    return;
+  P.Banner.push_back(std::string("injected hazard: ") + hazardKindName(K));
+  std::vector<std::string> &B = P.MainBody;
+  if (!P.Structs.empty()) {
+    // f0/f1 are always plain longs in generated structs.
+    std::string ST = "struct " + P.Structs.front().Name;
+    B.push_back(formatString("%s *hz = (%s*) malloc(2 * sizeof(%s));",
+                             ST.c_str(), ST.c_str(), ST.c_str()));
+    if (K == HazardKind::DanglingUse) {
+      B.push_back("hz[0].f0 = 7;");
+      B.push_back("free(hz);");
+      B.push_back("print_i64(hz[0].f0);"); // freed memory is not poisoned
+    } else {
+      B.push_back("print_i64(hz[1].f1);"); // fresh heap fill is deterministic
+      B.push_back("free(hz);");
+    }
+  } else {
+    B.push_back("long *hz = (long*) malloc(4 * sizeof(long));");
+    if (K == HazardKind::DanglingUse) {
+      B.push_back("hz[0] = 7;");
+      B.push_back("free(hz);");
+      B.push_back("print_i64(hz[0]);");
+    } else {
+      B.push_back("print_i64(hz[1]);");
+      B.push_back("free(hz);");
+    }
+  }
+}

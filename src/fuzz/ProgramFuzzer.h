@@ -132,6 +132,26 @@ struct FuzzProgram {
 /// program, on every platform.
 FuzzProgram generateFuzzProgram(const FuzzConfig &Cfg);
 
+/// A memory hazard injectHazard can plant into a generated program.
+/// Both hazards are chosen to be *dynamically silent*: the interpreter
+/// fills fresh heap memory with a deterministic pattern and does not
+/// poison freed blocks, so the injected program still runs identically
+/// with and without transforms — only the lint verdict distinguishes a
+/// hazardous program from a clean one, which is exactly what the
+/// differential lint oracle cross-checks.
+enum class HazardKind {
+  None,
+  DanglingUse, // write, free, then read the freed block
+  UninitRead,  // read a freshly malloc'ed field no one wrote
+};
+
+const char *hazardKindName(HazardKind K);
+
+/// Appends a self-contained statement block with the given hazard to
+/// \p P's main. Uses the program's first struct when one exists (so the
+/// hazard exercises field offsets), a plain long array otherwise.
+void injectHazard(FuzzProgram &P, HazardKind K);
+
 /// Samples a configuration for sweep \p Seed: knob values are themselves
 /// randomized (within validity-preserving bounds) so a seed sweep covers
 /// different regions of the feature space, not just different dice rolls

@@ -50,7 +50,7 @@ PipelineResult slo::runStructLayoutPipeline(Module &M,
     TraceSpan S(Opts.Trace, "FE/legality", "phase");
     R.Legality = analyzeLegality(M, Opts.Legality);
   }
-  if (Opts.UseProvenLegality) {
+  if (Opts.UseProvenLegality || Opts.Lint) {
     PointsToResult PT;
     {
       TraceSpan S(Opts.Trace, "FE/points-to", "phase");
@@ -58,8 +58,18 @@ PipelineResult slo::runStructLayoutPipeline(Module &M,
     }
     PTStats = PT.stats();
     HavePT = true;
-    TraceSpan S(Opts.Trace, "FE/refine-legality", "phase");
-    R.Refined = refineLegality(M, R.Legality, PT, &R.Diags);
+    if (Opts.Lint) {
+      LintOptions LO;
+      LO.Trace = Opts.Trace;
+      LO.Counters = Opts.Counters;
+      R.Lint = runLint(M, &PT, &R.Legality, LO);
+      reportLintFindings(R.Lint, R.Diags);
+    }
+    if (Opts.UseProvenLegality) {
+      TraceSpan S(Opts.Trace, "FE/refine-legality", "phase");
+      R.Refined = refineLegality(M, R.Legality, PT, &R.Diags,
+                                 Opts.Lint ? &R.Lint.Pinnings : nullptr);
+    }
   }
 
   // IPA phase: profitability analysis under the selected weighting.

@@ -29,6 +29,7 @@
 #include "analysis/Legality.h"
 #include "analysis/LegalityRefine.h"
 #include "analysis/WeightSchemes.h"
+#include "analysis/lint/Lint.h"
 #include "support/Diagnostics.h"
 #include "transform/LayoutPlanner.h"
 #include "transform/Transform.h"
@@ -52,6 +53,12 @@ struct PipelineOptions {
   /// Run the points-to refinement and let per-site proofs (not the Relax
   /// flag) admit types the blanket legality tests rejected.
   bool UseProvenLegality = true;
+  /// Run the lint suite (analysis/lint/) between points-to and the
+  /// refinement. Findings land in PipelineResult::Lint (and in Diags),
+  /// and layout pinnings demote punned types out of Proven before the
+  /// planner sees them. Requires UseProvenLegality for the pinnings to
+  /// matter (lint still runs and reports without it).
+  bool Lint = false;
 
   /// Observability hooks, both default off (null). Trace records one
   /// span per FE/IPA/BE stage; Counters receives "pipeline.*",
@@ -66,8 +73,11 @@ struct PipelineResult {
   /// populated when PipelineOptions::UseProvenLegality is set.
   RefinementResult Refined;
   /// Structured diagnostics from the refinement (discharges, failures,
-  /// notes); render with DiagnosticEngine::renderText/renderJson.
+  /// notes) and, under PipelineOptions::Lint, one per lint finding;
+  /// render with DiagnosticEngine::renderText/renderJson.
   DiagnosticEngine Diags;
+  /// Lint findings and pinnings (PipelineOptions::Lint only).
+  LintResult Lint;
   FieldStatsResult Stats;
   std::vector<TypePlan> Plans;
   TransformSummary Summary;

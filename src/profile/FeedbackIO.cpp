@@ -132,6 +132,10 @@ FeedbackMatchResult slo::deserializeFeedback(const Module &M,
     for (const auto &BB : F->blocks())
       Blocks[{F.get(), BB->getNumber()}] = BB.get();
 
+  // Records are staged into a scratch file and only folded into \p FB
+  // once the whole text (trailer included) has been validated: a merge
+  // of a corrupt or truncated profile must not half-apply.
+  FeedbackFile Staged;
   std::string Line;
   unsigned LineNo = 1;
   unsigned Records = 0;
@@ -158,7 +162,7 @@ FeedbackMatchResult slo::deserializeFeedback(const Module &M,
         ++PS.Result.DroppedEntries;
         continue;
       }
-      FB.countEntry(F, N);
+      Staged.countEntry(F, N);
       ++PS.Result.MatchedEntries;
     } else if (Kind == "edge") {
       uint64_t From, To, N;
@@ -180,7 +184,7 @@ FeedbackMatchResult slo::deserializeFeedback(const Module &M,
         ++PS.Result.DroppedEntries;
         continue;
       }
-      FB.countEdge(FromBB, ToBB, N);
+      Staged.countEdge(FromBB, ToBB, N);
       ++PS.Result.MatchedEntries;
     } else if (Kind == "field") {
       uint64_t Idx, Loads, Stores, Misses;
@@ -197,7 +201,7 @@ FeedbackMatchResult slo::deserializeFeedback(const Module &M,
         ++PS.Result.DroppedEntries;
         continue;
       }
-      FieldCacheStats &S = FB.fieldStats(R, static_cast<unsigned>(Idx));
+      FieldCacheStats &S = Staged.fieldStats(R, static_cast<unsigned>(Idx));
       S.Loads += Loads;
       S.Stores += Stores;
       S.Misses += Misses;
@@ -232,6 +236,7 @@ FeedbackMatchResult slo::deserializeFeedback(const Module &M,
                   formatString("%u profile record(s) no longer match a "
                                "symbol and were dropped",
                                PS.Result.DroppedEntries));
+  FB.merge(Staged);
   PS.Result.Ok = true;
   return PS.Result;
 }

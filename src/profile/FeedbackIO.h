@@ -57,10 +57,12 @@ struct FeedbackMatchResult {
   unsigned DroppedEntries = 0; // Symbols that no longer exist.
 };
 
-/// Parses \p Text and populates \p FB with the records that match \p M
-/// (the PBO use-phase CFG matching). When \p Diags is non-null, parse
-/// failures are additionally reported as structured "feedback" errors
-/// and soft symbol drops as one summarizing warning.
+/// Parses \p Text and merges the records that match \p M into \p FB
+/// (the PBO use-phase CFG matching). The merge is atomic: on any parse
+/// error \p FB is left untouched — a corrupt profile folded into an
+/// existing multi-run accumulation must not half-apply. When \p Diags
+/// is non-null, parse failures are additionally reported as structured
+/// "feedback" errors and soft symbol drops as one summarizing warning.
 FeedbackMatchResult deserializeFeedback(const Module &M,
                                         const std::string &Text,
                                         FeedbackFile &FB,

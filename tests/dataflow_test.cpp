@@ -1,0 +1,225 @@
+//===- tests/dataflow_test.cpp - Generic dataflow solver unit tests -------===//
+
+#include "analysis/Dataflow.h"
+#include "frontend/Frontend.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Instructions.h"
+#include "ir/Module.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace slo;
+
+namespace {
+
+struct Compiled {
+  std::unique_ptr<IRContext> Ctx;
+  std::unique_ptr<Module> M;
+};
+
+Compiled compile(const char *Src) {
+  Compiled C;
+  C.Ctx = std::make_unique<IRContext>();
+  std::vector<std::string> Diags;
+  C.M = compileMiniC(*C.Ctx, "t", Src, Diags);
+  EXPECT_TRUE(C.M) << (Diags.empty() ? "?" : Diags[0]);
+  return C;
+}
+
+const Function *fn(const Compiled &C, const std::string &Name) {
+  for (const auto &F : C.M->functions())
+    if (F->getName() == Name)
+      return F.get();
+  ADD_FAILURE() << "no function " << Name;
+  return nullptr;
+}
+
+/// A may-analysis over the opcodes on paths through the program: the
+/// flow-union of opcode sets. Run forward it answers "which opcodes can
+/// execute before this block"; run backward, "which can execute after".
+struct OpcodeSetClient {
+  using State = std::set<unsigned>;
+  State boundary() const { return {}; }
+  void join(State &Dst, const State &Src) const {
+    Dst.insert(Src.begin(), Src.end());
+  }
+  void transfer(const Instruction *I, State &S) const {
+    S.insert(static_cast<unsigned>(I->getOpcode()));
+  }
+  void edge(const BasicBlock *, const BasicBlock *, State &) const {}
+};
+
+/// A client whose only effect is its edge() hook: each state is the set
+/// of edge labels refined into it, so the test can assert that the two
+/// successors of a conditional branch receive different flow-in.
+struct EdgeLabelClient {
+  using State = std::set<std::string>;
+  State boundary() const { return {}; }
+  void join(State &Dst, const State &Src) const {
+    Dst.insert(Src.begin(), Src.end());
+  }
+  void transfer(const Instruction *, State &) const {}
+  void edge(const BasicBlock *From, const BasicBlock *To, State &S) const {
+    S.insert(From->getName() + "->" + To->getName());
+  }
+};
+
+const char *kBranchy = R"(
+  extern void print_i64(long v);
+  long pick(long n) {
+    long r = 0;
+    if (n > 3) {
+      r = n * 2;
+    } else {
+      r = n + 7;
+    }
+    print_i64(r);
+    return r;
+  }
+  int main() {
+    pick(5);
+    return 0;
+  }
+)";
+
+TEST(DataflowTest, ForwardReachesFixpointAndOrdersStates) {
+  Compiled C = compile(kBranchy);
+  const Function *F = fn(C, "pick");
+  ASSERT_NE(F, nullptr);
+  DominatorTree DT(*F);
+  OpcodeSetClient Client;
+  DataflowSolver<OpcodeSetClient> Solver(*F, DT, Client,
+                                         DataflowDirection::Forward);
+  DataflowStats Stats = Solver.run();
+  EXPECT_TRUE(Stats.Converged);
+  EXPECT_GT(Stats.BlockVisits, 0u);
+
+  // Entry flow-in is the boundary state; its exit contains what it ran.
+  const auto *Entry = Solver.get(F->getEntry());
+  ASSERT_NE(Entry, nullptr);
+  EXPECT_TRUE(Entry->Entry.empty());
+  EXPECT_TRUE(Entry->Exit.count(Instruction::OpAlloca));
+
+  // Every reachable block was solved (unreachable ones stay null), and
+  // the reachable return block has seen the multiply (then-branch), the
+  // add (else-branch), and the call.
+  for (const auto &BB : F->blocks()) {
+    const auto *BS = Solver.get(BB.get());
+    if (!BS)
+      continue; // unreachable (e.g. the dead block after a return)
+    if (isExitBlock(*BB)) {
+      EXPECT_TRUE(BS->Exit.count(Instruction::OpMul));
+      EXPECT_TRUE(BS->Exit.count(Instruction::OpAdd));
+      EXPECT_TRUE(BS->Exit.count(Instruction::OpCall));
+      EXPECT_TRUE(BS->Exit.count(Instruction::OpRet));
+    }
+  }
+}
+
+TEST(DataflowTest, BackwardMirrorsForward) {
+  Compiled C = compile(kBranchy);
+  const Function *F = fn(C, "pick");
+  ASSERT_NE(F, nullptr);
+  DominatorTree DT(*F);
+  OpcodeSetClient Client;
+  DataflowSolver<OpcodeSetClient> Solver(*F, DT, Client,
+                                         DataflowDirection::Backward);
+  DataflowStats Stats = Solver.run();
+  EXPECT_TRUE(Stats.Converged);
+
+  // Program-order semantics: the entry block's Entry state is the full
+  // backward solution — everything that can execute after (= from) the
+  // top of the function, i.e. both branch bodies and the return.
+  const auto *Entry = Solver.get(F->getEntry());
+  ASSERT_NE(Entry, nullptr);
+  EXPECT_TRUE(Entry->Entry.count(Instruction::OpMul));
+  EXPECT_TRUE(Entry->Entry.count(Instruction::OpAdd));
+  EXPECT_TRUE(Entry->Entry.count(Instruction::OpRet));
+  // The backward boundary: an exit block's flow-in (program-order Exit)
+  // is empty; nothing executes after the return.
+  for (const auto &BB : F->blocks())
+    if (isExitBlock(*BB)) {
+      const auto *BS = Solver.get(BB.get());
+      if (!BS)
+        continue; // unreachable exit block
+      EXPECT_TRUE(BS->Exit.empty());
+    }
+}
+
+TEST(DataflowTest, EdgeHookRefinesPerSuccessor) {
+  Compiled C = compile(kBranchy);
+  const Function *F = fn(C, "pick");
+  ASSERT_NE(F, nullptr);
+  DominatorTree DT(*F);
+  EdgeLabelClient Client;
+  DataflowSolver<EdgeLabelClient> Solver(*F, DT, Client,
+                                         DataflowDirection::Forward);
+  ASSERT_TRUE(Solver.run().Converged);
+
+  const BasicBlock *Branch = nullptr;
+  const CondBrInst *CB = nullptr;
+  for (const auto &BB : F->blocks())
+    if (const auto *Cand = dyn_cast<CondBrInst>(BB->getTerminator()))
+      if (Cand->getTrueTarget() != Cand->getFalseTarget()) {
+        Branch = BB.get();
+        CB = Cand;
+        break;
+      }
+  ASSERT_NE(CB, nullptr);
+  const BasicBlock *T = CB->getTrueTarget();
+  const BasicBlock *E = CB->getFalseTarget();
+  std::string TrueLabel = Branch->getName() + "->" + T->getName();
+  std::string FalseLabel = Branch->getName() + "->" + E->getName();
+  const auto *TS = Solver.get(T);
+  const auto *ES = Solver.get(E);
+  ASSERT_NE(TS, nullptr);
+  ASSERT_NE(ES, nullptr);
+  // Each successor sees exactly its own edge refinement.
+  EXPECT_TRUE(TS->Entry.count(TrueLabel));
+  EXPECT_FALSE(TS->Entry.count(FalseLabel));
+  EXPECT_TRUE(ES->Entry.count(FalseLabel));
+  EXPECT_FALSE(ES->Entry.count(TrueLabel));
+}
+
+TEST(DataflowTest, LoopConvergesAndBudgetBails) {
+  Compiled C = compile(R"(
+    long sum(long n) {
+      long s = 0;
+      for (long i = 0; i < n; i++) {
+        s = s + i;
+      }
+      return s;
+    }
+    int main() { return (int) sum(4); }
+  )");
+  const Function *F = fn(C, "sum");
+  ASSERT_NE(F, nullptr);
+  DominatorTree DT(*F);
+  OpcodeSetClient Client;
+  {
+    DataflowSolver<OpcodeSetClient> Solver(*F, DT, Client,
+                                           DataflowDirection::Forward);
+    DataflowStats Stats = Solver.run();
+    EXPECT_TRUE(Stats.Converged);
+    // The loop forces at least one block to be revisited.
+    EXPECT_GT(Stats.BlockVisits, static_cast<unsigned>(F->blocks().size()));
+  }
+  {
+    DataflowSolver<OpcodeSetClient> Solver(*F, DT, Client,
+                                           DataflowDirection::Forward);
+    DataflowStats Stats = Solver.run(/*VisitBudget=*/1);
+    EXPECT_FALSE(Stats.Converged);
+  }
+}
+
+TEST(DataflowTest, DirectionNames) {
+  EXPECT_STREQ(dataflowDirectionName(DataflowDirection::Forward), "forward");
+  EXPECT_STREQ(dataflowDirectionName(DataflowDirection::Backward), "backward");
+}
+
+} // namespace

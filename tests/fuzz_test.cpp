@@ -9,6 +9,10 @@
 //  - a deliberately broken legality analysis (the InjectLegalityBug
 //    hook) is caught by the behavioural oracles and minimized to a
 //    sub-30-line repro by the delta-debugging reducer;
+//  - injected memory hazards (dangling use, uninitialized read) that
+//    are dynamically silent are flagged by the lint oracle, and a
+//    deliberately broken lint (InjectLintBug) fails it; the repro
+//    minimizes below 30 lines against the honest lint verdict;
 //  - the committed seed corpus passes;
 //  - the interpreter's heap-leak census (the LeakCensus oracle's input)
 //    counts unfreed allocations exactly.
@@ -16,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "Oracles.h"
+#include "analysis/lint/Lint.h"
 #include "fuzz/DifferentialHarness.h"
 #include "fuzz/ProgramFuzzer.h"
 #include "fuzz/Reducer.h"
@@ -186,6 +191,91 @@ TEST(DifferentialHarness, InjectedLegalityBugIsCaughtAndMinimized) {
   // And the honest pipeline still accepts the reduced program.
   DifferentialOutcome Honest = runDifferential(Reduced.Name, ReducedSrc);
   EXPECT_TRUE(Honest.Passed) << Honest.Detail << "\n" << ReducedSrc;
+}
+
+//===----------------------------------------------------------------------===//
+// Lint oracle: injected memory hazards
+//===----------------------------------------------------------------------===//
+
+/// The honest lint verdict on a candidate: does a fresh compile + lint
+/// still claim a use-after-free? (The reducer's predicate.)
+bool lintStillFlagsUaf(const FuzzProgram &Candidate) {
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  auto M = compileProgram(Ctx, Candidate.Name, {Candidate.render()}, Diags);
+  if (!M)
+    return false;
+  return runLint(*M).has(LintKind::UseAfterFree);
+}
+
+TEST(DifferentialHarness, InjectedHazardsAreFlaggedByLint) {
+  // Both hazard kinds are dynamically silent by construction (the heap
+  // fill is deterministic and free() does not poison), so only the lint
+  // oracle can tell an injected program from a clean one. ExpectedHazard
+  // makes the harness DEMAND the matching lint finding.
+  for (HazardKind K : {HazardKind::DanglingUse, HazardKind::UninitRead}) {
+    for (uint64_t Seed : {1ull, 2ull, 3ull}) {
+      FuzzProgram P = generateFuzzProgram(randomFuzzConfig(Seed));
+      injectHazard(P, K);
+      std::string Src = P.render();
+
+      // The static verdict itself names the right hazard class.
+      IRContext Ctx;
+      std::vector<std::string> Diags;
+      auto M = compileProgram(Ctx, P.Name, {Src}, Diags);
+      ASSERT_TRUE(M) << (Diags.empty() ? "?" : Diags.front());
+      LintResult L = runLint(*M);
+      EXPECT_TRUE(L.has(K == HazardKind::DanglingUse
+                            ? LintKind::UseAfterFree
+                            : LintKind::UninitRead))
+          << hazardKindName(K) << " seed " << Seed << "\n" << Src;
+
+      // And the full harness passes: lint flags the hazard (satisfying
+      // the expected-hazard check) while the behavioural oracles stay
+      // green on the dynamically-silent program.
+      DifferentialOptions Opts;
+      Opts.ExpectedHazard = K;
+      DifferentialOutcome O = runDifferential(P.Name, Src, Opts);
+      EXPECT_TRUE(O.Passed) << hazardKindName(K) << " seed " << Seed << ": "
+                            << fuzzOracleName(O.Oracle) << ": " << O.Detail;
+    }
+  }
+}
+
+TEST(DifferentialHarness, InjectedLintBugIsCaughtAndMinimized) {
+  // Break the lint lifetime tracking and hand it a program with a real
+  // dangling use: the lint oracle must be the one that fails.
+  FuzzProgram P = generateFuzzProgram(randomFuzzConfig(3));
+  injectHazard(P, HazardKind::DanglingUse);
+  ASSERT_TRUE(lintStillFlagsUaf(P));
+
+  DifferentialOptions Broken;
+  Broken.InjectLintBug = true;
+  Broken.ExpectedHazard = HazardKind::DanglingUse;
+  DifferentialOutcome O = runDifferential(P.Name, P.render(), Broken);
+  ASSERT_FALSE(O.Passed);
+  EXPECT_EQ(O.Oracle, FuzzOracle::Lint) << O.Detail;
+
+  // Delta-debug against the honest lint verdict: the minimized repro
+  // still carries the use-after-free claim and stays tiny.
+  ReduceStats Stats;
+  FuzzProgram Reduced = reduceProgram(P, lintStillFlagsUaf, &Stats);
+  std::string ReducedSrc = Reduced.render();
+  EXPECT_TRUE(lintStillFlagsUaf(Reduced)) << ReducedSrc;
+  EXPECT_GT(Stats.Attempts, 0u);
+  EXPECT_LT(countCodeLines(ReducedSrc), 30u)
+      << "repro not minimal enough (" << countCodeLines(ReducedSrc)
+      << " code lines):\n"
+      << ReducedSrc;
+  // The reduced repro still trips the broken harness the same way...
+  DifferentialOutcome RO = runDifferential(Reduced.Name, ReducedSrc, Broken);
+  EXPECT_FALSE(RO.Passed);
+  EXPECT_EQ(RO.Oracle, FuzzOracle::Lint) << RO.Detail;
+  // ...and passes the honest one.
+  DifferentialOptions Honest;
+  Honest.ExpectedHazard = HazardKind::DanglingUse;
+  DifferentialOutcome HO = runDifferential(Reduced.Name, ReducedSrc, Honest);
+  EXPECT_TRUE(HO.Passed) << fuzzOracleName(HO.Oracle) << ": " << HO.Detail;
 }
 
 //===----------------------------------------------------------------------===//

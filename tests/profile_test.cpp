@@ -265,6 +265,95 @@ TEST(FeedbackFileTest, MergeAccumulatesAllSections) {
   EXPECT_EQ(serializeFeedback(*C.M, Sum), serializeFeedback(*C.M, Twice));
 }
 
+TEST(FeedbackFileTest, MergeOfCorruptProfileLeavesTargetUntouched) {
+  // The multi-run merge flow folds serialized per-run profiles into one
+  // accumulation. A rejected file must not half-apply: every record
+  // before the corruption point would otherwise leak into the target.
+  Compiled C = compile(ProfiledProgram);
+  FeedbackFile Acc;
+  {
+    RunOptions O;
+    O.Profile = &Acc;
+    ASSERT_FALSE(runProgram(*C.M, std::move(O)).Trapped);
+  }
+  std::string Good = serializeFeedback(*C.M, Acc);
+  std::string Before = Good;
+
+  auto ExpectAtomicReject = [&](const std::string &Text, const char *What) {
+    DiagnosticEngine Diags;
+    FeedbackMatchResult MR = deserializeFeedback(*C.M, Text, Acc, &Diags);
+    EXPECT_FALSE(MR.Ok) << What;
+    EXPECT_TRUE(Diags.hasErrors()) << What;
+    EXPECT_EQ(serializeFeedback(*C.M, Acc), Before)
+        << What << ": rejected merge modified the accumulation";
+  };
+
+  // Corrupt v2 trailer: the end line declares the wrong record count
+  // (spliced file), or is garbled outright.
+  size_t EndPos = Good.rfind("end ");
+  ASSERT_NE(EndPos, std::string::npos);
+  ExpectAtomicReject(Good.substr(0, EndPos) + "end 999999\n",
+                     "trailer count mismatch");
+  ExpectAtomicReject(Good.substr(0, EndPos) + "end not-a-number\n",
+                     "garbled trailer");
+
+  // Truncated body: cut mid-record (malformed line) and cut on a line
+  // boundary (missing trailer). Both have valid records before the cut.
+  size_t Mid = Good.find('\n', Good.size() / 2);
+  ASSERT_NE(Mid, std::string::npos);
+  ExpectAtomicReject(Good.substr(0, Mid - 2), "cut mid-record");
+  ExpectAtomicReject(Good.substr(0, Mid + 1), "cut on line boundary");
+
+  // And the intact text still merges: the accumulation exactly doubles.
+  DiagnosticEngine Diags;
+  ASSERT_TRUE(deserializeFeedback(*C.M, Good, Acc, &Diags).Ok);
+  const Function *Main = C.M->lookupFunction("main");
+  FeedbackFile One;
+  ASSERT_TRUE(deserializeFeedback(*C.M, Good, One, &Diags).Ok);
+  EXPECT_EQ(Acc.getEntryCount(Main), 2 * One.getEntryCount(Main));
+}
+
+TEST(FeedbackFileTest, MergeAcrossMismatchedRecordSchemas) {
+  // A profile collected on a compilation whose record schema has since
+  // changed: field records that no longer resolve (renamed record,
+  // out-of-range field index) are dropped softly — the merge succeeds,
+  // reports the drops, and applies everything that still matches.
+  Compiled C = compile(ProfiledProgram);
+  FeedbackFile Acc;
+  {
+    RunOptions O;
+    O.Profile = &Acc;
+    ASSERT_FALSE(runProgram(*C.M, std::move(O)).Trapped);
+  }
+  RecordType *Pt = C.Ctx->getTypes().lookupRecord("pt");
+  ASSERT_NE(Pt, nullptr);
+  const FieldCacheStats *Before = Acc.getFieldStats(Pt, 0);
+  ASSERT_NE(Before, nullptr);
+  uint64_t LoadsBefore = Before->Loads;
+
+  // 'pt' has two fields; index 7 is from a fatter schema. 'ghost' is a
+  // record this module never had.
+  std::string Text = "slo-feedback-v2\n"
+                     "field pt 0 10 0 0 12.5\n"
+                     "field pt 7 99 99 99 1.0\n"
+                     "field ghost 0 5 5 5 2.0\n"
+                     "end 3\n";
+  DiagnosticEngine Diags;
+  FeedbackMatchResult MR = deserializeFeedback(*C.M, Text, Acc, &Diags);
+  EXPECT_TRUE(MR.Ok) << MR.Error;
+  EXPECT_EQ(MR.MatchedEntries, 1u);
+  EXPECT_EQ(MR.DroppedEntries, 2u);
+  EXPECT_FALSE(Diags.hasErrors());
+  // The drop summary surfaces as a warning, not silence.
+  bool SawDropWarning = false;
+  for (const Diagnostic &D : Diags.all())
+    SawDropWarning |= D.Severity == DiagSeverity::Warning;
+  EXPECT_TRUE(SawDropWarning);
+  // The matching record applied; the mismatched ones left no trace.
+  EXPECT_EQ(Acc.getFieldStats(Pt, 0)->Loads, LoadsBefore + 10);
+  EXPECT_EQ(Acc.getFieldStats(Pt, 7), nullptr);
+}
+
 //===----------------------------------------------------------------------===//
 // Global variable layout (GVL)
 //===----------------------------------------------------------------------===//
