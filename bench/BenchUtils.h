@@ -65,6 +65,23 @@ struct RunHooks {
   SampledPmu *Pmu = nullptr;
 };
 
+/// Engine used by every harness run. Set once from --engine=walker|vm
+/// in a harness main; Auto resolves against SLO_ENGINE, defaulting to
+/// the tree walker. Both engines are bit-identical in every simulated
+/// number (cycles, misses, attribution), so the choice only moves wall
+/// time — which is exactly what the bench_compare.py engine gate
+/// watches.
+inline ExecEngine &benchEngine() {
+  static ExecEngine E = ExecEngine::Auto;
+  return E;
+}
+
+/// The resolved engine's name, for artifact labeling (a VM artifact that
+/// says "walker" means the selection silently fell through).
+inline const char *benchEngineName() {
+  return resolveEngine(benchEngine()) == ExecEngine::VM ? "vm" : "walker";
+}
+
 /// Runs with the given parameter set on the scaled hierarchy.
 inline RunResult runWith(const Module &M,
                          const std::map<std::string, int64_t> &Params,
@@ -78,6 +95,7 @@ inline RunResult runWith(const Module &M,
   O.Counters = Hooks.Counters;
   O.Attribution = Hooks.Attribution;
   O.Pmu = Hooks.Pmu;
+  O.Engine = benchEngine();
   RunResult R = runProgram(M, std::move(O));
   if (R.Trapped)
     reportFatalError("benchmark run trapped: " + R.TrapReason);

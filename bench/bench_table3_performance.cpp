@@ -19,14 +19,34 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtils.h"
+#include "examples/DriverUtils.h"
 #include "support/Format.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 
 using namespace slo;
 using namespace slo::bench;
 
 namespace {
+
+/// Host microseconds spent inside simulator runs, summed across the
+/// worker pool. Compile/pipeline time is excluded on purpose: the
+/// engine choice only moves simulation wall time, and this is the
+/// number the bench_compare.py engine gate ratios.
+std::atomic<uint64_t> SimMicros{0};
+
+RunResult timedRun(const Module &M,
+                   const std::map<std::string, int64_t> &Params,
+                   FeedbackFile *Profile, const RunHooks &Hooks) {
+  auto T0 = std::chrono::steady_clock::now();
+  RunResult R = runWith(M, Params, Profile, Hooks);
+  SimMicros += std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - T0)
+                   .count();
+  return R;
+}
 
 struct Row {
   std::string Name;
@@ -51,7 +71,7 @@ Row measure(const Workload &W, bool UsePbo, const RunResult &BaseRun,
   Opts.Trace = Trace;
   if (UsePbo) {
     TraceSpan S(Trace, ("train/" + W.Name).c_str(), "workload");
-    runWith(*B.M, W.TrainParams, &Train, {Trace, nullptr, nullptr});
+    timedRun(*B.M, W.TrainParams, &Train, {Trace, nullptr, nullptr});
     Opts.Scheme = WeightScheme::PBO;
   } else {
     Opts.Scheme = WeightScheme::ISPBO;
@@ -62,7 +82,7 @@ Row measure(const Workload &W, bool UsePbo, const RunResult &BaseRun,
   RunResult Opt;
   {
     TraceSpan S(Trace, ("opt-run/" + W.Name).c_str(), "workload");
-    Opt = runWith(*B.M, W.RefParams, nullptr, {Trace, nullptr, nullptr});
+    Opt = timedRun(*B.M, W.RefParams, nullptr, {Trace, nullptr, nullptr});
   }
   requireSameOutput(BaseRun, Opt, W.Name);
 
@@ -84,7 +104,19 @@ Row measure(const Workload &W, bool UsePbo, const RunResult &BaseRun,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    std::string V;
+    if (driver::valuedFlag("--engine", argc, argv, I, V)) {
+      if (!driver::parseEngineArg("--engine", V, benchEngine()))
+        return 2;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_table3_performance [--engine=walker|vm]\n");
+      return 2;
+    }
+  }
+
   std::printf("Table 3: transformable/transformed types and performance "
               "impact\n");
   std::printf("(reference inputs; performance = cycle improvement over "
@@ -106,8 +138,8 @@ int main() {
         RunResult BaseRun;
         {
           TraceSpan S(&Trace, ("base-run/" + W.Name).c_str(), "workload");
-          BaseRun = runWith(*Base.M, W.RefParams, nullptr,
-                            {&Trace, nullptr, nullptr});
+          BaseRun = timedRun(*Base.M, W.RefParams, nullptr,
+                             {&Trace, nullptr, nullptr});
         }
         bool BothModes = W.Name == "181.mcf" || W.Name == "moldyn";
         std::vector<Row> Rows;
@@ -116,7 +148,11 @@ int main() {
         return Rows;
       });
 
-  std::string Json = "{\n  \"table\": \"table3\",\n  \"rows\": [\n";
+  double SimWallMs = static_cast<double>(SimMicros.load()) / 1000.0;
+  std::string Json = formatString(
+      "{\n  \"table\": \"table3\",\n  \"engine\": \"%s\",\n"
+      "  \"sim_wall_ms\": %.3f,\n  \"rows\": [\n",
+      benchEngineName(), SimWallMs);
   bool FirstJsonRow = true;
   for (const std::vector<Row> &Rows : PerWorkload) {
     for (const Row &R : Rows) {
@@ -156,7 +192,9 @@ int main() {
               "21.8-30.9%% (moldyn);\n"
               "       the other benchmarks range from -1.5%% (noise) to "
               "small gains\n");
-  std::printf("\nwrote BENCH_table3.json and BENCH_table3_trace.json "
+  std::printf("\nengine=%s, %.1f ms of simulator wall time\n",
+              benchEngineName(), SimWallMs);
+  std::printf("wrote BENCH_table3.json and BENCH_table3_trace.json "
               "(%u worker threads)\n",
               benchParallelism());
   return 0;

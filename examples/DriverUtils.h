@@ -1,0 +1,78 @@
+//===- examples/DriverUtils.h - Shared CLI parsing helpers -----*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flag-parsing helpers shared by the command-line drivers (slo_driver,
+/// slo_fuzz, the bench binaries). Every numeric flag goes through
+/// parseU64Arg, which rejects trailing junk and prints a diagnostic —
+/// `--runs=abc` silently becoming 0 once made a fuzz leg "pass" without
+/// running a single program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_EXAMPLES_DRIVERUTILS_H
+#define SLO_EXAMPLES_DRIVERUTILS_H
+
+#include "runtime/Interpreter.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace slo {
+namespace driver {
+
+/// Accepts "--flag=V" or "--flag V"; fills \p Value and returns true when
+/// \p A is \p Flag in either spelling.
+inline bool valuedFlag(const std::string &Flag, int argc, char **argv, int &I,
+                       std::string &Value) {
+  std::string A = argv[I];
+  if (A.rfind(Flag + "=", 0) == 0) {
+    Value = A.substr(Flag.size() + 1);
+    return true;
+  }
+  if (A == Flag && I + 1 < argc) {
+    Value = argv[++I];
+    return true;
+  }
+  return false;
+}
+
+/// Strict non-negative integer parse: the whole string must be digits
+/// (no trailing junk, no empty value). Diagnoses on stderr and returns
+/// false on anything else, so a typo can never silently become 0.
+inline bool parseU64Arg(const std::string &Flag, const std::string &Value,
+                        uint64_t &Out) {
+  try {
+    size_t Pos = 0;
+    unsigned long long V = std::stoull(Value, &Pos);
+    if (Pos != Value.size())
+      throw std::invalid_argument(Value);
+    Out = V;
+    return true;
+  } catch (...) {
+    std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n",
+                 Flag.c_str(), Value.c_str());
+    return false;
+  }
+}
+
+/// Parses an --engine value ("walker" or "vm"); diagnoses and returns
+/// false on anything else.
+inline bool parseEngineArg(const std::string &Flag, const std::string &Value,
+                           ExecEngine &Out) {
+  if (parseEngineName(Value, Out))
+    return true;
+  std::fprintf(stderr, "%s expects 'walker' or 'vm', got '%s'\n", Flag.c_str(),
+               Value.c_str());
+  return false;
+}
+
+} // namespace driver
+} // namespace slo
+
+#endif // SLO_EXAMPLES_DRIVERUTILS_H

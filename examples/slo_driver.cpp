@@ -26,6 +26,9 @@
 //     --stats-json=P    write run counters + the per-field miss heatmap
 //                       to P (implies --run)
 //     --trace-summary   print the span summary table to stdout
+//     --engine=E        execution engine for --pbo/--run: walker | vm
+//                       (default: SLO_ENGINE, else the tree walker);
+//                       both are bit-identical in every reported number
 //
 //   Sampled profile collection (the Caliper stand-in; see DESIGN.md):
 //     --sample-period N   collect the profiling run's d-cache field
@@ -41,6 +44,8 @@
 //                         corrupt files are structured errors, not UB
 //
 //===----------------------------------------------------------------------===//
+
+#include "DriverUtils.h"
 
 #include "advisor/AdvisorReport.h"
 #include "frontend/Frontend.h"
@@ -85,39 +90,13 @@ struct DriverOptions {
   uint64_t SampleLatencyThreshold = 0;
   std::string ProfileOutPath;
   std::string ProfileInPath;
+  /// Auto resolves against SLO_ENGINE (default: the tree walker).
+  ExecEngine Engine = ExecEngine::Auto;
 };
 
-/// Accepts "--flag=V" or "--flag V"; fills \p Value and returns true when
-/// \p A is \p Flag in either spelling.
-bool valuedFlag(const std::string &Flag, int argc, char **argv, int &I,
-                std::string &Value) {
-  std::string A = argv[I];
-  if (A.rfind(Flag + "=", 0) == 0) {
-    Value = A.substr(Flag.size() + 1);
-    return true;
-  }
-  if (A == Flag && I + 1 < argc) {
-    Value = argv[++I];
-    return true;
-  }
-  return false;
-}
-
-bool parseU64Arg(const std::string &Flag, const std::string &Value,
-                 uint64_t &Out) {
-  try {
-    size_t Pos = 0;
-    unsigned long long V = std::stoull(Value, &Pos);
-    if (Pos != Value.size())
-      throw std::invalid_argument(Value);
-    Out = V;
-    return true;
-  } catch (...) {
-    std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n",
-                 Flag.c_str(), Value.c_str());
-    return false;
-  }
-}
+using driver::parseEngineArg;
+using driver::parseU64Arg;
+using driver::valuedFlag;
 
 bool parseArgs(int argc, char **argv, DriverOptions &O) {
   for (int I = 1; I < argc; ++I) {
@@ -183,6 +162,9 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
       if (!parseU64Arg("--sample-latency-threshold", V,
                        O.SampleLatencyThreshold))
         return false;
+    } else if (valuedFlag("--engine", argc, argv, I, V)) {
+      if (!parseEngineArg("--engine", V, O.Engine))
+        return false;
     } else if (valuedFlag("--profile-out", argc, argv, I, V)) {
       O.ProfileOutPath = V;
     } else if (valuedFlag("--profile-in", argc, argv, I, V)) {
@@ -210,7 +192,7 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
                  "[--trace-json=P] [--stats-json=P] [--trace-summary] "
                  "[--sample-period N] [--sample-skid K] [--sample-seed S] "
                  "[--sample-latency-threshold T] [--profile-out=P] "
-                 "[--profile-in=P] file.minic...\n");
+                 "[--profile-in=P] [--engine=walker|vm] file.minic...\n");
     return false;
   }
   if (!O.ProfileInPath.empty() && O.SamplePeriod > 0) {
@@ -288,6 +270,7 @@ int main(int argc, char **argv) {
     PO.IntParams = O.Params;
     PO.Profile = &Train;
     PO.Trace = TracePtr;
+    PO.Engine = O.Engine;
     // Sampled collection: the field d-cache events of the profiling run
     // come from the Caliper stand-in instead of exact counting. Its
     // telemetry lands in the stats artifact as profile.samples_*.
@@ -370,6 +353,7 @@ int main(int argc, char **argv) {
     RunOptions RO;
     RO.IntParams = O.Params;
     RO.Trace = TracePtr;
+    RO.Engine = O.Engine;
     if (WantStats) {
       RO.Counters = &Counters;
       RO.Attribution = &Attribution;

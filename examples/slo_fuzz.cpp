@@ -15,6 +15,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "DriverUtils.h"
+
 #include "fuzz/DifferentialHarness.h"
 #include "fuzz/ProgramFuzzer.h"
 #include "fuzz/Reducer.h"
@@ -44,6 +46,9 @@ struct DriverOptions {
   bool InjectLintBug = false;
   HazardKind InjectHazard = HazardKind::None;
   bool SampledProfiles = false;
+  bool EngineParity = false;
+  bool InjectVmBug = false;
+  ExecEngine Engine = ExecEngine::Auto;
   std::string CorpusDir;
   std::string OutDir = ".";
 };
@@ -54,7 +59,8 @@ int usage() {
       "usage: slo_fuzz [--runs N] [--seed S] [--jobs J] [--minimize]\n"
       "                [--corpus DIR] [--out DIR] [--inject-legality-bug]\n"
       "                [--inject-hazard uaf|uninit] [--inject-lint-bug]\n"
-      "                [--sampled-profiles]\n"
+      "                [--sampled-profiles] [--engine walker|vm]\n"
+      "                [--engine-parity] [--inject-vm-bug]\n"
       "\n"
       "Replays DIR/*.minic (sorted) when --corpus is given, then runs N\n"
       "random differential tests derived from seed S. Every failure is\n"
@@ -68,7 +74,13 @@ int usage() {
       "(proving the oracle is not vacuous).\n"
       "--sampled-profiles plans from a sampled d-cache profile (DMISS,\n"
       "period 61, skid 2) round-tripped through the feedback format,\n"
-      "instead of static estimates — the oracles must still hold.\n");
+      "instead of static estimates — the oracles must still hold.\n"
+      "--engine selects the execution engine for the differential runs\n"
+      "(default: SLO_ENGINE, else the tree walker). --engine-parity adds\n"
+      "the engine-parity oracle: every module (base and transformed) runs\n"
+      "under BOTH engines, which must agree bit-for-bit on results,\n"
+      "attribution, and profiles. --inject-vm-bug deliberately mis-charges\n"
+      "VM load cycles so --engine-parity must fail (non-vacuity check).\n");
   return 2;
 }
 
@@ -215,21 +227,32 @@ int main(int argc, char **argv) {
     auto NextValue = [&]() -> const char * {
       return I + 1 < argc ? argv[++I] : nullptr;
     };
+    // Numeric flags go through the strict parser: '--runs abc' once
+    // parsed as 0 and made the sweep "pass" without running anything.
     if (A == "--runs") {
       const char *V = NextValue();
-      if (!V)
+      uint64_t N;
+      if (!V || !driver::parseU64Arg("--runs", V, N))
         return usage();
-      Opts.Runs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      Opts.Runs = static_cast<unsigned>(N);
     } else if (A == "--seed") {
       const char *V = NextValue();
-      if (!V)
+      if (!V || !driver::parseU64Arg("--seed", V, Opts.Seed))
         return usage();
-      Opts.Seed = std::strtoull(V, nullptr, 10);
     } else if (A == "--jobs") {
       const char *V = NextValue();
-      if (!V)
+      uint64_t N;
+      if (!V || !driver::parseU64Arg("--jobs", V, N))
         return usage();
-      Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      Opts.Jobs = static_cast<unsigned>(N);
+    } else if (A == "--engine") {
+      const char *V = NextValue();
+      if (!V || !driver::parseEngineArg("--engine", V, Opts.Engine))
+        return usage();
+    } else if (A == "--engine-parity") {
+      Opts.EngineParity = true;
+    } else if (A == "--inject-vm-bug") {
+      Opts.InjectVmBug = true;
     } else if (A == "--corpus") {
       const char *V = NextValue();
       if (!V)
@@ -268,6 +291,9 @@ int main(int argc, char **argv) {
   DOpts.InjectLegalityBug = Opts.InjectLegalityBug;
   DOpts.InjectLintBug = Opts.InjectLintBug;
   DOpts.ExpectedHazard = Opts.InjectHazard;
+  DOpts.Engine = Opts.Engine;
+  DOpts.CheckEngineParity = Opts.EngineParity;
+  DOpts.InjectVmBug = Opts.InjectVmBug;
   if (Opts.SampledProfiles) {
     // A realistic collection: miss-driven weights from a jittered
     // period-61 sweep with a little Itanium skid.

@@ -19,6 +19,15 @@ a hard invariant there, not a tolerance. The sweep is seeded and fully
 simulated, so stability flags compare exactly against the baseline and
 only tau/opt_misses get tolerances.
 
+A third leg gates the execution engines against each other: given a
+walker-engine and a vm-engine BENCH_table3.json from the same tree, the
+VM must have produced bit-identical simulation rows (cycles, misses,
+perf percentages — the VM is an optimization of the simulator's hot
+loop, never of its results) while spending at least --min-speedup times
+less simulator wall time. The engine field of each artifact is checked
+literally, so a build that silently fell back to the walker cannot pass
+the gate by comparing the walker against itself.
+
 Usage:
   bench_compare.py --current BENCH_table3.json \
       [--baseline bench/baselines/BENCH_table3.json] \
@@ -26,6 +35,7 @@ Usage:
       [--profile-quality BENCH_profile_quality.json] \
       [--profile-quality-baseline bench/baselines/BENCH_profile_quality.json] \
       [--miss-tolerance 0.05] [--perf-tolerance 2.0] [--tau-tolerance 0.05]
+  bench_compare.py --engine-compare WALKER.json VM.json [--min-speedup 2.5]
   bench_compare.py --self-test [--baseline ...] [--profile-quality-baseline ...]
 
 --self-test injects a 10% miss-count regression into a copy of the
@@ -33,6 +43,9 @@ table3 baseline and an advice-stability flip (what a too-coarse sampling
 period produces) into a copy of the profile-quality baseline, and
 asserts the gate rejects both (and that the unmodified baselines pass);
 CI runs it so a silently broken comparator cannot turn the gate green.
+The engine leg self-tests on synthesized artifacts: a clean pair must
+pass, and a wrong engine field, a single diverging row, and an
+insufficient speedup must each be rejected.
 """
 
 import argparse
@@ -217,6 +230,112 @@ def compare_quality(base, current, miss_tol, tau_tol):
     return failures
 
 
+def load_engine_doc(path):
+    """Loads a table3 artifact for the engine leg, keeping the top-level
+    engine and sim_wall_ms fields the row-drift leg ignores."""
+    doc = load_json(path, "table3 artifact")
+    if not isinstance(doc, dict) or doc.get("table") != "table3" \
+            or "rows" not in doc:
+        raise SystemExit(f"{path}: not a BENCH_table3.json artifact")
+    require_keys(doc, ("engine", "sim_wall_ms"), path, "table3 engine")
+    return doc
+
+
+def engine_compare(walker, vm, min_speedup):
+    """The walker-vs-VM gate: identical simulation rows, bounded wall
+    time. Returns a list of human-readable failure strings."""
+    failures = []
+    # Engine fields are literal: a binary that silently fell back to the
+    # walker must not pass by comparing the walker against itself.
+    if walker["engine"] != "walker":
+        failures.append(
+            f"walker artifact ran engine '{walker['engine']}', expected 'walker'"
+        )
+    if vm["engine"] != "vm":
+        failures.append(
+            f"vm artifact ran engine '{vm['engine']}', expected 'vm'"
+        )
+
+    # Simulation rows must be bit-identical, every field: the VM is an
+    # optimization of the simulator's hot loop, never of its results.
+    wrows = {(r.get("benchmark"), bool(r.get("pbo"))): r for r in walker["rows"]}
+    vrows = {(r.get("benchmark"), bool(r.get("pbo"))): r for r in vm["rows"]}
+    for key in sorted(set(wrows) | set(vrows)):
+        name = f"{key[0]} (pbo={'yes' if key[1] else 'no'})"
+        w, v = wrows.get(key), vrows.get(key)
+        if w is None or v is None:
+            failures.append(
+                f"{name}: row present only in the "
+                f"{'walker' if v is None else 'vm'} artifact"
+            )
+            continue
+        for field in sorted(set(w) | set(v)):
+            if w.get(field) != v.get(field):
+                failures.append(
+                    f"{name}: {field} diverges between engines "
+                    f"(walker {w.get(field)!r}, vm {v.get(field)!r})"
+                )
+
+    if vm["sim_wall_ms"] <= 0:
+        failures.append(f"vm artifact has non-positive sim_wall_ms")
+    else:
+        speedup = walker["sim_wall_ms"] / vm["sim_wall_ms"]
+        if speedup < min_speedup:
+            failures.append(
+                f"vm engine speedup {speedup:.2f}x below the {min_speedup:.2f}x "
+                f"floor (walker {walker['sim_wall_ms']:.1f} ms, "
+                f"vm {vm['sim_wall_ms']:.1f} ms)"
+            )
+    return failures
+
+
+def engine_self_test(min_speedup):
+    """Engine-leg self-test on synthesized artifacts (the leg compares
+    two fresh runs, not a baseline, so there is nothing on disk to
+    perturb): a clean pair passes; a wrong engine field, one diverging
+    row, and an insufficient speedup are each rejected."""
+    rows = [
+        {"benchmark": "181.mcf", "pbo": False, "types": 4, "transformed": 2,
+         "split_dead": 1, "base_cycles": 1000, "opt_cycles": 900,
+         "base_misses": 50, "opt_misses": 40, "perf_percent": 10.0},
+        {"benchmark": "moldyn", "pbo": True, "types": 3, "transformed": 1,
+         "split_dead": 0, "base_cycles": 2000, "opt_cycles": 1600,
+         "base_misses": 80, "opt_misses": 60, "perf_percent": 20.0},
+    ]
+    walker = {"table": "table3", "engine": "walker", "sim_wall_ms": 1000.0,
+              "rows": copy.deepcopy(rows)}
+    vm = {"table": "table3", "engine": "vm", "sim_wall_ms": 250.0,
+          "rows": copy.deepcopy(rows)}
+
+    if engine_compare(walker, vm, min_speedup):
+        print("self-test FAILED: clean engine pair does not pass")
+        return 1
+
+    rejected = []
+    fallback = copy.deepcopy(vm)
+    fallback["engine"] = "walker"  # Silent fall-back to the walker.
+    rejected += engine_compare(walker, fallback, min_speedup) or [None]
+
+    diverged = copy.deepcopy(vm)
+    diverged["rows"][0]["opt_cycles"] += 1
+    drift = engine_compare(walker, diverged, min_speedup)
+
+    slow = copy.deepcopy(vm)
+    slow["sim_wall_ms"] = walker["sim_wall_ms"] / (min_speedup * 0.5)
+    lag = engine_compare(walker, slow, min_speedup)
+
+    if rejected == [None] or not drift or not lag:
+        print(
+            "self-test FAILED: engine gate accepted a wrong engine field, "
+            "a diverging row, or an insufficient speedup"
+        )
+        return 1
+    print("self-test ok: engine pair passes, injected engine failures fail:")
+    for f in [r for r in rejected if r] + drift + lag:
+        print(f"  {f}")
+    return 0
+
+
 def check_compile_time(path):
     """Presence/schema check only: google-benchmark JSON with benchmarks."""
     doc = load_json(path, "compile-time artifact")
@@ -282,7 +401,7 @@ def self_test(baseline_rows, quality, miss_tol, perf_tol, tau_tol):
     print("self-test ok: quality baseline passes, injected advice flip fails:")
     for f in stab + drift:
         print(f"  {f}")
-    return 0
+    return engine_self_test(min_speedup=2.5)
 
 
 def main():
@@ -320,12 +439,48 @@ def main():
         help="max absolute drift in Kendall tau per row (default 0.05)",
     )
     ap.add_argument(
+        "--engine-compare",
+        nargs=2,
+        metavar=("WALKER_JSON", "VM_JSON"),
+        help="gate a walker-engine table3 artifact against a vm-engine "
+        "one: rows must be bit-identical and the vm at least "
+        "--min-speedup times faster in simulator wall time",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.5,
+        help="minimum walker/vm simulator wall-time ratio for "
+        "--engine-compare (default 2.5; deliberately below the 3.6-3.9x "
+        "an idle box measures, so a loaded CI box does not flake)",
+    )
+    ap.add_argument(
         "--self-test",
         action="store_true",
-        help="verify the gate rejects an injected 10%% miss regression "
-        "and an injected advice-stability flip",
+        help="verify the gate rejects an injected 10%% miss regression, "
+        "an injected advice-stability flip, and an injected engine "
+        "divergence",
     )
     args = ap.parse_args()
+
+    # The engine leg compares two fresh artifacts against each other and
+    # needs no baseline on disk.
+    if args.engine_compare and not args.self_test:
+        walker = load_engine_doc(args.engine_compare[0])
+        vm = load_engine_doc(args.engine_compare[1])
+        failures = engine_compare(walker, vm, args.min_speedup)
+        if failures:
+            print(f"engine gate FAILED ({len(failures)} finding(s)):")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(
+            f"engine gate ok: {len(vm['rows'])} rows bit-identical, vm "
+            f"{walker['sim_wall_ms'] / vm['sim_wall_ms']:.2f}x faster "
+            f"({walker['sim_wall_ms']:.1f} ms -> {vm['sim_wall_ms']:.1f} ms, "
+            f"floor {args.min_speedup:.2f}x)"
+        )
+        return 0
 
     baseline = load_rows(args.baseline)
 

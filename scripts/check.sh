@@ -58,6 +58,40 @@ if ./build/examples/slo_fuzz --runs 5 --seed 3 --inject-hazard uaf \
   LINT_RC=1
 fi
 
+# VM engine leg: the bytecode VM must be a drop-in replacement for the
+# tree walker. The whole suite runs again with SLO_ENGINE=vm (runProgram
+# dispatches on it), then a 500-program differential sweep holds the
+# engine-parity oracle — output, cycles, misses, leak census, and
+# miss-attribution partitions bit-identical between the engines — and an
+# injected VM mis-charge (--inject-vm-bug) proves that oracle can
+# actually fail.
+echo "=== VM engine (full suite + 500-run parity sweep) ==="
+VM_RC=0
+SLO_ENGINE=vm ctest --test-dir build --output-on-failure -j"$J" || VM_RC=$?
+./build/examples/slo_fuzz --runs 500 --seed 11 --engine-parity --minimize \
+  --out build/fuzz-repros || VM_RC=$?
+if ./build/examples/slo_fuzz --runs 5 --seed 11 --engine-parity \
+    --inject-vm-bug >/dev/null 2>&1; then
+  echo "engine-parity oracle is vacuous: --inject-vm-bug was not caught"
+  VM_RC=1
+fi
+
+# Engine wall-time gate: the VM exists to make simulation affordable, so
+# bench_table3 must show it staying well ahead of the walker while
+# producing bit-identical rows. The 2.5x floor is deliberately below the
+# 3.6-3.9x an idle box measures (see EXPERIMENTS.md) so a loaded CI box
+# does not flake; the engines run back to back, serially, for a fair
+# wall-time pair.
+echo "=== engine wall-time gate (walker vs vm) ==="
+ENGINE_RC=0
+(cd build \
+  && SLO_BENCH_THREADS=1 ./bench/bench_table3_performance --engine=walker \
+  && mv BENCH_table3.json BENCH_table3_walker.json \
+  && SLO_BENCH_THREADS=1 ./bench/bench_table3_performance --engine=vm \
+  && mv BENCH_table3.json BENCH_table3_vm.json) || ENGINE_RC=$?
+python3 scripts/bench_compare.py --engine-compare \
+  build/BENCH_table3_walker.json build/BENCH_table3_vm.json || ENGINE_RC=$?
+
 # Sampled-profile smoke: collect a sampled (Caliper stand-in) DMISS
 # profile through the driver, write it out, plan from the file in a
 # second process, then run a short fuzz sweep where every oracle must
@@ -84,8 +118,8 @@ ulimit -s 262144 2>/dev/null || true
 ASAN_RC=0
 ctest --test-dir build-asan --output-on-failure -j"$J" || ASAN_RC=$?
 
-if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 || $FUZZ_RC -ne 0 || $SAMPLED_RC -ne 0 || $LINT_RC -ne 0 ]]; then
-  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC, fuzz: $FUZZ_RC, sampled smoke: $SAMPLED_RC, lint: $LINT_RC) ==="
+if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 || $FUZZ_RC -ne 0 || $SAMPLED_RC -ne 0 || $LINT_RC -ne 0 || $VM_RC -ne 0 || $ENGINE_RC -ne 0 ]]; then
+  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC, fuzz: $FUZZ_RC, sampled smoke: $SAMPLED_RC, lint: $LINT_RC, vm engine: $VM_RC, engine gate: $ENGINE_RC) ==="
   exit 1
 fi
 echo "=== all checks passed ==="

@@ -42,6 +42,8 @@ const char *slo::fuzzOracleName(FuzzOracle O) {
     return "profile";
   case FuzzOracle::Lint:
     return "lint";
+  case FuzzOracle::EngineParity:
+    return "engine-parity";
   }
   return "?";
 }
@@ -70,10 +72,12 @@ RunResult runWithAttribution(const Module &M, uint64_t MaxInstructions,
                              bool Attribute, bool *Partition,
                              std::string *PartitionDetail,
                              FeedbackFile *Profile = nullptr,
-                             SampledPmu *Pmu = nullptr) {
+                             SampledPmu *Pmu = nullptr,
+                             ExecEngine Engine = ExecEngine::Auto) {
   MissAttribution Sink;
   RunOptions Opts;
   Opts.MaxInstructions = MaxInstructions;
+  Opts.Engine = Engine;
   if (Attribute)
     Opts.Attribution = &Sink;
   Opts.Profile = Profile;
@@ -90,6 +94,79 @@ RunResult runWithAttribution(const Module &M, uint64_t MaxInstructions,
     *Partition = true;
   }
   return R;
+}
+
+/// The engine-parity oracle on one module: runs it under the tree
+/// walker and the bytecode VM with identical options and compares every
+/// observable — the full RunResult (including trap state, cycle and
+/// miss totals, and the leak census), the miss-attribution heatmap, and
+/// the collected edge/field profile. Returns "" on parity, else a
+/// description of the first divergence.
+std::string compareEngines(const Module &M, uint64_t MaxInstructions,
+                           bool InjectVmBug) {
+  auto RunOn = [&](ExecEngine E, MissAttribution &Sink, FeedbackFile &FB) {
+    RunOptions Opts;
+    Opts.MaxInstructions = MaxInstructions;
+    Opts.Engine = E;
+    Opts.InjectVmBug = InjectVmBug;
+    Opts.Attribution = &Sink;
+    Opts.Profile = &FB;
+    return runProgram(M, std::move(Opts));
+  };
+  MissAttribution WSink, VSink;
+  FeedbackFile WFb, VFb;
+  RunResult W = RunOn(ExecEngine::Walker, WSink, WFb);
+  RunResult V = RunOn(ExecEngine::VM, VSink, VFb);
+
+  auto Mismatch = [](const char *Field, uint64_t A, uint64_t B) {
+    return formatString("%s walker=%llu vm=%llu", Field,
+                        static_cast<unsigned long long>(A),
+                        static_cast<unsigned long long>(B));
+  };
+  if (W.Trapped != V.Trapped || W.TrapReason != V.TrapReason)
+    return formatString("trap walker='%s' vm='%s'",
+                        W.Trapped ? W.TrapReason.c_str() : "(none)",
+                        V.Trapped ? V.TrapReason.c_str() : "(none)");
+  if (W.ExitCode != V.ExitCode)
+    return Mismatch("exit code", W.ExitCode, V.ExitCode);
+  if (W.Instructions != V.Instructions)
+    return Mismatch("instructions", W.Instructions, V.Instructions);
+  if (W.Cycles != V.Cycles)
+    return Mismatch("cycles", W.Cycles, V.Cycles);
+  if (W.MemStallCycles != V.MemStallCycles)
+    return Mismatch("mem stall cycles", W.MemStallCycles, V.MemStallCycles);
+  if (W.Loads != V.Loads)
+    return Mismatch("loads", W.Loads, V.Loads);
+  if (W.Stores != V.Stores)
+    return Mismatch("stores", W.Stores, V.Stores);
+  if (W.L1.Hits != V.L1.Hits || W.L1.Misses != V.L1.Misses)
+    return Mismatch("L1 misses", W.L1.Misses, V.L1.Misses);
+  if (W.L2.Hits != V.L2.Hits || W.L2.Misses != V.L2.Misses)
+    return Mismatch("L2 misses", W.L2.Misses, V.L2.Misses);
+  if (W.L3.Hits != V.L3.Hits || W.L3.Misses != V.L3.Misses)
+    return Mismatch("L3 misses", W.L3.Misses, V.L3.Misses);
+  if (W.FirstLevelMisses != V.FirstLevelMisses)
+    return Mismatch("first-level misses", W.FirstLevelMisses,
+                    V.FirstLevelMisses);
+  if (W.PrintedInts != V.PrintedInts)
+    return "printed integer streams diverged";
+  if (W.PrintedFloats.size() != V.PrintedFloats.size())
+    return "printed float counts diverged";
+  for (size_t I = 0; I < W.PrintedFloats.size(); ++I)
+    if (doubleBits(W.PrintedFloats[I]) != doubleBits(V.PrintedFloats[I]))
+      return formatString("printed float #%zu walker=%g vm=%g", I,
+                          W.PrintedFloats[I], V.PrintedFloats[I]);
+  if (W.HeapBytesAllocated != V.HeapBytesAllocated ||
+      W.HeapAllocations != V.HeapAllocations)
+    return Mismatch("heap allocations", W.HeapAllocations, V.HeapAllocations);
+  if (W.HeapLiveAllocs != V.HeapLiveAllocs ||
+      W.HeapLiveBytes != V.HeapLiveBytes)
+    return Mismatch("leak census allocs", W.HeapLiveAllocs, V.HeapLiveAllocs);
+  if (WSink.renderHeatmapJson() != VSink.renderHeatmapJson())
+    return "miss-attribution heatmaps diverged";
+  if (serializeFeedback(M, WFb) != serializeFeedback(M, VFb))
+    return "collected profiles diverged";
+  return "";
 }
 
 /// The Legality oracle: Legal <= Proven <= Relax per type, and no type
@@ -197,13 +274,22 @@ DifferentialOutcome slo::runDifferential(const std::string &Name,
   PmuCfg.Seed = Opts.SampledProfileSeed;
   SampledPmu Pmu(PmuCfg);
 
+  // Engine parity, transform-off: checked before the base-trap oracle so
+  // programs that trap still have to trap identically in both engines.
+  if (Opts.CheckEngineParity) {
+    std::string D =
+        compareEngines(*BaseM, Opts.MaxInstructions, Opts.InjectVmBug);
+    if (!D.empty())
+      return fail(FuzzOracle::EngineParity, "base module: " + D);
+  }
+
   bool Partition = true;
   std::string PartitionDetail;
   RunResult Base =
       runWithAttribution(*BaseM, Opts.MaxInstructions, Opts.CheckAttribution,
                          &Partition, &PartitionDetail,
                          Sampled ? &BaseProfile : nullptr,
-                         Sampled ? &Pmu : nullptr);
+                         Sampled ? &Pmu : nullptr, Opts.Engine);
   if (Base.Trapped) {
     // The interpreter's only free-time trap is a bad free; lint claims
     // completeness for the definite cases, so an unpredicted free trap
@@ -301,9 +387,19 @@ DifferentialOutcome slo::runDifferential(const std::string &Name,
                 "after BE: " + (VerifyErrors.empty() ? "?"
                                                      : VerifyErrors.front()));
 
+  // Engine parity, transform-on: the rewritten module (new layouts, new
+  // field sites, new bytecode) must also execute identically.
+  if (Opts.CheckEngineParity) {
+    std::string D =
+        compareEngines(*OptM, Opts.MaxInstructions, Opts.InjectVmBug);
+    if (!D.empty())
+      return fail(FuzzOracle::EngineParity, "transformed module: " + D);
+  }
+
   RunResult Opt =
       runWithAttribution(*OptM, Opts.MaxInstructions, Opts.CheckAttribution,
-                         &Partition, &PartitionDetail);
+                         &Partition, &PartitionDetail, nullptr, nullptr,
+                         Opts.Engine);
   DifferentialOutcome R;
   R.TypesTransformed = Summary.TypesTransformed;
   R.Base = Base;

@@ -35,6 +35,12 @@
 ///                leak verdict matches the heap census whenever lint
 ///                tracked every heap allocation.
 ///
+/// An opt-in engine-parity oracle re-runs both the base and the
+/// transformed module under the tree walker and the threaded bytecode
+/// VM and requires bit-identical RunResults, miss-attribution heatmaps,
+/// and collected profiles — the VM is only allowed to be faster, never
+/// different.
+///
 /// A fifth mode (sampled profiles) makes the planner consume a sampled
 /// d-cache profile collected on the base run and round-tripped through
 /// the feedback text format, instead of static estimates — every oracle
@@ -69,9 +75,10 @@ enum class FuzzOracle {
   LeakCensus,  // heap-leak census diverged
   Verifier,    // module failed verification around the BE phase
   Legality,    // Legal <= Proven <= Relax (or escape admission) broken
-  Attribution, // site misses do not partition the miss events
-  Profile,     // sampled profile failed the feedback-format round-trip
-  Lint,        // static lint verdict contradicts observed behaviour
+  Attribution,  // site misses do not partition the miss events
+  Profile,      // sampled profile failed the feedback-format round-trip
+  Lint,         // static lint verdict contradicts observed behaviour
+  EngineParity, // tree walker and bytecode VM disagreed on a module
 };
 
 const char *fuzzOracleName(FuzzOracle O);
@@ -109,6 +116,20 @@ struct DifferentialOptions {
   /// lint oracle then *requires* the corresponding finding class and
   /// tolerates exactly that class.
   HazardKind ExpectedHazard = HazardKind::None;
+  /// Engine used for the base and transformed runs (Auto resolves
+  /// against SLO_ENGINE, defaulting to the tree walker).
+  ExecEngine Engine = ExecEngine::Auto;
+  /// The engine-parity oracle: run both the base and the transformed
+  /// module under the tree walker AND the bytecode VM and require
+  /// bit-identical RunResults, miss-attribution heatmaps, and collected
+  /// profiles. Off by default — it doubles the run cost — and enabled by
+  /// the slo_fuzz --engine-parity leg.
+  bool CheckEngineParity = false;
+  /// Test-only fault injection: compile the VM's bytecode with a
+  /// deliberate cycle mis-charge on loads (RunOptions::InjectVmBug).
+  /// With CheckEngineParity this must flip the run into an
+  /// EngineParity-oracle failure, proving the oracle is not vacuous.
+  bool InjectVmBug = false;
   /// Guard for generated programs; both runs share it.
   uint64_t MaxInstructions = 200000000ull;
   /// Sampled-profiles mode: when nonzero, the base run also collects a

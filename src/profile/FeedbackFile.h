@@ -62,6 +62,17 @@ public:
     return FieldCache[{Rec, FieldIndex}];
   }
 
+  /// Stable counter pointers for the bytecode VM's inline caches:
+  /// std::map nodes never move, so a pointer taken at the first event
+  /// stays valid across later insertions. Calling these interns the key
+  /// (at zero) exactly like the counting calls above, so engines that
+  /// resolve them lazily — on the first event, never eagerly at compile
+  /// time — intern the same key set as the tree walker.
+  uint64_t *entryCounter(const Function *F) { return &EntryCounts[F]; }
+  uint64_t *edgeCounter(const BasicBlock *From, const BasicBlock *To) {
+    return &EdgeCounts[{From, To}];
+  }
+
   // -- Query interface (used by the PBO weighting and the advisor) --
   uint64_t getEntryCount(const Function *F) const {
     auto It = EntryCounts.find(F);

@@ -1,0 +1,1164 @@
+//===- runtime/Bytecode.cpp - IR decode and bytecode compile --------------===//
+//
+// Pass structure:
+//   decodeFunction: IR -> DInst stream (slot assignment + operand
+//     resolution; moved verbatim from the tree walker, which still
+//     executes this form directly).
+//   compileFunction: DInst stream -> flat bytecode. Materializes
+//     constants into per-function constant slots, moves instrumentation
+//     data into cold side tables, fuses single-use field-address +
+//     load/store pairs into superinstructions, and picks Fast vs Instr
+//     opcode flavours once for the whole run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Bytecode.h"
+
+#include "observability/MissAttribution.h"
+#include "observability/SampledPmu.h"
+
+#include <unordered_map>
+
+using namespace slo;
+using namespace slo::engine;
+
+//===----------------------------------------------------------------------===//
+// Decode (IR -> DInst)
+//===----------------------------------------------------------------------===//
+
+void engine::decodeFunction(const Function *F, DecodedFunction &DF,
+                            const DecodeContext &Ctx) {
+  DF.F = F;
+  // Pass 1: assign a flat register slot to every value-producing
+  // instruction and a frame offset to every alloca. The mapping is local
+  // to this decode; the Module is never written.
+  std::unordered_map<const Instruction *, int32_t> Slot;
+  int32_t NextSlot = static_cast<int32_t>(F->getNumArgs());
+  uint64_t Frame = 0;
+  for (const auto &BB : F->blocks()) {
+    for (const auto &I : BB->instructions()) {
+      if (!I->getType()->isVoid())
+        Slot[I.get()] = NextSlot++;
+      if (const auto *A = dyn_cast<AllocaInst>(I.get())) {
+        Type *Ty = A->getAllocatedType();
+        Frame = alignTo(Frame, std::max<unsigned>(Ty->getAlign(), 1));
+        DF.Allocas.push_back({Slot[I.get()], Frame});
+        Frame += Ty->getSize();
+      }
+    }
+  }
+  DF.NumSlots = NextSlot;
+  DF.FrameSize = alignTo(Frame, 16);
+
+  auto operandFor = [&](const Value *V) -> Operand {
+    Operand O;
+    switch (V->getKind()) {
+    case Value::VK_ConstantInt:
+      O.Imm.I = cast<ConstantInt>(V)->getValue();
+      return O;
+    case Value::VK_ConstantFloat:
+      O.Imm.F = cast<ConstantFloat>(V)->getValue();
+      return O;
+    case Value::VK_ConstantNull:
+      O.Imm.I = 0;
+      return O;
+    case Value::VK_GlobalVariable:
+      O.Imm.I =
+          static_cast<int64_t>(Ctx.GlobalAddr->at(cast<GlobalVariable>(V)));
+      return O;
+    case Value::VK_Function:
+      O.Imm.I = static_cast<int64_t>(
+          FuncAddrBase |
+          (static_cast<uint64_t>(Ctx.FuncIndex->at(cast<Function>(V)))
+           << 4));
+      return O;
+    case Value::VK_Argument:
+      O.Slot = static_cast<int32_t>(cast<Argument>(V)->getIndex());
+      return O;
+    case Value::VK_Instruction:
+      O.Slot = Slot.at(cast<Instruction>(V));
+      return O;
+    }
+    SLO_UNREACHABLE("unknown value kind");
+  };
+
+  auto resultSlot = [&](const Instruction &I) -> int32_t {
+    return I.getType()->isVoid() ? -1 : Slot.at(&I);
+  };
+
+  // Pass 2: emit one DInst per instruction. Branch targets are recorded
+  // as block numbers and patched to code indices once every block's
+  // start offset is known.
+  std::vector<uint32_t> BlockStart(F->size(), 0);
+  for (const auto &BB : F->blocks()) {
+    BlockStart[BB->getNumber()] = static_cast<uint32_t>(DF.Code.size());
+    for (const auto &IPtr : BB->instructions()) {
+      const Instruction &I = *IPtr;
+      DInst D;
+      D.ResultSlot = resultSlot(I);
+      switch (I.getOpcode()) {
+      case Instruction::OpAlloca:
+        D.Op = DOp::Nop; // Frame address materialized at entry.
+        break;
+      case Instruction::OpLoad: {
+        const auto &Ld = static_cast<const LoadInst &>(I);
+        Type *Ty = Ld.getType();
+        D.Op = DOp::Load;
+        D.BaseCost = 0;
+        D.A = operandFor(Ld.getPointer());
+        D.Bytes = static_cast<uint8_t>(Ty->getSize());
+        D.IsFloat = Ty->isFloat();
+        D.SignExtend =
+            !(Ty->isInt() && cast<IntType>(Ty)->getBits() == 1);
+        D.Attrib = dyn_cast<FieldAddrInst>(Ld.getPointer());
+        if (D.Attrib && Ctx.Attribution)
+          D.Site = Ctx.Attribution->registerField(
+              D.Attrib->getRecord()->getRecordName(),
+              D.Attrib->getField().Name);
+        if (D.Attrib && Ctx.Pmu)
+          D.PmuSite = Ctx.Pmu->registerSite(D.Attrib->getRecord(),
+                                            D.Attrib->getFieldIndex());
+        break;
+      }
+      case Instruction::OpStore: {
+        const auto &St = static_cast<const StoreInst &>(I);
+        Type *Ty = St.getStoredValue()->getType();
+        D.Op = DOp::Store;
+        D.BaseCost = 0;
+        D.A = operandFor(St.getPointer());
+        D.B = operandFor(St.getStoredValue());
+        D.Bytes = static_cast<uint8_t>(Ty->getSize());
+        D.IsFloat = Ty->isFloat();
+        D.Attrib = dyn_cast<FieldAddrInst>(St.getPointer());
+        if (D.Attrib && Ctx.Attribution)
+          D.Site = Ctx.Attribution->registerField(
+              D.Attrib->getRecord()->getRecordName(),
+              D.Attrib->getField().Name);
+        if (D.Attrib && Ctx.Pmu)
+          D.PmuSite = Ctx.Pmu->registerSite(D.Attrib->getRecord(),
+                                            D.Attrib->getFieldIndex());
+        break;
+      }
+      case Instruction::OpFieldAddr: {
+        const auto &FA = static_cast<const FieldAddrInst &>(I);
+        D.Op = DOp::FieldAddr;
+        D.A = operandFor(FA.getBase());
+        D.Extra = static_cast<int64_t>(FA.getField().Offset);
+        break;
+      }
+      case Instruction::OpIndexAddr: {
+        const auto &IA = static_cast<const IndexAddrInst &>(I);
+        D.Op = DOp::IndexAddr;
+        D.A = operandFor(IA.getBase());
+        D.B = operandFor(IA.getIndex());
+        D.Extra = static_cast<int64_t>(
+            cast<PointerType>(IA.getType())->getPointee()->getSize());
+        break;
+      }
+#define BINARY_CASE(OPC, COST)                                               \
+  case Instruction::Op##OPC:                                                 \
+    D.Op = DOp::OPC;                                                         \
+    D.BaseCost = COST;                                                       \
+    D.A = operandFor(I.getOperand(0));                                       \
+    D.B = operandFor(I.getOperand(1));                                       \
+    break;
+        BINARY_CASE(Add, 1)
+        BINARY_CASE(Sub, 1)
+        BINARY_CASE(Mul, 2)
+        BINARY_CASE(SDiv, 16)
+        BINARY_CASE(SRem, 16)
+        BINARY_CASE(And, 1)
+        BINARY_CASE(Or, 1)
+        BINARY_CASE(Xor, 1)
+        BINARY_CASE(Shl, 1)
+        BINARY_CASE(AShr, 1)
+        BINARY_CASE(FAdd, 1)
+        BINARY_CASE(FSub, 1)
+        BINARY_CASE(FMul, 1)
+        BINARY_CASE(FDiv, 16)
+        BINARY_CASE(ICmpEQ, 1)
+        BINARY_CASE(ICmpNE, 1)
+        BINARY_CASE(ICmpSLT, 1)
+        BINARY_CASE(ICmpSLE, 1)
+        BINARY_CASE(ICmpSGT, 1)
+        BINARY_CASE(ICmpSGE, 1)
+        BINARY_CASE(FCmpEQ, 1)
+        BINARY_CASE(FCmpNE, 1)
+        BINARY_CASE(FCmpLT, 1)
+        BINARY_CASE(FCmpLE, 1)
+        BINARY_CASE(FCmpGT, 1)
+        BINARY_CASE(FCmpGE, 1)
+#undef BINARY_CASE
+      case Instruction::OpTrunc: {
+        unsigned Bits = cast<IntType>(I.getType())->getBits();
+        D.A = operandFor(I.getOperand(0));
+        if (Bits >= 64) {
+          D.Op = DOp::Move;
+        } else {
+          D.Op = DOp::Trunc;
+          D.Extra = Bits;
+        }
+        break;
+      }
+      case Instruction::OpSExt:
+      case Instruction::OpZExt:
+      case Instruction::OpBitcast:
+      case Instruction::OpPtrToInt:
+      case Instruction::OpIntToPtr:
+      case Instruction::OpFPExt:
+        // Register representation is canonical; these are moves at
+        // runtime (sign/zero extension happened at produce time).
+        D.Op = DOp::Move;
+        D.A = operandFor(I.getOperand(0));
+        break;
+      case Instruction::OpFPTrunc:
+        D.Op = DOp::FPTrunc;
+        D.A = operandFor(I.getOperand(0));
+        break;
+      case Instruction::OpSIToFP:
+        D.Op = DOp::SIToFP;
+        D.A = operandFor(I.getOperand(0));
+        D.Extra = cast<FloatType>(I.getType())->getBits();
+        break;
+      case Instruction::OpFPToSI:
+        D.Op = DOp::FPToSI;
+        D.A = operandFor(I.getOperand(0));
+        break;
+      case Instruction::OpCall: {
+        const auto &C = static_cast<const CallInst &>(I);
+        D.Op = DOp::Call;
+        D.Callee = C.getCallee();
+        D.CalleeIdx = Ctx.FuncIndex->at(C.getCallee());
+        if (C.getCallee()->isDeclaration())
+          D.Builtin = classifyBuiltin(C.getCallee()->getName());
+        D.ArgsBegin = static_cast<uint32_t>(DF.ArgPool.size());
+        D.NumArgs = static_cast<uint16_t>(C.getNumArgs());
+        for (unsigned A = 0; A < C.getNumArgs(); ++A)
+          DF.ArgPool.push_back(operandFor(C.getArg(A)));
+        break;
+      }
+      case Instruction::OpICall: {
+        const auto &C = static_cast<const IndirectCallInst &>(I);
+        D.Op = DOp::ICall;
+        D.A = operandFor(C.getCalleePtr());
+        D.ArgsBegin = static_cast<uint32_t>(DF.ArgPool.size());
+        D.NumArgs = static_cast<uint16_t>(C.getNumArgs());
+        for (unsigned A = 0; A < C.getNumArgs(); ++A)
+          DF.ArgPool.push_back(operandFor(C.getArg(A)));
+        break;
+      }
+      case Instruction::OpRet: {
+        const auto &Rt = static_cast<const RetInst &>(I);
+        D.Op = DOp::Ret;
+        if (Rt.hasValue()) {
+          D.Extra = 1;
+          D.A = operandFor(Rt.getValue());
+        }
+        break;
+      }
+      case Instruction::OpBr: {
+        const auto &Br = static_cast<const BrInst &>(I);
+        D.Op = DOp::Br;
+        D.Target0 = Br.getTarget()->getNumber();
+        D.FromBB = BB.get();
+        D.ToBB0 = Br.getTarget();
+        break;
+      }
+      case Instruction::OpCondBr: {
+        const auto &CBr = static_cast<const CondBrInst &>(I);
+        D.Op = DOp::CondBr;
+        D.A = operandFor(CBr.getCondition());
+        D.Target0 = CBr.getTrueTarget()->getNumber();
+        D.Target1 = CBr.getFalseTarget()->getNumber();
+        D.FromBB = BB.get();
+        D.ToBB0 = CBr.getTrueTarget();
+        D.ToBB1 = CBr.getFalseTarget();
+        break;
+      }
+      case Instruction::OpMalloc:
+        D.Op = DOp::Malloc;
+        D.A = operandFor(static_cast<const MallocInst &>(I).getSizeBytes());
+        break;
+      case Instruction::OpCalloc: {
+        const auto &Cal = static_cast<const CallocInst &>(I);
+        D.Op = DOp::Calloc;
+        D.A = operandFor(Cal.getCount());
+        D.B = operandFor(Cal.getElemSize());
+        break;
+      }
+      case Instruction::OpRealloc: {
+        const auto &Re = static_cast<const ReallocInst &>(I);
+        D.Op = DOp::Realloc;
+        D.A = operandFor(Re.getPtr());
+        D.B = operandFor(Re.getSizeBytes());
+        break;
+      }
+      case Instruction::OpFree:
+        D.Op = DOp::Free;
+        D.A = operandFor(static_cast<const FreeInst &>(I).getPtr());
+        break;
+      case Instruction::OpMemset: {
+        const auto &Ms = static_cast<const MemsetInst &>(I);
+        D.Op = DOp::Memset;
+        D.A = operandFor(Ms.getPtr());
+        D.B = operandFor(Ms.getByte());
+        D.C = operandFor(Ms.getSizeBytes());
+        break;
+      }
+      case Instruction::OpMemcpy: {
+        const auto &Mc = static_cast<const MemcpyInst &>(I);
+        D.Op = DOp::Memcpy;
+        D.A = operandFor(Mc.getDst());
+        D.B = operandFor(Mc.getSrc());
+        D.C = operandFor(Mc.getSizeBytes());
+        break;
+      }
+      }
+      DF.Code.push_back(D);
+    }
+    if (!BB->getTerminator()) {
+      DInst D;
+      D.Op = DOp::TrapNoTerm;
+      D.BaseCost = 0;
+      DF.Code.push_back(D);
+    }
+  }
+
+  // Patch branch targets from block numbers to code indices.
+  for (DInst &D : DF.Code) {
+    if (D.Op == DOp::Br) {
+      D.Target0 = BlockStart[D.Target0];
+    } else if (D.Op == DOp::CondBr) {
+      D.Target0 = BlockStart[D.Target0];
+      D.Target1 = BlockStart[D.Target1];
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compile (DInst -> flat bytecode)
+//===----------------------------------------------------------------------===//
+
+void engine::compileFunction(const DecodedFunction &DF, BCFunction &BF,
+                             const CompileOptions &CO) {
+  BF.F = DF.F;
+  BF.FuncIdx = DF.FuncIdx;
+  BF.NumSlots = DF.NumSlots;
+  BF.FrameSize = DF.FrameSize;
+  BF.Allocas = DF.Allocas;
+  BF.NumDInsts = static_cast<uint32_t>(DF.Code.size());
+
+  // Constant materialization: each distinct immediate bit pattern gets
+  // one constant slot appended after the register slots, copied into the
+  // frame at call entry. Operand fetch then never branches on
+  // slot-vs-immediate.
+  std::unordered_map<uint64_t, uint32_t> ConstSlot;
+  auto slotOf = [&](const Operand &O) -> uint32_t {
+    if (O.Slot >= 0)
+      return static_cast<uint32_t>(O.Slot);
+    uint64_t Key = static_cast<uint64_t>(O.Imm.I);
+    auto [It, Inserted] = ConstSlot.try_emplace(
+        Key,
+        static_cast<uint32_t>(DF.NumSlots + BF.Consts.size()));
+    if (Inserted)
+      BF.Consts.push_back(O.Imm);
+    return It->second;
+  };
+
+  // Frame offset per alloca result slot (-1 otherwise). A slot is
+  // assigned to exactly one instruction and an alloca's slot is written
+  // only by the frame-entry materialization, so an access whose address
+  // operand is an alloca slot provably targets the current frame: it
+  // can neither trap nor be simulated (stack accesses model
+  // register-promoted locals on both engines).
+  std::vector<int64_t> AllocaOff(static_cast<size_t>(DF.NumSlots), -1);
+  for (const auto &[SlotIdx, Off] : DF.Allocas)
+    AllocaOff[static_cast<size_t>(SlotIdx)] = static_cast<int64_t>(Off);
+  auto stackOffset = [&](const Operand &Address, unsigned Bytes) -> int64_t {
+    if (Address.Slot < 0)
+      return -1;
+    int64_t Off = AllocaOff[static_cast<size_t>(Address.Slot)];
+    // The access must stay inside the frame, or the walker's bounds
+    // check (and its memory growth) would be observable.
+    if (Off < 0 || static_cast<uint64_t>(Off) + Bytes > DF.FrameSize)
+      return -1;
+    return Off;
+  };
+
+  // Slot use counts decide superinstruction fusion: a field address
+  // consumed exactly once, by the load/store immediately after it, is
+  // folded into that access. Fused pairs never span block boundaries:
+  // every block ends with a terminator, so the successor of any
+  // non-terminator is in the same block and is never a branch target.
+  std::vector<uint32_t> Uses(static_cast<size_t>(DF.NumSlots), 0);
+  auto countUse = [&](const Operand &O) {
+    if (O.Slot >= 0)
+      ++Uses[static_cast<size_t>(O.Slot)];
+  };
+  for (const DInst &D : DF.Code) {
+    countUse(D.A);
+    countUse(D.B);
+    countUse(D.C);
+  }
+  for (const Operand &O : DF.ArgPool)
+    countUse(O);
+
+  const bool Instr = CO.Instrument;
+
+  // Head test for the three-way "stack pointer load + field address +
+  // access" fusion: a pointer-width integer load from an in-frame
+  // alloca, single-used as the base of the next instruction's field
+  // address, itself single-used as the address of the access after
+  // that. The BaseCost guards pin the costs the handler replays
+  // (load 0, address 1, access 0).
+  auto stackFieldAt = [&](uint32_t J) -> bool {
+    if (J + 2 >= DF.Code.size())
+      return false;
+    const DInst &P = DF.Code[J];
+    if (P.Op != DOp::Load || P.IsFloat || P.Bytes != 8 || P.BaseCost != 0 ||
+        P.ResultSlot < 0 || Uses[static_cast<size_t>(P.ResultSlot)] != 1 ||
+        stackOffset(P.A, P.Bytes) < 0 ||
+        stackOffset(P.A, P.Bytes) > 0xffffffff)
+      return false;
+    const DInst &F1 = DF.Code[J + 1];
+    if (F1.Op != DOp::FieldAddr || F1.A.Slot != P.ResultSlot ||
+        F1.BaseCost != 1 || F1.ResultSlot < 0 ||
+        Uses[static_cast<size_t>(F1.ResultSlot)] != 1)
+      return false;
+    const DInst &M = DF.Code[J + 2];
+    if (M.BaseCost != 0)
+      return false;
+    if (M.Op == DOp::Load)
+      return M.A.Slot == F1.ResultSlot;
+    return M.Op == DOp::Store && M.A.Slot == F1.ResultSlot &&
+           M.B.Slot != F1.ResultSlot;
+  };
+
+  // Head test for the "stack base load + stack index load + element
+  // address" fusion: a pointer-width base and an integer index, each
+  // loaded from an in-frame alloca and single-used as the corresponding
+  // operand of the IndexAddr immediately after them. The BaseCost
+  // guards pin the replayed costs (load 0, load 0, address 1).
+  auto stackIndexAt = [&](uint32_t J) -> bool {
+    if (J + 2 >= DF.Code.size())
+      return false;
+    const DInst &P1 = DF.Code[J];
+    if (P1.Op != DOp::Load || P1.IsFloat || P1.Bytes != 8 ||
+        P1.BaseCost != 0 || P1.ResultSlot < 0 ||
+        Uses[static_cast<size_t>(P1.ResultSlot)] != 1 ||
+        stackOffset(P1.A, P1.Bytes) < 0 ||
+        stackOffset(P1.A, P1.Bytes) > 0xffffffff)
+      return false;
+    const DInst &P2 = DF.Code[J + 1];
+    if (P2.Op != DOp::Load || P2.IsFloat || P2.Bytes > 8 ||
+        P2.BaseCost != 0 || P2.ResultSlot < 0 ||
+        Uses[static_cast<size_t>(P2.ResultSlot)] != 1 ||
+        stackOffset(P2.A, P2.Bytes) < 0 ||
+        stackOffset(P2.A, P2.Bytes) > 0xffffffff)
+      return false;
+    const DInst &IA = DF.Code[J + 2];
+    return IA.Op == DOp::IndexAddr && IA.BaseCost == 1 &&
+           IA.ResultSlot >= 0 && IA.A.Slot == P1.ResultSlot &&
+           IA.B.Slot == P2.ResultSlot;
+  };
+  // Extends stackFieldAt to the five-way pointer chase "x = p->f->g":
+  // the fused load's pointer-width integer result is itself single-used
+  // as the base of a second field address, single-used by the load after
+  // that. Both field offsets must fit 32 bits (they share Extra).
+  auto stackFieldChainAt = [&](uint32_t J) -> bool {
+    if (J + 4 >= DF.Code.size() || !stackFieldAt(J))
+      return false;
+    const DInst &F1 = DF.Code[J + 1];
+    if (F1.Extra < 0 || F1.Extra > 0xffffffff)
+      return false;
+    const DInst &M = DF.Code[J + 2];
+    if (M.Op != DOp::Load || M.IsFloat || M.Bytes != 8 || M.ResultSlot < 0 ||
+        Uses[static_cast<size_t>(M.ResultSlot)] != 1)
+      return false;
+    const DInst &F2 = DF.Code[J + 3];
+    if (F2.Op != DOp::FieldAddr || F2.A.Slot != M.ResultSlot ||
+        F2.BaseCost != 1 || F2.ResultSlot < 0 ||
+        Uses[static_cast<size_t>(F2.ResultSlot)] != 1 || F2.Extra < 0 ||
+        F2.Extra > 0xffffffff)
+      return false;
+    const DInst &L2 = DF.Code[J + 4];
+    return L2.Op == DOp::Load && L2.BaseCost == 0 && L2.ResultSlot >= 0 &&
+           L2.A.Slot == F2.ResultSlot;
+  };
+
+  // Extends stackIndexAt to "a[i].f": the element address is single-used
+  // by the field address immediately after it. Returns 2 when that
+  // address is in turn single-used by the load after it (fuse the access
+  // too), 1 when only the address chain fuses, 0 otherwise. The index
+  // load is pinned to 8 bytes so Bytes/Flags stay free for the final
+  // access; element size and field offset share Extra, so both must fit
+  // 32 bits.
+  auto stackIndexFieldAt = [&](uint32_t J) -> int {
+    if (J + 3 >= DF.Code.size() || !stackIndexAt(J))
+      return 0;
+    if (DF.Code[J + 1].Bytes != 8)
+      return 0;
+    const DInst &IA = DF.Code[J + 2];
+    if (IA.Extra < 0 || IA.Extra > 0xffffffff ||
+        Uses[static_cast<size_t>(IA.ResultSlot)] != 1)
+      return 0;
+    const DInst &F1 = DF.Code[J + 3];
+    if (F1.Op != DOp::FieldAddr || F1.A.Slot != IA.ResultSlot ||
+        F1.BaseCost != 1 || F1.ResultSlot < 0 || F1.Extra < 0 ||
+        F1.Extra > 0xffffffff)
+      return 0;
+    if (J + 4 < DF.Code.size() &&
+        Uses[static_cast<size_t>(F1.ResultSlot)] == 1) {
+      const DInst &L = DF.Code[J + 4];
+      if (L.Op == DOp::Load && L.BaseCost == 0 && L.ResultSlot >= 0 &&
+          L.A.Slot == F1.ResultSlot)
+        return 2;
+    }
+    return 1;
+  };
+
+  // Head test for "x * y" with x and y double locals: two 8-byte float
+  // stack loads single-used, in order, as the operands of the FMul
+  // immediately after them.
+  auto stackLoad2FMulAt = [&](uint32_t J) -> bool {
+    if (J + 2 >= DF.Code.size())
+      return false;
+    auto FloatLocal = [&](const DInst &P) {
+      return P.Op == DOp::Load && P.IsFloat && P.Bytes == 8 &&
+             P.BaseCost == 0 && P.ResultSlot >= 0 &&
+             Uses[static_cast<size_t>(P.ResultSlot)] == 1 &&
+             stackOffset(P.A, P.Bytes) >= 0 &&
+             stackOffset(P.A, P.Bytes) <= 0xffffffff;
+    };
+    const DInst &P1 = DF.Code[J];
+    const DInst &P2 = DF.Code[J + 1];
+    const DInst &M = DF.Code[J + 2];
+    return FloatLocal(P1) && FloatLocal(P2) && M.Op == DOp::FMul &&
+           M.BaseCost == 1 && M.ResultSlot >= 0 &&
+           M.A.Slot == P1.ResultSlot && M.B.Slot == P2.ResultSlot;
+  };
+
+  auto accessSide = [&](const DInst &D, uint32_t OrigIdx) -> uint32_t {
+    AccessSide S;
+    S.Pc = (static_cast<uint64_t>(DF.FuncIdx) << 32) | OrigIdx;
+    S.Attrib = D.Attrib;
+    S.Site = D.Site;
+    S.PmuSite = D.PmuSite;
+    BF.Access.push_back(S);
+    return static_cast<uint32_t>(BF.Access.size() - 1);
+  };
+
+  // Map from DInst index to emitted bytecode index, for branch-target
+  // patching. Both halves of a fused pair map to the fused instruction
+  // (only block starts are ever branch targets, and a fused pair never
+  // spans a block boundary, so a target always lands on the first half).
+  std::vector<uint32_t> Map(DF.Code.size(), 0);
+  std::vector<uint32_t> BranchFixups; // Bytecode indices to re-target.
+
+  for (uint32_t Idx = 0; Idx < DF.Code.size(); ++Idx) {
+    const DInst &D = DF.Code[Idx];
+    Map[Idx] = static_cast<uint32_t>(BF.Code.size());
+    BCInst BI;
+    BI.Cost = D.BaseCost;
+
+    // Five-way fusion: the pointer chase "x = p->f->g" (mcf's hot
+    // shape). Intermediate results (the first load's address, the
+    // chased pointer, the second address) are all dead after the chain,
+    // so only the final load writes the frame. Costs replay as
+    // 0+1+0+1+0 (pinned by the head test); the intermediate access is
+    // simulated before the second field address's budget check, exactly
+    // where the walker performs it.
+    if (!CO.InjectVmBug && stackFieldChainAt(Idx)) {
+      const DInst &F1 = DF.Code[Idx + 1];
+      const DInst &M = DF.Code[Idx + 2];
+      const DInst &F2 = DF.Code[Idx + 3];
+      const DInst &L2 = DF.Code[Idx + 4];
+      BI.Op = Instr ? BCOp::StackFieldChainLoadInstr
+                    : BCOp::StackFieldChainLoadFast;
+      BI.B = static_cast<uint32_t>(stackOffset(D.A, D.Bytes));
+      BI.Extra = static_cast<int64_t>(
+          static_cast<uint64_t>(F1.Extra) |
+          (static_cast<uint64_t>(F2.Extra) << 32));
+      BI.Dst = L2.ResultSlot;
+      BI.Bytes = L2.Bytes;
+      BI.Flags = static_cast<uint8_t>((L2.IsFloat ? BCF_Float : 0) |
+                                      (L2.SignExtend ? BCF_SignExtend : 0));
+      if (Instr) {
+        BI.C = accessSide(M, Idx + 2); // Intermediate access; final is C+1.
+        accessSide(L2, Idx + 4);
+      }
+      BF.NumFused += 4;
+      for (uint32_t J = Idx + 1; J <= Idx + 4; ++J)
+        Map[J] = Map[Idx];
+      BF.Code.push_back(BI);
+      Idx += 4;
+      continue;
+    }
+
+    // Three-way fusion: a pointer-width stack load whose single use is
+    // the field address immediately after it, itself single-used by the
+    // access after that ("p->f" with p a local, which MiniC re-loads at
+    // every use). One dispatch counts three instructions. Cost replay
+    // is hard-coded in the handler (0 + 1 + 0), hence the BaseCost
+    // guards in stackFieldAt. Skipped under bug injection so the
+    // injected cost bump on plain loads stays observable.
+    if (!CO.InjectVmBug && stackFieldAt(Idx)) {
+      const DInst &N1 = DF.Code[Idx + 1];
+      const DInst &N2 = DF.Code[Idx + 2];
+      bool FuseLoad = N2.Op == DOp::Load;
+      BI.Op = FuseLoad
+                  ? (Instr ? BCOp::StackFieldLoadInstr
+                           : BCOp::StackFieldLoadFast)
+                  : (Instr ? BCOp::StackFieldStoreInstr
+                           : BCOp::StackFieldStoreFast);
+      BI.B = static_cast<uint32_t>(stackOffset(D.A, D.Bytes)); // Ptr slot.
+      BI.Extra = N1.Extra;                                     // Field imm.
+      BI.Dst = FuseLoad ? N2.ResultSlot : static_cast<int32_t>(slotOf(N2.B));
+      BI.Bytes = N2.Bytes;
+      BI.Flags = static_cast<uint8_t>((N2.IsFloat ? BCF_Float : 0) |
+                                      (N2.SignExtend ? BCF_SignExtend : 0));
+      if (Instr)
+        BI.C = accessSide(N2, Idx + 2);
+      BF.NumFused += 2;
+      Map[Idx + 1] = Map[Idx];
+      Map[Idx + 2] = Map[Idx];
+      BF.Code.push_back(BI);
+      Idx += 2;
+      continue;
+    }
+
+    // Four/five-way fusion: "&a[i].f" / "x = a[i].f" with a and i
+    // locals (moldyn's hot shape). Costs replay as 0+0+1+1(+0); in the
+    // five-way form the access is simulated after the last replayed
+    // check, where the walker executes the load.
+    if (!CO.InjectVmBug) {
+      if (int Kind = stackIndexFieldAt(Idx)) {
+        const DInst &P2 = DF.Code[Idx + 1];
+        const DInst &IA = DF.Code[Idx + 2];
+        const DInst &F1 = DF.Code[Idx + 3];
+        BI.A = static_cast<uint32_t>(stackOffset(D.A, D.Bytes));   // Base.
+        BI.B = static_cast<uint32_t>(stackOffset(P2.A, P2.Bytes)); // Index.
+        BI.Extra = static_cast<int64_t>(
+            static_cast<uint64_t>(IA.Extra) |
+            (static_cast<uint64_t>(F1.Extra) << 32));
+        uint32_t Last = Idx + 3;
+        if (Kind == 2) {
+          const DInst &L = DF.Code[Idx + 4];
+          BI.Op = Instr ? BCOp::StackIndexFieldLoadInstr
+                        : BCOp::StackIndexFieldLoadFast;
+          BI.Dst = L.ResultSlot;
+          BI.Bytes = L.Bytes;
+          BI.Flags = static_cast<uint8_t>(
+              (L.IsFloat ? BCF_Float : 0) |
+              (L.SignExtend ? BCF_SignExtend : 0));
+          if (Instr)
+            BI.C = accessSide(L, Idx + 4);
+          Last = Idx + 4;
+        } else {
+          BI.Op = BCOp::StackIndexFieldAddr;
+          BI.Dst = F1.ResultSlot;
+        }
+        BF.NumFused += Last - Idx;
+        for (uint32_t J = Idx + 1; J <= Last; ++J)
+          Map[J] = Map[Idx];
+        BF.Code.push_back(BI);
+        Idx = Last;
+        continue;
+      }
+    }
+
+    // Three-way fusion: base and index both loaded from in-frame
+    // allocas and single-used by the element address after them
+    // ("a[i]" with a and i locals). One dispatch counts three
+    // instructions; costs replay as 0 + 0 + 1 (pinned by the BaseCost
+    // guards in stackIndexAt).
+    if (!CO.InjectVmBug && stackIndexAt(Idx)) {
+      const DInst &P2 = DF.Code[Idx + 1];
+      const DInst &IA = DF.Code[Idx + 2];
+      BI.Op = BCOp::StackIndexAddr2;
+      BI.A = static_cast<uint32_t>(stackOffset(D.A, D.Bytes));   // Base.
+      BI.B = static_cast<uint32_t>(stackOffset(P2.A, P2.Bytes)); // Index.
+      BI.Extra = IA.Extra;                                       // Elem size.
+      BI.Dst = IA.ResultSlot;
+      BI.Bytes = P2.Bytes;
+      BI.Flags = static_cast<uint8_t>(P2.SignExtend ? BCF_SignExtend : 0);
+      BF.NumFused += 2;
+      Map[Idx + 1] = Map[Idx];
+      Map[Idx + 2] = Map[Idx];
+      BF.Code.push_back(BI);
+      Idx += 2;
+      continue;
+    }
+
+    // Two-way fusion: stack pointer load single-used by the field
+    // address after it, whose own result stays live ("&p->f" kept in a
+    // register; the single-use case is the three-way fusion above).
+    if (!CO.InjectVmBug && D.Op == DOp::Load && !D.IsFloat && D.Bytes == 8 &&
+        D.BaseCost == 0 && D.ResultSlot >= 0 &&
+        Uses[static_cast<size_t>(D.ResultSlot)] == 1 &&
+        Idx + 1 < DF.Code.size()) {
+      const DInst &N = DF.Code[Idx + 1];
+      int64_t Off = stackOffset(D.A, D.Bytes);
+      if (N.Op == DOp::FieldAddr && N.A.Slot == D.ResultSlot &&
+          N.BaseCost == 1 && N.ResultSlot >= 0 && Off >= 0 &&
+          Off <= 0xffffffff) {
+        BI.Op = BCOp::StackFieldAddr;
+        BI.B = static_cast<uint32_t>(Off); // Pointer's frame offset.
+        BI.Extra = N.Extra;                // Field offset.
+        BI.Dst = N.ResultSlot;
+        ++BF.NumFused;
+        Map[Idx + 1] = Map[Idx];
+        BF.Code.push_back(BI);
+        ++Idx;
+        continue;
+      }
+    }
+
+    // Three-way fusion: two double stack loads single-used, in order,
+    // by the FMul after them ("x * y" with x, y locals — moldyn's force
+    // kernel). Costs replay as 0 + 0 + 1, pinned by the head test.
+    if (!CO.InjectVmBug && stackLoad2FMulAt(Idx)) {
+      const DInst &P2 = DF.Code[Idx + 1];
+      const DInst &M = DF.Code[Idx + 2];
+      BI.Op = BCOp::StackLoad2FMul;
+      BI.A = static_cast<uint32_t>(stackOffset(D.A, D.Bytes));
+      BI.B = static_cast<uint32_t>(stackOffset(P2.A, P2.Bytes));
+      BI.Dst = M.ResultSlot;
+      BF.NumFused += 2;
+      Map[Idx + 1] = Map[Idx];
+      Map[Idx + 2] = Map[Idx];
+      BF.Code.push_back(BI);
+      Idx += 2;
+      continue;
+    }
+
+    // Two adjacent stack loads in one dispatch. The second must not be
+    // the head of a three-way fusion (those save more). Widths and
+    // float/sign-extend flags are packed per half (low/high nibble,
+    // low/high flag pair).
+    if (!CO.InjectVmBug && D.Op == DOp::Load && D.BaseCost == 0 &&
+        D.ResultSlot >= 0 && D.Bytes <= 8 && Idx + 1 < DF.Code.size()) {
+      const DInst &N = DF.Code[Idx + 1];
+      int64_t Off1 = stackOffset(D.A, D.Bytes);
+      int64_t Off2 = N.Op == DOp::Load && N.BaseCost == 0 &&
+                             N.ResultSlot >= 0 && N.Bytes <= 8
+                         ? stackOffset(N.A, N.Bytes)
+                         : -1;
+      if (Off1 >= 0 && Off2 >= 0 && Off2 <= 0xffffffff &&
+          !stackFieldAt(Idx + 1) && !stackIndexAt(Idx + 1) &&
+          !stackLoad2FMulAt(Idx + 1)) {
+        BI.Op = BCOp::StackLoad2;
+        BI.Dst = D.ResultSlot;
+        BI.A = static_cast<uint32_t>(N.ResultSlot);
+        BI.B = static_cast<uint32_t>(Off2);
+        BI.Extra = Off1;
+        BI.Bytes = static_cast<uint8_t>(D.Bytes | (N.Bytes << 4));
+        BI.Flags = static_cast<uint8_t>(
+            (D.IsFloat ? BCF_Float : 0) | (D.SignExtend ? BCF_SignExtend : 0) |
+            ((N.IsFloat ? BCF_Float : 0) | (N.SignExtend ? BCF_SignExtend : 0))
+                << 2);
+        ++BF.NumFused;
+        Map[Idx + 1] = Map[Idx];
+        BF.Code.push_back(BI);
+        ++Idx;
+        continue;
+      }
+    }
+
+    // A run of same-cost Nops (alloca placeholders at entry, collapsed
+    // casts) becomes one dispatch that counts and charges the whole
+    // run, emulating budget expiry mid-run exactly.
+    if (D.Op == DOp::Nop) {
+      uint32_t End = Idx + 1;
+      while (End < DF.Code.size() && DF.Code[End].Op == DOp::Nop &&
+             DF.Code[End].BaseCost == D.BaseCost)
+        ++End;
+      if (End - Idx >= 2) {
+        BI.Op = BCOp::NopN;
+        BI.A = End - Idx; // Run length, counting the dispatched head.
+        BF.NumFused += End - Idx - 1;
+        for (uint32_t J = Idx + 1; J < End; ++J)
+          Map[J] = Map[Idx];
+        BF.Code.push_back(BI);
+        Idx = End - 1;
+        continue;
+      }
+      // A singleton Nop (mid-block alloca placeholder) followed by a
+      // stack store is "int x = init;": fuse the pair. The head's cost
+      // rides in BI.Cost; the store half (cost 0, pinned) replays the
+      // budget check.
+      if (!CO.InjectVmBug && Idx + 1 < DF.Code.size()) {
+        const DInst &N = DF.Code[Idx + 1];
+        int64_t Off = N.Op == DOp::Store && N.BaseCost == 0
+                          ? stackOffset(N.A, N.Bytes)
+                          : -1;
+        if (Off >= 0) {
+          BI.Op = BCOp::NopStackStore;
+          BI.B = slotOf(N.B);
+          BI.Extra = Off;
+          BI.Bytes = N.Bytes;
+          BI.Flags = static_cast<uint8_t>(N.IsFloat ? BCF_Float : 0);
+          ++BF.NumFused;
+          Map[Idx + 1] = Map[Idx];
+          BF.Code.push_back(BI);
+          ++Idx;
+          continue;
+        }
+      }
+    }
+
+    // Superinstruction fusion: FieldAddr whose single use is the
+    // immediately following load/store's address operand.
+    if (D.Op == DOp::FieldAddr && D.ResultSlot >= 0 &&
+        Uses[static_cast<size_t>(D.ResultSlot)] == 1 &&
+        Idx + 1 < DF.Code.size()) {
+      const DInst &N = DF.Code[Idx + 1];
+      bool FuseLoad = N.Op == DOp::Load && N.A.Slot == D.ResultSlot;
+      bool FuseStore = N.Op == DOp::Store && N.A.Slot == D.ResultSlot &&
+                       N.B.Slot != D.ResultSlot;
+      if (FuseLoad || FuseStore) {
+        BI.Op = FuseLoad ? (Instr ? BCOp::FieldLoadInstr : BCOp::FieldLoadFast)
+                         : (Instr ? BCOp::FieldStoreInstr
+                                  : BCOp::FieldStoreFast);
+        BI.A = slotOf(D.A);        // Record base pointer.
+        BI.Extra = D.Extra;        // Field offset.
+        BI.Dst = N.ResultSlot;     // Load result (unused for stores).
+        if (FuseStore)
+          BI.B = slotOf(N.B);      // Stored value.
+        BI.Bytes = N.Bytes;
+        BI.Flags = static_cast<uint8_t>((N.IsFloat ? BCF_Float : 0) |
+                                        (N.SignExtend ? BCF_SignExtend : 0));
+        if (Instr)
+          BI.C = accessSide(N, Idx + 1); // Attribute at the access PC.
+        if (CO.InjectVmBug && FuseLoad)
+          ++BI.Cost;
+        ++BF.NumFused;
+        Map[Idx + 1] = Map[Idx];
+        BF.Code.push_back(BI);
+        ++Idx; // Consume the fused access.
+        continue;
+      }
+    }
+
+    // Same fusion for an element address consumed exactly once, by the
+    // load/store immediately after it (array sweeps: art, moldyn). The
+    // store's value slot rides in Dst because B carries the index.
+    if (D.Op == DOp::IndexAddr && D.ResultSlot >= 0 &&
+        Uses[static_cast<size_t>(D.ResultSlot)] == 1 &&
+        Idx + 1 < DF.Code.size()) {
+      const DInst &N = DF.Code[Idx + 1];
+      bool FuseLoad = N.Op == DOp::Load && N.A.Slot == D.ResultSlot;
+      bool FuseStore = N.Op == DOp::Store && N.A.Slot == D.ResultSlot &&
+                       N.B.Slot != D.ResultSlot;
+      if (FuseLoad || FuseStore) {
+        BI.Op = FuseLoad ? (Instr ? BCOp::IndexLoadInstr : BCOp::IndexLoadFast)
+                         : (Instr ? BCOp::IndexStoreInstr
+                                  : BCOp::IndexStoreFast);
+        BI.A = slotOf(D.A);   // Element base pointer.
+        BI.B = slotOf(D.B);   // Index.
+        BI.Extra = D.Extra;   // Element size.
+        BI.Dst = FuseLoad ? N.ResultSlot
+                          : static_cast<int32_t>(slotOf(N.B));
+        BI.Bytes = N.Bytes;
+        BI.Flags = static_cast<uint8_t>((N.IsFloat ? BCF_Float : 0) |
+                                        (N.SignExtend ? BCF_SignExtend : 0));
+        if (Instr)
+          BI.C = accessSide(N, Idx + 1);
+        if (CO.InjectVmBug && FuseLoad)
+          ++BI.Cost;
+        ++BF.NumFused;
+        Map[Idx + 1] = Map[Idx];
+        BF.Code.push_back(BI);
+        ++Idx;
+        continue;
+      }
+    }
+
+    // Fused binary op + stack store of its single-use result
+    // ("x = a <op> b" with x a register-promoted local, which MiniC
+    // stores back after every expression). The op's own cost rides in
+    // the dispatch prologue; the store half's cost is pinned at 0.
+    if (!CO.InjectVmBug && D.ResultSlot >= 0 &&
+        Uses[static_cast<size_t>(D.ResultSlot)] == 1 &&
+        Idx + 1 < DF.Code.size() &&
+        (D.Op == DOp::Add || D.Op == DOp::Sub || D.Op == DOp::FAdd ||
+         D.Op == DOp::FSub || D.Op == DOp::FMul)) {
+      const DInst &N = DF.Code[Idx + 1];
+      int64_t Off = N.Op == DOp::Store && N.BaseCost == 0 &&
+                            N.B.Slot == D.ResultSlot
+                        ? stackOffset(N.A, N.Bytes)
+                        : -1;
+      if (Off >= 0 && Off <= 0xffffffff) {
+        switch (D.Op) {
+        case DOp::Add:  BI.Op = BCOp::AddStackStore; break;
+        case DOp::Sub:  BI.Op = BCOp::SubStackStore; break;
+        case DOp::FAdd: BI.Op = BCOp::FAddStackStore; break;
+        case DOp::FSub: BI.Op = BCOp::FSubStackStore; break;
+        default:        BI.Op = BCOp::FMulStackStore; break;
+        }
+        BI.A = slotOf(D.A);
+        BI.B = slotOf(D.B);
+        BI.Dst = D.ResultSlot; // Dead (single use is the store); kept
+                               // for disassembly only.
+        BI.C = static_cast<uint32_t>(Off);
+        BI.Bytes = N.Bytes;
+        BI.Flags = static_cast<uint8_t>(N.IsFloat ? BCF_Float : 0);
+        ++BF.NumFused;
+        Map[Idx + 1] = Map[Idx];
+        BF.Code.push_back(BI);
+        ++Idx;
+        continue;
+      }
+    }
+
+    // Fused compare + conditional branch: a compare whose single use is
+    // the immediately following CondBr's condition. Profiled runs keep
+    // the pair split so CondBrProf's edge counters stay per-branch.
+    if (D.Op >= DOp::ICmpEQ && D.Op <= DOp::FCmpGE && !CO.Profile &&
+        D.ResultSlot >= 0 && Uses[static_cast<size_t>(D.ResultSlot)] == 1 &&
+        Idx + 1 < DF.Code.size()) {
+      const DInst &N = DF.Code[Idx + 1];
+      if (N.Op == DOp::CondBr && N.A.Slot == D.ResultSlot) {
+        BI.Op = static_cast<BCOp>(static_cast<unsigned>(BCOp::CmpBrEQ) +
+                                  (static_cast<unsigned>(D.Op) -
+                                   static_cast<unsigned>(DOp::ICmpEQ)));
+        BI.A = slotOf(D.A);
+        BI.B = slotOf(D.B);
+        BI.Bytes = N.BaseCost; // Charged when the branch half replays
+                               // the between-instruction budget check.
+        BI.C = N.Target0;      // DInst indices; remapped below.
+        BI.Extra = static_cast<int64_t>(N.Target1);
+        ++BF.NumFused;
+        Map[Idx + 1] = Map[Idx];
+        BranchFixups.push_back(static_cast<uint32_t>(BF.Code.size()));
+        BF.Code.push_back(BI);
+        ++Idx;
+        continue;
+      }
+    }
+
+    switch (D.Op) {
+    case DOp::Nop:
+      BI.Op = BCOp::Nop;
+      break;
+    case DOp::Load:
+      if (int64_t Off = stackOffset(D.A, D.Bytes); Off >= 0) {
+        BI.Op = BCOp::StackLoad; // Serves both run modes.
+        BI.Extra = Off;
+      } else {
+        BI.Op = Instr ? BCOp::LoadInstr : BCOp::LoadFast;
+        BI.A = slotOf(D.A);
+        if (Instr)
+          BI.C = accessSide(D, Idx);
+      }
+      BI.Dst = D.ResultSlot;
+      BI.Bytes = D.Bytes;
+      BI.Flags = static_cast<uint8_t>((D.IsFloat ? BCF_Float : 0) |
+                                      (D.SignExtend ? BCF_SignExtend : 0));
+      if (CO.InjectVmBug)
+        ++BI.Cost;
+      break;
+    case DOp::Store:
+      if (int64_t Off = stackOffset(D.A, D.Bytes); Off >= 0) {
+        BI.Op = BCOp::StackStore;
+        BI.Extra = Off;
+      } else {
+        BI.Op = Instr ? BCOp::StoreInstr : BCOp::StoreFast;
+        BI.A = slotOf(D.A);
+        if (Instr)
+          BI.C = accessSide(D, Idx);
+      }
+      BI.B = slotOf(D.B);
+      BI.Bytes = D.Bytes;
+      BI.Flags = static_cast<uint8_t>(D.IsFloat ? BCF_Float : 0);
+      break;
+    case DOp::FieldAddr:
+      BI.Op = BCOp::FieldAddr;
+      BI.A = slotOf(D.A);
+      BI.Extra = D.Extra;
+      BI.Dst = D.ResultSlot;
+      break;
+    case DOp::IndexAddr:
+      BI.Op = BCOp::IndexAddr;
+      BI.A = slotOf(D.A);
+      BI.B = slotOf(D.B);
+      BI.Extra = D.Extra;
+      BI.Dst = D.ResultSlot;
+      break;
+#define BIN_CASE(OPC)                                                        \
+  case DOp::OPC:                                                             \
+    BI.Op = BCOp::OPC;                                                       \
+    BI.A = slotOf(D.A);                                                      \
+    BI.B = slotOf(D.B);                                                      \
+    BI.Dst = D.ResultSlot;                                                   \
+    break;
+      BIN_CASE(Add)
+      BIN_CASE(Sub)
+      BIN_CASE(Mul)
+      BIN_CASE(SDiv)
+      BIN_CASE(SRem)
+      BIN_CASE(And)
+      BIN_CASE(Or)
+      BIN_CASE(Xor)
+      BIN_CASE(Shl)
+      BIN_CASE(AShr)
+      BIN_CASE(FAdd)
+      BIN_CASE(FSub)
+      BIN_CASE(FMul)
+      BIN_CASE(FDiv)
+      BIN_CASE(ICmpEQ)
+      BIN_CASE(ICmpNE)
+      BIN_CASE(ICmpSLT)
+      BIN_CASE(ICmpSLE)
+      BIN_CASE(ICmpSGT)
+      BIN_CASE(ICmpSGE)
+      BIN_CASE(FCmpEQ)
+      BIN_CASE(FCmpNE)
+      BIN_CASE(FCmpLT)
+      BIN_CASE(FCmpLE)
+      BIN_CASE(FCmpGT)
+      BIN_CASE(FCmpGE)
+#undef BIN_CASE
+    case DOp::Trunc:
+      BI.Op = BCOp::Trunc;
+      BI.A = slotOf(D.A);
+      BI.Extra = D.Extra;
+      BI.Dst = D.ResultSlot;
+      break;
+    case DOp::Move:
+      BI.Op = BCOp::Move;
+      BI.A = slotOf(D.A);
+      BI.Dst = D.ResultSlot;
+      break;
+    case DOp::FPTrunc:
+      BI.Op = BCOp::FPTrunc;
+      BI.A = slotOf(D.A);
+      BI.Dst = D.ResultSlot;
+      break;
+    case DOp::SIToFP:
+      BI.Op = BCOp::SIToFP;
+      BI.A = slotOf(D.A);
+      BI.Extra = D.Extra;
+      BI.Dst = D.ResultSlot;
+      break;
+    case DOp::FPToSI:
+      BI.Op = BCOp::FPToSI;
+      BI.A = slotOf(D.A);
+      BI.Dst = D.ResultSlot;
+      break;
+    case DOp::Call:
+    case DOp::ICall: {
+      CallSide S;
+      S.Callee = D.Callee;
+      S.CalleeIdx = D.CalleeIdx;
+      S.Builtin = D.Builtin;
+      BF.Calls.push_back(S);
+      uint32_t SideIdx = static_cast<uint32_t>(BF.Calls.size() - 1);
+      if (D.Op == DOp::ICall) {
+        BI.Op = BCOp::ICall;
+        BI.Extra = static_cast<int64_t>(slotOf(D.A)); // Callee pointer.
+      } else {
+        BI.Op = D.Builtin != BK_NotBuiltin ? BCOp::CallBuiltin : BCOp::Call;
+      }
+      BI.A = static_cast<uint32_t>(BF.ArgPool.size());
+      BI.B = D.NumArgs;
+      BI.C = SideIdx;
+      BI.Dst = D.ResultSlot;
+      for (unsigned AIdx = 0; AIdx < D.NumArgs; ++AIdx)
+        BF.ArgPool.push_back(slotOf(DF.ArgPool[D.ArgsBegin + AIdx]));
+      break;
+    }
+    case DOp::Ret:
+      if (D.Extra) {
+        BI.Op = BCOp::Ret;
+        BI.A = slotOf(D.A);
+      } else {
+        BI.Op = BCOp::RetVoid;
+      }
+      break;
+    case DOp::Br: {
+      BI.Op = CO.Profile ? BCOp::BrProf : BCOp::Br;
+      BI.B = D.Target0; // DInst index; remapped below.
+      if (CO.Profile) {
+        BranchSide S;
+        S.From = D.FromBB;
+        S.To0 = D.ToBB0;
+        BF.Branches.push_back(S);
+        BI.C = static_cast<uint32_t>(BF.Branches.size() - 1);
+      }
+      BranchFixups.push_back(static_cast<uint32_t>(BF.Code.size()));
+      break;
+    }
+    case DOp::CondBr: {
+      BI.Op = CO.Profile ? BCOp::CondBrProf : BCOp::CondBr;
+      BI.A = slotOf(D.A);
+      BI.B = D.Target0;
+      BI.C = D.Target1;
+      if (CO.Profile) {
+        BranchSide S;
+        S.From = D.FromBB;
+        S.To0 = D.ToBB0;
+        S.To1 = D.ToBB1;
+        BF.Branches.push_back(S);
+        BI.Extra = static_cast<int64_t>(BF.Branches.size() - 1);
+      }
+      BranchFixups.push_back(static_cast<uint32_t>(BF.Code.size()));
+      break;
+    }
+    case DOp::Malloc:
+      BI.Op = BCOp::Malloc;
+      BI.A = slotOf(D.A);
+      BI.Dst = D.ResultSlot;
+      break;
+    case DOp::Calloc:
+      BI.Op = BCOp::Calloc;
+      BI.A = slotOf(D.A);
+      BI.B = slotOf(D.B);
+      BI.Dst = D.ResultSlot;
+      break;
+    case DOp::Realloc:
+      BI.Op = BCOp::Realloc;
+      BI.A = slotOf(D.A);
+      BI.B = slotOf(D.B);
+      BI.Dst = D.ResultSlot;
+      break;
+    case DOp::Free:
+      BI.Op = BCOp::Free;
+      BI.A = slotOf(D.A);
+      break;
+    case DOp::Memset:
+    case DOp::Memcpy: {
+      BI.Op = D.Op == DOp::Memset ? BCOp::Memset : BCOp::Memcpy;
+      BI.A = slotOf(D.A);
+      BI.B = slotOf(D.B);
+      BI.C = slotOf(D.C);
+      BulkSide S;
+      S.Pc = (static_cast<uint64_t>(DF.FuncIdx) << 32) | Idx;
+      BF.Bulk.push_back(S);
+      BI.Extra = static_cast<int64_t>(BF.Bulk.size() - 1);
+      break;
+    }
+    case DOp::TrapNoTerm:
+      BI.Op = BCOp::TrapNoTerm;
+      break;
+    }
+    BF.Code.push_back(BI);
+  }
+
+  // Re-target branches from DInst indices to bytecode indices. The
+  // fused compare-and-branch forms keep their targets in C/Extra (B is
+  // a compare operand there).
+  for (uint32_t BIdx : BranchFixups) {
+    BCInst &BI = BF.Code[BIdx];
+    if (BI.Op >= BCOp::CmpBrEQ && BI.Op <= BCOp::FCmpBrGE) {
+      BI.C = Map[BI.C];
+      BI.Extra = static_cast<int64_t>(Map[static_cast<size_t>(BI.Extra)]);
+    } else {
+      BI.B = Map[BI.B];
+      if (BI.Op == BCOp::CondBr || BI.Op == BCOp::CondBrProf)
+        BI.C = Map[BI.C];
+    }
+  }
+
+  BF.FrameSlots = DF.NumSlots + static_cast<int32_t>(BF.Consts.size());
+}

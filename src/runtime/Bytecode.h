@@ -1,0 +1,413 @@
+//===- runtime/Bytecode.h - Decoded IR and flat bytecode -------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two lowered program representations shared by the execution engines:
+///
+///  1. The pre-decoded DInst stream (one record per IR instruction,
+///     operands resolved to flat register slots or immediates). The tree
+///     walker executes this directly; it is also the input to (2).
+///  2. A flat, register-based bytecode (BCInst) compiled from the DInst
+///     stream for the threaded VM: constants are materialized into
+///     dedicated frame slots so operand fetch is always one indexed
+///     load, cold instrumentation data moves to side tables, adjacent
+///     field-address + load/store pairs fuse into superinstructions, and
+///     every opcode is pre-specialized on which observability hooks are
+///     live for the run.
+///
+/// ## The DInst contract
+///
+/// Both engines must implement these semantics exactly; the engine-
+/// parity differential-fuzz oracle holds them to it. Any divergence is a
+/// bug in one engine and is fixed on the tree-walker side first.
+///
+///  - Integer arithmetic (Add, Sub, Mul, FieldAddr, IndexAddr) wraps
+///    modulo 2^64 (two's complement); there is no undefined behaviour
+///    on overflow.
+///  - Shl/AShr mask the shift amount to [0, 63]. AShr is an arithmetic
+///    (sign-propagating) shift.
+///  - SDiv/SRem trap on a zero divisor. SDiv traps on INT64_MIN / -1
+///    (the quotient 2^63 is unrepresentable — modelled as the hardware
+///    divide fault it would raise). SRem with divisor -1 is 0 for every
+///    dividend, including INT64_MIN.
+///  - FPToSI: NaN converts to 0; values outside [INT64_MIN, INT64_MAX]
+///    saturate to the nearest bound.
+///  - i_abs of INT64_MIN wraps to INT64_MIN (two's complement negate).
+///  - Narrow integer stores truncate to the low Bytes bytes; narrow
+///    loads sign-extend, except i1 which zero-extends.
+///  - Per instruction the engine (in this order) counts it, charges
+///    BaseCost cycles, stops if the instruction budget is exceeded, and
+///    only then executes it. A trap ends execution after the trapping
+///    instruction's side effects up to the trap point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_RUNTIME_BYTECODE_H
+#define SLO_RUNTIME_BYTECODE_H
+
+#include "runtime/EngineCommon.h"
+
+namespace slo {
+
+struct FieldCacheStats;
+class MissAttribution;
+class SampledPmu;
+
+namespace engine {
+
+/// Decoded opcodes. Mostly 1:1 with Instruction::Opcode; the no-op casts
+/// (sext/zext/bitcast/ptrtoint/inttoptr/fpext) collapse into Move, and
+/// TrapNoTerm marks a block that falls through without a terminator.
+enum class DOp : uint8_t {
+  Nop, // alloca: frame address was materialized at function entry
+  Load,
+  Store,
+  FieldAddr,
+  IndexAddr,
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  SRem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  AShr,
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  ICmpEQ,
+  ICmpNE,
+  ICmpSLT,
+  ICmpSLE,
+  ICmpSGT,
+  ICmpSGE,
+  FCmpEQ,
+  FCmpNE,
+  FCmpLT,
+  FCmpLE,
+  FCmpGT,
+  FCmpGE,
+  Trunc,
+  Move,
+  FPTrunc,
+  SIToFP,
+  FPToSI,
+  Call,
+  ICall,
+  Ret,
+  Br,
+  CondBr,
+  Malloc,
+  Calloc,
+  Realloc,
+  Free,
+  Memset,
+  Memcpy,
+  TrapNoTerm,
+};
+
+/// One pre-decoded instruction.
+struct DInst {
+  DOp Op = DOp::Nop;
+  uint8_t BaseCost = 1;
+  uint8_t Bytes = 0;       // Load/store access width.
+  bool IsFloat = false;    // Load/store value type is floating point.
+  bool SignExtend = false; // Integer loads: sign-extend (i1 zero-extends).
+  uint16_t Builtin = BK_NotBuiltin; // Direct calls to declarations.
+  int32_t ResultSlot = -1;
+  uint32_t CalleeIdx = 0;            // Direct calls: function index.
+  Operand A, B, C;                   // Generic operands.
+  int64_t Extra = 0;                 // Field offset / elem size / bits.
+  uint32_t Target0 = 0, Target1 = 0; // Branch targets: DInst index.
+  uint32_t ArgsBegin = 0;            // Calls: first operand in ArgPool.
+  uint16_t NumArgs = 0;
+  const Function *Callee = nullptr;        // Direct calls.
+  const FieldAddrInst *Attrib = nullptr;   // Load/store d-cache attribution.
+  const BasicBlock *FromBB = nullptr;      // Branches: edge profiling.
+  const BasicBlock *ToBB0 = nullptr, *ToBB1 = nullptr;
+  uint32_t Site = 0;    // MissAttribution site id (0 = untyped traffic).
+  uint32_t PmuSite = 0; // SampledPmu site id (0 = untyped traffic).
+};
+
+/// Precomputed execution form of one function: the decoded code stream,
+/// call-argument operand pool, and the register/stack frame shape.
+struct DecodedFunction {
+  const Function *F = nullptr;
+  uint32_t FuncIdx = 0;
+  int32_t NumSlots = 0;
+  uint64_t FrameSize = 0;
+  std::vector<DInst> Code;
+  std::vector<Operand> ArgPool;
+  /// (result slot, frame offset) of every alloca; materialized at entry.
+  std::vector<std::pair<int32_t, uint64_t>> Allocas;
+};
+
+/// Module-level context the decoder resolves operands against. Site
+/// registration happens at decode time, so for attribution/PMU parity
+/// both engines must decode functions in the same (first-call) order.
+struct DecodeContext {
+  const std::unordered_map<const GlobalVariable *, uint64_t> *GlobalAddr;
+  const std::unordered_map<const Function *, uint32_t> *FuncIndex;
+  MissAttribution *Attribution = nullptr;
+  SampledPmu *Pmu = nullptr;
+};
+
+/// Decodes \p F into \p DF (DF.FuncIdx must be set by the caller). Never
+/// mutates the Module; any number of decodes may run concurrently over
+/// one module.
+void decodeFunction(const Function *F, DecodedFunction &DF,
+                    const DecodeContext &Ctx);
+
+//===----------------------------------------------------------------------===//
+// Flat bytecode (the threaded VM's executable form)
+//===----------------------------------------------------------------------===//
+
+/// Bytecode opcodes. Memory and branch opcodes come in two flavours
+/// selected at compile time for the whole run: the *Fast* forms assume
+/// no attribution sink, no PMU, and no profile collection (the
+/// measurement configuration benchmarks run in), while the *Instr*
+/// forms carry a side-table index with precomputed (site, PC) context
+/// and inline-cached profile pointers. Field*/Index* opcodes are the
+/// fused address-computation + load/store superinstructions, and the
+/// CmpBr* group fuses a single-use compare into the conditional branch
+/// that consumes it.
+enum class BCOp : uint8_t {
+  Nop,
+  LoadFast,
+  StoreFast,
+  LoadInstr,
+  StoreInstr,
+  StackLoad,  // dst = *(frame + imm)  [address proven to be an in-frame
+  StackStore, // *(frame + imm) = b     alloca: never trapping, never
+              //  simulated — one opcode serves both run modes]
+  FieldLoadFast,  // dst = *(a + imm)   [fused FieldAddr + Load]
+  FieldStoreFast, // *(a + imm) = b     [fused FieldAddr + Store]
+  FieldLoadInstr,
+  FieldStoreInstr,
+  IndexLoadFast,  // dst = *(a + b * imm)   [fused IndexAddr + Load]
+  IndexStoreFast, // *(a + b * imm) = dst   [fused IndexAddr + Store;
+                  //  the value slot rides in Dst, B is the index]
+  IndexLoadInstr,
+  IndexStoreInstr,
+  FieldAddr, // dst = a + imm
+  IndexAddr, // dst = a + b * imm
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  SRem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  AShr,
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  ICmpEQ,
+  ICmpNE,
+  ICmpSLT,
+  ICmpSLE,
+  ICmpSGT,
+  ICmpSGE,
+  FCmpEQ,
+  FCmpNE,
+  FCmpLT,
+  FCmpLE,
+  FCmpGT,
+  FCmpGE,
+  Trunc,
+  Move,
+  FPTrunc,
+  SIToFP,
+  FPToSI,
+  CallBuiltin,
+  Call,
+  ICall,
+  Ret,
+  RetVoid,
+  Br,
+  BrProf,
+  CondBr,
+  CondBrProf,
+  // Fused compare + conditional branch (non-profiled runs): A/B are the
+  // compare operands, C / Extra the true / false targets, Bytes the
+  // branch half's BaseCost. Order mirrors the ICmp*/FCmp* group above.
+  CmpBrEQ,
+  CmpBrNE,
+  CmpBrSLT,
+  CmpBrSLE,
+  CmpBrSGT,
+  CmpBrSGE,
+  FCmpBrEQ,
+  FCmpBrNE,
+  FCmpBrLT,
+  FCmpBrLE,
+  FCmpBrGT,
+  FCmpBrGE,
+  Malloc,
+  Calloc,
+  Realloc,
+  Free,
+  Memset,
+  Memcpy,
+  TrapNoTerm,
+  // Multi-instruction superinstructions over provably-stack operands
+  // (see the StackLoad/StackStore comment above). Each counts all its
+  // constituent instructions and replays the walker's
+  // between-instruction budget checks.
+  StackLoad2,          // Two adjacent stack loads: dst = *(frame+extra),
+                       // a = *(frame+b); widths/flags packed per half.
+  NopN,                // A consecutive same-cost Nops (alloca runs).
+  StackFieldLoadFast,  // dst = (*(i64*)(frame+b))->field[extra]
+  StackFieldStoreFast, // (*(i64*)(frame+b))->field[extra] = dst
+  StackFieldLoadInstr,
+  StackFieldStoreInstr,
+  StackFieldAddr,      // dst = *(i64*)(frame+b) + extra: stack pointer
+                       //   load + field address whose result is multi-used
+                       //   (the single-use case folds the access too).
+  StackIndexAddr2,     // dst = *(i64*)(frame+a) + idx(frame+b) * extra:
+                       //   stack base and index loads + element address.
+  // Binary op + trailing stack store of its single-use result
+  // ("x = a <op> b" with x a register-promoted local). The op's cost
+  // rides in the dispatch prologue; the store half (cost 0, pinned)
+  // replays the budget check. C holds the frame offset; Bytes/Flags
+  // describe the store.
+  AddStackStore,
+  SubStackStore,
+  FAddStackStore,
+  FSubStackStore,
+  FMulStackStore,
+  // Chain superinstructions over the hot pointer-chase and array-walk
+  // shapes the bigram profile surfaces (mcf's "p->f->g", moldyn's
+  // "a[i].f"). Each counts every constituent instruction, replays the
+  // between-instruction budget checks with the costs pinned at fusion
+  // time, and performs each simulated access before the next replayed
+  // check — exactly where the walker would perform it.
+  StackFieldChainLoadFast,  // q = (*(i64*)(frame+b)) + extra.lo, then
+                            //   dst = load(*q + extra.hi): two field
+                            //   chases, two simulated accesses. The
+                            //   intermediate pointer load is pinned to
+                            //   8-byte integer; Bytes/Flags describe the
+                            //   final load. Instr form: C and C+1 are the
+                            //   two access sides.
+  StackFieldChainLoadInstr,
+  StackIndexFieldLoadFast,  // dst = load(*(i64*)(frame+a) +
+                            //   *(i64*)(frame+b) * extra.lo + extra.hi):
+                            //   "a[i].f" with a and i locals. One
+                            //   simulated access (side C in Instr form).
+  StackIndexFieldLoadInstr,
+  StackIndexFieldAddr,      // dst = *(i64*)(frame+a) +
+                            //   *(i64*)(frame+b) * extra.lo + extra.hi:
+                            //   "&a[i].f" kept live; no access.
+  StackLoad2FMul,           // dst = *(f64*)(frame+a) * *(f64*)(frame+b):
+                            //   two double stack loads feeding the FMul
+                            //   immediately after them.
+  NopStackStore,            // Singleton Nop (alloca placeholder) + stack
+                            //   store: "int x = init;" mid-block. B is
+                            //   the value slot, Extra the frame offset.
+  NumOps_,
+};
+
+/// One bytecode instruction. 32 bytes; operand fields are frame-slot
+/// indices (constants live in per-function constant slots appended to
+/// the frame, so there is no slot-vs-immediate branch at run time).
+struct BCInst {
+  BCOp Op = BCOp::Nop;
+  uint8_t Cost = 1;  // Cycles charged at dispatch.
+  uint8_t Bytes = 0; // Access width.
+  uint8_t Flags = 0; // See BCF_* below.
+  int32_t Dst = -1;
+  uint32_t A = 0; // Slot / cond slot / ArgsBegin (calls).
+  uint32_t B = 0; // Slot / branch target / NumArgs (calls).
+  uint32_t C = 0; // Slot / false target / side-table index.
+  int64_t Extra = 0; // Field offset / elem size / bits / side index.
+};
+
+enum : uint8_t {
+  BCF_Float = 1 << 0,      // Load/store value type is floating point.
+  BCF_SignExtend = 1 << 1, // Integer loads sign-extend.
+};
+
+/// Cold per-access data for the *Instr* memory opcodes, indexed by
+/// BCInst::C. Stats is the inline cache: resolved through
+/// FeedbackFile::fieldStats on the first execution (matching the
+/// walker's first-touch interning order) and hit directly afterwards.
+struct AccessSide {
+  uint64_t Pc = 0; // Packed (FuncIdx << 32) | original DInst index.
+  const FieldAddrInst *Attrib = nullptr;
+  uint32_t Site = 0;
+  uint32_t PmuSite = 0;
+  FieldCacheStats *Stats = nullptr;
+};
+
+/// Cold per-branch data for the *Prof* branch opcodes, indexed by
+/// BCInst::C. Edge counter pointers are inline caches resolved on the
+/// first time each direction is taken (so the set of interned edges
+/// matches the walker's exactly).
+struct BranchSide {
+  const BasicBlock *From = nullptr;
+  const BasicBlock *To0 = nullptr, *To1 = nullptr;
+  uint64_t *Edge0 = nullptr, *Edge1 = nullptr;
+};
+
+/// Cold per-call-site data, indexed by BCInst::C.
+struct CallSide {
+  const Function *Callee = nullptr;
+  uint32_t CalleeIdx = 0;
+  uint16_t Builtin = BK_NotBuiltin;
+};
+
+/// Cold data for memset/memcpy (attribution PC), indexed by BCInst::Extra.
+struct BulkSide {
+  uint64_t Pc = 0;
+};
+
+/// One compiled function.
+struct BCFunction {
+  const Function *F = nullptr;
+  uint32_t FuncIdx = 0;
+  int32_t NumSlots = 0;   // Arg + result slots (zero-filled at entry).
+  int32_t FrameSlots = 0; // NumSlots + materialized constants.
+  uint64_t FrameSize = 0; // Simulated stack bytes (allocas).
+  uint32_t NumDInsts = 0; // Size of the source DInst stream (PC labels).
+  uint32_t NumFused = 0;  // Superinstructions emitted.
+  std::vector<BCInst> Code;
+  std::vector<Reg> Consts;       // Values of slots [NumSlots, FrameSlots).
+  std::vector<uint32_t> ArgPool; // Argument slots for calls.
+  std::vector<std::pair<int32_t, uint64_t>> Allocas;
+  std::vector<AccessSide> Access;
+  std::vector<BranchSide> Branches;
+  std::vector<CallSide> Calls;
+  std::vector<BulkSide> Bulk;
+  uint64_t *EntryCount = nullptr; // Inline-cached entry counter.
+};
+
+/// Which hooks are live for the run; decides Fast vs Instr opcode
+/// selection for the whole compiled module.
+struct CompileOptions {
+  bool Instrument = false; // Attribution, PMU, or profile attached.
+  bool Profile = false;    // Edge/entry counting (subset of Instrument).
+  /// Test hook for the engine-parity oracle: deliberately mis-charge
+  /// every load-family opcode by one cycle so a working oracle must
+  /// flag the divergence (proves the oracle is not vacuous).
+  bool InjectVmBug = false;
+};
+
+/// Compiles a decoded function to flat bytecode. Deterministic: the
+/// same DF and options always produce the same code.
+void compileFunction(const DecodedFunction &DF, BCFunction &BF,
+                     const CompileOptions &CO);
+
+} // namespace engine
+} // namespace slo
+
+#endif // SLO_RUNTIME_BYTECODE_H

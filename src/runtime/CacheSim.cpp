@@ -40,36 +40,36 @@ void CacheSim::Level::configure(const CacheLevelConfig &C) {
   UseCounter = 0;
 }
 
+void CacheSim::Level::clear() {
+  for (Way &W : Entries)
+    W = Way();
+  UseCounter = 0;
+}
+
 bool CacheSim::Level::touch(uint64_t Addr) {
   uint64_t Line = Addr >> LineShift;
   uint64_t Set = Line & (NumSets - 1);
   uint64_t Tag = Line >> SetShift;
   Way *Base = &Entries[Set * Ways];
   ++UseCounter;
-
+  // One pass finds both a hit and the LRU (or an invalid) victim.
   Way *Victim = Base;
   for (unsigned W = 0; W < Ways; ++W) {
     Way &Candidate = Base[W];
-    if (Candidate.Valid && Candidate.Tag == Tag) {
+    if (Candidate.Tag == Tag) {
       Candidate.LastUse = UseCounter;
       return true;
     }
-    if (!Candidate.Valid) {
+    if (Candidate.Tag == InvalidTag) {
       Victim = &Candidate;
-    } else if (Victim->Valid && Candidate.LastUse < Victim->LastUse) {
+    } else if (Victim->Tag != InvalidTag &&
+               Candidate.LastUse < Victim->LastUse) {
       Victim = &Candidate;
     }
   }
-  Victim->Valid = true;
   Victim->Tag = Tag;
   Victim->LastUse = UseCounter;
   return false;
-}
-
-void CacheSim::Level::clear() {
-  for (Way &W : Entries)
-    W = Way();
-  UseCounter = 0;
 }
 
 CacheSim::CacheSim(const CacheConfig &Config) : Config(Config) {

@@ -113,9 +113,36 @@ public:
   /// [Addr, Addr+Bytes) crosses a line boundary at the access's first
   /// level, both lines are looked up (each fill walking outward as
   /// needed); the reported latency is the worse of the two fills and
-  /// FirstLevelMiss fires at most once.
+  /// FirstLevelMiss fires at most once. Deliberately out-of-line:
+  /// inlining the three-level walk into the engines' dispatch loops
+  /// measures slower (code bloat and register spills) than the call.
+  /// Pair with tryFirstLevelHit for the hit-dominated case.
   CacheAccessResult access(uint64_t Addr, unsigned Bytes, bool IsStore,
                            bool IsFp);
+
+  /// Fast path: attempts to complete a non-straddling access that hits
+  /// at its first level, with no attribution sink attached. On success
+  /// it performs exactly the state updates access() would (LRU refresh
+  /// plus the hit statistic) and returns true — such an access has zero
+  /// stall and fires no miss event, so the caller owes nothing further.
+  /// On failure nothing has changed and the caller must run the full
+  /// access(). IsStore is irrelevant here: the store-buffer divisor
+  /// only scales latency, and a first-level hit's stall is zero either
+  /// way.
+  bool tryFirstLevelHit(uint64_t Addr, unsigned Bytes, bool IsFp) {
+    if (Sink)
+      return false;
+    if (Bytes == 0)
+      Bytes = 1;
+    bool UseL1 = !(IsFp && Config.FpBypassesL1);
+    Level &First = UseL1 ? L1 : L2;
+    if (((Addr ^ (Addr + Bytes - 1)) >> First.lineShift()) != 0)
+      return false; // Straddle: take the two-walk path.
+    if (!First.touchHit(Addr))
+      return false;
+    ++(UseL1 ? L1Stats : L2Stats).Hits;
+    return true;
+  }
 
   const CacheLevelStats &l1Stats() const { return L1Stats; }
   const CacheLevelStats &l2Stats() const { return L2Stats; }
@@ -156,14 +183,35 @@ private:
     void configure(const CacheLevelConfig &C);
     /// Returns true on hit; on miss the line is filled (LRU victim).
     bool touch(uint64_t Addr);
+    /// Hit-only probe: on hit refreshes LRU exactly like touch() and
+    /// returns true; on miss returns false with no state changed (no
+    /// fill, no use-counter bump), so a subsequent touch() replays the
+    /// access identically.
+    bool touchHit(uint64_t Addr) {
+      uint64_t Line = Addr >> LineShift;
+      uint64_t Set = Line & (NumSets - 1);
+      uint64_t Tag = Line >> SetShift;
+      Way *Base = &Entries[Set * Ways];
+      for (unsigned W = 0; W < Ways; ++W) {
+        if (Base[W].Tag == Tag) {
+          Base[W].LastUse = ++UseCounter;
+          return true;
+        }
+      }
+      return false;
+    }
     void clear();
     unsigned lineShift() const { return LineShift; }
 
   private:
+    /// An invalid way holds InvalidTag, which no simulated address can
+    /// produce (tags are addresses shifted right). 16 bytes, so a 4-way
+    /// set scans in one host cache line. Interleaving tag and LRU stamp
+    /// beats split arrays here: a probe touches one line, not two.
+    static constexpr uint64_t InvalidTag = ~0ull;
     struct Way {
-      uint64_t Tag = ~0ull;
+      uint64_t Tag = InvalidTag;
       uint64_t LastUse = 0;
-      bool Valid = false;
     };
     unsigned LineShift = 6;
     unsigned SetShift = 0; // log2(NumSets), precomputed for indexing.

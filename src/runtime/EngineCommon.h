@@ -1,0 +1,262 @@
+//===- runtime/EngineCommon.h - Shared execution-engine state --*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// State and helpers shared by the two execution engines (the tree
+/// walker in Interpreter.cpp and the threaded bytecode VM in VM.cpp).
+/// Both engines must produce bit-identical results — output, cycles,
+/// misses, leak census, attribution partitions — and the cheapest way to
+/// guarantee that for everything address-dependent is to share the code
+/// that lays out and mutates the simulated address space. Anything here
+/// is engine-agnostic: the engines differ only in how they dispatch
+/// instructions, never in what an instruction does to this state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_RUNTIME_ENGINECOMMON_H
+#define SLO_RUNTIME_ENGINECOMMON_H
+
+#include "ir/Module.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace slo {
+namespace engine {
+
+/// One runtime value: integers and pointers in I, floats in F.
+union Reg {
+  int64_t I;
+  double F;
+};
+
+/// A decode-time-resolved operand: a frame slot index, or an immediate
+/// (constants, global addresses, function addresses).
+struct Operand {
+  int32_t Slot = -1; // >= 0: frame slot; < 0: use Imm.
+  Reg Imm{};
+};
+
+/// Fetches an operand value.
+inline Reg get(const Operand &O, const Reg *Frame) {
+  return O.Slot >= 0 ? Frame[O.Slot] : O.Imm;
+}
+
+/// Library builtins, resolved from the callee name once at decode time.
+enum BuiltinKind : uint16_t {
+  BK_NotBuiltin = 0,
+  BK_PrintI64,
+  BK_PrintF64,
+  BK_Sqrt,
+  BK_Fabs,
+  BK_Exp,
+  BK_Log,
+  BK_Floor,
+  BK_IAbs,
+  BK_Unknown, // Declaration with no implementation: traps when called.
+};
+
+inline BuiltinKind classifyBuiltin(const std::string &Name) {
+  if (Name == "print_i64")
+    return BK_PrintI64;
+  if (Name == "print_f64")
+    return BK_PrintF64;
+  if (Name == "f_sqrt")
+    return BK_Sqrt;
+  if (Name == "f_fabs")
+    return BK_Fabs;
+  if (Name == "f_exp")
+    return BK_Exp;
+  if (Name == "f_log")
+    return BK_Log;
+  if (Name == "f_floor")
+    return BK_Floor;
+  if (Name == "i_abs")
+    return BK_IAbs;
+  return BK_Unknown;
+}
+
+constexpr uint64_t NullGuard = 4096;          // Addresses below this trap.
+constexpr uint64_t FuncAddrBase = 1ull << 48; // Function "addresses".
+constexpr uint64_t StackBytes = 16ull << 20;
+
+/// Free-list bucketing: sizes are 16-aligned; exact-size buckets up to
+/// SmallFreeMax index a vector, larger sizes hash.
+constexpr uint64_t SmallFreeMax = 4096;
+
+/// The simulated flat address space: globals, stack, and a bump-with-
+/// free-lists heap, plus the allocation bookkeeping the leak census
+/// reads at exit. Every address either engine hands to the cache
+/// simulator comes out of this struct, so sharing it makes address
+/// parity between the engines structural rather than coincidental.
+struct SimMemory {
+  std::vector<uint8_t> Mem;
+  uint64_t StackBase = 0, StackTop = 0, StackLimit = 0;
+  uint64_t HeapBump = 0;
+  std::unordered_map<uint64_t, uint64_t> LiveAllocs; // addr -> size
+  std::vector<std::vector<uint64_t>> SmallFree;      // [size/16] -> addrs
+  std::unordered_map<uint64_t, std::vector<uint64_t>> LargeFree;
+  uint64_t HeapBytesAllocated = 0;
+  uint64_t HeapAllocations = 0;
+
+  void ensureMem(uint64_t End) {
+    if (End > Mem.size())
+      Mem.resize(std::max<uint64_t>(End, Mem.size() * 2), 0);
+  }
+
+  /// True when [Addr, Addr+Size) is a program-addressable range (and
+  /// backing storage exists). False means the engine must trap.
+  bool checkAddr(uint64_t Addr, uint64_t Size) {
+    if (Addr < NullGuard || Addr >= FuncAddrBase)
+      return false;
+    ensureMem(Addr + Size);
+    return true;
+  }
+
+  bool isStackAddress(uint64_t Addr) const {
+    return Addr >= StackBase && Addr < StackLimit;
+  }
+
+  std::vector<uint64_t> &freeBucket(uint64_t Size) {
+    if (Size <= SmallFreeMax)
+      return SmallFree[Size / 16];
+    return LargeFree[Size];
+  }
+
+  uint64_t heapAlloc(uint64_t Size, uint8_t Fill) {
+    if (Size == 0)
+      Size = 1;
+    Size = alignTo(Size, 16);
+    uint64_t Addr = 0;
+    std::vector<uint64_t> &Bucket = freeBucket(Size);
+    if (!Bucket.empty()) {
+      Addr = Bucket.back();
+      Bucket.pop_back();
+    } else {
+      Addr = HeapBump;
+      HeapBump += Size;
+    }
+    ensureMem(Addr + Size);
+    std::memset(Mem.data() + Addr, Fill, Size);
+    LiveAllocs[Addr] = Size;
+    HeapBytesAllocated += Size;
+    ++HeapAllocations;
+    return Addr;
+  }
+
+  /// Returns false for a free of a non-heap address (the engine traps).
+  /// free(NULL) is a no-op.
+  bool heapFree(uint64_t Addr) {
+    if (Addr == 0)
+      return true;
+    auto It = LiveAllocs.find(Addr);
+    if (It == LiveAllocs.end())
+      return false;
+    freeBucket(It->second).push_back(Addr);
+    LiveAllocs.erase(It);
+    return true;
+  }
+
+  int64_t readInt(uint64_t Addr, unsigned Bytes, bool SignExtend) const {
+    uint64_t Raw = 0;
+    std::memcpy(&Raw, Mem.data() + Addr, Bytes);
+    if (Bytes == 8)
+      return static_cast<int64_t>(Raw);
+    if (SignExtend) {
+      uint64_t SignBit = 1ull << (Bytes * 8 - 1);
+      if (Raw & SignBit)
+        Raw |= ~((SignBit << 1) - 1);
+    }
+    return static_cast<int64_t>(Raw);
+  }
+
+  void writeInt(uint64_t Addr, unsigned Bytes, int64_t V) {
+    std::memcpy(Mem.data() + Addr, &V, Bytes);
+  }
+
+  double readFloat(uint64_t Addr, unsigned Bytes) const {
+    if (Bytes == 4) {
+      float F;
+      std::memcpy(&F, Mem.data() + Addr, 4);
+      return F;
+    }
+    double D;
+    std::memcpy(&D, Mem.data() + Addr, 8);
+    return D;
+  }
+
+  void writeFloat(uint64_t Addr, unsigned Bytes, double V) {
+    if (Bytes == 4) {
+      float F = static_cast<float>(V);
+      std::memcpy(Mem.data() + Addr, &F, 4);
+      return;
+    }
+    std::memcpy(Mem.data() + Addr, &V, 8);
+  }
+};
+
+/// Lays out globals (with initializers and run-parameter overrides),
+/// numbers the functions, and places the stack and heap regions. Both
+/// engines call this with identical inputs and therefore agree on every
+/// simulated address before the first instruction runs.
+inline void layoutAddressSpace(
+    const Module &M, const std::map<std::string, int64_t> &IntParams,
+    SimMemory &SM,
+    std::unordered_map<const GlobalVariable *, uint64_t> &GlobalAddr,
+    std::vector<const Function *> &FuncList,
+    std::unordered_map<const Function *, uint32_t> &FuncIndex) {
+  uint64_t Cursor = NullGuard;
+  for (const auto &G : M.globals()) {
+    Type *VT = G->getValueType();
+    Cursor = alignTo(Cursor, std::max<unsigned>(VT->getAlign(), 8));
+    GlobalAddr[G.get()] = Cursor;
+    SM.ensureMem(Cursor + VT->getSize());
+    Cursor += VT->getSize();
+  }
+  // Apply scalar initializers, then parameter overrides.
+  for (const auto &G : M.globals()) {
+    if (!G->hasIntInit())
+      continue;
+    if (auto *IT = dyn_cast<IntType>(G->getValueType()))
+      SM.writeInt(GlobalAddr[G.get()], static_cast<unsigned>(IT->getSize()),
+                  G->getIntInit());
+  }
+  for (const auto &[Name, V] : IntParams) {
+    GlobalVariable *G = M.lookupGlobal(Name);
+    if (!G)
+      reportFatalError("run parameter refers to unknown global '" + Name +
+                       "'");
+    auto *IT = dyn_cast<IntType>(G->getValueType());
+    if (!IT)
+      reportFatalError("run parameter global '" + Name +
+                       "' is not an integer");
+    SM.writeInt(GlobalAddr[G], static_cast<unsigned>(IT->getSize()), V);
+  }
+
+  for (const auto &F : M.functions()) {
+    FuncIndex[F.get()] = static_cast<uint32_t>(FuncList.size());
+    FuncList.push_back(F.get());
+  }
+
+  SM.SmallFree.resize(SmallFreeMax / 16 + 1);
+  SM.StackBase = alignTo(SM.Mem.size() + 64, 4096);
+  SM.StackTop = SM.StackBase;
+  SM.StackLimit = SM.StackBase + StackBytes;
+  SM.HeapBump = alignTo(SM.StackLimit + 4096, 4096);
+  SM.ensureMem(SM.StackBase);
+}
+
+} // namespace engine
+} // namespace slo
+
+#endif // SLO_RUNTIME_ENGINECOMMON_H

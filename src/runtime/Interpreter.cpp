@@ -1,14 +1,19 @@
 //===- runtime/Interpreter.cpp - IR interpreter with cache model ----------===//
 //
-// Execution strategy: every function is pre-decoded, on first call, into
-// a dense stream of DInst records whose operands are resolved to flat
-// register-slot indices or immediate values. The dispatch loop then runs
-// over plain vectors — no std::map lookups, no Value-kind switches, no
-// per-call allocation (frames live in a register arena) — because this
-// loop is under every cycle count the benchmark harnesses report, and
-// its wall-clock time bounds how much simulation the repo can afford.
-// Decoding never mutates the Module, so any number of interpreters may
-// run concurrently over one module (the parallel bench harness does).
+// The tree-walker engine: the simple reference implementation of the
+// DInst contract (runtime/Bytecode.h). Every function is pre-decoded, on
+// first call, into a dense stream of DInst records whose operands are
+// resolved to flat register-slot indices or immediate values; the
+// dispatch loop then runs over plain vectors — no std::map lookups, no
+// Value-kind switches, no per-call allocation (frames live in a register
+// arena). Decoding never mutates the Module, so any number of
+// interpreters may run concurrently over one module (the parallel bench
+// harness does).
+//
+// The threaded bytecode VM (runtime/VM.cpp) is the fast tier; it must
+// match this engine bit for bit in every observable output, so semantic
+// fixes land here first and the engine-parity fuzz oracle keeps the two
+// aligned.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,170 +23,19 @@
 #include "observability/MissAttribution.h"
 #include "observability/SampledPmu.h"
 #include "observability/Tracer.h"
-#include "support/Casting.h"
+#include "runtime/Bytecode.h"
+#include "runtime/VM.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <unordered_map>
 
 using namespace slo;
-
-namespace {
-
-/// One runtime value: integers and pointers in I, floats in F.
-union Reg {
-  int64_t I;
-  double F;
-};
-
-/// A decode-time-resolved operand: a frame slot index, or an immediate
-/// (constants, global addresses, function addresses).
-struct Operand {
-  int32_t Slot = -1; // >= 0: frame slot; < 0: use Imm.
-  Reg Imm{};
-};
-
-/// Library builtins, resolved from the callee name once at decode time.
-enum BuiltinKind : uint16_t {
-  BK_NotBuiltin = 0,
-  BK_PrintI64,
-  BK_PrintF64,
-  BK_Sqrt,
-  BK_Fabs,
-  BK_Exp,
-  BK_Log,
-  BK_Floor,
-  BK_IAbs,
-  BK_Unknown, // Declaration with no implementation: traps when called.
-};
-
-/// Decoded opcodes. Mostly 1:1 with Instruction::Opcode; the no-op casts
-/// (sext/zext/bitcast/ptrtoint/inttoptr/fpext) collapse into Move, and
-/// TrapNoTerm marks a block that falls through without a terminator.
-enum class DOp : uint8_t {
-  Nop, // alloca: frame address was materialized at function entry
-  Load,
-  Store,
-  FieldAddr,
-  IndexAddr,
-  Add,
-  Sub,
-  Mul,
-  SDiv,
-  SRem,
-  And,
-  Or,
-  Xor,
-  Shl,
-  AShr,
-  FAdd,
-  FSub,
-  FMul,
-  FDiv,
-  ICmpEQ,
-  ICmpNE,
-  ICmpSLT,
-  ICmpSLE,
-  ICmpSGT,
-  ICmpSGE,
-  FCmpEQ,
-  FCmpNE,
-  FCmpLT,
-  FCmpLE,
-  FCmpGT,
-  FCmpGE,
-  Trunc,
-  Move,
-  FPTrunc,
-  SIToFP,
-  FPToSI,
-  Call,
-  ICall,
-  Ret,
-  Br,
-  CondBr,
-  Malloc,
-  Calloc,
-  Realloc,
-  Free,
-  Memset,
-  Memcpy,
-  TrapNoTerm,
-};
-
-/// One pre-decoded instruction.
-struct DInst {
-  DOp Op = DOp::Nop;
-  uint8_t BaseCost = 1;
-  uint8_t Bytes = 0;       // Load/store access width.
-  bool IsFloat = false;    // Load/store value type is floating point.
-  bool SignExtend = false; // Integer loads: sign-extend (i1 zero-extends).
-  uint16_t Builtin = BK_NotBuiltin; // Direct calls to declarations.
-  int32_t ResultSlot = -1;
-  uint32_t CalleeIdx = 0;            // Direct calls: function index.
-  Operand A, B, C;                   // Generic operands.
-  int64_t Extra = 0;                 // Field offset / elem size / bits.
-  uint32_t Target0 = 0, Target1 = 0; // Branch targets: DInst index.
-  uint32_t ArgsBegin = 0;            // Calls: first operand in ArgPool.
-  uint16_t NumArgs = 0;
-  const Function *Callee = nullptr;        // Direct calls.
-  const FieldAddrInst *Attrib = nullptr;   // Load/store d-cache attribution.
-  const BasicBlock *FromBB = nullptr;      // Branches: edge profiling.
-  const BasicBlock *ToBB0 = nullptr, *ToBB1 = nullptr;
-  uint32_t Site = 0;    // MissAttribution site id (0 = untyped traffic).
-  uint32_t PmuSite = 0; // SampledPmu site id (0 = untyped traffic).
-};
-
-/// Fetches an operand value.
-inline Reg get(const Operand &O, const Reg *Frame) {
-  return O.Slot >= 0 ? Frame[O.Slot] : O.Imm;
-}
-
-/// Precomputed execution form of one function: the decoded code stream,
-/// call-argument operand pool, and the register/stack frame shape.
-struct DecodedFunction {
-  const Function *F = nullptr;
-  uint32_t FuncIdx = 0;
-  int32_t NumSlots = 0;
-  uint64_t FrameSize = 0;
-  std::vector<DInst> Code;
-  std::vector<Operand> ArgPool;
-  /// (result slot, frame offset) of every alloca; materialized at entry.
-  std::vector<std::pair<int32_t, uint64_t>> Allocas;
-};
-
-constexpr uint64_t NullGuard = 4096;          // Addresses below this trap.
-constexpr uint64_t FuncAddrBase = 1ull << 48; // Function "addresses".
-constexpr uint64_t StackBytes = 16ull << 20;
-
-/// Free-list bucketing: sizes are 16-aligned; exact-size buckets up to
-/// SmallFreeMax index a vector, larger sizes hash.
-constexpr uint64_t SmallFreeMax = 4096;
-
-BuiltinKind classifyBuiltin(const std::string &Name) {
-  if (Name == "print_i64")
-    return BK_PrintI64;
-  if (Name == "print_f64")
-    return BK_PrintF64;
-  if (Name == "f_sqrt")
-    return BK_Sqrt;
-  if (Name == "f_fabs")
-    return BK_Fabs;
-  if (Name == "f_exp")
-    return BK_Exp;
-  if (Name == "f_log")
-    return BK_Log;
-  if (Name == "f_floor")
-    return BK_Floor;
-  if (Name == "i_abs")
-    return BK_IAbs;
-  return BK_Unknown;
-}
-
-} // namespace
+using namespace slo::engine;
 
 /// The interpreter implementation.
 class Interpreter::Impl {
@@ -196,36 +50,25 @@ public:
 
 private:
   // -- Setup --
-  void layoutGlobals();
   const DecodedFunction &decodedFunction(uint32_t Idx);
-  void decodeInto(const Function *F, DecodedFunction &DF);
 
   // -- Memory --
-  void ensureMem(uint64_t End) {
-    if (End > Mem.size())
-      Mem.resize(std::max<uint64_t>(End, Mem.size() * 2), 0);
-  }
   bool checkAddr(uint64_t Addr, uint64_t Size, const char *What) {
-    if (Addr < NullGuard || Addr >= FuncAddrBase) {
+    if (!SM.checkAddr(Addr, Size)) {
       trap(formatString("%s at invalid address 0x%llx", What,
                         static_cast<unsigned long long>(Addr)));
       return false;
     }
-    ensureMem(Addr + Size);
     return true;
   }
-  uint64_t heapAlloc(uint64_t Size, uint8_t Fill);
-  bool heapFree(uint64_t Addr);
-  std::vector<uint64_t> &freeBucket(uint64_t Size) {
-    if (Size <= SmallFreeMax)
-      return SmallFree[Size / 16];
-    return LargeFree[Size];
+  bool heapFree(uint64_t Addr) {
+    if (!SM.heapFree(Addr)) {
+      trap(formatString("free of a non-heap address 0x%llx",
+                        static_cast<unsigned long long>(Addr)));
+      return false;
+    }
+    return true;
   }
-
-  int64_t readInt(uint64_t Addr, unsigned Bytes, bool SignExtend);
-  void writeInt(uint64_t Addr, unsigned Bytes, int64_t V);
-  double readFloat(uint64_t Addr, unsigned Bytes);
-  void writeFloat(uint64_t Addr, unsigned Bytes, double V);
 
   // -- Execution --
   Reg executeFunction(const DecodedFunction &DF, size_t FrameBase,
@@ -269,21 +112,11 @@ private:
     }
   }
 
-  bool isStackAddress(uint64_t Addr) const {
-    return Addr >= StackBase && Addr < StackLimit;
-  }
-
   const Module &M;
   RunOptions Opts;
   CacheSim Cache;
   RunResult Result;
-
-  std::vector<uint8_t> Mem;
-  uint64_t StackBase = 0, StackTop = 0, StackLimit = 0;
-  uint64_t HeapBump = 0;
-  std::unordered_map<uint64_t, uint64_t> LiveAllocs; // addr -> size
-  std::vector<std::vector<uint64_t>> SmallFree;      // [size/16] -> addrs
-  std::unordered_map<uint64_t, std::vector<uint64_t>> LargeFree;
+  SimMemory SM;
 
   std::unordered_map<const GlobalVariable *, uint64_t> GlobalAddr;
   std::vector<const Function *> FuncList; // Index == (addr-base)>>4.
@@ -303,443 +136,19 @@ private:
 // Setup
 //===----------------------------------------------------------------------===//
 
-void Interpreter::Impl::layoutGlobals() {
-  uint64_t Cursor = NullGuard;
-  for (const auto &G : M.globals()) {
-    Type *VT = G->getValueType();
-    Cursor = alignTo(Cursor, std::max<unsigned>(VT->getAlign(), 8));
-    GlobalAddr[G.get()] = Cursor;
-    ensureMem(Cursor + VT->getSize());
-    Cursor += VT->getSize();
-  }
-  // Apply scalar initializers, then parameter overrides.
-  for (const auto &G : M.globals()) {
-    if (!G->hasIntInit())
-      continue;
-    if (auto *IT = dyn_cast<IntType>(G->getValueType()))
-      writeInt(GlobalAddr[G.get()], static_cast<unsigned>(IT->getSize()),
-               G->getIntInit());
-  }
-  for (const auto &[Name, V] : Opts.IntParams) {
-    GlobalVariable *G = M.lookupGlobal(Name);
-    if (!G)
-      reportFatalError("run parameter refers to unknown global '" + Name +
-                       "'");
-    auto *IT = dyn_cast<IntType>(G->getValueType());
-    if (!IT)
-      reportFatalError("run parameter global '" + Name +
-                       "' is not an integer");
-    writeInt(GlobalAddr[G], static_cast<unsigned>(IT->getSize()), V);
-  }
-
-  for (const auto &F : M.functions()) {
-    FuncIndex[F.get()] = static_cast<uint32_t>(FuncList.size());
-    FuncList.push_back(F.get());
-  }
-  DecodedFns.resize(FuncList.size());
-
-  SmallFree.resize(SmallFreeMax / 16 + 1);
-  RegArena.resize(4096);
-
-  StackBase = alignTo(Mem.size() + 64, 4096);
-  StackTop = StackBase;
-  StackLimit = StackBase + StackBytes;
-  HeapBump = alignTo(StackLimit + 4096, 4096);
-  ensureMem(StackBase);
-}
-
 const DecodedFunction &Interpreter::Impl::decodedFunction(uint32_t Idx) {
   if (!DecodedFns[Idx]) {
     auto DF = std::make_unique<DecodedFunction>();
     DF->FuncIdx = Idx;
-    decodeInto(FuncList[Idx], *DF);
+    DecodeContext Ctx;
+    Ctx.GlobalAddr = &GlobalAddr;
+    Ctx.FuncIndex = &FuncIndex;
+    Ctx.Attribution = Opts.Attribution;
+    Ctx.Pmu = Opts.Pmu;
+    decodeFunction(FuncList[Idx], *DF, Ctx);
     DecodedFns[Idx] = std::move(DF);
   }
   return *DecodedFns[Idx];
-}
-
-void Interpreter::Impl::decodeInto(const Function *F, DecodedFunction &DF) {
-  DF.F = F;
-  // Pass 1: assign a flat register slot to every value-producing
-  // instruction and a frame offset to every alloca. The mapping is local
-  // to this decode; the Module is never written.
-  std::unordered_map<const Instruction *, int32_t> Slot;
-  int32_t NextSlot = static_cast<int32_t>(F->getNumArgs());
-  uint64_t Frame = 0;
-  for (const auto &BB : F->blocks()) {
-    for (const auto &I : BB->instructions()) {
-      if (!I->getType()->isVoid())
-        Slot[I.get()] = NextSlot++;
-      if (const auto *A = dyn_cast<AllocaInst>(I.get())) {
-        Type *Ty = A->getAllocatedType();
-        Frame = alignTo(Frame, std::max<unsigned>(Ty->getAlign(), 1));
-        DF.Allocas.push_back({Slot[I.get()], Frame});
-        Frame += Ty->getSize();
-      }
-    }
-  }
-  DF.NumSlots = NextSlot;
-  DF.FrameSize = alignTo(Frame, 16);
-
-  auto operandFor = [&](const Value *V) -> Operand {
-    Operand O;
-    switch (V->getKind()) {
-    case Value::VK_ConstantInt:
-      O.Imm.I = cast<ConstantInt>(V)->getValue();
-      return O;
-    case Value::VK_ConstantFloat:
-      O.Imm.F = cast<ConstantFloat>(V)->getValue();
-      return O;
-    case Value::VK_ConstantNull:
-      O.Imm.I = 0;
-      return O;
-    case Value::VK_GlobalVariable:
-      O.Imm.I =
-          static_cast<int64_t>(GlobalAddr.at(cast<GlobalVariable>(V)));
-      return O;
-    case Value::VK_Function:
-      O.Imm.I = static_cast<int64_t>(
-          FuncAddrBase |
-          (static_cast<uint64_t>(FuncIndex.at(cast<Function>(V))) << 4));
-      return O;
-    case Value::VK_Argument:
-      O.Slot = static_cast<int32_t>(cast<Argument>(V)->getIndex());
-      return O;
-    case Value::VK_Instruction:
-      O.Slot = Slot.at(cast<Instruction>(V));
-      return O;
-    }
-    SLO_UNREACHABLE("unknown value kind");
-  };
-
-  auto resultSlot = [&](const Instruction &I) -> int32_t {
-    return I.getType()->isVoid() ? -1 : Slot.at(&I);
-  };
-
-  // Pass 2: emit one DInst per instruction. Branch targets are recorded
-  // as block numbers and patched to code indices once every block's
-  // start offset is known.
-  std::vector<uint32_t> BlockStart(F->size(), 0);
-  for (const auto &BB : F->blocks()) {
-    BlockStart[BB->getNumber()] = static_cast<uint32_t>(DF.Code.size());
-    for (const auto &IPtr : BB->instructions()) {
-      const Instruction &I = *IPtr;
-      DInst D;
-      D.ResultSlot = resultSlot(I);
-      switch (I.getOpcode()) {
-      case Instruction::OpAlloca:
-        D.Op = DOp::Nop; // Frame address materialized at entry.
-        break;
-      case Instruction::OpLoad: {
-        const auto &Ld = static_cast<const LoadInst &>(I);
-        Type *Ty = Ld.getType();
-        D.Op = DOp::Load;
-        D.BaseCost = 0;
-        D.A = operandFor(Ld.getPointer());
-        D.Bytes = static_cast<uint8_t>(Ty->getSize());
-        D.IsFloat = Ty->isFloat();
-        D.SignExtend =
-            !(Ty->isInt() && cast<IntType>(Ty)->getBits() == 1);
-        D.Attrib = dyn_cast<FieldAddrInst>(Ld.getPointer());
-        if (D.Attrib && Opts.Attribution)
-          D.Site = Opts.Attribution->registerField(
-              D.Attrib->getRecord()->getRecordName(),
-              D.Attrib->getField().Name);
-        if (D.Attrib && Opts.Pmu)
-          D.PmuSite = Opts.Pmu->registerSite(D.Attrib->getRecord(),
-                                             D.Attrib->getFieldIndex());
-        break;
-      }
-      case Instruction::OpStore: {
-        const auto &St = static_cast<const StoreInst &>(I);
-        Type *Ty = St.getStoredValue()->getType();
-        D.Op = DOp::Store;
-        D.BaseCost = 0;
-        D.A = operandFor(St.getPointer());
-        D.B = operandFor(St.getStoredValue());
-        D.Bytes = static_cast<uint8_t>(Ty->getSize());
-        D.IsFloat = Ty->isFloat();
-        D.Attrib = dyn_cast<FieldAddrInst>(St.getPointer());
-        if (D.Attrib && Opts.Attribution)
-          D.Site = Opts.Attribution->registerField(
-              D.Attrib->getRecord()->getRecordName(),
-              D.Attrib->getField().Name);
-        if (D.Attrib && Opts.Pmu)
-          D.PmuSite = Opts.Pmu->registerSite(D.Attrib->getRecord(),
-                                             D.Attrib->getFieldIndex());
-        break;
-      }
-      case Instruction::OpFieldAddr: {
-        const auto &FA = static_cast<const FieldAddrInst &>(I);
-        D.Op = DOp::FieldAddr;
-        D.A = operandFor(FA.getBase());
-        D.Extra = static_cast<int64_t>(FA.getField().Offset);
-        break;
-      }
-      case Instruction::OpIndexAddr: {
-        const auto &IA = static_cast<const IndexAddrInst &>(I);
-        D.Op = DOp::IndexAddr;
-        D.A = operandFor(IA.getBase());
-        D.B = operandFor(IA.getIndex());
-        D.Extra = static_cast<int64_t>(
-            cast<PointerType>(IA.getType())->getPointee()->getSize());
-        break;
-      }
-#define BINARY_CASE(OPC, COST)                                               \
-  case Instruction::Op##OPC:                                                 \
-    D.Op = DOp::OPC;                                                         \
-    D.BaseCost = COST;                                                       \
-    D.A = operandFor(I.getOperand(0));                                       \
-    D.B = operandFor(I.getOperand(1));                                       \
-    break;
-        BINARY_CASE(Add, 1)
-        BINARY_CASE(Sub, 1)
-        BINARY_CASE(Mul, 2)
-        BINARY_CASE(SDiv, 16)
-        BINARY_CASE(SRem, 16)
-        BINARY_CASE(And, 1)
-        BINARY_CASE(Or, 1)
-        BINARY_CASE(Xor, 1)
-        BINARY_CASE(Shl, 1)
-        BINARY_CASE(AShr, 1)
-        BINARY_CASE(FAdd, 1)
-        BINARY_CASE(FSub, 1)
-        BINARY_CASE(FMul, 1)
-        BINARY_CASE(FDiv, 16)
-        BINARY_CASE(ICmpEQ, 1)
-        BINARY_CASE(ICmpNE, 1)
-        BINARY_CASE(ICmpSLT, 1)
-        BINARY_CASE(ICmpSLE, 1)
-        BINARY_CASE(ICmpSGT, 1)
-        BINARY_CASE(ICmpSGE, 1)
-        BINARY_CASE(FCmpEQ, 1)
-        BINARY_CASE(FCmpNE, 1)
-        BINARY_CASE(FCmpLT, 1)
-        BINARY_CASE(FCmpLE, 1)
-        BINARY_CASE(FCmpGT, 1)
-        BINARY_CASE(FCmpGE, 1)
-#undef BINARY_CASE
-      case Instruction::OpTrunc: {
-        unsigned Bits = cast<IntType>(I.getType())->getBits();
-        D.A = operandFor(I.getOperand(0));
-        if (Bits >= 64) {
-          D.Op = DOp::Move;
-        } else {
-          D.Op = DOp::Trunc;
-          D.Extra = Bits;
-        }
-        break;
-      }
-      case Instruction::OpSExt:
-      case Instruction::OpZExt:
-      case Instruction::OpBitcast:
-      case Instruction::OpPtrToInt:
-      case Instruction::OpIntToPtr:
-      case Instruction::OpFPExt:
-        // Register representation is canonical; these are moves at
-        // runtime (sign/zero extension happened at produce time).
-        D.Op = DOp::Move;
-        D.A = operandFor(I.getOperand(0));
-        break;
-      case Instruction::OpFPTrunc:
-        D.Op = DOp::FPTrunc;
-        D.A = operandFor(I.getOperand(0));
-        break;
-      case Instruction::OpSIToFP:
-        D.Op = DOp::SIToFP;
-        D.A = operandFor(I.getOperand(0));
-        D.Extra = cast<FloatType>(I.getType())->getBits();
-        break;
-      case Instruction::OpFPToSI:
-        D.Op = DOp::FPToSI;
-        D.A = operandFor(I.getOperand(0));
-        break;
-      case Instruction::OpCall: {
-        const auto &C = static_cast<const CallInst &>(I);
-        D.Op = DOp::Call;
-        D.Callee = C.getCallee();
-        D.CalleeIdx = FuncIndex.at(C.getCallee());
-        if (C.getCallee()->isDeclaration())
-          D.Builtin = classifyBuiltin(C.getCallee()->getName());
-        D.ArgsBegin = static_cast<uint32_t>(DF.ArgPool.size());
-        D.NumArgs = static_cast<uint16_t>(C.getNumArgs());
-        for (unsigned A = 0; A < C.getNumArgs(); ++A)
-          DF.ArgPool.push_back(operandFor(C.getArg(A)));
-        break;
-      }
-      case Instruction::OpICall: {
-        const auto &C = static_cast<const IndirectCallInst &>(I);
-        D.Op = DOp::ICall;
-        D.A = operandFor(C.getCalleePtr());
-        D.ArgsBegin = static_cast<uint32_t>(DF.ArgPool.size());
-        D.NumArgs = static_cast<uint16_t>(C.getNumArgs());
-        for (unsigned A = 0; A < C.getNumArgs(); ++A)
-          DF.ArgPool.push_back(operandFor(C.getArg(A)));
-        break;
-      }
-      case Instruction::OpRet: {
-        const auto &Rt = static_cast<const RetInst &>(I);
-        D.Op = DOp::Ret;
-        if (Rt.hasValue()) {
-          D.Extra = 1;
-          D.A = operandFor(Rt.getValue());
-        }
-        break;
-      }
-      case Instruction::OpBr: {
-        const auto &Br = static_cast<const BrInst &>(I);
-        D.Op = DOp::Br;
-        D.Target0 = Br.getTarget()->getNumber();
-        D.FromBB = BB.get();
-        D.ToBB0 = Br.getTarget();
-        break;
-      }
-      case Instruction::OpCondBr: {
-        const auto &CBr = static_cast<const CondBrInst &>(I);
-        D.Op = DOp::CondBr;
-        D.A = operandFor(CBr.getCondition());
-        D.Target0 = CBr.getTrueTarget()->getNumber();
-        D.Target1 = CBr.getFalseTarget()->getNumber();
-        D.FromBB = BB.get();
-        D.ToBB0 = CBr.getTrueTarget();
-        D.ToBB1 = CBr.getFalseTarget();
-        break;
-      }
-      case Instruction::OpMalloc:
-        D.Op = DOp::Malloc;
-        D.A = operandFor(static_cast<const MallocInst &>(I).getSizeBytes());
-        break;
-      case Instruction::OpCalloc: {
-        const auto &Cal = static_cast<const CallocInst &>(I);
-        D.Op = DOp::Calloc;
-        D.A = operandFor(Cal.getCount());
-        D.B = operandFor(Cal.getElemSize());
-        break;
-      }
-      case Instruction::OpRealloc: {
-        const auto &Re = static_cast<const ReallocInst &>(I);
-        D.Op = DOp::Realloc;
-        D.A = operandFor(Re.getPtr());
-        D.B = operandFor(Re.getSizeBytes());
-        break;
-      }
-      case Instruction::OpFree:
-        D.Op = DOp::Free;
-        D.A = operandFor(static_cast<const FreeInst &>(I).getPtr());
-        break;
-      case Instruction::OpMemset: {
-        const auto &Ms = static_cast<const MemsetInst &>(I);
-        D.Op = DOp::Memset;
-        D.A = operandFor(Ms.getPtr());
-        D.B = operandFor(Ms.getByte());
-        D.C = operandFor(Ms.getSizeBytes());
-        break;
-      }
-      case Instruction::OpMemcpy: {
-        const auto &Mc = static_cast<const MemcpyInst &>(I);
-        D.Op = DOp::Memcpy;
-        D.A = operandFor(Mc.getDst());
-        D.B = operandFor(Mc.getSrc());
-        D.C = operandFor(Mc.getSizeBytes());
-        break;
-      }
-      }
-      DF.Code.push_back(D);
-    }
-    if (!BB->getTerminator()) {
-      DInst D;
-      D.Op = DOp::TrapNoTerm;
-      D.BaseCost = 0;
-      DF.Code.push_back(D);
-    }
-  }
-
-  // Patch branch targets from block numbers to code indices.
-  for (DInst &D : DF.Code) {
-    if (D.Op == DOp::Br) {
-      D.Target0 = BlockStart[D.Target0];
-    } else if (D.Op == DOp::CondBr) {
-      D.Target0 = BlockStart[D.Target0];
-      D.Target1 = BlockStart[D.Target1];
-    }
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Memory
-//===----------------------------------------------------------------------===//
-
-uint64_t Interpreter::Impl::heapAlloc(uint64_t Size, uint8_t Fill) {
-  if (Size == 0)
-    Size = 1;
-  Size = alignTo(Size, 16);
-  uint64_t Addr = 0;
-  std::vector<uint64_t> &Bucket = freeBucket(Size);
-  if (!Bucket.empty()) {
-    Addr = Bucket.back();
-    Bucket.pop_back();
-  } else {
-    Addr = HeapBump;
-    HeapBump += Size;
-  }
-  ensureMem(Addr + Size);
-  std::memset(Mem.data() + Addr, Fill, Size);
-  LiveAllocs[Addr] = Size;
-  Result.HeapBytesAllocated += Size;
-  ++Result.HeapAllocations;
-  return Addr;
-}
-
-bool Interpreter::Impl::heapFree(uint64_t Addr) {
-  if (Addr == 0)
-    return true; // free(NULL) is a no-op.
-  auto It = LiveAllocs.find(Addr);
-  if (It == LiveAllocs.end()) {
-    trap(formatString("free of a non-heap address 0x%llx",
-                      static_cast<unsigned long long>(Addr)));
-    return false;
-  }
-  freeBucket(It->second).push_back(Addr);
-  LiveAllocs.erase(It);
-  return true;
-}
-
-int64_t Interpreter::Impl::readInt(uint64_t Addr, unsigned Bytes,
-                                   bool SignExtend) {
-  uint64_t Raw = 0;
-  std::memcpy(&Raw, Mem.data() + Addr, Bytes);
-  if (Bytes == 8)
-    return static_cast<int64_t>(Raw);
-  if (SignExtend) {
-    uint64_t SignBit = 1ull << (Bytes * 8 - 1);
-    if (Raw & SignBit)
-      Raw |= ~((SignBit << 1) - 1);
-  }
-  return static_cast<int64_t>(Raw);
-}
-
-void Interpreter::Impl::writeInt(uint64_t Addr, unsigned Bytes, int64_t V) {
-  std::memcpy(Mem.data() + Addr, &V, Bytes);
-}
-
-double Interpreter::Impl::readFloat(uint64_t Addr, unsigned Bytes) {
-  if (Bytes == 4) {
-    float F;
-    std::memcpy(&F, Mem.data() + Addr, 4);
-    return F;
-  }
-  double D;
-  std::memcpy(&D, Mem.data() + Addr, 8);
-  return D;
-}
-
-void Interpreter::Impl::writeFloat(uint64_t Addr, unsigned Bytes, double V) {
-  if (Bytes == 4) {
-    float F = static_cast<float>(V);
-    std::memcpy(Mem.data() + Addr, &F, 4);
-    return;
-  }
-  std::memcpy(Mem.data() + Addr, &V, 8);
 }
 
 //===----------------------------------------------------------------------===//
@@ -752,7 +161,7 @@ void Interpreter::Impl::simulateAccess(uint64_t Addr, unsigned Bytes,
                                        uint32_t Site, uint32_t PmuSite,
                                        uint64_t Pc) {
   // Stack slots model register-promoted locals: free, not simulated.
-  if (isStackAddress(Addr))
+  if (SM.isStackAddress(Addr))
     return;
   if (IsStore)
     ++Result.Stores;
@@ -823,7 +232,10 @@ Reg Interpreter::Impl::callBuiltin(uint16_t Kind, const Function *F,
     R.F = std::floor(A0.F);
     return R;
   case BK_IAbs:
-    R.I = A0.I < 0 ? -A0.I : A0.I;
+    // Two's-complement negate: i_abs(INT64_MIN) wraps to INT64_MIN
+    // (DInst contract; -A0.I would be signed-overflow UB).
+    R.I = A0.I < 0 ? static_cast<int64_t>(0ull - static_cast<uint64_t>(A0.I))
+                   : A0.I;
     return R;
   default:
     trap("call to unimplemented library function '" + F->getName() + "'");
@@ -871,13 +283,13 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
                                        size_t FrameBase, unsigned Depth) {
   Reg Void;
   Void.I = 0;
-  if (StackTop + DF.FrameSize > StackLimit) {
+  if (SM.StackTop + DF.FrameSize > SM.StackLimit) {
     trap("simulated stack overflow in '" + DF.F->getName() + "'");
     return Void;
   }
-  uint64_t MemFrameBase = StackTop;
-  StackTop += DF.FrameSize;
-  ensureMem(StackTop);
+  uint64_t MemFrameBase = SM.StackTop;
+  SM.StackTop += DF.FrameSize;
+  SM.ensureMem(SM.StackTop);
 
   Reg *Frame = RegArena.data() + FrameBase;
   for (const auto &[SlotIdx, Off] : DF.Allocas)
@@ -905,9 +317,9 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
         break;
       Reg R;
       if (D.IsFloat)
-        R.F = readFloat(Addr, D.Bytes);
+        R.F = SM.readFloat(Addr, D.Bytes);
       else
-        R.I = readInt(Addr, D.Bytes, D.SignExtend);
+        R.I = SM.readInt(Addr, D.Bytes, D.SignExtend);
       Frame[D.ResultSlot] = R;
       simulateAccess(Addr, D.Bytes, D.IsFloat, /*IsStore=*/false, D.Attrib,
                      D.Site, D.PmuSite,
@@ -920,41 +332,50 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
         break;
       Reg V = get(D.B, Frame);
       if (D.IsFloat)
-        writeFloat(Addr, D.Bytes, V.F);
+        SM.writeFloat(Addr, D.Bytes, V.F);
       else
-        writeInt(Addr, D.Bytes, V.I);
+        SM.writeInt(Addr, D.Bytes, V.I);
       simulateAccess(Addr, D.Bytes, D.IsFloat, /*IsStore=*/true, D.Attrib,
                      D.Site, D.PmuSite,
                      (static_cast<uint64_t>(DF.FuncIdx) << 32) | (PC - 1));
       break;
     }
+    // Integer arithmetic (including address arithmetic) wraps modulo
+    // 2^64 — DInst contract — so it is computed in uint64_t; the signed
+    // form would be UB on overflow and free to diverge across engines.
     case DOp::FieldAddr: {
       Reg R;
-      R.I = get(D.A, Frame).I + D.Extra;
+      R.I = static_cast<int64_t>(static_cast<uint64_t>(get(D.A, Frame).I) +
+                                 static_cast<uint64_t>(D.Extra));
       Frame[D.ResultSlot] = R;
       break;
     }
     case DOp::IndexAddr: {
       Reg R;
-      R.I = get(D.A, Frame).I + get(D.B, Frame).I * D.Extra;
+      R.I = static_cast<int64_t>(static_cast<uint64_t>(get(D.A, Frame).I) +
+                                 static_cast<uint64_t>(get(D.B, Frame).I) *
+                                     static_cast<uint64_t>(D.Extra));
       Frame[D.ResultSlot] = R;
       break;
     }
     case DOp::Add: {
       Reg R;
-      R.I = get(D.A, Frame).I + get(D.B, Frame).I;
+      R.I = static_cast<int64_t>(static_cast<uint64_t>(get(D.A, Frame).I) +
+                                 static_cast<uint64_t>(get(D.B, Frame).I));
       Frame[D.ResultSlot] = R;
       break;
     }
     case DOp::Sub: {
       Reg R;
-      R.I = get(D.A, Frame).I - get(D.B, Frame).I;
+      R.I = static_cast<int64_t>(static_cast<uint64_t>(get(D.A, Frame).I) -
+                                 static_cast<uint64_t>(get(D.B, Frame).I));
       Frame[D.ResultSlot] = R;
       break;
     }
     case DOp::Mul: {
       Reg R;
-      R.I = get(D.A, Frame).I * get(D.B, Frame).I;
+      R.I = static_cast<int64_t>(static_cast<uint64_t>(get(D.A, Frame).I) *
+                                 static_cast<uint64_t>(get(D.B, Frame).I));
       Frame[D.ResultSlot] = R;
       break;
     }
@@ -964,8 +385,16 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
         trap("integer division by zero");
         break;
       }
+      int64_t A = get(D.A, Frame).I;
+      // INT64_MIN / -1 overflows (the quotient 2^63 is unrepresentable);
+      // modelled as the hardware divide fault it would raise. The host
+      // idiv would SIGFPE.
+      if (A == INT64_MIN && B == -1) {
+        trap("integer division overflow");
+        break;
+      }
       Reg R;
-      R.I = get(D.A, Frame).I / B;
+      R.I = A / B;
       Frame[D.ResultSlot] = R;
       break;
     }
@@ -975,8 +404,10 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
         trap("integer remainder by zero");
         break;
       }
+      // Divisor -1: remainder is 0 for every dividend, including
+      // INT64_MIN (where the host irem would SIGFPE).
       Reg R;
-      R.I = get(D.A, Frame).I % B;
+      R.I = B == -1 ? 0 : get(D.A, Frame).I % B;
       Frame[D.ResultSlot] = R;
       break;
     }
@@ -999,8 +430,11 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
       break;
     }
     case DOp::Shl: {
+      // Shifted as unsigned: shifting into/out of the sign bit is
+      // well-defined wrap, not UB.
       Reg R;
-      R.I = get(D.A, Frame).I << (get(D.B, Frame).I & 63);
+      R.I = static_cast<int64_t>(static_cast<uint64_t>(get(D.A, Frame).I)
+                                 << (get(D.B, Frame).I & 63));
       Frame[D.ResultSlot] = R;
       break;
     }
@@ -1085,8 +519,18 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
       break;
     }
     case DOp::FPToSI: {
+      // DInst contract: NaN converts to 0; out-of-range values saturate
+      // (the bare host cast would be UB for both).
+      double F = get(D.A, Frame).F;
       Reg R;
-      R.I = static_cast<int64_t>(get(D.A, Frame).F);
+      if (F != F)
+        R.I = 0;
+      else if (F >= 9223372036854775808.0)
+        R.I = INT64_MAX;
+      else if (F < -9223372036854775808.0)
+        R.I = INT64_MIN;
+      else
+        R.I = static_cast<int64_t>(F);
       Frame[D.ResultSlot] = R;
       break;
     }
@@ -1122,7 +566,7 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
     case DOp::Ret:
       if (D.Extra)
         RetVal = get(D.A, Frame);
-      StackTop = MemFrameBase;
+      SM.StackTop = MemFrameBase;
       return RetVal;
     case DOp::Br:
       if (Opts.Profile)
@@ -1140,7 +584,7 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
     case DOp::Malloc: {
       uint64_t Size = static_cast<uint64_t>(get(D.A, Frame).I);
       Reg R;
-      R.I = static_cast<int64_t>(heapAlloc(Size, 0xAA));
+      R.I = static_cast<int64_t>(SM.heapAlloc(Size, 0xAA));
       Frame[D.ResultSlot] = R;
       break;
     }
@@ -1148,24 +592,24 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
       uint64_t N = static_cast<uint64_t>(get(D.A, Frame).I);
       uint64_t Sz = static_cast<uint64_t>(get(D.B, Frame).I);
       Reg R;
-      R.I = static_cast<int64_t>(heapAlloc(N * Sz, 0x00));
+      R.I = static_cast<int64_t>(SM.heapAlloc(N * Sz, 0x00));
       Frame[D.ResultSlot] = R;
       break;
     }
     case DOp::Realloc: {
       uint64_t Old = static_cast<uint64_t>(get(D.A, Frame).I);
       uint64_t NewSize = static_cast<uint64_t>(get(D.B, Frame).I);
-      uint64_t NewAddr = heapAlloc(NewSize, 0xAA);
+      uint64_t NewAddr = SM.heapAlloc(NewSize, 0xAA);
       if (Old != 0) {
-        auto It = LiveAllocs.find(Old);
-        if (It == LiveAllocs.end()) {
+        auto It = SM.LiveAllocs.find(Old);
+        if (It == SM.LiveAllocs.end()) {
           trap("realloc of a non-heap address");
           break;
         }
         uint64_t CopyBytes = std::min(It->second, NewSize);
-        ensureMem(NewAddr + CopyBytes);
-        std::memmove(Mem.data() + NewAddr, Mem.data() + Old, CopyBytes);
-        heapFree(Old);
+        SM.ensureMem(NewAddr + CopyBytes);
+        std::memmove(SM.Mem.data() + NewAddr, SM.Mem.data() + Old, CopyBytes);
+        SM.heapFree(Old);
       }
       Reg R;
       R.I = static_cast<int64_t>(NewAddr);
@@ -1181,7 +625,7 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
       uint64_t Size = static_cast<uint64_t>(get(D.C, Frame).I);
       if (!checkAddr(Addr, Size, "memset"))
         break;
-      std::memset(Mem.data() + Addr, static_cast<int>(Byte & 0xff), Size);
+      std::memset(SM.Mem.data() + Addr, static_cast<int>(Byte & 0xff), Size);
       // Touch one cache line per 64 bytes, with the chunk's real width
       // so misaligned streams pay for the lines they straddle.
       if (Opts.SimulateCache) {
@@ -1210,7 +654,7 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
       uint64_t Size = static_cast<uint64_t>(get(D.C, Frame).I);
       if (!checkAddr(Dst, Size, "memcpy") || !checkAddr(Src, Size, "memcpy"))
         break;
-      std::memmove(Mem.data() + Dst, Mem.data() + Src, Size);
+      std::memmove(SM.Mem.data() + Dst, SM.Mem.data() + Src, Size);
       if (Opts.SimulateCache) {
         uint64_t Pc = (static_cast<uint64_t>(DF.FuncIdx) << 32) | (PC - 1);
         if (Opts.Attribution)
@@ -1244,7 +688,7 @@ Reg Interpreter::Impl::executeFunction(const DecodedFunction &DF,
       break;
   }
 
-  StackTop = MemFrameBase;
+  SM.StackTop = MemFrameBase;
   return RetVal;
 }
 
@@ -1257,7 +701,9 @@ RunResult Interpreter::Impl::run(const std::string &EntryName) {
     trap("entry function '" + EntryName + "' is not defined");
     return Result;
   }
-  layoutGlobals();
+  layoutAddressSpace(M, Opts.IntParams, SM, GlobalAddr, FuncList, FuncIndex);
+  DecodedFns.resize(FuncList.size());
+  RegArena.resize(4096);
 
   uint32_t EntryIdx = FuncIndex.at(Entry);
   const DecodedFunction &DF = decodedFunction(EntryIdx);
@@ -1271,8 +717,10 @@ RunResult Interpreter::Impl::run(const std::string &EntryName) {
   if (Result.Instructions > Opts.MaxInstructions)
     trap("instruction budget exceeded");
   Result.ExitCode = R.I;
-  Result.HeapLiveAllocs = LiveAllocs.size();
-  for (const auto &[Addr, Size] : LiveAllocs) {
+  Result.HeapBytesAllocated = SM.HeapBytesAllocated;
+  Result.HeapAllocations = SM.HeapAllocations;
+  Result.HeapLiveAllocs = SM.LiveAllocs.size();
+  for (const auto &[Addr, Size] : SM.LiveAllocs) {
     (void)Addr;
     Result.HeapLiveBytes += Size;
   }
@@ -1331,7 +779,36 @@ RunResult Interpreter::run(const std::string &EntryName) {
   return P->run(EntryName);
 }
 
+bool slo::parseEngineName(const std::string &Name, ExecEngine &Out) {
+  if (Name == "walker") {
+    Out = ExecEngine::Walker;
+    return true;
+  }
+  if (Name == "vm") {
+    Out = ExecEngine::VM;
+    return true;
+  }
+  return false;
+}
+
+ExecEngine slo::resolveEngine(ExecEngine E) {
+  if (E != ExecEngine::Auto)
+    return E;
+  const char *Env = std::getenv("SLO_ENGINE");
+  if (!Env || !*Env)
+    return ExecEngine::Walker;
+  ExecEngine Out;
+  if (!parseEngineName(Env, Out))
+    reportFatalError(std::string("SLO_ENGINE must be 'walker' or 'vm', got '") +
+                     Env + "'");
+  return Out;
+}
+
 RunResult slo::runProgram(const Module &M, RunOptions Opts) {
+  if (resolveEngine(Opts.Engine) == ExecEngine::VM) {
+    VM V(M, std::move(Opts));
+    return V.run();
+  }
   Interpreter I(M, std::move(Opts));
   return I.run();
 }

@@ -44,6 +44,30 @@ class MissAttribution;
 class SampledPmu;
 class Tracer;
 
+/// Which execution engine runs the module. Both engines are bit-
+/// identical in every observable output (printed values, exit code,
+/// cycles, misses, leak census, attribution partitions) — enforced by
+/// the engine-parity differential-fuzz oracle — and differ only in wall
+/// time: the tree walker is the simple reference implementation; the
+/// threaded bytecode VM is the fast tier the benches use.
+enum class ExecEngine {
+  /// Resolve from the SLO_ENGINE environment variable ("walker" or
+  /// "vm"; any other value is a fatal error so a typo can never
+  /// silently fall back), defaulting to the walker when unset.
+  Auto,
+  Walker,
+  VM,
+};
+
+/// Parses an engine name ("walker" or "vm") as used by the --engine
+/// driver flags and the SLO_ENGINE variable. Returns false on any other
+/// string.
+bool parseEngineName(const std::string &Name, ExecEngine &Out);
+
+/// Resolves Auto against the SLO_ENGINE environment variable; fatal
+/// error on an unrecognized value (never a silent fallback).
+ExecEngine resolveEngine(ExecEngine E);
+
 /// Execution options.
 struct RunOptions {
   /// Values assigned to named integer globals before execution; the
@@ -84,6 +108,15 @@ struct RunOptions {
   /// Execution guards.
   uint64_t MaxInstructions = 4000000000ull;
   unsigned MaxCallDepth = 4096;
+
+  /// Engine selection for runProgram (the Interpreter and VM classes
+  /// are their engines regardless of this field).
+  ExecEngine Engine = ExecEngine::Auto;
+
+  /// Test hook for the engine-parity oracle: makes the VM deliberately
+  /// mis-charge load cycles so the oracle must detect the divergence.
+  /// Ignored by the walker.
+  bool InjectVmBug = false;
 };
 
 /// Everything a run produces.
@@ -137,7 +170,8 @@ private:
 };
 
 /// Convenience: compile-free execution helper used all over the tests and
-/// benches. Runs \p M with \p Opts and returns the result.
+/// benches. Runs \p M with \p Opts under the engine Opts.Engine selects
+/// (tree walker by default, or the bytecode VM) and returns the result.
 RunResult runProgram(const Module &M, RunOptions Opts = RunOptions());
 
 } // namespace slo

@@ -1,0 +1,1614 @@
+//===- runtime/VM.cpp - Threaded bytecode VM ------------------------------===//
+//
+// The fast execution tier. Differences from the tree walker are purely
+// mechanical — never semantic:
+//
+//  - Dispatch is a computed-goto threaded loop (per-opcode indirect
+//    branches, so the host branch predictor learns opcode pairs), with
+//    a portable switch fallback when labels-as-values are unavailable.
+//  - Operands are always frame slots: constants were materialized into
+//    per-function constant slots at compile time, killing the
+//    slot-vs-immediate branch the walker pays on every operand.
+//  - Run totals (instructions, cycles, stalls, loads, stores) live in
+//    host registers inside the loop and are flushed to the members only
+//    around calls and exits.
+//  - Single-use field-address + load/store pairs run as one fused
+//    superinstruction (the dominant pattern in SLO workloads), with the
+//    inter-instruction budget check replayed so trap timing is
+//    bit-identical to the walker's.
+//  - Non-straddling first-level cache hits take CacheSim's inline fast
+//    path; instrumented runs use side-table (site, PC) context computed
+//    at compile time and inline-cached FieldCacheStats / edge-counter
+//    pointers instead of per-event map lookups.
+//
+// Anything observable — output, cycles, misses, leak census,
+// attribution partitions, trap reasons and timing — must match the
+// walker bit for bit; the engine-parity differential-fuzz oracle and
+// the vm_test suite hold both engines to that.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/VM.h"
+
+#include "observability/CounterRegistry.h"
+#include "observability/MissAttribution.h"
+#include "observability/SampledPmu.h"
+#include "observability/Tracer.h"
+#include "runtime/Bytecode.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+using namespace slo;
+using namespace slo::engine;
+
+// Computed-goto threading needs GNU labels-as-values; everything else
+// falls back to a plain switch loop with identical handler bodies.
+// SLO_VM_FORCE_SWITCH forces the fallback (used to test it on GCC).
+#if defined(__GNUC__) && !defined(SLO_VM_FORCE_SWITCH)
+#define SLO_VM_THREADED 1
+#else
+#define SLO_VM_THREADED 0
+#endif
+
+namespace {
+
+// Width-specialized simulated-memory accessors. SimMemory::readInt takes
+// a runtime byte count, which the host compiler lowers to a library
+// memcpy call; these switch on the (always 1/2/4/8) width so every arm
+// is a single fixed-size move the compiler inlines. Semantics are
+// exactly readInt/writeInt/readFloat/writeFloat's.
+inline int64_t vmLoadInt(const uint8_t *P, unsigned Bytes, bool SignExtend) {
+  switch (Bytes) {
+  case 1: {
+    uint8_t V;
+    std::memcpy(&V, P, 1);
+    return SignExtend ? static_cast<int64_t>(static_cast<int8_t>(V))
+                      : static_cast<int64_t>(V);
+  }
+  case 2: {
+    uint16_t V;
+    std::memcpy(&V, P, 2);
+    return SignExtend ? static_cast<int64_t>(static_cast<int16_t>(V))
+                      : static_cast<int64_t>(V);
+  }
+  case 4: {
+    uint32_t V;
+    std::memcpy(&V, P, 4);
+    return SignExtend ? static_cast<int64_t>(static_cast<int32_t>(V))
+                      : static_cast<int64_t>(V);
+  }
+  case 8: {
+    uint64_t V;
+    std::memcpy(&V, P, 8);
+    return static_cast<int64_t>(V);
+  }
+  default: { // Unreachable for MiniC types; keep readInt's behaviour.
+    uint64_t Raw = 0;
+    std::memcpy(&Raw, P, Bytes);
+    if (SignExtend) {
+      uint64_t SignBit = 1ull << (Bytes * 8 - 1);
+      if (Raw & SignBit)
+        Raw |= ~((SignBit << 1) - 1);
+    }
+    return static_cast<int64_t>(Raw);
+  }
+  }
+}
+
+inline void vmStoreInt(uint8_t *P, unsigned Bytes, int64_t V) {
+  switch (Bytes) {
+  case 1:
+    std::memcpy(P, &V, 1);
+    return;
+  case 2:
+    std::memcpy(P, &V, 2);
+    return;
+  case 4:
+    std::memcpy(P, &V, 4);
+    return;
+  case 8:
+    std::memcpy(P, &V, 8);
+    return;
+  default:
+    std::memcpy(P, &V, Bytes);
+    return;
+  }
+}
+
+inline double vmLoadFloat(const uint8_t *P, unsigned Bytes) {
+  if (Bytes == 4) {
+    float F;
+    std::memcpy(&F, P, 4);
+    return F;
+  }
+  double D;
+  std::memcpy(&D, P, 8);
+  return D;
+}
+
+inline void vmStoreFloat(uint8_t *P, unsigned Bytes, double V) {
+  if (Bytes == 4) {
+    float F = static_cast<float>(V);
+    std::memcpy(P, &F, 4);
+    return;
+  }
+  std::memcpy(P, &V, 8);
+}
+
+} // namespace
+
+class VM::Impl {
+public:
+  Impl(const Module &M, RunOptions Opts)
+      : M(M), Opts(std::move(Opts)), Cache(this->Opts.Cache) {
+    if (this->Opts.Attribution)
+      Cache.setMissSink(this->Opts.Attribution);
+  }
+
+  RunResult run(const std::string &EntryName);
+
+private:
+  BCFunction &compiledFunction(uint32_t Idx);
+
+  Reg executeFunction(BCFunction &BF, size_t FrameBase, unsigned Depth);
+  Reg callFunction(const Function *F, uint32_t FIdx, const uint32_t *ArgSlots,
+                   unsigned NumArgs, Reg *&Frame, size_t FrameBase,
+                   unsigned Depth);
+  Reg callBuiltin(uint16_t Kind, const Function *F, const uint32_t *ArgSlots,
+                  unsigned NumArgs, const Reg *Frame);
+
+  /// The instrumented access path: identical event sequence to the
+  /// walker's simulateAccess, with the (site, PC) context and the
+  /// profile-stats pointer coming from the precomputed side table
+  /// instead of per-access recomputation and map lookups.
+  void instrAccess(uint64_t Addr, unsigned Bytes, bool IsFp, bool IsStore,
+                   AccessSide &S, uint64_t &Cyc, uint64_t &StallC,
+                   uint64_t &Ld, uint64_t &St);
+
+  /// Registers a human-readable label ("function+codeindex") for the
+  /// packed PC token on its first attributed miss. PC tokens index the
+  /// original DInst stream, so labels match the walker's exactly.
+  void labelPc(uint64_t Pc) {
+    uint32_t FIdx = static_cast<uint32_t>(Pc >> 32);
+    uint32_t Idx = static_cast<uint32_t>(Pc);
+    if (PcLabeled.size() <= FIdx)
+      PcLabeled.resize(FuncList.size());
+    std::vector<bool> &Seen = PcLabeled[FIdx];
+    if (Seen.empty())
+      Seen.resize(CompiledFns[FIdx]->NumDInsts);
+    if (Seen[Idx])
+      return;
+    Seen[Idx] = true;
+    Opts.Attribution->notePcLabel(
+        Pc, formatString("%s+%u", FuncList[FIdx]->getName().c_str(), Idx));
+  }
+
+  void ensureArena(size_t End) {
+    if (End > RegArena.size())
+      RegArena.resize(std::max(End, RegArena.size() * 2));
+  }
+
+  void trap(const std::string &Reason) {
+    if (!Result.Trapped) {
+      Result.Trapped = true;
+      Result.TrapReason = Reason;
+    }
+  }
+
+  const Module &M;
+  RunOptions Opts;
+  CacheSim Cache;
+  RunResult Result;
+  SimMemory SM;
+
+  std::unordered_map<const GlobalVariable *, uint64_t> GlobalAddr;
+  std::vector<const Function *> FuncList;
+  std::unordered_map<const Function *, uint32_t> FuncIndex;
+  std::vector<std::unique_ptr<BCFunction>> CompiledFns;
+  CompileOptions CO;
+
+  std::vector<Reg> RegArena; // Register frames of the live call chain.
+  size_t ArenaTop = 0;
+
+  /// [FuncIdx][DInstIdx] -> PC label already registered with the sink.
+  std::vector<std::vector<bool>> PcLabeled;
+
+  // Run totals; mirrored into RunResult at the end of the run. Inside
+  // the dispatch loop these live in locals, synced around calls.
+  uint64_t Instructions = 0, Cycles = 0, MemStall = 0;
+  uint64_t NLoads = 0, NStores = 0;
+  uint64_t FastHits = 0; // Cache fast-path completions ("vm.*" counter).
+
+  friend class VM;
+};
+
+BCFunction &VM::Impl::compiledFunction(uint32_t Idx) {
+  if (!CompiledFns[Idx]) {
+    // Decode on first call — the same laziness (and therefore the same
+    // attribution/PMU site registration order) as the walker — then
+    // compile straight to bytecode; the DInst stream is transient.
+    DecodedFunction DF;
+    DF.FuncIdx = Idx;
+    DecodeContext Ctx;
+    Ctx.GlobalAddr = &GlobalAddr;
+    Ctx.FuncIndex = &FuncIndex;
+    Ctx.Attribution = Opts.Attribution;
+    Ctx.Pmu = Opts.Pmu;
+    decodeFunction(FuncList[Idx], DF, Ctx);
+    auto BF = std::make_unique<BCFunction>();
+    compileFunction(DF, *BF, CO);
+    CompiledFns[Idx] = std::move(BF);
+  }
+  return *CompiledFns[Idx];
+}
+
+void VM::Impl::instrAccess(uint64_t Addr, unsigned Bytes, bool IsFp,
+                           bool IsStore, AccessSide &S, uint64_t &Cyc,
+                           uint64_t &StallC, uint64_t &Ld, uint64_t &St) {
+  // Stack slots model register-promoted locals: free, not simulated.
+  if (SM.isStackAddress(Addr))
+    return;
+  if (IsStore)
+    ++St;
+  else
+    ++Ld;
+  ++Cyc; // Issue cost of a real memory operation.
+  if (!Opts.SimulateCache)
+    return;
+  CacheAccessResult A;
+  if (!Opts.Pmu && Cache.tryFirstLevelHit(Addr, Bytes, IsFp)) {
+    // First-level hit with no PMU and no attribution sink attached
+    // (tryFirstLevelHit refuses when one is): zero stall, no miss
+    // event, and the latency is the constant first-level hit latency —
+    // exactly the CacheAccessResult access() would have produced. This
+    // is the common case of a profile (train) run.
+    const CacheConfig &CC = Cache.config();
+    A.Latency =
+        IsFp && CC.FpBypassesL1 ? CC.L2.HitLatency : CC.L1.HitLatency;
+    if (IsStore)
+      A.Latency /= CC.StoreCostDivisor ? CC.StoreCostDivisor : 1;
+  } else {
+    if (Opts.Attribution)
+      Cache.setAccessContext(S.Site, S.Pc);
+    A = Cache.access(Addr, Bytes, IsStore, IsFp);
+    Cyc += A.Stall;
+    StallC += A.Stall;
+    if (Opts.Attribution && A.FirstLevelMiss)
+      labelPc(S.Pc);
+    if (Opts.Pmu)
+      Opts.Pmu->observeAccess(S.PmuSite, IsStore, A.FirstLevelMiss,
+                              A.Latency);
+  }
+
+  // Exact field collection; with a PMU attached the field events come
+  // from the sampled estimates flushed at end of run instead.
+  if (!Opts.Profile || !S.Attrib || Opts.Pmu)
+    return;
+  if (!S.Stats)
+    S.Stats = &Opts.Profile->fieldStats(S.Attrib->getRecord(),
+                                        S.Attrib->getFieldIndex());
+  FieldCacheStats &FS = *S.Stats;
+  if (IsStore) {
+    ++FS.Stores;
+  } else {
+    ++FS.Loads;
+    FS.TotalLatency += static_cast<double>(A.Latency);
+  }
+  if (A.FirstLevelMiss)
+    ++FS.Misses;
+}
+
+Reg VM::Impl::callBuiltin(uint16_t Kind, const Function *F,
+                          const uint32_t *ArgSlots, unsigned NumArgs,
+                          const Reg *Frame) {
+  Reg R;
+  R.I = 0;
+  Reg A0;
+  A0.I = 0;
+  if (NumArgs > 0)
+    A0 = Frame[ArgSlots[0]];
+  switch (Kind) {
+  case BK_PrintI64:
+    Result.PrintedInts.push_back(A0.I);
+    return R;
+  case BK_PrintF64:
+    Result.PrintedFloats.push_back(A0.F);
+    return R;
+  case BK_Sqrt:
+    R.F = std::sqrt(A0.F);
+    return R;
+  case BK_Fabs:
+    R.F = std::fabs(A0.F);
+    return R;
+  case BK_Exp:
+    R.F = std::exp(A0.F);
+    return R;
+  case BK_Log:
+    R.F = std::log(A0.F);
+    return R;
+  case BK_Floor:
+    R.F = std::floor(A0.F);
+    return R;
+  case BK_IAbs:
+    // Two's-complement negate: i_abs(INT64_MIN) wraps to INT64_MIN
+    // (DInst contract; matches the walker).
+    R.I = A0.I < 0 ? static_cast<int64_t>(0ull - static_cast<uint64_t>(A0.I))
+                   : A0.I;
+    return R;
+  default:
+    trap("call to unimplemented library function '" + F->getName() + "'");
+    return R;
+  }
+}
+
+Reg VM::Impl::callFunction(const Function *F, uint32_t FIdx,
+                           const uint32_t *ArgSlots, unsigned NumArgs,
+                           Reg *&Frame, size_t FrameBase, unsigned Depth) {
+  Reg Void;
+  Void.I = 0;
+  if (F->isDeclaration())
+    return callBuiltin(classifyBuiltin(F->getName()), F, ArgSlots, NumArgs,
+                       Frame);
+  if (Depth + 1 > Opts.MaxCallDepth) {
+    trap("call depth limit exceeded in '" + F->getName() + "'");
+    return Void;
+  }
+
+  BCFunction &BF = compiledFunction(FIdx);
+  size_t CalleeBase = ArenaTop;
+  ensureArena(CalleeBase + static_cast<size_t>(BF.FrameSlots));
+  Frame = RegArena.data() + FrameBase; // The arena may have moved.
+  Reg *CalleeFrame = RegArena.data() + CalleeBase;
+  Reg Zero;
+  Zero.I = 0;
+  std::fill(CalleeFrame, CalleeFrame + BF.NumSlots, Zero);
+  if (!BF.Consts.empty())
+    std::memcpy(CalleeFrame + BF.NumSlots, BF.Consts.data(),
+                BF.Consts.size() * sizeof(Reg));
+  for (unsigned A = 0; A < NumArgs; ++A)
+    CalleeFrame[A] = Frame[ArgSlots[A]];
+  ArenaTop = CalleeBase + static_cast<size_t>(BF.FrameSlots);
+
+  Reg R = executeFunction(BF, CalleeBase, Depth + 1);
+
+  ArenaTop = CalleeBase;
+  Frame = RegArena.data() + FrameBase;
+  return R;
+}
+
+Reg VM::Impl::executeFunction(BCFunction &BF, size_t FrameBase,
+                              unsigned Depth) {
+  Reg Void;
+  Void.I = 0;
+  if (SM.StackTop + BF.FrameSize > SM.StackLimit) {
+    trap("simulated stack overflow in '" + BF.F->getName() + "'");
+    return Void;
+  }
+  uint64_t MemFrameBase = SM.StackTop;
+  SM.StackTop += BF.FrameSize;
+  SM.ensureMem(SM.StackTop);
+
+  Reg *Frame = RegArena.data() + FrameBase;
+  for (const auto &[SlotIdx, Off] : BF.Allocas)
+    Frame[SlotIdx].I = static_cast<int64_t>(MemFrameBase + Off);
+
+  if (Opts.Profile) {
+    if (!BF.EntryCount)
+      BF.EntryCount = Opts.Profile->entryCounter(BF.F);
+    ++*BF.EntryCount;
+  }
+
+  Reg RetVal = Void;
+  const BCInst *Code = BF.Code.data();
+  const BCInst *D = nullptr;
+  uint32_t PC = 0;
+  const uint64_t Budget = Opts.MaxInstructions;
+  const bool SimCache = Opts.SimulateCache;
+
+  // Hot-loop caches of the simulated address space: the backing store's
+  // base/size (refreshed whenever something may have grown it — calls,
+  // heap ops, an ensureMem on this path) and the stack bounds, which are
+  // fixed for the whole run at layout time.
+  uint8_t *MemBase = SM.Mem.data();
+  uint64_t MemSize = SM.Mem.size();
+  const uint64_t StkBase = SM.StackBase, StkLimit = SM.StackLimit;
+#define VM_REFRESH_MEM() (MemBase = SM.Mem.data(), MemSize = SM.Mem.size())
+
+  // Run totals in host registers; synced with the members around calls
+  // (the only re-entry points) and at every exit.
+  uint64_t Instr = Instructions, Cyc = Cycles, StallC = MemStall;
+  uint64_t Ld = NLoads, St = NStores, FH = FastHits;
+
+#define VM_SYNC_OUT()                                                        \
+  (Instructions = Instr, Cycles = Cyc, MemStall = StallC, NLoads = Ld,       \
+   NStores = St, FastHits = FH)
+#define VM_SYNC_IN()                                                         \
+  (Instr = Instructions, Cyc = Cycles, StallC = MemStall, Ld = NLoads,       \
+   St = NStores, FH = FastHits)
+
+// Per-instruction prologue, identical to the walker's: count, charge
+// the base cost, stop on budget exhaustion, then execute.
+#if SLO_VM_THREADED
+#define VM_CASE(OP) L_##OP:
+#define VM_NEXT()                                                            \
+  do {                                                                       \
+    D = Code + PC;                                                           \
+    ++Instr;                                                                 \
+    Cyc += D->Cost;                                                          \
+    if (Instr > Budget)                                                      \
+      goto out;                                                              \
+    ++PC;                                                                    \
+    goto *Labels[static_cast<unsigned>(D->Op)];                              \
+  } while (0)
+
+  static const void *Labels[] = {
+      &&L_Nop,        &&L_LoadFast,    &&L_StoreFast,   &&L_LoadInstr,
+      &&L_StoreInstr, &&L_StackLoad,   &&L_StackStore,
+      &&L_FieldLoadFast, &&L_FieldStoreFast,
+      &&L_FieldLoadInstr, &&L_FieldStoreInstr,
+      &&L_IndexLoadFast, &&L_IndexStoreFast,
+      &&L_IndexLoadInstr, &&L_IndexStoreInstr, &&L_FieldAddr,
+      &&L_IndexAddr,  &&L_Add,         &&L_Sub,         &&L_Mul,
+      &&L_SDiv,       &&L_SRem,        &&L_And,         &&L_Or,
+      &&L_Xor,        &&L_Shl,         &&L_AShr,        &&L_FAdd,
+      &&L_FSub,       &&L_FMul,        &&L_FDiv,        &&L_ICmpEQ,
+      &&L_ICmpNE,     &&L_ICmpSLT,     &&L_ICmpSLE,     &&L_ICmpSGT,
+      &&L_ICmpSGE,    &&L_FCmpEQ,      &&L_FCmpNE,      &&L_FCmpLT,
+      &&L_FCmpLE,     &&L_FCmpGT,      &&L_FCmpGE,      &&L_Trunc,
+      &&L_Move,       &&L_FPTrunc,     &&L_SIToFP,      &&L_FPToSI,
+      &&L_CallBuiltin, &&L_Call,       &&L_ICall,       &&L_Ret,
+      &&L_RetVoid,    &&L_Br,          &&L_BrProf,      &&L_CondBr,
+      &&L_CondBrProf,
+      &&L_CmpBrEQ,    &&L_CmpBrNE,     &&L_CmpBrSLT,    &&L_CmpBrSLE,
+      &&L_CmpBrSGT,   &&L_CmpBrSGE,    &&L_FCmpBrEQ,    &&L_FCmpBrNE,
+      &&L_FCmpBrLT,   &&L_FCmpBrLE,    &&L_FCmpBrGT,    &&L_FCmpBrGE,
+      &&L_Malloc,     &&L_Calloc,      &&L_Realloc,
+      &&L_Free,       &&L_Memset,      &&L_Memcpy,      &&L_TrapNoTerm,
+      &&L_StackLoad2, &&L_NopN,
+      &&L_StackFieldLoadFast, &&L_StackFieldStoreFast,
+      &&L_StackFieldLoadInstr, &&L_StackFieldStoreInstr,
+      &&L_StackFieldAddr,      &&L_StackIndexAddr2,
+      &&L_AddStackStore,       &&L_SubStackStore,   &&L_FAddStackStore,
+      &&L_FSubStackStore,      &&L_FMulStackStore,
+      &&L_StackFieldChainLoadFast, &&L_StackFieldChainLoadInstr,
+      &&L_StackIndexFieldLoadFast, &&L_StackIndexFieldLoadInstr,
+      &&L_StackIndexFieldAddr, &&L_StackLoad2FMul,  &&L_NopStackStore,
+  };
+  static_assert(sizeof(Labels) / sizeof(Labels[0]) ==
+                    static_cast<unsigned>(BCOp::NumOps_),
+                "dispatch table out of sync with BCOp");
+  VM_NEXT(); // Enter the threaded loop.
+#else
+#define VM_CASE(OP) case BCOp::OP:
+#define VM_NEXT() break
+
+  for (;;) {
+    D = Code + PC;
+    ++Instr;
+    Cyc += D->Cost;
+    if (Instr > Budget)
+      goto out;
+    ++PC;
+    switch (D->Op) {
+#endif
+
+  // -- Memory: measurement-mode (Fast) opcodes -----------------------------
+
+#define VM_CHECK_ADDR(ADDR, BYTES, WHAT)                                     \
+  do {                                                                       \
+    if ((ADDR)-NullGuard >= FuncAddrBase - NullGuard) {                      \
+      trap(formatString(WHAT " at invalid address 0x%llx",                   \
+                        static_cast<unsigned long long>(ADDR)));             \
+      goto out;                                                              \
+    }                                                                        \
+    if ((ADDR) + (BYTES) > MemSize) {                                        \
+      SM.ensureMem((ADDR) + (BYTES));                                        \
+      VM_REFRESH_MEM();                                                      \
+    }                                                                        \
+  } while (0)
+
+// Shared tail of the un-instrumented load/store opcodes: stack accesses
+// are free; others count, pay the issue cycle, and go through the cache
+// (inline first-level hit probe; out-of-line full walk on miss or
+// straddle — inlining the walk at every site bloats the dispatch loop).
+// The _W form takes the width and float flag explicitly for chain
+// opcodes whose intermediate access differs from the Bytes/Flags fields
+// (which describe the chain's final access).
+#define VM_FAST_SIM_W(ADDR, BYTES, ISFP, ISSTORE, CTR)                       \
+  do {                                                                       \
+    if (!((ADDR) >= StkBase && (ADDR) < StkLimit)) {                         \
+      ++CTR;                                                                 \
+      ++Cyc;                                                                 \
+      if (SimCache) {                                                        \
+        if (Cache.tryFirstLevelHit(ADDR, BYTES, ISFP)) {                     \
+          ++FH;                                                              \
+        } else {                                                             \
+          CacheAccessResult A = Cache.access(ADDR, BYTES, ISSTORE, ISFP);    \
+          Cyc += A.Stall;                                                    \
+          StallC += A.Stall;                                                 \
+        }                                                                    \
+      }                                                                      \
+    }                                                                        \
+  } while (0)
+
+#define VM_FAST_SIM(ADDR, ISSTORE, CTR)                                      \
+  VM_FAST_SIM_W(ADDR, D->Bytes, D->Flags & BCF_Float, ISSTORE, CTR)
+
+#define VM_DO_LOAD(ADDR)                                                     \
+  do {                                                                       \
+    VM_CHECK_ADDR(ADDR, D->Bytes, "load");                                   \
+    Reg R;                                                                   \
+    if (D->Flags & BCF_Float)                                                \
+      R.F = vmLoadFloat(MemBase + (ADDR), D->Bytes);                         \
+    else                                                                     \
+      R.I = vmLoadInt(MemBase + (ADDR), D->Bytes,                            \
+                      D->Flags & BCF_SignExtend);                            \
+    Frame[D->Dst] = R;                                                       \
+  } while (0)
+
+// VSLOT is the frame slot holding the stored value (B for the plain and
+// field forms, Dst for the index-fused forms where B is the index).
+#define VM_DO_STORE_FROM(ADDR, VSLOT)                                        \
+  do {                                                                       \
+    VM_CHECK_ADDR(ADDR, D->Bytes, "store");                                  \
+    Reg V = Frame[VSLOT];                                                    \
+    if (D->Flags & BCF_Float)                                                \
+      vmStoreFloat(MemBase + (ADDR), D->Bytes, V.F);                         \
+    else                                                                     \
+      vmStoreInt(MemBase + (ADDR), D->Bytes, V.I);                           \
+  } while (0)
+
+#define VM_DO_STORE(ADDR) VM_DO_STORE_FROM(ADDR, D->B)
+
+  VM_CASE(Nop) { VM_NEXT(); }
+
+  VM_CASE(LoadFast) {
+    uint64_t Addr = static_cast<uint64_t>(Frame[D->A].I);
+    VM_DO_LOAD(Addr);
+    VM_FAST_SIM(Addr, false, Ld);
+    VM_NEXT();
+  }
+
+  VM_CASE(StoreFast) {
+    uint64_t Addr = static_cast<uint64_t>(Frame[D->A].I);
+    VM_DO_STORE(Addr);
+    VM_FAST_SIM(Addr, true, St);
+    VM_NEXT();
+  }
+
+  VM_CASE(LoadInstr) {
+    uint64_t Addr = static_cast<uint64_t>(Frame[D->A].I);
+    VM_DO_LOAD(Addr);
+    instrAccess(Addr, D->Bytes, D->Flags & BCF_Float, false,
+                BF.Access[D->C], Cyc, StallC, Ld, St);
+    VM_NEXT();
+  }
+
+  VM_CASE(StoreInstr) {
+    uint64_t Addr = static_cast<uint64_t>(Frame[D->A].I);
+    VM_DO_STORE(Addr);
+    instrAccess(Addr, D->Bytes, D->Flags & BCF_Float, true, BF.Access[D->C],
+                Cyc, StallC, Ld, St);
+    VM_NEXT();
+  }
+
+  // Accesses proven at compile time to target the current frame (the
+  // address operand is this function's alloca, access in-bounds): no
+  // trap is possible and neither engine simulates stack accesses, so
+  // the handler is just the move. Entry's ensureMem(StackTop) keeps
+  // MemBase valid for the whole frame.
+
+  VM_CASE(StackLoad) {
+    const uint8_t *P =
+        MemBase + MemFrameBase + static_cast<uint64_t>(D->Extra);
+    Reg R;
+    if (D->Flags & BCF_Float)
+      R.F = vmLoadFloat(P, D->Bytes);
+    else
+      R.I = vmLoadInt(P, D->Bytes, D->Flags & BCF_SignExtend);
+    Frame[D->Dst] = R;
+    VM_NEXT();
+  }
+
+  VM_CASE(StackStore) {
+    uint8_t *P = MemBase + MemFrameBase + static_cast<uint64_t>(D->Extra);
+    Reg V = Frame[D->B];
+    if (D->Flags & BCF_Float)
+      vmStoreFloat(P, D->Bytes, V.F);
+    else
+      vmStoreInt(P, D->Bytes, V.I);
+    VM_NEXT();
+  }
+
+  // Two stack loads in one dispatch: the first's width/flags sit in the
+  // low nibble / low flag pair, the second's in the high ones. The
+  // walker's between-instruction budget check is replayed between the
+  // halves (both loads have BaseCost 0 — pinned at fusion time).
+  VM_CASE(StackLoad2) {
+    const uint8_t *P1 =
+        MemBase + MemFrameBase + static_cast<uint64_t>(D->Extra);
+    Reg R1;
+    if (D->Flags & BCF_Float)
+      R1.F = vmLoadFloat(P1, D->Bytes & 15);
+    else
+      R1.I = vmLoadInt(P1, D->Bytes & 15, D->Flags & BCF_SignExtend);
+    Frame[D->Dst] = R1;
+    ++Instr;
+    if (Instr > Budget)
+      goto out;
+    const uint8_t *P2 = MemBase + MemFrameBase + D->B;
+    Reg R2;
+    if (D->Flags & (BCF_Float << 2))
+      R2.F = vmLoadFloat(P2, D->Bytes >> 4);
+    else
+      R2.I = vmLoadInt(P2, D->Bytes >> 4, D->Flags & (BCF_SignExtend << 2));
+    Frame[static_cast<int32_t>(D->A)] = R2;
+    VM_NEXT();
+  }
+
+  // A consecutive same-cost Nops. The dispatch prologue counted and
+  // charged the head; the rest are counted and charged here, stopping
+  // exactly where the walker's per-instruction budget check would.
+  VM_CASE(NopN) {
+    uint64_t Rem = D->A - 1;
+    uint64_t Left = Budget - Instr; // Prologue ensured Instr <= Budget.
+    if (Rem > Left) {
+      Instr += Left + 1;
+      Cyc += (Left + 1) * D->Cost;
+      goto out;
+    }
+    Instr += Rem;
+    Cyc += Rem * D->Cost;
+    VM_NEXT();
+  }
+
+  // "p->f" with p an in-frame local: stack pointer load (free, never
+  // simulated) + field address + access — three instructions in one
+  // dispatch. The two budget-check replays charge the costs pinned at
+  // fusion time (load 0, address 1, access 0); the field-address
+  // arithmetic itself is pure, so running it after the checks is not
+  // observable.
+#define VM_STACK_FIELD_ADDR()                                                \
+  uint64_t Ptr;                                                              \
+  std::memcpy(&Ptr, MemBase + MemFrameBase + D->B, 8);                       \
+  ++Instr;                                                                   \
+  ++Cyc;                                                                     \
+  if (Instr > Budget)                                                        \
+    goto out;                                                                \
+  ++Instr;                                                                   \
+  if (Instr > Budget)                                                        \
+    goto out;                                                                \
+  uint64_t Addr = Ptr + static_cast<uint64_t>(D->Extra)
+
+  VM_CASE(StackFieldLoadFast) {
+    VM_STACK_FIELD_ADDR();
+    VM_DO_LOAD(Addr);
+    VM_FAST_SIM(Addr, false, Ld);
+    VM_NEXT();
+  }
+
+  VM_CASE(StackFieldStoreFast) {
+    VM_STACK_FIELD_ADDR();
+    VM_DO_STORE_FROM(Addr, D->Dst);
+    VM_FAST_SIM(Addr, true, St);
+    VM_NEXT();
+  }
+
+  VM_CASE(StackFieldLoadInstr) {
+    VM_STACK_FIELD_ADDR();
+    VM_DO_LOAD(Addr);
+    instrAccess(Addr, D->Bytes, D->Flags & BCF_Float, false,
+                BF.Access[D->C], Cyc, StallC, Ld, St);
+    VM_NEXT();
+  }
+
+  VM_CASE(StackFieldStoreInstr) {
+    VM_STACK_FIELD_ADDR();
+    VM_DO_STORE_FROM(Addr, D->Dst);
+    instrAccess(Addr, D->Bytes, D->Flags & BCF_Float, true, BF.Access[D->C],
+                Cyc, StallC, Ld, St);
+    VM_NEXT();
+  }
+
+  // "&p->f" with p an in-frame local and the address kept live: stack
+  // pointer load + field address in one dispatch. The replayed budget
+  // check charges the address half's pinned cost of 1.
+  VM_CASE(StackFieldAddr) {
+    uint64_t Ptr;
+    std::memcpy(&Ptr, MemBase + MemFrameBase + D->B, 8);
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out;
+    Frame[D->Dst].I =
+        static_cast<int64_t>(Ptr + static_cast<uint64_t>(D->Extra));
+    VM_NEXT();
+  }
+
+  // "x = a <op> b" with x a register-promoted local: binary op + stack
+  // store of its (otherwise dead) result in one dispatch. The store
+  // half replays the budget check before the memory write, exactly
+  // where the walker checks between the two instructions.
+
+#define VM_BIN_STACK_STORE_INT(EXPR)                                         \
+  do {                                                                       \
+    int64_t V = (EXPR);                                                      \
+    ++Instr;                                                                 \
+    if (Instr > Budget)                                                      \
+      goto out;                                                              \
+    vmStoreInt(MemBase + MemFrameBase + D->C, D->Bytes, V);                  \
+    VM_NEXT();                                                               \
+  } while (0)
+
+#define VM_BIN_STACK_STORE_FP(EXPR)                                         \
+  do {                                                                       \
+    double V = (EXPR);                                                       \
+    ++Instr;                                                                 \
+    if (Instr > Budget)                                                      \
+      goto out;                                                              \
+    vmStoreFloat(MemBase + MemFrameBase + D->C, D->Bytes, V);                \
+    VM_NEXT();                                                               \
+  } while (0)
+
+  VM_CASE(AddStackStore) {
+    VM_BIN_STACK_STORE_INT(static_cast<int64_t>(
+        static_cast<uint64_t>(Frame[D->A].I) +
+        static_cast<uint64_t>(Frame[D->B].I)));
+  }
+
+  VM_CASE(SubStackStore) {
+    VM_BIN_STACK_STORE_INT(static_cast<int64_t>(
+        static_cast<uint64_t>(Frame[D->A].I) -
+        static_cast<uint64_t>(Frame[D->B].I)));
+  }
+
+  VM_CASE(FAddStackStore) {
+    VM_BIN_STACK_STORE_FP(Frame[D->A].F + Frame[D->B].F);
+  }
+
+  VM_CASE(FSubStackStore) {
+    VM_BIN_STACK_STORE_FP(Frame[D->A].F - Frame[D->B].F);
+  }
+
+  VM_CASE(FMulStackStore) {
+    VM_BIN_STACK_STORE_FP(Frame[D->A].F * Frame[D->B].F);
+  }
+
+  // "&a[i]" with a and i both in-frame locals: base load + index load +
+  // element address in one dispatch. The two budget-check replays
+  // charge the pinned costs (base load 0, index load 0, address 1); the
+  // index half keeps its width and sign-extension in Bytes/Flags.
+  VM_CASE(StackIndexAddr2) {
+    uint64_t Base;
+    std::memcpy(&Base, MemBase + MemFrameBase + D->A, 8);
+    ++Instr;
+    if (Instr > Budget)
+      goto out;
+    int64_t Index = vmLoadInt(MemBase + MemFrameBase + D->B, D->Bytes,
+                              D->Flags & BCF_SignExtend);
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out;
+    Frame[D->Dst].I = static_cast<int64_t>(
+        Base + static_cast<uint64_t>(Index) * static_cast<uint64_t>(D->Extra));
+    VM_NEXT();
+  }
+
+  // "x = p->f->g" with p an in-frame local: five instructions, two
+  // simulated accesses, one dispatch. Costs replay as 0+1+0+1+0; the
+  // intermediate access (trap check, load, simulation) runs before the
+  // second field address's replayed budget check, exactly where the
+  // walker executes it. The chased pointer is held in a local because
+  // VM_CHECK_ADDR may grow memory and move MemBase.
+  VM_CASE(StackFieldChainLoadFast) {
+    uint64_t Ptr;
+    std::memcpy(&Ptr, MemBase + MemFrameBase + D->B, 8);
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out; // Before the first field address.
+    ++Instr;
+    if (Instr > Budget)
+      goto out; // Before the intermediate load.
+    uint64_t Addr1 = Ptr + (static_cast<uint64_t>(D->Extra) & 0xffffffff);
+    VM_CHECK_ADDR(Addr1, 8, "load");
+    uint64_t Chased;
+    std::memcpy(&Chased, MemBase + Addr1, 8);
+    VM_FAST_SIM_W(Addr1, 8, false, false, Ld);
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out; // Before the second field address.
+    ++Instr;
+    if (Instr > Budget)
+      goto out; // Before the final load.
+    uint64_t Addr2 = Chased + (static_cast<uint64_t>(D->Extra) >> 32);
+    VM_DO_LOAD(Addr2);
+    VM_FAST_SIM(Addr2, false, Ld);
+    VM_NEXT();
+  }
+
+  VM_CASE(StackFieldChainLoadInstr) {
+    uint64_t Ptr;
+    std::memcpy(&Ptr, MemBase + MemFrameBase + D->B, 8);
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out;
+    ++Instr;
+    if (Instr > Budget)
+      goto out;
+    uint64_t Addr1 = Ptr + (static_cast<uint64_t>(D->Extra) & 0xffffffff);
+    VM_CHECK_ADDR(Addr1, 8, "load");
+    uint64_t Chased;
+    std::memcpy(&Chased, MemBase + Addr1, 8);
+    instrAccess(Addr1, 8, false, false, BF.Access[D->C], Cyc, StallC, Ld,
+                St);
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out;
+    ++Instr;
+    if (Instr > Budget)
+      goto out;
+    uint64_t Addr2 = Chased + (static_cast<uint64_t>(D->Extra) >> 32);
+    VM_DO_LOAD(Addr2);
+    instrAccess(Addr2, D->Bytes, D->Flags & BCF_Float, false,
+                BF.Access[D->C + 1], Cyc, StallC, Ld, St);
+    VM_NEXT();
+  }
+
+  // "x = a[i].f" with a and i in-frame locals: five instructions, one
+  // simulated access, one dispatch. Costs replay as 0+0+1+1+0 (pinned
+  // at fusion time); the address arithmetic is pure, so folding it past
+  // the replayed checks is not observable.
+  VM_CASE(StackIndexFieldLoadFast) {
+    uint64_t Base;
+    std::memcpy(&Base, MemBase + MemFrameBase + D->A, 8);
+    ++Instr;
+    if (Instr > Budget)
+      goto out; // Before the index load.
+    uint64_t Index;
+    std::memcpy(&Index, MemBase + MemFrameBase + D->B, 8);
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out; // Before the element address.
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out; // Before the field address.
+    ++Instr;
+    if (Instr > Budget)
+      goto out; // Before the load.
+    uint64_t Addr = Base +
+                    Index * (static_cast<uint64_t>(D->Extra) & 0xffffffff) +
+                    (static_cast<uint64_t>(D->Extra) >> 32);
+    VM_DO_LOAD(Addr);
+    VM_FAST_SIM(Addr, false, Ld);
+    VM_NEXT();
+  }
+
+  VM_CASE(StackIndexFieldLoadInstr) {
+    uint64_t Base;
+    std::memcpy(&Base, MemBase + MemFrameBase + D->A, 8);
+    ++Instr;
+    if (Instr > Budget)
+      goto out;
+    uint64_t Index;
+    std::memcpy(&Index, MemBase + MemFrameBase + D->B, 8);
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out;
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out;
+    ++Instr;
+    if (Instr > Budget)
+      goto out;
+    uint64_t Addr = Base +
+                    Index * (static_cast<uint64_t>(D->Extra) & 0xffffffff) +
+                    (static_cast<uint64_t>(D->Extra) >> 32);
+    VM_DO_LOAD(Addr);
+    instrAccess(Addr, D->Bytes, D->Flags & BCF_Float, false,
+                BF.Access[D->C], Cyc, StallC, Ld, St);
+    VM_NEXT();
+  }
+
+  // "&a[i].f" kept live: the same chain minus the access. Costs replay
+  // as 0 + 0 + 1 + 1.
+  VM_CASE(StackIndexFieldAddr) {
+    uint64_t Base;
+    std::memcpy(&Base, MemBase + MemFrameBase + D->A, 8);
+    ++Instr;
+    if (Instr > Budget)
+      goto out;
+    uint64_t Index;
+    std::memcpy(&Index, MemBase + MemFrameBase + D->B, 8);
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out;
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out;
+    Frame[D->Dst].I = static_cast<int64_t>(
+        Base + Index * (static_cast<uint64_t>(D->Extra) & 0xffffffff) +
+        (static_cast<uint64_t>(D->Extra) >> 32));
+    VM_NEXT();
+  }
+
+  // "x * y" with x and y double locals: two stack loads + FMul in one
+  // dispatch. Costs replay as 0 + 0 + 1.
+  VM_CASE(StackLoad2FMul) {
+    double X;
+    std::memcpy(&X, MemBase + MemFrameBase + D->A, 8);
+    ++Instr;
+    if (Instr > Budget)
+      goto out;
+    double Y;
+    std::memcpy(&Y, MemBase + MemFrameBase + D->B, 8);
+    ++Instr;
+    ++Cyc;
+    if (Instr > Budget)
+      goto out;
+    Frame[D->Dst].F = X * Y;
+    VM_NEXT();
+  }
+
+  // Singleton Nop (mid-block alloca placeholder) + stack store:
+  // "int x = init;". The store half (cost 0, pinned) replays the budget
+  // check before the write.
+  VM_CASE(NopStackStore) {
+    ++Instr;
+    if (Instr > Budget)
+      goto out;
+    Reg V = Frame[D->B];
+    uint8_t *P = MemBase + MemFrameBase + static_cast<uint64_t>(D->Extra);
+    if (D->Flags & BCF_Float)
+      vmStoreFloat(P, D->Bytes, V.F);
+    else
+      vmStoreInt(P, D->Bytes, V.I);
+    VM_NEXT();
+  }
+
+  // -- Superinstructions: fused field-address + access ---------------------
+  //
+  // The dispatch prologue counted and charged the field-address half;
+  // the second half counts the access and replays the walker's
+  // between-instruction budget check before executing it (an access
+  // DInst has BaseCost 0, so there is nothing more to charge).
+
+#define VM_FUSED_SECOND_HALF()                                               \
+  do {                                                                       \
+    ++Instr;                                                                 \
+    if (Instr > Budget)                                                      \
+      goto out;                                                              \
+  } while (0)
+
+  VM_CASE(FieldLoadFast) {
+    uint64_t Addr = static_cast<uint64_t>(Frame[D->A].I) +
+                    static_cast<uint64_t>(D->Extra);
+    VM_FUSED_SECOND_HALF();
+    VM_DO_LOAD(Addr);
+    VM_FAST_SIM(Addr, false, Ld);
+    VM_NEXT();
+  }
+
+  VM_CASE(FieldStoreFast) {
+    uint64_t Addr = static_cast<uint64_t>(Frame[D->A].I) +
+                    static_cast<uint64_t>(D->Extra);
+    VM_FUSED_SECOND_HALF();
+    VM_DO_STORE(Addr);
+    VM_FAST_SIM(Addr, true, St);
+    VM_NEXT();
+  }
+
+  VM_CASE(FieldLoadInstr) {
+    uint64_t Addr = static_cast<uint64_t>(Frame[D->A].I) +
+                    static_cast<uint64_t>(D->Extra);
+    VM_FUSED_SECOND_HALF();
+    VM_DO_LOAD(Addr);
+    instrAccess(Addr, D->Bytes, D->Flags & BCF_Float, false,
+                BF.Access[D->C], Cyc, StallC, Ld, St);
+    VM_NEXT();
+  }
+
+  VM_CASE(FieldStoreInstr) {
+    uint64_t Addr = static_cast<uint64_t>(Frame[D->A].I) +
+                    static_cast<uint64_t>(D->Extra);
+    VM_FUSED_SECOND_HALF();
+    VM_DO_STORE(Addr);
+    instrAccess(Addr, D->Bytes, D->Flags & BCF_Float, true, BF.Access[D->C],
+                Cyc, StallC, Ld, St);
+    VM_NEXT();
+  }
+
+#define VM_INDEX_ADDR()                                                      \
+  (static_cast<uint64_t>(Frame[D->A].I) +                                    \
+   static_cast<uint64_t>(Frame[D->B].I) * static_cast<uint64_t>(D->Extra))
+
+  VM_CASE(IndexLoadFast) {
+    uint64_t Addr = VM_INDEX_ADDR();
+    VM_FUSED_SECOND_HALF();
+    VM_DO_LOAD(Addr);
+    VM_FAST_SIM(Addr, false, Ld);
+    VM_NEXT();
+  }
+
+  VM_CASE(IndexStoreFast) {
+    uint64_t Addr = VM_INDEX_ADDR();
+    VM_FUSED_SECOND_HALF();
+    VM_DO_STORE_FROM(Addr, D->Dst);
+    VM_FAST_SIM(Addr, true, St);
+    VM_NEXT();
+  }
+
+  VM_CASE(IndexLoadInstr) {
+    uint64_t Addr = VM_INDEX_ADDR();
+    VM_FUSED_SECOND_HALF();
+    VM_DO_LOAD(Addr);
+    instrAccess(Addr, D->Bytes, D->Flags & BCF_Float, false,
+                BF.Access[D->C], Cyc, StallC, Ld, St);
+    VM_NEXT();
+  }
+
+  VM_CASE(IndexStoreInstr) {
+    uint64_t Addr = VM_INDEX_ADDR();
+    VM_FUSED_SECOND_HALF();
+    VM_DO_STORE_FROM(Addr, D->Dst);
+    instrAccess(Addr, D->Bytes, D->Flags & BCF_Float, true, BF.Access[D->C],
+                Cyc, StallC, Ld, St);
+    VM_NEXT();
+  }
+
+  // -- Address arithmetic and ALU ops --------------------------------------
+  //
+  // Integer arithmetic wraps modulo 2^64 (DInst contract): computed in
+  // uint64_t so there is no signed-overflow UB on either engine.
+
+  VM_CASE(FieldAddr) {
+    Frame[D->Dst].I = static_cast<int64_t>(
+        static_cast<uint64_t>(Frame[D->A].I) + static_cast<uint64_t>(D->Extra));
+    VM_NEXT();
+  }
+
+  VM_CASE(IndexAddr) {
+    Frame[D->Dst].I = static_cast<int64_t>(
+        static_cast<uint64_t>(Frame[D->A].I) +
+        static_cast<uint64_t>(Frame[D->B].I) * static_cast<uint64_t>(D->Extra));
+    VM_NEXT();
+  }
+
+  VM_CASE(Add) {
+    Frame[D->Dst].I = static_cast<int64_t>(
+        static_cast<uint64_t>(Frame[D->A].I) +
+        static_cast<uint64_t>(Frame[D->B].I));
+    VM_NEXT();
+  }
+
+  VM_CASE(Sub) {
+    Frame[D->Dst].I = static_cast<int64_t>(
+        static_cast<uint64_t>(Frame[D->A].I) -
+        static_cast<uint64_t>(Frame[D->B].I));
+    VM_NEXT();
+  }
+
+  VM_CASE(Mul) {
+    Frame[D->Dst].I = static_cast<int64_t>(
+        static_cast<uint64_t>(Frame[D->A].I) *
+        static_cast<uint64_t>(Frame[D->B].I));
+    VM_NEXT();
+  }
+
+  VM_CASE(SDiv) {
+    int64_t AV = Frame[D->A].I, BV = Frame[D->B].I;
+    if (BV == 0) {
+      trap("integer division by zero");
+      goto out;
+    }
+    if (AV == INT64_MIN && BV == -1) {
+      trap("integer division overflow");
+      goto out;
+    }
+    Frame[D->Dst].I = AV / BV;
+    VM_NEXT();
+  }
+
+  VM_CASE(SRem) {
+    int64_t AV = Frame[D->A].I, BV = Frame[D->B].I;
+    if (BV == 0) {
+      trap("integer remainder by zero");
+      goto out;
+    }
+    Frame[D->Dst].I = BV == -1 ? 0 : AV % BV;
+    VM_NEXT();
+  }
+
+  VM_CASE(And) {
+    Frame[D->Dst].I = Frame[D->A].I & Frame[D->B].I;
+    VM_NEXT();
+  }
+
+  VM_CASE(Or) {
+    Frame[D->Dst].I = Frame[D->A].I | Frame[D->B].I;
+    VM_NEXT();
+  }
+
+  VM_CASE(Xor) {
+    Frame[D->Dst].I = Frame[D->A].I ^ Frame[D->B].I;
+    VM_NEXT();
+  }
+
+  VM_CASE(Shl) {
+    Frame[D->Dst].I = static_cast<int64_t>(
+        static_cast<uint64_t>(Frame[D->A].I) << (Frame[D->B].I & 63));
+    VM_NEXT();
+  }
+
+  VM_CASE(AShr) {
+    Frame[D->Dst].I = Frame[D->A].I >> (Frame[D->B].I & 63);
+    VM_NEXT();
+  }
+
+  VM_CASE(FAdd) {
+    Frame[D->Dst].F = Frame[D->A].F + Frame[D->B].F;
+    VM_NEXT();
+  }
+
+  VM_CASE(FSub) {
+    Frame[D->Dst].F = Frame[D->A].F - Frame[D->B].F;
+    VM_NEXT();
+  }
+
+  VM_CASE(FMul) {
+    Frame[D->Dst].F = Frame[D->A].F * Frame[D->B].F;
+    VM_NEXT();
+  }
+
+  VM_CASE(FDiv) {
+    Frame[D->Dst].F = Frame[D->A].F / Frame[D->B].F;
+    VM_NEXT();
+  }
+
+#define VM_CMP(OP, FIELD, REL)                                               \
+  VM_CASE(OP) {                                                              \
+    Frame[D->Dst].I = Frame[D->A].FIELD REL Frame[D->B].FIELD ? 1 : 0;       \
+    VM_NEXT();                                                               \
+  }
+  VM_CMP(ICmpEQ, I, ==)
+  VM_CMP(ICmpNE, I, !=)
+  VM_CMP(ICmpSLT, I, <)
+  VM_CMP(ICmpSLE, I, <=)
+  VM_CMP(ICmpSGT, I, >)
+  VM_CMP(ICmpSGE, I, >=)
+  VM_CMP(FCmpEQ, F, ==)
+  VM_CMP(FCmpNE, F, !=)
+  VM_CMP(FCmpLT, F, <)
+  VM_CMP(FCmpLE, F, <=)
+  VM_CMP(FCmpGT, F, >)
+  VM_CMP(FCmpGE, F, >=)
+#undef VM_CMP
+
+  VM_CASE(Trunc) {
+    uint64_t Mask = (1ull << D->Extra) - 1;
+    uint64_t U = static_cast<uint64_t>(Frame[D->A].I) & Mask;
+    if (D->Extra > 1 && (U & (1ull << (D->Extra - 1))))
+      U |= ~Mask;
+    Frame[D->Dst].I = static_cast<int64_t>(U);
+    VM_NEXT();
+  }
+
+  VM_CASE(Move) {
+    Frame[D->Dst] = Frame[D->A];
+    VM_NEXT();
+  }
+
+  VM_CASE(FPTrunc) {
+    Frame[D->Dst].F =
+        static_cast<double>(static_cast<float>(Frame[D->A].F));
+    VM_NEXT();
+  }
+
+  VM_CASE(SIToFP) {
+    double F = static_cast<double>(Frame[D->A].I);
+    if (D->Extra == 32)
+      F = static_cast<float>(F);
+    Frame[D->Dst].F = F;
+    VM_NEXT();
+  }
+
+  VM_CASE(FPToSI) {
+    // DInst contract: NaN -> 0, out-of-range saturates (the host cast
+    // would be UB).
+    double F = Frame[D->A].F;
+    int64_t R;
+    if (F != F)
+      R = 0;
+    else if (F >= 9223372036854775808.0)
+      R = INT64_MAX;
+    else if (F < -9223372036854775808.0)
+      R = INT64_MIN;
+    else
+      R = static_cast<int64_t>(F);
+    Frame[D->Dst].I = R;
+    VM_NEXT();
+  }
+
+  // -- Calls and returns ---------------------------------------------------
+
+  VM_CASE(CallBuiltin) {
+    CallSide &S = BF.Calls[D->C];
+    Reg R = callBuiltin(S.Builtin, S.Callee, BF.ArgPool.data() + D->A, D->B,
+                        Frame);
+    if (D->Dst >= 0)
+      Frame[D->Dst] = R;
+    if (Result.Trapped)
+      goto out;
+    VM_NEXT();
+  }
+
+  VM_CASE(Call) {
+    CallSide &S = BF.Calls[D->C];
+    VM_SYNC_OUT();
+    Reg R = callFunction(S.Callee, S.CalleeIdx, BF.ArgPool.data() + D->A,
+                         D->B, Frame, FrameBase, Depth);
+    VM_SYNC_IN();
+    VM_REFRESH_MEM(); // Callee stack/heap growth may have moved Mem.
+    if (D->Dst >= 0)
+      Frame[D->Dst] = R;
+    if (Result.Trapped)
+      goto out;
+    VM_NEXT();
+  }
+
+  VM_CASE(ICall) {
+    uint64_t Target =
+        static_cast<uint64_t>(Frame[static_cast<uint32_t>(D->Extra)].I);
+    uint64_t Rel = Target - FuncAddrBase;
+    if (Target < FuncAddrBase || (Rel & 15) != 0 ||
+        (Rel >> 4) >= FuncList.size()) {
+      trap("indirect call through a non-function pointer");
+      goto out;
+    }
+    uint32_t FIdx = static_cast<uint32_t>(Rel >> 4);
+    VM_SYNC_OUT();
+    Reg R = callFunction(FuncList[FIdx], FIdx, BF.ArgPool.data() + D->A,
+                         D->B, Frame, FrameBase, Depth);
+    VM_SYNC_IN();
+    VM_REFRESH_MEM();
+    if (D->Dst >= 0)
+      Frame[D->Dst] = R;
+    if (Result.Trapped)
+      goto out;
+    VM_NEXT();
+  }
+
+  VM_CASE(Ret) {
+    RetVal = Frame[D->A];
+    goto out;
+  }
+
+  VM_CASE(RetVoid) { goto out; }
+
+  // -- Branches ------------------------------------------------------------
+
+  VM_CASE(Br) {
+    PC = D->B;
+    VM_NEXT();
+  }
+
+  VM_CASE(BrProf) {
+    BranchSide &S = BF.Branches[D->C];
+    if (!S.Edge0)
+      S.Edge0 = Opts.Profile->edgeCounter(S.From, S.To0);
+    ++*S.Edge0;
+    PC = D->B;
+    VM_NEXT();
+  }
+
+  VM_CASE(CondBr) {
+    PC = Frame[D->A].I != 0 ? D->B : D->C;
+    VM_NEXT();
+  }
+
+  VM_CASE(CondBrProf) {
+    BranchSide &S = BF.Branches[static_cast<size_t>(D->Extra)];
+    if (Frame[D->A].I != 0) {
+      if (!S.Edge0)
+        S.Edge0 = Opts.Profile->edgeCounter(S.From, S.To0);
+      ++*S.Edge0;
+      PC = D->B;
+    } else {
+      if (!S.Edge1)
+        S.Edge1 = Opts.Profile->edgeCounter(S.From, S.To1);
+      ++*S.Edge1;
+      PC = D->C;
+    }
+    VM_NEXT();
+  }
+
+  // Fused compare + conditional branch. The dispatch prologue counted
+  // and charged the compare; the branch half replays the walker's
+  // between-instruction budget check and charges its own BaseCost
+  // (carried in Bytes). The compare's dead result slot (single use, and
+  // that use is this branch) is not written.
+
+#define VM_CMPBR(OP, FIELD, REL)                                             \
+  VM_CASE(OP) {                                                              \
+    bool Taken = Frame[D->A].FIELD REL Frame[D->B].FIELD;                    \
+    ++Instr;                                                                 \
+    Cyc += D->Bytes;                                                         \
+    if (Instr > Budget)                                                      \
+      goto out;                                                              \
+    PC = Taken ? D->C : static_cast<uint32_t>(D->Extra);                     \
+    VM_NEXT();                                                               \
+  }
+  VM_CMPBR(CmpBrEQ, I, ==)
+  VM_CMPBR(CmpBrNE, I, !=)
+  VM_CMPBR(CmpBrSLT, I, <)
+  VM_CMPBR(CmpBrSLE, I, <=)
+  VM_CMPBR(CmpBrSGT, I, >)
+  VM_CMPBR(CmpBrSGE, I, >=)
+  VM_CMPBR(FCmpBrEQ, F, ==)
+  VM_CMPBR(FCmpBrNE, F, !=)
+  VM_CMPBR(FCmpBrLT, F, <)
+  VM_CMPBR(FCmpBrLE, F, <=)
+  VM_CMPBR(FCmpBrGT, F, >)
+  VM_CMPBR(FCmpBrGE, F, >=)
+#undef VM_CMPBR
+
+  // -- Heap and bulk memory ------------------------------------------------
+
+  VM_CASE(Malloc) {
+    Frame[D->Dst].I = static_cast<int64_t>(
+        SM.heapAlloc(static_cast<uint64_t>(Frame[D->A].I), 0xAA));
+    VM_REFRESH_MEM();
+    VM_NEXT();
+  }
+
+  VM_CASE(Calloc) {
+    uint64_t N = static_cast<uint64_t>(Frame[D->A].I);
+    uint64_t Sz = static_cast<uint64_t>(Frame[D->B].I);
+    Frame[D->Dst].I = static_cast<int64_t>(SM.heapAlloc(N * Sz, 0x00));
+    VM_REFRESH_MEM();
+    VM_NEXT();
+  }
+
+  VM_CASE(Realloc) {
+    uint64_t Old = static_cast<uint64_t>(Frame[D->A].I);
+    uint64_t NewSize = static_cast<uint64_t>(Frame[D->B].I);
+    uint64_t NewAddr = SM.heapAlloc(NewSize, 0xAA);
+    if (Old != 0) {
+      auto It = SM.LiveAllocs.find(Old);
+      if (It == SM.LiveAllocs.end()) {
+        trap("realloc of a non-heap address");
+        goto out;
+      }
+      uint64_t CopyBytes = std::min(It->second, NewSize);
+      SM.ensureMem(NewAddr + CopyBytes);
+      std::memmove(SM.Mem.data() + NewAddr, SM.Mem.data() + Old, CopyBytes);
+      SM.heapFree(Old);
+    }
+    Frame[D->Dst].I = static_cast<int64_t>(NewAddr);
+    VM_REFRESH_MEM();
+    VM_NEXT();
+  }
+
+  VM_CASE(Free) {
+    uint64_t Addr = static_cast<uint64_t>(Frame[D->A].I);
+    if (!SM.heapFree(Addr)) {
+      trap(formatString("free of a non-heap address 0x%llx",
+                        static_cast<unsigned long long>(Addr)));
+      goto out;
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(Memset) {
+    uint64_t Addr = static_cast<uint64_t>(Frame[D->A].I);
+    int64_t Byte = Frame[D->B].I;
+    uint64_t Size = static_cast<uint64_t>(Frame[D->C].I);
+    VM_CHECK_ADDR(Addr, Size, "memset");
+    std::memset(SM.Mem.data() + Addr, static_cast<int>(Byte & 0xff), Size);
+    // Touch one cache line per 64 bytes, with the chunk's real width
+    // so misaligned streams pay for the lines they straddle.
+    if (SimCache) {
+      uint64_t Pc = BF.Bulk[static_cast<size_t>(D->Extra)].Pc;
+      if (Opts.Attribution)
+        Cache.setAccessContext(MissAttribution::MemsetSite, Pc);
+      for (uint64_t Off = 0; Off < Size; Off += 64) {
+        CacheAccessResult A = Cache.access(
+            Addr + Off,
+            static_cast<unsigned>(std::min<uint64_t>(64, Size - Off)),
+            /*IsStore=*/true, false);
+        Cyc += A.Stall;
+        if (Opts.Attribution && A.FirstLevelMiss)
+          labelPc(Pc);
+        if (Opts.Pmu)
+          Opts.Pmu->observeAccess(SampledPmu::UntypedSite, /*IsStore=*/true,
+                                  A.FirstLevelMiss, A.Latency);
+      }
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(Memcpy) {
+    uint64_t Dst = static_cast<uint64_t>(Frame[D->A].I);
+    uint64_t Src = static_cast<uint64_t>(Frame[D->B].I);
+    uint64_t Size = static_cast<uint64_t>(Frame[D->C].I);
+    VM_CHECK_ADDR(Dst, Size, "memcpy");
+    VM_CHECK_ADDR(Src, Size, "memcpy");
+    std::memmove(SM.Mem.data() + Dst, SM.Mem.data() + Src, Size);
+    if (SimCache) {
+      uint64_t Pc = BF.Bulk[static_cast<size_t>(D->Extra)].Pc;
+      if (Opts.Attribution)
+        Cache.setAccessContext(MissAttribution::MemcpySite, Pc);
+      for (uint64_t Off = 0; Off < Size; Off += 64) {
+        unsigned W =
+            static_cast<unsigned>(std::min<uint64_t>(64, Size - Off));
+        CacheAccessResult RdA =
+            Cache.access(Src + Off, W, /*IsStore=*/false, false);
+        CacheAccessResult WrA =
+            Cache.access(Dst + Off, W, /*IsStore=*/true, false);
+        Cyc += RdA.Stall + WrA.Stall;
+        if (Opts.Attribution && (RdA.FirstLevelMiss || WrA.FirstLevelMiss))
+          labelPc(Pc);
+        if (Opts.Pmu) {
+          Opts.Pmu->observeAccess(SampledPmu::UntypedSite, /*IsStore=*/false,
+                                  RdA.FirstLevelMiss, RdA.Latency);
+          Opts.Pmu->observeAccess(SampledPmu::UntypedSite, /*IsStore=*/true,
+                                  WrA.FirstLevelMiss, WrA.Latency);
+        }
+      }
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(TrapNoTerm) {
+    --Instr; // The fall-through itself is not executed.
+    trap("block fell through without a terminator");
+    goto out;
+  }
+
+#if !SLO_VM_THREADED
+    case BCOp::NumOps_:
+      SLO_UNREACHABLE("bad bytecode opcode");
+    }
+  }
+#endif
+
+out:
+  VM_SYNC_OUT();
+  SM.StackTop = MemFrameBase;
+  return RetVal;
+
+#undef VM_SYNC_OUT
+#undef VM_SYNC_IN
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_CHECK_ADDR
+#undef VM_FAST_SIM
+#undef VM_FAST_SIM_W
+#undef VM_DO_LOAD
+#undef VM_DO_STORE
+#undef VM_DO_STORE_FROM
+#undef VM_BIN_STACK_STORE_INT
+#undef VM_BIN_STACK_STORE_FP
+#undef VM_INDEX_ADDR
+#undef VM_FUSED_SECOND_HALF
+#undef VM_STACK_FIELD_ADDR
+#undef VM_REFRESH_MEM
+}
+
+RunResult VM::Impl::run(const std::string &EntryName) {
+  std::string SpanName = Opts.Trace ? "vm/" + M.getName() : std::string();
+  TraceSpan Span(Opts.Trace, SpanName.c_str(), "run");
+  const Function *Entry = M.lookupFunction(EntryName);
+  if (!Entry || Entry->isDeclaration()) {
+    trap("entry function '" + EntryName + "' is not defined");
+    return Result;
+  }
+  layoutAddressSpace(M, Opts.IntParams, SM, GlobalAddr, FuncList, FuncIndex);
+  CompiledFns.resize(FuncList.size());
+  RegArena.resize(4096);
+  CO.Instrument =
+      Opts.Attribution != nullptr || Opts.Pmu != nullptr || Opts.Profile;
+  CO.Profile = Opts.Profile != nullptr;
+  CO.InjectVmBug = Opts.InjectVmBug;
+
+  uint32_t EntryIdx = FuncIndex.at(Entry);
+  BCFunction &BF = compiledFunction(EntryIdx);
+  ensureArena(static_cast<size_t>(BF.FrameSlots));
+  Reg Zero;
+  Zero.I = 0;
+  std::fill(RegArena.begin(), RegArena.begin() + BF.NumSlots, Zero);
+  if (!BF.Consts.empty())
+    std::memcpy(RegArena.data() + BF.NumSlots, BF.Consts.data(),
+                BF.Consts.size() * sizeof(Reg));
+  ArenaTop = static_cast<size_t>(BF.FrameSlots);
+  Reg R = executeFunction(BF, 0, 0);
+
+  if (Instructions > Opts.MaxInstructions)
+    trap("instruction budget exceeded");
+  Result.Instructions = Instructions;
+  Result.Cycles = Cycles;
+  Result.MemStallCycles = MemStall;
+  Result.Loads = NLoads;
+  Result.Stores = NStores;
+  Result.ExitCode = R.I;
+  Result.HeapBytesAllocated = SM.HeapBytesAllocated;
+  Result.HeapAllocations = SM.HeapAllocations;
+  Result.HeapLiveAllocs = SM.LiveAllocs.size();
+  for (const auto &[Addr, Size] : SM.LiveAllocs) {
+    (void)Addr;
+    Result.HeapLiveBytes += Size;
+  }
+  Result.L1 = Cache.l1Stats();
+  Result.L2 = Cache.l2Stats();
+  Result.L3 = Cache.l3Stats();
+  Result.FirstLevelMisses = Cache.firstLevelMissEvents();
+
+  if (Opts.Pmu) {
+    Opts.Pmu->finishRun();
+    if (Opts.Profile) {
+      for (const SampledPmu::SiteEstimate &E : Opts.Pmu->estimates()) {
+        FieldCacheStats &S = Opts.Profile->fieldStats(
+            static_cast<const RecordType *>(E.RecordKey), E.FieldIndex);
+        S.Loads += E.Loads;
+        S.Stores += E.Stores;
+        S.Misses += E.Misses;
+        S.TotalLatency += E.TotalLatency;
+      }
+    }
+    if (Opts.Counters)
+      Opts.Pmu->publishCounters(*Opts.Counters);
+  }
+
+  if (Opts.Counters) {
+    CounterRegistry &C = *Opts.Counters;
+    C.add("vm.instructions", Result.Instructions);
+    C.add("vm.cycles", Result.Cycles);
+    C.add("vm.mem_stall_cycles", Result.MemStallCycles);
+    C.add("vm.loads", Result.Loads);
+    C.add("vm.stores", Result.Stores);
+    C.add("vm.heap_allocations", Result.HeapAllocations);
+    C.add("vm.heap_bytes", Result.HeapBytesAllocated);
+    C.add("vm.heap_leaked_allocs", Result.HeapLiveAllocs);
+    C.add("vm.heap_leaked_bytes", Result.HeapLiveBytes);
+    uint64_t Compiled = 0, BcInsts = 0, Fused = 0;
+    for (const auto &CF : CompiledFns)
+      if (CF) {
+        ++Compiled;
+        BcInsts += CF->Code.size();
+        Fused += CF->NumFused;
+      }
+    C.add("vm.functions_compiled", Compiled);
+    C.add("vm.bytecode_insts", BcInsts);
+    C.add("vm.superinstructions", Fused);
+    C.add("vm.cache_fastpath_hits", FastHits);
+    C.add("vm.traps", Result.Trapped ? 1 : 0);
+    Cache.publishCounters(C);
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+VM::VM(const Module &M, RunOptions Opts)
+    : P(std::make_unique<Impl>(M, std::move(Opts))) {}
+
+VM::~VM() = default;
+
+RunResult VM::run(const std::string &EntryName) { return P->run(EntryName); }

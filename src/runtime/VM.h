@@ -1,0 +1,47 @@
+//===- runtime/VM.h - Threaded bytecode VM engine --------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fast execution tier: functions are compiled on first call from
+/// their pre-decoded DInst streams into a flat, register-based bytecode
+/// (runtime/Bytecode.h) and dispatched by a computed-goto threaded loop
+/// (a portable switch fallback is used when GNU labels-as-values are
+/// unavailable). Semantics are bit-identical to the tree walker in
+/// runtime/Interpreter.cpp — same output, cycle counts, miss counts,
+/// leak census, and attribution partitions — which the engine-parity
+/// differential-fuzz oracle enforces. Observability: publishes "vm.*"
+/// counters and records a "vm/<module>" trace span.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_RUNTIME_VM_H
+#define SLO_RUNTIME_VM_H
+
+#include "runtime/Interpreter.h"
+
+namespace slo {
+
+/// Executes one module through the bytecode tier. The module must
+/// outlive the VM. Same interface contract as Interpreter.
+class VM {
+public:
+  VM(const Module &M, RunOptions Opts = RunOptions());
+  ~VM();
+  VM(const VM &) = delete;
+  VM &operator=(const VM &) = delete;
+
+  /// Executes \p EntryName (default "main") and returns the results.
+  RunResult run(const std::string &EntryName = "main");
+
+private:
+  class Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace slo
+
+#endif // SLO_RUNTIME_VM_H

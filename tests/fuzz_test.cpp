@@ -13,6 +13,9 @@
 //    are dynamically silent are flagged by the lint oracle, and a
 //    deliberately broken lint (InjectLintBug) fails it; the repro
 //    minimizes below 30 lines against the honest lint verdict;
+//  - the engine-parity oracle (tree walker vs bytecode VM) passes a
+//    seed sweep and catches a deliberately mis-charging VM
+//    (--inject-vm-bug);
 //  - the committed seed corpus passes;
 //  - the interpreter's heap-leak census (the LeakCensus oracle's input)
 //    counts unfreed allocations exactly.
@@ -108,6 +111,56 @@ TEST(DifferentialHarness, GeneratedProgramsRunDeterministically) {
     EXPECT_TRUE(oracles::deterministicRuns(P.Name, P.render()))
         << "seed " << Seed;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Engine parity: tree walker vs bytecode VM
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialHarness, EngineParitySweepPasses) {
+  // Both the base and the transformed module of every seed run under
+  // the walker and the VM; the oracle demands bit-identical results,
+  // attribution heatmaps, and profiles (see also tests/vm_test.cpp for
+  // the per-opcode and all-workload parity coverage).
+  DifferentialOptions Opts;
+  Opts.CheckEngineParity = true;
+  unsigned TotalTransformed = 0;
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    FuzzProgram P = generateFuzzProgram(randomFuzzConfig(Seed));
+    DifferentialOutcome O = runDifferential(P.Name, P.render(), Opts);
+    EXPECT_TRUE(O.Passed) << "seed " << Seed << ": "
+                          << fuzzOracleName(O.Oracle) << ": " << O.Detail
+                          << "\n"
+                          << P.render();
+    TotalTransformed += O.TypesTransformed;
+  }
+  // The transform-on half of the oracle is vacuous if the BE never
+  // rewrote anything across the sweep.
+  EXPECT_GT(TotalTransformed, 0u);
+}
+
+TEST(DifferentialHarness, InjectedVmBugIsCaughtByEngineParity) {
+  // The deliberate VM cycle mis-charge must flip a clean program into an
+  // EngineParity failure — proving the oracle actually compares.
+  FuzzProgram P = generateFuzzProgram(randomFuzzConfig(7));
+  std::string Src = P.render();
+
+  DifferentialOptions Honest;
+  Honest.CheckEngineParity = true;
+  DifferentialOutcome HO = runDifferential(P.Name, Src, Honest);
+  ASSERT_TRUE(HO.Passed) << fuzzOracleName(HO.Oracle) << ": " << HO.Detail;
+
+  DifferentialOptions Broken = Honest;
+  Broken.InjectVmBug = true;
+  DifferentialOutcome BO = runDifferential(P.Name, Src, Broken);
+  ASSERT_FALSE(BO.Passed);
+  EXPECT_EQ(BO.Oracle, FuzzOracle::EngineParity) << BO.Detail;
+  // Without the parity oracle the same injection passes silently: the
+  // bug only perturbs VM cycle accounting, never program semantics.
+  DifferentialOptions NoParity;
+  NoParity.InjectVmBug = true;
+  DifferentialOutcome NO = runDifferential(P.Name, Src, NoParity);
+  EXPECT_TRUE(NO.Passed) << fuzzOracleName(NO.Oracle) << ": " << NO.Detail;
 }
 
 //===----------------------------------------------------------------------===//

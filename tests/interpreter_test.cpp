@@ -313,6 +313,129 @@ TEST(InterpreterTest, InstructionBudgetStopsRunaway) {
   EXPECT_TRUE(R.Trapped);
 }
 
+// The DInst contract pins every arithmetic corner the host's C++ would
+// otherwise leave undefined or implementation-defined; these regression
+// tests hold both engines to it (runProgram dispatches on SLO_ENGINE,
+// and the vm_test parity suite re-checks each case cross-engine).
+
+TEST(InterpreterTest, SignedOverflowWrapsTwosComplement) {
+  RunResult R = runSource(R"(
+    extern void print_i64(long v);
+    int main() {
+      long max = 9223372036854775807;
+      long min = (-9223372036854775807 - 1);
+      print_i64(max + 1);   // INT64_MIN
+      print_i64(min - 1);   // INT64_MAX
+      print_i64(max * 2);   // -2
+      print_i64(min << 1);  // 0
+      print_i64(min >> 63); // arithmetic shift: -1
+      return 0;
+    }
+  )");
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  ASSERT_EQ(R.PrintedInts.size(), 5u);
+  EXPECT_EQ(R.PrintedInts[0], INT64_MIN);
+  EXPECT_EQ(R.PrintedInts[1], INT64_MAX);
+  EXPECT_EQ(R.PrintedInts[2], -2);
+  EXPECT_EQ(R.PrintedInts[3], 0);
+  EXPECT_EQ(R.PrintedInts[4], -1);
+}
+
+TEST(InterpreterTest, DivisionOverflowTraps) {
+  // INT64_MIN / -1 overflows; the host would fault (SIGFPE on x86), so
+  // the contract makes it a trap like division by zero.
+  RunResult R = runSource(R"(
+    int main() {
+      long min = (-9223372036854775807 - 1);
+      long d = 0 - 1;
+      return (int) (min / d);
+    }
+  )");
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_EQ(R.TrapReason, "integer division overflow");
+}
+
+TEST(InterpreterTest, RemainderByMinusOneIsZero) {
+  // INT64_MIN % -1 is mathematically 0 but faults on real hardware; the
+  // contract defines every `x % -1` as 0 rather than trapping.
+  RunResult R = runSource(R"(
+    extern void print_i64(long v);
+    int main() {
+      long min = (-9223372036854775807 - 1);
+      long d = 0 - 1;
+      print_i64(min % d);
+      print_i64(7 % d);
+      return 0;
+    }
+  )");
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  ASSERT_EQ(R.PrintedInts.size(), 2u);
+  EXPECT_EQ(R.PrintedInts[0], 0);
+  EXPECT_EQ(R.PrintedInts[1], 0);
+}
+
+TEST(InterpreterTest, FpToSiSaturatesAndNanIsZero) {
+  RunResult R = runSource(R"(
+    extern void print_i64(long v);
+    int main() {
+      double huge = 1.0e300;
+      double z = 0.0;
+      print_i64((long) huge);         // saturates high
+      print_i64((long) (0.0 - huge)); // saturates low
+      print_i64((long) (z / z));      // NaN -> 0
+      return 0;
+    }
+  )");
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  ASSERT_EQ(R.PrintedInts.size(), 3u);
+  EXPECT_EQ(R.PrintedInts[0], INT64_MAX);
+  EXPECT_EQ(R.PrintedInts[1], INT64_MIN);
+  EXPECT_EQ(R.PrintedInts[2], 0);
+}
+
+TEST(InterpreterTest, NarrowStoresTruncateToFieldWidth) {
+  RunResult R = runSource(R"(
+    extern void print_i64(long v);
+    struct n { char c; short s; int i; };
+    int main() {
+      struct n *p = (struct n*) malloc(sizeof(struct n));
+      p->c = (char) 257;          // 1
+      p->s = (short) 65537;       // 1
+      p->i = (int) 4294967297;    // 1
+      print_i64(p->c);
+      print_i64(p->s);
+      print_i64(p->i);
+      p->c = (char) 128;          // sign-extends back to -128
+      print_i64(p->c);
+      free(p);
+      return 0;
+    }
+  )");
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  ASSERT_EQ(R.PrintedInts.size(), 4u);
+  EXPECT_EQ(R.PrintedInts[0], 1);
+  EXPECT_EQ(R.PrintedInts[1], 1);
+  EXPECT_EQ(R.PrintedInts[2], 1);
+  EXPECT_EQ(R.PrintedInts[3], -128);
+}
+
+TEST(InterpreterTest, IAbsOfMinWraps) {
+  RunResult R = runSource(R"(
+    extern void print_i64(long v);
+    extern long i_abs(long v);
+    int main() {
+      long min = (-9223372036854775807 - 1);
+      print_i64(i_abs(min)); // wraps to INT64_MIN, like labs()
+      print_i64(i_abs(-7));
+      return 0;
+    }
+  )");
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  ASSERT_EQ(R.PrintedInts.size(), 2u);
+  EXPECT_EQ(R.PrintedInts[0], INT64_MIN);
+  EXPECT_EQ(R.PrintedInts[1], 7);
+}
+
 TEST(InterpreterTest, ParamsConfigureGlobals) {
   RunOptions Opts;
   Opts.IntParams["param_n"] = 12;

@@ -1,0 +1,515 @@
+//===- tests/vm_test.cpp - Walker vs bytecode-VM parity -------------------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// The threaded bytecode VM must be bit-identical to the tree walker in
+// every observable output: printed values, exit code, instruction and
+// cycle counts, stall cycles, cache level statistics, first-level miss
+// events, heap/leak census, trap reason, attribution partitions, and
+// collected profiles. This suite pins that contract per opcode family,
+// per superinstruction, and across all twelve Table 1 workloads; the
+// differential fuzzer's engine-parity oracle extends it to random
+// programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "observability/CounterRegistry.h"
+#include "observability/MissAttribution.h"
+#include "profile/FeedbackIO.h"
+#include "runtime/Interpreter.h"
+#include "runtime/VM.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace slo;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<IRContext> Ctx;
+  std::unique_ptr<Module> M;
+};
+
+static Built buildSource(const char *Src) {
+  Built B;
+  B.Ctx = std::make_unique<IRContext>();
+  std::vector<std::string> Diags;
+  B.M = compileMiniC(*B.Ctx, "t", Src, Diags);
+  EXPECT_TRUE(B.M) << (Diags.empty() ? "?" : Diags[0]);
+  return B;
+}
+
+static Built buildWorkload(const Workload &W) {
+  Built B;
+  B.Ctx = std::make_unique<IRContext>();
+  std::vector<std::string> Diags;
+  B.M = compileProgram(*B.Ctx, W.Name, W.Sources, Diags);
+  EXPECT_TRUE(B.M) << W.Name << ": " << (Diags.empty() ? "?" : Diags[0]);
+  return B;
+}
+
+/// Every observable field of a RunResult must match.
+static void expectSameResult(const RunResult &W, const RunResult &V,
+                             const std::string &What) {
+  EXPECT_EQ(W.Trapped, V.Trapped) << What;
+  EXPECT_EQ(W.TrapReason, V.TrapReason) << What;
+  EXPECT_EQ(W.ExitCode, V.ExitCode) << What;
+  EXPECT_EQ(W.Instructions, V.Instructions) << What;
+  EXPECT_EQ(W.Cycles, V.Cycles) << What;
+  EXPECT_EQ(W.MemStallCycles, V.MemStallCycles) << What;
+  EXPECT_EQ(W.Loads, V.Loads) << What;
+  EXPECT_EQ(W.Stores, V.Stores) << What;
+  EXPECT_EQ(W.L1.Hits, V.L1.Hits) << What;
+  EXPECT_EQ(W.L1.Misses, V.L1.Misses) << What;
+  EXPECT_EQ(W.L2.Hits, V.L2.Hits) << What;
+  EXPECT_EQ(W.L2.Misses, V.L2.Misses) << What;
+  EXPECT_EQ(W.L3.Hits, V.L3.Hits) << What;
+  EXPECT_EQ(W.L3.Misses, V.L3.Misses) << What;
+  EXPECT_EQ(W.FirstLevelMisses, V.FirstLevelMisses) << What;
+  EXPECT_EQ(W.PrintedInts, V.PrintedInts) << What;
+  EXPECT_EQ(W.PrintedFloats, V.PrintedFloats) << What;
+  EXPECT_EQ(W.HeapBytesAllocated, V.HeapBytesAllocated) << What;
+  EXPECT_EQ(W.HeapAllocations, V.HeapAllocations) << What;
+  EXPECT_EQ(W.HeapLiveAllocs, V.HeapLiveAllocs) << What;
+  EXPECT_EQ(W.HeapLiveBytes, V.HeapLiveBytes) << What;
+}
+
+/// Runs \p M under both engines with identical options and asserts
+/// bit-identical results. Returns the walker's result for additional
+/// assertions.
+static RunResult expectParity(const Module &M,
+                              RunOptions Base = RunOptions()) {
+  RunOptions WO = Base;
+  WO.Engine = ExecEngine::Walker;
+  RunResult W = runProgram(M, std::move(WO));
+  RunOptions VO = Base;
+  VO.Engine = ExecEngine::VM;
+  RunResult V = runProgram(M, std::move(VO));
+  expectSameResult(W, V, M.getName());
+  return W;
+}
+
+static RunResult expectSourceParity(const char *Src,
+                                    RunOptions Base = RunOptions()) {
+  Built B = buildSource(Src);
+  if (!B.M) {
+    RunResult R;
+    R.Trapped = true;
+    return R;
+  }
+  return expectParity(*B.M, std::move(Base));
+}
+
+//===----------------------------------------------------------------------===//
+// Per-opcode parity
+//===----------------------------------------------------------------------===//
+
+TEST(VmParityTest, IntegerAluOps) {
+  RunResult R = expectSourceParity(R"(
+    extern void print_i64(long v);
+    int main() {
+      long a = 1234567;
+      long b = -89;
+      long s = 0;
+      s += a + b; s += a - b; s += a * b; s += a / b; s += a % b;
+      s += a & b; s += a | b; s += a ^ b;
+      s += a << 3; s += a >> 2; s += b >> 2;
+      s += (a == b); s += (a != b); s += (a < b);
+      s += (a <= b); s += (a > b); s += (a >= b);
+      print_i64(s);
+      return (int) (s % 251);
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+}
+
+TEST(VmParityTest, IntegerWrapAndEdgeCases) {
+  // Signed-overflow wrap, INT64_MIN shifts, i_abs(INT64_MIN): the DInst
+  // contract cases both engines must agree on exactly.
+  RunResult R = expectSourceParity(R"(
+    extern void print_i64(long v);
+    extern long i_abs(long v);
+    int main() {
+      long min = (-9223372036854775807 - 1);
+      long max = 9223372036854775807;
+      print_i64(max + 1);       // wraps to INT64_MIN
+      print_i64(min - 1);       // wraps to INT64_MAX
+      print_i64(max * 3);
+      print_i64(min << 1);      // wraps to 0
+      print_i64(min >> 63);     // arithmetic: -1
+      print_i64(i_abs(min));    // wraps to INT64_MIN
+      print_i64(min % (0-1));   // 0, not a fault
+      return 0;
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+}
+
+TEST(VmParityTest, DivisionOverflowTrapsIdentically) {
+  RunResult R = expectSourceParity(R"(
+    int main() {
+      long min = (-9223372036854775807 - 1);
+      long d = 0 - 1;
+      return (int) (min / d);
+    }
+  )");
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_EQ(R.TrapReason, "integer division overflow");
+}
+
+TEST(VmParityTest, DivisionByZeroTrapsIdentically) {
+  RunResult R = expectSourceParity(R"(
+    int main() { long z = 0; return (int) (7 / z); }
+  )");
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_EQ(R.TrapReason, "integer division by zero");
+}
+
+TEST(VmParityTest, FloatOpsAndBuiltins) {
+  RunResult R = expectSourceParity(R"(
+    extern void print_f64(double v);
+    extern double f_sqrt(double x);
+    extern double f_fabs(double x);
+    extern double f_exp(double x);
+    extern double f_log(double x);
+    extern double f_floor(double x);
+    int main() {
+      double a = 3.5;
+      double b = -1.25;
+      double s = 0.0;
+      s += a + b; s += a - b; s += a * b; s += a / b;
+      s += f_sqrt(2.0) + f_fabs(b) + f_exp(0.5) + f_log(7.0) + f_floor(a);
+      s += (a < b) + (a >= b) + (a == a) + (a != b);
+      float nf = (float) s;  // fptrunc round-trip
+      print_f64(nf);
+      print_f64(s);
+      return (int) s;
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+}
+
+TEST(VmParityTest, FpToSiSaturationAndNan) {
+  RunResult R = expectSourceParity(R"(
+    extern void print_i64(long v);
+    int main() {
+      double huge = 1.0e300;
+      double z = 0.0;
+      double nan = z / z;
+      print_i64((long) huge);       // saturates to INT64_MAX
+      print_i64((long) (0.0 - huge)); // saturates to INT64_MIN
+      print_i64((long) nan);        // 0
+      print_i64((long) 2147483648.5);
+      return 0;
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+}
+
+TEST(VmParityTest, NarrowLoadsStoresAndCasts) {
+  RunResult R = expectSourceParity(R"(
+    extern void print_i64(long v);
+    extern void print_f64(double v);
+    struct mix { char c; short s; int i; long l; float f; double d; };
+    int main() {
+      struct mix *m = (struct mix*) malloc(sizeof(struct mix));
+      m->c = (char) 300;     // truncates
+      m->s = (short) 70000;  // truncates
+      m->i = (int) 5000000000; // truncates
+      m->l = -1;
+      m->f = (float) 1.1;    // loses precision
+      m->d = 2.2;
+      print_i64(m->c); print_i64(m->s); print_i64(m->i); print_i64(m->l);
+      print_f64(m->f); print_f64(m->d);
+      long back = (long) m->c + (long) m->s + (long) m->i;
+      free(m);
+      return (int) (back % 113);
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+}
+
+TEST(VmParityTest, CallsRecursionAndIndirectCalls) {
+  RunResult R = expectSourceParity(R"(
+    extern void print_i64(long v);
+    long fib(long n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    long twice(long x) { return 2 * x; }
+    long thrice(long x) { return 3 * x; }
+    int main() {
+      long (*f)(long) = twice;
+      long s = f(10);
+      f = thrice;
+      s += f(10);
+      s += fib(15);
+      print_i64(s);
+      return (int) s;
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+}
+
+TEST(VmParityTest, HeapOpsAndLeakCensus) {
+  RunResult R = expectSourceParity(R"(
+    int main() {
+      long *a = (long*) malloc(64);
+      long *b = (long*) calloc(8, 8);
+      a = (long*) realloc(a, 256);
+      for (long i = 0; i < 8; i++) b[i] = i;
+      long s = 0;
+      for (long i = 0; i < 8; i++) s += b[i];
+      free(b);
+      // a is deliberately leaked: the census must agree across engines.
+      return (int) s;
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.HeapLiveAllocs, 1u);
+}
+
+TEST(VmParityTest, MemsetMemcpyBulkOps) {
+  RunResult R = expectSourceParity(R"(
+    int main() {
+      char *a = (char*) malloc(1000);
+      char *b = (char*) malloc(1000);
+      memset(a, 7, 1000);
+      memcpy(b, a, 1000);
+      long s = 0;
+      for (long i = 0; i < 1000; i++) s += b[i];
+      free(a); free(b);
+      return (int) (s % 251); // 7000 % 251
+    }
+  )");
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+}
+
+TEST(VmParityTest, InvalidAccessTrapsIdentically) {
+  expectSourceParity(R"(
+    int main() { long *p = (long*) 0; return (int) *p; }
+  )");
+  expectSourceParity(R"(
+    int main() { long x = 5; free(&x); return 0; }
+  )");
+  expectSourceParity(R"(
+    int main() {
+      long (*f)(long);  // Zero-initialized: a null indirect call.
+      return (int) f(1);
+    }
+  )");
+  expectSourceParity(R"(
+    extern long mystery(long x);
+    int main() { return (int) mystery(3); }
+  )");
+}
+
+TEST(VmParityTest, StackOverflowAndCallDepthTraps) {
+  RunOptions O;
+  O.MaxCallDepth = 64;
+  RunResult R = expectSourceParity(R"(
+    long down(long n) { return n == 0 ? 0 : 1 + down(n - 1); }
+    int main() { return (int) down(1000000); }
+  )",
+                                   O);
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(VmParityTest, InstructionBudgetTrapsAtSameCount) {
+  // The budget check runs between every two instructions — including
+  // between the two halves of a fused superinstruction — so both
+  // engines must stop at exactly the same instruction count, with the
+  // same partial cycle total, across a range of budgets.
+  Built B = buildSource(R"(
+    struct node { long v; long pad; };
+    int main() {
+      struct node *n = (struct node*) malloc(16 * sizeof(struct node));
+      long s = 0;
+      for (long r = 0; r < 100; r++)
+        for (long i = 0; i < 16; i++) { n[i].v = i; s += n[i].v; }
+      free(n);
+      return (int) s;
+    }
+  )");
+  ASSERT_TRUE(B.M);
+  for (uint64_t Budget : {1ull, 7ull, 100ull, 1001ull, 5003ull}) {
+    RunOptions O;
+    O.MaxInstructions = Budget;
+    RunResult R = expectParity(*B.M, O);
+    EXPECT_TRUE(R.Trapped) << Budget;
+    EXPECT_EQ(R.TrapReason, "instruction budget exceeded");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Superinstructions
+//===----------------------------------------------------------------------===//
+
+TEST(VmParityTest, SuperinstructionsFireAndStayBitIdentical) {
+  // A field-access-dominated loop: the compile must fuse the
+  // single-use field-address + load/store pairs (visible through the
+  // vm.superinstructions counter), and the fused execution must still
+  // match the walker exactly.
+  Built B = buildSource(R"(
+    extern void print_f64(double v);
+    struct pt { long x; long y; double w; };
+    int main() {
+      struct pt *a = (struct pt*) malloc(500 * sizeof(struct pt));
+      for (long i = 0; i < 500; i++) { a[i].x = i; a[i].y = 2 * i; a[i].w = 0.5; }
+      long s = 0;
+      double ws = 0.0;
+      for (long r = 0; r < 20; r++)
+        for (long i = 0; i < 500; i++) { s += a[i].x + a[i].y; ws += a[i].w; }
+      free(a);
+      print_f64(ws);
+      return (int) (s % 1009);
+    }
+  )");
+  ASSERT_TRUE(B.M);
+  expectParity(*B.M);
+
+  CounterRegistry C;
+  RunOptions O;
+  O.Engine = ExecEngine::VM;
+  O.Counters = &C;
+  runProgram(*B.M, std::move(O));
+  EXPECT_GT(C.value("vm.superinstructions"), 0u);
+  EXPECT_GT(C.value("vm.cache_fastpath_hits"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumented runs: attribution and profile parity
+//===----------------------------------------------------------------------===//
+
+TEST(VmParityTest, AttributionAndProfileBitIdentical) {
+  Built B = buildSource(R"(
+    struct rec { long hot; long a; long b; long c; double cold; };
+    long work(struct rec *r, long n) {
+      long s = 0;
+      for (long i = 0; i < n; i++) { s += r[i].hot; r[i].a = s; }
+      return s;
+    }
+    int main() {
+      struct rec *r = (struct rec*) calloc(2000, sizeof(struct rec));
+      long s = 0;
+      for (long rep = 0; rep < 5; rep++) s += work(r, 2000);
+      free(r);
+      return (int) (s % 127);
+    }
+  )");
+  ASSERT_TRUE(B.M);
+
+  MissAttribution WA, VA;
+  FeedbackFile WF, VF;
+  RunOptions WO;
+  WO.Engine = ExecEngine::Walker;
+  WO.Cache = CacheConfig::scaledItanium();
+  WO.Attribution = &WA;
+  WO.Profile = &WF;
+  RunResult W = runProgram(*B.M, std::move(WO));
+
+  RunOptions VO;
+  VO.Engine = ExecEngine::VM;
+  VO.Cache = CacheConfig::scaledItanium();
+  VO.Attribution = &VA;
+  VO.Profile = &VF;
+  RunResult V = runProgram(*B.M, std::move(VO));
+
+  expectSameResult(W, V, "attributed run");
+
+  // The attribution partitions must agree string-for-string, and both
+  // must preserve the partition invariant.
+  EXPECT_EQ(WA.renderHeatmapJson(), VA.renderHeatmapJson());
+  EXPECT_EQ(WA.totalMisses(), W.FirstLevelMisses);
+  EXPECT_EQ(VA.totalMisses(), V.FirstLevelMisses);
+
+  // Collected profiles must serialize identically: same entry counts,
+  // edge counts, and field cache statistics, in the same order.
+  EXPECT_EQ(serializeFeedback(*B.M, WF), serializeFeedback(*B.M, VF));
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-workload sweep: all twelve Table 1 benchmarks
+//===----------------------------------------------------------------------===//
+
+TEST(VmParityTest, AllWorkloadsBitIdentical) {
+  for (const Workload &W : allWorkloads()) {
+    Built B = buildWorkload(W);
+    ASSERT_TRUE(B.M) << W.Name;
+
+    MissAttribution WA, VA;
+    RunOptions WO;
+    WO.Engine = ExecEngine::Walker;
+    WO.IntParams = W.TrainParams;
+    WO.Cache = CacheConfig::scaledItanium();
+    WO.Attribution = &WA;
+    RunResult WR = runProgram(*B.M, std::move(WO));
+
+    RunOptions VO;
+    VO.Engine = ExecEngine::VM;
+    VO.IntParams = W.TrainParams;
+    VO.Cache = CacheConfig::scaledItanium();
+    VO.Attribution = &VA;
+    RunResult VR = runProgram(*B.M, std::move(VO));
+
+    expectSameResult(WR, VR, W.Name);
+    EXPECT_FALSE(WR.Trapped) << W.Name << ": " << WR.TrapReason;
+    EXPECT_EQ(WA.renderHeatmapJson(), VA.renderHeatmapJson()) << W.Name;
+    EXPECT_EQ(VA.totalMisses(), VR.FirstLevelMisses) << W.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Non-vacuity and engine selection
+//===----------------------------------------------------------------------===//
+
+TEST(VmParityTest, InjectVmBugIsDetectable) {
+  // The deliberate mis-charge must move the VM's cycle count off the
+  // walker's while leaving semantics alone — proving the parity
+  // comparison above can actually fail.
+  Built B = buildSource(R"(
+    int main() {
+      long *a = (long*) malloc(800);
+      long s = 0;
+      for (long i = 0; i < 100; i++) a[i] = i;
+      for (long i = 0; i < 100; i++) s += a[i];
+      free(a);
+      return (int) (s % 251);
+    }
+  )");
+  ASSERT_TRUE(B.M);
+
+  RunOptions WO;
+  WO.Engine = ExecEngine::Walker;
+  RunResult W = runProgram(*B.M, std::move(WO));
+
+  RunOptions VO;
+  VO.Engine = ExecEngine::VM;
+  VO.InjectVmBug = true;
+  RunResult V = runProgram(*B.M, std::move(VO));
+
+  EXPECT_EQ(W.ExitCode, V.ExitCode);
+  EXPECT_EQ(W.Instructions, V.Instructions);
+  EXPECT_NE(W.Cycles, V.Cycles);
+
+  // The walker ignores the flag entirely.
+  RunOptions WB;
+  WB.Engine = ExecEngine::Walker;
+  WB.InjectVmBug = true;
+  RunResult W2 = runProgram(*B.M, std::move(WB));
+  EXPECT_EQ(W.Cycles, W2.Cycles);
+}
+
+TEST(VmParityTest, EngineNameParsing) {
+  ExecEngine E;
+  EXPECT_TRUE(parseEngineName("walker", E));
+  EXPECT_EQ(E, ExecEngine::Walker);
+  EXPECT_TRUE(parseEngineName("vm", E));
+  EXPECT_EQ(E, ExecEngine::VM);
+  EXPECT_FALSE(parseEngineName("", E));
+  EXPECT_FALSE(parseEngineName("VM", E));
+  EXPECT_FALSE(parseEngineName("walkerr", E));
+  EXPECT_FALSE(parseEngineName("interpreter", E));
+}
+
+} // namespace
