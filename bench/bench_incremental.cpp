@@ -1,0 +1,179 @@
+//===- bench/bench_incremental.cpp - Cold vs warm advisory pipeline -------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// The incremental pipeline's reason to exist, measured: on a ~200-TU
+// generated corpus, a warm run (every summary served from the on-disk
+// cache) must be at least an order of magnitude faster than the cold
+// run that populated it, and a 1-TU-invalidated warm run (one source
+// file mutated) must recompute exactly that TU — all while rendering
+// advice byte-identical to a from-scratch cold run.
+//
+// Wall times here are real wall clock (the pipeline fans out over a
+// thread pool), so the JSON artifact is NOT byte-stable across runs;
+// bench_compare.py --incremental gates the speedup floor and the
+// identity flags, never exact times.
+//
+//   bench_incremental [--tus N] [--seed S] [--jobs J] [--out FILE]
+//
+// Writes BENCH_incremental.json (see scripts/bench_compare.py).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtils.h"
+
+#include "fuzz/ProgramFuzzer.h"
+#include "pipeline/Incremental.h"
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+using namespace slo;
+using namespace slo::bench;
+
+namespace {
+
+double wallMs(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+struct Leg {
+  double WallMs = 0;
+  IncrementalResult Result;
+};
+
+Leg runLeg(const std::vector<TuSource> &TUs, const std::string &CacheDir,
+           unsigned Jobs) {
+  Leg L;
+  IncrementalOptions O;
+  O.CacheDir = CacheDir;
+  O.Threads = Jobs;
+  auto T0 = std::chrono::steady_clock::now();
+  L.Result = runIncrementalAdvice(TUs, O);
+  L.WallMs = wallMs(T0);
+  if (!L.Result.Ok)
+    reportFatalError("incremental bench corpus failed to compile: " +
+                     (L.Result.Errors.empty() ? std::string("?")
+                                              : L.Result.Errors.front()));
+  return L;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Units = 200;
+  uint64_t Seed = 42;
+  unsigned Jobs = 0;
+  std::string OutPath = "BENCH_incremental.json";
+  for (int I = 1; I < argc; ++I) {
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (std::strcmp(argv[I], "--tus") == 0) {
+      if (const char *V = Next())
+        Units = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (std::strcmp(argv[I], "--seed") == 0) {
+      if (const char *V = Next())
+        Seed = std::strtoull(V, nullptr, 10);
+    } else if (std::strcmp(argv[I], "--jobs") == 0) {
+      if (const char *V = Next())
+        Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (std::strcmp(argv[I], "--out") == 0) {
+      if (const char *V = Next())
+        OutPath = V;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_incremental [--tus N] [--seed S] [--jobs J] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+  if (Units < 2)
+    Units = 2;
+
+  std::vector<FuzzTu> Corpus = generateFuzzCorpus(Seed, Units);
+  auto Render = [&Corpus]() {
+    std::vector<TuSource> TUs;
+    for (const FuzzTu &Tu : Corpus)
+      TUs.push_back({Tu.FileName, Tu.Program.render()});
+    return TUs;
+  };
+  std::vector<TuSource> TUs = Render();
+
+  std::filesystem::path CacheDir =
+      std::filesystem::temp_directory_path() /
+      ("slo_bench_incremental_" + std::to_string(Seed));
+  std::error_code Ec;
+  std::filesystem::remove_all(CacheDir, Ec); // A stale cache would fake warmth.
+
+  std::printf("bench_incremental: %zu TUs (seed %llu)\n", TUs.size(),
+              static_cast<unsigned long long>(Seed));
+
+  // Leg 1: cold, populating the cache.
+  Leg Cold = runLeg(TUs, CacheDir.string(), Jobs);
+  // Leg 2: warm — every summary from the cache.
+  Leg WarmLeg = runLeg(TUs, CacheDir.string(), Jobs);
+  bool WarmIdentical = WarmLeg.Result.AdviceText == Cold.Result.AdviceText &&
+                       WarmLeg.Result.AdviceJson == Cold.Result.AdviceJson;
+
+  // Leg 3: mutate one unit TU, warm re-run. The reference for its
+  // identity flag is an uncached cold run over the mutated corpus
+  // (untimed leg — it is the correctness baseline, not a measurement).
+  std::string Mutation = mutateFuzzTu(Corpus[Units / 2].Program, Seed ^ 0xabc);
+  TUs = Render();
+  Leg Inval = runLeg(TUs, CacheDir.string(), Jobs);
+  IncrementalOptions NoCache;
+  NoCache.Threads = Jobs;
+  IncrementalResult MutCold = runIncrementalAdvice(TUs, NoCache);
+  bool InvalIdentical = Inval.Result.AdviceText == MutCold.AdviceText &&
+                        Inval.Result.AdviceJson == MutCold.AdviceJson;
+
+  std::filesystem::remove_all(CacheDir, Ec);
+
+  double Speedup = WarmLeg.WallMs > 0 ? Cold.WallMs / WarmLeg.WallMs : 0.0;
+  std::printf("  cold        %8.1f ms (recomputed %u)\n", Cold.WallMs,
+              Cold.Result.TusRecomputed);
+  std::printf("  warm        %8.1f ms (reused %u)  speedup %.1fx  "
+              "advice %s\n",
+              WarmLeg.WallMs, WarmLeg.Result.TusReused, Speedup,
+              WarmIdentical ? "identical" : "DIVERGED");
+  std::printf("  invalidated %8.1f ms (reused %u, recomputed %u)  "
+              "advice %s\n",
+              Inval.WallMs, Inval.Result.TusReused, Inval.Result.TusRecomputed,
+              InvalIdentical ? "identical" : "DIVERGED");
+  std::printf("  mutation: %s\n", Mutation.c_str());
+
+  std::string Json;
+  Json += "{\n";
+  Json += "  \"bench\": \"incremental\",\n";
+  Json += "  \"tus\": " + std::to_string(TUs.size()) + ",\n";
+  Json += "  \"seed\": " + std::to_string(Seed) + ",\n";
+  Json += "  \"cold_wall_ms\": " + std::to_string(Cold.WallMs) + ",\n";
+  Json += "  \"warm_wall_ms\": " + std::to_string(WarmLeg.WallMs) + ",\n";
+  Json += "  \"invalidated_wall_ms\": " + std::to_string(Inval.WallMs) + ",\n";
+  Json += "  \"warm_speedup\": " + std::to_string(Speedup) + ",\n";
+  Json += std::string("  \"warm_advice_identical\": ") +
+          (WarmIdentical ? "true" : "false") + ",\n";
+  Json += std::string("  \"invalidated_advice_identical\": ") +
+          (InvalIdentical ? "true" : "false") + ",\n";
+  Json += "  \"warm_reused\": " + std::to_string(WarmLeg.Result.TusReused) +
+          ",\n";
+  Json += "  \"warm_recomputed\": " +
+          std::to_string(WarmLeg.Result.TusRecomputed) + ",\n";
+  Json += "  \"invalidated_reused\": " +
+          std::to_string(Inval.Result.TusReused) + ",\n";
+  Json += "  \"invalidated_recomputed\": " +
+          std::to_string(Inval.Result.TusRecomputed) + ",\n";
+  Json += "  \"mutation\": \"" + jsonEscape(Mutation) + "\"\n";
+  Json += "}\n";
+  writeTextFile(OutPath, Json);
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  // The bench is also a smoke gate: identity failures are wrong even
+  // before bench_compare.py looks at the artifact.
+  return (WarmIdentical && InvalIdentical) ? 0 : 1;
+}

@@ -43,6 +43,16 @@
 //     --profile-in=P      skip collection, load a feedback file instead;
 //                         corrupt files are structured errors, not UB
 //
+//   Incremental runs (advisory-only; see DESIGN.md "Summary cache"):
+//     --summary-cache D   run the incremental FE->IPA->BE pipeline with
+//                         per-TU summaries cached under directory D;
+//                         each input file is one TU. Advice prints to
+//                         stdout and is byte-identical between cold and
+//                         warm runs; cache statistics go to stderr.
+//     --advice-json=P     write the advice JSON artifact to P
+//                         (incremental mode only)
+//     --jobs N            FE fan-out width (default: hardware threads)
+//
 //===----------------------------------------------------------------------===//
 
 #include "DriverUtils.h"
@@ -54,6 +64,7 @@
 #include "observability/MissAttribution.h"
 #include "observability/SampledPmu.h"
 #include "observability/Tracer.h"
+#include "pipeline/Incremental.h"
 #include "pipeline/Pipeline.h"
 #include "profile/FeedbackIO.h"
 #include "runtime/Interpreter.h"
@@ -92,6 +103,11 @@ struct DriverOptions {
   std::string ProfileInPath;
   /// Auto resolves against SLO_ENGINE (default: the tree walker).
   ExecEngine Engine = ExecEngine::Auto;
+  // Incremental mode (--summary-cache).
+  std::string SummaryCacheDir;
+  bool Incremental = false;
+  std::string AdviceJsonPath;
+  uint64_t Jobs = 0;
 };
 
 using driver::parseEngineArg;
@@ -165,6 +181,14 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
     } else if (valuedFlag("--engine", argc, argv, I, V)) {
       if (!parseEngineArg("--engine", V, O.Engine))
         return false;
+    } else if (valuedFlag("--summary-cache", argc, argv, I, V)) {
+      O.SummaryCacheDir = V;
+      O.Incremental = true;
+    } else if (valuedFlag("--advice-json", argc, argv, I, V)) {
+      O.AdviceJsonPath = V;
+    } else if (valuedFlag("--jobs", argc, argv, I, V)) {
+      if (!parseU64Arg("--jobs", V, O.Jobs))
+        return false;
     } else if (valuedFlag("--profile-out", argc, argv, I, V)) {
       O.ProfileOutPath = V;
     } else if (valuedFlag("--profile-in", argc, argv, I, V)) {
@@ -192,7 +216,9 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
                  "[--trace-json=P] [--stats-json=P] [--trace-summary] "
                  "[--sample-period N] [--sample-skid K] [--sample-seed S] "
                  "[--sample-latency-threshold T] [--profile-out=P] "
-                 "[--profile-in=P] [--engine=walker|vm] file.minic...\n");
+                 "[--profile-in=P] [--engine=walker|vm] "
+                 "[--summary-cache D] [--advice-json=P] [--jobs N] "
+                 "file.minic...\n");
     return false;
   }
   if (!O.ProfileInPath.empty() && O.SamplePeriod > 0) {
@@ -231,6 +257,64 @@ int main(int argc, char **argv) {
     std::ostringstream SS;
     SS << In.rdbuf();
     Sources.push_back(SS.str());
+  }
+
+  if (!O.Incremental && !O.AdviceJsonPath.empty()) {
+    std::fprintf(stderr, "--advice-json requires --summary-cache\n");
+    return 2;
+  }
+  if (O.Incremental) {
+    if (O.Pbo || O.Run || O.DumpIr || !O.ProfileInPath.empty()) {
+      std::fprintf(stderr,
+                   "--summary-cache is advisory-only: it cannot be combined "
+                   "with --pbo, --run, --dump-ir or --profile-in\n");
+      return 2;
+    }
+    if (!isStaticScheme(O.Scheme)) {
+      std::fprintf(stderr,
+                   "--summary-cache needs a static scheme (profiles are "
+                   "whole-program artifacts)\n");
+      return 2;
+    }
+    Tracer Trace;
+    Tracer *TracePtr =
+        (!O.TraceJsonPath.empty() || O.TraceSummary) ? &Trace : nullptr;
+    IncrementalOptions IO;
+    IO.Summary.Scheme = O.Scheme;
+    IO.Summary.Lint = O.Lint;
+    IO.CacheDir = O.SummaryCacheDir;
+    IO.Threads = static_cast<unsigned>(O.Jobs);
+    IO.Trace = TracePtr;
+    std::vector<TuSource> TUs;
+    for (size_t I = 0; I < O.Files.size(); ++I)
+      TUs.push_back({O.Files[I], Sources[I]});
+    IncrementalResult R = runIncrementalAdvice(TUs, IO);
+    for (const Diagnostic &D : R.CacheDiags)
+      std::fprintf(stderr, "%s\n", D.renderText().c_str());
+    if (!R.Ok) {
+      for (const std::string &E : R.Errors)
+        std::fprintf(stderr, "error: %s\n", E.c_str());
+      return 1;
+    }
+    // Advice on stdout (byte-identical cold vs warm); cache accounting on
+    // stderr, outside the parity-compared stream.
+    std::printf("%s", R.AdviceText.c_str());
+    std::fprintf(stderr,
+                 "incremental: tus=%zu reused=%u recomputed=%u "
+                 "schema-invalidated=%u cache hits=%u misses=%u corrupt=%u "
+                 "stores=%u\n",
+                 TUs.size(), R.TusReused, R.TusRecomputed,
+                 R.TusSchemaInvalidated, R.Cache.Hits, R.Cache.Misses,
+                 R.Cache.Corrupt, R.Cache.Stores);
+    if (!O.AdviceJsonPath.empty() &&
+        !writeFileOrComplain(O.AdviceJsonPath, R.AdviceJson))
+      return 1;
+    if (!O.TraceJsonPath.empty() &&
+        !writeFileOrComplain(O.TraceJsonPath, Trace.renderChromeJson()))
+      return 1;
+    if (O.TraceSummary)
+      std::printf("%s", Trace.renderTextSummary().c_str());
+    return 0;
   }
 
   IRContext Ctx;

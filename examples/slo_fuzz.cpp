@@ -18,6 +18,7 @@
 #include "DriverUtils.h"
 
 #include "fuzz/DifferentialHarness.h"
+#include "fuzz/IncrementalParity.h"
 #include "fuzz/ProgramFuzzer.h"
 #include "fuzz/Reducer.h"
 #include "support/Random.h"
@@ -26,6 +27,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <unistd.h>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -49,6 +51,8 @@ struct DriverOptions {
   bool EngineParity = false;
   bool InjectVmBug = false;
   ExecEngine Engine = ExecEngine::Auto;
+  bool IncrementalParity = false;
+  bool InjectStaleSummary = false;
   std::string CorpusDir;
   std::string OutDir = ".";
 };
@@ -61,6 +65,7 @@ int usage() {
       "                [--inject-hazard uaf|uninit] [--inject-lint-bug]\n"
       "                [--sampled-profiles] [--engine walker|vm]\n"
       "                [--engine-parity] [--inject-vm-bug]\n"
+      "                [--incremental-parity] [--inject-stale-summary]\n"
       "\n"
       "Replays DIR/*.minic (sorted) when --corpus is given, then runs N\n"
       "random differential tests derived from seed S. Every failure is\n"
@@ -72,6 +77,13 @@ int usage() {
       "flag each one. Adding --inject-lint-bug blinds the lint suite to\n"
       "free(), so an injected uaf must flip into a lint-oracle failure\n"
       "(proving the oracle is not vacuous).\n"
+      "--incremental-parity switches to the incremental-pipeline sweep:\n"
+      "each run generates a multi-TU corpus, runs the FE->IPA->BE\n"
+      "advisory pipeline cold against a scratch summary cache, mutates\n"
+      "one TU, and requires the warm re-run's advice to be byte-identical\n"
+      "to a cold run (and the unmutated TUs to actually be reused).\n"
+      "--inject-stale-summary deliberately serves the stale cache entry,\n"
+      "so the parity sweep must fail (non-vacuity check).\n"
       "--sampled-profiles plans from a sampled d-cache profile (DMISS,\n"
       "period 61, skid 2) round-tripped through the feedback format,\n"
       "instead of static estimates — the oracles must still hold.\n"
@@ -218,6 +230,66 @@ unsigned runRandom(const DriverOptions &Opts,
   return Failures;
 }
 
+/// The incremental-parity sweep (--incremental-parity): independent of
+/// the transform-differential harness, so it gets its own shard loop.
+unsigned runIncrementalParitySweep(const DriverOptions &Opts) {
+  Rng Parent(Opts.Seed);
+  std::vector<uint64_t> Seeds(Opts.Runs);
+  for (unsigned I = 0; I < Opts.Runs; ++I)
+    Seeds[I] = Parent.split().next();
+
+  std::filesystem::path ScratchRoot =
+      std::filesystem::temp_directory_path() /
+      ("slo_incpar_" + std::to_string(::getpid()));
+
+  std::vector<IncrementalParityOutcome> Results(Opts.Runs);
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs
+                            : std::max(1u, std::thread::hardware_concurrency());
+  {
+    ThreadPool Pool(Jobs);
+    for (unsigned I = 0; I < Opts.Runs; ++I)
+      Pool.enqueue([I, &Seeds, &Results, &Opts, &ScratchRoot] {
+        IncrementalParityConfig Cfg;
+        Cfg.Seed = Seeds[I];
+        Cfg.InjectStaleSummary = Opts.InjectStaleSummary;
+        Cfg.CacheDir = (ScratchRoot / ("run" + std::to_string(I))).string();
+        Results[I] = runIncrementalParity(Cfg);
+      });
+    Pool.wait();
+  }
+  std::error_code Ec;
+  std::filesystem::remove_all(ScratchRoot, Ec);
+
+  unsigned Failures = 0;
+  for (unsigned I = 0; I < Opts.Runs; ++I) {
+    const IncrementalParityOutcome &R = Results[I];
+    if (R.Passed)
+      continue;
+    ++Failures;
+    std::printf("[slo_fuzz] FAIL incremental run %u (seed %llu): oracle=%s "
+                "mutated-tu=%d (%s) %s\n",
+                I, static_cast<unsigned long long>(Seeds[I]),
+                fuzzOracleName(R.Oracle), R.MutatedTu,
+                R.MutationDetail.c_str(), R.Detail.c_str());
+    // The witness is the whole corpus: write every TU so the failure
+    // replays with `slo_driver --summary-cache <dir> *.minic`.
+    for (const TuSource &Tu : R.Corpus) {
+      std::ostringstream Header;
+      Header << "// slo_fuzz incremental-parity repro: sweep-seed="
+             << Opts.Seed << " run=" << I << " seed=" << Seeds[I] << "\n"
+             << "// oracle=" << fuzzOracleName(R.Oracle) << ": " << R.Detail
+             << "\n";
+      writeRepro(Opts,
+                 "slo_fuzz_incpar_seed" + std::to_string(Seeds[I]) + "_" +
+                     Tu.Name,
+                 Header.str(), Tu.Source);
+    }
+  }
+  std::printf("[slo_fuzz] incremental-parity: %u run(s), %u failure(s)\n",
+              Opts.Runs, Failures);
+  return Failures;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -251,6 +323,10 @@ int main(int argc, char **argv) {
         return usage();
     } else if (A == "--engine-parity") {
       Opts.EngineParity = true;
+    } else if (A == "--incremental-parity") {
+      Opts.IncrementalParity = true;
+    } else if (A == "--inject-stale-summary") {
+      Opts.InjectStaleSummary = true;
     } else if (A == "--inject-vm-bug") {
       Opts.InjectVmBug = true;
     } else if (A == "--corpus") {
@@ -300,6 +376,22 @@ int main(int argc, char **argv) {
     DOpts.Scheme = WeightScheme::DMISS;
     DOpts.SampledProfilePeriod = 61;
     DOpts.SampledProfileSkid = 2;
+  }
+
+  if (Opts.IncrementalParity) {
+    unsigned Failures = runIncrementalParitySweep(Opts);
+    if (Failures) {
+      std::printf("[slo_fuzz] FAILED: %u failure(s)\n", Failures);
+      return 1;
+    }
+    std::printf("[slo_fuzz] all checks passed\n");
+    return 0;
+  }
+  if (Opts.InjectStaleSummary) {
+    std::fprintf(stderr,
+                 "slo_fuzz: --inject-stale-summary requires "
+                 "--incremental-parity\n");
+    return 2;
   }
 
   unsigned Failures = 0;

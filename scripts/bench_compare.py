@@ -28,6 +28,15 @@ less simulator wall time. The engine field of each artifact is checked
 literally, so a build that silently fell back to the walker cannot pass
 the gate by comparing the walker against itself.
 
+A fourth leg gates BENCH_incremental.json (the cold-vs-warm summary
+cache bench): the warm run must render advice byte-identical to the
+cold run that populated the cache, the 1-TU-invalidated run must render
+advice byte-identical to a from-scratch cold run while recomputing
+exactly one TU, and the warm run must be at least --min-warm-speedup
+times faster than cold. Identity flags and reuse counts are exact
+invariants; only the speedup is a (wall-clock) threshold, deliberately
+set well below what an idle box measures.
+
 Usage:
   bench_compare.py --current BENCH_table3.json \
       [--baseline bench/baselines/BENCH_table3.json] \
@@ -36,6 +45,8 @@ Usage:
       [--profile-quality-baseline bench/baselines/BENCH_profile_quality.json] \
       [--miss-tolerance 0.05] [--perf-tolerance 2.0] [--tau-tolerance 0.05]
   bench_compare.py --engine-compare WALKER.json VM.json [--min-speedup 2.5]
+  bench_compare.py --incremental BENCH_incremental.json \
+      [--min-warm-speedup 10.0]
   bench_compare.py --self-test [--baseline ...] [--profile-quality-baseline ...]
 
 --self-test injects a 10% miss-count regression into a copy of the
@@ -45,7 +56,10 @@ asserts the gate rejects both (and that the unmodified baselines pass);
 CI runs it so a silently broken comparator cannot turn the gate green.
 The engine leg self-tests on synthesized artifacts: a clean pair must
 pass, and a wrong engine field, a single diverging row, and an
-insufficient speedup must each be rejected.
+insufficient speedup must each be rejected. The incremental leg
+likewise: a clean synthesized artifact must pass, and a flipped
+identity flag, an insufficient warm speedup, and wrong invalidation
+counts must each be rejected.
 """
 
 import argparse
@@ -336,6 +350,107 @@ def engine_self_test(min_speedup):
     return 0
 
 
+def load_incremental(path):
+    """Loads a BENCH_incremental.json artifact (see bench_incremental.cpp)."""
+    doc = load_json(path, "incremental artifact")
+    if not isinstance(doc, dict) or doc.get("bench") != "incremental":
+        raise SystemExit(f"{path}: not a BENCH_incremental.json artifact")
+    require_keys(
+        doc,
+        ("tus", "cold_wall_ms", "warm_wall_ms", "warm_speedup",
+         "warm_advice_identical", "invalidated_advice_identical",
+         "warm_reused", "warm_recomputed",
+         "invalidated_reused", "invalidated_recomputed"),
+        path,
+        "incremental",
+    )
+    return doc
+
+
+def incremental_gate(doc, min_warm_speedup):
+    """The cold-vs-warm gate: byte-identical advice is an invariant, the
+    speedup floor is the reason the cache exists. Returns a list of
+    human-readable failure strings."""
+    failures = []
+    tus = doc["tus"]
+    if not doc["warm_advice_identical"]:
+        failures.append(
+            "warm run rendered different advice than the cold run that "
+            "populated the cache (cached summaries are not round-trip exact)"
+        )
+    if not doc["invalidated_advice_identical"]:
+        failures.append(
+            "1-TU-invalidated warm run rendered different advice than a "
+            "from-scratch cold run (stale summaries leaked into the merge)"
+        )
+    # Reuse counts are exact: a warm run that silently recomputed would
+    # still be byte-identical, so identity alone cannot catch a cache
+    # that never hits.
+    if doc["warm_recomputed"] != 0 or doc["warm_reused"] != tus:
+        failures.append(
+            f"warm run reused {doc['warm_reused']}/{tus} and recomputed "
+            f"{doc['warm_recomputed']} (expected all reused, none recomputed)"
+        )
+    if doc["invalidated_recomputed"] != 1 or doc["invalidated_reused"] != tus - 1:
+        failures.append(
+            f"invalidated run reused {doc['invalidated_reused']}/{tus} and "
+            f"recomputed {doc['invalidated_recomputed']} (expected exactly "
+            "the mutated TU recomputed)"
+        )
+    if doc["warm_speedup"] < min_warm_speedup:
+        failures.append(
+            f"warm speedup {doc['warm_speedup']:.1f}x below the "
+            f"{min_warm_speedup:.1f}x floor (cold {doc['cold_wall_ms']:.1f} ms, "
+            f"warm {doc['warm_wall_ms']:.1f} ms)"
+        )
+    return failures
+
+
+def incremental_self_test(min_warm_speedup):
+    """Incremental-leg self-test on a synthesized artifact (the leg gates
+    a fresh run, not a baseline): a clean artifact passes; a flipped
+    identity flag, an insufficient speedup, and wrong invalidation
+    counts are each rejected."""
+    clean = {
+        "bench": "incremental", "tus": 201, "seed": 42,
+        "cold_wall_ms": 600.0, "warm_wall_ms": 12.0,
+        "invalidated_wall_ms": 14.0, "warm_speedup": 50.0,
+        "warm_advice_identical": True, "invalidated_advice_identical": True,
+        "warm_reused": 201, "warm_recomputed": 0,
+        "invalidated_reused": 200, "invalidated_recomputed": 1,
+    }
+    if incremental_gate(clean, min_warm_speedup):
+        print("self-test FAILED: clean incremental artifact does not pass")
+        return 1
+
+    stale = copy.deepcopy(clean)
+    stale["invalidated_advice_identical"] = False  # A stale summary leaked.
+    flagged = incremental_gate(stale, min_warm_speedup)
+
+    slow = copy.deepcopy(clean)
+    slow["warm_speedup"] = min_warm_speedup * 0.5
+    lag = incremental_gate(slow, min_warm_speedup)
+
+    cold_warm = copy.deepcopy(clean)
+    cold_warm["warm_reused"] = 0  # A cache that never hits.
+    cold_warm["warm_recomputed"] = clean["tus"]
+    miss = incremental_gate(cold_warm, min_warm_speedup)
+
+    if not flagged or not lag or not miss:
+        print(
+            "self-test FAILED: incremental gate accepted a flipped identity "
+            "flag, an insufficient warm speedup, or a never-hitting cache"
+        )
+        return 1
+    print(
+        "self-test ok: incremental artifact passes, injected incremental "
+        "failures fail:"
+    )
+    for f in flagged + lag + miss:
+        print(f"  {f}")
+    return 0
+
+
 def check_compile_time(path):
     """Presence/schema check only: google-benchmark JSON with benchmarks."""
     doc = load_json(path, "compile-time artifact")
@@ -401,7 +516,9 @@ def self_test(baseline_rows, quality, miss_tol, perf_tol, tau_tol):
     print("self-test ok: quality baseline passes, injected advice flip fails:")
     for f in stab + drift:
         print(f"  {f}")
-    return engine_self_test(min_speedup=2.5)
+    if engine_self_test(min_speedup=2.5):
+        return 1
+    return incremental_self_test(min_warm_speedup=10.0)
 
 
 def main():
@@ -455,11 +572,25 @@ def main():
         "an idle box measures, so a loaded CI box does not flake)",
     )
     ap.add_argument(
+        "--incremental",
+        help="freshly produced BENCH_incremental.json to gate: warm and "
+        "invalidated advice must be byte-identical to cold, reuse counts "
+        "exact, warm speedup at least --min-warm-speedup",
+    )
+    ap.add_argument(
+        "--min-warm-speedup",
+        type=float,
+        default=10.0,
+        help="minimum cold/warm wall-time ratio for --incremental "
+        "(default 10.0; an idle box measures ~45-55x, so a loaded CI box "
+        "does not flake)",
+    )
+    ap.add_argument(
         "--self-test",
         action="store_true",
         help="verify the gate rejects an injected 10%% miss regression, "
-        "an injected advice-stability flip, and an injected engine "
-        "divergence",
+        "an injected advice-stability flip, an injected engine "
+        "divergence, and an injected incremental-cache failure",
     )
     args = ap.parse_args()
 
@@ -479,6 +610,25 @@ def main():
             f"{walker['sim_wall_ms'] / vm['sim_wall_ms']:.2f}x faster "
             f"({walker['sim_wall_ms']:.1f} ms -> {vm['sim_wall_ms']:.1f} ms, "
             f"floor {args.min_speedup:.2f}x)"
+        )
+        return 0
+
+    # The incremental leg gates one fresh artifact against invariants and
+    # a speedup floor; no baseline on disk is involved.
+    if args.incremental and not args.self_test:
+        doc = load_incremental(args.incremental)
+        failures = incremental_gate(doc, args.min_warm_speedup)
+        if failures:
+            print(f"incremental gate FAILED ({len(failures)} finding(s)):")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(
+            f"incremental gate ok: {doc['tus']} TUs, warm "
+            f"{doc['warm_speedup']:.1f}x faster than cold "
+            f"({doc['cold_wall_ms']:.1f} ms -> {doc['warm_wall_ms']:.1f} ms, "
+            f"floor {args.min_warm_speedup:.1f}x), advice byte-identical on "
+            "warm and 1-TU-invalidated runs"
         )
         return 0
 

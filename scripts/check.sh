@@ -107,6 +107,35 @@ SAMPLED_RC=0
 ./build/examples/slo_fuzz --runs 25 --seed 2 --sampled-profiles \
   || SAMPLED_RC=$?
 
+# Incremental leg: advise the two-TU example cold (populating the
+# summary cache), again warm (every summary served from disk), and the
+# rendered advice — text and JSON — must be byte-identical; then a short
+# incremental-parity fuzz sweep (mutate one TU, warm vs from-scratch
+# cold) with its vacuity check: serving deliberately stale summaries
+# (--inject-stale-summary) must be caught.
+echo "=== incremental pipeline (cold vs warm byte-identity) ==="
+INC_RC=0
+rm -rf build/inc-cache
+./build/examples/slo_driver --summary-cache build/inc-cache \
+  --advice-json=build/advice-cold.json \
+  examples/incremental_a.minic examples/incremental_b.minic \
+  > build/advice-cold.txt 2>/dev/null || INC_RC=$?
+./build/examples/slo_driver --summary-cache build/inc-cache \
+  --advice-json=build/advice-warm.json \
+  examples/incremental_a.minic examples/incremental_b.minic \
+  > build/advice-warm.txt 2>/dev/null || INC_RC=$?
+cmp build/advice-cold.txt build/advice-warm.txt \
+  || { echo "warm advice text diverged from cold"; INC_RC=1; }
+cmp build/advice-cold.json build/advice-warm.json \
+  || { echo "warm advice JSON diverged from cold"; INC_RC=1; }
+./build/examples/slo_fuzz --runs 20 --seed 21 --incremental-parity \
+  --out build/fuzz-repros || INC_RC=$?
+if ./build/examples/slo_fuzz --runs 5 --seed 21 --incremental-parity \
+    --inject-stale-summary >/dev/null 2>&1; then
+  echo "incremental-parity oracle is vacuous: --inject-stale-summary was not caught"
+  INC_RC=1
+fi
+
 echo "=== sanitized build (ASan+UBSan) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSLO_ENABLE_SANITIZERS=ON "${LAUNCHER_ARGS[@]}"
@@ -118,8 +147,8 @@ ulimit -s 262144 2>/dev/null || true
 ASAN_RC=0
 ctest --test-dir build-asan --output-on-failure -j"$J" || ASAN_RC=$?
 
-if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 || $FUZZ_RC -ne 0 || $SAMPLED_RC -ne 0 || $LINT_RC -ne 0 || $VM_RC -ne 0 || $ENGINE_RC -ne 0 ]]; then
-  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC, fuzz: $FUZZ_RC, sampled smoke: $SAMPLED_RC, lint: $LINT_RC, vm engine: $VM_RC, engine gate: $ENGINE_RC) ==="
+if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 || $FUZZ_RC -ne 0 || $SAMPLED_RC -ne 0 || $LINT_RC -ne 0 || $VM_RC -ne 0 || $ENGINE_RC -ne 0 || $INC_RC -ne 0 ]]; then
+  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC, fuzz: $FUZZ_RC, sampled smoke: $SAMPLED_RC, lint: $LINT_RC, vm engine: $VM_RC, engine gate: $ENGINE_RC, incremental: $INC_RC) ==="
   exit 1
 fi
 echo "=== all checks passed ==="

@@ -18,6 +18,22 @@ InterProcFrequencies::InterProcFrequencies(const StaticEstimator &SE,
   if (Entry)
     GlobalCount[Entry] = 1.0;
 
+  if (Opts.SeedUncalledDefinitions) {
+    for (const auto &FP : M.functions()) {
+      const Function *F = FP.get();
+      if (F->isDeclaration() || GlobalCount[F] > 0.0)
+        continue;
+      bool HasOutsideCaller = false;
+      for (const CallSiteInfo *S : CG.callersOf(F))
+        if (!CG.isIntraScc(S->Caller, F)) {
+          HasOutsideCaller = true;
+          break;
+        }
+      if (!HasOutsideCaller)
+        GlobalCount[F] = 1.0;
+    }
+  }
+
   // The local frequency of the block containing a call site is E_loc(c);
   // with N_loc = 1, E_g(c) = E_loc(c) * N_g(caller).
   auto LocalSiteFreq = [&](const CallSiteInfo *S) {

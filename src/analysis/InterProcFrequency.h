@@ -38,6 +38,13 @@ struct InterProcOptions {
   bool ApplyExponent = true;
   /// Name of the program entry function.
   std::string EntryFunction = "main";
+  /// When true, a defined function with no callers outside its own SCC
+  /// is seeded with N_g = 1, as if invoked once from outside the module.
+  /// The per-TU summary pipeline enables this: in a single translation
+  /// unit every externally visible function is a potential entry, and
+  /// without the seed a TU that does not contain main contributes no
+  /// field statistics at all.
+  bool SeedUncalledDefinitions = false;
 };
 
 /// Global (whole-program) function and block frequencies from static

@@ -152,7 +152,7 @@ public:
 
 private:
   void flag(RecordType *R, Violation V, const Instruction *I = nullptr,
-            std::string Detail = "") {
+            std::string Detail = "", std::string Symbol = "") {
     if (!R)
       return;
     TypeLegality &L = Result.getOrCreate(R);
@@ -168,6 +168,7 @@ private:
     if (I && I->getFunction())
       Site.Function = I->getFunction()->getName();
     Site.Detail = std::move(Detail);
+    Site.Symbol = std::move(Symbol);
     L.Sites.push_back(std::move(Site));
   }
   TypeAttributes *attrs(RecordType *R) {
@@ -409,12 +410,14 @@ private:
       L.Attrs.PassedToFunction = true;
       if (Callee->isLibFunction()) {
         flag(R, Violation::LIBC, &C,
-             "escapes to library function '" + Callee->getName() + "'");
+             "escapes to library function '" + Callee->getName() + "'",
+             Callee->getName());
       } else if (Callee->isDeclaration()) {
         // Post-link, a non-library declaration means the definition is
         // outside the compilation scope.
         flag(R, Violation::ESCP, &C,
-             "escapes to external function '" + Callee->getName() + "'");
+             "escapes to external function '" + Callee->getName() + "'",
+             Callee->getName());
       } else {
         L.EscapesTo.insert(Callee);
       }

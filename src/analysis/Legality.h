@@ -82,6 +82,10 @@ struct ViolationSite {
   std::string Function;
   /// Short description of the site ("bitcast 'p'", "field nesting", ...).
   std::string Detail;
+  /// The callee name for escape sites (LIBC/ESCP), "" otherwise. The
+  /// incremental IPA merge resolves per-TU ESCP sites against the
+  /// program-wide defined-function set through this field.
+  std::string Symbol;
 };
 
 /// One dynamic allocation site of a record type, with everything the

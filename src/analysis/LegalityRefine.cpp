@@ -12,6 +12,7 @@
 #include "support/Diagnostics.h"
 
 #include <algorithm>
+#include <vector>
 
 using namespace slo;
 
@@ -32,11 +33,18 @@ std::string inFunction(const Instruction *I) {
 }
 
 std::string viewsString(const MemObject &O) {
+  // Views is ordered by pointer; sort by name so the rendered fact is
+  // stable across runs (the incremental cache replays stored facts
+  // verbatim, so a fresh run must produce the same string).
+  std::vector<std::string> Names;
+  for (const RecordType *R : O.Views)
+    Names.push_back(R->getRecordName());
+  std::sort(Names.begin(), Names.end());
   std::string S;
-  for (const RecordType *R : O.Views) {
+  for (const std::string &N : Names) {
     if (!S.empty())
       S += ", ";
-    S += "'" + R->getRecordName() + "'";
+    S += "'" + N + "'";
   }
   return S.empty() ? "nothing" : S;
 }

@@ -78,6 +78,7 @@ FieldStatsResult slo::computeSchemeFieldStats(WeightScheme Scheme,
     InterProcOptions Opts;
     Opts.Exponent = Inputs.Exponent;
     Opts.ApplyExponent = true;
+    Opts.SeedUncalledDefinitions = Inputs.SeedUncalledDefinitions;
     InterProcFrequencies IPF(SE, CG, Opts);
     InterProcWeightSource WS(IPF);
     return computeFieldStats(M, WS);
@@ -87,6 +88,7 @@ FieldStatsResult slo::computeSchemeFieldStats(WeightScheme Scheme,
     CallGraph CG(M);
     InterProcOptions Opts;
     Opts.ApplyExponent = false;
+    Opts.SeedUncalledDefinitions = Inputs.SeedUncalledDefinitions;
     InterProcFrequencies IPF(SE, CG, Opts);
     InterProcWeightSource WS(IPF);
     return computeFieldStats(M, WS);
@@ -97,6 +99,7 @@ FieldStatsResult slo::computeSchemeFieldStats(WeightScheme Scheme,
     CallGraph CG(M);
     InterProcOptions Opts;
     Opts.ApplyExponent = false;
+    Opts.SeedUncalledDefinitions = Inputs.SeedUncalledDefinitions;
     InterProcFrequencies IPF(SE, CG, Opts);
     InterProcWeightSource WS(IPF);
     return computeFieldStats(M, WS);

@@ -62,6 +62,9 @@ struct SchemeInputs {
   const FeedbackFile *UninstrumentedProfile = nullptr;
   /// ISPBO exponent E.
   double Exponent = 1.5;
+  /// Forwarded to InterProcOptions::SeedUncalledDefinitions for the
+  /// ISPBO variants (per-TU summary mode).
+  bool SeedUncalledDefinitions = false;
 };
 
 /// Weight source backed by a feedback file (PBO / PPBO).

@@ -44,6 +44,8 @@ const char *slo::fuzzOracleName(FuzzOracle O) {
     return "lint";
   case FuzzOracle::EngineParity:
     return "engine-parity";
+  case FuzzOracle::IncrementalParity:
+    return "incremental-parity";
   }
   return "?";
 }

@@ -79,6 +79,7 @@ enum class FuzzOracle {
   Profile,      // sampled profile failed the feedback-format round-trip
   Lint,         // static lint verdict contradicts observed behaviour
   EngineParity, // tree walker and bytecode VM disagreed on a module
+  IncrementalParity, // warm (cached) advice diverged from a cold run
 };
 
 const char *fuzzOracleName(FuzzOracle O);

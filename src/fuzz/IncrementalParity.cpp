@@ -1,0 +1,138 @@
+//===- fuzz/IncrementalParity.cpp - Warm-vs-cold advice oracle ------------===//
+
+#include "fuzz/IncrementalParity.h"
+
+#include "fuzz/ProgramFuzzer.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+using namespace slo;
+
+namespace {
+
+/// First differing line of two renderings, for failure details.
+std::string firstDiff(const std::string &A, const std::string &B) {
+  size_t PosA = 0, PosB = 0;
+  unsigned Line = 1;
+  while (PosA < A.size() || PosB < B.size()) {
+    size_t EndA = A.find('\n', PosA);
+    size_t EndB = B.find('\n', PosB);
+    std::string LA = A.substr(PosA, EndA == std::string::npos ? std::string::npos
+                                                              : EndA - PosA);
+    std::string LB = B.substr(PosB, EndB == std::string::npos ? std::string::npos
+                                                              : EndB - PosB);
+    if (LA != LB)
+      return formatString("line %u: warm '%s' vs cold '%s'", Line, LA.c_str(),
+                          LB.c_str());
+    if (EndA == std::string::npos || EndB == std::string::npos)
+      break;
+    PosA = EndA + 1;
+    PosB = EndB + 1;
+    ++Line;
+  }
+  return "lengths differ";
+}
+
+IncrementalParityOutcome fail(IncrementalParityOutcome O, FuzzOracle Oracle,
+                              std::string Detail) {
+  O.Passed = false;
+  O.Oracle = Oracle;
+  O.Detail = std::move(Detail);
+  return O;
+}
+
+} // namespace
+
+IncrementalParityOutcome
+slo::runIncrementalParity(const IncrementalParityConfig &Cfg) {
+  IncrementalParityOutcome O;
+  Rng R(Cfg.Seed ^ 0x1c9a117ULL);
+
+  unsigned Units =
+      Cfg.MinTus +
+      static_cast<unsigned>(R.nextBelow(Cfg.MaxTus - Cfg.MinTus + 1));
+  std::vector<FuzzTu> Corpus = generateFuzzCorpus(Cfg.Seed, Units);
+
+  auto Render = [&Corpus]() {
+    std::vector<TuSource> TUs;
+    for (const FuzzTu &Tu : Corpus)
+      TUs.push_back({Tu.FileName, Tu.Program.render()});
+    return TUs;
+  };
+  std::vector<TuSource> TUs = Render();
+  O.Corpus = TUs;
+
+  IncrementalOptions Cached;
+  Cached.CacheDir = Cfg.CacheDir;
+  Cached.Threads = Cfg.Threads;
+  IncrementalOptions Uncached;
+  Uncached.Threads = Cfg.Threads;
+
+  // Cold, populating the cache.
+  IncrementalResult Cold = runIncrementalAdvice(TUs, Cached);
+  if (!Cold.Ok)
+    return fail(std::move(O), FuzzOracle::Compile,
+                Cold.Errors.empty() ? "cold run failed" : Cold.Errors.front());
+
+  // Cold determinism: a run with no cache at all must render the same.
+  IncrementalResult Ref = runIncrementalAdvice(TUs, Uncached);
+  if (Cold.AdviceText != Ref.AdviceText || Cold.AdviceJson != Ref.AdviceJson)
+    return fail(std::move(O), FuzzOracle::IncrementalParity,
+                "cold advice is nondeterministic: " +
+                    firstDiff(Cold.AdviceText, Ref.AdviceText));
+
+  // Mutate one random unit TU. The driver TU is exempt: unit mutations
+  // append a struct field, which moves the advice by construction, so
+  // the stale-summary injection below can never pass by accident.
+  O.MutatedTu = static_cast<int>(R.nextBelow(Units));
+  O.MutationDetail = mutateFuzzTu(Corpus[O.MutatedTu].Program, R.next());
+  TUs = Render();
+  O.Corpus = TUs;
+
+  IncrementalOptions Warm = Cached;
+  Warm.InjectStaleSummary = Cfg.InjectStaleSummary;
+  IncrementalResult WarmRun = runIncrementalAdvice(TUs, Warm);
+  IncrementalResult ColdRun = runIncrementalAdvice(TUs, Uncached);
+  if (!WarmRun.Ok || !ColdRun.Ok)
+    return fail(std::move(O), FuzzOracle::Compile,
+                "post-mutation run failed: " +
+                    (WarmRun.Errors.empty()
+                         ? (ColdRun.Errors.empty() ? std::string("?")
+                                                   : ColdRun.Errors.front())
+                         : WarmRun.Errors.front()));
+  O.TusReused = WarmRun.TusReused;
+  O.TusRecomputed = WarmRun.TusRecomputed;
+
+  // Vacuity guard: with the cache honest, exactly the mutated TU is
+  // recomputed (corpus record names are TU-unique, so no schema
+  // invalidation fans out). If everything recomputed, the parity below
+  // would hold trivially and prove nothing.
+  if (!Cfg.InjectStaleSummary &&
+      (WarmRun.TusRecomputed != 1 ||
+       WarmRun.TusReused != static_cast<unsigned>(TUs.size()) - 1))
+    return fail(std::move(O), FuzzOracle::IncrementalParity,
+                formatString("warm run reused %u / recomputed %u of %zu TUs "
+                             "(expected %zu / 1)",
+                             WarmRun.TusReused, WarmRun.TusRecomputed,
+                             TUs.size(), TUs.size() - 1));
+
+  // The census invariant must hold on merged facts too.
+  for (const MergedTypeAdvice &T : WarmRun.Merged.Types)
+    if ((T.Legal && !T.Proven) || (T.Proven && !T.Relax))
+      return fail(std::move(O), FuzzOracle::Legality,
+                  "merged census violates Legal <= Proven <= Relax for '" +
+                      T.Name + "'");
+
+  // The oracle proper: warm output is bit-identical to cold.
+  if (WarmRun.AdviceText != ColdRun.AdviceText)
+    return fail(std::move(O), FuzzOracle::IncrementalParity,
+                "advice text diverged: " +
+                    firstDiff(WarmRun.AdviceText, ColdRun.AdviceText));
+  if (WarmRun.AdviceJson != ColdRun.AdviceJson)
+    return fail(std::move(O), FuzzOracle::IncrementalParity,
+                "advice JSON diverged: " +
+                    firstDiff(WarmRun.AdviceJson, ColdRun.AdviceJson));
+
+  O.Passed = true;
+  return O;
+}

@@ -1,0 +1,75 @@
+//===- fuzz/IncrementalParity.h - Warm-vs-cold advice oracle ---*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seventh differential oracle: the incremental pipeline's cache
+/// equivalence. One run
+///
+///   1. generates a multi-TU corpus (unit TUs + a driver TU whose
+///      extern calls exercise the IPA merge's LIBC/ESCP resolution),
+///   2. runs the incremental pipeline cold against a scratch summary
+///      cache, and once more with no cache at all (cold determinism),
+///   3. mutates one random unit TU (a schema-moving field append),
+///   4. re-runs warm against the populated cache and cold without one,
+///
+/// and requires the warm and cold advice renderings — text and JSON,
+/// which carry the census columns, plans, diagnostics and exact hotness
+/// bit patterns — to be byte-identical, the warm run to have actually
+/// reused every unmutated TU (the oracle must not pass vacuously by
+/// recomputing everything), and Legal <= Proven <= Relax to hold for
+/// every merged type.
+///
+/// InjectStaleSummary serves the mutated TU's stale cache entry without
+/// re-validation; the oracle MUST then fail (the non-vacuity check
+/// behind slo_fuzz --inject-stale-summary).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_FUZZ_INCREMENTALPARITY_H
+#define SLO_FUZZ_INCREMENTALPARITY_H
+
+#include "fuzz/DifferentialHarness.h"
+#include "pipeline/Incremental.h"
+
+#include <string>
+#include <vector>
+
+namespace slo {
+
+struct IncrementalParityConfig {
+  uint64_t Seed = 1;
+  /// Unit-TU count range, inclusive; one driver TU is always appended.
+  unsigned MinTus = 2;
+  unsigned MaxTus = 5;
+  /// Scratch directory for the summary cache. Required; the run writes
+  /// and reads real cache files so the on-disk format is exercised.
+  std::string CacheDir;
+  /// FE fan-out width for each pipeline run.
+  unsigned Threads = 2;
+  /// Fault injection: serve the stale (pre-mutation) summary on the
+  /// warm leg. The parity oracle must catch the drift.
+  bool InjectStaleSummary = false;
+};
+
+struct IncrementalParityOutcome {
+  bool Passed = false;
+  FuzzOracle Oracle = FuzzOracle::None;
+  std::string Detail;
+  /// The corpus as run (post-mutation), for repro writing.
+  std::vector<TuSource> Corpus;
+  int MutatedTu = -1;
+  std::string MutationDetail;
+  unsigned TusReused = 0;
+  unsigned TusRecomputed = 0;
+};
+
+IncrementalParityOutcome
+runIncrementalParity(const IncrementalParityConfig &Cfg);
+
+} // namespace slo
+
+#endif // SLO_FUZZ_INCREMENTALPARITY_H

@@ -30,6 +30,10 @@ std::string FuzzConfig::describe() const {
     << " chase=" << ChaseChance << " fncall=" << FnPtrCallChance
     << " nestdepth=" << MaxLoopNest << " elems=[" << MinElements << ","
     << MaxElements << "] iters=" << MaxIterations;
+  if (!SymbolPrefix.empty())
+    S << " prefix=" << SymbolPrefix;
+  if (!EntryName.empty())
+    S << " entry=" << EntryName;
   return S.str();
 }
 
@@ -54,7 +58,10 @@ std::string FuzzProgram::render() const {
       Out << "  " << Stmt << "\n";
     Out << "}\n";
   }
-  Out << "int main() {\n";
+  if (EntryName.empty())
+    Out << "int main() {\n";
+  else
+    Out << "long " << EntryName << "() {\n";
   for (const std::string &Stmt : MainBody)
     Out << "  " << Stmt << "\n";
   Out << "  return 0;\n";
@@ -104,6 +111,7 @@ public:
   FuzzProgram build() {
     FuzzProgram P;
     P.Name = Cfg.Name;
+    P.EntryName = Cfg.EntryName;
     P.Banner.push_back(Cfg.describe());
 
     unsigned Units =
@@ -118,7 +126,7 @@ public:
       NeedPeek |= U.AddrArg;
     if (NeedPeek) {
       FuzzFunction Peek;
-      Peek.Decl = "long fz_peek(long *p)";
+      Peek.Decl = formatString("long %s(long *p)", sym("peek").c_str());
       Peek.Body.push_back("return *p;");
       P.Functions.push_back(std::move(Peek));
     }
@@ -128,7 +136,8 @@ public:
 
     for (const UnitPlan &U : Plans)
       P.MainBody.push_back(
-          formatString("print_i64(fz_use_%u());", U.Index));
+          formatString("print_i64(%s());",
+                       sym(formatString("use_%u", U.Index)).c_str()));
     return P;
   }
 
@@ -138,6 +147,13 @@ private:
 
   std::string structName(unsigned I) const {
     return formatString("fz_%s_s%u", Cfg.Name.c_str(), I);
+  }
+
+  /// Function/global symbols honour the corpus namespace: "use_0"
+  /// renders as fz_use_0 stand-alone and fz_<prefix>_use_0 in a corpus.
+  std::string sym(const std::string &Base) const {
+    return Cfg.SymbolPrefix.empty() ? "fz_" + Base
+                                    : "fz_" + Cfg.SymbolPrefix + "_" + Base;
   }
 
   UnitPlan planUnit(unsigned I) {
@@ -248,23 +264,27 @@ private:
     P.Structs.push_back(std::move(S));
 
     if (U.GlobalInst)
-      P.Globals.push_back(formatString("%s fz_g%u;", ST.c_str(), U.Index));
+      P.Globals.push_back(
+          formatString("%s %s;", ST.c_str(), sym(formatString("g%u", U.Index)).c_str()));
 
     if (U.UseWrapper) {
       FuzzFunction W;
-      W.Decl = formatString("void *fz_alloc_%u(long n)", U.Index);
+      W.Decl = formatString("void *%s(long n)",
+                           sym(formatString("alloc_%u", U.Index)).c_str());
       W.Body.push_back("return malloc(n);");
       P.Functions.push_back(std::move(W));
     }
     if (U.FnPtrField >= 0) {
       FuzzFunction FN;
-      FN.Decl = formatString("long fz_fn_%u(long x)", U.Index);
+      FN.Decl = formatString("long %s(long x)",
+                           sym(formatString("fn_%u", U.Index)).c_str());
       FN.Body.push_back(formatString("return x * 3 + %u;", U.Index));
       P.Functions.push_back(std::move(FN));
     }
 
     FuzzFunction Use;
-    Use.Decl = formatString("long fz_use_%u()", U.Index);
+    Use.Decl = formatString("long %s()",
+                             sym(formatString("use_%u", U.Index)).c_str());
     std::vector<std::string> &B = Use.Body;
     B.push_back("long s = 0;");
 
@@ -274,9 +294,10 @@ private:
                                ST.c_str(), ST.c_str(), U.Elements,
                                ST.c_str()));
     else if (U.UseWrapper)
-      B.push_back(formatString("%s *a = (%s*) fz_alloc_%u(%u * sizeof(%s));",
-                               ST.c_str(), ST.c_str(), U.Index, U.Elements,
-                               ST.c_str()));
+      B.push_back(formatString(
+          "%s *a = (%s*) %s(%u * sizeof(%s));", ST.c_str(), ST.c_str(),
+          sym(formatString("alloc_%u", U.Index)).c_str(), U.Elements,
+          ST.c_str()));
     else
       B.push_back(formatString("%s *a = (%s*) malloc(%u * sizeof(%s));",
                                ST.c_str(), ST.c_str(), U.Elements,
@@ -315,7 +336,8 @@ private:
           L << "    a[i].f" << F << ".f1 = i * 2 + " << F << ";\n";
           break;
         case FieldKind::FnPtr:
-          L << "    a[i].f" << F << " = fz_fn_" << U.Index << ";\n";
+          L << "    a[i].f" << F << " = "
+            << sym(formatString("fn_%u", U.Index)) << ";\n";
           break;
         case FieldKind::SelfPtr:
           break; // chase links are built below; other self-pointers stay
@@ -376,7 +398,7 @@ private:
     if (U.AddrTaken)
       B.push_back("long *q = &a[1].f0;\n  *q = *q + 5;\n  s += *q;");
     if (U.AddrArg)
-      B.push_back("s += fz_peek(&a[1].f1);");
+      B.push_back(formatString("s += %s(&a[1].f1);", sym("peek").c_str()));
 
     if (U.UseMemcpy) {
       std::ostringstream L;
@@ -436,9 +458,11 @@ private:
     }
 
     if (U.GlobalInst)
-      B.push_back(formatString(
-          "fz_g%u.f0 = 21 + %u;\n  s += fz_g%u.f0;", U.Index, U.Index,
-          U.Index));
+    {
+      const std::string G = sym(formatString("g%u", U.Index));
+      B.push_back(formatString("%s.f0 = 21 + %u;\n  s += %s.f0;", G.c_str(),
+                               U.Index, G.c_str()));
+    }
     if (U.LocalInst)
       B.push_back(formatString(
           "%s loc;\n  loc.f0 = 9;\n  loc.f1 = 4 + %u;\n  s += loc.f0 * "
@@ -542,4 +566,65 @@ void slo::injectHazard(FuzzProgram &P, HazardKind K) {
       B.push_back("free(hz);");
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-TU corpus generation and mutation
+//===----------------------------------------------------------------------===//
+
+std::vector<FuzzTu> slo::generateFuzzCorpus(uint64_t Seed, unsigned Units) {
+  // A distinct stream from both the config sampler and the program dice.
+  Rng R(Seed ^ 0x75eed5eed5eed5ULL);
+  std::vector<FuzzTu> Corpus;
+  for (unsigned I = 0; I < Units; ++I) {
+    FuzzConfig C = randomFuzzConfig(R.split().next());
+    C.Name = formatString("u%u", I);
+    C.SymbolPrefix = C.Name;
+    C.EntryName = formatString("fz_u%u_main", I);
+    FuzzTu Tu;
+    Tu.FileName = C.Name + ".minic";
+    Tu.Program = generateFuzzProgram(C);
+    Corpus.push_back(std::move(Tu));
+  }
+
+  // The closing TU: main extern-declares every unit entry and calls it.
+  // The extern declarations flag each call site LIBC in main's summary;
+  // the IPA merge must clear the bit because every entry is defined by
+  // some TU of the corpus — exactly the linker's IsLib resolution.
+  FuzzTu Main;
+  Main.FileName = "main.minic";
+  Main.Program.Name = "main";
+  Main.Program.Banner.push_back(
+      formatString("corpus seed=%llu units=%u (driver TU)",
+                   static_cast<unsigned long long>(Seed), Units));
+  Main.Program.MainBody.push_back("long s = 0;");
+  for (unsigned I = 0; I < Units; ++I) {
+    Main.Program.Globals.push_back(
+        formatString("extern long fz_u%u_main();", I));
+    Main.Program.MainBody.push_back(formatString("s += fz_u%u_main();", I));
+  }
+  Main.Program.MainBody.push_back("print_i64(s);");
+  Corpus.push_back(std::move(Main));
+  return Corpus;
+}
+
+std::string slo::mutateFuzzTu(FuzzProgram &P, uint64_t Seed) {
+  Rng R(Seed ^ 0x37a7e37a7e3ULL);
+  if (!P.Structs.empty()) {
+    // Appending a plain long field is always valid MiniC and always
+    // moves the advice: the merged census row's field count and size
+    // come from this (authoritative) definition.
+    FuzzStruct &S = P.Structs[R.nextBelow(P.Structs.size())];
+    std::string Field =
+        formatString("long zzm%u;", static_cast<unsigned>(S.Fields.size()));
+    S.Fields.push_back(Field);
+    P.Banner.push_back("mutation: appended '" + Field + "' to struct " +
+                       S.Name);
+    return "appended field '" + Field + "' to struct " + S.Name;
+  }
+  // Structless TU (the corpus driver): append a statement.
+  unsigned K = static_cast<unsigned>(R.nextBelow(1000));
+  P.MainBody.push_back(formatString("print_i64(%u);", 100000 + K));
+  P.Banner.push_back("mutation: appended print statement");
+  return formatString("appended print_i64(%u) to main body", 100000 + K);
 }

@@ -42,6 +42,15 @@ struct FuzzConfig {
   uint64_t Seed = 1;
   std::string Name = "fuzz";
 
+  /// Multi-TU corpus mode. A nonempty SymbolPrefix namespaces every
+  /// generated function and global symbol (fz_use_0 becomes
+  /// fz_<prefix>_use_0, ...) so several generated units can coexist in
+  /// one program; a nonempty EntryName renders the unit driver as
+  /// `long <EntryName>()` instead of `int main()`. Both default to the
+  /// legacy single-program behaviour.
+  std::string SymbolPrefix;
+  std::string EntryName;
+
   /// Unit (struct) count range, inclusive.
   unsigned MinStructs = 1;
   unsigned MaxStructs = 4;
@@ -123,6 +132,9 @@ struct FuzzProgram {
   std::vector<std::string> Globals;
   std::vector<FuzzFunction> Functions;
   std::vector<std::string> MainBody;
+  /// When nonempty the driver renders as `long <EntryName>()` rather
+  /// than `int main()` (multi-TU corpus units).
+  std::string EntryName;
 
   /// Renders the program as MiniC source text.
   std::string render() const;
@@ -157,6 +169,27 @@ void injectHazard(FuzzProgram &P, HazardKind K);
 /// different regions of the feature space, not just different dice rolls
 /// of one region.
 FuzzConfig randomFuzzConfig(uint64_t Seed);
+
+/// One translation unit of a generated corpus, in reducible form.
+struct FuzzTu {
+  std::string FileName; ///< "u0.minic", ..., "main.minic"
+  FuzzProgram Program;
+};
+
+/// Generates a multi-TU corpus for the incremental pipeline: \p Units
+/// self-contained unit TUs (namespaced symbols, `long fz_uK_main()`
+/// entries, no `main`) plus one closing main TU that extern-declares
+/// and calls every unit entry — the extern references exercise the IPA
+/// merge's cross-TU LIBC/ESCP resolution. Same seed => identical
+/// corpus, on every platform.
+std::vector<FuzzTu> generateFuzzCorpus(uint64_t Seed, unsigned Units);
+
+/// Deterministically mutates one generated TU: appends a fresh field to
+/// a random struct when the unit has structs (a schema + advice change
+/// by construction — the census row's field count and size move), or
+/// appends a statement otherwise. Returns a one-line description of the
+/// mutation for failure reports.
+std::string mutateFuzzTu(FuzzProgram &P, uint64_t Seed);
 
 } // namespace slo
 

@@ -1,0 +1,655 @@
+//===- pipeline/Incremental.cpp - Incremental FE->IPA->BE advice ----------===//
+
+#include "pipeline/Incremental.h"
+
+#include "frontend/Frontend.h"
+#include "ir/Module.h"
+#include "observability/CounterRegistry.h"
+#include "observability/Tracer.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+using namespace slo;
+
+const char *slo::tuStateName(TuState S) {
+  switch (S) {
+  case TuState::Recomputed:
+    return "recomputed";
+  case TuState::Reused:
+    return "reused";
+  case TuState::SchemaInvalidated:
+    return "schema-invalidated";
+  }
+  return "?";
+}
+
+uint64_t slo::sourceHashForTu(const std::string &Source,
+                              uint64_t OptionsKey) {
+  return fnv1a(Source, OptionsKey ^ 0x516c6f2d73756d6dull);
+}
+
+//===----------------------------------------------------------------------===//
+// IPA merge
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint32_t RelaxableMask = (1u << 0) | (1u << 1) | (1u << 2);
+
+/// Per-type accumulator over TUs.
+struct TypeAcc {
+  uint32_t Violations = 0;
+  uint32_t AttrBits = 0;
+  uint64_t PtrValueStores = 0;
+  std::vector<std::string> EscpSymbols; // ESCP site targets.
+  std::vector<std::string> LibcSymbols; // LIBC site targets.
+  unsigned RefTus = 0;
+  bool AllProven = true;
+  bool AllProvenSafe = true;
+  bool Pinned = false;
+  std::string PinReason;
+  bool SinglePeelable = false;
+  std::set<unsigned> ForceLive;
+  bool HaveStats = false;
+  bool StatsConflict = false;
+  std::vector<double> Reads, Writes, Hotness;
+  std::map<std::pair<unsigned, unsigned>, double> Affinity;
+};
+
+} // namespace
+
+MergedProgram
+slo::mergeModuleSummaries(const std::vector<ModuleSummary> &Summaries,
+                          const PlannerOptions &PlannerOpts) {
+  MergedProgram MP;
+
+  // Program-wide defined-function set (the ESCP resolution universe).
+  std::set<std::string> FnSet;
+  std::vector<std::string> DupFns;
+  for (const ModuleSummary &S : Summaries)
+    for (const std::string &F : S.DefinedFunctions)
+      if (!FnSet.insert(F).second)
+        DupFns.push_back(F);
+  MP.DefinedFunctions.assign(FnSet.begin(), FnSet.end());
+
+  // Authoritative record schemas: first complete definition wins;
+  // disagreeing later definitions are conflicts (the linker would
+  // reject this program).
+  struct AuthSchema {
+    const RecordSchemaSummary *RS = nullptr;
+    const std::string *Tu = nullptr;
+  };
+  std::map<std::string, AuthSchema> Auth;
+  std::map<std::string, std::pair<std::string, std::string>> Conflicts;
+  for (const ModuleSummary &S : Summaries)
+    for (const RecordSchemaSummary &RS : S.Schemas) {
+      if (!RS.Complete)
+        continue;
+      auto It = Auth.find(RS.Name);
+      if (It == Auth.end()) {
+        Auth[RS.Name] = {&RS, &S.ModuleName};
+      } else if (It->second.RS->LocalFingerprint != RS.LocalFingerprint &&
+                 !Conflicts.count(RS.Name)) {
+        Conflicts[RS.Name] = {*It->second.Tu, S.ModuleName};
+      }
+    }
+
+  // Accumulate per-type facts. std::map keys the output by name, which
+  // is the deterministic advice order.
+  std::map<std::string, TypeAcc> Types;
+  for (const ModuleSummary &S : Summaries)
+    for (const TypeSummary &T : S.Types) {
+      TypeAcc &A = Types[T.TypeName];
+      A.Violations |= T.Violations;
+      A.AttrBits |= T.AttrBits;
+      A.PtrValueStores += T.PtrValueStores;
+      for (const SiteSummary &Site : T.Sites) {
+        if (Site.Kind == violationBit(Violation::ESCP))
+          A.EscpSymbols.push_back(Site.Symbol);
+        else if (Site.Kind == violationBit(Violation::LIBC))
+          A.LibcSymbols.push_back(Site.Symbol);
+      }
+      if (T.Referenced) {
+        ++A.RefTus;
+        A.AllProven = A.AllProven && T.ProvenLegal;
+        A.AllProvenSafe =
+            A.AllProvenSafe && T.ProvenLegal && T.TransformSafe;
+        // Peeling owns the type's single global pointer wholesale, so it
+        // only survives the merge when exactly one TU references the
+        // type and that TU proved it peelable.
+        A.SinglePeelable = A.RefTus == 1 && T.Peelable;
+      }
+      if (T.Pinned && !A.Pinned) {
+        A.Pinned = true;
+        A.PinReason = T.PinReason;
+      }
+      A.ForceLive.insert(T.ForceLiveFields.begin(), T.ForceLiveFields.end());
+      if (T.HaveStats) {
+        if (!A.HaveStats) {
+          A.HaveStats = true;
+          A.Reads = T.Reads;
+          A.Writes = T.Writes;
+          A.Hotness = T.Hotness;
+        } else if (A.Reads.size() == T.Reads.size() &&
+                   A.Hotness.size() == T.Hotness.size()) {
+          for (size_t I = 0; I < T.Reads.size(); ++I) {
+            A.Reads[I] += T.Reads[I];
+            A.Writes[I] += T.Writes[I];
+            A.Hotness[I] += T.Hotness[I];
+          }
+        } else {
+          A.StatsConflict = true;
+        }
+        for (const auto &E : T.Affinity)
+          A.Affinity[E.first] += E.second;
+      }
+    }
+
+  // Finalize rows.
+  for (auto &Entry : Types) {
+    const std::string &Name = Entry.first;
+    TypeAcc &A = Entry.second;
+    MergedTypeAdvice M;
+    M.Name = Name;
+    auto AuthIt = Auth.find(Name);
+    if (AuthIt != Auth.end()) {
+      const RecordSchemaSummary &RS = *AuthIt->second.RS;
+      M.NumFields = static_cast<unsigned>(RS.Fields.size());
+      M.Size = RS.Size;
+      for (const auto &FI : RS.Fields)
+        M.FieldNames.push_back(FI.Name);
+    }
+
+    // Escape resolution: the per-TU FE flags every escape to a
+    // declaration — LIBC for 'extern' prototypes (MiniC's library
+    // marker), ESCP for plain forward declarations. The IPA merge
+    // forgives exactly the sites whose target is defined by some TU of
+    // this program: the linker would resolve those calls (ANDing away
+    // lib-ness), so the monolithic pipeline never records them.
+    uint32_t Viol = A.Violations;
+    auto ResolveKind = [&](Violation V, const std::vector<std::string> &Syms) {
+      if (!(Viol & violationBit(V)))
+        return;
+      for (const std::string &Sym : Syms)
+        if (Sym.empty() || !FnSet.count(Sym))
+          return; // At least one target stays external: bit stands.
+      Viol &= ~violationBit(V);
+    };
+    ResolveKind(Violation::ESCP, A.EscpSymbols);
+    ResolveKind(Violation::LIBC, A.LibcSymbols);
+    M.Violations = Viol;
+    M.AttrBits = A.AttrBits;
+    M.PtrValueStores = A.PtrValueStores;
+    M.ReferencingTus = A.RefTus;
+    M.Pinned = A.Pinned;
+    M.PinReason = A.PinReason;
+
+    M.Legal = Viol == 0;
+    // Lint pinnings demote proofs, never blanket legality (mirrors
+    // refineLegality).
+    bool Demoted = A.Pinned && !M.Legal;
+    M.Proven = M.Legal || (A.RefTus > 0 && A.AllProven && !Demoted);
+    M.Relax = (Viol & ~RelaxableMask) == 0;
+
+    bool StatsUsable = A.HaveStats && !A.StatsConflict &&
+                       A.Hotness.size() == M.NumFields && M.NumFields > 0;
+    M.HaveStats = StatsUsable;
+    if (StatsUsable) {
+      M.Reads = A.Reads;
+      M.Writes = A.Writes;
+      M.Hotness = A.Hotness;
+      M.Affinity = A.Affinity;
+    }
+
+    PlannerTypeInput In;
+    In.NumFields = M.NumFields;
+    In.StrictLegal = M.Legal;
+    In.Proven = A.RefTus > 0 && A.AllProvenSafe && !Demoted;
+    In.Violations = Viol;
+    TypeAttributes Attrs = unpackTypeAttributes(
+        A.AttrBits, static_cast<unsigned>(A.PtrValueStores));
+    In.DynamicallyAllocated = Attrs.DynamicallyAllocated;
+    In.Reallocated = Attrs.Reallocated;
+    In.HasAggregateInstance =
+        Attrs.HasGlobalVar || Attrs.HasLocalVar || Attrs.HasStaticArray;
+    In.HaveStats = StatsUsable;
+    if (StatsUsable) {
+      In.Reads = M.Reads;
+      In.Writes = M.Writes;
+      In.Hotness = M.Hotness;
+    }
+    In.ForceLive = A.ForceLive.empty() ? nullptr : &A.ForceLive;
+    In.Peelable = A.SinglePeelable;
+    M.Plan = decideTypePlan(In, PlannerOpts);
+
+    MP.Types.push_back(std::move(M));
+  }
+
+  // Cross-TU consistency diagnostics, deterministic order.
+  for (const auto &C : Conflicts) {
+    Diagnostic &D = MP.MergeDiags.emplace_back();
+    D.Severity = DiagSeverity::Error;
+    D.Code = "merge";
+    D.RecordName = C.first;
+    D.Message = "conflicting redefinition of 'struct " + C.first + "' (" +
+                C.second.first + " vs " + C.second.second + ")";
+  }
+  std::sort(DupFns.begin(), DupFns.end());
+  DupFns.erase(std::unique(DupFns.begin(), DupFns.end()), DupFns.end());
+  for (const std::string &F : DupFns) {
+    Diagnostic &D = MP.MergeDiags.emplace_back();
+    D.Severity = DiagSeverity::Error;
+    D.Code = "merge";
+    D.Function = F;
+    D.Message = "duplicate definition of function '" + F + "'";
+  }
+  for (const MergedTypeAdvice &M : MP.Types)
+    if (Types[M.Name].StatsConflict) {
+      Diagnostic &D = MP.MergeDiags.emplace_back();
+      D.Severity = DiagSeverity::Error;
+      D.Code = "merge";
+      D.RecordName = M.Name;
+      D.Message = "mismatched field statistics for 'struct " + M.Name +
+                  "' across TUs (schema conflict); statistics dropped";
+    }
+
+  return MP;
+}
+
+//===----------------------------------------------------------------------===//
+// Advice rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string fieldList(const MergedTypeAdvice &M,
+                      const std::vector<unsigned> &Idx) {
+  if (Idx.empty())
+    return "-";
+  std::string Out;
+  for (unsigned I : Idx) {
+    if (!Out.empty())
+      Out += ",";
+    Out += I < M.FieldNames.size() ? M.FieldNames[I]
+                                   : "#" + std::to_string(I);
+  }
+  return Out;
+}
+
+std::string pct(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof Buf, "%.1f", V);
+  return Buf;
+}
+
+std::string jsonFieldArray(const MergedTypeAdvice &M,
+                           const std::vector<unsigned> &Idx) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Idx.size(); ++I) {
+    if (I)
+      Out += ",";
+    unsigned F = Idx[I];
+    Out += "\"" +
+           escapeJson(F < M.FieldNames.size() ? M.FieldNames[F]
+                                              : "#" + std::to_string(F)) +
+           "\"";
+  }
+  return Out + "]";
+}
+
+std::string hotnessBits(const std::vector<double> &H) {
+  std::string Out = "[";
+  for (size_t I = 0; I < H.size(); ++I) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &H[I], sizeof Bits);
+    char Buf[24];
+    std::snprintf(Buf, sizeof Buf, "\"%016llx\"",
+                  static_cast<unsigned long long>(Bits));
+    if (I)
+      Out += ",";
+    Out += Buf;
+  }
+  return Out + "]";
+}
+
+struct Census {
+  unsigned Legal = 0, Proven = 0, Relax = 0, Total = 0;
+};
+
+Census censusOf(const MergedProgram &MP) {
+  Census C;
+  for (const MergedTypeAdvice &M : MP.Types) {
+    ++C.Total;
+    C.Legal += M.Legal;
+    C.Proven += M.Proven;
+    C.Relax += M.Relax;
+  }
+  return C;
+}
+
+std::vector<double> relativeHotnessVec(const std::vector<double> &H) {
+  double Max = 0.0;
+  for (double V : H)
+    Max = std::max(Max, V);
+  std::vector<double> Out(H.size(), 0.0);
+  if (Max <= 0.0)
+    return Out;
+  for (size_t I = 0; I < H.size(); ++I)
+    Out[I] = 100.0 * H[I] / Max;
+  return Out;
+}
+
+} // namespace
+
+std::string slo::renderAdviceText(const MergedProgram &MP,
+                                  const std::vector<ModuleSummary> &Summaries,
+                                  WeightScheme Scheme) {
+  std::string O;
+  O += "== syzygy-slo incremental advice ==\n";
+  O += "scheme " + std::string(weightSchemeName(Scheme)) + "\n";
+  O += "tus " + std::to_string(Summaries.size()) + "\n";
+  O += "functions " + std::to_string(MP.DefinedFunctions.size()) + "\n";
+  Census C = censusOf(MP);
+  O += "-- census --\n";
+  O += "legal " + std::to_string(C.Legal) + " proven " +
+       std::to_string(C.Proven) + " relax " + std::to_string(C.Relax) +
+       " total " + std::to_string(C.Total) + "\n";
+  O += "-- types --\n";
+  for (const MergedTypeAdvice &M : MP.Types) {
+    TypeAttributes Attrs = unpackTypeAttributes(
+        M.AttrBits, static_cast<unsigned>(M.PtrValueStores));
+    std::string AttrStr = Attrs.toString();
+    O += "type " + M.Name + " fields=" + std::to_string(M.NumFields) +
+         " size=" + std::to_string(M.Size) + " refs=" +
+         std::to_string(M.ReferencingTus) + " legal=" +
+         (M.Legal ? "1" : "0") + " proven=" + (M.Proven ? "1" : "0") +
+         " relax=" + (M.Relax ? "1" : "0") + " viol=" +
+         (M.Violations ? violationMaskToString(M.Violations) : "-") +
+         " attrs=" + (AttrStr.empty() ? "-" : AttrStr) + "\n";
+    if (M.Pinned)
+      O += "  pinned " + M.PinReason + "\n";
+    O += "  plan " + std::string(transformKindName(M.Plan.Kind)) +
+         " reason=" + M.Plan.Reason + "\n";
+    if (M.Plan.Kind == TransformKind::Split) {
+      O += "  hot " + fieldList(M, M.Plan.HotFields) + " cold " +
+           fieldList(M, M.Plan.ColdFields) + " dead " +
+           fieldList(M, M.Plan.DeadFields) + " unused " +
+           fieldList(M, M.Plan.UnusedFields) + "\n";
+    } else if (M.Plan.Kind == TransformKind::Peel) {
+      O += "  peel";
+      for (const auto &G : M.Plan.PeelGroups)
+        O += " [" + fieldList(M, G) + "]";
+      O += " dead " + fieldList(M, M.Plan.DeadFields) + " unused " +
+           fieldList(M, M.Plan.UnusedFields) + "\n";
+    }
+    if (M.HaveStats) {
+      std::vector<double> Rel = relativeHotnessVec(M.Hotness);
+      O += "  hotness";
+      for (unsigned I = 0; I < M.NumFields; ++I)
+        O += " " +
+             (I < M.FieldNames.size() ? M.FieldNames[I]
+                                      : "#" + std::to_string(I)) +
+             "=" + pct(Rel[I]) + "%";
+      O += "\n";
+    }
+  }
+  O += "-- diagnostics --\n";
+  for (const Diagnostic &D : MP.MergeDiags)
+    O += D.renderText() + "\n"; // Component is already "merge".
+  for (const ModuleSummary &S : Summaries)
+    for (const Diagnostic &D : S.Diags)
+      O += "[" + S.ModuleName + "] " + D.renderText() + "\n";
+  return O;
+}
+
+std::string slo::renderAdviceJson(const MergedProgram &MP,
+                                  const std::vector<ModuleSummary> &Summaries,
+                                  WeightScheme Scheme) {
+  Census C = censusOf(MP);
+  std::string O;
+  O += "{\n";
+  O += "  \"format\": \"slo-incremental-advice-v1\",\n";
+  O += "  \"scheme\": \"" + std::string(weightSchemeName(Scheme)) + "\",\n";
+  O += "  \"tus\": " + std::to_string(Summaries.size()) + ",\n";
+  O += "  \"census\": {\"legal\": " + std::to_string(C.Legal) +
+       ", \"proven\": " + std::to_string(C.Proven) +
+       ", \"relax\": " + std::to_string(C.Relax) +
+       ", \"total\": " + std::to_string(C.Total) + "},\n";
+  O += "  \"types\": [\n";
+  for (size_t I = 0; I < MP.Types.size(); ++I) {
+    const MergedTypeAdvice &M = MP.Types[I];
+    O += "    {\"name\": \"" + escapeJson(M.Name) + "\"";
+    O += ", \"fields\": " + std::to_string(M.NumFields);
+    O += ", \"size\": " + std::to_string(M.Size);
+    O += ", \"refs\": " + std::to_string(M.ReferencingTus);
+    O += ", \"legal\": " + std::string(M.Legal ? "true" : "false");
+    O += ", \"proven\": " + std::string(M.Proven ? "true" : "false");
+    O += ", \"relax\": " + std::string(M.Relax ? "true" : "false");
+    O += ", \"violations\": \"" +
+         escapeJson(M.Violations ? violationMaskToString(M.Violations)
+                                 : "") +
+         "\"";
+    O += ", \"plan\": \"" + std::string(transformKindName(M.Plan.Kind)) +
+         "\"";
+    O += ", \"reason\": \"" + escapeJson(M.Plan.Reason) + "\"";
+    O += ", \"hot\": " + jsonFieldArray(M, M.Plan.HotFields);
+    O += ", \"cold\": " + jsonFieldArray(M, M.Plan.ColdFields);
+    O += ", \"dead\": " + jsonFieldArray(M, M.Plan.DeadFields);
+    O += ", \"unused\": " + jsonFieldArray(M, M.Plan.UnusedFields);
+    O += ", \"hotness_bits\": " + hotnessBits(M.Hotness);
+    O += "}";
+    O += I + 1 < MP.Types.size() ? ",\n" : "\n";
+  }
+  O += "  ],\n";
+  O += "  \"diagnostics\": [\n";
+  std::vector<std::string> DiagRows;
+  for (const Diagnostic &D : MP.MergeDiags)
+    DiagRows.push_back("    {\"module\": \"<merge>\", \"diagnostic\": " +
+                       D.renderJson() + "}");
+  for (const ModuleSummary &S : Summaries)
+    for (const Diagnostic &D : S.Diags)
+      DiagRows.push_back("    {\"module\": \"" + escapeJson(S.ModuleName) +
+                         "\", \"diagnostic\": " + D.renderJson() + "}");
+  for (size_t I = 0; I < DiagRows.size(); ++I)
+    O += DiagRows[I] + (I + 1 < DiagRows.size() ? ",\n" : "\n");
+  O += "  ]\n";
+  O += "}\n";
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// The incremental driver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct TuSlot {
+  ModuleSummary S;
+  bool FromCache = false;
+  bool Failed = false;
+  std::vector<std::string> Errors;
+  DiagnosticEngine CacheDiags;
+  TuState State = TuState::Recomputed;
+};
+
+} // namespace
+
+IncrementalResult slo::runIncrementalAdvice(const std::vector<TuSource> &TUs,
+                                            const IncrementalOptions &Opts) {
+  IncrementalResult R;
+  TraceSpan Whole(Opts.Trace, "incremental", "phase");
+  uint64_t OptKey = summaryOptionsKey(Opts.Summary);
+  SummaryCache Cache(Opts.CacheDir);
+
+  unsigned Threads = Opts.Threads ? Opts.Threads
+                                  : std::thread::hardware_concurrency();
+  if (Threads == 0)
+    Threads = 1;
+  ThreadPool Pool(Threads);
+
+  std::vector<TuSlot> Slots(TUs.size());
+
+  // Compiles and analyzes one TU from scratch, in its own IRContext
+  // (thread isolation: no shared type uniquing between workers).
+  auto ComputeTu = [&](size_t I) {
+    TuSlot &SL = Slots[I];
+    SL.FromCache = false;
+    IRContext Ctx;
+    std::vector<std::string> FeDiags;
+    std::unique_ptr<Module> M =
+        compileMiniC(Ctx, TUs[I].Name, TUs[I].Source, FeDiags);
+    if (!M) {
+      SL.Failed = true;
+      SL.Errors = std::move(FeDiags);
+      return;
+    }
+    SL.S = computeModuleSummary(*M, Opts.Summary);
+    SL.S.ModuleName = TUs[I].Name;
+    SL.S.SourceHash = sourceHashForTu(TUs[I].Source, OptKey);
+    SL.S.OptionsKey = OptKey;
+  };
+
+  auto CollectFailures = [&]() {
+    for (size_t I = 0; I < Slots.size(); ++I)
+      if (Slots[I].Failed)
+        for (const std::string &E : Slots[I].Errors)
+          R.Errors.push_back(TUs[I].Name + ": " + E);
+    return !R.Errors.empty();
+  };
+
+  // FE phase: parallel load-or-compute into index-addressed slots.
+  {
+    TraceSpan S(Opts.Trace, "FE/parallel-summaries", "phase");
+    for (size_t I = 0; I < TUs.size(); ++I)
+      Pool.enqueue([&, I] {
+        uint64_t Hash = sourceHashForTu(TUs[I].Source, OptKey);
+        ModuleSummary Cached;
+        SummaryCache::LoadStatus St =
+            Cache.load(TUs[I].Name, Cached, &Slots[I].CacheDiags);
+        if (St == SummaryCache::LoadStatus::Hit &&
+            Cached.ModuleName == TUs[I].Name &&
+            Cached.OptionsKey == OptKey &&
+            (Opts.InjectStaleSummary || Cached.SourceHash == Hash)) {
+          Slots[I].S = std::move(Cached);
+          Slots[I].FromCache = true;
+          Slots[I].State = TuState::Reused;
+          return;
+        }
+        ComputeTu(I);
+      });
+    Pool.wait();
+  }
+  if (CollectFailures())
+    return R;
+
+  // IPA schema re-validation: a cached summary whose recorded
+  // program-wide record fingerprints disagree with the current
+  // authoritative ones was computed against a different dependency
+  // schema — recompute it. Iterate to a fixpoint, since a recomputed TU
+  // can shift the authoritative map. Terminates: each round strictly
+  // shrinks the set of cache-loaded slots.
+  auto BuildAuthoritative = [&]() {
+    std::map<std::string, uint64_t> A;
+    for (const TuSlot &SL : Slots)
+      for (const RecordSchemaSummary &RS : SL.S.Schemas)
+        if (RS.Complete && !A.count(RS.Name))
+          A[RS.Name] = RS.LocalFingerprint;
+    return A;
+  };
+
+  std::map<std::string, uint64_t> Authoritative = BuildAuthoritative();
+  if (!Opts.InjectStaleSummary) {
+    TraceSpan S(Opts.Trace, "IPA/schema-fixpoint", "phase");
+    while (true) {
+      std::vector<size_t> Invalid;
+      for (size_t I = 0; I < Slots.size(); ++I) {
+        if (!Slots[I].FromCache)
+          continue;
+        for (const RecordSchemaSummary &RS : Slots[I].S.Schemas) {
+          auto It = Authoritative.find(RS.Name);
+          uint64_t Want = It == Authoritative.end() ? 0 : It->second;
+          if (RS.ResolvedFingerprint != Want) {
+            Invalid.push_back(I);
+            break;
+          }
+        }
+      }
+      if (Invalid.empty())
+        break;
+      for (size_t I : Invalid) {
+        Slots[I].State = TuState::SchemaInvalidated;
+        Pool.enqueue([&, I] { ComputeTu(I); });
+      }
+      Pool.wait();
+      if (CollectFailures())
+        return R;
+      Authoritative = BuildAuthoritative();
+    }
+  }
+
+  // Stamp the program-wide fingerprints and persist fresh summaries.
+  // Stamping must precede the store: the next (warm) run validates
+  // against exactly these stamps.
+  {
+    TraceSpan S(Opts.Trace, "IPA/store", "phase");
+    for (TuSlot &SL : Slots) {
+      for (RecordSchemaSummary &RS : SL.S.Schemas) {
+        auto It = Authoritative.find(RS.Name);
+        RS.ResolvedFingerprint = It == Authoritative.end() ? 0 : It->second;
+      }
+      if (!SL.FromCache)
+        Cache.store(SL.S, &SL.CacheDiags);
+    }
+  }
+
+  // IPA merge + BE rendering, shared verbatim with a warm run.
+  {
+    TraceSpan S(Opts.Trace, "IPA/merge", "phase");
+    R.Summaries.reserve(Slots.size());
+    for (TuSlot &SL : Slots)
+      R.Summaries.push_back(std::move(SL.S));
+    PlannerOptions Planner = Opts.Planner;
+    Planner.HotnessFromProfile = false; // Static schemes only.
+    R.Merged = mergeModuleSummaries(R.Summaries, Planner);
+  }
+  {
+    TraceSpan S(Opts.Trace, "BE/render", "phase");
+    R.AdviceText =
+        renderAdviceText(R.Merged, R.Summaries, Opts.Summary.Scheme);
+    R.AdviceJson =
+        renderAdviceJson(R.Merged, R.Summaries, Opts.Summary.Scheme);
+  }
+
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    R.TuStates.push_back(Slots[I].State);
+    switch (Slots[I].State) {
+    case TuState::Reused:
+      ++R.TusReused;
+      break;
+    case TuState::Recomputed:
+      ++R.TusRecomputed;
+      break;
+    case TuState::SchemaInvalidated:
+      ++R.TusSchemaInvalidated;
+      break;
+    }
+    for (const Diagnostic &D : Slots[I].CacheDiags.all())
+      R.CacheDiags.push_back(D);
+  }
+  R.Cache = Cache.stats();
+  R.Ok = true;
+
+  if (Opts.Counters) {
+    Opts.Counters->add("incremental.tus", TUs.size());
+    Opts.Counters->add("incremental.reused", R.TusReused);
+    Opts.Counters->add("incremental.recomputed", R.TusRecomputed);
+    Opts.Counters->add("incremental.schema_invalidated",
+                       R.TusSchemaInvalidated);
+    Opts.Counters->add("incremental.cache_corrupt", R.Cache.Corrupt);
+  }
+  return R;
+}

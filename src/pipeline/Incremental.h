@@ -1,0 +1,176 @@
+//===- pipeline/Incremental.h - Incremental FE->IPA->BE advice -*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental, parallel advisory pipeline (the ROADMAP's "re-advise
+/// in milliseconds when one TU changes"):
+///
+///   FE   each translation unit is parsed and analyzed independently, in
+///        its own IRContext, fanned out over a ThreadPool; results land
+///        in index-addressed slots, so the outcome is deterministic
+///        regardless of scheduling. A TU whose content hash matches its
+///        summary-cache entry skips analysis entirely.
+///   IPA  per-TU ModuleSummary records are aggregated: violation masks
+///        OR, attributes OR, statistics and affinity edges sum, escape
+///        sites (LIBC/ESCP) resolve against the program-wide
+///        defined-function set,
+///        Proven requires every referencing TU's proof. Cached summaries
+///        are re-validated against program-wide record-schema
+///        fingerprints and recomputed to a fixpoint, so a schema change
+///        in a *dependency* TU invalidates its users.
+///   BE   the merged facts drive decideTypePlan (the same §2.4 heuristic
+///        core the monolithic planner uses) and render as deterministic
+///        advice text/JSON.
+///
+/// The pipeline is advisory-only: there is no linked module to rewrite.
+/// Its correctness contract is cache equivalence — a warm run produces
+/// byte-identical advice, diagnostics and census columns to a cold run —
+/// enforced by the incremental-parity fuzz oracle and the check.sh leg.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_PIPELINE_INCREMENTAL_H
+#define SLO_PIPELINE_INCREMENTAL_H
+
+#include "pipeline/Summary.h"
+#include "pipeline/SummaryCache.h"
+#include "transform/LayoutPlanner.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slo {
+
+class CounterRegistry;
+class Tracer;
+
+/// One translation unit: a module name and its MiniC source text.
+struct TuSource {
+  std::string Name;
+  std::string Source;
+};
+
+struct IncrementalOptions {
+  /// Per-TU analysis knobs (scheme must be static; profile schemes fall
+  /// back to ISPBO).
+  SummaryOptions Summary;
+  PlannerOptions Planner;
+  /// Summary cache directory; empty runs fully cold with no persistence.
+  std::string CacheDir;
+  /// FE fan-out width; 0 uses the hardware concurrency.
+  unsigned Threads = 0;
+  /// Test-only: serve cache entries without the source-hash and schema
+  /// re-validation, i.e. deliberately use stale summaries. The
+  /// incremental-parity oracle must catch the resulting advice drift
+  /// (its non-vacuity check).
+  bool InjectStaleSummary = false;
+
+  Tracer *Trace = nullptr;
+  CounterRegistry *Counters = nullptr;
+};
+
+/// How each TU's summary was obtained this run.
+enum class TuState {
+  Recomputed,        ///< Cold: compiled and analyzed this run.
+  Reused,            ///< Warm: loaded from the summary cache.
+  SchemaInvalidated, ///< Cached, but recomputed because a dependency's
+                     ///< record schema changed.
+};
+
+const char *tuStateName(TuState S);
+
+/// Merged (program-wide) advice for one record type.
+struct MergedTypeAdvice {
+  std::string Name;
+  /// From the authoritative (defining) schema; 0 when no TU defines the
+  /// record.
+  unsigned NumFields = 0;
+  uint64_t Size = 0;
+  std::vector<std::string> FieldNames;
+  /// OR of per-TU masks, with LIBC/ESCP cleared when every escape
+  /// target of that kind is defined by some TU of the program.
+  uint32_t Violations = 0;
+  uint32_t AttrBits = 0;
+  uint64_t PtrValueStores = 0;
+  /// The Table 1 census columns; Legal <= Proven <= Relax holds by
+  /// construction.
+  bool Legal = false;
+  bool Proven = false;
+  bool Relax = false;
+  bool Pinned = false;
+  std::string PinReason;
+  unsigned ReferencingTus = 0;
+  bool HaveStats = false;
+  std::vector<double> Reads;
+  std::vector<double> Writes;
+  std::vector<double> Hotness;
+  std::map<std::pair<unsigned, unsigned>, double> Affinity;
+  PlanDecision Plan;
+};
+
+/// The IPA merge result over all TUs.
+struct MergedProgram {
+  std::vector<std::string> DefinedFunctions; ///< Sorted, unique.
+  std::vector<MergedTypeAdvice> Types;       ///< Sorted by name.
+  /// Cross-TU consistency findings: conflicting record redefinitions,
+  /// duplicate function definitions, mismatched statistics vectors.
+  std::vector<Diagnostic> MergeDiags;
+};
+
+struct IncrementalResult {
+  /// False when any TU failed to compile (Errors lists why, in TU
+  /// order); everything else is only meaningful when true.
+  bool Ok = false;
+  std::vector<std::string> Errors;
+
+  std::vector<ModuleSummary> Summaries; ///< Per TU, input order.
+  MergedProgram Merged;
+  /// Deterministic advice renderings. Cache statistics and cache
+  /// diagnostics are deliberately excluded: these strings must be
+  /// byte-identical between cold and warm runs.
+  std::string AdviceText;
+  std::string AdviceJson;
+
+  /// Per-TU provenance, input order.
+  std::vector<TuState> TuStates;
+  unsigned TusReused = 0;
+  unsigned TusRecomputed = 0;
+  unsigned TusSchemaInvalidated = 0;
+  /// Cache-layer observations (corrupt-entry fallbacks land here, not in
+  /// the advice).
+  std::vector<Diagnostic> CacheDiags;
+  SummaryCache::CacheStats Cache;
+};
+
+/// Content hash of one TU under an options key (the cache validity
+/// test). The key seeds the hash, so an options change misses cleanly.
+uint64_t sourceHashForTu(const std::string &Source, uint64_t OptionsKey);
+
+/// The pure IPA merge + planning step: summaries in, program advice out.
+/// Shared verbatim by cold and warm runs — cache equivalence reduces to
+/// ModuleSummary round-trip exactness.
+MergedProgram mergeModuleSummaries(const std::vector<ModuleSummary> &Summaries,
+                                   const PlannerOptions &PlannerOpts);
+
+/// Deterministic advice renderings of a merged program.
+std::string renderAdviceText(const MergedProgram &MP,
+                             const std::vector<ModuleSummary> &Summaries,
+                             WeightScheme Scheme);
+std::string renderAdviceJson(const MergedProgram &MP,
+                             const std::vector<ModuleSummary> &Summaries,
+                             WeightScheme Scheme);
+
+/// Runs the full incremental pipeline over \p TUs.
+IncrementalResult runIncrementalAdvice(const std::vector<TuSource> &TUs,
+                                       const IncrementalOptions &Opts);
+
+} // namespace slo
+
+#endif // SLO_PIPELINE_INCREMENTAL_H

@@ -1,0 +1,619 @@
+//===- pipeline/Summary.cpp - Per-TU layout summaries ---------------------===//
+
+#include "pipeline/Summary.h"
+
+#include "analysis/LegalityRefine.h"
+#include "analysis/PointsTo.h"
+#include "analysis/lint/Lint.h"
+#include "ir/Module.h"
+#include "transform/StructPeel.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace slo;
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+uint64_t slo::fnv1a(const void *Data, size_t Len, uint64_t Seed) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+uint64_t slo::fnv1a(const std::string &S, uint64_t Seed) {
+  return fnv1a(S.data(), S.size(), Seed);
+}
+
+bool slo::isStaticScheme(WeightScheme S) {
+  return S == WeightScheme::SPBO || S == WeightScheme::ISPBO ||
+         S == WeightScheme::ISPBO_NO || S == WeightScheme::ISPBO_W;
+}
+
+uint64_t slo::summaryOptionsKey(const SummaryOptions &Opts) {
+  uint64_t H = fnv1a("slo-summary", 11);
+  uint64_t V = SummaryFormatVersion;
+  H = fnv1a(&V, sizeof V, H);
+  H = fnv1a(weightSchemeName(Opts.Scheme), std::strlen(weightSchemeName(Opts.Scheme)), H);
+  uint64_t Bits;
+  std::memcpy(&Bits, &Opts.IspboExponent, sizeof Bits);
+  H = fnv1a(&Bits, sizeof Bits, H);
+  H = fnv1a(&Opts.Legality.SmallAllocThreshold,
+            sizeof Opts.Legality.SmallAllocThreshold, H);
+  unsigned char Lint = Opts.Lint ? 1 : 0;
+  H = fnv1a(&Lint, 1, H);
+  return H;
+}
+
+uint64_t slo::recordSchemaFingerprint(const RecordType *Rec) {
+  if (Rec->isOpaque())
+    return 0;
+  uint64_t H = fnv1a(Rec->getRecordName());
+  uint64_t Size = Rec->getSize();
+  H = fnv1a(&Size, sizeof Size, H);
+  for (const Field &F : Rec->fields()) {
+    H = fnv1a(F.Name, H);
+    H = fnv1a(F.Ty->getName(), H);
+    H = fnv1a(&F.Offset, sizeof F.Offset, H);
+  }
+  // Fingerprints double as "defined" markers, so a real definition must
+  // never fingerprint to the opaque sentinel 0.
+  return H == 0 ? 1 : H;
+}
+
+//===----------------------------------------------------------------------===//
+// Attribute packing
+//===----------------------------------------------------------------------===//
+
+uint32_t slo::packTypeAttributes(const TypeAttributes &A) {
+  uint32_t B = 0;
+  B |= A.HasGlobalVar ? 1u << 0 : 0;
+  B |= A.HasLocalVar ? 1u << 1 : 0;
+  B |= A.HasGlobalPtr ? 1u << 2 : 0;
+  B |= A.HasLocalPtr ? 1u << 3 : 0;
+  B |= A.HasStaticArray ? 1u << 4 : 0;
+  B |= A.DynamicallyAllocated ? 1u << 5 : 0;
+  B |= A.Freed ? 1u << 6 : 0;
+  B |= A.Reallocated ? 1u << 7 : 0;
+  B |= A.HasRecursivePtrField ? 1u << 8 : 0;
+  B |= A.PassedToFunction ? 1u << 9 : 0;
+  return B;
+}
+
+TypeAttributes slo::unpackTypeAttributes(uint32_t Bits,
+                                         unsigned PtrValueStores) {
+  TypeAttributes A;
+  A.HasGlobalVar = (Bits & (1u << 0)) != 0;
+  A.HasLocalVar = (Bits & (1u << 1)) != 0;
+  A.HasGlobalPtr = (Bits & (1u << 2)) != 0;
+  A.HasLocalPtr = (Bits & (1u << 3)) != 0;
+  A.HasStaticArray = (Bits & (1u << 4)) != 0;
+  A.DynamicallyAllocated = (Bits & (1u << 5)) != 0;
+  A.Freed = (Bits & (1u << 6)) != 0;
+  A.Reallocated = (Bits & (1u << 7)) != 0;
+  A.HasRecursivePtrField = (Bits & (1u << 8)) != 0;
+  A.PassedToFunction = (Bits & (1u << 9)) != 0;
+  A.PtrValueStores = PtrValueStores;
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// computeModuleSummary
+//===----------------------------------------------------------------------===//
+
+ModuleSummary slo::computeModuleSummary(const Module &M,
+                                        const SummaryOptions &Opts) {
+  ModuleSummary S;
+  S.ModuleName = M.getName();
+
+  LegalityResult Legal = analyzeLegality(M, Opts.Legality);
+  PointsToResult PT = analyzePointsTo(M);
+  DiagnosticEngine Diags;
+  LintResult LR;
+  if (Opts.Lint) {
+    LR = runLint(M, &PT, &Legal);
+    reportLintFindings(LR, Diags);
+  }
+  RefinementResult Refined = refineLegality(
+      M, Legal, PT, &Diags, Opts.Lint ? &LR.Pinnings : nullptr);
+
+  // Only the static schemes can run per TU (profiles are whole-program
+  // artifacts); a profile scheme falls back to the paper's default.
+  SchemeInputs In;
+  In.M = &M;
+  In.Exponent = Opts.IspboExponent;
+  // A lone TU cannot see its external callers: treat every uncalled
+  // definition as a potential entry so its accesses keep nonzero weight.
+  In.SeedUncalledDefinitions = true;
+  WeightScheme Scheme =
+      isStaticScheme(Opts.Scheme) ? Opts.Scheme : WeightScheme::ISPBO;
+  FieldStatsResult Stats = computeSchemeFieldStats(Scheme, In);
+
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration() && !F->isLibFunction())
+      S.DefinedFunctions.push_back(F->getName());
+
+  for (RecordType *Rec : M.getTypes().records()) {
+    RecordSchemaSummary RS;
+    RS.Name = Rec->getRecordName();
+    RS.Complete = !Rec->isOpaque();
+    if (RS.Complete) {
+      RS.LocalFingerprint = recordSchemaFingerprint(Rec);
+      RS.Size = Rec->getSize();
+      for (const Field &F : Rec->fields()) {
+        RecordSchemaSummary::FieldInfo FI;
+        FI.Name = F.Name;
+        FI.TypeName = F.Ty->getName();
+        FI.Offset = F.Offset;
+        FI.Size = F.Ty->getSize();
+        RS.Fields.push_back(std::move(FI));
+      }
+    }
+    S.Schemas.push_back(std::move(RS));
+  }
+
+  for (RecordType *Rec : Legal.types()) {
+    const TypeLegality &L = Legal.get(Rec);
+    TypeSummary T;
+    T.TypeName = Rec->getRecordName();
+    T.Violations = L.Violations;
+    T.AttrBits = packTypeAttributes(L.Attrs);
+    T.PtrValueStores = L.Attrs.PtrValueStores;
+    for (const ViolationSite &VS : L.Sites) {
+      SiteSummary SS;
+      SS.Kind = violationBit(VS.Kind);
+      SS.Function = VS.Function;
+      SS.Detail = VS.Detail;
+      SS.Symbol = VS.Symbol;
+      T.Sites.push_back(std::move(SS));
+    }
+    if (const TypeRefinement *TR = Refined.get(Rec)) {
+      T.ProvenLegal = TR->ProvenLegal;
+      T.TransformSafe = TR->TransformSafe;
+      T.ForceLiveFields.assign(TR->AddressTakenLiveFields.begin(),
+                               TR->AddressTakenLiveFields.end());
+    }
+    if (Opts.Lint && LR.Pinnings.isPinned(Rec)) {
+      T.Pinned = true;
+      T.PinReason = LR.Pinnings.Reasons.at(Rec);
+    }
+    if (const TypeFieldStats *FS = Stats.get(Rec)) {
+      T.HaveStats = true;
+      T.Reads = FS->Reads;
+      T.Writes = FS->Writes;
+      T.Hotness = FS->Hotness;
+      for (const auto &E : FS->Affinity)
+        T.Affinity.push_back({E.first, E.second});
+    }
+    bool StrictLegal = L.isLegal(/*Relax=*/false);
+    bool Aggregate = L.Attrs.HasGlobalVar || L.Attrs.HasLocalVar ||
+                     L.Attrs.HasStaticArray;
+    if (StrictLegal && T.HaveStats && L.Attrs.DynamicallyAllocated &&
+        !L.Attrs.Reallocated && !Aggregate)
+      T.Peelable = analyzePeelability(M, Rec, L).Peelable;
+    T.Referenced = T.Violations != 0 || T.AttrBits != 0 ||
+                   T.PtrValueStores != 0 || !T.Sites.empty() || T.HaveStats;
+    S.Types.push_back(std::move(T));
+  }
+
+  S.Diags = Diags.all();
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Lossless token escaping: '%', space, control bytes and DEL become
+/// %XX; the empty string encodes as a bare "%" (never a valid escape).
+std::string escapeToken(const std::string &S) {
+  if (S.empty())
+    return "%";
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    if (C == '%' || C <= 0x20 || C == 0x7f) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof Buf, "%%%02X", C);
+      Out += Buf;
+    } else {
+      Out += static_cast<char>(C);
+    }
+  }
+  return Out;
+}
+
+bool hexVal(char C, unsigned &V) {
+  if (C >= '0' && C <= '9') {
+    V = static_cast<unsigned>(C - '0');
+    return true;
+  }
+  if (C >= 'A' && C <= 'F') {
+    V = static_cast<unsigned>(C - 'A' + 10);
+    return true;
+  }
+  if (C >= 'a' && C <= 'f') {
+    V = static_cast<unsigned>(C - 'a' + 10);
+    return true;
+  }
+  return false;
+}
+
+bool unescapeToken(const std::string &T, std::string &Out) {
+  if (T == "%") {
+    Out.clear();
+    return true;
+  }
+  Out.clear();
+  Out.reserve(T.size());
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I] != '%') {
+      Out += T[I];
+      continue;
+    }
+    unsigned Hi, Lo;
+    if (I + 2 >= T.size() || !hexVal(T[I + 1], Hi) || !hexVal(T[I + 2], Lo))
+      return false;
+    Out += static_cast<char>(Hi * 16 + Lo);
+    I += 2;
+  }
+  return true;
+}
+
+std::string hex64(uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof Buf, "%016llx", static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+std::string doubleBits(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof Bits);
+  return hex64(Bits);
+}
+
+bool parseU64(const std::string &T, uint64_t &V, int Base) {
+  if (T.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  V = std::strtoull(T.c_str(), &End, Base);
+  return errno == 0 && End && *End == '\0';
+}
+
+bool parseDoubleBits(const std::string &T, double &D) {
+  uint64_t Bits;
+  if (!parseU64(T, Bits, 16))
+    return false;
+  std::memcpy(&D, &Bits, sizeof D);
+  return true;
+}
+
+void splitTokens(const std::string &Line, std::vector<std::string> &Toks) {
+  Toks.clear();
+  size_t I = 0;
+  while (I < Line.size()) {
+    size_t J = Line.find(' ', I);
+    if (J == std::string::npos)
+      J = Line.size();
+    if (J > I)
+      Toks.push_back(Line.substr(I, J - I));
+    I = J + 1;
+  }
+}
+
+// TypeSummary flag bits.
+constexpr uint32_t FlagProven = 1u << 0;
+constexpr uint32_t FlagTransformSafe = 1u << 1;
+constexpr uint32_t FlagPinned = 1u << 2;
+constexpr uint32_t FlagPeelable = 1u << 3;
+constexpr uint32_t FlagReferenced = 1u << 4;
+constexpr uint32_t FlagHaveStats = 1u << 5;
+
+/// Strict line-cursor over the serialized text.
+struct LineCursor {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  std::string Error;
+
+  bool next(std::vector<std::string> &Toks, const char *Expect) {
+    if (Pos >= Lines.size()) {
+      Error = std::string("truncated: expected '") + Expect + "' line";
+      return false;
+    }
+    splitTokens(Lines[Pos++], Toks);
+    if (Toks.empty() || Toks[0] != Expect) {
+      Error = std::string("malformed: expected '") + Expect + "' line";
+      return false;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::string slo::serializeModuleSummary(const ModuleSummary &S) {
+  std::string B;
+  B += "SLOSUM " + std::to_string(SummaryFormatVersion) + "\n";
+  B += "module " + escapeToken(S.ModuleName) + "\n";
+  B += "srchash " + hex64(S.SourceHash) + "\n";
+  B += "optkey " + hex64(S.OptionsKey) + "\n";
+  B += "funcs " + std::to_string(S.DefinedFunctions.size()) + "\n";
+  for (const std::string &F : S.DefinedFunctions)
+    B += "fn " + escapeToken(F) + "\n";
+  B += "schemas " + std::to_string(S.Schemas.size()) + "\n";
+  for (const RecordSchemaSummary &RS : S.Schemas) {
+    B += "schema " + escapeToken(RS.Name) + " " +
+         std::string(RS.Complete ? "1" : "0") + " " +
+         hex64(RS.LocalFingerprint) + " " + hex64(RS.ResolvedFingerprint) +
+         " " + std::to_string(RS.Size) + " " +
+         std::to_string(RS.Fields.size()) + "\n";
+    for (const RecordSchemaSummary::FieldInfo &FI : RS.Fields)
+      B += "field " + std::to_string(FI.Offset) + " " +
+           std::to_string(FI.Size) + " " + escapeToken(FI.TypeName) + " " +
+           escapeToken(FI.Name) + "\n";
+  }
+  B += "types " + std::to_string(S.Types.size()) + "\n";
+  for (const TypeSummary &T : S.Types) {
+    uint32_t Flags = 0;
+    Flags |= T.ProvenLegal ? FlagProven : 0;
+    Flags |= T.TransformSafe ? FlagTransformSafe : 0;
+    Flags |= T.Pinned ? FlagPinned : 0;
+    Flags |= T.Peelable ? FlagPeelable : 0;
+    Flags |= T.Referenced ? FlagReferenced : 0;
+    Flags |= T.HaveStats ? FlagHaveStats : 0;
+    char Buf[64];
+    std::snprintf(Buf, sizeof Buf, "%x %x %llu %x", T.Violations, T.AttrBits,
+                  static_cast<unsigned long long>(T.PtrValueStores), Flags);
+    B += "type " + escapeToken(T.TypeName) + " " + Buf + "\n";
+    if (T.Pinned)
+      B += "pin " + escapeToken(T.PinReason) + "\n";
+    B += "sites " + std::to_string(T.Sites.size()) + "\n";
+    for (const SiteSummary &SS : T.Sites) {
+      std::snprintf(Buf, sizeof Buf, "%x", SS.Kind);
+      B += "site " + std::string(Buf) + " " + escapeToken(SS.Function) + " " +
+           escapeToken(SS.Symbol) + " " + escapeToken(SS.Detail) + "\n";
+    }
+    B += "forcelive " + std::to_string(T.ForceLiveFields.size());
+    for (unsigned I : T.ForceLiveFields)
+      B += " " + std::to_string(I);
+    B += "\n";
+    if (T.HaveStats) {
+      B += "stats " + std::to_string(T.Hotness.size()) + "\n";
+      const char *Names[3] = {"reads", "writes", "hot"};
+      const std::vector<double> *Vecs[3] = {&T.Reads, &T.Writes, &T.Hotness};
+      for (int K = 0; K < 3; ++K) {
+        B += Names[K];
+        for (double D : *Vecs[K])
+          B += " " + doubleBits(D);
+        B += "\n";
+      }
+      B += "aff " + std::to_string(T.Affinity.size()) + "\n";
+      for (const auto &E : T.Affinity)
+        B += "edge " + std::to_string(E.first.first) + " " +
+             std::to_string(E.first.second) + " " + doubleBits(E.second) +
+             "\n";
+    } else {
+      B += "stats 0\n";
+    }
+  }
+  B += "diags " + std::to_string(S.Diags.size()) + "\n";
+  for (const Diagnostic &D : S.Diags)
+    B += "diag " + std::to_string(static_cast<unsigned>(D.Severity)) + " " +
+         escapeToken(D.Code) + " " + escapeToken(D.RecordName) + " " +
+         escapeToken(D.Function) + " " + escapeToken(D.Site) + " " +
+         escapeToken(D.Message) + " " + escapeToken(D.Fact) + "\n";
+  B += "end " + hex64(fnv1a(B)) + "\n";
+  return B;
+}
+
+bool slo::deserializeModuleSummary(const std::string &Text, ModuleSummary &S,
+                                   std::string &Error) {
+  // Split into lines, remembering each line's start offset so the
+  // checksum can cover the exact byte prefix.
+  LineCursor C;
+  std::vector<size_t> Starts;
+  size_t I = 0;
+  while (I < Text.size()) {
+    size_t J = Text.find('\n', I);
+    if (J == std::string::npos) {
+      Error = "truncated: unterminated final line";
+      return false;
+    }
+    Starts.push_back(I);
+    C.Lines.push_back(Text.substr(I, J - I));
+    I = J + 1;
+  }
+  if (C.Lines.size() < 2) {
+    Error = "truncated: no content";
+    return false;
+  }
+
+  // Checksum first: the last line must be "end <fnv of everything
+  // before it>". Anything else — truncation, bit rot, a partial write —
+  // fails here before any field is parsed.
+  {
+    std::vector<std::string> Toks;
+    splitTokens(C.Lines.back(), Toks);
+    uint64_t Want;
+    if (Toks.size() != 2 || Toks[0] != "end" || !parseU64(Toks[1], Want, 16)) {
+      Error = "truncated: missing 'end' checksum line";
+      return false;
+    }
+    uint64_t Got = fnv1a(Text.data(), Starts.back());
+    if (Got != Want) {
+      Error = "checksum mismatch (corrupt entry)";
+      return false;
+    }
+  }
+
+  ModuleSummary Out;
+  std::vector<std::string> T;
+  uint64_t N;
+
+  if (!C.next(T, "SLOSUM")) {
+    Error = C.Error;
+    return false;
+  }
+  if (T.size() != 2 || !parseU64(T[1], N, 10) || N != SummaryFormatVersion) {
+    Error = "format version mismatch";
+    return false;
+  }
+
+  auto Fail = [&](const std::string &E) {
+    Error = E.empty() ? std::string("malformed summary") : E;
+    return false;
+  };
+
+  if (!C.next(T, "module") || T.size() != 2 ||
+      !unescapeToken(T[1], Out.ModuleName))
+    return Fail(C.Error);
+  if (!C.next(T, "srchash") || T.size() != 2 ||
+      !parseU64(T[1], Out.SourceHash, 16))
+    return Fail(C.Error);
+  if (!C.next(T, "optkey") || T.size() != 2 ||
+      !parseU64(T[1], Out.OptionsKey, 16))
+    return Fail(C.Error);
+
+  if (!C.next(T, "funcs") || T.size() != 2 || !parseU64(T[1], N, 10))
+    return Fail(C.Error);
+  for (uint64_t K = 0; K < N; ++K) {
+    std::string Name;
+    if (!C.next(T, "fn") || T.size() != 2 || !unescapeToken(T[1], Name))
+      return Fail(C.Error);
+    Out.DefinedFunctions.push_back(std::move(Name));
+  }
+
+  if (!C.next(T, "schemas") || T.size() != 2 || !parseU64(T[1], N, 10))
+    return Fail(C.Error);
+  for (uint64_t K = 0; K < N; ++K) {
+    RecordSchemaSummary RS;
+    uint64_t NFields;
+    if (!C.next(T, "schema") || T.size() != 7 ||
+        !unescapeToken(T[1], RS.Name) || (T[2] != "0" && T[2] != "1") ||
+        !parseU64(T[3], RS.LocalFingerprint, 16) ||
+        !parseU64(T[4], RS.ResolvedFingerprint, 16) ||
+        !parseU64(T[5], RS.Size, 10) || !parseU64(T[6], NFields, 10))
+      return Fail(C.Error);
+    RS.Complete = T[2] == "1";
+    for (uint64_t F = 0; F < NFields; ++F) {
+      RecordSchemaSummary::FieldInfo FI;
+      if (!C.next(T, "field") || T.size() != 5 ||
+          !parseU64(T[1], FI.Offset, 10) || !parseU64(T[2], FI.Size, 10) ||
+          !unescapeToken(T[3], FI.TypeName) || !unescapeToken(T[4], FI.Name))
+        return Fail(C.Error);
+      RS.Fields.push_back(std::move(FI));
+    }
+    Out.Schemas.push_back(std::move(RS));
+  }
+
+  if (!C.next(T, "types") || T.size() != 2 || !parseU64(T[1], N, 10))
+    return Fail(C.Error);
+  for (uint64_t K = 0; K < N; ++K) {
+    TypeSummary TS;
+    uint64_t Viol, Attrs, Flags, M;
+    if (!C.next(T, "type") || T.size() != 6 ||
+        !unescapeToken(T[1], TS.TypeName) || !parseU64(T[2], Viol, 16) ||
+        !parseU64(T[3], Attrs, 16) || !parseU64(T[4], TS.PtrValueStores, 10) ||
+        !parseU64(T[5], Flags, 16))
+      return Fail(C.Error);
+    TS.Violations = static_cast<uint32_t>(Viol);
+    TS.AttrBits = static_cast<uint32_t>(Attrs);
+    TS.ProvenLegal = (Flags & FlagProven) != 0;
+    TS.TransformSafe = (Flags & FlagTransformSafe) != 0;
+    TS.Pinned = (Flags & FlagPinned) != 0;
+    TS.Peelable = (Flags & FlagPeelable) != 0;
+    TS.Referenced = (Flags & FlagReferenced) != 0;
+    TS.HaveStats = (Flags & FlagHaveStats) != 0;
+    if (TS.Pinned) {
+      if (!C.next(T, "pin") || T.size() != 2 ||
+          !unescapeToken(T[1], TS.PinReason))
+        return Fail(C.Error);
+    }
+    if (!C.next(T, "sites") || T.size() != 2 || !parseU64(T[1], M, 10))
+      return Fail(C.Error);
+    for (uint64_t J = 0; J < M; ++J) {
+      SiteSummary SS;
+      uint64_t Kind;
+      if (!C.next(T, "site") || T.size() != 5 || !parseU64(T[1], Kind, 16) ||
+          !unescapeToken(T[2], SS.Function) ||
+          !unescapeToken(T[3], SS.Symbol) || !unescapeToken(T[4], SS.Detail))
+        return Fail(C.Error);
+      SS.Kind = static_cast<uint32_t>(Kind);
+      TS.Sites.push_back(std::move(SS));
+    }
+    if (!C.next(T, "forcelive") || T.size() < 2 || !parseU64(T[1], M, 10) ||
+        T.size() != 2 + M)
+      return Fail(C.Error);
+    for (uint64_t J = 0; J < M; ++J) {
+      uint64_t F;
+      if (!parseU64(T[2 + J], F, 10))
+        return Fail(C.Error);
+      TS.ForceLiveFields.push_back(static_cast<unsigned>(F));
+    }
+    uint64_t NStats;
+    if (!C.next(T, "stats") || T.size() != 2 || !parseU64(T[1], NStats, 10))
+      return Fail(C.Error);
+    if (TS.HaveStats) {
+      const char *Names[3] = {"reads", "writes", "hot"};
+      std::vector<double> *Vecs[3] = {&TS.Reads, &TS.Writes, &TS.Hotness};
+      for (int V = 0; V < 3; ++V) {
+        if (!C.next(T, Names[V]) || T.size() != 1 + NStats)
+          return Fail(C.Error);
+        for (uint64_t J = 0; J < NStats; ++J) {
+          double D;
+          if (!parseDoubleBits(T[1 + J], D))
+            return Fail(C.Error);
+          Vecs[V]->push_back(D);
+        }
+      }
+      if (!C.next(T, "aff") || T.size() != 2 || !parseU64(T[1], M, 10))
+        return Fail(C.Error);
+      for (uint64_t J = 0; J < M; ++J) {
+        uint64_t A, Bt;
+        double W;
+        if (!C.next(T, "edge") || T.size() != 4 || !parseU64(T[1], A, 10) ||
+            !parseU64(T[2], Bt, 10) || !parseDoubleBits(T[3], W))
+          return Fail(C.Error);
+        TS.Affinity.push_back({{static_cast<unsigned>(A),
+                                static_cast<unsigned>(Bt)},
+                               W});
+      }
+    } else if (NStats != 0) {
+      return Fail("malformed: stats on a type without HaveStats");
+    }
+    Out.Types.push_back(std::move(TS));
+  }
+
+  if (!C.next(T, "diags") || T.size() != 2 || !parseU64(T[1], N, 10))
+    return Fail(C.Error);
+  for (uint64_t K = 0; K < N; ++K) {
+    Diagnostic D;
+    uint64_t Sev;
+    if (!C.next(T, "diag") || T.size() != 8 || !parseU64(T[1], Sev, 10) ||
+        Sev > static_cast<uint64_t>(DiagSeverity::Error) ||
+        !unescapeToken(T[2], D.Code) || !unescapeToken(T[3], D.RecordName) ||
+        !unescapeToken(T[4], D.Function) || !unescapeToken(T[5], D.Site) ||
+        !unescapeToken(T[6], D.Message) || !unescapeToken(T[7], D.Fact))
+      return Fail(C.Error);
+    D.Severity = static_cast<DiagSeverity>(Sev);
+    Out.Diags.push_back(std::move(D));
+  }
+
+  if (C.Pos != C.Lines.size() - 1) {
+    Error = "malformed: trailing content before 'end'";
+    return false;
+  }
+  S = std::move(Out);
+  return true;
+}

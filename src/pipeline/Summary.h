@@ -1,0 +1,185 @@
+//===- pipeline/Summary.h - Per-TU layout summaries ------------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-translation-unit layout summaries, the unit of the incremental
+/// pipeline (the paper's S3 IELF-annotation design: analysis artifacts
+/// persist across compiles). A ModuleSummary captures everything the IPA
+/// merge needs from one TU — record schemas with content fingerprints,
+/// legality masks and violation sites, escape tuples, refinement
+/// verdicts, lint layout-pinnings, field access statistics and affinity
+/// graphs, and the TU's diagnostics — projected onto names so it is
+/// IR-free and serializable.
+///
+/// Serialization is exact: doubles round-trip as bit patterns, strings
+/// are escaped losslessly, and the record ends with a checksum line. The
+/// cache-equivalence oracle (warm advice bit-identical to cold) reduces
+/// to this exactness: both cold and warm runs merge ModuleSummary values,
+/// the only difference being whether they were just computed or just
+/// deserialized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_PIPELINE_SUMMARY_H
+#define SLO_PIPELINE_SUMMARY_H
+
+#include "analysis/Legality.h"
+#include "analysis/WeightSchemes.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slo {
+
+class Module;
+
+/// Bumped whenever the serialized layout changes; a cache entry with a
+/// different version is ignored (treated as a miss), never half-loaded.
+constexpr unsigned SummaryFormatVersion = 1;
+
+/// FNV-1a 64-bit over \p Len bytes, continuing from \p Seed.
+uint64_t fnv1a(const void *Data, size_t Len,
+               uint64_t Seed = 0xcbf29ce484222325ull);
+uint64_t fnv1a(const std::string &S,
+               uint64_t Seed = 0xcbf29ce484222325ull);
+
+/// One record type as one TU declared it.
+struct RecordSchemaSummary {
+  struct FieldInfo {
+    std::string Name;
+    std::string TypeName; // Rendered spelling ("i64", "node*", ...).
+    uint64_t Offset = 0;
+    uint64_t Size = 0;
+  };
+
+  std::string Name;
+  /// True when the TU saw the definition (fields are only meaningful
+  /// then); false for opaque forward references (pointer-only use).
+  bool Complete = false;
+  /// FNV-1a over the definition (name, size, field names/types/offsets);
+  /// 0 for opaque references.
+  uint64_t LocalFingerprint = 0;
+  /// The program-wide fingerprint of this record at the time the summary
+  /// was written: the defining TU's LocalFingerprint, or 0 when no TU
+  /// defines the record. Stamped by the incremental driver before the
+  /// summary is cached; a warm run invalidates any summary whose stamp
+  /// disagrees with the current program-wide value — that is how a
+  /// schema change in a *dependency* TU invalidates its users.
+  uint64_t ResolvedFingerprint = 0;
+  uint64_t Size = 0;
+  std::vector<FieldInfo> Fields;
+};
+
+/// One violation occurrence, projected onto names (ViolationSite minus
+/// the instruction pointer).
+struct SiteSummary {
+  uint32_t Kind = 0; // violationBit of the test that fired.
+  std::string Function;
+  std::string Detail;
+  /// Callee name for LIBC/ESCP sites; the IPA merge drops an ESCP site
+  /// whose Symbol is defined by some TU of the program.
+  std::string Symbol;
+};
+
+/// Packs TypeAttributes into a serializable bit mask.
+uint32_t packTypeAttributes(const TypeAttributes &A);
+TypeAttributes unpackTypeAttributes(uint32_t Bits, unsigned PtrValueStores);
+
+/// Everything one TU knows about one record type.
+struct TypeSummary {
+  std::string TypeName;
+  uint32_t Violations = 0;
+  uint32_t AttrBits = 0; // packTypeAttributes
+  uint64_t PtrValueStores = 0;
+  std::vector<SiteSummary> Sites;
+  /// Refinement verdicts (per-TU points-to proofs).
+  bool ProvenLegal = false;
+  bool TransformSafe = false;
+  /// Fields with discharged address-taken sites (must stay live).
+  std::vector<unsigned> ForceLiveFields;
+  /// Lint layout-pinning (demotes the type out of Proven at merge).
+  bool Pinned = false;
+  std::string PinReason;
+  /// Structural peelability verdict in this TU.
+  bool Peelable = false;
+  /// The TU actually uses the type (violations, attributes, sites or
+  /// stats); a TU that merely declares a record does not count as a
+  /// referencing TU in the merge.
+  bool Referenced = false;
+  /// Field statistics (meaningful only when HaveStats).
+  bool HaveStats = false;
+  std::vector<double> Reads;
+  std::vector<double> Writes;
+  std::vector<double> Hotness;
+  /// Affinity graph edges (i <= j), sorted by key.
+  std::vector<std::pair<std::pair<unsigned, unsigned>, double>> Affinity;
+};
+
+/// The complete per-TU summary.
+struct ModuleSummary {
+  std::string ModuleName;
+  /// Content hash of the TU source (seeded with the options key), the
+  /// cache validity test.
+  uint64_t SourceHash = 0;
+  /// summaryOptionsKey of the options the summary was computed under.
+  uint64_t OptionsKey = 0;
+  /// Functions this TU defines (ESCP resolution set).
+  std::vector<std::string> DefinedFunctions;
+  /// Every record type the TU mentions, in type-creation order.
+  std::vector<RecordSchemaSummary> Schemas;
+  /// Per-type facts, in legality-analysis order.
+  std::vector<TypeSummary> Types;
+  /// The TU's refinement/lint diagnostics, in emission order.
+  std::vector<Diagnostic> Diags;
+};
+
+/// What the per-TU analyses run under. Only static weighting schemes are
+/// usable incrementally (profiles are whole-program artifacts).
+struct SummaryOptions {
+  WeightScheme Scheme = WeightScheme::ISPBO;
+  double IspboExponent = 1.5;
+  LegalityOptions Legality;
+  /// Run the lint suite per TU and record pinnings in the summary.
+  bool Lint = true;
+};
+
+/// Folds every option that affects summary contents into one key; a
+/// change of options invalidates every cache entry (the key seeds the
+/// source hash).
+uint64_t summaryOptionsKey(const SummaryOptions &Opts);
+
+/// True for the schemes that need no profile (SPBO/ISPBO*).
+bool isStaticScheme(WeightScheme S);
+
+/// Content fingerprint of a completed record definition (0 for opaque
+/// records).
+uint64_t recordSchemaFingerprint(const RecordType *Rec);
+
+/// Runs the per-TU analyses (legality, points-to, lint, refinement,
+/// static field stats, peelability) over \p M — a single translation
+/// unit compiled in its own IRContext — and projects the results into a
+/// summary. The caller stamps ModuleName/SourceHash/OptionsKey and the
+/// schema ResolvedFingerprints. \p Opts.Scheme must be a static scheme.
+ModuleSummary computeModuleSummary(const Module &M,
+                                   const SummaryOptions &Opts);
+
+/// Exact, versioned, checksummed text serialization.
+std::string serializeModuleSummary(const ModuleSummary &S);
+
+/// Strict deserialization: returns false (with \p Error set) on version
+/// mismatch, checksum mismatch, truncation, or any malformed line. On
+/// failure \p S is left untouched — a corrupt entry is never half-loaded.
+bool deserializeModuleSummary(const std::string &Text, ModuleSummary &S,
+                              std::string &Error);
+
+} // namespace slo
+
+#endif // SLO_PIPELINE_SUMMARY_H

@@ -1,0 +1,75 @@
+//===- pipeline/SummaryCache.h - On-disk summary cache ---------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk store for per-TU ModuleSummary records, one file per
+/// translation unit under a cache directory. Writes are atomic (temp
+/// file + rename, like the feedback loader), so a crashed or concurrent
+/// writer can never leave a half-written entry; reads treat any
+/// deserialization failure — corruption, truncation, a format-version
+/// bump — as a miss with a diagnostic, never as an error: the pipeline
+/// falls back to a cold computation for that TU.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_PIPELINE_SUMMARYCACHE_H
+#define SLO_PIPELINE_SUMMARYCACHE_H
+
+#include "pipeline/Summary.h"
+
+#include <mutex>
+#include <string>
+
+namespace slo {
+
+class DiagnosticEngine;
+
+class SummaryCache {
+public:
+  /// \p Dir may not exist yet (created on first store); empty disables
+  /// the cache entirely (every load is a miss, every store a no-op).
+  explicit SummaryCache(std::string Dir);
+
+  bool enabled() const { return !Dir.empty(); }
+
+  enum class LoadStatus {
+    Hit,     ///< Entry read and deserialized.
+    Miss,    ///< No entry on disk (or cache disabled).
+    Corrupt, ///< Entry exists but failed deserialization; ignored.
+  };
+
+  /// Loads the entry for \p ModuleName into \p Out. A Corrupt result
+  /// appends a warning to \p Diags (when non-null) and leaves \p Out
+  /// untouched. Thread-safe.
+  LoadStatus load(const std::string &ModuleName, ModuleSummary &Out,
+                  DiagnosticEngine *Diags);
+
+  /// Atomically writes the entry for \p S.ModuleName (temp + rename).
+  /// Returns false (with a warning in \p Diags) on I/O failure.
+  /// Thread-safe.
+  bool store(const ModuleSummary &S, DiagnosticEngine *Diags);
+
+  struct CacheStats {
+    unsigned Hits = 0;
+    unsigned Misses = 0;
+    unsigned Corrupt = 0;
+    unsigned Stores = 0;
+  };
+  CacheStats stats() const;
+
+  /// The on-disk path an entry for \p ModuleName would use.
+  std::string pathFor(const std::string &ModuleName) const;
+
+private:
+  std::string Dir;
+  mutable std::mutex Mutex;
+  CacheStats Stats;
+};
+
+} // namespace slo
+
+#endif // SLO_PIPELINE_SUMMARYCACHE_H

@@ -57,6 +57,54 @@ struct PlannerOptions {
   }
 };
 
+/// Everything the plan decision needs to know about one record type,
+/// decoupled from the IR. planLayout builds these views from the linked
+/// module's analysis results; the incremental advisor builds them from
+/// merged per-TU summaries — both paths share decideTypePlan, so the
+/// incremental advice follows the paper's heuristics by construction.
+struct PlannerTypeInput {
+  unsigned NumFields = 0;
+  /// Every blanket legality test passes.
+  bool StrictLegal = false;
+  /// All violations discharged by per-site proofs AND the allocations are
+  /// rewritable (TypeRefinement::ProvenLegal && TransformSafe).
+  bool Proven = false;
+  uint32_t Violations = 0;
+  bool DynamicallyAllocated = false;
+  bool Reallocated = false;
+  /// A global/local variable or static array of the type exists.
+  bool HasAggregateInstance = false;
+  /// Field statistics were computed for the type (Reads/Writes/Hotness
+  /// are only meaningful when set).
+  bool HaveStats = false;
+  std::vector<double> Reads;   // Per field, weighted.
+  std::vector<double> Writes;  // Per field, weighted.
+  std::vector<double> Hotness; // Per field.
+  /// Fields that must stay live (discharged address-taken sites), or
+  /// null.
+  const std::set<unsigned> *ForceLive = nullptr;
+  /// Verdict of the structural peelability check (only consulted for
+  /// strictly legal types).
+  bool Peelable = false;
+};
+
+/// The IR-free part of a TypePlan: what to do and why.
+struct PlanDecision {
+  TransformKind Kind = TransformKind::None;
+  std::vector<unsigned> HotFields;
+  std::vector<unsigned> ColdFields;
+  std::vector<std::vector<unsigned>> PeelGroups;
+  std::vector<unsigned> DeadFields;
+  std::vector<unsigned> UnusedFields;
+  std::string Reason;
+};
+
+/// Decides the transformation for one record type from an IR-free view.
+/// This is the paper's §2.4 heuristic core shared by planLayout and the
+/// incremental summary-based advisor.
+PlanDecision decideTypePlan(const PlannerTypeInput &In,
+                            const PlannerOptions &Opts);
+
 /// Decides the transformation for every record type.
 /// \p M must be the module \p Legal and \p Stats were computed on.
 ///

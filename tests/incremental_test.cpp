@@ -1,0 +1,288 @@
+//===- tests/incremental_test.cpp - Incremental pipeline tests ------------===//
+//
+// Covers the incremental FE->IPA->BE pipeline and its on-disk summary
+// cache:
+//  - ModuleSummary serialization round-trips byte-exactly (the property
+//    the cold/warm equivalence contract reduces to);
+//  - a warm run reuses every summary and renders advice byte-identical
+//    to the cold run that populated the cache;
+//  - mutating one TU recomputes exactly that TU, and the result matches
+//    a from-scratch cold run;
+//  - corrupt, truncated, and version-mismatched cache entries are each
+//    ignored with a diagnostic and a cold fallback — never a crash, and
+//    never different advice;
+//  - changing a record schema in a *dependency* TU invalidates the
+//    cached summaries of the TUs that use it (the ResolvedFingerprint
+//    stamp), while unrelated TUs stay warm.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Incremental.h"
+#include "pipeline/Summary.h"
+#include "pipeline/SummaryCache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace slo;
+
+namespace {
+
+// A three-TU program: `a` defines struct S, `b` uses it only through an
+// opaque pointer (the dependency edge the schema-invalidation test
+// exercises), `c` is self-contained and must stay warm throughout.
+const char *TuA = R"(extern void print_i64(long v);
+struct S { long x; long y; };
+struct S* s_make() {
+  struct S *p = (struct S*) malloc(4 * sizeof(struct S));
+  for (long i = 0; i < 4; i++) { p[i].x = i; p[i].y = 2 * i; }
+  return p;
+}
+long s_sum(struct S *p) {
+  long t = 0;
+  for (long i = 0; i < 4; i++) { t = t + p[i].x; }
+  return t;
+}
+)";
+
+const char *TuB = R"(extern void print_i64(long v);
+extern struct S* s_make();
+extern long s_sum(struct S *p);
+extern long t_work();
+int main() {
+  struct S *p = s_make();
+  print_i64(s_sum(p) + t_work());
+  free(p);
+  return 0;
+}
+)";
+
+const char *TuC = R"(extern void print_i64(long v);
+struct T { long a; long b; };
+long t_work() {
+  struct T *q = (struct T*) malloc(8 * sizeof(struct T));
+  for (long i = 0; i < 8; i++) { q[i].a = i; q[i].b = i + 1; }
+  long s = 0;
+  for (long i = 0; i < 8; i++) { s = s + q[i].a; }
+  free(q);
+  return s;
+}
+)";
+
+std::vector<TuSource> corpus() {
+  return {{"a.minic", TuA}, {"b.minic", TuB}, {"c.minic", TuC}};
+}
+
+class IncrementalTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Scratch = std::filesystem::temp_directory_path() /
+              ("slo_incremental_test_" +
+               std::string(::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->name()));
+    std::error_code Ec;
+    std::filesystem::remove_all(Scratch, Ec);
+  }
+  void TearDown() override {
+    std::error_code Ec;
+    std::filesystem::remove_all(Scratch, Ec);
+  }
+
+  IncrementalResult run(const std::vector<TuSource> &TUs, bool Cached = true) {
+    IncrementalOptions O;
+    if (Cached)
+      O.CacheDir = Scratch.string();
+    O.Threads = 2;
+    IncrementalResult R = runIncrementalAdvice(TUs, O);
+    EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "?" : R.Errors.front());
+    return R;
+  }
+
+  std::filesystem::path Scratch;
+};
+
+TEST_F(IncrementalTest, SerializationRoundTripsExactly) {
+  IncrementalResult Cold = run(corpus(), /*Cached=*/false);
+  ASSERT_EQ(Cold.Summaries.size(), 3u);
+  for (const ModuleSummary &S : Cold.Summaries) {
+    std::string Text = serializeModuleSummary(S);
+    ModuleSummary Back;
+    std::string Error;
+    ASSERT_TRUE(deserializeModuleSummary(Text, Back, Error))
+        << S.ModuleName << ": " << Error;
+    // Byte-exact re-serialization is the whole contract: warm merges
+    // deserialized values where cold merges computed ones.
+    EXPECT_EQ(serializeModuleSummary(Back), Text) << S.ModuleName;
+  }
+}
+
+TEST_F(IncrementalTest, WarmRunIsByteIdenticalAndReusesEverySummary) {
+  IncrementalResult Cold = run(corpus());
+  EXPECT_EQ(Cold.TusRecomputed, 3u);
+  EXPECT_EQ(Cold.Cache.Stores, 3u);
+
+  IncrementalResult Warm = run(corpus());
+  EXPECT_EQ(Warm.TusReused, 3u);
+  EXPECT_EQ(Warm.TusRecomputed, 0u);
+  EXPECT_EQ(Warm.AdviceText, Cold.AdviceText);
+  EXPECT_EQ(Warm.AdviceJson, Cold.AdviceJson);
+  // The advice renderings must not leak cache state, or warm could
+  // never equal cold.
+  EXPECT_EQ(Cold.AdviceText.find("cache"), std::string::npos);
+}
+
+TEST_F(IncrementalTest, MutatingOneTuRecomputesExactlyThatTu) {
+  run(corpus());
+
+  std::vector<TuSource> Mutated = corpus();
+  Mutated[2].Source = std::string(TuC) + "// trailing comment\n";
+  IncrementalResult Warm = run(Mutated);
+  EXPECT_EQ(Warm.TusReused, 2u);
+  EXPECT_EQ(Warm.TusRecomputed, 1u);
+  ASSERT_EQ(Warm.TuStates.size(), 3u);
+  EXPECT_EQ(Warm.TuStates[2], TuState::Recomputed);
+
+  IncrementalResult Ref = run(Mutated, /*Cached=*/false);
+  EXPECT_EQ(Warm.AdviceText, Ref.AdviceText);
+  EXPECT_EQ(Warm.AdviceJson, Ref.AdviceJson);
+}
+
+TEST_F(IncrementalTest, CorruptCacheEntryFallsBackColdWithDiagnostic) {
+  IncrementalResult Cold = run(corpus());
+
+  SummaryCache Cache(Scratch.string());
+  std::ofstream(Cache.pathFor("b.minic"), std::ios::trunc)
+      << "not a summary at all\n";
+
+  IncrementalResult Warm = run(corpus());
+  EXPECT_EQ(Warm.TusReused, 2u);
+  EXPECT_EQ(Warm.TusRecomputed, 1u);
+  EXPECT_GE(Warm.Cache.Corrupt, 1u);
+  EXPECT_EQ(Warm.AdviceText, Cold.AdviceText);
+  EXPECT_EQ(Warm.AdviceJson, Cold.AdviceJson);
+
+  bool Reported = false;
+  for (const Diagnostic &D : Warm.CacheDiags)
+    Reported |= D.Code == "summary-cache" &&
+                D.Message.find("ignoring unusable cache entry") !=
+                    std::string::npos;
+  EXPECT_TRUE(Reported) << "corrupt entry was ignored silently";
+
+  // The recomputation re-stored a good entry: the next run is fully warm.
+  IncrementalResult Healed = run(corpus());
+  EXPECT_EQ(Healed.TusReused, 3u);
+}
+
+TEST_F(IncrementalTest, TruncatedCacheEntryFallsBackCold) {
+  IncrementalResult Cold = run(corpus());
+
+  SummaryCache Cache(Scratch.string());
+  std::string Path = Cache.pathFor("a.minic");
+  std::string Text;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Text = Buf.str();
+  }
+  ASSERT_GT(Text.size(), 64u);
+  // Chop mid-record: the checksum line is gone, so deserialization must
+  // refuse before parsing a single field.
+  std::ofstream(Path, std::ios::binary | std::ios::trunc)
+      << Text.substr(0, Text.size() / 2);
+
+  IncrementalResult Warm = run(corpus());
+  EXPECT_EQ(Warm.TusRecomputed, 1u);
+  EXPECT_GE(Warm.Cache.Corrupt, 1u);
+  EXPECT_EQ(Warm.AdviceText, Cold.AdviceText);
+  EXPECT_EQ(Warm.AdviceJson, Cold.AdviceJson);
+}
+
+TEST_F(IncrementalTest, VersionMismatchedEntryFallsBackCold) {
+  IncrementalResult Cold = run(corpus());
+
+  // Rewrite c.minic's entry claiming a future format version, with a
+  // *valid* checksum — the version check itself must reject it, not the
+  // corruption check.
+  SummaryCache Cache(Scratch.string());
+  std::string Path = Cache.pathFor("c.minic");
+  std::string Text;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Text = Buf.str();
+  }
+  std::string Marker = "SLOSUM " + std::to_string(SummaryFormatVersion);
+  ASSERT_EQ(Text.compare(0, Marker.size(), Marker), 0);
+  std::string Bumped = "SLOSUM 999" + Text.substr(Marker.size());
+  size_t EndLine = Bumped.rfind("end ");
+  ASSERT_NE(EndLine, std::string::npos);
+  Bumped.resize(EndLine);
+  char Hex[24];
+  std::snprintf(Hex, sizeof Hex, "%016llx",
+                static_cast<unsigned long long>(fnv1a(Bumped)));
+  Bumped += "end " + std::string(Hex) + "\n";
+  std::ofstream(Path, std::ios::binary | std::ios::trunc) << Bumped;
+
+  IncrementalResult Warm = run(corpus());
+  EXPECT_EQ(Warm.TusRecomputed, 1u);
+  EXPECT_GE(Warm.Cache.Corrupt, 1u);
+  EXPECT_EQ(Warm.AdviceText, Cold.AdviceText);
+
+  bool VersionDiag = false;
+  for (const Diagnostic &D : Warm.CacheDiags)
+    VersionDiag |=
+        D.Message.find("format version mismatch") != std::string::npos;
+  EXPECT_TRUE(VersionDiag);
+}
+
+TEST_F(IncrementalTest, DependencySchemaChangeInvalidatesUsers) {
+  run(corpus());
+
+  // Grow struct S in its *defining* TU. b.minic's source is unchanged,
+  // but its cached summary was stamped with the old program-wide
+  // fingerprint of S, so it must be recomputed; c.minic never mentions
+  // S and must stay warm.
+  std::vector<TuSource> Mutated = corpus();
+  Mutated[0].Source = std::string(TuA);
+  size_t Pos = Mutated[0].Source.find("long y; };");
+  ASSERT_NE(Pos, std::string::npos);
+  Mutated[0].Source.replace(Pos, 10, "long y; long z; };");
+
+  IncrementalResult Warm = run(Mutated);
+  ASSERT_EQ(Warm.TuStates.size(), 3u);
+  EXPECT_EQ(Warm.TuStates[0], TuState::Recomputed);
+  EXPECT_EQ(Warm.TuStates[1], TuState::SchemaInvalidated);
+  EXPECT_EQ(Warm.TuStates[2], TuState::Reused);
+  EXPECT_EQ(Warm.TusSchemaInvalidated, 1u);
+
+  IncrementalResult Ref = run(Mutated, /*Cached=*/false);
+  EXPECT_EQ(Warm.AdviceText, Ref.AdviceText);
+  EXPECT_EQ(Warm.AdviceJson, Ref.AdviceJson);
+}
+
+TEST_F(IncrementalTest, DisabledCacheMissesAndStoresNothing) {
+  SummaryCache Cache("");
+  EXPECT_FALSE(Cache.enabled());
+  ModuleSummary S;
+  S.ModuleName = "x";
+  EXPECT_TRUE(Cache.store(S, nullptr));
+  ModuleSummary Out;
+  EXPECT_EQ(Cache.load("x", Out, nullptr), SummaryCache::LoadStatus::Miss);
+
+  // An enabled cache in a directory that does not exist yet: a miss,
+  // then a store that creates the directory, then a hit.
+  SummaryCache OnDisk((Scratch / "deep" / "nested").string());
+  EXPECT_EQ(OnDisk.load("x", Out, nullptr), SummaryCache::LoadStatus::Miss);
+  EXPECT_TRUE(OnDisk.store(S, nullptr));
+  EXPECT_EQ(OnDisk.load("x", Out, nullptr), SummaryCache::LoadStatus::Hit);
+  EXPECT_EQ(Out.ModuleName, "x");
+}
+
+} // namespace
