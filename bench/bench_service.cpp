@@ -1,0 +1,264 @@
+//===- bench/bench_service.cpp - Advisory daemon service benchmark --------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// The SLO-as-a-service daemon under load, measured end to end through
+// the wire protocol (socketpair transport, same code path as TCP):
+//
+//   - ingest latency: N producer connections stream PutSource upserts
+//     from a generated corpus (RetryAfter honored and counted); the
+//     artifact carries the p50/p99 round-trip latency;
+//   - advice throughput: M reader connections hammer GET_ADVICE for a
+//     fixed duration; the artifact carries the answered QPS;
+//   - the serve-equals-oneshot invariant: after all the load, the
+//     daemon's advice must be byte-identical to a monolithic
+//     runIncrementalAdvice over the same TU set. The bench exits 1 on
+//     divergence even before bench_compare.py sees the artifact.
+//
+// Wall times are real wall clock, so the JSON artifact is NOT
+// byte-stable across runs; scripts/bench_compare.py --service gates
+// the invariant flags and generous ratio floors, never exact numbers.
+//
+//   bench_service [--tus N] [--producers N] [--readers N] [--ops N]
+//                 [--duration-ms D] [--seed S] [--out FILE]
+//
+// Writes BENCH_service.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtils.h"
+
+#include "fuzz/ProgramFuzzer.h"
+#include "support/Error.h"
+#include "pipeline/Incremental.h"
+#include "service/AdvisoryDaemon.h"
+#include "service/ServiceClient.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <unistd.h>
+
+using namespace slo;
+using namespace slo::bench;
+using namespace slo::service;
+
+namespace {
+
+double wallMs(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+double percentile(std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(Q * static_cast<double>(Sorted.size()));
+  if (Idx >= Sorted.size())
+    Idx = Sorted.size() - 1;
+  return Sorted[Idx];
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Units = 24, Producers = 4, Readers = 4, OpsPerProducer = 60;
+  unsigned DurationMs = 1500;
+  uint64_t Seed = 42;
+  std::string OutPath = "BENCH_service.json";
+  for (int I = 1; I < argc; ++I) {
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (std::strcmp(argv[I], "--tus") == 0) {
+      if (const char *V = Next())
+        Units = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (std::strcmp(argv[I], "--producers") == 0) {
+      if (const char *V = Next())
+        Producers = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (std::strcmp(argv[I], "--readers") == 0) {
+      if (const char *V = Next())
+        Readers = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (std::strcmp(argv[I], "--ops") == 0) {
+      if (const char *V = Next())
+        OpsPerProducer = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (std::strcmp(argv[I], "--duration-ms") == 0) {
+      if (const char *V = Next())
+        DurationMs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (std::strcmp(argv[I], "--seed") == 0) {
+      if (const char *V = Next())
+        Seed = std::strtoull(V, nullptr, 10);
+    } else if (std::strcmp(argv[I], "--out") == 0) {
+      if (const char *V = Next())
+        OutPath = V;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--tus N] [--producers N] "
+                   "[--readers N] [--ops N] [--duration-ms D] [--seed S] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+  if (Units < 2)
+    Units = 2;
+  if (Producers < 1)
+    Producers = 1;
+  if (Readers < 1)
+    Readers = 1;
+
+  std::vector<FuzzTu> Corpus = generateFuzzCorpus(Seed, Units);
+  std::vector<TuSource> TUs;
+  for (const FuzzTu &Tu : Corpus)
+    TUs.push_back({Tu.FileName, Tu.Program.render()});
+
+  DaemonConfig Config;
+  Config.Summary.Lint = false;
+  Config.IngestQueueDepth = Producers; // Some shedding under full load.
+  Config.RetryAfterMillis = 2;
+  SummaryOptions OracleOpts = Config.Summary;
+  AdvisoryDaemon Daemon(std::move(Config));
+
+  auto Connect = [&]() -> int {
+    int Fds[2];
+    if (!makeSocketPair(Fds))
+      reportFatalError("bench_service: socketpair failed");
+    if (!Daemon.adoptConnection(Fds[0]))
+      reportFatalError("bench_service: daemon refused a connection");
+    return Fds[1];
+  };
+
+  std::printf("bench_service: %zu TUs, %u producers x %u ops, %u readers x "
+              "%u ms (seed %llu)\n",
+              TUs.size(), Producers, OpsPerProducer, Readers, DurationMs,
+              static_cast<unsigned long long>(Seed));
+
+  //===--------------------------------------------------------------------===//
+  // Phase 1: ingest latency under N producers
+  //===--------------------------------------------------------------------===//
+  std::vector<std::vector<double>> LatPerProducer(Producers);
+  std::atomic<uint64_t> Retries{0};
+  std::atomic<unsigned> IngestFailures{0};
+  auto IngestT0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned P = 0; P < Producers; ++P) {
+      Threads.emplace_back([&, P] {
+        ServiceClient C(Connect(), 30000);
+        LatPerProducer[P].reserve(OpsPerProducer);
+        for (unsigned I = 0; I < OpsPerProducer; ++I) {
+          const TuSource &Tu = TUs[(P + I * Producers) % TUs.size()];
+          unsigned R = 0;
+          auto T0 = std::chrono::steady_clock::now();
+          ServiceReply Reply =
+              C.putWithRetry(Opcode::PutSource,
+                             encodePutSource(Tu.Name, Tu.Source), 1000, &R);
+          LatPerProducer[P].push_back(wallMs(T0));
+          Retries += R;
+          if (!Reply.ok())
+            ++IngestFailures;
+        }
+      });
+    }
+    for (auto &T : Threads)
+      T.join();
+  }
+  double IngestWallMs = wallMs(IngestT0);
+  if (IngestFailures.load())
+    reportFatalError("bench_service: ingest failures under load");
+
+  std::vector<double> Lat;
+  for (const auto &L : LatPerProducer)
+    Lat.insert(Lat.end(), L.begin(), L.end());
+  std::sort(Lat.begin(), Lat.end());
+  double P50 = percentile(Lat, 0.50);
+  double P99 = percentile(Lat, 0.99);
+  uint64_t IngestOps = Lat.size();
+
+  //===--------------------------------------------------------------------===//
+  // Phase 2: advice QPS under M readers
+  //===--------------------------------------------------------------------===//
+  std::atomic<uint64_t> AdviceOk{0};
+  std::atomic<unsigned> AdviceFailures{0};
+  auto AdviceT0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned R = 0; R < Readers; ++R) {
+      Threads.emplace_back([&] {
+        ServiceClient C(Connect(), 30000);
+        auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(DurationMs);
+        while (std::chrono::steady_clock::now() < Deadline) {
+          ServiceReply Reply = C.getAdvice(false);
+          if (Reply.Transport && Reply.Op == Opcode::Advice)
+            ++AdviceOk;
+          else
+            ++AdviceFailures;
+        }
+      });
+    }
+    for (auto &T : Threads)
+      T.join();
+  }
+  double AdviceWallMs = wallMs(AdviceT0);
+  if (AdviceFailures.load())
+    reportFatalError("bench_service: advice failures under load");
+  double Qps =
+      AdviceWallMs > 0
+          ? static_cast<double>(AdviceOk.load()) / (AdviceWallMs / 1000.0)
+          : 0.0;
+
+  //===--------------------------------------------------------------------===//
+  // The invariant: serve equals oneshot, byte for byte
+  //===--------------------------------------------------------------------===//
+  std::sort(TUs.begin(), TUs.end(),
+            [](const TuSource &A, const TuSource &B) { return A.Name < B.Name; });
+  IncrementalOptions O;
+  O.Summary = OracleOpts;
+  IncrementalResult Oracle = runIncrementalAdvice(TUs, O);
+  if (!Oracle.Ok)
+    reportFatalError("bench_service: oracle corpus failed to compile");
+
+  ServiceClient C(Connect(), 30000);
+  ServiceReply Served = C.getAdvice(false);
+  bool Identical = Served.Transport && Served.Op == Opcode::Advice &&
+                   Served.Text == Oracle.AdviceText;
+  Daemon.stop();
+
+  std::printf("  ingest  %llu ops in %.1f ms: p50 %.3f ms, p99 %.3f ms, "
+              "%llu retries\n",
+              static_cast<unsigned long long>(IngestOps), IngestWallMs, P50,
+              P99, static_cast<unsigned long long>(Retries.load()));
+  std::printf("  advice  %llu requests in %.1f ms: %.1f qps\n",
+              static_cast<unsigned long long>(AdviceOk.load()), AdviceWallMs,
+              Qps);
+  std::printf("  advice vs oneshot: %s\n",
+              Identical ? "identical" : "DIVERGED");
+
+  std::string Json;
+  Json += "{\n";
+  Json += "  \"bench\": \"service\",\n";
+  Json += "  \"tus\": " + std::to_string(TUs.size()) + ",\n";
+  Json += "  \"seed\": " + std::to_string(Seed) + ",\n";
+  Json += "  \"producers\": " + std::to_string(Producers) + ",\n";
+  Json += "  \"readers\": " + std::to_string(Readers) + ",\n";
+  Json += "  \"ingest_ops\": " + std::to_string(IngestOps) + ",\n";
+  Json += "  \"ingest_wall_ms\": " + std::to_string(IngestWallMs) + ",\n";
+  Json += "  \"ingest_p50_ms\": " + std::to_string(P50) + ",\n";
+  Json += "  \"ingest_p99_ms\": " + std::to_string(P99) + ",\n";
+  Json += "  \"ingest_retries\": " + std::to_string(Retries.load()) + ",\n";
+  Json += "  \"advice_requests\": " + std::to_string(AdviceOk.load()) + ",\n";
+  Json += "  \"advice_wall_ms\": " + std::to_string(AdviceWallMs) + ",\n";
+  Json += "  \"advice_qps\": " + std::to_string(Qps) + ",\n";
+  Json += std::string("  \"advice_identical\": ") +
+          (Identical ? "true" : "false") + "\n";
+  Json += "}\n";
+  writeTextFile(OutPath, Json);
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  // Smoke gate: byte divergence is wrong regardless of throughput.
+  return Identical ? 0 : 1;
+}

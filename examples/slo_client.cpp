@@ -1,0 +1,413 @@
+//===- examples/slo_client.cpp - Advisory daemon client -------------------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// Command-line client for slo_served. Operations execute in argument
+// order on one connection (except --hammer and --fuzz-frames, which own
+// their connections):
+//
+//   slo_client (--port=N | --port-file=P) [ops...]
+//     --ping                  protocol version round-trip
+//     --put-source MOD=FILE   compile FILE as module MOD on the daemon
+//     --put-summary FILE      upload a serialized ModuleSummary
+//     --put-profile MOD=FILE  merge a feedback file into MOD's profile
+//     --get-advice            print program-wide advice (stdout)
+//     --json                  ... as JSON (affects --get-advice)
+//     --get-profile MOD       print MOD's accumulated profile (stdout)
+//     --stats                 print service counters + ingest digests
+//     --batch                 send all --put-* ops as one Batch frame
+//     --shutdown              ask the daemon to drain and stop
+//     --hammer N              N threads re-ingest the --put-source TUs
+//                             and read advice concurrently; every reply
+//                             must be byte-identical (exit 1 otherwise)
+//     --hammer-rounds R       rounds per hammer thread (default 10)
+//     --fuzz-frames N         fire N malformed frames (the frame
+//                             fuzzer); exit 1 if the daemon crashes,
+//                             wedges, or answers garbage with success
+//     --seed S                fuzzer seed (default 1)
+//     --timeout-ms=N          per-round-trip budget (default 10000)
+//
+// RetryAfter responses are honored with the suggested backoff — the
+// client is the retry loop, the daemon only sheds load.
+//
+//===----------------------------------------------------------------------===//
+
+#include "DriverUtils.h"
+
+#include "service/FrameFuzzer.h"
+#include "service/ServiceClient.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace slo;
+using namespace slo::service;
+using namespace slo::driver;
+
+namespace {
+
+struct Op {
+  enum Kind {
+    Ping,
+    PutSource,
+    PutSummary,
+    PutProfile,
+    GetAdvice,
+    GetProfile,
+    Stats,
+    Shutdown
+  } K;
+  std::string Module; // PutSource/PutProfile/GetProfile
+  std::string Path;   // PutSource/PutSummary/PutProfile
+};
+
+bool readFileOrDiag(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "slo_client: cannot read %s\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// "MOD=PATH" argument split.
+bool splitModArg(const std::string &Flag, const std::string &V,
+                 std::string &Module, std::string &Path) {
+  size_t Eq = V.find('=');
+  if (Eq == std::string::npos || Eq == 0 || Eq + 1 == V.size()) {
+    std::fprintf(stderr, "%s expects MOD=FILE, got '%s'\n", Flag.c_str(),
+                 V.c_str());
+    return false;
+  }
+  Module = V.substr(0, Eq);
+  Path = V.substr(Eq + 1);
+  return true;
+}
+
+bool reportReply(const char *What, const ServiceReply &R) {
+  if (!R.Transport) {
+    std::fprintf(stderr, "slo_client: %s: transport failure\n", What);
+    return false;
+  }
+  if (R.Op == Opcode::Error) {
+    std::fprintf(stderr, "slo_client: %s: error %u: %s\n", What, R.Code,
+                 R.Message.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Port = 0, HammerThreads = 0, HammerRounds = 10, FuzzFrames = 0,
+           Seed = 1, TimeoutMs = 10000;
+  std::string PortFile;
+  bool Json = false, UseBatch = false;
+  std::vector<Op> Ops;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I], V;
+    if (valuedFlag("--port", argc, argv, I, V)) {
+      if (!parseU64Arg("--port", V, Port))
+        return 1;
+    } else if (valuedFlag("--port-file", argc, argv, I, V)) {
+      PortFile = V;
+    } else if (A == "--ping") {
+      Ops.push_back({Op::Ping, "", ""});
+    } else if (valuedFlag("--put-source", argc, argv, I, V)) {
+      Op O{Op::PutSource, "", ""};
+      if (!splitModArg("--put-source", V, O.Module, O.Path))
+        return 1;
+      Ops.push_back(O);
+    } else if (valuedFlag("--put-summary", argc, argv, I, V)) {
+      Ops.push_back({Op::PutSummary, "", V});
+    } else if (valuedFlag("--put-profile", argc, argv, I, V)) {
+      Op O{Op::PutProfile, "", ""};
+      if (!splitModArg("--put-profile", V, O.Module, O.Path))
+        return 1;
+      Ops.push_back(O);
+    } else if (A == "--get-advice") {
+      Ops.push_back({Op::GetAdvice, "", ""});
+    } else if (A == "--json") {
+      Json = true;
+    } else if (valuedFlag("--get-profile", argc, argv, I, V)) {
+      Ops.push_back({Op::GetProfile, V, ""});
+    } else if (A == "--stats") {
+      Ops.push_back({Op::Stats, "", ""});
+    } else if (A == "--batch") {
+      UseBatch = true;
+    } else if (A == "--shutdown") {
+      Ops.push_back({Op::Shutdown, "", ""});
+    } else if (valuedFlag("--hammer", argc, argv, I, V)) {
+      if (!parseU64Arg("--hammer", V, HammerThreads))
+        return 1;
+    } else if (valuedFlag("--hammer-rounds", argc, argv, I, V)) {
+      if (!parseU64Arg("--hammer-rounds", V, HammerRounds))
+        return 1;
+    } else if (valuedFlag("--fuzz-frames", argc, argv, I, V)) {
+      if (!parseU64Arg("--fuzz-frames", V, FuzzFrames))
+        return 1;
+    } else if (valuedFlag("--seed", argc, argv, I, V)) {
+      if (!parseU64Arg("--seed", V, Seed))
+        return 1;
+    } else if (valuedFlag("--timeout-ms", argc, argv, I, V)) {
+      if (!parseU64Arg("--timeout-ms", V, TimeoutMs))
+        return 1;
+    } else {
+      std::fprintf(stderr, "slo_client: unknown argument '%s' (see the "
+                           "header comment for usage)\n",
+                   A.c_str());
+      return A == "--help" ? 0 : 1;
+    }
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);
+  if (!PortFile.empty()) {
+    std::string Text;
+    if (!readFileOrDiag(PortFile, Text))
+      return 1;
+    if (!parseU64Arg("--port-file", Text.substr(0, Text.find('\n')), Port))
+      return 1;
+  }
+  if (Port == 0 || Port > 65535) {
+    std::fprintf(stderr, "slo_client: need --port=N or --port-file=P\n");
+    return 1;
+  }
+
+  auto Connect = [&]() {
+    return connectTcpLocalhost(static_cast<uint16_t>(Port));
+  };
+  auto MakeClient = [&]() -> std::unique_ptr<ServiceClient> {
+    int Fd = Connect();
+    if (Fd < 0) {
+      std::fprintf(stderr, "slo_client: cannot connect to 127.0.0.1:%llu\n",
+                   static_cast<unsigned long long>(Port));
+      return nullptr;
+    }
+    return std::make_unique<ServiceClient>(Fd, static_cast<int>(TimeoutMs));
+  };
+
+  //===--------------------------------------------------------------------===//
+  // Frame fuzz mode
+  //===--------------------------------------------------------------------===//
+  if (FuzzFrames) {
+    FrameFuzzOptions FO;
+    FO.Seed = Seed;
+    FO.Count = FuzzFrames;
+    FO.ReplyTimeoutMillis = static_cast<int>(TimeoutMs);
+    FrameFuzzReport Report;
+    bool Ok = runFrameFuzz(FO, Connect, Report);
+    std::fprintf(stderr,
+                 "slo_client: fuzz: sent %zu, replied %zu, probes-ok %zu, "
+                 "violations %zu\n",
+                 Report.Sent, Report.Replied, Report.ProbesOk,
+                 Report.Violations);
+    if (!Ok) {
+      std::fprintf(stderr, "slo_client: fuzz: FIRST VIOLATION: %s\n",
+                   Report.FirstViolation.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Hammer mode: concurrent re-ingest + advice reads, all byte-identical
+  //===--------------------------------------------------------------------===//
+  if (HammerThreads) {
+    struct Tu {
+      std::string Module, Source;
+    };
+    std::vector<Tu> Tus;
+    for (const Op &O : Ops) {
+      if (O.K != Op::PutSource)
+        continue;
+      Tu T;
+      T.Module = O.Module;
+      if (!readFileOrDiag(O.Path, T.Source))
+        return 1;
+      Tus.push_back(std::move(T));
+    }
+    if (Tus.empty()) {
+      std::fprintf(stderr,
+                   "slo_client: --hammer needs at least one --put-source\n");
+      return 1;
+    }
+    std::atomic<bool> Failed{false};
+    std::mutex OutMutex;
+    std::string Expected;
+    std::vector<std::thread> Threads;
+    for (uint64_t T = 0; T < HammerThreads; ++T) {
+      Threads.emplace_back([&, T] {
+        auto C = MakeClient();
+        if (!C) {
+          Failed = true;
+          return;
+        }
+        for (uint64_t R = 0; R < HammerRounds && !Failed; ++R) {
+          const Tu &U = Tus[(T + R) % Tus.size()];
+          ServiceReply PR = C->putWithRetry(
+              Opcode::PutSource, encodePutSource(U.Module, U.Source));
+          if (!reportReply("hammer put-source", PR)) {
+            Failed = true;
+            return;
+          }
+          ServiceReply AR = C->getAdvice(false);
+          if (!AR.Transport || AR.Op != Opcode::Advice) {
+            reportReply("hammer get-advice", AR);
+            Failed = true;
+            return;
+          }
+          std::lock_guard<std::mutex> Lock(OutMutex);
+          if (Expected.empty())
+            Expected = AR.Text;
+          else if (AR.Text != Expected) {
+            std::fprintf(stderr, "slo_client: hammer: advice bytes DIVERGED "
+                                 "between concurrent readers\n");
+            Failed = true;
+            return;
+          }
+        }
+      });
+    }
+    for (auto &T : Threads)
+      T.join();
+    if (Failed)
+      return 1;
+    std::fprintf(stderr,
+                 "slo_client: hammer: %llu threads x %llu rounds, advice "
+                 "byte-identical throughout\n",
+                 static_cast<unsigned long long>(HammerThreads),
+                 static_cast<unsigned long long>(HammerRounds));
+    return 0;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Sequential ops (optionally batched)
+  //===--------------------------------------------------------------------===//
+  auto C = MakeClient();
+  if (!C)
+    return 1;
+
+  if (UseBatch) {
+    std::vector<std::pair<Opcode, std::string>> Items;
+    for (const Op &O : Ops) {
+      std::string Text;
+      switch (O.K) {
+      case Op::PutSource:
+        if (!readFileOrDiag(O.Path, Text))
+          return 1;
+        Items.push_back({Opcode::PutSource, encodePutSource(O.Module, Text)});
+        break;
+      case Op::PutSummary: {
+        if (!readFileOrDiag(O.Path, Text))
+          return 1;
+        std::string Body;
+        appendString(Body, Text);
+        Items.push_back({Opcode::PutSummary, Body});
+        break;
+      }
+      case Op::PutProfile:
+        if (!readFileOrDiag(O.Path, Text))
+          return 1;
+        Items.push_back({Opcode::PutProfile, encodePutProfile(O.Module, Text)});
+        break;
+      default:
+        std::fprintf(stderr,
+                     "slo_client: --batch carries --put-* ops only\n");
+        return 1;
+      }
+    }
+    ServiceReply R = C->batch(Items);
+    if (!reportReply("batch", R))
+      return 1;
+    for (size_t I = 0; I < R.Inner.size(); ++I)
+      if (!reportReply(("batch item " + std::to_string(I)).c_str(),
+                       R.Inner[I]))
+        return 1;
+    std::fprintf(stderr, "slo_client: batch of %zu applied\n",
+                 R.Inner.size());
+    return 0;
+  }
+
+  for (const Op &O : Ops) {
+    std::string Text;
+    switch (O.K) {
+    case Op::Ping: {
+      ServiceReply R = C->ping();
+      if (!R.Transport || R.Op != Opcode::Pong)
+        return reportReply("ping", R), 1;
+      std::fprintf(stderr, "slo_client: pong (protocol v%u)\n", R.Version);
+      break;
+    }
+    case Op::PutSource: {
+      if (!readFileOrDiag(O.Path, Text))
+        return 1;
+      ServiceReply R = C->putWithRetry(Opcode::PutSource,
+                                       encodePutSource(O.Module, Text));
+      if (!reportReply("put-source", R))
+        return 1;
+      break;
+    }
+    case Op::PutSummary: {
+      if (!readFileOrDiag(O.Path, Text))
+        return 1;
+      std::string Body;
+      appendString(Body, Text);
+      ServiceReply R = C->putWithRetry(Opcode::PutSummary, Body);
+      if (!reportReply("put-summary", R))
+        return 1;
+      break;
+    }
+    case Op::PutProfile: {
+      if (!readFileOrDiag(O.Path, Text))
+        return 1;
+      ServiceReply R = C->putWithRetry(Opcode::PutProfile,
+                                       encodePutProfile(O.Module, Text));
+      if (!reportReply("put-profile", R))
+        return 1;
+      break;
+    }
+    case Op::GetAdvice: {
+      ServiceReply R = C->getAdvice(Json);
+      if (!R.Transport || R.Op != Opcode::Advice)
+        return reportReply("get-advice", R), 1;
+      std::fwrite(R.Text.data(), 1, R.Text.size(), stdout);
+      break;
+    }
+    case Op::GetProfile: {
+      ServiceReply R = C->getProfile(O.Module);
+      if (!R.Transport || R.Op != Opcode::Profile)
+        return reportReply("get-profile", R), 1;
+      std::fwrite(R.Text.data(), 1, R.Text.size(), stdout);
+      break;
+    }
+    case Op::Stats: {
+      ServiceReply R = C->getStats();
+      if (!R.Transport || R.Op != Opcode::Stats)
+        return reportReply("stats", R), 1;
+      std::fprintf(stdout, "%s\n", R.Text.c_str());
+      break;
+    }
+    case Op::Shutdown: {
+      ServiceReply R = C->shutdown();
+      if (!R.Transport || R.Op != Opcode::Ok)
+        return reportReply("shutdown", R), 1;
+      std::fprintf(stderr, "slo_client: daemon draining\n");
+      break;
+    }
+    }
+  }
+  return 0;
+}

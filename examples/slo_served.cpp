@@ -1,0 +1,193 @@
+//===- examples/slo_served.cpp - The advisory daemon front door -----------===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+// SLO-as-a-service: serves the advisory pipeline on a localhost TCP
+// port speaking the length-prefixed protocol (DESIGN.md §13). Clients
+// (slo_client, or anything speaking the protocol) stream MiniC sources,
+// summary uploads and feedback payloads, and read back program-wide
+// advice that is byte-identical to a one-shot `slo_driver
+// --summary-cache` run over the same translation units.
+//
+//   slo_served [options]
+//     --port=N            listen port (default 0 = ephemeral)
+//     --port-file=P       write the bound port to P (for scripts)
+//     --scheme=NAME       static scheme: ISPBO (default) | SPBO |
+//                         ISPBO.NO | ISPBO.W
+//     --lint              summaries carry lint findings (matches
+//                         `slo_driver --summary-cache --lint`)
+//     --shards=N          state shard count (default 16)
+//     --queue-depth=N     max in-flight ingest requests (default 8)
+//     --retry-after-ms=N  backoff carried in RetryAfter (default 20)
+//     --timeout-ms=N      mid-frame stall budget (default 5000)
+//     --idle-timeout-ms=N per-connection idle budget (default 0 = none)
+//     --max-conn=N        connection cap (default 64)
+//     --stats-json=P      write service counters + ingest digests to P
+//                         on exit
+//     --trace-json=P      write Chrome trace_event spans to P on exit
+//     --inject-frame-bug  deliberately answer garbage opcodes as Ping
+//                         (non-vacuity check for the frame fuzzer)
+//
+// SIGINT/SIGTERM and the protocol's Shutdown request both trigger the
+// same graceful drain: stop accepting, finish in-flight requests, flush
+// responses, exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "DriverUtils.h"
+
+#include "observability/CounterRegistry.h"
+#include "observability/Tracer.h"
+#include "service/AdvisoryDaemon.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+using namespace slo;
+using namespace slo::service;
+using namespace slo::driver;
+
+namespace {
+
+volatile std::sig_atomic_t GSignal = 0;
+void onSignal(int Sig) { GSignal = Sig; }
+
+bool writeFileOrWarn(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Text;
+  if (!Out.good()) {
+    std::fprintf(stderr, "slo_served: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  DaemonConfig Config;
+  // Match slo_driver's defaults: lint is opt-in there, so the daemon's
+  // advice stays byte-comparable to a plain --summary-cache run.
+  Config.Summary.Lint = false;
+  uint64_t Port = 0;
+  std::string PortFile, StatsJsonPath, TraceJsonPath;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I], V;
+    uint64_t N = 0;
+    if (valuedFlag("--port", argc, argv, I, V)) {
+      if (!parseU64Arg("--port", V, Port) || Port > 65535) {
+        std::fprintf(stderr, "--port expects 0..65535\n");
+        return 1;
+      }
+    } else if (valuedFlag("--port-file", argc, argv, I, V)) {
+      PortFile = V;
+    } else if (A.rfind("--scheme=", 0) == 0) {
+      std::string S = A.substr(9);
+      if (S == "ISPBO")
+        Config.Summary.Scheme = WeightScheme::ISPBO;
+      else if (S == "SPBO")
+        Config.Summary.Scheme = WeightScheme::SPBO;
+      else if (S == "ISPBO.NO")
+        Config.Summary.Scheme = WeightScheme::ISPBO_NO;
+      else if (S == "ISPBO.W")
+        Config.Summary.Scheme = WeightScheme::ISPBO_W;
+      else {
+        std::fprintf(stderr,
+                     "slo_served serves static schemes only, got '%s'\n",
+                     S.c_str());
+        return 1;
+      }
+    } else if (A == "--lint") {
+      Config.Summary.Lint = true;
+    } else if (valuedFlag("--shards", argc, argv, I, V)) {
+      if (!parseU64Arg("--shards", V, N))
+        return 1;
+      Config.Shards = static_cast<unsigned>(N);
+    } else if (valuedFlag("--queue-depth", argc, argv, I, V)) {
+      if (!parseU64Arg("--queue-depth", V, N))
+        return 1;
+      Config.IngestQueueDepth = static_cast<unsigned>(N);
+    } else if (valuedFlag("--retry-after-ms", argc, argv, I, V)) {
+      if (!parseU64Arg("--retry-after-ms", V, N))
+        return 1;
+      Config.RetryAfterMillis = static_cast<uint32_t>(N);
+    } else if (valuedFlag("--timeout-ms", argc, argv, I, V)) {
+      if (!parseU64Arg("--timeout-ms", V, N))
+        return 1;
+      Config.FrameTimeoutMillis = static_cast<int>(N);
+    } else if (valuedFlag("--idle-timeout-ms", argc, argv, I, V)) {
+      if (!parseU64Arg("--idle-timeout-ms", V, N))
+        return 1;
+      Config.IdleTimeoutMillis = static_cast<int>(N);
+    } else if (valuedFlag("--max-conn", argc, argv, I, V)) {
+      if (!parseU64Arg("--max-conn", V, N))
+        return 1;
+      Config.MaxConnections = static_cast<unsigned>(N);
+    } else if (A.rfind("--stats-json=", 0) == 0) {
+      StatsJsonPath = A.substr(13);
+    } else if (A.rfind("--trace-json=", 0) == 0) {
+      TraceJsonPath = A.substr(13);
+    } else if (A == "--inject-frame-bug") {
+      Config.InjectFrameBug = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: slo_served [--port=N] [--port-file=P] [--scheme=NAME] "
+          "[--lint] [--shards=N] [--queue-depth=N] [--retry-after-ms=N] "
+          "[--timeout-ms=N] [--idle-timeout-ms=N] [--max-conn=N] "
+          "[--stats-json=P] [--trace-json=P] [--inject-frame-bug]\n");
+      return A == "--help" ? 0 : 1;
+    }
+  }
+
+  CounterRegistry Counters;
+  Tracer Trace;
+  Config.Counters = &Counters;
+  Config.Trace = &Trace;
+  if (Config.InjectFrameBug)
+    std::fprintf(stderr, "slo_served: running with --inject-frame-bug; "
+                         "this daemon is DELIBERATELY broken\n");
+
+  AdvisoryDaemon Daemon(std::move(Config));
+  if (!Daemon.listenTcp(static_cast<uint16_t>(Port))) {
+    std::fprintf(stderr, "slo_served: cannot listen on 127.0.0.1:%llu\n",
+                 static_cast<unsigned long long>(Port));
+    return 1;
+  }
+  std::fprintf(stderr, "slo_served: listening on 127.0.0.1:%u\n",
+               Daemon.port());
+  if (!PortFile.empty() &&
+      !writeFileOrWarn(PortFile, std::to_string(Daemon.port()) + "\n"))
+    return 1;
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Park until a signal or a protocol Shutdown begins the drain.
+  while (GSignal == 0 && !Daemon.stopping())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::fprintf(stderr, "slo_served: draining (%s)\n",
+               GSignal ? "signal" : "shutdown request");
+  Daemon.stop();
+
+  if (!StatsJsonPath.empty()) {
+    std::string Json = "{\"counters\": " + Counters.renderJson() +
+                       ", \"records\": " +
+                       Daemon.state().renderRecordDigestsJson() + "}\n";
+    if (!writeFileOrWarn(StatsJsonPath, Json))
+      return 1;
+  }
+  if (!TraceJsonPath.empty() &&
+      !writeFileOrWarn(TraceJsonPath, Trace.renderChromeJson()))
+    return 1;
+  std::fprintf(stderr, "slo_served: stopped cleanly\n");
+  return 0;
+}

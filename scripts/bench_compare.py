@@ -28,6 +28,16 @@ less simulator wall time. The engine field of each artifact is checked
 literally, so a build that silently fell back to the walker cannot pass
 the gate by comparing the walker against itself.
 
+A fifth leg gates BENCH_service.json (the advisory-daemon bench): the
+daemon's advice after concurrent ingest must be byte-identical to the
+monolithic one-shot run over the same TU set (advice_identical is a
+hard invariant), both load phases must have actually run (positive op
+counts), and throughput/latency are held to generous ratio floors
+against the checked-in baseline — QPS may not collapse below
+--min-qps-ratio of baseline, ingest p99 may not blow past
+--max-p99-ratio times baseline. Wall clock is not byte-stable, so the
+ratios are deliberately loose; only the identity flag is exact.
+
 A fourth leg gates BENCH_incremental.json (the cold-vs-warm summary
 cache bench): the warm run must render advice byte-identical to the
 cold run that populated the cache, the 1-TU-invalidated run must render
@@ -47,6 +57,9 @@ Usage:
   bench_compare.py --engine-compare WALKER.json VM.json [--min-speedup 2.5]
   bench_compare.py --incremental BENCH_incremental.json \
       [--min-warm-speedup 10.0]
+  bench_compare.py --service BENCH_service.json \
+      [--service-baseline bench/baselines/BENCH_service.json] \
+      [--min-qps-ratio 0.2] [--max-p99-ratio 5.0]
   bench_compare.py --self-test [--baseline ...] [--profile-quality-baseline ...]
 
 --self-test injects a 10% miss-count regression into a copy of the
@@ -59,7 +72,10 @@ pass, and a wrong engine field, a single diverging row, and an
 insufficient speedup must each be rejected. The incremental leg
 likewise: a clean synthesized artifact must pass, and a flipped
 identity flag, an insufficient warm speedup, and wrong invalidation
-counts must each be rejected.
+counts must each be rejected. The service leg likewise: a clean
+synthesized artifact must pass against a synthesized baseline, and a
+flipped advice_identical flag, a QPS collapse, a p99 blow-up, and an
+empty load phase must each be rejected.
 """
 
 import argparse
@@ -451,6 +467,99 @@ def incremental_self_test(min_warm_speedup):
     return 0
 
 
+def load_service(path):
+    """Loads a BENCH_service.json artifact (see bench_service.cpp)."""
+    doc = load_json(path, "service artifact")
+    if not isinstance(doc, dict) or doc.get("bench") != "service":
+        raise SystemExit(f"{path}: not a BENCH_service.json artifact")
+    require_keys(
+        doc,
+        ("tus", "producers", "readers", "ingest_ops", "ingest_p50_ms",
+         "ingest_p99_ms", "ingest_retries", "advice_requests", "advice_qps",
+         "advice_identical"),
+        path,
+        "service",
+    )
+    return doc
+
+
+def service_gate(doc, baseline, min_qps_ratio, max_p99_ratio):
+    """The advisory-daemon gate: byte-identity is exact, load phases must
+    have run, and throughput/latency stay within generous ratio floors of
+    the baseline (wall clock is not byte-stable, so the ratios are loose
+    by design). Returns a list of human-readable failure strings."""
+    failures = []
+    if not doc["advice_identical"]:
+        failures.append(
+            "daemon advice after concurrent ingest differs from the "
+            "monolithic one-shot run (serve-equals-oneshot broken)"
+        )
+    if doc["ingest_ops"] <= 0:
+        failures.append("ingest phase performed zero operations")
+    if doc["advice_requests"] <= 0:
+        failures.append("advice phase answered zero requests")
+    if baseline["advice_qps"] > 0:
+        ratio = doc["advice_qps"] / baseline["advice_qps"]
+        if ratio < min_qps_ratio:
+            failures.append(
+                f"advice QPS collapsed to {ratio:.2f}x of baseline "
+                f"({baseline['advice_qps']:.1f} -> {doc['advice_qps']:.1f}, "
+                f"floor {min_qps_ratio:.2f}x)"
+            )
+    if baseline["ingest_p99_ms"] > 0:
+        ratio = doc["ingest_p99_ms"] / baseline["ingest_p99_ms"]
+        if ratio > max_p99_ratio:
+            failures.append(
+                f"ingest p99 blew up to {ratio:.2f}x of baseline "
+                f"({baseline['ingest_p99_ms']:.2f} ms -> "
+                f"{doc['ingest_p99_ms']:.2f} ms, ceiling {max_p99_ratio:.2f}x)"
+            )
+    return failures
+
+
+def service_self_test(min_qps_ratio, max_p99_ratio):
+    """Service-leg self-test on synthesized artifacts: a clean artifact
+    passes against a synthesized baseline; a flipped identity flag, a QPS
+    collapse, a p99 blow-up, and an empty load phase are each rejected."""
+    base = {
+        "bench": "service", "tus": 25, "seed": 42, "producers": 4,
+        "readers": 4, "ingest_ops": 240, "ingest_wall_ms": 900.0,
+        "ingest_p50_ms": 12.0, "ingest_p99_ms": 36.0, "ingest_retries": 0,
+        "advice_requests": 4000, "advice_wall_ms": 1500.0,
+        "advice_qps": 2600.0, "advice_identical": True,
+    }
+    if service_gate(base, base, min_qps_ratio, max_p99_ratio):
+        print("self-test FAILED: clean service artifact does not pass")
+        return 1
+
+    diverged = copy.deepcopy(base)
+    diverged["advice_identical"] = False  # Serve != oneshot.
+    broken = service_gate(diverged, base, min_qps_ratio, max_p99_ratio)
+
+    collapsed = copy.deepcopy(base)
+    collapsed["advice_qps"] = base["advice_qps"] * min_qps_ratio * 0.5
+    slow = service_gate(collapsed, base, min_qps_ratio, max_p99_ratio)
+
+    spiked = copy.deepcopy(base)
+    spiked["ingest_p99_ms"] = base["ingest_p99_ms"] * max_p99_ratio * 2.0
+    tail = service_gate(spiked, base, min_qps_ratio, max_p99_ratio)
+
+    idle = copy.deepcopy(base)
+    idle["ingest_ops"] = 0  # A bench that measured nothing.
+    empty = service_gate(idle, base, min_qps_ratio, max_p99_ratio)
+
+    if not broken or not slow or not tail or not empty:
+        print(
+            "self-test FAILED: service gate accepted a flipped identity "
+            "flag, a QPS collapse, a p99 blow-up, or an empty load phase"
+        )
+        return 1
+    print("self-test ok: service artifact passes, injected service failures fail:")
+    for f in broken + slow + tail + empty:
+        print(f"  {f}")
+    return 0
+
+
 def check_compile_time(path):
     """Presence/schema check only: google-benchmark JSON with benchmarks."""
     doc = load_json(path, "compile-time artifact")
@@ -518,7 +627,9 @@ def self_test(baseline_rows, quality, miss_tol, perf_tol, tau_tol):
         print(f"  {f}")
     if engine_self_test(min_speedup=2.5):
         return 1
-    return incremental_self_test(min_warm_speedup=10.0)
+    if incremental_self_test(min_warm_speedup=10.0):
+        return 1
+    return service_self_test(min_qps_ratio=0.2, max_p99_ratio=5.0)
 
 
 def main():
@@ -586,6 +697,31 @@ def main():
         "does not flake)",
     )
     ap.add_argument(
+        "--service",
+        help="freshly produced BENCH_service.json to gate: daemon advice "
+        "must be byte-identical to one-shot, load phases non-empty, "
+        "QPS/p99 within ratio floors of --service-baseline",
+    )
+    ap.add_argument(
+        "--service-baseline",
+        default="bench/baselines/BENCH_service.json",
+    )
+    ap.add_argument(
+        "--min-qps-ratio",
+        type=float,
+        default=0.2,
+        help="minimum current/baseline advice QPS ratio for --service "
+        "(default 0.2; deliberately loose, wall clock is not byte-stable "
+        "and CI boxes vary widely)",
+    )
+    ap.add_argument(
+        "--max-p99-ratio",
+        type=float,
+        default=5.0,
+        help="maximum current/baseline ingest p99 ratio for --service "
+        "(default 5.0; loose for the same reason)",
+    )
+    ap.add_argument(
         "--self-test",
         action="store_true",
         help="verify the gate rejects an injected 10%% miss regression, "
@@ -610,6 +746,30 @@ def main():
             f"{walker['sim_wall_ms'] / vm['sim_wall_ms']:.2f}x faster "
             f"({walker['sim_wall_ms']:.1f} ms -> {vm['sim_wall_ms']:.1f} ms, "
             f"floor {args.min_speedup:.2f}x)"
+        )
+        return 0
+
+    # The service leg gates one fresh artifact against its identity
+    # invariant and loose throughput/latency ratios vs the baseline.
+    if args.service and not args.self_test:
+        doc = load_service(args.service)
+        baseline = load_service(args.service_baseline)
+        failures = service_gate(
+            doc, baseline, args.min_qps_ratio, args.max_p99_ratio
+        )
+        if failures:
+            print(f"service gate FAILED ({len(failures)} finding(s)):")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(
+            f"service gate ok: {doc['tus']} TUs, {doc['producers']} "
+            f"producers, advice byte-identical to one-shot, "
+            f"{doc['advice_qps']:.1f} qps "
+            f"({doc['advice_qps'] / baseline['advice_qps']:.2f}x of "
+            f"baseline, floor {args.min_qps_ratio:.2f}x), ingest p99 "
+            f"{doc['ingest_p99_ms']:.2f} ms "
+            f"(ceiling {args.max_p99_ratio:.2f}x of baseline)"
         )
         return 0
 

@@ -136,6 +136,66 @@ if ./build/examples/slo_fuzz --runs 5 --seed 21 --incremental-parity \
   INC_RC=1
 fi
 
+# Service leg: start the advisory daemon on an ephemeral port, stream
+# the two-TU example through the wire protocol, and the served advice
+# must be byte-identical to the monolithic slo_driver run; then a
+# concurrent hammer, a 200-frame protocol-fuzz sweep against the live
+# daemon, a clean shutdown, the fuzz oracle's vacuity check (a daemon
+# started with --inject-frame-bug must be caught), and the service
+# bench gated against its checked-in baseline.
+echo "=== advisory service (daemon parity + frame fuzz + bench gate) ==="
+SVC_RC=0
+rm -f build/served.port build/served-bug.port
+./build/examples/slo_served --port=0 --port-file=build/served.port &
+SVC_PID=$!
+for _ in $(seq 1 100); do [[ -s build/served.port ]] && break; sleep 0.1; done
+if [[ ! -s build/served.port ]]; then
+  echo "slo_served did not publish a port"
+  SVC_RC=1
+  kill "$SVC_PID" 2>/dev/null || true
+else
+  ./build/examples/slo_client --port-file=build/served.port \
+    --put-source incremental_a.minic=examples/incremental_a.minic \
+    --put-source incremental_b.minic=examples/incremental_b.minic \
+    --get-advice > build/advice-served.txt || SVC_RC=$?
+  rm -rf build/svc-cache
+  ./build/examples/slo_driver --summary-cache build/svc-cache \
+    examples/incremental_a.minic examples/incremental_b.minic \
+    > build/advice-oneshot.txt 2>/dev/null || SVC_RC=$?
+  cmp build/advice-served.txt build/advice-oneshot.txt \
+    || { echo "served advice diverged from the one-shot driver"; SVC_RC=1; }
+  ./build/examples/slo_client --port-file=build/served.port \
+    --put-source incremental_a.minic=examples/incremental_a.minic \
+    --put-source incremental_b.minic=examples/incremental_b.minic \
+    --hammer 4 --hammer-rounds 5 >/dev/null || SVC_RC=$?
+  ./build/examples/slo_client --port-file=build/served.port \
+    --fuzz-frames 200 --seed 7 || SVC_RC=$?
+  ./build/examples/slo_client --port-file=build/served.port \
+    --shutdown >/dev/null || SVC_RC=$?
+  wait "$SVC_PID" || { echo "slo_served exited nonzero"; SVC_RC=1; }
+fi
+./build/examples/slo_served --port=0 --port-file=build/served-bug.port \
+  --inject-frame-bug &
+BUG_PID=$!
+for _ in $(seq 1 100); do [[ -s build/served-bug.port ]] && break; sleep 0.1; done
+if [[ ! -s build/served-bug.port ]]; then
+  echo "buggy slo_served did not publish a port"
+  SVC_RC=1
+  kill "$BUG_PID" 2>/dev/null || true
+else
+  if ./build/examples/slo_client --port-file=build/served-bug.port \
+      --fuzz-frames 100 --seed 7 >/dev/null 2>&1; then
+    echo "frame-fuzz oracle is vacuous: --inject-frame-bug was not caught"
+    SVC_RC=1
+  fi
+  ./build/examples/slo_client --port-file=build/served-bug.port \
+    --shutdown >/dev/null 2>&1 || true
+  wait "$BUG_PID" 2>/dev/null || true
+fi
+(cd build && ./bench/bench_service --out BENCH_service.json) || SVC_RC=$?
+python3 scripts/bench_compare.py --service build/BENCH_service.json \
+  || SVC_RC=$?
+
 echo "=== sanitized build (ASan+UBSan) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DSLO_ENABLE_SANITIZERS=ON "${LAUNCHER_ARGS[@]}"
@@ -147,8 +207,8 @@ ulimit -s 262144 2>/dev/null || true
 ASAN_RC=0
 ctest --test-dir build-asan --output-on-failure -j"$J" || ASAN_RC=$?
 
-if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 || $FUZZ_RC -ne 0 || $SAMPLED_RC -ne 0 || $LINT_RC -ne 0 || $VM_RC -ne 0 || $ENGINE_RC -ne 0 || $INC_RC -ne 0 ]]; then
-  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC, fuzz: $FUZZ_RC, sampled smoke: $SAMPLED_RC, lint: $LINT_RC, vm engine: $VM_RC, engine gate: $ENGINE_RC, incremental: $INC_RC) ==="
+if [[ $PLAIN_RC -ne 0 || $ASAN_RC -ne 0 || $FUZZ_RC -ne 0 || $SAMPLED_RC -ne 0 || $LINT_RC -ne 0 || $VM_RC -ne 0 || $ENGINE_RC -ne 0 || $INC_RC -ne 0 || $SVC_RC -ne 0 ]]; then
+  echo "=== FAILED (plain ctest: $PLAIN_RC, sanitized ctest: $ASAN_RC, fuzz: $FUZZ_RC, sampled smoke: $SAMPLED_RC, lint: $LINT_RC, vm engine: $VM_RC, engine gate: $ENGINE_RC, incremental: $INC_RC, service: $SVC_RC) ==="
   exit 1
 fi
 echo "=== all checks passed ==="

@@ -1,0 +1,239 @@
+//===- service/FrameFuzzer.cpp - Protocol frame fuzzer --------------------===//
+
+#include "service/FrameFuzzer.h"
+
+#include "service/Protocol.h"
+
+#include <unistd.h>
+
+using namespace slo;
+using namespace slo::service;
+
+namespace {
+
+/// splitmix64: deterministic, seedable, no global state.
+uint64_t mix(uint64_t &S) {
+  S += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = S;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+void appendRandomBytes(std::string &Out, uint64_t &S, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(static_cast<char>(mix(S) & 0xff));
+}
+
+/// An opcode value no request is assigned to.
+uint8_t garbageOpcode(uint64_t &S) {
+  for (;;) {
+    uint8_t Op = static_cast<uint8_t>(mix(S) & 0xff);
+    switch (static_cast<Opcode>(Op)) {
+    case Opcode::Ping:
+    case Opcode::PutSource:
+    case Opcode::PutSummary:
+    case Opcode::PutProfile:
+    case Opcode::GetAdvice:
+    case Opcode::GetProfile:
+    case Opcode::GetStats:
+    case Opcode::Batch:
+    case Opcode::Shutdown:
+      continue;
+    default:
+      return Op;
+    }
+  }
+}
+
+enum Category : unsigned {
+  TruncatedLengthPrefix = 0,
+  ZeroLength = 1,
+  OversizedLength = 2,
+  GarbageOpcode = 3,
+  HostileBody = 4,
+  MidFrameDisconnect = 5,
+  ByteSoup = 6,
+  NumCategories = 7,
+};
+
+bool successOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::Ok:
+  case Opcode::Advice:
+  case Opcode::Profile:
+  case Opcode::Stats:
+  case Opcode::Pong:
+  case Opcode::BatchReply:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+const char *slo::service::fuzzCategoryName(unsigned Category) {
+  switch (Category) {
+  case TruncatedLengthPrefix:
+    return "truncated-length-prefix";
+  case ZeroLength:
+    return "zero-length";
+  case OversizedLength:
+    return "oversized-length";
+  case GarbageOpcode:
+    return "garbage-opcode";
+  case HostileBody:
+    return "hostile-body";
+  case MidFrameDisconnect:
+    return "mid-frame-disconnect";
+  case ByteSoup:
+    return "byte-soup";
+  default:
+    return "unknown";
+  }
+}
+
+std::string slo::service::fuzzFrameBytes(uint64_t Seed, size_t Index,
+                                         unsigned &CategoryOut) {
+  uint64_t S = Seed * 0x2545f4914f6cdd1dull + Index + 1;
+  (void)mix(S); // Decorrelate adjacent indices.
+  CategoryOut = static_cast<unsigned>(Index % NumCategories);
+  std::string Out;
+  switch (CategoryOut) {
+  case TruncatedLengthPrefix:
+    // 1..3 bytes of a would-be length prefix, then disconnect.
+    appendRandomBytes(Out, S, 1 + (mix(S) % 3));
+    break;
+  case ZeroLength:
+    appendU32(Out, 0);
+    break;
+  case OversizedLength: {
+    // Declared length past any sane ceiling; a correct daemon rejects
+    // it before reading a single body byte.
+    appendU32(Out, (8u << 20) + static_cast<uint32_t>(mix(S) & 0xffffff));
+    appendRandomBytes(Out, S, 8);
+    break;
+  }
+  case GarbageOpcode: {
+    size_t BodyLen = mix(S) % 32;
+    appendU32(Out, static_cast<uint32_t>(1 + BodyLen));
+    Out.push_back(static_cast<char>(garbageOpcode(S)));
+    appendRandomBytes(Out, S, BodyLen);
+    break;
+  }
+  case HostileBody: {
+    // A real opcode whose body cannot parse: inner string lengths that
+    // overrun the frame, or nonempty bodies where none is allowed.
+    switch (mix(S) % 3) {
+    case 0: {
+      // PutSource with an inner length claiming ~4 GiB.
+      std::string Body;
+      appendU32(Body, 0xfffffff0u);
+      appendRandomBytes(Body, S, 6);
+      Out = encodeFrame(Opcode::PutSource, Body);
+      break;
+    }
+    case 1: {
+      // GetAdvice with an over-long body.
+      std::string Body;
+      appendRandomBytes(Body, S, 2 + (mix(S) % 8));
+      Out = encodeFrame(Opcode::GetAdvice, Body);
+      break;
+    }
+    default: {
+      // Ping with a body.
+      std::string Body;
+      appendRandomBytes(Body, S, 1 + (mix(S) % 16));
+      Out = encodeFrame(Opcode::Ping, Body);
+      break;
+    }
+    }
+    break;
+  }
+  case MidFrameDisconnect: {
+    // Declares a plausible length, delivers a fraction, disconnects.
+    uint32_t Declared = 64 + static_cast<uint32_t>(mix(S) % 1024);
+    appendU32(Out, Declared);
+    Out.push_back(static_cast<char>(Opcode::PutProfile));
+    appendRandomBytes(Out, S, mix(S) % (Declared / 2));
+    break;
+  }
+  default: // ByteSoup
+    appendRandomBytes(Out, S, 1 + (mix(S) % 64));
+    break;
+  }
+  return Out;
+}
+
+bool slo::service::runFrameFuzz(const FrameFuzzOptions &Options,
+                                const std::function<int()> &Connect,
+                                FrameFuzzReport &Report) {
+  auto Violate = [&](const std::string &What) {
+    ++Report.Violations;
+    if (Report.FirstViolation.empty())
+      Report.FirstViolation = What;
+  };
+
+  auto Probe = [&]() {
+    int Fd = Connect();
+    if (Fd < 0) {
+      Violate("liveness probe could not connect");
+      return;
+    }
+    bool Alive = false;
+    if (writeFrame(Fd, Opcode::Ping, "", Options.ReplyTimeoutMillis)) {
+      Frame F;
+      if (readFrame(Fd, F, Options.MaxFrameBytes, Options.ReplyTimeoutMillis,
+                    Options.ReplyTimeoutMillis) == ReadStatus::Ok &&
+          F.Op == Opcode::Pong)
+        Alive = true;
+    }
+    ::close(Fd);
+    if (Alive)
+      ++Report.ProbesOk;
+    else
+      Violate("liveness probe got no Pong (daemon wedged or dead)");
+  };
+
+  for (size_t I = 0; I < Options.Count; ++I) {
+    unsigned Category = 0;
+    std::string Bytes = fuzzFrameBytes(Options.Seed, I, Category);
+
+    int Fd = Connect();
+    if (Fd < 0) {
+      Violate("injection could not connect");
+      continue;
+    }
+    ++Report.Sent;
+    // The peer may legitimately reject and close mid-write; ignore
+    // write errors.
+    (void)writeAll(Fd, Bytes, Options.ReplyTimeoutMillis);
+
+    bool DisconnectNow = Category == TruncatedLengthPrefix ||
+                         Category == MidFrameDisconnect ||
+                         Category == ByteSoup;
+    if (!DisconnectNow) {
+      Frame F;
+      ReadStatus S =
+          readFrame(Fd, F, Options.MaxFrameBytes, Options.ReplyTimeoutMillis,
+                    Options.ReplyTimeoutMillis);
+      if (S == ReadStatus::Ok) {
+        ++Report.Replied;
+        // A malformed injection must never draw a success reply — only
+        // a structured Error (or silence/close). This is the check the
+        // InjectFrameBug daemon trips.
+        if (successOpcode(F.Op))
+          Violate(std::string("success reply (") + opcodeName(F.Op) +
+                  ") to malformed injection category " +
+                  fuzzCategoryName(Category));
+      }
+    }
+    ::close(Fd);
+
+    if (Options.ProbeEvery && (I + 1) % Options.ProbeEvery == 0)
+      Probe();
+  }
+  Probe(); // The daemon must still answer after the whole sweep.
+  return Report.Violations == 0;
+}

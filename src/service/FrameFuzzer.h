@@ -1,0 +1,80 @@
+//===- service/FrameFuzzer.h - Protocol frame fuzzer -----------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic frame-level fuzzer for the advisory protocol. From a
+/// fixed seed it generates malformed byte sequences — truncated length
+/// prefixes, zero and oversized declared lengths, garbage opcodes,
+/// hostile body lengths, mid-frame disconnects, raw byte soup — fires
+/// each at the daemon on a fresh connection, and holds the daemon to
+/// its robustness contract:
+///
+///  - it never crashes or wedges: an interleaved well-formed Ping probe
+///    must keep answering Pong throughout the sweep;
+///  - malformed injections are never answered with a success opcode
+///    (Error / RetryAfter / silence are the only acceptable replies);
+///  - callers additionally assert AdvisoryState::fingerprint() is
+///    bit-identical before and after the sweep.
+///
+/// The oracle is non-vacuous: a daemon started with
+/// DaemonConfig::InjectFrameBug (garbage opcodes answered as Ping) must
+/// make runFrameFuzz fail.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_SERVICE_FRAMEFUZZER_H
+#define SLO_SERVICE_FRAMEFUZZER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace slo {
+namespace service {
+
+struct FrameFuzzOptions {
+  uint64_t Seed = 1;
+  size_t Count = 200;
+  /// The daemon's frame-size ceiling (to aim oversized lengths past it).
+  uint32_t MaxFrameBytes = 4u << 20;
+  /// Read budget when waiting for a (possible) reply to an injection.
+  int ReplyTimeoutMillis = 2000;
+  /// Every ProbeEvery injections, a well-formed Ping on a fresh
+  /// connection must answer Pong.
+  size_t ProbeEvery = 16;
+};
+
+struct FrameFuzzReport {
+  size_t Sent = 0;
+  /// Injections that drew any reply frame at all.
+  size_t Replied = 0;
+  /// Liveness probes that answered Pong.
+  size_t ProbesOk = 0;
+  /// Contract violations (success reply to garbage, dead probe, ...).
+  size_t Violations = 0;
+  std::string FirstViolation;
+};
+
+/// Deterministic malformed frame for (Seed, Index). \p CategoryOut gets
+/// the generator category (stable across runs; see the .cpp table).
+std::string fuzzFrameBytes(uint64_t Seed, size_t Index, unsigned &CategoryOut);
+
+/// Human-readable name of a generator category.
+const char *fuzzCategoryName(unsigned Category);
+
+/// Runs the sweep. \p Connect must yield a fresh connected fd to the
+/// daemon under test (or -1, which counts as a violation). Returns true
+/// when the daemon upheld the contract for all Count injections.
+bool runFrameFuzz(const FrameFuzzOptions &Options,
+                  const std::function<int()> &Connect,
+                  FrameFuzzReport &Report);
+
+} // namespace service
+} // namespace slo
+
+#endif // SLO_SERVICE_FRAMEFUZZER_H

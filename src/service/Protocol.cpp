@@ -1,0 +1,396 @@
+//===- service/Protocol.cpp - Advisory daemon wire protocol ---------------===//
+
+#include "service/Protocol.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace slo;
+using namespace slo::service;
+
+const char *slo::service::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Ping:
+    return "Ping";
+  case Opcode::PutSource:
+    return "PutSource";
+  case Opcode::PutSummary:
+    return "PutSummary";
+  case Opcode::PutProfile:
+    return "PutProfile";
+  case Opcode::GetAdvice:
+    return "GetAdvice";
+  case Opcode::GetProfile:
+    return "GetProfile";
+  case Opcode::GetStats:
+    return "GetStats";
+  case Opcode::Batch:
+    return "Batch";
+  case Opcode::Shutdown:
+    return "Shutdown";
+  case Opcode::Ok:
+    return "Ok";
+  case Opcode::Error:
+    return "Error";
+  case Opcode::RetryAfter:
+    return "RetryAfter";
+  case Opcode::Advice:
+    return "Advice";
+  case Opcode::Profile:
+    return "Profile";
+  case Opcode::Stats:
+    return "Stats";
+  case Opcode::BatchReply:
+    return "BatchReply";
+  case Opcode::Pong:
+    return "Pong";
+  }
+  return "?";
+}
+
+const char *slo::service::readStatusName(ReadStatus S) {
+  switch (S) {
+  case ReadStatus::Ok:
+    return "ok";
+  case ReadStatus::Eof:
+    return "eof";
+  case ReadStatus::Truncated:
+    return "truncated";
+  case ReadStatus::TooLarge:
+    return "too-large";
+  case ReadStatus::BadLength:
+    return "bad-length";
+  case ReadStatus::Timeout:
+    return "timeout";
+  case ReadStatus::Error:
+    return "error";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Encoding
+//===----------------------------------------------------------------------===//
+
+void slo::service::appendU16(std::string &Out, uint16_t V) {
+  Out.push_back(static_cast<char>(V & 0xff));
+  Out.push_back(static_cast<char>((V >> 8) & 0xff));
+}
+
+void slo::service::appendU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void slo::service::appendString(std::string &Out, const std::string &S) {
+  appendU32(Out, static_cast<uint32_t>(S.size()));
+  Out += S;
+}
+
+std::string slo::service::encodeFrame(Opcode Op, const std::string &Body) {
+  std::string Out;
+  appendU32(Out, static_cast<uint32_t>(Body.size() + 1));
+  Out.push_back(static_cast<char>(Op));
+  Out += Body;
+  return Out;
+}
+
+std::string slo::service::encodePutSource(const std::string &Module,
+                                          const std::string &Source) {
+  std::string Body;
+  appendString(Body, Module);
+  appendString(Body, Source);
+  return Body;
+}
+
+std::string slo::service::encodePutProfile(const std::string &Module,
+                                           const std::string &Feedback) {
+  std::string Body;
+  appendString(Body, Module);
+  appendString(Body, Feedback);
+  return Body;
+}
+
+std::string slo::service::encodeErrorBody(ErrCode Code,
+                                          const std::string &Message) {
+  std::string Body;
+  appendU16(Body, static_cast<uint16_t>(Code));
+  appendString(Body, Message);
+  return Body;
+}
+
+//===----------------------------------------------------------------------===//
+// Decoding
+//===----------------------------------------------------------------------===//
+
+bool BodyReader::readU8(uint8_t &V) {
+  if (Failed || Size - Pos < 1) {
+    Failed = true;
+    return false;
+  }
+  V = Data[Pos++];
+  return true;
+}
+
+bool BodyReader::readU16(uint16_t &V) {
+  if (Failed || Size - Pos < 2) {
+    Failed = true;
+    return false;
+  }
+  V = static_cast<uint16_t>(Data[Pos] | (Data[Pos + 1] << 8));
+  Pos += 2;
+  return true;
+}
+
+bool BodyReader::readU32(uint32_t &V) {
+  if (Failed || Size - Pos < 4) {
+    Failed = true;
+    return false;
+  }
+  V = static_cast<uint32_t>(Data[Pos]) |
+      (static_cast<uint32_t>(Data[Pos + 1]) << 8) |
+      (static_cast<uint32_t>(Data[Pos + 2]) << 16) |
+      (static_cast<uint32_t>(Data[Pos + 3]) << 24);
+  Pos += 4;
+  return true;
+}
+
+bool BodyReader::readString(std::string &V) {
+  uint32_t Len;
+  if (!readU32(Len))
+    return false;
+  if (Size - Pos < Len) { // Hostile length: declared run overruns body.
+    Failed = true;
+    return false;
+  }
+  V.assign(reinterpret_cast<const char *>(Data + Pos), Len);
+  Pos += Len;
+  return true;
+}
+
+bool slo::service::readInnerFrame(BodyReader &R, Frame &F,
+                                  uint32_t MaxFrameBytes) {
+  uint32_t Len;
+  if (!R.readU32(Len))
+    return false;
+  if (Len == 0 || Len > MaxFrameBytes || R.remaining() < Len)
+    return false;
+  uint8_t Op;
+  if (!R.readU8(Op))
+    return false;
+  F.Op = static_cast<Opcode>(Op);
+  F.Body.clear();
+  F.Body.reserve(Len - 1);
+  for (uint32_t I = 0; I + 1 < Len; ++I) {
+    uint8_t B;
+    if (!R.readU8(B))
+      return false;
+    F.Body.push_back(static_cast<char>(B));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Frame I/O
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Waits for \p Fd to become ready for \p What (POLLIN/POLLOUT).
+/// Returns 1 ready, 0 timeout, -1 error/hangup-without-data.
+int waitReady(int Fd, short What, int TimeoutMillis) {
+  struct pollfd P;
+  P.fd = Fd;
+  P.events = What;
+  P.revents = 0;
+  for (;;) {
+    int N = ::poll(&P, 1, TimeoutMillis);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N == 0)
+      return 0;
+    // POLLHUP/POLLERR still allow a final read that returns 0/-1; let
+    // the caller's read observe it rather than guessing here.
+    return 1;
+  }
+}
+
+/// Reads exactly \p Len bytes. Returns Ok, Truncated (peer closed),
+/// Timeout, or Error. \p TimeoutMillis bounds the whole read (0 = no
+/// bound).
+ReadStatus readExact(int Fd, void *Buf, size_t Len, int TimeoutMillis) {
+  auto Deadline = std::chrono::steady_clock::time_point();
+  if (TimeoutMillis > 0)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(TimeoutMillis);
+  uint8_t *P = static_cast<uint8_t *>(Buf);
+  size_t Got = 0;
+  while (Got < Len) {
+    int Wait = -1; // poll() forever
+    if (TimeoutMillis > 0) {
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (Left <= 0)
+        return ReadStatus::Timeout;
+      Wait = static_cast<int>(Left);
+    }
+    int R = waitReady(Fd, POLLIN, Wait);
+    if (R == 0)
+      return ReadStatus::Timeout;
+    if (R < 0)
+      return ReadStatus::Error;
+    ssize_t N = ::recv(Fd, P + Got, Len - Got, 0);
+    if (N == 0)
+      return ReadStatus::Truncated;
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return ReadStatus::Error;
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return ReadStatus::Ok;
+}
+
+} // namespace
+
+ReadStatus slo::service::readFrame(int Fd, Frame &F, uint32_t MaxFrameBytes,
+                                   int IdleTimeoutMillis,
+                                   int FrameTimeoutMillis) {
+  // The idle wait covers the first header byte only: a connection parked
+  // between requests is fine, a peer that started a frame must finish
+  // it inside the frame timeout.
+  uint8_t Hdr[4];
+  {
+    int Wait = IdleTimeoutMillis > 0 ? IdleTimeoutMillis : -1;
+    int R = waitReady(Fd, POLLIN, Wait);
+    if (R == 0)
+      return ReadStatus::Timeout;
+    if (R < 0)
+      return ReadStatus::Error;
+    ssize_t N = ::recv(Fd, Hdr, 1, 0);
+    if (N == 0)
+      return ReadStatus::Eof;
+    if (N < 0)
+      return ReadStatus::Error;
+  }
+  ReadStatus S = readExact(Fd, Hdr + 1, 3, FrameTimeoutMillis);
+  if (S != ReadStatus::Ok)
+    return S;
+  uint32_t Len = static_cast<uint32_t>(Hdr[0]) |
+                 (static_cast<uint32_t>(Hdr[1]) << 8) |
+                 (static_cast<uint32_t>(Hdr[2]) << 16) |
+                 (static_cast<uint32_t>(Hdr[3]) << 24);
+  if (Len == 0)
+    return ReadStatus::BadLength;
+  if (Len > MaxFrameBytes)
+    return ReadStatus::TooLarge;
+  uint8_t Op;
+  S = readExact(Fd, &Op, 1, FrameTimeoutMillis);
+  if (S != ReadStatus::Ok)
+    return S;
+  F.Op = static_cast<Opcode>(Op);
+  F.Body.resize(Len - 1);
+  if (Len > 1) {
+    S = readExact(Fd, F.Body.data(), Len - 1, FrameTimeoutMillis);
+    if (S != ReadStatus::Ok)
+      return S;
+  }
+  return ReadStatus::Ok;
+}
+
+bool slo::service::writeAll(int Fd, const std::string &Bytes,
+                            int TimeoutMillis) {
+  size_t Sent = 0;
+  while (Sent < Bytes.size()) {
+    int R = waitReady(Fd, POLLOUT, TimeoutMillis > 0 ? TimeoutMillis : -1);
+    if (R <= 0)
+      return false;
+    ssize_t N = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool slo::service::writeFrame(int Fd, Opcode Op, const std::string &Body,
+                              int TimeoutMillis) {
+  return writeAll(Fd, encodeFrame(Op, Body), TimeoutMillis);
+}
+
+//===----------------------------------------------------------------------===//
+// Sockets
+//===----------------------------------------------------------------------===//
+
+bool slo::service::makeSocketPair(int Fds[2]) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0)
+    return false;
+  ::fcntl(Fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(Fds[1], F_SETFD, FD_CLOEXEC);
+  return true;
+}
+
+int slo::service::listenTcpLocalhost(uint16_t Port, uint16_t &BoundPort) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  ::fcntl(Fd, F_SETFD, FD_CLOEXEC);
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof One);
+  struct sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof Addr);
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof Addr) !=
+          0 ||
+      ::listen(Fd, 64) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  socklen_t Len = sizeof Addr;
+  if (::getsockname(Fd, reinterpret_cast<struct sockaddr *>(&Addr), &Len) !=
+      0) {
+    ::close(Fd);
+    return -1;
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  return Fd;
+}
+
+int slo::service::connectTcpLocalhost(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  ::fcntl(Fd, F_SETFD, FD_CLOEXEC);
+  struct sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof Addr);
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                sizeof Addr) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+  return Fd;
+}

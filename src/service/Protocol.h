@@ -1,0 +1,213 @@
+//===- service/Protocol.h - Advisory daemon wire protocol ------*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed binary protocol of the advisory daemon (DESIGN.md
+/// §13). One frame on the wire is
+///
+///   u32 Length (LE)   count of the bytes that follow: opcode + body
+///   u8  Opcode
+///   u8  Body[Length - 1]
+///
+/// Length 0 and Length > MaxFrameBytes are protocol violations; the
+/// receiver rejects them without reading a body, so a hostile length
+/// prefix can never make the daemon allocate or wait for gigabytes.
+/// Strings inside bodies are u32-length-prefixed byte runs; integers are
+/// little-endian. The same encoding runs over TCP on localhost and over
+/// a socketpair in-process in the tests — framing is transport-blind.
+///
+/// Parsing is split from I/O: decode functions work on byte buffers and
+/// are shared by the daemon, the client, and the frame fuzzer (which
+/// needs to build *malformed* frames byte by byte). I/O helpers do
+/// bounded, poll-timed reads so a stalled or hostile peer costs a
+/// timeout, never a wedge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_SERVICE_PROTOCOL_H
+#define SLO_SERVICE_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slo {
+namespace service {
+
+/// Protocol version, echoed in Pong responses. Bumped on any wire-format
+/// change.
+constexpr uint32_t ProtocolVersion = 1;
+
+/// Default ceiling on Length (opcode + body). A declared length above
+/// the receiver's ceiling is rejected before any body byte is read.
+constexpr uint32_t DefaultMaxFrameBytes = 4u << 20;
+
+/// Request opcodes (client -> daemon).
+enum class Opcode : uint8_t {
+  Ping = 0x01,       ///< Body: empty. Response: Pong.
+  PutSource = 0x02,  ///< Body: str module, str minic-source. Upserts the
+                     ///< module: compile + summarize. Response: Ok/Error.
+  PutSummary = 0x03, ///< Body: str serialized ModuleSummary. Response:
+                     ///< Ok/Error (corrupt summaries change nothing).
+  PutProfile = 0x04, ///< Body: str module, str feedback text. Merged into
+                     ///< the module's accumulated profile. Response:
+                     ///< Ok/Error.
+  GetAdvice = 0x05,  ///< Body: u8 json flag. Response: Advice.
+  GetProfile = 0x06, ///< Body: str module. Response: Profile (the
+                     ///< accumulated feedback, re-serialized).
+  GetStats = 0x07,   ///< Body: empty. Response: Stats (service counters +
+                     ///< per-(module, record) ingest digests, JSON).
+  Batch = 0x08,      ///< Body: u32 count, then count inner frames.
+                     ///< Response: BatchReply with count inner responses.
+  Shutdown = 0x09,   ///< Body: empty. Response: Ok, then the daemon
+                     ///< drains and stops (admin; slo_client --shutdown).
+
+  // Response opcodes (daemon -> client).
+  Ok = 0x80,         ///< Body: str text (may be empty).
+  Error = 0x81,      ///< Body: u16 code, str message. Protocol-level
+                     ///< errors additionally close the connection.
+  RetryAfter = 0x82, ///< Body: u32 millis. Ingest backpressure: the
+                     ///< request was NOT applied; retry after the delay.
+  Advice = 0x83,     ///< Body: str advice text or JSON.
+  Profile = 0x84,    ///< Body: str serialized feedback.
+  Stats = 0x85,      ///< Body: str JSON.
+  BatchReply = 0x86, ///< Body: u32 count, then count inner frames.
+  Pong = 0x87,       ///< Body: u32 protocol version.
+};
+
+const char *opcodeName(Opcode Op);
+
+/// Error codes carried by Error responses. Protocol violations
+/// (Malformed, TooLarge, UnknownOpcode) close the connection after the
+/// response; request-level errors leave it open.
+enum class ErrCode : uint16_t {
+  Malformed = 1,     ///< Frame or body failed to parse.
+  TooLarge = 2,      ///< Declared length above the daemon's ceiling.
+  UnknownOpcode = 3, ///< Well-formed frame, unassigned opcode.
+  CompileFailed = 4, ///< PutSource: the TU did not compile.
+  UnknownModule = 5, ///< PutProfile/GetProfile for a module never put.
+  CorruptPayload = 6,///< PutSummary/PutProfile payload rejected; the
+                     ///< accumulated state is untouched.
+  Busy = 7,          ///< Connection cap reached.
+  ShuttingDown = 8,  ///< Daemon is draining; no new requests.
+  Timeout = 9,       ///< The peer stalled mid-frame.
+};
+
+//===----------------------------------------------------------------------===//
+// Encoding
+//===----------------------------------------------------------------------===//
+
+void appendU16(std::string &Out, uint16_t V);
+void appendU32(std::string &Out, uint32_t V);
+void appendString(std::string &Out, const std::string &S);
+
+/// One complete frame: length prefix, opcode, body.
+std::string encodeFrame(Opcode Op, const std::string &Body = std::string());
+
+/// Body builders for the compound requests.
+std::string encodePutSource(const std::string &Module,
+                            const std::string &Source);
+std::string encodePutProfile(const std::string &Module,
+                             const std::string &Feedback);
+std::string encodeErrorBody(ErrCode Code, const std::string &Message);
+
+//===----------------------------------------------------------------------===//
+// Decoding (buffer-level, shared by daemon / client / fuzzer)
+//===----------------------------------------------------------------------===//
+
+/// Bounds-checked cursor over a frame body. Every read either succeeds
+/// or marks the cursor failed; a failed cursor never reads further, so
+/// parse code can chain reads and test once.
+class BodyReader {
+public:
+  BodyReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit BodyReader(const std::string &S)
+      : Data(reinterpret_cast<const uint8_t *>(S.data())), Size(S.size()) {}
+
+  bool readU8(uint8_t &V);
+  bool readU16(uint16_t &V);
+  bool readU32(uint32_t &V);
+  /// A u32-length-prefixed byte run. Fails when the declared length
+  /// overruns the remaining body (the classic hostile-length bug).
+  bool readString(std::string &V);
+
+  bool failed() const { return Failed; }
+  /// Every body byte must be consumed: trailing garbage is a protocol
+  /// violation, not padding.
+  bool atEnd() const { return !Failed && Pos == Size; }
+  size_t remaining() const { return Failed ? 0 : Size - Pos; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// A decoded frame: opcode plus raw body bytes.
+struct Frame {
+  Opcode Op = Opcode::Ping;
+  std::string Body;
+};
+
+/// Decodes one inner frame (u32 length, opcode, body) from a Batch body
+/// cursor. Returns false on malformed framing.
+bool readInnerFrame(BodyReader &R, Frame &F, uint32_t MaxFrameBytes);
+
+//===----------------------------------------------------------------------===//
+// Frame I/O over a file descriptor
+//===----------------------------------------------------------------------===//
+
+/// Outcome of reading one frame from a peer.
+enum class ReadStatus {
+  Ok,        ///< A complete frame was read (well-formed at frame level).
+  Eof,       ///< Clean close before any byte of a new frame.
+  Truncated, ///< The peer closed mid-frame.
+  TooLarge,  ///< Declared length exceeded the ceiling; body not read.
+  BadLength, ///< Declared length 0 (a frame must carry an opcode).
+  Timeout,   ///< The peer stalled past the deadline mid-frame.
+  Error,     ///< Socket error.
+};
+
+const char *readStatusName(ReadStatus S);
+
+/// Reads one frame from \p Fd. Blocks up to \p IdleTimeoutMillis for the
+/// first byte (0 = forever, woken by ::shutdown), then up to
+/// \p FrameTimeoutMillis for the remainder of the frame (0 = forever).
+/// On TooLarge the declared length is left unread in the stream — the
+/// caller must treat the connection as poisoned and close it.
+ReadStatus readFrame(int Fd, Frame &F, uint32_t MaxFrameBytes,
+                     int IdleTimeoutMillis, int FrameTimeoutMillis);
+
+/// Writes all of \p Bytes to \p Fd. Returns false on error or on a
+/// write stalled past \p TimeoutMillis (0 = forever).
+bool writeAll(int Fd, const std::string &Bytes, int TimeoutMillis = 0);
+
+/// Convenience: encode + writeAll.
+bool writeFrame(int Fd, Opcode Op, const std::string &Body,
+                int TimeoutMillis = 0);
+
+//===----------------------------------------------------------------------===//
+// Sockets
+//===----------------------------------------------------------------------===//
+
+/// An AF_UNIX stream socketpair for in-process transports; returns false
+/// on failure. Both fds are close-on-exec.
+bool makeSocketPair(int Fds[2]);
+
+/// Binds a listening TCP socket on 127.0.0.1:\p Port (0 = ephemeral) and
+/// returns the fd, or -1. \p BoundPort receives the actual port.
+int listenTcpLocalhost(uint16_t Port, uint16_t &BoundPort);
+
+/// Connects to 127.0.0.1:\p Port; returns the fd or -1.
+int connectTcpLocalhost(uint16_t Port);
+
+} // namespace service
+} // namespace slo
+
+#endif // SLO_SERVICE_PROTOCOL_H

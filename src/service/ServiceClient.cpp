@@ -1,0 +1,145 @@
+//===- service/ServiceClient.cpp - Synchronous protocol client ------------===//
+
+#include "service/ServiceClient.h"
+
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+using namespace slo;
+using namespace slo::service;
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+namespace {
+
+ServiceReply decodeReply(const Frame &F, uint32_t MaxFrameBytes) {
+  ServiceReply R;
+  R.Op = F.Op;
+  BodyReader B(F.Body);
+  switch (F.Op) {
+  case Opcode::Ok:
+  case Opcode::Advice:
+  case Opcode::Profile:
+  case Opcode::Stats:
+    R.Transport = B.readString(R.Text) && B.atEnd();
+    break;
+  case Opcode::Error:
+    R.Transport = B.readU16(R.Code) && B.readString(R.Message) && B.atEnd();
+    break;
+  case Opcode::RetryAfter:
+    R.Transport = B.readU32(R.RetryMillis) && B.atEnd();
+    break;
+  case Opcode::Pong:
+    R.Transport = B.readU32(R.Version) && B.atEnd();
+    break;
+  case Opcode::BatchReply: {
+    uint32_t Count = 0;
+    if (!B.readU32(Count))
+      break;
+    bool AllOk = true;
+    for (uint32_t I = 0; I < Count && AllOk; ++I) {
+      Frame Inner;
+      if (!readInnerFrame(B, Inner, MaxFrameBytes)) {
+        AllOk = false;
+        break;
+      }
+      R.Inner.push_back(decodeReply(Inner, MaxFrameBytes));
+      AllOk = R.Inner.back().Transport;
+    }
+    R.Transport = AllOk && B.atEnd();
+    break;
+  }
+  default:
+    // An unexpected response opcode is still a decoded frame; leave
+    // Transport false so callers treat it as a protocol violation.
+    break;
+  }
+  return R;
+}
+
+} // namespace
+
+ServiceReply ServiceClient::call(Opcode Op, const std::string &Body) {
+  return rawCall(encodeFrame(Op, Body));
+}
+
+ServiceReply ServiceClient::rawCall(const std::string &FrameBytes) {
+  ServiceReply R;
+  if (Fd < 0)
+    return R;
+  if (!writeAll(Fd, FrameBytes, TimeoutMillis))
+    return R;
+  Frame F;
+  ReadStatus S =
+      readFrame(Fd, F, DefaultMaxFrameBytes, TimeoutMillis, TimeoutMillis);
+  if (S != ReadStatus::Ok)
+    return R;
+  return decodeReply(F, DefaultMaxFrameBytes);
+}
+
+ServiceReply ServiceClient::ping() { return call(Opcode::Ping, ""); }
+
+ServiceReply ServiceClient::putSource(const std::string &Module,
+                                      const std::string &Source) {
+  return call(Opcode::PutSource, encodePutSource(Module, Source));
+}
+
+ServiceReply ServiceClient::putSummary(const std::string &SummaryText) {
+  std::string Body;
+  appendString(Body, SummaryText);
+  return call(Opcode::PutSummary, Body);
+}
+
+ServiceReply ServiceClient::putProfile(const std::string &Module,
+                                       const std::string &Text) {
+  return call(Opcode::PutProfile, encodePutProfile(Module, Text));
+}
+
+ServiceReply ServiceClient::getAdvice(bool Json) {
+  std::string Body;
+  Body.push_back(Json ? 1 : 0);
+  return call(Opcode::GetAdvice, Body);
+}
+
+ServiceReply ServiceClient::getProfile(const std::string &Module) {
+  std::string Body;
+  appendString(Body, Module);
+  return call(Opcode::GetProfile, Body);
+}
+
+ServiceReply ServiceClient::getStats() { return call(Opcode::GetStats, ""); }
+
+ServiceReply ServiceClient::shutdown() { return call(Opcode::Shutdown, ""); }
+
+ServiceReply
+ServiceClient::batch(const std::vector<std::pair<Opcode, std::string>> &Items) {
+  std::string Body;
+  appendU32(Body, static_cast<uint32_t>(Items.size()));
+  for (const auto &Item : Items)
+    Body += encodeFrame(Item.first, Item.second);
+  return call(Opcode::Batch, Body);
+}
+
+ServiceReply ServiceClient::putWithRetry(Opcode Op, const std::string &Body,
+                                         unsigned MaxAttempts,
+                                         unsigned *RetriesOut) {
+  ServiceReply R;
+  for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+    R = call(Op, Body);
+    if (!R.Transport || R.Op != Opcode::RetryAfter)
+      return R;
+    if (RetriesOut)
+      ++*RetriesOut;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        R.RetryMillis ? R.RetryMillis : 1));
+  }
+  return R;
+}

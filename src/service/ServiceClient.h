@@ -1,0 +1,102 @@
+//===- service/ServiceClient.h - Synchronous protocol client ---*- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small synchronous client for the advisory protocol: one connected
+/// stream socket, blocking request/response round-trips, structured
+/// reply decoding. Used by the slo_client example, the service tests,
+/// and the service benchmark; honoring RetryAfter backoff is the
+/// client's job and putWithRetry shows the intended loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_SERVICE_SERVICECLIENT_H
+#define SLO_SERVICE_SERVICECLIENT_H
+
+#include "service/Protocol.h"
+
+#include <string>
+#include <vector>
+
+namespace slo {
+namespace service {
+
+/// One decoded response frame.
+struct ServiceReply {
+  /// Transport-level success: a frame came back and its body parsed.
+  bool Transport = false;
+  Opcode Op = Opcode::Error;
+  /// Payload text for Ok / Advice / Profile / Stats.
+  std::string Text;
+  /// Error details when Op == Error.
+  uint16_t Code = 0;
+  std::string Message;
+  /// Suggested backoff when Op == RetryAfter.
+  uint32_t RetryMillis = 0;
+  /// Protocol version when Op == Pong.
+  uint32_t Version = 0;
+  /// Decoded inner replies when Op == BatchReply.
+  std::vector<ServiceReply> Inner;
+
+  bool ok() const { return Transport && Op == Opcode::Ok; }
+};
+
+/// Blocking client over an already-connected fd (owned; closed on
+/// destruction).
+class ServiceClient {
+public:
+  explicit ServiceClient(int Fd, int TimeoutMillis = 10000)
+      : Fd(Fd), TimeoutMillis(TimeoutMillis) {}
+  ~ServiceClient();
+  ServiceClient(const ServiceClient &) = delete;
+  ServiceClient &operator=(const ServiceClient &) = delete;
+  ServiceClient(ServiceClient &&O) noexcept
+      : Fd(O.Fd), TimeoutMillis(O.TimeoutMillis) {
+    O.Fd = -1;
+  }
+
+  bool connected() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  void close();
+
+  /// One raw round-trip: send \p Op + \p Body, decode the reply.
+  /// Transport=false when the write fails or no well-formed frame comes
+  /// back in time.
+  ServiceReply call(Opcode Op, const std::string &Body);
+
+  /// Sends pre-encoded raw bytes (possibly hostile), then attempts to
+  /// read one reply frame. Fuzz harness entry.
+  ServiceReply rawCall(const std::string &FrameBytes);
+
+  ServiceReply ping();
+  ServiceReply putSource(const std::string &Module, const std::string &Source);
+  ServiceReply putSummary(const std::string &SummaryText);
+  ServiceReply putProfile(const std::string &Module, const std::string &Text);
+  ServiceReply getAdvice(bool Json);
+  ServiceReply getProfile(const std::string &Module);
+  ServiceReply getStats();
+  ServiceReply shutdown();
+  /// Encodes the given (opcode, body) pairs as one Batch request.
+  ServiceReply
+  batch(const std::vector<std::pair<Opcode, std::string>> &Items);
+
+  /// Ingest with RetryAfter honored: sleeps the suggested backoff and
+  /// retries up to \p MaxAttempts times. Returns the final reply; the
+  /// number of RetryAfter rounds is added to \p RetriesOut if non-null.
+  ServiceReply putWithRetry(Opcode Op, const std::string &Body,
+                            unsigned MaxAttempts = 50,
+                            unsigned *RetriesOut = nullptr);
+
+private:
+  int Fd = -1;
+  int TimeoutMillis;
+};
+
+} // namespace service
+} // namespace slo
+
+#endif // SLO_SERVICE_SERVICECLIENT_H

@@ -1,0 +1,275 @@
+//===- tests/service_stress_test.cpp - Concurrency stress / soak ----------===//
+//
+// A bounded mixed-operation soak against the advisory daemon, designed
+// to run under TSan and ASan (the sanitizer CI legs build this test
+// like any other): many client threads race source upserts, profile
+// merges, advice reads, stats reads, pings, and deliberate protocol
+// violations on their own connections. At the end the daemon must
+// answer advice byte-identical to the monolithic one-shot run over the
+// final TU set — concurrency may reorder work, never change bytes —
+// and drain cleanly with every handler thread joined.
+//
+// The soak is deterministic in its work list (fixed thread/round
+// counts, per-thread operation schedule derived from the thread index)
+// even though the interleaving is not; there is nothing to "reproduce"
+// beyond re-running the binary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AdvisoryDaemon.h"
+#include "service/ServiceClient.h"
+
+#include "frontend/Frontend.h"
+#include "pipeline/Incremental.h"
+#include "profile/FeedbackIO.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+
+using namespace slo;
+using namespace slo::service;
+
+namespace {
+
+const char *TuA = R"(extern void print_i64(long v);
+struct S { long x; long y; };
+struct S* s_make() {
+  struct S *p = (struct S*) malloc(4 * sizeof(struct S));
+  for (long i = 0; i < 4; i++) { p[i].x = i; p[i].y = 2 * i; }
+  return p;
+}
+long s_sum(struct S *p) {
+  long t = 0;
+  for (long i = 0; i < 4; i++) { t = t + p[i].x; }
+  return t;
+}
+)";
+
+const char *TuB = R"(extern void print_i64(long v);
+extern struct S* s_make();
+extern long s_sum(struct S *p);
+extern long t_work();
+int main() {
+  struct S *p = s_make();
+  print_i64(s_sum(p) + t_work());
+  free(p);
+  return 0;
+}
+)";
+
+const char *TuC = R"(extern void print_i64(long v);
+struct T { long a; long b; };
+long t_work() {
+  struct T *q = (struct T*) malloc(8 * sizeof(struct T));
+  for (long i = 0; i < 8; i++) { q[i].a = i; q[i].b = i + 1; }
+  long s = 0;
+  for (long i = 0; i < 8; i++) { s = s + q[i].a; }
+  free(q);
+  return s;
+}
+)";
+
+std::vector<TuSource> corpus() {
+  return {{"a.minic", TuA}, {"b.minic", TuB}, {"c.minic", TuC}};
+}
+
+/// One serialized feedback payload for a.minic.
+std::string makePayload(uint64_t Scale) {
+  IRContext Ctx;
+  std::vector<std::string> Diags;
+  std::unique_ptr<Module> M = compileMiniC(Ctx, "a.minic", TuA, Diags);
+  EXPECT_TRUE(M);
+  FeedbackFile FB;
+  RecordType *Rec = Ctx.getTypes().lookupRecord("S");
+  EXPECT_NE(Rec, nullptr);
+  FieldCacheStats &F = FB.fieldStats(Rec, 0);
+  F.Loads = Scale;
+  F.Misses = Scale / 2;
+  return serializeFeedback(*M, FB);
+}
+
+TEST(ServiceStressTest, MixedOpSoakStaysCoherent) {
+  DaemonConfig Config;
+  Config.Summary.Lint = false;
+  Config.IngestQueueDepth = 4; // Small: backpressure actually fires.
+  Config.RetryAfterMillis = 1;
+  Config.FrameTimeoutMillis = 2000;
+  auto D = std::make_unique<AdvisoryDaemon>(std::move(Config));
+
+  const std::vector<TuSource> TUs = corpus();
+  const std::string Payload = makePayload(8);
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  constexpr unsigned NumThreads = 6;
+  constexpr unsigned Rounds = 12;
+#else
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Rounds = 25;
+#endif
+#else
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Rounds = 25;
+#endif
+
+  auto Connect = [&]() -> std::unique_ptr<ServiceClient> {
+    int Fds[2];
+    if (!makeSocketPair(Fds))
+      return nullptr;
+    if (!D->adoptConnection(Fds[0])) {
+      ::close(Fds[1]);
+      return nullptr;
+    }
+    return std::make_unique<ServiceClient>(Fds[1], 10000);
+  };
+
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      auto C = Connect();
+      if (!C) {
+        ++Failures;
+        return;
+      }
+      // Every thread seeds every TU before the mixed schedule, so the
+      // final module set is the full corpus regardless of interleaving.
+      for (const TuSource &Tu : TUs) {
+        ServiceReply PR = C->putWithRetry(
+            Opcode::PutSource, encodePutSource(Tu.Name, Tu.Source), 200);
+        if (!PR.ok())
+          ++Failures;
+      }
+      for (unsigned R = 0; R < Rounds; ++R) {
+        switch ((T + R) % 6) {
+        case 0:
+        case 1: { // Source upsert.
+          const TuSource &Tu = TUs[(T + R) % TUs.size()];
+          ServiceReply PR = C->putWithRetry(
+              Opcode::PutSource, encodePutSource(Tu.Name, Tu.Source), 200);
+          if (!PR.ok())
+            ++Failures;
+          break;
+        }
+        case 2: { // Profile merge; UnknownModule is a legal race
+                  // (another thread may not have put a.minic yet and
+                  // upserts reset the accumulation anyway).
+          ServiceReply PR = C->putWithRetry(
+              Opcode::PutProfile, encodePutProfile("a.minic", Payload), 200);
+          bool Legal =
+              PR.ok() ||
+              (PR.Transport && PR.Op == Opcode::Error &&
+               PR.Code == static_cast<uint16_t>(ErrCode::UnknownModule));
+          if (!Legal)
+            ++Failures;
+          break;
+        }
+        case 3: { // Advice read, racing the writers.
+          ServiceReply AR = C->getAdvice((T + R) % 2 == 0);
+          if (!AR.Transport || AR.Op != Opcode::Advice)
+            ++Failures;
+          break;
+        }
+        case 4: { // Stats read.
+          ServiceReply SR = C->getStats();
+          if (!SR.Transport || SR.Op != Opcode::Stats)
+            ++Failures;
+          break;
+        }
+        default: { // A protocol violation on a throwaway connection:
+                   // never takes the daemon or this thread's own
+                   // connection down.
+          auto Bad = Connect();
+          if (!Bad) {
+            ++Failures;
+            break;
+          }
+          std::string Garbage;
+          appendU32(Garbage, 3);
+          Garbage += "\x7f\x00\x01"; // Unassigned opcode.
+          (void)writeAll(Bad->fd(), Garbage, 1000);
+          Bad->close();
+          ServiceReply Pong = C->ping();
+          if (!Pong.Transport || Pong.Op != Opcode::Pong)
+            ++Failures;
+          break;
+        }
+        }
+      }
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+
+  // Every TU was upserted at least once, profiles never change advice
+  // (static schemes), so the final answer must be byte-identical to the
+  // monolithic run.
+  std::vector<TuSource> Sorted = TUs;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const TuSource &A, const TuSource &B) { return A.Name < B.Name; });
+  IncrementalOptions O;
+  O.Summary.Lint = false;
+  O.Threads = 1;
+  IncrementalResult Expect = runIncrementalAdvice(Sorted, O);
+  ASSERT_TRUE(Expect.Ok);
+
+  auto C = Connect();
+  ASSERT_TRUE(C);
+  ServiceReply Text = C->getAdvice(false);
+  ASSERT_TRUE(Text.Transport);
+  EXPECT_EQ(Text.Text, Expect.AdviceText);
+
+  D->stop();
+  EXPECT_EQ(D->liveConnections(), 0u);
+}
+
+TEST(ServiceStressTest, StopRacesAdoptWithoutLeaks) {
+  // Hammers the stop/adopt race: threads adopt fresh connections while
+  // another stops the daemon. Every fd is either served or refused —
+  // TSan/ASan hold the accounting honest.
+  for (unsigned Round = 0; Round < 8; ++Round) {
+    DaemonConfig Config;
+    Config.Summary.Lint = false;
+    auto D = std::make_unique<AdvisoryDaemon>(std::move(Config));
+
+    std::atomic<bool> Go{false};
+    std::vector<std::thread> Adopters;
+    for (unsigned T = 0; T < 4; ++T) {
+      Adopters.emplace_back([&] {
+        while (!Go.load())
+          std::this_thread::yield();
+        for (unsigned I = 0; I < 20; ++I) {
+          int Fds[2];
+          if (!makeSocketPair(Fds))
+            continue;
+          if (!D->adoptConnection(Fds[0])) {
+            ::close(Fds[1]);
+            break; // Stopping: later adopts would also be refused.
+          }
+          ServiceClient C(Fds[1], 5000);
+          (void)C.ping(); // May fail mid-drain; must not crash/hang.
+        }
+      });
+    }
+    std::thread Stopper([&] {
+      while (!Go.load())
+        std::this_thread::yield();
+      std::this_thread::sleep_for(std::chrono::milliseconds(Round));
+      D->stop();
+    });
+    Go = true;
+    for (auto &T : Adopters)
+      T.join();
+    Stopper.join();
+    EXPECT_EQ(D->liveConnections(), 0u);
+  }
+}
+
+} // namespace
