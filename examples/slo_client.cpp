@@ -16,8 +16,20 @@
 //     --json                  ... as JSON (affects --get-advice)
 //     --get-profile MOD       print MOD's accumulated profile (stdout)
 //     --stats                 print service counters + ingest digests
+//     --metrics               print GetMetrics JSON (counters +
+//                             latency histogram snapshots)
+//     --metrics-prom          ... as Prometheus text exposition
 //     --batch                 send all --put-* ops as one Batch frame
 //     --shutdown              ask the daemon to drain and stop
+//     --trace-json=P          wrap every op in a Traced frame and write
+//                             one merged Chrome trace (client spans +
+//                             the daemon's in-band stage spans, all
+//                             tagged with one propagated trace id) to P
+//     --trace-id=N            trace id to propagate (default: derived
+//                             from the clock and pid)
+//     --stall-ms N            adversarial: start a frame, stall N ms
+//                             mid-frame, disconnect (exercises the
+//                             daemon's timeout + flight-recorder dump)
 //     --hammer N              N threads re-ingest the --put-source TUs
 //                             and read advice concurrently; every reply
 //                             must be byte-identical (exit 1 otherwise)
@@ -39,6 +51,7 @@
 #include "service/ServiceClient.h"
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -47,6 +60,8 @@
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace slo;
 using namespace slo::service;
@@ -63,10 +78,82 @@ struct Op {
     GetAdvice,
     GetProfile,
     Stats,
+    Metrics,
+    MetricsProm,
     Shutdown
   } K;
   std::string Module; // PutSource/PutProfile/GetProfile
   std::string Path;   // PutSource/PutSummary/PutProfile
+};
+
+const char *opKindName(Op::Kind K) {
+  switch (K) {
+  case Op::Ping:
+    return "ping";
+  case Op::PutSource:
+    return "put-source";
+  case Op::PutSummary:
+    return "put-summary";
+  case Op::PutProfile:
+    return "put-profile";
+  case Op::GetAdvice:
+    return "get-advice";
+  case Op::GetProfile:
+    return "get-profile";
+  case Op::Stats:
+    return "stats";
+  case Op::Metrics:
+    return "metrics";
+  case Op::MetricsProm:
+    return "metrics-prom";
+  case Op::Shutdown:
+    return "shutdown";
+  }
+  return "?";
+}
+
+/// Collects one merged Chrome trace: the client's request spans (pid 1)
+/// and the daemon's in-band stage spans (pid 2), every event tagged
+/// with the propagated trace id. Daemon span timestamps arrive relative
+/// to the daemon's receipt of the request and are re-based at the
+/// client's request start — no cross-process clock sync needed.
+struct MergedTrace {
+  uint64_t TraceId = 0;
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  std::string Events;
+
+  uint64_t sinceEpochUs(std::chrono::steady_clock::time_point T) const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(T - Epoch)
+            .count());
+  }
+
+  void add(const std::string &Name, int Pid, uint64_t TsUs, uint64_t DurUs,
+           uint64_t RequestId) {
+    if (!Events.empty())
+      Events += ",\n";
+    char Id[32];
+    std::snprintf(Id, sizeof Id, "0x%llx",
+                  static_cast<unsigned long long>(TraceId));
+    Events += "  {\"name\": \"" + Name + "\", \"ph\": \"X\", \"ts\": " +
+              std::to_string(TsUs) + ", \"dur\": " + std::to_string(DurUs) +
+              ", \"pid\": " + std::to_string(Pid) + ", \"tid\": 1" +
+              ", \"args\": {\"trace_id\": \"" + Id +
+              "\", \"request_id\": " + std::to_string(RequestId) + "}}";
+  }
+
+  std::string render() const {
+    std::string Out = "{\"traceEvents\": [\n";
+    Out += "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"args\": {\"name\": \"slo_client\"}},\n";
+    Out += "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, "
+           "\"args\": {\"name\": \"slo_served\"}}";
+    if (!Events.empty())
+      Out += ",\n" + Events;
+    Out += "\n]}\n";
+    return Out;
+  }
 };
 
 bool readFileOrDiag(const std::string &Path, std::string &Out) {
@@ -112,9 +199,9 @@ bool reportReply(const char *What, const ServiceReply &R) {
 
 int main(int argc, char **argv) {
   uint64_t Port = 0, HammerThreads = 0, HammerRounds = 10, FuzzFrames = 0,
-           Seed = 1, TimeoutMs = 10000;
-  std::string PortFile;
-  bool Json = false, UseBatch = false;
+           Seed = 1, TimeoutMs = 10000, TraceId = 0, StallMs = 0;
+  std::string PortFile, TraceJsonPath;
+  bool Json = false, UseBatch = false, HaveTraceId = false, HaveStall = false;
   std::vector<Op> Ops;
 
   for (int I = 1; I < argc; ++I) {
@@ -146,6 +233,20 @@ int main(int argc, char **argv) {
       Ops.push_back({Op::GetProfile, V, ""});
     } else if (A == "--stats") {
       Ops.push_back({Op::Stats, "", ""});
+    } else if (A == "--metrics") {
+      Ops.push_back({Op::Metrics, "", ""});
+    } else if (A == "--metrics-prom") {
+      Ops.push_back({Op::MetricsProm, "", ""});
+    } else if (A.rfind("--trace-json=", 0) == 0) {
+      TraceJsonPath = A.substr(13);
+    } else if (valuedFlag("--trace-id", argc, argv, I, V)) {
+      if (!parseU64Arg("--trace-id", V, TraceId))
+        return 1;
+      HaveTraceId = true;
+    } else if (valuedFlag("--stall-ms", argc, argv, I, V)) {
+      if (!parseU64Arg("--stall-ms", V, StallMs))
+        return 1;
+      HaveStall = true;
     } else if (A == "--batch") {
       UseBatch = true;
     } else if (A == "--shutdown") {
@@ -198,6 +299,30 @@ int main(int argc, char **argv) {
     }
     return std::make_unique<ServiceClient>(Fd, static_cast<int>(TimeoutMs));
   };
+
+  //===--------------------------------------------------------------------===//
+  // Stall mode: start a frame, go silent, disconnect
+  //===--------------------------------------------------------------------===//
+  if (HaveStall) {
+    int Fd = Connect();
+    if (Fd < 0) {
+      std::fprintf(stderr, "slo_client: cannot connect to 127.0.0.1:%llu\n",
+                   static_cast<unsigned long long>(Port));
+      return 1;
+    }
+    // Declare a 100-byte frame, deliver the opcode only, then stall:
+    // the daemon's mid-frame timeout must fire and its flight recorder
+    // must dump.
+    std::string Partial;
+    appendU32(Partial, 100);
+    Partial.push_back(static_cast<char>(Opcode::PutSource));
+    writeAll(Fd, Partial, static_cast<int>(TimeoutMs));
+    std::this_thread::sleep_for(std::chrono::milliseconds(StallMs));
+    ::close(Fd);
+    std::fprintf(stderr, "slo_client: stalled %llu ms mid-frame and hung up\n",
+                 static_cast<unsigned long long>(StallMs));
+    return 0;
+  }
 
   //===--------------------------------------------------------------------===//
   // Frame fuzz mode
@@ -341,73 +466,182 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  // One merged trace across every op on this connection: client request
+  // spans plus the daemon's in-band stage spans, all sharing one
+  // propagated trace id.
+  const bool Tracing = !TraceJsonPath.empty();
+  MergedTrace Trace;
+  if (Tracing)
+    Trace.TraceId =
+        HaveTraceId
+            ? TraceId
+            : (static_cast<uint64_t>(std::chrono::steady_clock::now()
+                                         .time_since_epoch()
+                                         .count()) ^
+               (static_cast<uint64_t>(::getpid()) << 32));
+  uint64_t NextRequestId = 1;
+
+  auto RoundTrip = [&](Op::Kind K, Opcode Code, const std::string &Body,
+                       bool Retry) -> ServiceReply {
+    if (!Tracing)
+      return Retry ? C->putWithRetry(Code, Body) : C->call(Code, Body);
+    // Retries keep the request id: they are attempts of one logical
+    // request, and each attempt contributes its own span.
+    uint64_t ReqId = NextRequestId++;
+    for (;;) {
+      auto Start = std::chrono::steady_clock::now();
+      ServiceReply R = C->tracedCall(Code, Body, Trace.TraceId, ReqId);
+      auto End = std::chrono::steady_clock::now();
+      uint64_t StartUs = Trace.sinceEpochUs(Start);
+      uint64_t DurUs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+              .count());
+      Trace.add(std::string("client/") + opKindName(K), 1, StartUs, DurUs,
+                ReqId);
+      if (R.Transport && R.WasTraced) {
+        if (R.TraceId != Trace.TraceId || R.RequestId != ReqId)
+          std::fprintf(stderr,
+                       "slo_client: WARNING: daemon echoed trace ids "
+                       "0x%llx/%llu, expected 0x%llx/%llu\n",
+                       static_cast<unsigned long long>(R.TraceId),
+                       static_cast<unsigned long long>(R.RequestId),
+                       static_cast<unsigned long long>(Trace.TraceId),
+                       static_cast<unsigned long long>(ReqId));
+        for (const DaemonSpan &S : R.Spans)
+          Trace.add("daemon/" + S.Name, 2, StartUs + S.StartMicros,
+                    S.DurMicros, ReqId);
+      }
+      if (!(Retry && R.Transport && R.Op == Opcode::RetryAfter))
+        return R;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(R.RetryMillis ? R.RetryMillis : 1));
+    }
+  };
+
+  int Rc = 0;
   for (const Op &O : Ops) {
     std::string Text;
     switch (O.K) {
     case Op::Ping: {
-      ServiceReply R = C->ping();
-      if (!R.Transport || R.Op != Opcode::Pong)
-        return reportReply("ping", R), 1;
+      ServiceReply R = RoundTrip(O.K, Opcode::Ping, "", false);
+      if (!R.Transport || R.Op != Opcode::Pong) {
+        reportReply("ping", R);
+        Rc = 1;
+        break;
+      }
       std::fprintf(stderr, "slo_client: pong (protocol v%u)\n", R.Version);
       break;
     }
     case Op::PutSource: {
-      if (!readFileOrDiag(O.Path, Text))
-        return 1;
-      ServiceReply R = C->putWithRetry(Opcode::PutSource,
-                                       encodePutSource(O.Module, Text));
+      if (!readFileOrDiag(O.Path, Text)) {
+        Rc = 1;
+        break;
+      }
+      ServiceReply R = RoundTrip(O.K, Opcode::PutSource,
+                                 encodePutSource(O.Module, Text), true);
       if (!reportReply("put-source", R))
-        return 1;
+        Rc = 1;
       break;
     }
     case Op::PutSummary: {
-      if (!readFileOrDiag(O.Path, Text))
-        return 1;
+      if (!readFileOrDiag(O.Path, Text)) {
+        Rc = 1;
+        break;
+      }
       std::string Body;
       appendString(Body, Text);
-      ServiceReply R = C->putWithRetry(Opcode::PutSummary, Body);
+      ServiceReply R = RoundTrip(O.K, Opcode::PutSummary, Body, true);
       if (!reportReply("put-summary", R))
-        return 1;
+        Rc = 1;
       break;
     }
     case Op::PutProfile: {
-      if (!readFileOrDiag(O.Path, Text))
-        return 1;
-      ServiceReply R = C->putWithRetry(Opcode::PutProfile,
-                                       encodePutProfile(O.Module, Text));
+      if (!readFileOrDiag(O.Path, Text)) {
+        Rc = 1;
+        break;
+      }
+      ServiceReply R = RoundTrip(O.K, Opcode::PutProfile,
+                                 encodePutProfile(O.Module, Text), true);
       if (!reportReply("put-profile", R))
-        return 1;
+        Rc = 1;
       break;
     }
     case Op::GetAdvice: {
-      ServiceReply R = C->getAdvice(Json);
-      if (!R.Transport || R.Op != Opcode::Advice)
-        return reportReply("get-advice", R), 1;
+      std::string Body;
+      Body.push_back(Json ? 1 : 0);
+      ServiceReply R = RoundTrip(O.K, Opcode::GetAdvice, Body, false);
+      if (!R.Transport || R.Op != Opcode::Advice) {
+        reportReply("get-advice", R);
+        Rc = 1;
+        break;
+      }
       std::fwrite(R.Text.data(), 1, R.Text.size(), stdout);
       break;
     }
     case Op::GetProfile: {
-      ServiceReply R = C->getProfile(O.Module);
-      if (!R.Transport || R.Op != Opcode::Profile)
-        return reportReply("get-profile", R), 1;
+      std::string Body;
+      appendString(Body, O.Module);
+      ServiceReply R = RoundTrip(O.K, Opcode::GetProfile, Body, false);
+      if (!R.Transport || R.Op != Opcode::Profile) {
+        reportReply("get-profile", R);
+        Rc = 1;
+        break;
+      }
       std::fwrite(R.Text.data(), 1, R.Text.size(), stdout);
       break;
     }
     case Op::Stats: {
-      ServiceReply R = C->getStats();
-      if (!R.Transport || R.Op != Opcode::Stats)
-        return reportReply("stats", R), 1;
+      ServiceReply R = RoundTrip(O.K, Opcode::GetStats, "", false);
+      if (!R.Transport || R.Op != Opcode::Stats) {
+        reportReply("stats", R);
+        Rc = 1;
+        break;
+      }
       std::fprintf(stdout, "%s\n", R.Text.c_str());
       break;
     }
+    case Op::Metrics:
+    case Op::MetricsProm: {
+      std::string Body;
+      Body.push_back(O.K == Op::MetricsProm ? 1 : 0);
+      ServiceReply R = RoundTrip(O.K, Opcode::GetMetrics, Body, false);
+      if (!R.Transport || R.Op != Opcode::Metrics) {
+        reportReply(opKindName(O.K), R);
+        Rc = 1;
+        break;
+      }
+      std::fwrite(R.Text.data(), 1, R.Text.size(), stdout);
+      if (!R.Text.empty() && R.Text.back() != '\n')
+        std::fputc('\n', stdout);
+      break;
+    }
     case Op::Shutdown: {
+      // Shutdown may not nest inside Traced; always send it plain.
       ServiceReply R = C->shutdown();
-      if (!R.Transport || R.Op != Opcode::Ok)
-        return reportReply("shutdown", R), 1;
+      if (!R.Transport || R.Op != Opcode::Ok) {
+        reportReply("shutdown", R);
+        Rc = 1;
+        break;
+      }
       std::fprintf(stderr, "slo_client: daemon draining\n");
       break;
     }
     }
+    if (Rc)
+      break;
   }
-  return 0;
+
+  if (Tracing) {
+    std::ofstream Out(TraceJsonPath, std::ios::binary | std::ios::trunc);
+    Out << Trace.render();
+    if (!Out.good()) {
+      std::fprintf(stderr, "slo_client: cannot write %s\n",
+                   TraceJsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "slo_client: merged trace (id 0x%llx) -> %s\n",
+                 static_cast<unsigned long long>(Trace.TraceId),
+                 TraceJsonPath.c_str());
+  }
+  return Rc;
 }

@@ -23,8 +23,11 @@
 //     --param NAME=V    set an integer global before running
 //     --trace-json=P    write Chrome trace_event spans (pipeline phases
 //                       and interpreter runs) to P; chrome://tracing
-//     --stats-json=P    write run counters + the per-field miss heatmap
-//                       to P (implies --run)
+//     --stats-json=P    write run counters, pipeline-phase latency
+//                       histograms (the daemon's GetMetrics schema) +
+//                       the per-field miss heatmap to P (implies --run;
+//                       with --summary-cache: cache accounting +
+//                       histograms)
 //     --trace-summary   print the span summary table to stdout
 //     --engine=E        execution engine for --pbo/--run: walker | vm
 //                       (default: SLO_ENGINE, else the tree walker);
@@ -61,6 +64,7 @@
 #include "frontend/Frontend.h"
 #include "ir/IRPrinter.h"
 #include "observability/CounterRegistry.h"
+#include "observability/Histogram.h"
 #include "observability/MissAttribution.h"
 #include "observability/SampledPmu.h"
 #include "observability/Tracer.h"
@@ -139,7 +143,6 @@ bool parseArgs(int argc, char **argv, DriverOptions &O) {
       O.TraceJsonPath = A.substr(13);
     } else if (A.rfind("--stats-json=", 0) == 0) {
       O.StatsJsonPath = A.substr(13);
-      O.Run = true; // The stats artifact describes an execution.
     } else if (A.rfind("--scheme=", 0) == 0) {
       std::string S = A.substr(9);
       if (S == "ISPBO")
@@ -240,12 +243,27 @@ bool writeFileOrComplain(const std::string &Path, const std::string &Text) {
   return true;
 }
 
+/// Folds the tracer's phase spans into per-name latency histograms
+/// ("pipeline.<span>", microseconds) so --stats-json carries p50/p99 in
+/// the same schema the daemon's GetMetrics endpoint serves.
+std::string renderPipelineHistogramsJson(const Tracer &Trace) {
+  HistogramRegistry Hist;
+  for (const Tracer::Event &E : Trace.events())
+    Hist.record("pipeline." + E.Name, E.DurMicros);
+  return Hist.renderJson();
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   DriverOptions O;
   if (!parseArgs(argc, argv, O))
     return 2;
+  // Outside incremental mode the stats artifact describes an execution;
+  // with --summary-cache it carries cache accounting + histograms and
+  // stays advisory-only.
+  if (!O.StatsJsonPath.empty() && !O.Incremental)
+    O.Run = true;
 
   std::vector<std::string> Sources;
   for (const std::string &File : O.Files) {
@@ -276,9 +294,13 @@ int main(int argc, char **argv) {
                    "whole-program artifacts)\n");
       return 2;
     }
+    // --stats-json enables the tracer too: its phase spans fold into
+    // the artifact's latency histograms.
     Tracer Trace;
-    Tracer *TracePtr =
-        (!O.TraceJsonPath.empty() || O.TraceSummary) ? &Trace : nullptr;
+    Tracer *TracePtr = (!O.TraceJsonPath.empty() || O.TraceSummary ||
+                        !O.StatsJsonPath.empty())
+                           ? &Trace
+                           : nullptr;
     IncrementalOptions IO;
     IO.Summary.Scheme = O.Scheme;
     IO.Summary.Lint = O.Lint;
@@ -309,6 +331,19 @@ int main(int argc, char **argv) {
     if (!O.AdviceJsonPath.empty() &&
         !writeFileOrComplain(O.AdviceJsonPath, R.AdviceJson))
       return 1;
+    if (!O.StatsJsonPath.empty()) {
+      std::string Json = formatString(
+          "{\n  \"incremental\": {\"tus\": %zu, \"reused\": %u, "
+          "\"recomputed\": %u, \"schema_invalidated\": %u, "
+          "\"cache_hits\": %u, \"cache_misses\": %u, "
+          "\"cache_corrupt\": %u, \"cache_stores\": %u},\n",
+          TUs.size(), R.TusReused, R.TusRecomputed, R.TusSchemaInvalidated,
+          R.Cache.Hits, R.Cache.Misses, R.Cache.Corrupt, R.Cache.Stores);
+      Json += "  \"histograms\": " + renderPipelineHistogramsJson(Trace);
+      Json += "\n}\n";
+      if (!writeFileOrComplain(O.StatsJsonPath, Json))
+        return 1;
+    }
     if (!O.TraceJsonPath.empty() &&
         !writeFileOrComplain(O.TraceJsonPath, Trace.renderChromeJson()))
       return 1;
@@ -329,12 +364,15 @@ int main(int argc, char **argv) {
 
   // Observability: a Tracer when --trace-json/--trace-summary was given,
   // a counter registry and per-field miss sink when --stats-json was.
-  Tracer Trace;
-  Tracer *TracePtr =
-      (!O.TraceJsonPath.empty() || O.TraceSummary) ? &Trace : nullptr;
+  // --stats-json also turns the tracer on: phase spans fold into the
+  // artifact's latency histograms.
   CounterRegistry Counters;
   MissAttribution Attribution;
   bool WantStats = !O.StatsJsonPath.empty();
+  Tracer Trace;
+  Tracer *TracePtr =
+      (!O.TraceJsonPath.empty() || O.TraceSummary || WantStats) ? &Trace
+                                                                : nullptr;
 
   FeedbackFile Train;
   bool HaveProfile = false;
@@ -480,6 +518,8 @@ int main(int argc, char **argv) {
           static_cast<unsigned long long>(Res.HeapLiveAllocs),
           static_cast<unsigned long long>(Res.HeapLiveBytes));
       Json += "  \"counters\": " + Counters.renderJson() + ",\n";
+      Json += "  \"histograms\": " + renderPipelineHistogramsJson(Trace) +
+              ",\n";
       Json += "  \"miss_attribution\": ";
       std::string Heatmap = Attribution.renderHeatmapJson();
       // Indent the nested object to keep the artifact readable.

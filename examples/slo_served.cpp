@@ -26,8 +26,15 @@
 //     --stats-json=P      write service counters + ingest digests to P
 //                         on exit
 //     --trace-json=P      write Chrome trace_event spans to P on exit
+//     --metrics-json=P    write the GetMetrics JSON (counters +
+//                         histogram snapshots) to P on exit
+//     --flight-depth=N    per-connection flight-recorder events
+//                         (default 64; 0 disables)
 //     --inject-frame-bug  deliberately answer garbage opcodes as Ping
 //                         (non-vacuity check for the frame fuzzer)
+//
+// Flight-recorder dumps (timeouts, malformed frames, drain closes) go
+// to stderr as single-line JSON, ready for grep / jq.
 //
 // SIGINT/SIGTERM and the protocol's Shutdown request both trigger the
 // same graceful drain: stop accepting, finish in-flight requests, flush
@@ -38,6 +45,7 @@
 #include "DriverUtils.h"
 
 #include "observability/CounterRegistry.h"
+#include "observability/Histogram.h"
 #include "observability/Tracer.h"
 #include "service/AdvisoryDaemon.h"
 
@@ -75,7 +83,7 @@ int main(int argc, char **argv) {
   // advice stays byte-comparable to a plain --summary-cache run.
   Config.Summary.Lint = false;
   uint64_t Port = 0;
-  std::string PortFile, StatsJsonPath, TraceJsonPath;
+  std::string PortFile, StatsJsonPath, TraceJsonPath, MetricsJsonPath;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I], V;
@@ -133,6 +141,12 @@ int main(int argc, char **argv) {
       StatsJsonPath = A.substr(13);
     } else if (A.rfind("--trace-json=", 0) == 0) {
       TraceJsonPath = A.substr(13);
+    } else if (A.rfind("--metrics-json=", 0) == 0) {
+      MetricsJsonPath = A.substr(15);
+    } else if (valuedFlag("--flight-depth", argc, argv, I, V)) {
+      if (!parseU64Arg("--flight-depth", V, N))
+        return 1;
+      Config.FlightRecorderDepth = static_cast<unsigned>(N);
     } else if (A == "--inject-frame-bug") {
       Config.InjectFrameBug = true;
     } else {
@@ -141,15 +155,21 @@ int main(int argc, char **argv) {
           "usage: slo_served [--port=N] [--port-file=P] [--scheme=NAME] "
           "[--lint] [--shards=N] [--queue-depth=N] [--retry-after-ms=N] "
           "[--timeout-ms=N] [--idle-timeout-ms=N] [--max-conn=N] "
-          "[--stats-json=P] [--trace-json=P] [--inject-frame-bug]\n");
+          "[--stats-json=P] [--trace-json=P] [--metrics-json=P] "
+          "[--flight-depth=N] [--inject-frame-bug]\n");
       return A == "--help" ? 0 : 1;
     }
   }
 
   CounterRegistry Counters;
+  HistogramRegistry Hist;
   Tracer Trace;
   Config.Counters = &Counters;
+  Config.Hist = &Hist;
   Config.Trace = &Trace;
+  Config.FlightDumpSink = [](const std::string &Json) {
+    std::fprintf(stderr, "%s\n", Json.c_str());
+  };
   if (Config.InjectFrameBug)
     std::fprintf(stderr, "slo_served: running with --inject-frame-bug; "
                          "this daemon is DELIBERATELY broken\n");
@@ -183,6 +203,13 @@ int main(int argc, char **argv) {
                        ", \"records\": " +
                        Daemon.state().renderRecordDigestsJson() + "}\n";
     if (!writeFileOrWarn(StatsJsonPath, Json))
+      return 1;
+  }
+  if (!MetricsJsonPath.empty()) {
+    // The same shape GetMetrics serves over the wire.
+    std::string Json = "{\"counters\": " + Counters.renderJson() +
+                       ", \"histograms\": " + Hist.renderJson() + "}\n";
+    if (!writeFileOrWarn(MetricsJsonPath, Json))
       return 1;
   }
   if (!TraceJsonPath.empty() &&

@@ -38,6 +38,18 @@ against the checked-in baseline — QPS may not collapse below
 --max-p99-ratio times baseline. Wall clock is not byte-stable, so the
 ratios are deliberately loose; only the identity flag is exact.
 
+A sixth leg gates telemetry overhead on a `bench_service --overhead`
+artifact. That mode runs a second, telemetry-free daemon in the same
+process and alternates single requests between the two daemons, so each
+round's on/off QPS ratio is paired against identical machine load —
+comparing two separate bench invocations instead confounds the tax with
+drift between them (observed swings exceed the budget in both
+directions). The gate requires the paired-ratio fields to be present (a
+plain run cannot pass by omission), serve-equals-oneshot on BOTH
+daemons, self-consistent daemon-side counts, and a median on/off QPS
+ratio of at least (1 - --max-overhead) — the gate that keeps always-on
+telemetry honest about its cost.
+
 A fourth leg gates BENCH_incremental.json (the cold-vs-warm summary
 cache bench): the warm run must render advice byte-identical to the
 cold run that populated the cache, the 1-TU-invalidated run must render
@@ -60,6 +72,8 @@ Usage:
   bench_compare.py --service BENCH_service.json \
       [--service-baseline bench/baselines/BENCH_service.json] \
       [--min-qps-ratio 0.2] [--max-p99-ratio 5.0]
+  bench_compare.py --service-overhead BENCH_service.json \
+      [--max-overhead 0.05]   # artifact from bench_service --overhead
   bench_compare.py --self-test [--baseline ...] [--profile-quality-baseline ...]
 
 --self-test injects a 10% miss-count regression into a copy of the
@@ -560,6 +574,112 @@ def service_self_test(min_qps_ratio, max_p99_ratio):
     return 0
 
 
+def service_overhead_gate(art, max_overhead):
+    """The telemetry-overhead gate, fed by one `bench_service --overhead`
+    artifact. That mode runs a second, telemetry-free daemon in the same
+    process and alternates single requests between the two, so each
+    round's on/off QPS ratio is paired against identical machine load —
+    comparing two separate bench invocations instead confounds the tax
+    with drift between them. The gate requires the telemetry-on label,
+    the paired-ratio fields, serve-equals-oneshot on BOTH daemons,
+    self-consistent daemon-side counts, and a median on/off QPS ratio of
+    at least 1 - max_overhead. Returns human-readable failure strings."""
+    failures = []
+    if art.get("telemetry") != "on":
+        failures.append(
+            f"artifact ran telemetry '{art.get('telemetry')}', expected 'on'"
+        )
+    ratio = art.get("overhead_qps_ratio")
+    if ratio is None or art.get("advice_qps_on") is None or \
+            art.get("advice_qps_off") is None:
+        failures.append(
+            "artifact has no paired on/off measurement -- run "
+            "bench_service --overhead"
+        )
+        return failures
+    if not art["advice_identical"]:
+        failures.append(
+            "telemetry-on daemon broke serve-equals-oneshot "
+            "(telemetry must never change advice bytes)"
+        )
+    if not art.get("advice_identical_off", False):
+        failures.append(
+            "telemetry-off daemon broke serve-equals-oneshot"
+        )
+    if art["advice_requests"] <= 0:
+        failures.append("bench answered zero advice requests")
+    if not art.get("telemetry_consistent", True):
+        failures.append(
+            "daemon-side telemetry is inconsistent "
+            "(PutSource histogram count != ops+retries, or GetMetrics "
+            "disagrees with the in-process registry)"
+        )
+    if ratio < 1.0 - max_overhead:
+        failures.append(
+            f"telemetry costs {1.0 - ratio:.1%} of advice QPS "
+            f"(median paired on/off ratio {ratio:.3f}, "
+            f"budget {max_overhead:.1%})"
+        )
+    return failures
+
+
+def service_overhead_self_test(max_overhead):
+    """Overhead-leg self-test on synthesized artifacts (the leg gates a
+    fresh run, nothing on disk to perturb): a clean --overhead artifact
+    passes; a run without the paired measurement, a ratio past the
+    budget, an inconsistent daemon count, and a diverged off-daemon are
+    each rejected."""
+    art = {
+        "bench": "service", "tus": 25, "seed": 42, "producers": 4,
+        "readers": 4, "telemetry": "on", "ingest_ops": 240,
+        "ingest_wall_ms": 900.0, "ingest_p50_ms": 12.0,
+        "ingest_p99_ms": 36.0, "ingest_retries": 0,
+        "advice_requests": 4000, "advice_wall_ms": 1500.0,
+        "advice_qps": 2600.0, "daemon_put_source_count": 240,
+        "daemon_put_source_p50_us": 3300,
+        "daemon_put_source_p99_us": 28000,
+        "advice_qps_on": 2560.0, "advice_qps_off": 2600.0,
+        "overhead_qps_ratio": 1.0 - max_overhead * 0.5,
+        "advice_identical_off": True,
+        "telemetry_consistent": True, "advice_identical": True,
+    }
+    if service_overhead_gate(art, max_overhead):
+        print("self-test FAILED: clean overhead artifact does not pass")
+        return 1
+
+    unpaired = copy.deepcopy(art)  # A plain run without --overhead.
+    for key in ("overhead_qps_ratio", "advice_qps_on", "advice_qps_off"):
+        del unpaired[key]
+    missing = service_overhead_gate(unpaired, max_overhead)
+
+    costly = copy.deepcopy(art)
+    costly["overhead_qps_ratio"] = 1.0 - max_overhead * 3.0
+    slow = service_overhead_gate(costly, max_overhead)
+
+    miscounted = copy.deepcopy(art)
+    miscounted["telemetry_consistent"] = False
+    skew = service_overhead_gate(miscounted, max_overhead)
+
+    diverged = copy.deepcopy(art)
+    diverged["advice_identical_off"] = False
+    broken = service_overhead_gate(diverged, max_overhead)
+
+    if not missing or not slow or not skew or not broken:
+        print(
+            "self-test FAILED: overhead gate accepted a run without the "
+            "paired measurement, an over-budget QPS cost, an inconsistent "
+            "daemon count, or a diverged off-daemon"
+        )
+        return 1
+    print(
+        "self-test ok: overhead artifact passes, injected overhead "
+        "failures fail:"
+    )
+    for f in missing + slow + skew + broken:
+        print(f"  {f}")
+    return 0
+
+
 def check_compile_time(path):
     """Presence/schema check only: google-benchmark JSON with benchmarks."""
     doc = load_json(path, "compile-time artifact")
@@ -629,7 +749,9 @@ def self_test(baseline_rows, quality, miss_tol, perf_tol, tau_tol):
         return 1
     if incremental_self_test(min_warm_speedup=10.0):
         return 1
-    return service_self_test(min_qps_ratio=0.2, max_p99_ratio=5.0)
+    if service_self_test(min_qps_ratio=0.2, max_p99_ratio=5.0):
+        return 1
+    return service_overhead_self_test(max_overhead=0.05)
 
 
 def main():
@@ -722,6 +844,23 @@ def main():
         "(default 5.0; loose for the same reason)",
     )
     ap.add_argument(
+        "--service-overhead",
+        metavar="SERVICE_JSON",
+        help="gate a bench_service --overhead artifact: that mode pairs "
+        "a telemetry-free daemon against the telemetry-on one in the "
+        "same process (alternating single requests, so drift cancels); "
+        "requires serve-equals-oneshot on both daemons, self-consistent "
+        "daemon counts, and a median on/off QPS ratio of at least "
+        "1 - --max-overhead",
+    )
+    ap.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        help="maximum fraction of advice QPS always-on telemetry may "
+        "cost for --service-overhead (default 5%%)",
+    )
+    ap.add_argument(
         "--self-test",
         action="store_true",
         help="verify the gate rejects an injected 10%% miss regression, "
@@ -746,6 +885,25 @@ def main():
             f"{walker['sim_wall_ms'] / vm['sim_wall_ms']:.2f}x faster "
             f"({walker['sim_wall_ms']:.1f} ms -> {vm['sim_wall_ms']:.1f} ms, "
             f"floor {args.min_speedup:.2f}x)"
+        )
+        return 0
+
+    # The overhead leg gates one fresh --overhead artifact (the on/off
+    # pairing happened inside the bench) and needs no baseline on disk.
+    if args.service_overhead and not args.self_test:
+        art = load_service(args.service_overhead)
+        failures = service_overhead_gate(art, args.max_overhead)
+        if failures:
+            print(f"service overhead gate FAILED ({len(failures)} finding(s)):")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        ratio = art["overhead_qps_ratio"]
+        print(
+            f"service overhead gate ok: telemetry costs "
+            f"{max(1.0 - ratio, 0.0):.1%} of advice QPS (median paired "
+            f"on/off ratio {ratio:.3f}, {art['advice_qps_off']:.1f} off vs "
+            f"{art['advice_qps_on']:.1f} on, budget {args.max_overhead:.1%})"
         )
         return 0
 

@@ -140,9 +140,14 @@ fi
 # the two-TU example through the wire protocol, and the served advice
 # must be byte-identical to the monolithic slo_driver run; then a
 # concurrent hammer, a 200-frame protocol-fuzz sweep against the live
-# daemon, a clean shutdown, the fuzz oracle's vacuity check (a daemon
-# started with --inject-frame-bug must be caught), and the service
-# bench gated against its checked-in baseline.
+# daemon, the observability smokes (GetMetrics JSON + Prometheus lint,
+# a traced request whose merged Chrome trace carries daemon spans while
+# the advice bytes stay untouched), a clean shutdown, the fuzz oracle's
+# vacuity check (a daemon started with --inject-frame-bug must be
+# caught), the flight-recorder dump check on an induced mid-frame
+# stall, and the service bench (run with --overhead, which pairs a
+# telemetry-free daemon in-process) gated against its checked-in
+# baseline plus the telemetry overhead budget.
 echo "=== advisory service (daemon parity + frame fuzz + bench gate) ==="
 SVC_RC=0
 rm -f build/served.port build/served-bug.port
@@ -170,6 +175,26 @@ else
     --hammer 4 --hammer-rounds 5 >/dev/null || SVC_RC=$?
   ./build/examples/slo_client --port-file=build/served.port \
     --fuzz-frames 200 --seed 7 || SVC_RC=$?
+  # Observability smokes against the live daemon: GetMetrics must parse
+  # as JSON and lint cleanly as Prometheus text, and a traced request
+  # must yield a merged Chrome trace carrying daemon-side spans while
+  # leaving the advice bytes untouched (trace ids never leak into
+  # advice).
+  ./build/examples/slo_client --port-file=build/served.port --metrics \
+    > build/served-metrics.json || SVC_RC=$?
+  python3 -c "import json,sys; json.load(open('build/served-metrics.json'))" \
+    || { echo "GetMetrics JSON does not parse"; SVC_RC=1; }
+  ./build/examples/slo_client --port-file=build/served.port --metrics-prom \
+    | python3 scripts/promlint.py || SVC_RC=$?
+  ./build/examples/slo_client --port-file=build/served.port \
+    --get-advice --trace-json=build/advice-trace.json \
+    > build/advice-traced.txt || SVC_RC=$?
+  cmp build/advice-traced.txt build/advice-oneshot.txt \
+    || { echo "traced advice diverged from the one-shot driver"; SVC_RC=1; }
+  for span in daemon/read daemon/lock-wait daemon/merge daemon/render; do
+    grep -q "$span" build/advice-trace.json \
+      || { echo "merged trace is missing the $span span"; SVC_RC=1; }
+  done
   ./build/examples/slo_client --port-file=build/served.port \
     --shutdown >/dev/null || SVC_RC=$?
   wait "$SVC_PID" || { echo "slo_served exited nonzero"; SVC_RC=1; }
@@ -192,9 +217,39 @@ else
     --shutdown >/dev/null 2>&1 || true
   wait "$BUG_PID" 2>/dev/null || true
 fi
-(cd build && ./bench/bench_service --out BENCH_service.json) || SVC_RC=$?
+# The always-on flight recorder: a client stalling mid-frame past the
+# daemon's stall budget must leave a structured post-mortem dump with
+# the timeout reason on the daemon's stderr.
+rm -f build/served-fr.port
+./build/examples/slo_served --port=0 --port-file=build/served-fr.port \
+  --timeout-ms=300 2> build/served-fr.err &
+FR_PID=$!
+for _ in $(seq 1 100); do [[ -s build/served-fr.port ]] && break; sleep 0.1; done
+if [[ ! -s build/served-fr.port ]]; then
+  echo "flight-recorder slo_served did not publish a port"
+  SVC_RC=1
+  kill "$FR_PID" 2>/dev/null || true
+else
+  ./build/examples/slo_client --port-file=build/served-fr.port \
+    --stall-ms 1000 >/dev/null 2>&1 || true
+  ./build/examples/slo_client --port-file=build/served-fr.port \
+    --shutdown >/dev/null || SVC_RC=1
+  wait "$FR_PID" || { echo "flight-recorder slo_served exited nonzero"; SVC_RC=1; }
+  grep -q '"flight_recorder"' build/served-fr.err \
+    && grep -q '"reason": "timeout"' build/served-fr.err \
+    || { echo "stalled frame produced no flight-recorder timeout dump"; SVC_RC=1; }
+fi
+python3 scripts/promlint.py --self-test || SVC_RC=$?
+# --overhead pairs a second daemon with null registries (the no-clock
+# contract) in the same process, alternating single requests between
+# the two so machine drift cancels — always-on telemetry earns its keep
+# only if the median paired on/off QPS ratio stays within a few percent.
+(cd build && ./bench/bench_service --overhead --out BENCH_service.json) \
+  || SVC_RC=$?
 python3 scripts/bench_compare.py --service build/BENCH_service.json \
   || SVC_RC=$?
+python3 scripts/bench_compare.py \
+  --service-overhead build/BENCH_service.json || SVC_RC=$?
 
 echo "=== sanitized build (ASan+UBSan) ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

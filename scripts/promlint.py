@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition linter for the daemon's GetMetrics output.
+
+Reads an exposition document from a file argument (or stdin) and checks
+the subset of the format the advisory daemon emits:
+
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and label names match
+    [a-zA-Z_][a-zA-Z0-9_]*;
+  - every sample belongs to a family introduced by a # TYPE line, and
+    TYPE is counter or histogram;
+  - histogram families are complete: _bucket samples with strictly
+    increasing numeric le values, a mandatory le="+Inf" bucket,
+    cumulative bucket values that never decrease, and _sum/_count
+    samples whose _count equals the +Inf bucket;
+  - sample values parse as numbers.
+
+Exits 0 with a one-line summary when the document is clean, 1 with one
+line per finding otherwise. Used by scripts/check.sh on the live
+daemon's `slo_client --metrics-prom` output, so a rendering regression
+fails CI with a named reason instead of a confused Prometheus scraper.
+
+Usage:
+  promlint.py [FILE]
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\S+)?$"
+)
+
+
+def parse_labels(raw, lineno, findings):
+    labels = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        if not part:
+            continue
+        if "=" not in part:
+            findings.append(f"line {lineno}: malformed label '{part}'")
+            continue
+        k, v = part.split("=", 1)
+        if not LABEL_NAME.match(k):
+            findings.append(f"line {lineno}: bad label name '{k}'")
+        if len(v) < 2 or v[0] != '"' or v[-1] != '"':
+            findings.append(f"line {lineno}: label value not quoted: {part}")
+            continue
+        labels[k] = v[1:-1]
+    return labels
+
+
+def parse_value(raw, lineno, findings):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        findings.append(f"line {lineno}: sample value '{raw}' is not a number")
+        return None
+
+
+def lint(text):
+    findings = []
+    types = {}  # family name -> declared type
+    # family -> {"buckets": [(le, value)], "sum": v, "count": v}
+    hists = {}
+    samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                findings.append(f"line {lineno}: malformed comment: {line}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) < 4:
+                    findings.append(f"line {lineno}: malformed TYPE line: {line}")
+                    continue
+                name, kind = parts[2], parts[3].strip()
+                if not METRIC_NAME.match(name):
+                    findings.append(f"line {lineno}: bad metric name '{name}'")
+                if kind not in ("counter", "histogram"):
+                    findings.append(
+                        f"line {lineno}: unexpected TYPE '{kind}' for {name}"
+                    )
+                if name in types:
+                    findings.append(f"line {lineno}: duplicate TYPE for {name}")
+                types[name] = kind
+                if kind == "histogram":
+                    hists[name] = {"buckets": [], "sum": None, "count": None}
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            findings.append(f"line {lineno}: unparseable sample: {line}")
+            continue
+        samples += 1
+        name = m.group("name")
+        labels = parse_labels(m.group("labels"), lineno, findings)
+        value = parse_value(m.group("value"), lineno, findings)
+        if value is None:
+            continue
+
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                family = base
+                break
+        if family not in types:
+            findings.append(
+                f"line {lineno}: sample '{name}' has no preceding # TYPE"
+            )
+            continue
+
+        if types[family] == "histogram":
+            h = hists[family]
+            if name == family + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    findings.append(
+                        f"line {lineno}: {name} bucket without an le label"
+                    )
+                    continue
+                bound = math.inf if le == "+Inf" else parse_value(
+                    le, lineno, findings
+                )
+                if bound is None:
+                    continue
+                h["buckets"].append((lineno, bound, value))
+            elif name == family + "_sum":
+                h["sum"] = value
+            elif name == family + "_count":
+                h["count"] = value
+            else:
+                findings.append(
+                    f"line {lineno}: '{name}' is not a valid histogram "
+                    f"sample of family {family}"
+                )
+
+    for family, h in sorted(hists.items()):
+        buckets = h["buckets"]
+        if not buckets:
+            findings.append(f"{family}: histogram has no _bucket samples")
+            continue
+        prev_bound, prev_value = -math.inf, -math.inf
+        for lineno, bound, value in buckets:
+            if bound <= prev_bound:
+                findings.append(
+                    f"line {lineno}: {family} le bounds not strictly "
+                    f"increasing ({prev_bound} then {bound})"
+                )
+            if value < prev_value:
+                findings.append(
+                    f"line {lineno}: {family} cumulative bucket value "
+                    f"decreased ({prev_value} then {value})"
+                )
+            prev_bound, prev_value = bound, value
+        if buckets[-1][1] != math.inf:
+            findings.append(f"{family}: missing the mandatory le=\"+Inf\" bucket")
+        if h["count"] is None:
+            findings.append(f"{family}: missing _count sample")
+        elif buckets[-1][1] == math.inf and h["count"] != buckets[-1][2]:
+            findings.append(
+                f"{family}: _count {h['count']} != +Inf bucket "
+                f"{buckets[-1][2]}"
+            )
+        if h["sum"] is None:
+            findings.append(f"{family}: missing _sum sample")
+
+    return findings, samples, len(types)
+
+
+def self_test():
+    """The linter must reject what it claims to reject: each broken
+    document below trips at least one finding, and the clean one none."""
+    clean = (
+        "# TYPE slo_frames counter\n"
+        "slo_frames 5\n"
+        "# HELP slo_lat latency (microseconds)\n"
+        "# TYPE slo_lat histogram\n"
+        'slo_lat_bucket{le="10"} 2\n'
+        'slo_lat_bucket{le="20"} 3\n'
+        'slo_lat_bucket{le="+Inf"} 3\n'
+        "slo_lat_sum 27\n"
+        "slo_lat_count 3\n"
+    )
+    broken = {
+        "untyped sample": "slo_orphan 1\n",
+        "bad metric name": "# TYPE 9bad counter\n9bad 1\n",
+        "non-monotone le": (
+            "# TYPE slo_h histogram\n"
+            'slo_h_bucket{le="20"} 1\n'
+            'slo_h_bucket{le="10"} 2\n'
+            'slo_h_bucket{le="+Inf"} 2\n'
+            "slo_h_sum 3\nslo_h_count 2\n"
+        ),
+        "decreasing cumulative": (
+            "# TYPE slo_h histogram\n"
+            'slo_h_bucket{le="10"} 3\n'
+            'slo_h_bucket{le="20"} 2\n'
+            'slo_h_bucket{le="+Inf"} 3\n'
+            "slo_h_sum 3\nslo_h_count 3\n"
+        ),
+        "missing +Inf": (
+            "# TYPE slo_h histogram\n"
+            'slo_h_bucket{le="10"} 1\n'
+            "slo_h_sum 3\nslo_h_count 1\n"
+        ),
+        "count != +Inf": (
+            "# TYPE slo_h histogram\n"
+            'slo_h_bucket{le="+Inf"} 3\n'
+            "slo_h_sum 3\nslo_h_count 4\n"
+        ),
+        "missing _sum": (
+            "# TYPE slo_h histogram\n"
+            'slo_h_bucket{le="+Inf"} 1\n'
+            "slo_h_count 1\n"
+        ),
+        "non-numeric value": "# TYPE slo_c counter\nslo_c banana\n",
+    }
+    ok, _, _ = lint(clean)
+    if ok:
+        print("self-test FAILED: clean document rejected:")
+        for f in ok:
+            print(f"  {f}")
+        return 1
+    for what, doc in broken.items():
+        findings, _, _ = lint(doc)
+        if not findings:
+            print(f"self-test FAILED: '{what}' document accepted")
+            return 1
+    print(f"self-test ok: clean passes, {len(broken)} broken documents fail")
+    return 0
+
+
+def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--self-test":
+        return self_test()
+    if len(sys.argv) > 2:
+        print("usage: promlint.py [--self-test] [FILE]", file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1]) as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    findings, samples, families = lint(text)
+    if findings:
+        print(f"promlint FAILED ({len(findings)} finding(s)):")
+        for f in findings:
+            print(f"  {f}")
+        return 1
+    print(f"promlint ok: {samples} samples across {families} families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+//===- observability/FlightRecorder.cpp - Event ring for post-mortems -----===//
+
+#include "observability/FlightRecorder.h"
+
+#include "support/Diagnostics.h" // escapeJson
+
+using namespace slo;
+
+std::vector<FlightRecorder::Event> FlightRecorder::events() const {
+  std::vector<Event> Out;
+  Out.reserve(Ring.size());
+  // Once full, Next is the oldest slot; before that, slot 0 is.
+  if (Ring.size() == Capacity && Capacity != 0) {
+    for (size_t I = 0; I < Ring.size(); ++I)
+      Out.push_back(Ring[(Next + I) % Capacity]);
+  } else {
+    Out = Ring;
+  }
+  return Out;
+}
+
+std::string FlightRecorder::renderJson(const std::string &Reason,
+                                       const std::string &Context,
+                                       const DescribeFn &Describe) const {
+  std::string Out = "{\"flight_recorder\": {\"reason\": \"" +
+                    escapeJson(Reason) + "\"";
+  if (!Context.empty())
+    Out += ", " + Context;
+  uint64_t Dropped = Recorded - Ring.size();
+  Out += ", \"capacity\": " + std::to_string(Capacity);
+  Out += ", \"recorded\": " + std::to_string(Recorded);
+  Out += ", \"dropped\": " + std::to_string(Dropped);
+  Out += ", \"events\": [";
+  bool First = true;
+  for (const Event &E : events()) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "{\"t_us\": " + std::to_string(E.TMicros);
+    if (Describe) {
+      Description D = Describe(E);
+      Out += ", \"kind\": \"" + escapeJson(D.Kind) + "\"";
+      Out += ", \"code\": \"" + escapeJson(D.Code) + "\"";
+    } else {
+      Out += ", \"kind\": " + std::to_string(E.Kind);
+      Out += ", \"code\": " + std::to_string(E.Code);
+    }
+    Out += ", \"size\": " + std::to_string(E.Size);
+    Out += ", \"dur_us\": " + std::to_string(E.DurMicros);
+    Out += "}";
+  }
+  Out += "]}}";
+  return Out;
+}

@@ -1,0 +1,115 @@
+//===- observability/FlightRecorder.h - Event ring for post-mortems *- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An always-on, fixed-size ring buffer of recent events, dumped as
+/// structured JSON when something goes wrong — the black-box model: the
+/// recorder is cheap enough to never turn off (a POD store into a
+/// preallocated ring, one clock read per event, no allocation, no lock),
+/// so a post-mortem of a timeout or a malformed frame does not need a
+/// repro.
+///
+/// The recorder is deliberately domain-blind: an event is four small
+/// integers (kind, code, size, duration) plus a timestamp relative to
+/// the recorder's epoch. The advisory daemon records one recorder per
+/// connection (single-writer, so the ring needs no synchronization) with
+/// kind = protocol event class and code = opcode or error code — never
+/// payload bytes, so a dump can be shipped without leaking source text.
+/// renderJson() takes an optional describe callback mapping (kind, code)
+/// to human-readable names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_OBSERVABILITY_FLIGHTRECORDER_H
+#define SLO_OBSERVABILITY_FLIGHTRECORDER_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// Fixed-capacity ring of POD events. Single-writer; readers must
+/// externally order against the writer (the daemon dumps from the
+/// owning connection thread only).
+class FlightRecorder {
+public:
+  struct Event {
+    uint64_t TMicros = 0;   ///< Since the recorder's epoch.
+    uint16_t Kind = 0;      ///< Caller-defined event class.
+    uint16_t Code = 0;      ///< Caller-defined detail (opcode, errno, ...).
+    uint32_t Size = 0;      ///< Associated byte count, if any.
+    uint32_t DurMicros = 0; ///< Associated duration, if any (saturated).
+  };
+
+  /// Names for one event, produced by the describe callback.
+  struct Description {
+    std::string Kind;
+    std::string Code;
+  };
+  using DescribeFn = std::function<Description(const Event &)>;
+
+  /// \p Capacity 0 disables the recorder entirely: push() records
+  /// nothing and reads no clock (the telemetry-off contract).
+  explicit FlightRecorder(size_t Capacity)
+      : Capacity(Capacity), Epoch(std::chrono::steady_clock::now()) {
+    Ring.reserve(Capacity);
+  }
+
+  bool enabled() const { return Capacity != 0; }
+  size_t capacity() const { return Capacity; }
+  /// Events currently held (<= capacity; older ones were overwritten).
+  size_t size() const { return Ring.size(); }
+  /// Events pushed over the recorder's lifetime.
+  uint64_t recorded() const { return Recorded; }
+
+  /// Records one event, overwriting the oldest once full.
+  void push(uint16_t Kind, uint16_t Code, uint32_t Size, uint32_t DurMicros) {
+    if (!Capacity)
+      return;
+    Event E;
+    E.TMicros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+    E.Kind = Kind;
+    E.Code = Code;
+    E.Size = Size;
+    E.DurMicros = DurMicros;
+    if (Ring.size() < Capacity) {
+      Ring.push_back(E);
+    } else {
+      Ring[Next] = E;
+      Next = (Next + 1) % Capacity;
+    }
+    ++Recorded;
+  }
+
+  /// Events oldest-first.
+  std::vector<Event> events() const;
+
+  /// {"flight_recorder": {"reason": R, ...context..., "dropped": N,
+  /// "events": [...]}}. \p Context is spliced in verbatim as extra
+  /// key/value text (may be empty); \p Describe, when set, adds "kind"
+  /// and "code" name strings to each event.
+  std::string renderJson(const std::string &Reason,
+                         const std::string &Context = std::string(),
+                         const DescribeFn &Describe = nullptr) const;
+
+private:
+  size_t Capacity;
+  std::chrono::steady_clock::time_point Epoch;
+  std::vector<Event> Ring;
+  size_t Next = 0; ///< Overwrite cursor once the ring is full.
+  uint64_t Recorded = 0;
+};
+
+} // namespace slo
+
+#endif // SLO_OBSERVABILITY_FLIGHTRECORDER_H

@@ -1,0 +1,233 @@
+//===- observability/Histogram.cpp - Log-bucketed latency histograms ------===//
+
+#include "observability/Histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace slo;
+
+//===----------------------------------------------------------------------===//
+// Bucket geometry
+//===----------------------------------------------------------------------===//
+
+unsigned Histogram::bucketFor(uint64_t V) {
+  if (V < ExactLimit)
+    return static_cast<unsigned>(V);
+  // Octave = floor(log2(V)) >= 5; the top 4 bits below the leading bit
+  // select one of 16 sub-buckets inside the octave.
+  unsigned Octave = 63 - static_cast<unsigned>(__builtin_clzll(V));
+  unsigned Sub = static_cast<unsigned>((V >> (Octave - 4)) & (SubBuckets - 1));
+  unsigned B = static_cast<unsigned>(ExactLimit) + (Octave - 5) * SubBuckets +
+               Sub;
+  return B < NumBuckets ? B : NumBuckets - 1;
+}
+
+uint64_t Histogram::bucketUpperBound(unsigned B) {
+  if (B < ExactLimit)
+    return B;
+  unsigned Octave = 5 + (B - static_cast<unsigned>(ExactLimit)) / SubBuckets;
+  unsigned Sub = (B - static_cast<unsigned>(ExactLimit)) % SubBuckets;
+  // Sub-bucket Sub of octave O covers [(16+Sub) << (O-4), ((16+Sub+1)
+  // << (O-4)) - 1]; the top bucket's bound saturates at UINT64_MAX.
+  if (Octave >= 63 && Sub == SubBuckets - 1)
+    return UINT64_MAX;
+  return ((static_cast<uint64_t>(SubBuckets) + Sub + 1) << (Octave - 4)) - 1;
+}
+
+uint64_t HistogramSnapshot::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(Q * static_cast<double>(Count)));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Cum = 0;
+  for (unsigned B = 0; B < Buckets.size(); ++B) {
+    Cum += Buckets[B];
+    if (Cum >= Rank) {
+      // Never report a bound above the exact max: the top occupied
+      // bucket's upper bound can overshoot the largest recorded value.
+      uint64_t Bound = Histogram::bucketUpperBound(B);
+      return std::min(Bound, Max);
+    }
+  }
+  return Max;
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded recording (the CounterRegistry pattern)
+//===----------------------------------------------------------------------===//
+
+struct Histogram::Shard {
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+};
+
+namespace {
+
+struct ShardCacheEntry {
+  const void *Histogram = nullptr;
+  uint64_t Generation = 0;
+  void *Shard = nullptr;
+};
+
+thread_local std::vector<ShardCacheEntry> TLSCache;
+
+std::atomic<uint64_t> NextGeneration{1};
+
+} // namespace
+
+Histogram::Histogram()
+    : Generation(NextGeneration.fetch_add(1, std::memory_order_relaxed)) {}
+
+Histogram::~Histogram() = default;
+
+Histogram::Shard &Histogram::localShard() {
+  for (const ShardCacheEntry &E : TLSCache)
+    if (E.Histogram == this && E.Generation == Generation)
+      return *static_cast<Shard *>(E.Shard);
+  Shard *S;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Shards.push_back(std::make_unique<Shard>());
+    S = Shards.back().get();
+  }
+  TLSCache.push_back({this, Generation, S});
+  return *S;
+}
+
+void Histogram::record(uint64_t V) {
+  Shard &S = localShard();
+  // Single-writer per shard: relaxed everywhere, the merge orders itself
+  // with the histogram mutex.
+  S.Count.fetch_add(1, std::memory_order_relaxed);
+  S.Sum.fetch_add(V, std::memory_order_relaxed);
+  uint64_t Cur = S.Max.load(std::memory_order_relaxed);
+  while (V > Cur &&
+         !S.Max.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+  S.Buckets[bucketFor(V)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot Out;
+  Out.Buckets.assign(NumBuckets, 0);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &S : Shards) {
+      Out.Count += S->Count.load(std::memory_order_relaxed);
+      Out.Sum += S->Sum.load(std::memory_order_relaxed);
+      Out.Max = std::max(Out.Max, S->Max.load(std::memory_order_relaxed));
+      for (unsigned B = 0; B < NumBuckets; ++B) {
+        uint64_t N = S->Buckets[B].load(std::memory_order_relaxed);
+        if (N)
+          Out.Buckets[B] += N;
+      }
+    }
+  }
+  while (!Out.Buckets.empty() && Out.Buckets.back() == 0)
+    Out.Buckets.pop_back();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry + rendering
+//===----------------------------------------------------------------------===//
+
+Histogram &HistogramRegistry::get(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(Name, std::make_unique<Histogram>()).first;
+  return *It->second;
+}
+
+std::map<std::string, HistogramSnapshot> HistogramRegistry::snapshotAll() const {
+  // Pointer snapshot first: Histogram::snapshot() takes the histogram's
+  // own mutex and must not run under the registry lock a recording
+  // thread may want for get().
+  std::vector<std::pair<std::string, const Histogram *>> Entries;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &[Name, H] : Histograms)
+      Entries.emplace_back(Name, H.get());
+  }
+  std::map<std::string, HistogramSnapshot> Out;
+  for (const auto &[Name, H] : Entries)
+    Out.emplace(Name, H->snapshot());
+  return Out;
+}
+
+std::string slo::renderHistogramSnapshotJson(const HistogramSnapshot &S) {
+  std::string Out = "{\"count\": " + std::to_string(S.Count);
+  Out += ", \"sum\": " + std::to_string(S.Sum);
+  Out += ", \"max\": " + std::to_string(S.Max);
+  Out += ", \"p50\": " + std::to_string(S.quantile(0.50));
+  Out += ", \"p90\": " + std::to_string(S.quantile(0.90));
+  Out += ", \"p99\": " + std::to_string(S.quantile(0.99));
+  Out += "}";
+  return Out;
+}
+
+std::string HistogramRegistry::renderJson() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Name, S] : snapshotAll()) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += '"';
+    Out += Name; // Histogram names are dotted identifiers; no escaping.
+    Out += "\": ";
+    Out += renderHistogramSnapshotJson(S);
+  }
+  Out += "}";
+  return Out;
+}
+
+namespace {
+
+/// "service.latency.PutSource" -> "slo_service_latency_PutSource":
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string promName(const std::string &Name) {
+  std::string Out = "slo_";
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9');
+    Out.push_back(Ok ? C : '_');
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string HistogramRegistry::renderPrometheus() const {
+  std::string Out;
+  for (const auto &[Name, S] : snapshotAll()) {
+    std::string M = promName(Name);
+    Out += "# HELP " + M + " " + Name + " (microseconds)\n";
+    Out += "# TYPE " + M + " histogram\n";
+    // Cumulative le-buckets at every non-empty boundary: sparse but
+    // valid exposition (le values must be increasing, +Inf mandatory).
+    uint64_t Cum = 0;
+    for (unsigned B = 0; B < S.Buckets.size(); ++B) {
+      if (S.Buckets[B] == 0)
+        continue;
+      Cum += S.Buckets[B];
+      Out += M + "_bucket{le=\"" +
+             std::to_string(Histogram::bucketUpperBound(B)) + "\"} " +
+             std::to_string(Cum) + "\n";
+    }
+    Out += M + "_bucket{le=\"+Inf\"} " + std::to_string(S.Count) + "\n";
+    Out += M + "_sum " + std::to_string(S.Sum) + "\n";
+    Out += M + "_count " + std::to_string(S.Count) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,139 @@
+//===- observability/Histogram.h - Log-bucketed latency histograms *- C++ -*-===//
+//
+// Part of syzygy-slo, a reproduction of "Practical Structure Layout
+// Optimization and Advice" (Hundt, Mannarswamy, Chakrabarti; CGO 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Log-bucketed value histograms for service latency telemetry, built on
+/// the CounterRegistry sharding pattern: each recording thread owns a
+/// private array of relaxed atomics (one slot per bucket plus count, sum
+/// and max), so the hot path is one thread-local lookup plus a handful of
+/// uncontended fetch_adds — no shared cache line is written by two
+/// threads, and recording with telemetry enabled is cheap enough to stay
+/// always-on (the GWP model). Reporting merges the shards under the
+/// histogram mutex; addition commutes, so a merged snapshot is
+/// deterministic no matter how the threads interleaved.
+///
+/// Bucketing (DESIGN.md §14): values below ExactLimit (32) get one bucket
+/// each — sub-microsecond and single-digit-microsecond latencies are
+/// exact. Above that, each power-of-two octave is split into 16
+/// sub-buckets, bounding the relative rounding error of any reported
+/// value at ~6.25%. Quantiles are computed from the merged buckets as the
+/// smallest bucket upper bound covering the requested rank — a pure
+/// function of the counts, so two snapshots of identical recordings
+/// render identical p50/p90/p99 bytes.
+///
+/// HistogramRegistry interns histograms by dotted name (e.g.
+/// "service.latency.PutSource") and renders merged snapshots as JSON and
+/// as Prometheus text exposition. Telemetry off is a null
+/// Histogram/registry pointer everywhere: call sites guard with one
+/// branch and read no clock, same contract as Tracer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLO_OBSERVABILITY_HISTOGRAM_H
+#define SLO_OBSERVABILITY_HISTOGRAM_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slo {
+
+/// A merged, immutable view of one histogram. Deterministic: depends only
+/// on the multiset of recorded values, never on thread scheduling.
+struct HistogramSnapshot {
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Max = 0; // Exact maximum recorded value (not bucket-rounded).
+  std::vector<uint64_t> Buckets; // Indexed by bucket; trailing zeros trimmed.
+
+  /// Smallest bucket upper bound whose cumulative count reaches
+  /// ceil(Q * Count); 0 for an empty histogram. Q in [0, 1].
+  uint64_t quantile(double Q) const;
+};
+
+/// One named histogram over unsigned 64-bit values (the service records
+/// microseconds). record() is wait-free after the first call per thread.
+class Histogram {
+public:
+  /// Values below this get an exact bucket each.
+  static constexpr uint64_t ExactLimit = 32;
+  /// Sub-buckets per power-of-two octave above ExactLimit.
+  static constexpr unsigned SubBuckets = 16;
+  /// 32 exact buckets + 16 sub-buckets for each of the 59 octaves
+  /// [2^5, 2^6) .. [2^63, 2^64).
+  static constexpr unsigned NumBuckets =
+      static_cast<unsigned>(ExactLimit) + (64 - 5) * SubBuckets;
+
+  Histogram();
+  ~Histogram();
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  /// Bucket index for \p V (total function; saturates at NumBuckets - 1).
+  static unsigned bucketFor(uint64_t V);
+  /// Largest value mapping to bucket \p B (the reported quantile bound).
+  static uint64_t bucketUpperBound(unsigned B);
+
+  /// Adds one observation through the calling thread's shard.
+  void record(uint64_t V);
+
+  /// Merged snapshot across all shards.
+  HistogramSnapshot snapshot() const;
+
+private:
+  struct Shard;
+  Shard &localShard();
+
+  mutable std::mutex Mutex;
+  mutable std::vector<std::unique_ptr<Shard>> Shards;
+  uint64_t Generation; // Guards TLS caches against address reuse.
+};
+
+/// Histograms interned by dotted name. Thread-safe; the hot path should
+/// cache the Histogram* from get().
+class HistogramRegistry {
+public:
+  HistogramRegistry() = default;
+  HistogramRegistry(const HistogramRegistry &) = delete;
+  HistogramRegistry &operator=(const HistogramRegistry &) = delete;
+
+  /// Interns \p Name; the returned histogram lives as long as the
+  /// registry.
+  Histogram &get(const std::string &Name);
+
+  /// Convenience: intern + record.
+  void record(const std::string &Name, uint64_t V) { get(Name).record(V); }
+
+  /// Merged snapshots of every histogram, sorted by name.
+  std::map<std::string, HistogramSnapshot> snapshotAll() const;
+
+  /// {"name": {"count": N, "sum": S, "max": M, "p50": .., "p90": ..,
+  /// "p99": ..}, ...} sorted by name. The shared schema of the daemon's
+  /// GetMetrics endpoint and slo_driver --stats-json.
+  std::string renderJson() const;
+
+  /// Prometheus text exposition: one histogram metric family per entry
+  /// (name mangled to [a-zA-Z0-9_], prefixed "slo_"), cumulative
+  /// le-buckets at every non-empty boundary plus +Inf, _sum and _count.
+  std::string renderPrometheus() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+/// Shared JSON rendering for one snapshot (used by the registry and by
+/// callers embedding snapshots in other artifacts).
+std::string renderHistogramSnapshotJson(const HistogramSnapshot &S);
+
+} // namespace slo
+
+#endif // SLO_OBSERVABILITY_HISTOGRAM_H

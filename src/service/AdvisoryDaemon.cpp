@@ -3,9 +3,13 @@
 #include "service/AdvisoryDaemon.h"
 
 #include "observability/CounterRegistry.h"
+#include "observability/FlightRecorder.h"
+#include "observability/Histogram.h"
 #include "observability/Tracer.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstring>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -18,6 +22,47 @@ struct AdvisoryDaemon::Conn {
   std::thread Thread;
   std::atomic<bool> Done{false};
 };
+
+namespace {
+
+/// Flight-recorder event kinds (Code carries the detail).
+enum FlightKind : uint16_t {
+  FlightFrameIn = 1,  ///< Code = request opcode.
+  FlightReplyOut = 2, ///< Code = first reply opcode; Dur = service time.
+  FlightReadError = 3 ///< Code = ReadStatus.
+};
+
+FlightRecorder::Description describeFlightEvent(
+    const FlightRecorder::Event &E) {
+  FlightRecorder::Description D;
+  switch (E.Kind) {
+  case FlightFrameIn:
+    D.Kind = "frame-in";
+    D.Code = opcodeName(static_cast<Opcode>(E.Code));
+    break;
+  case FlightReplyOut:
+    D.Kind = "reply-out";
+    D.Code = opcodeName(static_cast<Opcode>(E.Code));
+    break;
+  case FlightReadError:
+    D.Kind = "read-error";
+    D.Code = readStatusName(static_cast<ReadStatus>(E.Code));
+    break;
+  default:
+    D.Kind = std::to_string(E.Kind);
+    D.Code = std::to_string(E.Code);
+  }
+  return D;
+}
+
+uint64_t microsSince(std::chrono::steady_clock::time_point Since,
+                     std::chrono::steady_clock::time_point Now) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Now - Since)
+          .count());
+}
+
+} // namespace
 
 AdvisoryDaemon::AdvisoryDaemon(DaemonConfig Config)
     : Config(std::move(Config)),
@@ -188,18 +233,38 @@ void AdvisoryDaemon::requestStopAsync() {
 
 void AdvisoryDaemon::handleConnection(Conn *C) {
   int Fd = C->Fd;
+  uint64_t ConnId = NextConnId.fetch_add(1, std::memory_order_relaxed);
+  FlightRecorder Recorder(Config.FlightRecorderDepth);
+  // One bool gates every clock read on the request path: with no
+  // histograms, no tracer, and the recorder disabled, the path is as
+  // clock-free as before telemetry existed.
+  const bool Timed = Config.Hist || Config.Trace || Recorder.enabled();
+  auto dumpFlight = [&](const char *Reason) {
+    if (!Recorder.enabled() || !Config.FlightDumpSink)
+      return;
+    bump("service.flight_dumps");
+    Config.FlightDumpSink(Recorder.renderJson(
+        Reason, "\"connection\": " + std::to_string(ConnId),
+        describeFlightEvent));
+  };
   for (;;) {
     Frame F;
+    std::chrono::steady_clock::time_point FirstByte;
     ReadStatus S = readFrame(Fd, F, Config.MaxFrameBytes,
                              Config.IdleTimeoutMillis,
-                             Config.FrameTimeoutMillis);
-    if (S == ReadStatus::Eof)
+                             Config.FrameTimeoutMillis,
+                             Timed ? &FirstByte : nullptr);
+    if (S == ReadStatus::Eof) {
+      if (stopping())
+        dumpFlight("drain");
       break;
+    }
     if (S != ReadStatus::Ok) {
       // Every malformed outcome is a diagnostic plus a closed
       // connection; accumulated state was never touched. The response
       // is best-effort — a peer that vanished mid-frame cannot read it.
       bump("service.frames_malformed");
+      Recorder.push(FlightReadError, static_cast<uint16_t>(S), 0, 0);
       switch (S) {
       case ReadStatus::TooLarge:
         writeFrame(Fd, Opcode::Error,
@@ -223,16 +288,67 @@ void AdvisoryDaemon::handleConnection(Conn *C) {
       default: // Truncated / Error: nobody is listening.
         break;
       }
+      dumpFlight(readStatusName(S));
       break;
     }
     bump("service.frames");
+    Recorder.push(FlightFrameIn, static_cast<uint16_t>(F.Op),
+                  static_cast<uint32_t>(F.Body.size()), 0);
     std::string Response;
-    bool KeepOpen = dispatch(C, F, Response);
+    bool KeepOpen;
+    // A Traced request opens a stage trace even with telemetry off:
+    // the client asked for spans explicitly, so the clock reads are
+    // opted into per request.
+    if (Timed || F.Op == Opcode::Traced) {
+      if (!Timed)
+        FirstByte = std::chrono::steady_clock::now();
+      StageTrace ST(FirstByte);
+      {
+        // The frame read itself, ending where dispatch begins.
+        StageTrace::Stage Read;
+        Read.Name = "read";
+        Read.DurMicros =
+            microsSince(FirstByte, std::chrono::steady_clock::now());
+        ST.Stages.push_back(Read);
+      }
+      KeepOpen = dispatch(C, F, Response, &ST);
+      uint64_t DurUs =
+          microsSince(FirstByte, std::chrono::steady_clock::now());
+      if (Config.Hist) {
+        Config.Hist->record(std::string("service.latency.") +
+                                opcodeName(F.Op),
+                            DurUs);
+        for (const StageTrace::Stage &Stage : ST.Stages) {
+          if (std::strcmp(Stage.Name, "lock-wait") == 0)
+            Config.Hist->record("service.lock_wait_us", Stage.DurMicros);
+          else if (std::strcmp(Stage.Name, "dwell") == 0)
+            Config.Hist->record("service.ingest_dwell_us", Stage.DurMicros);
+        }
+      }
+      uint16_t ReplyOp =
+          Response.size() > 4 ? static_cast<uint8_t>(Response[4]) : 0;
+      Recorder.push(FlightReplyOut, ReplyOp,
+                    static_cast<uint32_t>(Response.size()),
+                    DurUs > UINT32_MAX ? UINT32_MAX
+                                       : static_cast<uint32_t>(DurUs));
+    } else {
+      KeepOpen = dispatch(C, F, Response, nullptr);
+      uint16_t ReplyOp =
+          Response.size() > 4 ? static_cast<uint8_t>(Response[4]) : 0;
+      Recorder.push(FlightReplyOut, ReplyOp,
+                    static_cast<uint32_t>(Response.size()), 0);
+    }
     if (!Response.empty() &&
         !writeAll(Fd, Response, Config.FrameTimeoutMillis))
       break;
-    if (!KeepOpen)
+    if (!KeepOpen) {
+      // CloseAfter on anything but an explicit Shutdown means a
+      // protocol violation: the post-mortem case the recorder exists
+      // for.
+      if (F.Op != Opcode::Shutdown)
+        dumpFlight("malformed-request");
       break;
+    }
   }
   ::close(Fd);
   Live.fetch_sub(1, std::memory_order_acq_rel);
@@ -240,10 +356,10 @@ void AdvisoryDaemon::handleConnection(Conn *C) {
 }
 
 bool AdvisoryDaemon::dispatch(Conn *C, const Frame &F,
-                              std::string &ResponseBytes) {
+                              std::string &ResponseBytes, StageTrace *ST) {
   (void)C;
   bool CloseAfter = false;
-  ResponseBytes = handleRequest(F, CloseAfter);
+  ResponseBytes = handleRequest(F, CloseAfter, ST);
   return !CloseAfter;
 }
 
@@ -292,7 +408,8 @@ std::string textFrame(Opcode Op, const std::string &Text) {
 
 } // namespace
 
-std::string AdvisoryDaemon::handleIngest(const Frame &F, bool &CloseAfter) {
+std::string AdvisoryDaemon::handleIngest(const Frame &F, bool &CloseAfter,
+                                         StageTrace *ST) {
   IngestTicket Ticket(IngestInFlight, Config.IngestQueueDepth);
   if (!Ticket.held()) {
     // Reject-with-retry-after: the request was NOT applied, the queue
@@ -302,6 +419,10 @@ std::string AdvisoryDaemon::handleIngest(const Frame &F, bool &CloseAfter) {
     appendU32(Body, Config.RetryAfterMillis);
     return encodeFrame(Opcode::RetryAfter, Body);
   }
+  // Queue dwell: how long this request held ingest capacity. Tickets
+  // never block, so dwell is the applied-work time under the cap —
+  // the histogram that shows when the depth is the bottleneck.
+  StageSpan Dwell(ST, "dwell");
   if (Config.TestIngestHook)
     Config.TestIngestHook();
 
@@ -315,7 +436,7 @@ std::string AdvisoryDaemon::handleIngest(const Frame &F, bool &CloseAfter) {
     }
     bump("service.ingest_source");
     TraceSpan Span(Config.Trace, "service/put-source", "service");
-    StateResult SR = State.putSource(Module, Source);
+    StateResult SR = State.putSource(Module, Source, ST);
     return SR.Ok ? okFrame() : errorFrame(ErrCode::CompileFailed, SR.Error);
   }
   case Opcode::PutSummary: {
@@ -326,7 +447,7 @@ std::string AdvisoryDaemon::handleIngest(const Frame &F, bool &CloseAfter) {
     }
     bump("service.ingest_summary");
     TraceSpan Span(Config.Trace, "service/put-summary", "service");
-    StateResult SR = State.putSummary(Text);
+    StateResult SR = State.putSummary(Text, ST);
     return SR.Ok ? okFrame() : errorFrame(ErrCode::CorruptPayload, SR.Error);
   }
   case Opcode::PutProfile: {
@@ -337,7 +458,7 @@ std::string AdvisoryDaemon::handleIngest(const Frame &F, bool &CloseAfter) {
     }
     bump("service.ingest_profile");
     TraceSpan Span(Config.Trace, "service/put-profile", "service");
-    StateResult SR = State.putProfile(Module, Text);
+    StateResult SR = State.putProfile(Module, Text, ST);
     if (SR.Ok)
       return okFrame();
     return errorFrame(SR.Error.rfind("unknown module", 0) == 0
@@ -351,7 +472,8 @@ std::string AdvisoryDaemon::handleIngest(const Frame &F, bool &CloseAfter) {
   }
 }
 
-std::string AdvisoryDaemon::handleRequest(const Frame &F, bool &CloseAfter) {
+std::string AdvisoryDaemon::handleRequest(const Frame &F, bool &CloseAfter,
+                                          StageTrace *ST) {
   CloseAfter = false;
   BodyReader R(F.Body);
   switch (F.Op) {
@@ -369,7 +491,7 @@ std::string AdvisoryDaemon::handleRequest(const Frame &F, bool &CloseAfter) {
   case Opcode::PutSource:
   case Opcode::PutSummary:
   case Opcode::PutProfile:
-    return handleIngest(F, CloseAfter);
+    return handleIngest(F, CloseAfter, ST);
 
   case Opcode::GetAdvice: {
     uint8_t Json = 0;
@@ -379,7 +501,7 @@ std::string AdvisoryDaemon::handleRequest(const Frame &F, bool &CloseAfter) {
     }
     bump("service.advice_requests");
     TraceSpan Span(Config.Trace, "service/get-advice", "service");
-    return textFrame(Opcode::Advice, State.getAdvice(Json != 0));
+    return textFrame(Opcode::Advice, State.getAdvice(Json != 0, ST));
   }
 
   case Opcode::GetProfile: {
@@ -390,9 +512,76 @@ std::string AdvisoryDaemon::handleRequest(const Frame &F, bool &CloseAfter) {
     }
     bump("service.profile_requests");
     std::string Out;
-    StateResult SR = State.getProfile(Module, Out);
+    StateResult SR = State.getProfile(Module, Out, ST);
     return SR.Ok ? textFrame(Opcode::Profile, Out)
                  : errorFrame(ErrCode::UnknownModule, SR.Error);
+  }
+
+  case Opcode::GetMetrics: {
+    uint8_t Format = 0;
+    if (F.Body.size() > 1 || (F.Body.size() == 1 && !R.readU8(Format)) ||
+        Format > 1) {
+      CloseAfter = true;
+      return errorFrame(ErrCode::Malformed, "bad GetMetrics body");
+    }
+    bump("service.metrics_requests");
+    std::string Text;
+    if (Format == 0) {
+      Text = "{\"counters\": ";
+      Text += Config.Counters ? Config.Counters->renderJson() : "{}";
+      Text += ", \"histograms\": ";
+      Text += Config.Hist ? Config.Hist->renderJson() : "{}";
+      Text += "}";
+    } else {
+      if (Config.Counters) {
+        for (const auto &[Name, V] : Config.Counters->snapshot()) {
+          std::string M = "slo_";
+          for (char Ch : Name)
+            M.push_back(std::isalnum(static_cast<unsigned char>(Ch)) ? Ch
+                                                                     : '_');
+          Text += "# TYPE " + M + " counter\n";
+          Text += M + " " + std::to_string(V) + "\n";
+        }
+      }
+      if (Config.Hist)
+        Text += Config.Hist->renderPrometheus();
+    }
+    return textFrame(Opcode::Metrics, Text);
+  }
+
+  case Opcode::Traced: {
+    TraceContext Ctx;
+    Frame Inner;
+    if (!decodeTracedRequest(R, Ctx, Inner, Config.MaxFrameBytes) ||
+        !R.atEnd()) {
+      CloseAfter = true;
+      return errorFrame(ErrCode::Malformed, "bad Traced body");
+    }
+    if (Inner.Op == Opcode::Traced || Inner.Op == Opcode::Batch ||
+        Inner.Op == Opcode::Shutdown) {
+      CloseAfter = true;
+      return errorFrame(ErrCode::Malformed,
+                        "opcode not allowed inside Traced");
+    }
+    bump("service.traced_requests");
+    std::string InnerReply = handleRequest(Inner, CloseAfter, ST);
+    // Return every stage recorded so far for this request — the outer
+    // "read" plus whatever the inner handler added. The propagated ids
+    // are echoed, never interpreted: a trace id must not be able to
+    // change a single advice byte.
+    std::vector<DaemonSpan> Spans;
+    if (ST) {
+      Spans.reserve(ST->Stages.size());
+      for (const StageTrace::Stage &Stage : ST->Stages) {
+        DaemonSpan S;
+        S.Name = Stage.Name;
+        S.StartMicros = Stage.StartMicros;
+        S.DurMicros = Stage.DurMicros;
+        Spans.push_back(std::move(S));
+      }
+    }
+    return encodeFrame(Opcode::TracedReply,
+                       encodeTracedReplyBody(Ctx, Spans, InnerReply));
   }
 
   case Opcode::GetStats: {
@@ -426,7 +615,8 @@ std::string AdvisoryDaemon::handleRequest(const Frame &F, bool &CloseAfter) {
         CloseAfter = true; // Remaining entries are unparseable.
         break;
       }
-      if (FI.Op == Opcode::Batch || FI.Op == Opcode::Shutdown) {
+      if (FI.Op == Opcode::Batch || FI.Op == Opcode::Shutdown ||
+          FI.Op == Opcode::Traced) {
         Inner += errorFrame(ErrCode::Malformed,
                             "opcode not allowed inside a batch");
         ++Done;
@@ -434,7 +624,7 @@ std::string AdvisoryDaemon::handleRequest(const Frame &F, bool &CloseAfter) {
         break;
       }
       bool InnerClose = false;
-      Inner += handleRequest(FI, InnerClose);
+      Inner += handleRequest(FI, InnerClose, ST);
       ++Done;
       if (InnerClose) {
         CloseAfter = true;

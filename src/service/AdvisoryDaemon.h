@@ -58,6 +58,7 @@
 namespace slo {
 
 class CounterRegistry;
+class HistogramRegistry;
 class Tracer;
 
 namespace service {
@@ -96,6 +97,23 @@ struct DaemonConfig {
 
   CounterRegistry *Counters = nullptr;
   Tracer *Trace = nullptr;
+
+  /// Latency histograms: per-opcode service time, shard-lock wait, and
+  /// ingest-queue dwell. Null disables them — and with Trace also null
+  /// and FlightRecorderDepth 0, the request path reads no clock at all
+  /// (the PR 3 telemetry-off contract).
+  HistogramRegistry *Hist = nullptr;
+
+  /// Per-connection flight-recorder depth (events kept). The recorder
+  /// is always-on by default: a POD ring write per protocol event, no
+  /// locks, no payload bytes. 0 disables it.
+  unsigned FlightRecorderDepth = 64;
+
+  /// Dump sink for flight-recorder JSON, invoked from the connection's
+  /// own thread on a timeout, a malformed frame, or a drain close.
+  /// Null means record but never dump (the default in tests, where the
+  /// fuzzer closes thousands of connections on purpose).
+  std::function<void(const std::string &)> FlightDumpSink;
 };
 
 /// The server. Construct, then listenTcp() and/or adoptConnection(),
@@ -138,11 +156,13 @@ private:
   void acceptLoop();
   void handleConnection(Conn *C);
   /// Dispatches one well-formed frame; returns false when the
-  /// connection must close (protocol violation or Shutdown).
-  bool dispatch(Conn *C, const Frame &F, std::string &ResponseBytes);
+  /// connection must close (protocol violation or Shutdown). \p ST is
+  /// the per-request stage trace (null when telemetry is off).
+  bool dispatch(Conn *C, const Frame &F, std::string &ResponseBytes,
+                StageTrace *ST);
   /// Applies one request under the ingest/backpressure regime.
-  std::string handleRequest(const Frame &F, bool &CloseAfter);
-  std::string handleIngest(const Frame &F, bool &CloseAfter);
+  std::string handleRequest(const Frame &F, bool &CloseAfter, StageTrace *ST);
+  std::string handleIngest(const Frame &F, bool &CloseAfter, StageTrace *ST);
   void bump(const char *Name, uint64_t N = 1);
   void reapFinished();
   /// The drain body; caller holds StopMutex with Stopped still false.
@@ -157,6 +177,7 @@ private:
   std::atomic<bool> Stopping{false};
   std::atomic<unsigned> Live{0};
   std::atomic<unsigned> IngestInFlight{0};
+  std::atomic<uint64_t> NextConnId{1};
 
   int ListenFd = -1;
   uint16_t BoundPort = 0;

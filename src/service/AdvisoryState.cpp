@@ -65,9 +65,11 @@ AdvisoryState::shardFor(const std::string &Module) const {
 //===----------------------------------------------------------------------===//
 
 StateResult AdvisoryState::putSource(const std::string &Name,
-                                     const std::string &Source) {
+                                     const std::string &Source,
+                                     StageTrace *ST) {
   // Compile and summarize outside any lock — this is the expensive part
   // and touches no shared state.
+  StageSpan Compile(ST, "compile");
   auto Ctx = std::make_unique<IRContext>();
   std::vector<std::string> FeDiags;
   std::unique_ptr<slo::Module> M = compileMiniC(*Ctx, Name, Source, FeDiags);
@@ -80,9 +82,12 @@ StateResult AdvisoryState::putSource(const std::string &Name,
   S.ModuleName = Name;
   S.SourceHash = sourceHashForTu(Source, OptionsKey);
   S.OptionsKey = OptionsKey;
+  Compile.finish();
 
   StateShard &Shard = shardFor(Name);
+  StageSpan LockWait(ST, "lock-wait");
   std::lock_guard<std::mutex> Lock(Shard.Mutex);
+  LockWait.finish();
   ModuleEntry &E = Shard.Modules[Name];
   // Upsert replaces everything, including any accumulated profile: the
   // old profile was keyed against the old IR.
@@ -98,7 +103,9 @@ StateResult AdvisoryState::putSource(const std::string &Name,
   return {true, ""};
 }
 
-StateResult AdvisoryState::putSummary(const std::string &Text) {
+StateResult AdvisoryState::putSummary(const std::string &Text,
+                                      StageTrace *ST) {
+  StageSpan Parse(ST, "parse");
   ModuleSummary S;
   std::string Error;
   if (!deserializeModuleSummary(Text, S, Error)) {
@@ -106,8 +113,11 @@ StateResult AdvisoryState::putSummary(const std::string &Text) {
     R.Error = Error;
     return R;
   }
+  Parse.finish();
   StateShard &Shard = shardFor(S.ModuleName);
+  StageSpan LockWait(ST, "lock-wait");
   std::lock_guard<std::mutex> Lock(Shard.Mutex);
+  LockWait.finish();
   ModuleEntry &E = Shard.Modules[S.ModuleName];
   E.Source.clear();
   E.M.reset(); // Module before its context (see putSource).
@@ -119,7 +129,8 @@ StateResult AdvisoryState::putSummary(const std::string &Text) {
 }
 
 StateResult AdvisoryState::putProfile(const std::string &Name,
-                                      const std::string &Text) {
+                                      const std::string &Text,
+                                      StageTrace *ST) {
   StateShard &Shard = shardFor(Name);
   FeedbackFile Delta;
   std::map<std::string, RecordDigest> PerRecord;
@@ -127,7 +138,9 @@ StateResult AdvisoryState::putProfile(const std::string &Name,
   {
     // Parse under the shard lock: deserializeFeedback matches symbols
     // against the entry's IR, which a concurrent putSource may replace.
+    StageSpan LockWait(ST, "lock-wait");
     std::lock_guard<std::mutex> Lock(Shard.Mutex);
+    LockWait.finish();
     auto It = Shard.Modules.find(Name);
     if (It == Shard.Modules.end() || !It->second.M) {
       StateResult R;
@@ -138,6 +151,7 @@ StateResult AdvisoryState::putProfile(const std::string &Name,
       return R;
     }
     M = It->second.M.get();
+    StageSpan Parse(ST, "parse");
     DiagnosticEngine Diags;
     FeedbackMatchResult MR = deserializeFeedback(*M, Text, Delta, &Diags);
     if (!MR.Ok) {
@@ -147,7 +161,10 @@ StateResult AdvisoryState::putProfile(const std::string &Name,
       R.Error = MR.Error.empty() ? "corrupt feedback payload" : MR.Error;
       return R;
     }
+    Parse.finish();
+    StageSpan Merge(ST, "merge");
     It->second.Accum.merge(Delta); // The PR 5 multi-run merge path.
+    Merge.finish();
     ++It->second.ProfilePayloads;
     // Group the delta's field events by record name while the shard
     // lock still pins the module's IR alive — Delta keys its stats by
@@ -190,37 +207,47 @@ void AdvisoryState::bumpDigests(
 // Serving
 //===----------------------------------------------------------------------===//
 
-std::string AdvisoryState::getAdvice(bool Json) const {
+std::string AdvisoryState::getAdvice(bool Json, StageTrace *ST) const {
   // Snapshot summaries shard by shard, then order by module name: the
   // merged advice must not depend on which client's upload won which
   // race, only on the set of modules ingested.
   std::vector<ModuleSummary> Summaries;
-  for (const auto &Shard : Shards) {
-    std::lock_guard<std::mutex> Lock(Shard->Mutex);
-    for (const auto &Entry : Shard->Modules)
-      Summaries.push_back(Entry.second.Summary);
+  {
+    StageSpan LockWait(ST, "lock-wait");
+    for (const auto &Shard : Shards) {
+      std::lock_guard<std::mutex> Lock(Shard->Mutex);
+      for (const auto &Entry : Shard->Modules)
+        Summaries.push_back(Entry.second.Summary);
+    }
   }
   std::sort(Summaries.begin(), Summaries.end(),
             [](const ModuleSummary &A, const ModuleSummary &B) {
               return A.ModuleName < B.ModuleName;
             });
+  StageSpan Merge(ST, "merge");
   PlannerOptions Planner;
   Planner.HotnessFromProfile = false; // Static schemes only (as one-shot).
   MergedProgram MP = mergeModuleSummaries(Summaries, Planner);
+  Merge.finish();
+  StageSpan Render(ST, "render");
   return Json ? renderAdviceJson(MP, Summaries, SummaryOpts.Scheme)
               : renderAdviceText(MP, Summaries, SummaryOpts.Scheme);
 }
 
 StateResult AdvisoryState::getProfile(const std::string &Name,
-                                      std::string &Out) const {
+                                      std::string &Out,
+                                      StageTrace *ST) const {
   const StateShard &Shard = shardFor(Name);
+  StageSpan LockWait(ST, "lock-wait");
   std::lock_guard<std::mutex> Lock(Shard.Mutex);
+  LockWait.finish();
   auto It = Shard.Modules.find(Name);
   if (It == Shard.Modules.end() || !It->second.M) {
     StateResult R;
     R.Error = "unknown module '" + Name + "'";
     return R;
   }
+  StageSpan Render(ST, "render");
   Out = serializeFeedback(*It->second.M, It->second.Accum);
   return {true, ""};
 }

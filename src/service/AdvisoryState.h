@@ -38,6 +38,7 @@
 #include "pipeline/Incremental.h"
 #include "profile/FeedbackFile.h"
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,61 @@ namespace service {
 struct StateResult {
   bool Ok = false;
   std::string Error; // Set when !Ok.
+};
+
+/// Optional per-request stage timing, threaded through the mutation and
+/// serving paths when a request is traced or the daemon keeps latency
+/// histograms. A null StageTrace* is the off switch: no clock is read
+/// anywhere on the path (the telemetry-off contract of PR 3).
+struct StageTrace {
+  struct Stage {
+    const char *Name = "";
+    uint64_t StartMicros = 0; ///< Since Base (the request's receipt).
+    uint64_t DurMicros = 0;
+  };
+
+  std::chrono::steady_clock::time_point Base;
+  std::vector<Stage> Stages;
+
+  explicit StageTrace(std::chrono::steady_clock::time_point Base)
+      : Base(Base) {}
+  StageTrace() : Base(std::chrono::steady_clock::now()) {}
+};
+
+/// Null-safe RAII recorder for one stage. With a null trace the
+/// constructor and destructor are no-ops (no clock read). finish() may
+/// be called early to end the stage before scope exit — timing a lock
+/// acquisition reads `StageSpan W(ST, "lock-wait"); lock(); W.finish();`.
+class StageSpan {
+public:
+  StageSpan(StageTrace *T, const char *Name) : T(T), Name(Name) {
+    if (T)
+      Start = std::chrono::steady_clock::now();
+  }
+  StageSpan(const StageSpan &) = delete;
+  StageSpan &operator=(const StageSpan &) = delete;
+  ~StageSpan() { finish(); }
+
+  void finish() {
+    if (!T)
+      return;
+    auto End = std::chrono::steady_clock::now();
+    StageTrace::Stage S;
+    S.Name = Name;
+    S.StartMicros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Start - T->Base)
+            .count());
+    S.DurMicros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+            .count());
+    T->Stages.push_back(S);
+    T = nullptr;
+  }
+
+private:
+  StageTrace *T;
+  const char *Name;
+  std::chrono::steady_clock::time_point Start;
 };
 
 /// Per-(module, record-type) ingest digest: what the daemon has seen
@@ -83,28 +139,35 @@ public:
 
   /// Compiles \p Source as module \p Name and upserts its entry (source,
   /// IR, summary). On compile failure the previous entry, if any, is
-  /// kept untouched.
-  StateResult putSource(const std::string &Name, const std::string &Source);
+  /// kept untouched. \p ST, when non-null, receives "compile" and
+  /// "lock-wait" stages.
+  StateResult putSource(const std::string &Name, const std::string &Source,
+                        StageTrace *ST = nullptr);
 
   /// Upserts a summary-only entry from a serialized ModuleSummary.
   /// Corrupt payloads are rejected with the deserializer's error and
   /// change nothing. A summary-only module cannot accept profiles
-  /// (there is no IR to match them against).
-  StateResult putSummary(const std::string &Text);
+  /// (there is no IR to match them against). Stages: "parse",
+  /// "lock-wait".
+  StateResult putSummary(const std::string &Text, StageTrace *ST = nullptr);
 
   /// Merges a serialized feedback payload into module \p Name's
   /// accumulated profile. The parse is atomic (corrupt input leaves the
   /// accumulation untouched); the merge runs under the shard lock.
-  StateResult putProfile(const std::string &Name, const std::string &Text);
+  /// Stages: "lock-wait", "parse", "merge".
+  StateResult putProfile(const std::string &Name, const std::string &Text,
+                         StageTrace *ST = nullptr);
 
   /// Renders program-wide advice over every module ingested so far:
   /// summaries sorted by module name, merged and rendered exactly like
-  /// the one-shot incremental pipeline.
-  std::string getAdvice(bool Json) const;
+  /// the one-shot incremental pipeline. Stages: "lock-wait", "merge",
+  /// "render".
+  std::string getAdvice(bool Json, StageTrace *ST = nullptr) const;
 
   /// Re-serializes module \p Name's accumulated profile. Fails for
-  /// unknown or summary-only modules.
-  StateResult getProfile(const std::string &Name, std::string &Out) const;
+  /// unknown or summary-only modules. Stages: "lock-wait", "render".
+  StateResult getProfile(const std::string &Name, std::string &Out,
+                         StageTrace *ST = nullptr) const;
 
   /// Deterministic JSON array of per-(module, record) ingest digests,
   /// sorted by (module, record).

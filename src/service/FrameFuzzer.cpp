@@ -39,6 +39,8 @@ uint8_t garbageOpcode(uint64_t &S) {
     case Opcode::GetStats:
     case Opcode::Batch:
     case Opcode::Shutdown:
+    case Opcode::GetMetrics:
+    case Opcode::Traced:
       continue;
     default:
       return Op;
@@ -54,7 +56,8 @@ enum Category : unsigned {
   HostileBody = 4,
   MidFrameDisconnect = 5,
   ByteSoup = 6,
-  NumCategories = 7,
+  MalformedTraceContext = 7,
+  NumCategories = 8,
 };
 
 bool successOpcode(Opcode Op) {
@@ -65,6 +68,8 @@ bool successOpcode(Opcode Op) {
   case Opcode::Stats:
   case Opcode::Pong:
   case Opcode::BatchReply:
+  case Opcode::Metrics:
+  case Opcode::TracedReply:
     return true;
   default:
     return false;
@@ -89,6 +94,8 @@ const char *slo::service::fuzzCategoryName(unsigned Category) {
     return "mid-frame-disconnect";
   case ByteSoup:
     return "byte-soup";
+  case MalformedTraceContext:
+    return "malformed-trace-context";
   default:
     return "unknown";
   }
@@ -159,9 +166,61 @@ std::string slo::service::fuzzFrameBytes(uint64_t Seed, size_t Index,
     appendRandomBytes(Out, S, mix(S) % (Declared / 2));
     break;
   }
-  default: // ByteSoup
+  case ByteSoup:
     appendRandomBytes(Out, S, 1 + (mix(S) % 64));
     break;
+  default: { // MalformedTraceContext
+    // Hostile trace-context extensions in a Traced wrapper. None of
+    // these may crash the daemon, corrupt the fingerprint, or draw a
+    // success reply — and in particular a Traced(Shutdown) must NOT
+    // start a drain (the interleaved probes would catch a dead daemon).
+    TraceContext Ctx;
+    Ctx.TraceId = mix(S);
+    Ctx.RequestId = mix(S);
+    std::string Body;
+    switch (mix(S) % 6) {
+    case 0: {
+      // Ext length overrunning the body.
+      appendU32(Body, 0xfffffff0u);
+      appendRandomBytes(Body, S, 8);
+      break;
+    }
+    case 1: {
+      // Declared extension version 0 (reserved / invalid).
+      appendU32(Body, 17);
+      Body.push_back(0);
+      appendRandomBytes(Body, S, 16);
+      break;
+    }
+    case 2: {
+      // Ext length below the known fields.
+      uint32_t Short = static_cast<uint32_t>(mix(S) % 17);
+      appendU32(Body, Short);
+      appendRandomBytes(Body, S, Short);
+      break;
+    }
+    case 3:
+      // Well-formed wrapper around a nested Traced.
+      Body = encodeTraced(Ctx, Opcode::Traced,
+                          encodeTraced(Ctx, Opcode::Ping, ""));
+      break;
+    case 4:
+      // Well-formed wrapper around Shutdown (forbidden inside Traced).
+      Body = encodeTraced(Ctx, Opcode::Shutdown, "");
+      break;
+    default: {
+      // Valid extension, then a truncated / garbage inner frame.
+      appendU32(Body, 17);
+      Body.push_back(1);
+      appendU64(Body, Ctx.TraceId);
+      appendU64(Body, Ctx.RequestId);
+      appendRandomBytes(Body, S, mix(S) % 4);
+      break;
+    }
+    }
+    Out = encodeFrame(Opcode::Traced, Body);
+    break;
+  }
   }
   return Out;
 }

@@ -9,7 +9,8 @@
 /// Deterministic frame-level fuzzer for the advisory protocol. From a
 /// fixed seed it generates malformed byte sequences — truncated length
 /// prefixes, zero and oversized declared lengths, garbage opcodes,
-/// hostile body lengths, mid-frame disconnects, raw byte soup — fires
+/// hostile body lengths, mid-frame disconnects, raw byte soup,
+/// malformed trace-context extensions — fires
 /// each at the daemon on a fresh connection, and holds the daemon to
 /// its robustness contract:
 ///

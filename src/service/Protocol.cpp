@@ -52,6 +52,14 @@ const char *slo::service::opcodeName(Opcode Op) {
     return "BatchReply";
   case Opcode::Pong:
     return "Pong";
+  case Opcode::GetMetrics:
+    return "GetMetrics";
+  case Opcode::Traced:
+    return "Traced";
+  case Opcode::Metrics:
+    return "Metrics";
+  case Opcode::TracedReply:
+    return "TracedReply";
   }
   return "?";
 }
@@ -87,6 +95,11 @@ void slo::service::appendU16(std::string &Out, uint16_t V) {
 
 void slo::service::appendU32(std::string &Out, uint32_t V) {
   for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void slo::service::appendU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
     Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
 }
 
@@ -128,6 +141,99 @@ std::string slo::service::encodeErrorBody(ErrCode Code,
 }
 
 //===----------------------------------------------------------------------===//
+// Trace-context extension
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// u8 version + u64 trace id + u64 request id.
+constexpr uint32_t TraceExtBytes = 1 + 8 + 8;
+
+void appendTraceExt(std::string &Out, const TraceContext &Ctx) {
+  Out.push_back(static_cast<char>(Ctx.Version));
+  appendU64(Out, Ctx.TraceId);
+  appendU64(Out, Ctx.RequestId);
+}
+
+/// Reads the u32-length-prefixed extension. Version 0 and a declared
+/// length shorter than the known fields are malformed; extra bytes from
+/// a future version are skipped via the length.
+bool readTraceExt(BodyReader &R, TraceContext &Ctx) {
+  uint32_t ExtLen;
+  if (!R.readU32(ExtLen))
+    return false;
+  if (ExtLen < TraceExtBytes || ExtLen > R.remaining())
+    return false;
+  if (!R.readU8(Ctx.Version) || !R.readU64(Ctx.TraceId) ||
+      !R.readU64(Ctx.RequestId))
+    return false;
+  if (Ctx.Version == 0)
+    return false;
+  return R.skip(ExtLen - TraceExtBytes);
+}
+
+} // namespace
+
+std::string slo::service::encodeTraced(const TraceContext &Ctx,
+                                       Opcode InnerOp,
+                                       const std::string &InnerBody) {
+  std::string Body;
+  appendU32(Body, TraceExtBytes);
+  appendTraceExt(Body, Ctx);
+  Body += encodeFrame(InnerOp, InnerBody);
+  return Body;
+}
+
+std::string
+slo::service::encodeTracedReplyBody(const TraceContext &Ctx,
+                                    const std::vector<DaemonSpan> &Spans,
+                                    const std::string &InnerReplyFrame) {
+  std::string Body;
+  appendU32(Body, TraceExtBytes);
+  appendTraceExt(Body, Ctx);
+  appendU32(Body, static_cast<uint32_t>(Spans.size()));
+  for (const DaemonSpan &S : Spans) {
+    appendString(Body, S.Name);
+    appendU64(Body, S.StartMicros);
+    appendU64(Body, S.DurMicros);
+  }
+  Body += InnerReplyFrame;
+  return Body;
+}
+
+bool slo::service::decodeTracedRequest(BodyReader &R, TraceContext &Ctx,
+                                       Frame &Inner,
+                                       uint32_t MaxFrameBytes) {
+  if (!readTraceExt(R, Ctx))
+    return false;
+  return readInnerFrame(R, Inner, MaxFrameBytes);
+}
+
+bool slo::service::decodeTracedReply(BodyReader &R, TraceContext &Ctx,
+                                     std::vector<DaemonSpan> &Spans,
+                                     Frame &Inner, uint32_t MaxFrameBytes) {
+  if (!readTraceExt(R, Ctx))
+    return false;
+  uint32_t Count;
+  if (!R.readU32(Count))
+    return false;
+  // A span entry is at least 4 + 8 + 8 bytes; bound Count before
+  // reserving (the hostile-count pattern).
+  if (Count > R.remaining() / 20)
+    return false;
+  Spans.clear();
+  Spans.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    DaemonSpan S;
+    if (!R.readString(S.Name) || !R.readU64(S.StartMicros) ||
+        !R.readU64(S.DurMicros))
+      return false;
+    Spans.push_back(std::move(S));
+  }
+  return readInnerFrame(R, Inner, MaxFrameBytes);
+}
+
+//===----------------------------------------------------------------------===//
 // Decoding
 //===----------------------------------------------------------------------===//
 
@@ -160,6 +266,27 @@ bool BodyReader::readU32(uint32_t &V) {
       (static_cast<uint32_t>(Data[Pos + 2]) << 16) |
       (static_cast<uint32_t>(Data[Pos + 3]) << 24);
   Pos += 4;
+  return true;
+}
+
+bool BodyReader::readU64(uint64_t &V) {
+  if (Failed || Size - Pos < 8) {
+    Failed = true;
+    return false;
+  }
+  V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(Data[Pos + I]) << (8 * I);
+  Pos += 8;
+  return true;
+}
+
+bool BodyReader::skip(size_t N) {
+  if (Failed || Size - Pos < N) {
+    Failed = true;
+    return false;
+  }
+  Pos += N;
   return true;
 }
 
@@ -266,9 +393,10 @@ ReadStatus readExact(int Fd, void *Buf, size_t Len, int TimeoutMillis) {
 
 } // namespace
 
-ReadStatus slo::service::readFrame(int Fd, Frame &F, uint32_t MaxFrameBytes,
-                                   int IdleTimeoutMillis,
-                                   int FrameTimeoutMillis) {
+ReadStatus slo::service::readFrame(
+    int Fd, Frame &F, uint32_t MaxFrameBytes, int IdleTimeoutMillis,
+    int FrameTimeoutMillis,
+    std::chrono::steady_clock::time_point *FirstByteAt) {
   // The idle wait covers the first header byte only: a connection parked
   // between requests is fine, a peer that started a frame must finish
   // it inside the frame timeout.
@@ -285,6 +413,8 @@ ReadStatus slo::service::readFrame(int Fd, Frame &F, uint32_t MaxFrameBytes,
       return ReadStatus::Eof;
     if (N < 0)
       return ReadStatus::Error;
+    if (FirstByteAt)
+      *FirstByteAt = std::chrono::steady_clock::now();
   }
   ReadStatus S = readExact(Fd, Hdr + 1, 3, FrameTimeoutMillis);
   if (S != ReadStatus::Ok)

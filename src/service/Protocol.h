@@ -31,6 +31,7 @@
 #ifndef SLO_SERVICE_PROTOCOL_H
 #define SLO_SERVICE_PROTOCOL_H
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -40,8 +41,10 @@ namespace slo {
 namespace service {
 
 /// Protocol version, echoed in Pong responses. Bumped on any wire-format
-/// change.
-constexpr uint32_t ProtocolVersion = 1;
+/// change. Version 2 added GetMetrics/Metrics and the Traced/TracedReply
+/// trace-context wrappers; version-1 clients interoperate unchanged (the
+/// new opcodes are strictly opt-in).
+constexpr uint32_t ProtocolVersion = 2;
 
 /// Default ceiling on Length (opcode + body). A declared length above
 /// the receiver's ceiling is rejected before any body byte is read.
@@ -66,6 +69,14 @@ enum class Opcode : uint8_t {
                      ///< Response: BatchReply with count inner responses.
   Shutdown = 0x09,   ///< Body: empty. Response: Ok, then the daemon
                      ///< drains and stops (admin; slo_client --shutdown).
+  GetMetrics = 0x0A, ///< Body: empty, or u8 format (0 = JSON, 1 =
+                     ///< Prometheus text). Response: Metrics (counters +
+                     ///< histogram snapshots).
+  Traced = 0x0B,     ///< Body: trace-context extension + one inner
+                     ///< request frame (see encodeTraced). Response:
+                     ///< TracedReply wrapping the inner response plus
+                     ///< the daemon's per-stage spans. Traced, Batch and
+                     ///< Shutdown may not nest inside.
 
   // Response opcodes (daemon -> client).
   Ok = 0x80,         ///< Body: str text (may be empty).
@@ -78,6 +89,9 @@ enum class Opcode : uint8_t {
   Stats = 0x85,      ///< Body: str JSON.
   BatchReply = 0x86, ///< Body: u32 count, then count inner frames.
   Pong = 0x87,       ///< Body: u32 protocol version.
+  Metrics = 0x88,    ///< Body: str JSON or Prometheus text.
+  TracedReply = 0x89,///< Body: echoed trace-context + span list + one
+                     ///< inner response frame (see decodeTracedReply).
 };
 
 const char *opcodeName(Opcode Op);
@@ -104,6 +118,7 @@ enum class ErrCode : uint16_t {
 
 void appendU16(std::string &Out, uint16_t V);
 void appendU32(std::string &Out, uint32_t V);
+void appendU64(std::string &Out, uint64_t V);
 void appendString(std::string &Out, const std::string &S);
 
 /// One complete frame: length prefix, opcode, body.
@@ -115,6 +130,61 @@ std::string encodePutSource(const std::string &Module,
 std::string encodePutProfile(const std::string &Module,
                              const std::string &Feedback);
 std::string encodeErrorBody(ErrCode Code, const std::string &Message);
+
+//===----------------------------------------------------------------------===//
+// Trace-context extension (the Traced / TracedReply wrappers)
+//===----------------------------------------------------------------------===//
+
+/// Version of the trace-context extension carried by Traced frames.
+/// Independent of ProtocolVersion: the extension is length-prefixed, so
+/// a receiver skips fields added by newer versions it does not know.
+constexpr uint8_t TraceContextVersion = 1;
+
+/// Client-propagated request identity. The daemon echoes both ids in
+/// the TracedReply and tags its span tree with them; it never interprets
+/// them (and in particular they can never influence advice bytes).
+struct TraceContext {
+  uint8_t Version = TraceContextVersion;
+  uint64_t TraceId = 0;
+  uint64_t RequestId = 0;
+};
+
+/// One daemon-side stage span, returned in-band in a TracedReply.
+/// StartMicros is relative to the daemon's receipt of the request, which
+/// sidesteps cross-process clock sync: the client re-bases the spans
+/// inside its own request span when merging traces.
+struct DaemonSpan {
+  std::string Name;
+  uint64_t StartMicros = 0;
+  uint64_t DurMicros = 0;
+};
+
+/// Body of a Traced request: u32 ext length, then the extension
+/// (u8 version, u64 trace id, u64 request id, future fields skipped via
+/// the length), then the inner frame (u32 length, opcode, body).
+std::string encodeTraced(const TraceContext &Ctx, Opcode InnerOp,
+                         const std::string &InnerBody);
+
+/// Body of a TracedReply: u32 ext length, then the echoed extension plus
+/// u32 span count and the spans (str name, u64 start, u64 dur), then the
+/// inner response frame. \p InnerReplyFrame is a complete encoded frame.
+std::string encodeTracedReplyBody(const TraceContext &Ctx,
+                                  const std::vector<DaemonSpan> &Spans,
+                                  const std::string &InnerReplyFrame);
+
+class BodyReader;
+struct Frame;
+
+/// Decodes a Traced request body. Returns false on malformed framing
+/// (bad ext length, unknown version 0, truncated inner frame). Trailing
+/// bytes after the inner frame are the caller's atEnd() check.
+bool decodeTracedRequest(BodyReader &R, TraceContext &Ctx, Frame &Inner,
+                         uint32_t MaxFrameBytes);
+
+/// Decodes a TracedReply body (extension, spans, inner response frame).
+bool decodeTracedReply(BodyReader &R, TraceContext &Ctx,
+                       std::vector<DaemonSpan> &Spans, Frame &Inner,
+                       uint32_t MaxFrameBytes);
 
 //===----------------------------------------------------------------------===//
 // Decoding (buffer-level, shared by daemon / client / fuzzer)
@@ -132,6 +202,9 @@ public:
   bool readU8(uint8_t &V);
   bool readU16(uint16_t &V);
   bool readU32(uint32_t &V);
+  bool readU64(uint64_t &V);
+  /// Skips \p N bytes (unknown forward-compat extension fields).
+  bool skip(size_t N);
   /// A u32-length-prefixed byte run. Fails when the declared length
   /// overruns the remaining body (the classic hostile-length bug).
   bool readString(std::string &V);
@@ -181,8 +254,13 @@ const char *readStatusName(ReadStatus S);
 /// \p FrameTimeoutMillis for the remainder of the frame (0 = forever).
 /// On TooLarge the declared length is left unread in the stream — the
 /// caller must treat the connection as poisoned and close it.
+/// \p FirstByteAt, when non-null, receives the time the first byte of
+/// the frame arrived (only meaningful for Ok); null readers pay no
+/// clock read, preserving the telemetry-off contract.
 ReadStatus readFrame(int Fd, Frame &F, uint32_t MaxFrameBytes,
-                     int IdleTimeoutMillis, int FrameTimeoutMillis);
+                     int IdleTimeoutMillis, int FrameTimeoutMillis,
+                     std::chrono::steady_clock::time_point *FirstByteAt =
+                         nullptr);
 
 /// Writes all of \p Bytes to \p Fd. Returns false on error or on a
 /// write stalled past \p TimeoutMillis (0 = forever).

@@ -57,6 +57,25 @@ ServiceReply decodeReply(const Frame &F, uint32_t MaxFrameBytes) {
     R.Transport = AllOk && B.atEnd();
     break;
   }
+  case Opcode::Metrics:
+    R.Transport = B.readString(R.Text) && B.atEnd();
+    break;
+  case Opcode::TracedReply: {
+    TraceContext Ctx;
+    std::vector<DaemonSpan> Spans;
+    Frame Inner;
+    if (!decodeTracedReply(B, Ctx, Spans, Inner, MaxFrameBytes) ||
+        !B.atEnd())
+      break;
+    // Unwrap: the caller sees the inner response with the trace fields
+    // attached (the daemon never nests Traced inside Traced).
+    R = decodeReply(Inner, MaxFrameBytes);
+    R.WasTraced = true;
+    R.TraceId = Ctx.TraceId;
+    R.RequestId = Ctx.RequestId;
+    R.Spans = std::move(Spans);
+    break;
+  }
   default:
     // An unexpected response opcode is still a decoded frame; leave
     // Transport false so callers treat it as a protocol violation.
@@ -117,7 +136,21 @@ ServiceReply ServiceClient::getProfile(const std::string &Module) {
 
 ServiceReply ServiceClient::getStats() { return call(Opcode::GetStats, ""); }
 
+ServiceReply ServiceClient::getMetrics(uint8_t Format) {
+  std::string Body;
+  Body.push_back(static_cast<char>(Format));
+  return call(Opcode::GetMetrics, Body);
+}
+
 ServiceReply ServiceClient::shutdown() { return call(Opcode::Shutdown, ""); }
+
+ServiceReply ServiceClient::tracedCall(Opcode Op, const std::string &Body,
+                                       uint64_t TraceId, uint64_t RequestId) {
+  TraceContext Ctx;
+  Ctx.TraceId = TraceId;
+  Ctx.RequestId = RequestId;
+  return call(Opcode::Traced, encodeTraced(Ctx, Op, Body));
+}
 
 ServiceReply
 ServiceClient::batch(const std::vector<std::pair<Opcode, std::string>> &Items) {

@@ -42,6 +42,14 @@ struct ServiceReply {
   /// Decoded inner replies when Op == BatchReply.
   std::vector<ServiceReply> Inner;
 
+  /// Trace fields, filled when the wire frame was a TracedReply. The
+  /// wrapper is unwrapped: Op/Text/... describe the inner response, and
+  /// WasTraced marks that spans and the echoed ids are meaningful.
+  bool WasTraced = false;
+  uint64_t TraceId = 0;
+  uint64_t RequestId = 0;
+  std::vector<DaemonSpan> Spans;
+
   bool ok() const { return Transport && Op == Opcode::Ok; }
 };
 
@@ -79,7 +87,15 @@ public:
   ServiceReply getAdvice(bool Json);
   ServiceReply getProfile(const std::string &Module);
   ServiceReply getStats();
+  /// \p Format 0 = JSON, 1 = Prometheus text.
+  ServiceReply getMetrics(uint8_t Format = 0);
   ServiceReply shutdown();
+
+  /// Wraps (\p Op, \p Body) in a Traced frame carrying the given ids.
+  /// The reply comes back unwrapped with WasTraced set and the daemon's
+  /// stage spans attached.
+  ServiceReply tracedCall(Opcode Op, const std::string &Body,
+                          uint64_t TraceId, uint64_t RequestId);
   /// Encodes the given (opcode, body) pairs as one Batch request.
   ServiceReply
   batch(const std::vector<std::pair<Opcode, std::string>> &Items);

@@ -1,0 +1,218 @@
+//===- tests/histogram_test.cpp - Log-bucketed histogram tests ------------===//
+//
+// The shared observability Histogram (DESIGN.md §14):
+//
+//  - bucket geometry: values below ExactLimit get exact buckets, every
+//    reported bound is >= the recorded value with bounded relative
+//    rounding error, and bucketFor/bucketUpperBound are inverses in the
+//    sense every value maps into a bucket whose bound covers it;
+//  - merged snapshots are deterministic under ThreadPool contention:
+//    the same multiset of recordings renders byte-identical JSON no
+//    matter how the threads interleaved;
+//  - quantiles come from the merged buckets: exact below ExactLimit,
+//    clamped to the true maximum above it, 0 for an empty histogram;
+//  - the registry renders JSON and Prometheus text exposition with
+//    cumulative le-buckets, a +Inf bucket equal to _count, and _sum.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observability/Histogram.h"
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace slo;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Bucket geometry
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, ExactBucketsBelowLimit) {
+  for (uint64_t V = 0; V < Histogram::ExactLimit; ++V) {
+    EXPECT_EQ(Histogram::bucketFor(V), V);
+    EXPECT_EQ(Histogram::bucketUpperBound(static_cast<unsigned>(V)), V);
+  }
+}
+
+TEST(HistogramTest, BoundsCoverValuesWithBoundedError) {
+  // Sweep boundaries of every octave plus a spread inside: the bucket's
+  // upper bound must cover the value and overshoot by at most 1/16 of
+  // it (16 sub-buckets per octave).
+  std::vector<uint64_t> Values;
+  for (unsigned Shift = 5; Shift < 63; ++Shift) {
+    uint64_t Base = 1ull << Shift;
+    Values.push_back(Base - 1);
+    Values.push_back(Base);
+    Values.push_back(Base + 1);
+    Values.push_back(Base + Base / 3);
+    Values.push_back(2 * Base - 1);
+  }
+  Values.push_back(UINT64_MAX);
+  for (uint64_t V : Values) {
+    unsigned B = Histogram::bucketFor(V);
+    ASSERT_LT(B, Histogram::NumBuckets) << V;
+    uint64_t Bound = Histogram::bucketUpperBound(B);
+    EXPECT_GE(Bound, V) << "bucket bound below the value it holds";
+    if (V >= Histogram::ExactLimit && Bound != UINT64_MAX) {
+      EXPECT_LE(Bound - V, V / Histogram::SubBuckets)
+          << "bound overshoots " << V << " by more than one sub-bucket";
+    }
+    if (B > 0) {
+      EXPECT_LT(Histogram::bucketUpperBound(B - 1), V)
+          << "value " << V << " fits the previous bucket too";
+    }
+  }
+}
+
+TEST(HistogramTest, BucketBoundsStrictlyIncrease) {
+  for (unsigned B = 1; B < Histogram::NumBuckets; ++B)
+    ASSERT_GT(Histogram::bucketUpperBound(B),
+              Histogram::bucketUpperBound(B - 1))
+        << "at bucket " << B;
+}
+
+//===----------------------------------------------------------------------===//
+// Quantiles
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, EmptyHistogramRendersZeros) {
+  Histogram H;
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Sum, 0u);
+  EXPECT_EQ(S.Max, 0u);
+  EXPECT_EQ(S.quantile(0.50), 0u);
+  EXPECT_EQ(S.quantile(0.99), 0u);
+  EXPECT_EQ(renderHistogramSnapshotJson(S),
+            "{\"count\": 0, \"sum\": 0, \"max\": 0, \"p50\": 0, "
+            "\"p90\": 0, \"p99\": 0}");
+}
+
+TEST(HistogramTest, QuantilesExactBelowExactLimit) {
+  // 1..20 recorded once each: every value has its own bucket, so the
+  // quantiles are the exact order statistics at rank ceil(Q*N).
+  Histogram H;
+  for (uint64_t V = 1; V <= 20; ++V)
+    H.record(V);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 20u);
+  EXPECT_EQ(S.Sum, 210u);
+  EXPECT_EQ(S.Max, 20u);
+  EXPECT_EQ(S.quantile(0.50), 10u);
+  EXPECT_EQ(S.quantile(0.90), 18u);
+  EXPECT_EQ(S.quantile(0.95), 19u);
+  EXPECT_EQ(S.quantile(1.00), 20u);
+  EXPECT_EQ(S.quantile(0.00), 1u); // Rank clamps to 1.
+}
+
+TEST(HistogramTest, QuantileClampsToExactMax) {
+  // One large value: its bucket bound overshoots, but the reported
+  // quantile must never exceed the largest recorded value.
+  Histogram H;
+  H.record(1000);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Max, 1000u);
+  EXPECT_EQ(S.quantile(0.50), 1000u);
+  EXPECT_EQ(S.quantile(0.99), 1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism under contention
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, MergedSnapshotDeterministicUnderThreadPool) {
+  // The same multiset of recordings from racing pool workers must
+  // render byte-identical JSON across rounds: addition commutes, so the
+  // merge cannot depend on scheduling.
+  constexpr unsigned Threads = 8;
+  constexpr unsigned Tasks = 64;
+  constexpr unsigned OpsPerTask = 500;
+
+  std::string Previous;
+  for (int Round = 0; Round < 3; ++Round) {
+    HistogramRegistry Reg;
+    ThreadPool Pool(Threads);
+    for (unsigned T = 0; T < Tasks; ++T)
+      Pool.enqueue([&Reg, T] {
+        for (unsigned I = 0; I < OpsPerTask; ++I) {
+          // A deterministic value stream independent of scheduling.
+          uint64_t V = (static_cast<uint64_t>(T) * OpsPerTask + I) % 4096;
+          Reg.record(T % 2 ? "odd" : "even", V);
+        }
+      });
+    Pool.wait();
+
+    std::map<std::string, HistogramSnapshot> Snap = Reg.snapshotAll();
+    ASSERT_EQ(Snap.size(), 2u);
+    EXPECT_EQ(Snap["even"].Count, uint64_t(Tasks / 2) * OpsPerTask);
+    EXPECT_EQ(Snap["odd"].Count, uint64_t(Tasks / 2) * OpsPerTask);
+    std::string Json = Reg.renderJson();
+    if (Round > 0) {
+      EXPECT_EQ(Json, Previous);
+    }
+    Previous = std::move(Json);
+  }
+}
+
+TEST(HistogramTest, ConcurrentHistogramsStayIsolated) {
+  // Two live histograms: the thread-local shard caches must not leak
+  // recordings across them (the generation-tag contract).
+  Histogram A, B;
+  ThreadPool Pool(4);
+  for (unsigned T = 0; T < 32; ++T)
+    Pool.enqueue([&A, &B] {
+      for (int I = 0; I < 100; ++I) {
+        A.record(1);
+        B.record(2);
+      }
+    });
+  Pool.wait();
+  EXPECT_EQ(A.snapshot().Count, 3200u);
+  EXPECT_EQ(A.snapshot().Sum, 3200u);
+  EXPECT_EQ(B.snapshot().Count, 3200u);
+  EXPECT_EQ(B.snapshot().Sum, 6400u);
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, RegistryJsonSchema) {
+  HistogramRegistry Reg;
+  Reg.record("service.latency.Ping", 5);
+  Reg.record("service.latency.Ping", 7);
+  EXPECT_EQ(Reg.renderJson(),
+            "{\"service.latency.Ping\": {\"count\": 2, \"sum\": 12, "
+            "\"max\": 7, \"p50\": 5, \"p90\": 7, \"p99\": 7}}");
+  EXPECT_EQ(Reg.get("service.latency.Ping").snapshot().Count, 2u);
+}
+
+TEST(HistogramTest, PrometheusRenderIsCumulativeAndComplete) {
+  HistogramRegistry Reg;
+  Reg.record("service.latency.Ping", 3);
+  Reg.record("service.latency.Ping", 3);
+  Reg.record("service.latency.Ping", 9);
+  std::string Text = Reg.renderPrometheus();
+  // Name mangled, TYPE declared, sparse cumulative buckets, +Inf equal
+  // to the count, exact _sum/_count.
+  EXPECT_NE(Text.find("# TYPE slo_service_latency_Ping histogram\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("slo_service_latency_Ping_bucket{le=\"3\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("slo_service_latency_Ping_bucket{le=\"9\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("slo_service_latency_Ping_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("slo_service_latency_Ping_sum 15\n"), std::string::npos);
+  EXPECT_NE(Text.find("slo_service_latency_Ping_count 3\n"),
+            std::string::npos);
+}
+
+} // namespace

@@ -265,6 +265,132 @@ TEST(ServiceProtocolTest, NestedBatchAndShutdownInsideBatchRejected) {
 }
 
 //===----------------------------------------------------------------------===//
+// Trace-context framing (unit level; the fuzz sweep's category 8
+// exercises the same decoders through the daemon)
+//===----------------------------------------------------------------------===//
+
+/// A hand-built Traced body: u32 ext length, u8 version, u64 trace id,
+/// u64 request id, optional padding, then the inner frame bytes.
+std::string tracedBodyRaw(uint32_t ExtLen, uint8_t Version,
+                          const std::string &Padding,
+                          const std::string &InnerFrame) {
+  std::string Body;
+  appendU32(Body, ExtLen);
+  Body.push_back(static_cast<char>(Version));
+  appendU64(Body, 0x1111222233334444ull);
+  appendU64(Body, 0x5555666677778888ull);
+  Body += Padding;
+  Body += InnerFrame;
+  return Body;
+}
+
+TEST(ServiceProtocolTest, TracedRequestRoundTripsAndSkipsFutureExt) {
+  TraceContext Ctx;
+  Ctx.TraceId = 0xAABB;
+  Ctx.RequestId = 0xCCDD;
+  std::string Body = encodeTraced(Ctx, Opcode::PutSource, "payload");
+  {
+    BodyReader R(Body);
+    TraceContext Out;
+    Frame Inner;
+    ASSERT_TRUE(decodeTracedRequest(R, Out, Inner, DefaultMaxFrameBytes));
+    EXPECT_TRUE(R.atEnd());
+    EXPECT_EQ(Out.Version, TraceContextVersion);
+    EXPECT_EQ(Out.TraceId, 0xAABBu);
+    EXPECT_EQ(Out.RequestId, 0xCCDDu);
+    EXPECT_EQ(Inner.Op, Opcode::PutSource);
+    EXPECT_EQ(std::string(Inner.Body.begin(), Inner.Body.end()), "payload");
+  }
+  // Forward compatibility: a future version appends fields inside the
+  // ext; a v1 reader skips them via the declared length (17 known bytes
+  // + 4 unknown).
+  std::string Future = tracedBodyRaw(17 + 4, 2, std::string(4, '\xEE'),
+                                     encodeFrame(Opcode::Ping, ""));
+  BodyReader R(Future);
+  TraceContext Out;
+  Frame Inner;
+  ASSERT_TRUE(decodeTracedRequest(R, Out, Inner, DefaultMaxFrameBytes));
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(Out.Version, 2);
+  EXPECT_EQ(Inner.Op, Opcode::Ping);
+}
+
+TEST(ServiceProtocolTest, TracedRequestRejectsMalformedExt) {
+  const std::string Ping = encodeFrame(Opcode::Ping, "");
+  const struct {
+    const char *What;
+    std::string Body;
+  } Cases[] = {
+      {"version 0", tracedBodyRaw(17, 0, "", Ping)},
+      {"ext shorter than known fields", tracedBodyRaw(16, 1, "", Ping)},
+      {"ext length overruns the body", tracedBodyRaw(0xFFFFFF, 1, "", Ping)},
+      {"truncated inner frame",
+       tracedBodyRaw(17, 1, "", Ping.substr(0, Ping.size() - 1))},
+      {"missing inner frame", tracedBodyRaw(17, 1, "", "")},
+  };
+  for (const auto &C : Cases) {
+    BodyReader R(C.Body);
+    TraceContext Ctx;
+    Frame Inner;
+    EXPECT_FALSE(decodeTracedRequest(R, Ctx, Inner, DefaultMaxFrameBytes))
+        << C.What;
+  }
+}
+
+TEST(ServiceProtocolTest, TracedReplyBoundsHostileSpanCount) {
+  // A reply claiming 2^31 spans in a tiny body must fail the bound
+  // check, not reserve gigabytes.
+  std::string Body;
+  appendU32(Body, 17);
+  Body.push_back(1);
+  appendU64(Body, 1);
+  appendU64(Body, 2);
+  appendU32(Body, 0x80000000u);
+  Body += "tiny";
+  BodyReader R(Body);
+  TraceContext Ctx;
+  std::vector<DaemonSpan> Spans;
+  Frame Inner;
+  EXPECT_FALSE(decodeTracedReply(R, Ctx, Spans, Inner, DefaultMaxFrameBytes));
+  EXPECT_TRUE(Spans.empty());
+
+  // And the well-formed round trip through the real encoder works.
+  TraceContext C2;
+  C2.TraceId = 5;
+  C2.RequestId = 6;
+  std::vector<DaemonSpan> In;
+  In.push_back({"read", 0, 10});
+  In.push_back({"render", 10, 20});
+  std::string Reply =
+      encodeTracedReplyBody(C2, In, encodeFrame(Opcode::Ok, ""));
+  BodyReader R2(Reply);
+  ASSERT_TRUE(decodeTracedReply(R2, Ctx, Spans, Inner, DefaultMaxFrameBytes));
+  EXPECT_TRUE(R2.atEnd());
+  EXPECT_EQ(Ctx.TraceId, 5u);
+  ASSERT_EQ(Spans.size(), 2u);
+  EXPECT_EQ(Spans[0].Name, "read");
+  EXPECT_EQ(Spans[1].Name, "render");
+  EXPECT_EQ(Spans[1].DurMicros, 20u);
+  EXPECT_EQ(Inner.Op, Opcode::Ok);
+}
+
+TEST(ServiceProtocolTest, DaemonRejectsMalformedTraceExtOverTheWire) {
+  // The wire-level check: a Traced frame with ext version 0 draws
+  // Error(Malformed) and closes the connection, state untouched.
+  auto D = makeDaemon();
+  int Fds[2];
+  ASSERT_TRUE(makeSocketPair(Fds));
+  ASSERT_TRUE(D->adoptConnection(Fds[0]));
+  ServiceClient C(Fds[1]);
+  ServiceReply R = C.call(
+      Opcode::Traced, tracedBodyRaw(17, 0, "", encodeFrame(Opcode::Ping, "")));
+  ASSERT_TRUE(R.Transport);
+  EXPECT_EQ(R.Op, Opcode::Error);
+  EXPECT_EQ(R.Code, static_cast<uint16_t>(ErrCode::Malformed));
+  EXPECT_EQ(D->state().moduleCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // BodyReader hostile-length arithmetic (unit level)
 //===----------------------------------------------------------------------===//
 

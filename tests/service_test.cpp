@@ -27,6 +27,7 @@
 
 #include "frontend/Frontend.h"
 #include "observability/CounterRegistry.h"
+#include "observability/Histogram.h"
 #include "pipeline/Incremental.h"
 #include "profile/FeedbackIO.h"
 
@@ -527,6 +528,206 @@ TEST_F(ServiceTest, ShutdownDrainsInFlightIngest) {
   ASSERT_TRUE(makeSocketPair(Fds));
   EXPECT_FALSE(D->adoptConnection(Fds[0]));
   ::close(Fds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Request-scoped telemetry: trace propagation, metrics, flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServiceTest, TracedCallEchoesIdsAndReturnsStageSpans) {
+  auto D = makeDaemon();
+  auto C = connect(*D);
+  ASSERT_TRUE(C);
+  for (const TuSource &Tu : corpus())
+    ASSERT_TRUE(C->putSource(Tu.Name, Tu.Source).ok());
+
+  std::string Body;
+  Body.push_back(0); // GetAdvice, text form.
+  ServiceReply R = C->tracedCall(Opcode::GetAdvice, Body, 0xDEADBEEFull,
+                                 42);
+  ASSERT_TRUE(R.Transport);
+  EXPECT_EQ(R.Op, Opcode::Advice);
+  ASSERT_TRUE(R.WasTraced);
+  EXPECT_EQ(R.TraceId, 0xDEADBEEFull);
+  EXPECT_EQ(R.RequestId, 42u);
+
+  // The span tree covers the request's stages: the outer frame read plus
+  // the advice path (state lock, merge, render). Starts are relative to
+  // receipt and non-decreasing.
+  ASSERT_FALSE(R.Spans.empty());
+  std::vector<std::string> Names;
+  for (const DaemonSpan &S : R.Spans)
+    Names.push_back(S.Name);
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "read"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "lock-wait"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "merge"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "render"), Names.end());
+  for (size_t I = 1; I < R.Spans.size(); ++I)
+    EXPECT_GE(R.Spans[I].StartMicros, R.Spans[I - 1].StartMicros);
+}
+
+TEST_F(ServiceTest, TracedAdviceBytesMatchUntracedAndOneshot) {
+  // The propagated trace context must never influence a single advice
+  // byte: traced and untraced GetAdvice, under different trace ids, all
+  // render the monolithic oracle's exact bytes.
+  auto D = makeDaemon();
+  auto C = connect(*D);
+  ASSERT_TRUE(C);
+  for (const TuSource &Tu : corpus())
+    ASSERT_TRUE(C->putSource(Tu.Name, Tu.Source).ok());
+  IncrementalResult Expect = oneshot(corpus());
+
+  std::string Body;
+  Body.push_back(0);
+  ServiceReply Plain = C->getAdvice(false);
+  ASSERT_TRUE(Plain.Transport);
+  EXPECT_FALSE(Plain.WasTraced);
+  EXPECT_EQ(Plain.Text, Expect.AdviceText);
+  const uint64_t Ids[] = {1, 0, UINT64_MAX};
+  for (uint64_t Id : Ids) {
+    ServiceReply Traced = C->tracedCall(Opcode::GetAdvice, Body, Id, Id);
+    ASSERT_TRUE(Traced.Transport);
+    ASSERT_EQ(Traced.Op, Opcode::Advice);
+    EXPECT_TRUE(Traced.WasTraced);
+    EXPECT_EQ(Traced.Text, Expect.AdviceText);
+  }
+}
+
+TEST_F(ServiceTest, TracedRejectsNestedBatchAndShutdown) {
+  // Traced(Traced), Traced(Batch) and Traced(Shutdown) are malformed:
+  // an Error reply, no drain started, no state moved.
+  auto D = makeDaemon();
+  {
+    auto C = connect(*D);
+    ASSERT_TRUE(C);
+    ASSERT_TRUE(C->putSource("a.minic", TuA).ok());
+  }
+  uint64_t Before = D->state().fingerprint();
+
+  TraceContext Ctx;
+  Ctx.TraceId = 7;
+  Ctx.RequestId = 7;
+  const std::pair<Opcode, std::string> Banned[] = {
+      {Opcode::Traced, encodeTraced(Ctx, Opcode::Ping, "")},
+      {Opcode::Batch, std::string(4, '\0')},
+      {Opcode::Shutdown, ""},
+  };
+  for (const auto &[Op, Body] : Banned) {
+    auto C = connect(*D); // Each rejection closes its connection.
+    ASSERT_TRUE(C);
+    ServiceReply R = C->tracedCall(Op, Body, 7, 7);
+    ASSERT_TRUE(R.Transport);
+    EXPECT_EQ(R.Op, Opcode::Error);
+    EXPECT_EQ(R.Code, static_cast<uint16_t>(ErrCode::Malformed));
+  }
+  EXPECT_FALSE(D->stopping()); // Traced(Shutdown) must not drain.
+  EXPECT_EQ(D->state().fingerprint(), Before);
+
+  auto C = connect(*D);
+  ASSERT_TRUE(C);
+  EXPECT_EQ(C->ping().Op, Opcode::Pong);
+}
+
+TEST_F(ServiceTest, GetMetricsRendersRegistriesAndRejectsUnknownFormat) {
+  HistogramRegistry Hist;
+  auto D = makeDaemon([&](DaemonConfig &Config) { Config.Hist = &Hist; });
+  auto C = connect(*D);
+  ASSERT_TRUE(C);
+  ASSERT_TRUE(C->putSource("a.minic", TuA).ok());
+
+  ServiceReply Json = C->getMetrics(0);
+  ASSERT_TRUE(Json.Transport);
+  ASSERT_EQ(Json.Op, Opcode::Metrics);
+  EXPECT_NE(Json.Text.find("\"counters\": "), std::string::npos);
+  EXPECT_NE(Json.Text.find("\"service.frames\": "), std::string::npos);
+  EXPECT_NE(Json.Text.find("\"histograms\": "), std::string::npos);
+  EXPECT_NE(Json.Text.find("\"service.latency.PutSource\": {\"count\": 1"),
+            std::string::npos);
+
+  ServiceReply Prom = C->getMetrics(1);
+  ASSERT_TRUE(Prom.Transport);
+  ASSERT_EQ(Prom.Op, Opcode::Metrics);
+  EXPECT_NE(Prom.Text.find("# TYPE slo_service_frames counter\n"),
+            std::string::npos);
+  EXPECT_NE(
+      Prom.Text.find("# TYPE slo_service_latency_PutSource histogram\n"),
+      std::string::npos);
+  EXPECT_NE(Prom.Text.find("slo_service_latency_PutSource_count 1\n"),
+            std::string::npos);
+
+  ServiceReply Bad = C->getMetrics(2);
+  ASSERT_TRUE(Bad.Transport);
+  EXPECT_EQ(Bad.Op, Opcode::Error);
+  EXPECT_EQ(Bad.Code, static_cast<uint16_t>(ErrCode::Malformed));
+}
+
+TEST_F(ServiceTest, FlightRecorderDumpsOnMidFrameTimeout) {
+  // The always-on ring must surface the connection's last frames when
+  // the peer stalls: one dump, reason "timeout", valid JSON shape.
+  std::mutex DumpMutex;
+  std::vector<std::string> Dumps;
+  auto D = makeDaemon([&](DaemonConfig &Config) {
+    Config.FrameTimeoutMillis = 100;
+    Config.FlightDumpSink = [&](const std::string &Json) {
+      std::lock_guard<std::mutex> Lock(DumpMutex);
+      Dumps.push_back(Json);
+    };
+  });
+
+  // A healthy request first, so the ring has traffic to replay.
+  int Fds[2];
+  ASSERT_TRUE(makeSocketPair(Fds));
+  ASSERT_TRUE(D->adoptConnection(Fds[0]));
+  {
+    ServiceClient C(Fds[1]); // Owns and closes Fds[1] when done.
+    ASSERT_EQ(C.ping().Op, Opcode::Pong);
+
+    // Declare a 64-byte frame, deliver 3 bytes, stall past the timeout.
+    std::string Partial;
+    appendU32(Partial, 64);
+    Partial += "\x02xy";
+    ASSERT_TRUE(writeAll(C.fd(), Partial, 1000));
+    Frame F;
+    ASSERT_EQ(readFrame(C.fd(), F, DefaultMaxFrameBytes, 5000, 5000),
+              ReadStatus::Ok);
+    EXPECT_EQ(F.Op, Opcode::Error);
+  }
+  while (D->liveConnections() != 0)
+    std::this_thread::yield();
+
+  std::lock_guard<std::mutex> Lock(DumpMutex);
+  ASSERT_EQ(Dumps.size(), 1u);
+  const std::string &Dump = Dumps.front();
+  EXPECT_NE(Dump.find("\"flight_recorder\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"reason\": \"timeout\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"frame-in\""), std::string::npos); // The Ping.
+  EXPECT_NE(Dump.find("\"reply-out\""), std::string::npos); // The Pong.
+}
+
+TEST_F(ServiceTest, FlightRecorderDepthZeroNeverDumps) {
+  // Depth 0 disables the ring: the same stall produces no dump (and the
+  // request path reads no clock — the PR 3 off-is-free contract).
+  std::atomic<unsigned> DumpCount{0};
+  auto D = makeDaemon([&](DaemonConfig &Config) {
+    Config.FrameTimeoutMillis = 100;
+    Config.FlightRecorderDepth = 0;
+    Config.FlightDumpSink = [&](const std::string &) { ++DumpCount; };
+  });
+  int Fds[2];
+  ASSERT_TRUE(makeSocketPair(Fds));
+  ASSERT_TRUE(D->adoptConnection(Fds[0]));
+  std::string Partial;
+  appendU32(Partial, 64);
+  Partial += "\x02xy";
+  ASSERT_TRUE(writeAll(Fds[1], Partial, 1000));
+  Frame F;
+  ASSERT_EQ(readFrame(Fds[1], F, DefaultMaxFrameBytes, 5000, 5000),
+            ReadStatus::Ok);
+  EXPECT_EQ(F.Op, Opcode::Error);
+  ::close(Fds[1]);
+  while (D->liveConnections() != 0)
+    std::this_thread::yield();
+  EXPECT_EQ(DumpCount.load(), 0u);
 }
 
 //===----------------------------------------------------------------------===//
